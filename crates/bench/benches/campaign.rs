@@ -1,0 +1,93 @@
+//! Criterion benches for the random-program campaign (T1/E2): end-to-end
+//! analyze + simulate throughput, and the deadlock-rate measurement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use systolic_core::{analyze, AnalysisConfig};
+use systolic_sim::{
+    run_simulation, AssignmentPolicy, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig,
+    SimConfig,
+};
+use systolic_workloads as wl;
+
+fn config(queues: usize) -> SimConfig {
+    SimConfig {
+        queues_per_interval: queues,
+        queue: QueueConfig { capacity: 1, extension: false },
+        cost: CostModel::systolic(),
+        max_cycles: 1_000_000,
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_end_to_end");
+    group.sample_size(10);
+    let cfg = wl::RandomConfig { cells: 6, messages: 12, max_words: 4, max_span: 3, clustered: true };
+    let topology = wl::random_topology(&cfg);
+    let programs: Vec<_> = (0..16u64)
+        .map(|seed| wl::random_program(&cfg, seed).expect("valid"))
+        .collect();
+
+    group.bench_function("compatible_batch16", |b| {
+        b.iter(|| {
+            let mut completed = 0usize;
+            for p in &programs {
+                let Ok(a) = analyze(
+                    p,
+                    &topology,
+                    &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
+                ) else {
+                    continue;
+                };
+                let policy: Box<dyn AssignmentPolicy> =
+                    Box::new(CompatiblePolicy::new(a.into_plan()));
+                if run_simulation(p, &topology, policy, config(4))
+                    .expect("sim builds")
+                    .is_completed()
+                {
+                    completed += 1;
+                }
+            }
+            completed
+        });
+    });
+
+    group.bench_function("greedy_batch16", |b| {
+        b.iter(|| {
+            let mut done = 0usize;
+            for p in &programs {
+                let out = run_simulation(p, &topology, Box::new(GreedyPolicy::new()), config(4))
+                    .expect("sim builds");
+                if out.is_completed() || out.is_deadlocked() {
+                    done += 1;
+                }
+            }
+            done
+        });
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_program_generation");
+    group.sample_size(20);
+    for messages in [8usize, 32] {
+        let cfg = wl::RandomConfig {
+            cells: 8,
+            messages,
+            max_words: 4,
+            max_span: 4,
+            clustered: true,
+        };
+        group.bench_with_input(BenchmarkId::new("messages", messages), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                wl::random_program(cfg, seed).expect("valid").total_ops()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion benches for the cycle-stepped simulator (F1, F7): systolic vs
+//! memory-to-memory cost models, and the policy comparison on Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use systolic_core::{analyze, AnalysisConfig};
+use systolic_sim::{
+    run_simulation, AssignmentPolicy, CompatiblePolicy, CostModel, FifoPolicy, QueueConfig,
+    SimConfig,
+};
+use systolic_workloads as wl;
+
+fn config(queues: usize, capacity: usize, cost: CostModel) -> SimConfig {
+    SimConfig {
+        queues_per_interval: queues,
+        queue: QueueConfig { capacity, extension: false },
+        cost,
+        max_cycles: 10_000_000,
+    }
+}
+
+fn compatible(
+    program: &systolic_model::Program,
+    topology: &systolic_model::Topology,
+    queues: usize,
+) -> Box<dyn AssignmentPolicy> {
+    let plan = analyze(
+        program,
+        topology,
+        &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
+    )
+    .expect("analyzes")
+    .into_plan();
+    Box::new(CompatiblePolicy::new(plan))
+}
+
+/// F1: the communication-model comparison at simulator level.
+fn bench_comm_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_comm_models");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let program = wl::fir(3, n).expect("valid");
+        let topology = wl::fir_topology(3);
+        group.bench_with_input(BenchmarkId::new("systolic", n), &program, |b, p| {
+            b.iter(|| {
+                let policy = compatible(p, &topology, 2);
+                run_simulation(p, &topology, policy, config(2, 1, CostModel::systolic()))
+                    .expect("sim builds")
+                    .is_completed()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mem2mem", n), &program, |b, p| {
+            b.iter(|| {
+                let policy = compatible(p, &topology, 2);
+                run_simulation(p, &topology, policy, config(2, 1, CostModel::memory_to_memory()))
+                    .expect("sim builds")
+                    .is_completed()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F7: deadlock detection (fifo) vs completion (compatible).
+fn bench_fig7_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_policies");
+    group.sample_size(20);
+    for len in [8usize, 32] {
+        let program = wl::fig7(len);
+        let topology = wl::fig7_topology();
+        group.bench_with_input(BenchmarkId::new("fifo_deadlock", len), &program, |b, p| {
+            b.iter(|| {
+                run_simulation(
+                    p,
+                    &topology,
+                    Box::new(FifoPolicy::new()),
+                    config(1, 1, CostModel::systolic()),
+                )
+                .expect("sim builds")
+                .is_deadlocked()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("compatible", len), &program, |b, p| {
+            b.iter(|| {
+                let policy = compatible(p, &topology, 1);
+                run_simulation(p, &topology, policy, config(1, 1, CostModel::systolic()))
+                    .expect("sim builds")
+                    .is_completed()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Simulator throughput on larger structured workloads.
+fn bench_workload_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_sim");
+    group.sample_size(10);
+    let cases: Vec<(&str, systolic_model::Program, systolic_model::Topology)> = vec![
+        ("fir(8,256)", wl::fir(8, 256).expect("valid"), wl::fir_topology(8)),
+        (
+            "wavefront(4,4,8)",
+            wl::wavefront(4, 4, 8).expect("valid"),
+            wl::wavefront_topology(4, 4),
+        ),
+        (
+            "seq_align(8,64)",
+            wl::seq_align(8, 64).expect("valid"),
+            wl::seq_align_topology(8),
+        ),
+    ];
+    for (name, program, topology) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let policy = compatible(&program, &topology, 8);
+                run_simulation(&program, &topology, policy, config(8, 2, CostModel::systolic()))
+                    .expect("sim builds")
+                    .is_completed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_models, bench_fig7_policies, bench_workload_sim);
+criterion_main!(benches);

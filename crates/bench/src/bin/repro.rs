@@ -1,0 +1,36 @@
+//! Regenerates every figure of the paper plus the extension experiments,
+//! printing the tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro            # print all experiments as text
+//! repro --markdown # print as markdown (for EXPERIMENTS.md)
+//! repro F7 T1      # print selected experiments only
+//! ```
+
+use systolic_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    for e in all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.eq_ignore_ascii_case(e.id)) {
+            continue;
+        }
+        println!("## {} — {}", e.id, e.title);
+        println!();
+        if markdown {
+            println!("{}", e.table.to_markdown());
+        } else {
+            println!("{}", e.table.to_text());
+        }
+        for note in &e.notes {
+            println!("note: {note}");
+        }
+        println!();
+    }
+}

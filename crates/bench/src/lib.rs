@@ -1,0 +1,15 @@
+//! Benchmark and reproduction harness for the Kung 1988 deadlock-avoidance
+//! paper: one experiment per figure (`F1`–`F10`), the Theorem 1 campaign
+//! (`T1`) and the extension experiments (`E1`–`E5`).
+//!
+//! The [`experiments`] module holds the runnable experiments; the `repro`
+//! binary prints them all; the Criterion benches in `benches/` measure the
+//! performance-sensitive pieces (analysis passes and the simulator).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, Experiment};

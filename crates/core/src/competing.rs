@@ -1,0 +1,176 @@
+//! Competing messages (paper, Section 2.3).
+//!
+//! "Messages that cross the same interval in the same direction are called
+//! competing messages. Competing messages may have to share queues if there
+//! are not enough queues to allow a separate queue to be assigned to each
+//! message."
+
+use std::collections::BTreeMap;
+
+use systolic_model::{Hop, Interval, MessageId, MessageRoutes};
+
+/// The competing-message sets of a routed program: for every directed
+/// interval crossing ([`Hop`]), the messages that cross it.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::CompetingSets;
+/// use systolic_model::{parse_program, MessageRoutes, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "cells 3\n\
+///      message A: c0 -> c2\n\
+///      message B: c0 -> c1\n\
+///      program c0 { W(A) W(B) }\n\
+///      program c1 { R(B) }\n\
+///      program c2 { R(A) }\n",
+/// )?;
+/// let routes = MessageRoutes::compute(&p, &Topology::linear(3))?;
+/// let competing = CompetingSets::compute(&routes);
+/// // Both A and B cross c0->c1 in the same direction: they compete there.
+/// let hop = systolic_model::Hop::new(0.into(), 1.into());
+/// assert_eq!(competing.on_hop(hop).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompetingSets {
+    per_hop: BTreeMap<Hop, Vec<MessageId>>,
+}
+
+impl CompetingSets {
+    /// Groups every message of `routes` by the directed hops it crosses.
+    #[must_use]
+    pub fn compute(routes: &MessageRoutes) -> Self {
+        let mut per_hop: BTreeMap<Hop, Vec<MessageId>> = BTreeMap::new();
+        for (m, route) in routes.iter() {
+            for hop in route.hops() {
+                per_hop.entry(hop).or_default().push(m);
+            }
+        }
+        CompetingSets { per_hop }
+    }
+
+    /// The messages crossing `hop` (same interval, same direction), in
+    /// declaration order. Empty if nothing crosses it.
+    #[must_use]
+    pub fn on_hop(&self, hop: Hop) -> &[MessageId] {
+        self.per_hop.get(&hop).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The messages crossing `interval` in *either* direction, as
+    /// `(hop, messages)` groups.
+    #[must_use]
+    pub fn on_interval(&self, interval: Interval) -> Vec<(Hop, &[MessageId])> {
+        self.per_hop
+            .iter()
+            .filter(|(h, _)| h.interval() == interval)
+            .map(|(h, ms)| (*h, ms.as_slice()))
+            .collect()
+    }
+
+    /// Iterates `(hop, competing messages)` over all used hops.
+    pub fn iter(&self) -> impl Iterator<Item = (Hop, &[MessageId])> + '_ {
+        self.per_hop.iter().map(|(h, ms)| (*h, ms.as_slice()))
+    }
+
+    /// `true` if `a` and `b` compete on at least one hop.
+    #[must_use]
+    pub fn compete(&self, a: MessageId, b: MessageId) -> bool {
+        a != b
+            && self
+                .per_hop
+                .values()
+                .any(|ms| ms.contains(&a) && ms.contains(&b))
+    }
+
+    /// Number of directed hops that carry at least one message.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_hop.len()
+    }
+
+    /// `true` if no message crosses any hop.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_hop.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{parse_program, CellId, Topology};
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    #[test]
+    fn opposite_directions_do_not_compete() {
+        let p = parse_program(
+            "cells 2\n\
+             message X: c0 -> c1\n\
+             message Y: c1 -> c0\n\
+             program c0 { W(X) R(Y) }\n\
+             program c1 { R(X) W(Y) }\n",
+        )
+        .unwrap();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(2)).unwrap();
+        let sets = CompetingSets::compute(&routes);
+        let x = p.message_id("X").unwrap();
+        let y = p.message_id("Y").unwrap();
+        assert!(!sets.compete(x, y));
+        assert_eq!(sets.on_hop(Hop::new(c(0), c(1))), &[x]);
+        assert_eq!(sets.on_hop(Hop::new(c(1), c(0))), &[y]);
+        assert_eq!(sets.on_interval(Interval::new(c(0), c(1))).len(), 2);
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn long_route_competes_on_every_hop() {
+        let p = parse_program(
+            "cells 4\n\
+             message LONG: c0 -> c3\n\
+             message MID: c1 -> c2\n\
+             program c0 { W(LONG) }\n\
+             program c1 { W(MID) }\n\
+             program c2 { R(MID) }\n\
+             program c3 { R(LONG) }\n",
+        )
+        .unwrap();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(4)).unwrap();
+        let sets = CompetingSets::compute(&routes);
+        let long = p.message_id("LONG").unwrap();
+        let mid = p.message_id("MID").unwrap();
+        assert!(sets.compete(long, mid));
+        assert_eq!(sets.on_hop(Hop::new(c(1), c(2))), &[long, mid]);
+        assert_eq!(sets.on_hop(Hop::new(c(0), c(1))), &[long]);
+    }
+
+    #[test]
+    fn message_does_not_compete_with_itself() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(2)).unwrap();
+        let sets = CompetingSets::compute(&routes);
+        let a = p.message_id("A").unwrap();
+        assert!(!sets.compete(a, a));
+    }
+
+    #[test]
+    fn unused_hops_are_empty() {
+        let p = parse_program(
+            "cells 3\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\nprogram c2 { }\n",
+        )
+        .unwrap();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(3)).unwrap();
+        let sets = CompetingSets::compute(&routes);
+        assert!(sets.on_hop(Hop::new(c(1), c(2))).is_empty());
+        assert!(!sets.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Independent consistency checking for labelings (paper, Section 5 step 1).
+//!
+//! "The labeling must be consistent in the sense that each cell program will
+//! write to or read from messages with nondecreasing labels." This module
+//! checks that property directly against the program text, independently of
+//! how the labeling was produced — the property-based tests use it to verify
+//! the Section 6 scheme.
+
+use systolic_model::{CellId, MessageId, Program};
+
+use crate::{Label, Labeling};
+
+/// One violation of label consistency: a cell accessed a smaller label after
+/// a larger one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConsistencyViolation {
+    /// The offending cell.
+    pub cell: CellId,
+    /// Position (op index) of the *earlier* access with the larger label.
+    pub earlier_pos: usize,
+    /// The earlier access's message.
+    pub earlier_message: MessageId,
+    /// Its label.
+    pub earlier_label: Label,
+    /// Position of the later access with the smaller label.
+    pub later_pos: usize,
+    /// The later access's message.
+    pub later_message: MessageId,
+    /// Its label.
+    pub later_label: Label,
+}
+
+/// Checks that `labeling` is consistent for `program`.
+///
+/// Returns every violation found (empty = consistent). Each cell reports at
+/// most one violation per descending step, against the running maximum.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::{check_consistency, Label, Labeling};
+/// use systolic_model::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "cells 2\n\
+///      message A: c0 -> c1\n\
+///      message B: c0 -> c1\n\
+///      program c0 { W(A) W(B) }\n\
+///      program c1 { R(A) R(B) }\n",
+/// )?;
+/// // A=2, B=1 is inconsistent: both cells access 2 then 1.
+/// let bad = Labeling::from_labels(vec![Label::integer(2), Label::integer(1)]);
+/// assert_eq!(check_consistency(&p, &bad).len(), 2);
+/// // A=1, B=2 is consistent.
+/// let good = Labeling::from_labels(vec![Label::integer(1), Label::integer(2)]);
+/// assert!(check_consistency(&p, &good).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `labeling` covers fewer messages than `program` declares.
+#[must_use]
+pub fn check_consistency(program: &Program, labeling: &Labeling) -> Vec<ConsistencyViolation> {
+    assert!(
+        labeling.len() >= program.num_messages(),
+        "labeling must cover every declared message"
+    );
+    let mut violations = Vec::new();
+    for cell in program.cell_ids() {
+        let mut running: Option<(usize, MessageId, Label)> = None;
+        for (pos, op) in program.cell(cell).iter().enumerate() {
+            let label = labeling.label(op.message());
+            if let Some((earlier_pos, earlier_message, earlier_label)) = running {
+                if label < earlier_label {
+                    violations.push(ConsistencyViolation {
+                        cell,
+                        earlier_pos,
+                        earlier_message,
+                        earlier_label,
+                        later_pos: pos,
+                        later_message: op.message(),
+                        later_label: label,
+                    });
+                    // Keep the running max so a long descent is reported
+                    // once per offending access, not quadratically.
+                    continue;
+                }
+            }
+            match running {
+                Some((_, _, best)) if best >= label => {}
+                _ => running = Some((pos, op.message(), label)),
+            }
+        }
+    }
+    violations
+}
+
+/// `true` if `labeling` is consistent for `program`.
+#[must_use]
+pub fn is_consistent(program: &Program, labeling: &Labeling) -> bool {
+    check_consistency(program, labeling).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::parse_program;
+
+    fn two_msgs() -> Program {
+        parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A) W(B) W(A) }\n\
+             program c1 { R(A) R(B) R(A) }\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interleaved_access_requires_equal_labels() {
+        let p = two_msgs();
+        // A B A with distinct labels is inconsistent either way round.
+        for (a, b) in [(1, 2), (2, 1)] {
+            let l = Labeling::from_labels(vec![Label::integer(a), Label::integer(b)]);
+            assert!(!is_consistent(&p, &l), "labels A={a} B={b} must be inconsistent");
+        }
+        let equal = Labeling::from_labels(vec![Label::integer(1), Label::integer(1)]);
+        assert!(is_consistent(&p, &equal));
+    }
+
+    #[test]
+    fn trivial_labeling_is_always_consistent() {
+        let p = systolic_workloads::fig2_fir();
+        assert!(is_consistent(&p, &Labeling::trivial(&p)));
+    }
+
+    #[test]
+    fn violation_reports_positions_and_labels() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A) W(B) }\n\
+             program c1 { R(A) R(B) }\n",
+        )
+        .unwrap();
+        let bad = Labeling::from_labels(vec![Label::integer(3), Label::integer(1)]);
+        let vs = check_consistency(&p, &bad);
+        assert_eq!(vs.len(), 2);
+        let v = vs[0];
+        assert_eq!(v.cell, systolic_model::CellId::new(0));
+        assert_eq!(v.earlier_pos, 0);
+        assert_eq!(v.later_pos, 1);
+        assert_eq!(v.earlier_label, Label::integer(3));
+        assert_eq!(v.later_label, Label::integer(1));
+    }
+
+    #[test]
+    fn fractional_labels_order_correctly() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A) W(B) }\n\
+             program c1 { R(A) R(B) }\n",
+        )
+        .unwrap();
+        let l = Labeling::from_labels(vec![Label::ratio(3, 2), Label::integer(2)]);
+        assert!(is_consistent(&p, &l));
+        let l = Labeling::from_labels(vec![Label::integer(2), Label::ratio(3, 2)]);
+        assert!(!is_consistent(&p, &l));
+    }
+
+    #[test]
+    fn empty_program_is_consistent() {
+        let p = systolic_model::ProgramBuilder::new(1).build().unwrap();
+        assert!(is_consistent(&p, &Labeling::from_labels(vec![])));
+    }
+
+    #[test]
+    fn descending_staircase_counts_each_later_access_once() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             message C: c0 -> c1\n\
+             program c0 { W(A) W(B) W(C) }\n\
+             program c1 { R(A) R(B) R(C) }\n",
+        )
+        .unwrap();
+        let bad = Labeling::from_labels(vec![
+            Label::integer(3),
+            Label::integer(2),
+            Label::integer(1),
+        ]);
+        // Two descents per cell (3->2 and ->1), two cells.
+        assert_eq!(check_consistency(&p, &bad).len(), 4);
+    }
+}

@@ -1,0 +1,623 @@
+//! The crossing-off procedure (paper, Sections 3 and 8.1).
+//!
+//! A pair of operations `W(X)`, `R(X)` is *executable* when both can be
+//! reached at (or, with lookahead, near) the front of their cell programs.
+//! The procedure repeatedly crosses off executable pairs; a program is
+//! **deadlock-free** iff the procedure consumes every operation.
+//!
+//! Two variants, unified here:
+//!
+//! * **basic** (Section 3): both operations must be *the first remaining
+//!   statement* of their cell programs. Use [`LookaheadLimits::disabled`].
+//! * **lookahead** (Section 8.1): an operation may be located by scanning
+//!   past *write* operations only (rule **R1**), and for each message the
+//!   number of writes skipped in one scan may not exceed its queue-capacity
+//!   budget (rule **R2**), captured by [`LookaheadLimits`].
+//!
+//! Each *step* crosses off **all** currently-executable pairs at once, which
+//! is exactly how Fig. 4 of the paper presents the trace (steps 3, 5 and 9
+//! each cross off two pairs). The procedure is confluent — crossing a pair
+//! never disables another executable pair — so this choice affects only the
+//! trace layout, not the classification.
+
+use std::collections::BTreeMap;
+
+use systolic_model::{CellId, MessageId, Op, Program};
+
+use crate::LookaheadLimits;
+
+/// One crossed-off executable pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pair {
+    /// The message the pair transfers a word of.
+    pub message: MessageId,
+    /// Zero-based index of the word within the message.
+    pub word: usize,
+    /// Position of the `W` operation in the sender's program.
+    pub write_pos: usize,
+    /// Position of the `R` operation in the receiver's program.
+    pub read_pos: usize,
+    /// Writes skipped (message → count) while locating the pair's
+    /// operations, merged across the sender-side and receiver-side scans.
+    /// Empty unless lookahead was used. Drives the Section 8.2 co-labeling
+    /// rule and the queue-extension trigger.
+    pub skipped: BTreeMap<MessageId, usize>,
+}
+
+/// One step of the procedure: every pair that was executable simultaneously.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// Pairs crossed off in this step, in ascending message-id order.
+    pub pairs: Vec<Pair>,
+}
+
+/// The full record of a crossing-off run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// The steps, in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Appends a step (used by the labeling scheme's pair-at-a-time driver).
+    pub(crate) fn push_step(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Total number of pairs crossed off.
+    #[must_use]
+    pub fn total_pairs(&self) -> usize {
+        self.steps.iter().map(|s| s.pairs.len()).sum()
+    }
+
+    /// All pairs flattened in execution order (step order, then message id).
+    pub fn pairs(&self) -> impl Iterator<Item = &Pair> + '_ {
+        self.steps.iter().flat_map(|s| s.pairs.iter())
+    }
+
+    /// The highest number of writes of `message` skipped in any single scan
+    /// — the quantity rule R2 bounds, and the trigger for the iWarp
+    /// queue-extension mechanism (paper, Section 8.1).
+    #[must_use]
+    pub fn max_skips(&self, message: MessageId) -> usize {
+        self.pairs()
+            .filter_map(|p| p.skipped.get(&message).copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the trace in the paper's Fig. 4 style: one line per step,
+    /// listing the `W(X)/R(X)` pairs crossed off, using `program`'s message
+    /// names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references messages not declared in `program`.
+    #[must_use]
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let pairs: Vec<String> = step
+                .pairs
+                .iter()
+                .map(|p| {
+                    let name = program.message(p.message).name();
+                    if p.skipped.is_empty() {
+                        format!("W({name})/R({name})")
+                    } else {
+                        let skips: usize = p.skipped.values().sum();
+                        format!("W({name})/R({name}) [skipped {skips}]")
+                    }
+                })
+                .collect();
+            out.push_str(&format!("step {:>2}: {}\n", i + 1, pairs.join("  ")));
+        }
+        out
+    }
+}
+
+/// Why the procedure stalled, for deadlocked programs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StuckReport {
+    /// Per cell: the first remaining (un-crossed) operation and its
+    /// position, or `None` if the cell's program completed.
+    pub fronts: Vec<Option<(usize, Op)>>,
+    /// Total operations left un-crossed.
+    pub remaining_ops: usize,
+    /// Words successfully transferred before the stall.
+    pub crossed_words: usize,
+}
+
+/// The verdict of the crossing-off procedure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Classification {
+    /// Every operation was crossed off; the program is deadlock-free.
+    DeadlockFree(Trace),
+    /// The procedure stalled; the program is deadlocked.
+    Deadlocked {
+        /// Whatever was crossed off before the stall.
+        trace: Trace,
+        /// The stall state.
+        stuck: StuckReport,
+    },
+}
+
+impl Classification {
+    /// `true` if the program was classified deadlock-free.
+    #[must_use]
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(self, Classification::DeadlockFree(_))
+    }
+
+    /// The trace, regardless of verdict.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        match self {
+            Classification::DeadlockFree(t) => t,
+            Classification::Deadlocked { trace, .. } => trace,
+        }
+    }
+}
+
+/// Runs the basic crossing-off procedure (paper, Section 3).
+///
+/// # Examples
+///
+/// A message cycle that is nonetheless deadlock-free (paper, Fig. 6):
+///
+/// ```
+/// use systolic_core::classify;
+/// use systolic_model::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "cells 4\n\
+///      message A: c0 -> c1\n\
+///      message B: c1 -> c2\n\
+///      message C: c2 -> c3\n\
+///      message D: c3 -> c0\n\
+///      program c0 { W(A) R(D) }\n\
+///      program c1 { R(A) W(B) }\n\
+///      program c2 { R(B) W(C) }\n\
+///      program c3 { R(C) W(D) }\n",
+/// )?;
+/// assert!(classify(&p).is_deadlock_free());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn classify(program: &Program) -> Classification {
+    classify_with(program, &LookaheadLimits::disabled(program))
+}
+
+/// Runs the crossing-off procedure with lookahead (paper, Section 8.1).
+///
+/// With [`LookaheadLimits::disabled`] this is exactly [`classify`]; larger
+/// budgets classify more programs as deadlock-free, reflecting queue
+/// buffering capacity at run time.
+#[must_use]
+pub fn classify_with(program: &Program, limits: &LookaheadLimits) -> Classification {
+    let mut machine = Machine::new(program, limits);
+    let mut trace = Trace::default();
+    loop {
+        let pairs = machine.executable_pairs();
+        if pairs.is_empty() {
+            break;
+        }
+        for p in &pairs {
+            machine.cross(p);
+        }
+        trace.steps.push(Step { pairs });
+    }
+    if machine.remaining_ops() == 0 {
+        Classification::DeadlockFree(trace)
+    } else {
+        let stuck = machine.stuck_report(trace.total_pairs());
+        Classification::Deadlocked { trace, stuck }
+    }
+}
+
+/// Working state of one crossing-off run.
+///
+/// Shared between [`classify_with`] (which crosses maximal pair sets per
+/// step) and the labeling scheme (which crosses one pair at a time so labels
+/// are assigned in the order Section 6 prescribes).
+pub(crate) struct Machine<'p> {
+    program: &'p Program,
+    limits: &'p LookaheadLimits,
+    /// Per cell, per op position: crossed off yet?
+    crossed: Vec<Vec<bool>>,
+    /// Per cell: index of the first op not yet crossed.
+    front: Vec<usize>,
+    /// Per message: number of words crossed so far.
+    words_done: Vec<usize>,
+    /// Per cell: remaining (un-crossed) op count per message, for fast
+    /// "will this cell still access message X?" queries.
+    uncrossed_per_cell: Vec<BTreeMap<MessageId, usize>>,
+    remaining_ops: usize,
+}
+
+/// Result of scanning one cell program for a target operation.
+struct Located {
+    pos: usize,
+    skipped: BTreeMap<MessageId, usize>,
+}
+
+impl<'p> Machine<'p> {
+    pub(crate) fn new(program: &'p Program, limits: &'p LookaheadLimits) -> Self {
+        let mut uncrossed_per_cell: Vec<BTreeMap<MessageId, usize>> =
+            vec![BTreeMap::new(); program.num_cells()];
+        for cell in program.cell_ids() {
+            for op in program.cell(cell).iter() {
+                *uncrossed_per_cell[cell.index()].entry(op.message()).or_insert(0) += 1;
+            }
+        }
+        Machine {
+            program,
+            limits,
+            crossed: program.cells().iter().map(|cp| vec![false; cp.len()]).collect(),
+            front: vec![0; program.num_cells()],
+            words_done: vec![0; program.num_messages()],
+            uncrossed_per_cell,
+            remaining_ops: program.total_ops(),
+        }
+    }
+
+    pub(crate) fn remaining_ops(&self) -> usize {
+        self.remaining_ops
+    }
+
+    pub(crate) fn stuck_report(&self, crossed_words: usize) -> StuckReport {
+        StuckReport {
+            fronts: self
+                .program
+                .cell_ids()
+                .map(|c| {
+                    let f = self.front[c.index()];
+                    self.program.cell(c).get(f).map(|op| (f, op))
+                })
+                .collect(),
+            remaining_ops: self.remaining_ops,
+            crossed_words,
+        }
+    }
+
+    /// Remaining (un-crossed) accesses of `message` in `cell`'s program.
+    pub(crate) fn uncrossed_in_cell(&self, cell: CellId) -> &BTreeMap<MessageId, usize> {
+        &self.uncrossed_per_cell[cell.index()]
+    }
+
+    /// Finds every message whose next word's write *and* read are currently
+    /// locatable, in ascending message-id order.
+    pub(crate) fn executable_pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for m in self.program.message_ids() {
+            if self.words_done[m.index()] >= self.program.word_count(m) {
+                continue;
+            }
+            let decl = self.program.message(m);
+            let Some(w) = self.locate(decl.sender(), Op::write(m)) else {
+                continue;
+            };
+            let Some(r) = self.locate(decl.receiver(), Op::read(m)) else {
+                continue;
+            };
+            let mut skipped = w.skipped;
+            for (msg, n) in r.skipped {
+                *skipped.entry(msg).or_insert(0) += n;
+            }
+            out.push(Pair {
+                message: m,
+                word: self.words_done[m.index()],
+                write_pos: w.pos,
+                read_pos: r.pos,
+                skipped,
+            });
+        }
+        out
+    }
+
+    /// Scans `cell`'s program from its front for `target`, skipping only
+    /// un-crossed *write* operations (rule R1) within the per-message budget
+    /// (rule R2). Returns the position and the skip counts, or `None`.
+    fn locate(&self, cell: CellId, target: Op) -> Option<Located> {
+        let ops = self.program.cell(cell);
+        let crossed = &self.crossed[cell.index()];
+        let mut skipped: BTreeMap<MessageId, usize> = BTreeMap::new();
+        for pos in self.front[cell.index()]..ops.len() {
+            if crossed[pos] {
+                continue;
+            }
+            let op = ops.get(pos).expect("position in range");
+            if op == target {
+                return Some(Located { pos, skipped });
+            }
+            if op.is_read() {
+                // R1: only write operations may be skipped. If skipping reads
+                // were allowed, program P3 of Fig. 5 would be misclassified —
+                // a skipped read may feed the very write we are looking for.
+                return None;
+            }
+            let count = skipped.entry(op.message()).or_insert(0);
+            *count += 1;
+            if !self.limits.allows(op.message(), *count) {
+                // R2: budget exhausted for this message.
+                return None;
+            }
+        }
+        None
+    }
+
+    pub(crate) fn cross(&mut self, pair: &Pair) {
+        let decl = self.program.message(pair.message);
+        for (cell, pos) in [(decl.sender(), pair.write_pos), (decl.receiver(), pair.read_pos)] {
+            let flags = &mut self.crossed[cell.index()];
+            debug_assert!(!flags[pos], "op crossed twice");
+            flags[pos] = true;
+            self.remaining_ops -= 1;
+            let remaining = self.uncrossed_per_cell[cell.index()]
+                .get_mut(&pair.message)
+                .expect("crossed message is tracked");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.uncrossed_per_cell[cell.index()].remove(&pair.message);
+            }
+            // Advance the front past crossed ops.
+            let f = &mut self.front[cell.index()];
+            while *f < flags.len() && flags[*f] {
+                *f += 1;
+            }
+        }
+        self.words_done[pair.message.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{parse_program, ProgramBuilder};
+
+    /// Program P1 of Fig. 5, reconstructed from the Fig. 10 walkthrough.
+    fn p1() -> Program {
+        parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A) W(A) W(B) W(A) W(B) W(A) }\n\
+             program c1 { R(B) R(A) R(B) R(A) R(A) R(A) }\n",
+        )
+        .unwrap()
+    }
+
+    /// Program P2 of Fig. 5.
+    fn p2() -> Program {
+        parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c1 -> c0\n\
+             program c0 { W(A) R(B) }\n\
+             program c1 { W(B) R(A) }\n",
+        )
+        .unwrap()
+    }
+
+    /// Program P3 of Fig. 5: a true circular data dependency.
+    fn p3() -> Program {
+        parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\n\
+             program c1 { R(A) W(B) }\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trivial_send_receive_is_deadlock_free() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let c = classify(&p);
+        assert!(c.is_deadlock_free());
+        assert_eq!(c.trace().total_pairs(), 1);
+    }
+
+    #[test]
+    fn fig5_programs_are_deadlocked_without_lookahead() {
+        for (name, p) in [("P1", p1()), ("P2", p2()), ("P3", p3())] {
+            let c = classify(&p);
+            assert!(!c.is_deadlock_free(), "{name} must be deadlocked");
+            match c {
+                Classification::Deadlocked { trace, stuck } => {
+                    assert_eq!(trace.total_pairs(), 0, "{name}: no pair is executable");
+                    assert_eq!(stuck.remaining_ops, p.total_ops());
+                    assert!(stuck.fronts.iter().all(Option::is_some));
+                }
+                Classification::DeadlockFree(_) => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn p1_with_capacity_two_is_deadlock_free_fig10() {
+        let p = p1();
+        let limits = LookaheadLimits::uniform(&p, 2);
+        let c = classify_with(&p, &limits);
+        assert!(c.is_deadlock_free(), "Fig. 10: P1 is deadlock-free with 2-word queues");
+
+        // Golden trace from Fig. 10 (positions are 0-based here; the figure
+        // numbers steps from 1).
+        let trace = c.trace();
+        let a = MessageId::new(0);
+        let b = MessageId::new(1);
+
+        let first = &trace.steps()[0].pairs;
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].message, b);
+        assert_eq!(first[0].write_pos, 2, "W(B) in step 3 of the C1 program");
+        assert_eq!(first[0].read_pos, 0, "R(B) in step 1 of the C2 program");
+        assert_eq!(first[0].skipped.get(&a), Some(&2), "skipped the two W(A)s in steps 1-2");
+
+        let second = &trace.steps()[1].pairs;
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].message, a);
+        assert_eq!(second[0].write_pos, 0, "W(A) in step 1 of the C1 program");
+        assert_eq!(second[0].read_pos, 1, "R(A) in step 2 of the C2 program");
+
+        let third = &trace.steps()[2].pairs;
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0].message, b);
+        assert_eq!(third[0].write_pos, 4, "W(B) in step 5 of the C1 program");
+        assert_eq!(third[0].read_pos, 2, "R(B) in step 3 of the C2 program");
+        assert_eq!(third[0].skipped.get(&a), Some(&2), "skipped the W(A)s in steps 2 and 4");
+
+        assert_eq!(trace.max_skips(a), 2);
+        assert_eq!(trace.max_skips(b), 0);
+        assert_eq!(trace.total_pairs(), 6);
+    }
+
+    #[test]
+    fn p1_with_capacity_one_stays_deadlocked() {
+        let p = p1();
+        let c = classify_with(&p, &LookaheadLimits::uniform(&p, 1));
+        assert!(!c.is_deadlock_free(), "one word of buffering is not enough for P1");
+    }
+
+    #[test]
+    fn p2_with_any_buffering_is_deadlock_free() {
+        let p = p2();
+        assert!(classify_with(&p, &LookaheadLimits::uniform(&p, 1)).is_deadlock_free());
+    }
+
+    #[test]
+    fn p3_is_deadlocked_even_with_unbounded_lookahead() {
+        let p = p3();
+        // Rule R1: reads can never be skipped, so no buffering saves P3.
+        let c = classify_with(&p, &LookaheadLimits::unbounded(&p));
+        assert!(!c.is_deadlock_free());
+    }
+
+    #[test]
+    fn disabled_limits_reproduce_basic_procedure() {
+        // On a program with mixed results, the two entry points agree.
+        for p in [p1(), p2(), p3()] {
+            let basic = classify(&p);
+            let zero = classify_with(&p, &LookaheadLimits::disabled(&p));
+            assert_eq!(basic.is_deadlock_free(), zero.is_deadlock_free());
+            assert_eq!(basic.trace().total_pairs(), zero.trace().total_pairs());
+        }
+    }
+
+    #[test]
+    fn reversing_two_statements_breaks_fig2_style_program() {
+        // Section 3.2: "if the first two statements in the C3 program are
+        // reversed so that R(XC) follows W(YC), then the program is no longer
+        // deadlock-free." Miniature version of the same effect:
+        let good = parse_program(
+            "cells 2\n\
+             message X: c0 -> c1\n\
+             message Y: c1 -> c0\n\
+             program c0 { W(X) R(Y) }\n\
+             program c1 { R(X) W(Y) }\n",
+        )
+        .unwrap();
+        assert!(classify(&good).is_deadlock_free());
+
+        let bad = parse_program(
+            "cells 2\n\
+             message X: c0 -> c1\n\
+             message Y: c1 -> c0\n\
+             program c0 { W(X) R(Y) }\n\
+             program c1 { W(Y) R(X) }\n",
+        )
+        .unwrap();
+        assert!(!classify(&bad).is_deadlock_free());
+    }
+
+    #[test]
+    fn empty_program_is_deadlock_free() {
+        let p = ProgramBuilder::new(2).build().unwrap();
+        let c = classify(&p);
+        assert!(c.is_deadlock_free());
+        assert_eq!(c.trace().steps().len(), 0);
+    }
+
+    #[test]
+    fn multiple_pairs_cross_in_one_step() {
+        // Two independent transfers are simultaneously executable.
+        let p = parse_program(
+            "cells 4\n\
+             message A: c0 -> c1\n\
+             message B: c2 -> c3\n\
+             program c0 { W(A) }\n\
+             program c1 { R(A) }\n\
+             program c2 { W(B) }\n\
+             program c3 { R(B) }\n",
+        )
+        .unwrap();
+        let c = classify(&p);
+        assert!(c.is_deadlock_free());
+        let steps = c.trace().steps();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn stuck_report_points_at_blocking_fronts() {
+        let p = p3();
+        let Classification::Deadlocked { stuck, .. } = classify(&p) else {
+            panic!("P3 must be deadlocked")
+        };
+        // Both cells are stuck at their very first op, a read.
+        for front in &stuck.fronts {
+            let (pos, op) = front.expect("both cells have remaining ops");
+            assert_eq!(pos, 0);
+            assert!(op.is_read());
+        }
+    }
+
+    #[test]
+    fn word_indices_count_up_per_message() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*3 }\nprogram c1 { R(A)*3 }\n",
+        )
+        .unwrap();
+        let c = classify(&p);
+        let words: Vec<usize> = c.trace().pairs().map(|p| p.word).collect();
+        assert_eq!(words, vec![0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use systolic_workloads as wl;
+
+    #[test]
+    fn fig4_render_matches_paper_layout() {
+        let p = wl::fig2_fir();
+        let c = classify(&p);
+        let text = c.trace().render(&p);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 12, "Fig. 4 has 12 steps");
+        assert_eq!(lines[0], "step  1: W(XA)/R(XA)");
+        assert!(lines[2].contains("W(XA)/R(XA)") && lines[2].contains("W(XC)/R(XC)"));
+        assert!(lines[8].contains("W(YA)/R(YA)") && lines[8].contains("W(YC)/R(YC)"));
+    }
+
+    #[test]
+    fn lookahead_render_shows_skips() {
+        let p = wl::fig5_p1();
+        let limits = LookaheadLimits::uniform(&p, 2);
+        let c = classify_with(&p, &limits);
+        let text = c.trace().render(&p);
+        assert!(text.contains("[skipped 2]"), "{text}");
+    }
+}

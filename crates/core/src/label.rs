@@ -1,0 +1,237 @@
+//! Message labels: positive rational numbers with a total order.
+//!
+//! The labeling scheme (paper, Section 6) sometimes needs a label strictly
+//! between two existing labels — "the number may have to be a real number
+//! between two consecutive integers" — so labels are exact rationals rather
+//! than integers or floats.
+
+use core::fmt;
+
+/// A positive rational label.
+///
+/// Stored reduced with a positive denominator, so derived `Eq`/`Hash` agree
+/// with the mathematical value and `Ord` is the numeric order.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::Label;
+/// let two = Label::integer(2);
+/// let three = Label::integer(3);
+/// let mid = Label::midpoint(two, three);
+/// assert!(two < mid && mid < three);
+/// assert_eq!(mid.to_string(), "5/2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label {
+    num: i64,
+    den: i64, // invariant: den > 0, gcd(num, den) == 1
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.abs()
+}
+
+impl Label {
+    /// Creates the integer label `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 0`: the paper labels messages with *positive* numbers.
+    #[must_use]
+    pub fn integer(n: i64) -> Self {
+        assert!(n > 0, "labels are positive numbers");
+        Label { num: n, den: 1 }
+    }
+
+    /// Creates the rational label `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or if the value is not positive.
+    #[must_use]
+    pub fn ratio(num: i64, den: i64) -> Self {
+        assert!(den != 0, "denominator must be nonzero");
+        let (mut num, mut den) = (num, den);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        assert!(num > 0, "labels are positive numbers");
+        let g = gcd(num, den);
+        Label { num: num / g, den: den / g }
+    }
+
+    /// The label exactly halfway between `a` and `b`.
+    #[must_use]
+    pub fn midpoint(a: Label, b: Label) -> Self {
+        // (a.num/a.den + b.num/b.den) / 2, in i128 to dodge overflow, then
+        // reduced back down. Labels in practice stay tiny.
+        let num = i128::from(a.num) * i128::from(b.den) + i128::from(b.num) * i128::from(a.den);
+        let den = 2 * i128::from(a.den) * i128::from(b.den);
+        let g = {
+            let (mut x, mut y) = (num.abs(), den);
+            while y != 0 {
+                (x, y) = (y, x % y);
+            }
+            x
+        };
+        let (num, den) = (num / g, den / g);
+        Label {
+            num: i64::try_from(num).expect("label numerator overflow"),
+            den: i64::try_from(den).expect("label denominator overflow"),
+        }
+    }
+
+    /// Half of this label — a positive value strictly below `self`, used when
+    /// a label needs to sit below every existing label.
+    #[must_use]
+    pub fn halved(self) -> Self {
+        Label::ratio(self.num, self.den.checked_mul(2).expect("label denominator overflow"))
+    }
+
+    /// This label plus one.
+    #[must_use]
+    pub fn succ_integer(self) -> Self {
+        Label {
+            num: self.num.checked_add(self.den).expect("label numerator overflow"),
+            den: self.den,
+        }
+    }
+
+    /// The smallest integer label strictly greater than `self` — what rule
+    /// 1a uses for "a number larger than all other labels currently in use",
+    /// keeping fresh labels integral even after fractional rule-1b labels.
+    #[must_use]
+    pub fn next_integer_above(self) -> Self {
+        Label { num: self.num.div_euclid(self.den) + 1, den: 1 }
+    }
+
+    /// Numerator of the reduced representation.
+    #[must_use]
+    pub const fn numerator(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator of the reduced representation (always positive).
+    #[must_use]
+    pub const fn denominator(self) -> i64 {
+        self.den
+    }
+
+    /// `true` if the label is a whole number.
+    #[must_use]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        let lhs = i128::from(self.num) * i128::from(other.den);
+        let rhs = i128::from(other.num) * i128::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_labels_order() {
+        assert!(Label::integer(1) < Label::integer(2));
+        assert_eq!(Label::integer(3), Label::ratio(6, 2));
+    }
+
+    #[test]
+    fn ratio_reduces_and_normalizes_sign() {
+        let l = Label::ratio(-4, -6);
+        assert_eq!(l.numerator(), 2);
+        assert_eq!(l.denominator(), 3);
+        assert!(!l.is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_label_rejected() {
+        let _ = Label::integer(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_ratio_rejected() {
+        let _ = Label::ratio(-1, 2);
+    }
+
+    #[test]
+    fn midpoint_is_strictly_between() {
+        let a = Label::integer(2);
+        let b = Label::integer(3);
+        let m = Label::midpoint(a, b);
+        assert!(a < m && m < b);
+        assert_eq!(m, Label::ratio(5, 2));
+        // midpoint of equal labels is the label itself
+        assert_eq!(Label::midpoint(a, a), a);
+    }
+
+    #[test]
+    fn nested_midpoints_stay_ordered() {
+        let mut lo = Label::integer(1);
+        let hi = Label::integer(2);
+        for _ in 0..20 {
+            let mid = Label::midpoint(lo, hi);
+            assert!(lo < mid && mid < hi);
+            lo = mid;
+        }
+    }
+
+    #[test]
+    fn halved_and_succ() {
+        let one = Label::integer(1);
+        assert_eq!(one.halved(), Label::ratio(1, 2));
+        assert!(one.halved() < one);
+        assert_eq!(one.succ_integer(), Label::integer(2));
+        assert_eq!(Label::ratio(5, 2).succ_integer(), Label::ratio(7, 2));
+    }
+
+    #[test]
+    fn next_integer_above_rounds_up_strictly() {
+        assert_eq!(Label::integer(2).next_integer_above(), Label::integer(3));
+        assert_eq!(Label::ratio(5, 2).next_integer_above(), Label::integer(3));
+        assert_eq!(Label::ratio(1, 2).next_integer_above(), Label::integer(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Label::integer(7).to_string(), "7");
+        assert_eq!(Label::ratio(7, 2).to_string(), "7/2");
+    }
+
+    #[test]
+    fn eq_hash_agree_for_reduced_forms() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Label::ratio(2, 4));
+        assert!(set.contains(&Label::ratio(1, 2)));
+    }
+}

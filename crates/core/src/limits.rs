@@ -1,0 +1,143 @@
+//! Lookahead skip limits — rule R2 of the paper (Section 8.1).
+//!
+//! "The total number of write operations to a message that are skipped
+//! should not be greater than the total size of the queues that the message
+//! will cross." A message crossing `h` intervals whose queues each buffer
+//! `c` words may have at most `h·c` writes skipped over.
+
+use systolic_model::{MessageId, MessageRoutes, Program};
+
+/// Per-message bounds on how many of its writes lookahead may skip.
+///
+/// `None` means *unbounded*: the iWarp-style queue-extension mechanism is
+/// assumed available for that message, so skipped words can always spill
+/// into local memory (paper, Section 8.1). The number of skips is still
+/// recorded so the analysis can report when extension would actually engage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LookaheadLimits {
+    per_message: Vec<Option<usize>>,
+}
+
+impl LookaheadLimits {
+    /// No lookahead at all: zero skips for every message. With these limits
+    /// the crossing-off procedure degenerates to the basic Section 3 form.
+    #[must_use]
+    pub fn disabled(program: &Program) -> Self {
+        LookaheadLimits { per_message: vec![Some(0); program.num_messages()] }
+    }
+
+    /// The same skip budget for every message.
+    #[must_use]
+    pub fn uniform(program: &Program, limit: usize) -> Self {
+        LookaheadLimits { per_message: vec![Some(limit); program.num_messages()] }
+    }
+
+    /// Unbounded skipping for every message (queue extension everywhere).
+    #[must_use]
+    pub fn unbounded(program: &Program) -> Self {
+        LookaheadLimits { per_message: vec![None; program.num_messages()] }
+    }
+
+    /// Rule R2 proper: each message's budget is the total capacity of the
+    /// queues along its route — `num_hops × capacity_per_queue`.
+    #[must_use]
+    pub fn from_routes(routes: &MessageRoutes, capacity_per_queue: usize) -> Self {
+        LookaheadLimits {
+            per_message: routes
+                .iter()
+                .map(|(_, r)| Some(r.num_hops() * capacity_per_queue))
+                .collect(),
+        }
+    }
+
+    /// Builds limits from an explicit per-message table.
+    #[must_use]
+    pub fn from_table(per_message: Vec<Option<usize>>) -> Self {
+        LookaheadLimits { per_message }
+    }
+
+    /// The skip budget of `message` (`None` = unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message` is out of range.
+    #[must_use]
+    pub fn limit(&self, message: MessageId) -> Option<usize> {
+        self.per_message[message.index()]
+    }
+
+    /// `true` if `count` skips of `message` are within budget.
+    #[must_use]
+    pub fn allows(&self, message: MessageId, count: usize) -> bool {
+        match self.limit(message) {
+            Some(max) => count <= max,
+            None => true,
+        }
+    }
+
+    /// Number of messages covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_message.len()
+    }
+
+    /// `true` if no messages are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_message.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{ProgramBuilder, Topology};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new(3);
+        b.message("A", 0, 2).unwrap();
+        b.message("B", 0, 1).unwrap();
+        b.write(0, "A").unwrap().read(2, "A").unwrap();
+        b.write(0, "B").unwrap().read(1, "B").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disabled_allows_zero_only() {
+        let p = sample();
+        let l = LookaheadLimits::disabled(&p);
+        let m = MessageId::new(0);
+        assert!(l.allows(m, 0));
+        assert!(!l.allows(m, 1));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn uniform_and_unbounded() {
+        let p = sample();
+        let l = LookaheadLimits::uniform(&p, 2);
+        assert!(l.allows(MessageId::new(1), 2));
+        assert!(!l.allows(MessageId::new(1), 3));
+        let u = LookaheadLimits::unbounded(&p);
+        assert!(u.allows(MessageId::new(0), 10_000));
+        assert_eq!(u.limit(MessageId::new(0)), None);
+    }
+
+    #[test]
+    fn from_routes_multiplies_hops_by_capacity() {
+        let p = sample();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(3)).unwrap();
+        let l = LookaheadLimits::from_routes(&routes, 2);
+        // A crosses 2 intervals => budget 4; B crosses 1 => budget 2.
+        assert_eq!(l.limit(MessageId::new(0)), Some(4));
+        assert_eq!(l.limit(MessageId::new(1)), Some(2));
+    }
+
+    #[test]
+    fn from_table_roundtrip() {
+        let l = LookaheadLimits::from_table(vec![Some(1), None]);
+        assert_eq!(l.limit(MessageId::new(0)), Some(1));
+        assert_eq!(l.limit(MessageId::new(1)), None);
+    }
+}

@@ -1,0 +1,372 @@
+//! The end-to-end analysis pipeline (paper, Section 9's "major steps").
+//!
+//! 1. classify the program with the crossing-off procedure (must be
+//!    deadlock-free — the programmer/compiler's responsibility, checked
+//!    here);
+//! 2. produce a consistent labeling with the Section 6 scheme (verified
+//!    independently);
+//! 3. compute the competing sets and queue requirements, and check Theorem 1
+//!    assumption (ii) against the hardware's queue count;
+//! 4. emit the [`CommPlan`] a runtime enforces with compatible assignment.
+
+use systolic_model::{MessageId, MessageRoutes, Program, Topology};
+
+use crate::{
+    check_consistency, classify_with, label_messages, label_messages_robust, Classification,
+    CommPlan, CompetingSets, CoreError, Labeling, LabelingReport, LookaheadLimits,
+    QueueRequirements,
+};
+
+/// How much lookahead (queue buffering) the analysis may assume.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Lookahead {
+    /// None: queues are latches without buffering (paper, Sections 3–7).
+    #[default]
+    Disabled,
+    /// Rule R2 with a uniform per-queue capacity: each message may be
+    /// skipped up to `hops × capacity` times (paper, Section 8.1).
+    PerQueueCapacity(usize),
+    /// An explicit per-message budget table.
+    Explicit(LookaheadLimits),
+    /// Unbounded skipping — assumes the iWarp queue-extension mechanism.
+    Unbounded,
+}
+
+/// Configuration for [`analyze`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnalysisConfig {
+    /// Lookahead assumption for the crossing-off procedure.
+    pub lookahead: Lookahead,
+    /// Hardware queues available on every interval, for the feasibility
+    /// check (Theorem 1 assumption (ii)).
+    pub queues_per_interval: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig { lookahead: Lookahead::Disabled, queues_per_interval: 1 }
+    }
+}
+
+/// Which labeling scheme produced the plan's labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LabelingMethod {
+    /// The paper's Section 6 scheme succeeded.
+    Section6,
+    /// The Section 6 scheme wedged (see `label_messages_robust` for why it
+    /// can); the complete constraint-solving scheme was used instead.
+    ConstraintSolver,
+}
+
+/// A successful end-to-end analysis.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    classification: Classification,
+    labeling_report: Option<LabelingReport>,
+    labeling_method: LabelingMethod,
+    plan: CommPlan,
+    limits: LookaheadLimits,
+}
+
+impl Analysis {
+    /// The crossing-off verdict and trace (always deadlock-free here).
+    #[must_use]
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The Section 6 labeling report (labels plus provenance), when that
+    /// scheme succeeded; `None` when the constraint solver was used.
+    #[must_use]
+    pub fn labeling_report(&self) -> Option<&LabelingReport> {
+        self.labeling_report.as_ref()
+    }
+
+    /// Which labeling scheme produced the plan's labels.
+    #[must_use]
+    pub fn labeling_method(&self) -> LabelingMethod {
+        self.labeling_method
+    }
+
+    /// The certified communication plan.
+    #[must_use]
+    pub fn plan(&self) -> &CommPlan {
+        &self.plan
+    }
+
+    /// Consumes the analysis, returning the plan.
+    #[must_use]
+    pub fn into_plan(self) -> CommPlan {
+        self.plan
+    }
+
+    /// The lookahead limits that were actually applied.
+    #[must_use]
+    pub fn limits(&self) -> &LookaheadLimits {
+        &self.limits
+    }
+
+    /// Messages whose worst-case skip count exceeds `capacity` words of
+    /// buffering along their route — exactly the messages for which the
+    /// iWarp queue-extension mechanism "needs to be invoked" (Section 8.1).
+    #[must_use]
+    pub fn extension_candidates(&self, per_message_capacity: &[usize]) -> Vec<(MessageId, usize)> {
+        let trace = self.classification.trace();
+        (0..self.plan.labeling().len())
+            .map(|i| MessageId::new(i as u32))
+            .filter_map(|m| {
+                let skips = trace.max_skips(m);
+                let cap = per_message_capacity.get(m.index()).copied().unwrap_or(0);
+                (skips > cap).then_some((m, skips))
+            })
+            .collect()
+    }
+}
+
+/// Runs the full pipeline. See the module docs for the stages.
+///
+/// # Errors
+///
+/// * [`CoreError::Model`] if routing fails (cell-count mismatch, no route);
+/// * [`CoreError::ProgramDeadlocked`] if the crossing-off procedure stalls;
+/// * [`CoreError::LabelConflict`] if labeling fails (not expected for
+///   programs that classify as deadlock-free);
+/// * [`CoreError::Infeasible`] if an interval needs more queues than
+///   `config.queues_per_interval`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::{analyze, AnalysisConfig};
+/// use systolic_model::{parse_program, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "cells 2\n\
+///      message A: c0 -> c1\n\
+///      program c0 { W(A)*3 }\n\
+///      program c1 { R(A)*3 }\n",
+/// )?;
+/// let analysis = analyze(&p, &Topology::linear(2), &AnalysisConfig::default())?;
+/// assert!(analysis.classification().is_deadlock_free());
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(
+    program: &Program,
+    topology: &Topology,
+    config: &AnalysisConfig,
+) -> Result<Analysis, CoreError> {
+    let routes = MessageRoutes::compute(program, topology)?;
+    let limits = match &config.lookahead {
+        Lookahead::Disabled => LookaheadLimits::disabled(program),
+        Lookahead::PerQueueCapacity(c) => LookaheadLimits::from_routes(&routes, *c),
+        Lookahead::Explicit(l) => l.clone(),
+        Lookahead::Unbounded => LookaheadLimits::unbounded(program),
+    };
+
+    let classification = classify_with(program, &limits);
+    if let Classification::Deadlocked { trace, stuck } = &classification {
+        return Err(CoreError::ProgramDeadlocked {
+            crossed_words: trace.total_pairs(),
+            remaining_ops: stuck.remaining_ops,
+        });
+    }
+
+    // The paper's Section 6 scheme first; when it wedges (its rules 1a/1c/1d
+    // are not complete — see `label_messages_robust`), fall back to the
+    // constraint-solving scheme, which always succeeds on deadlock-free
+    // programs.
+    let (labeling, labeling_report, labeling_method): (Labeling, Option<LabelingReport>, _) =
+        match label_messages(program, &limits) {
+            Ok(report) => {
+                let labeling = report.labeling().clone();
+                (labeling, Some(report), LabelingMethod::Section6)
+            }
+            Err(CoreError::LabelConflict { .. } | CoreError::InconsistentLabeling { .. }) => (
+                label_messages_robust(program, &limits)?,
+                None,
+                LabelingMethod::ConstraintSolver,
+            ),
+            Err(other) => return Err(other),
+        };
+    debug_assert!(
+        check_consistency(program, &labeling).is_empty(),
+        "labeling schemes must produce consistent labelings"
+    );
+
+    let competing = CompetingSets::compute(&routes);
+    let requirements = QueueRequirements::compute(&competing, &labeling);
+    requirements.check_feasible(config.queues_per_interval)?;
+
+    let plan = CommPlan::new(labeling, routes, competing, requirements);
+    Ok(Analysis { classification, labeling_report, labeling_method, plan, limits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::parse_program;
+
+    fn fig7_text() -> &'static str {
+        "cells 4\n\
+         message A: c1 -> c2\n\
+         message B: c2 -> c3\n\
+         message C: c0 -> c3\n\
+         program c0 { W(C)*3 }\n\
+         program c1 { W(A)*4 }\n\
+         program c2 { R(A)*4 W(B)*3 }\n\
+         program c3 { R(C)*3 R(B)*3 }\n"
+    }
+
+    #[test]
+    fn full_pipeline_on_fig7() {
+        let p = parse_program(fig7_text()).unwrap();
+        let a = analyze(&p, &Topology::linear(4), &AnalysisConfig::default()).unwrap();
+        assert!(a.classification().is_deadlock_free());
+        assert_eq!(a.plan().requirements().max_per_interval(), 1);
+        assert!(a.extension_candidates(&[0, 0, 0]).is_empty());
+    }
+
+    #[test]
+    fn deadlocked_program_fails_the_pipeline() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\n\
+             program c1 { R(A) W(B) }\n",
+        )
+        .unwrap();
+        let err = analyze(&p, &Topology::linear(2), &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::ProgramDeadlocked { .. }));
+    }
+
+    #[test]
+    fn infeasible_queue_count_fails_the_pipeline() {
+        // Fig. 9: two same-label messages on one hop need 2 queues.
+        let p = parse_program(
+            "cells 3\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c2\n\
+             program c0 { W(A) W(B) W(A) W(A) W(B) W(B) W(A) }\n\
+             program c1 { R(A)*4 }\n\
+             program c2 { R(B)*3 }\n",
+        )
+        .unwrap();
+        let config = AnalysisConfig { queues_per_interval: 1, ..Default::default() };
+        let err = analyze(&p, &Topology::linear(3), &config).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
+
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        assert!(analyze(&p, &Topology::linear(3), &config).is_ok());
+    }
+
+    #[test]
+    fn lookahead_unlocks_p1() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A) W(A) W(B) W(A) W(B) W(A) }\n\
+             program c1 { R(B) R(A) R(B) R(A) R(A) R(A) }\n",
+        )
+        .unwrap();
+        // Without lookahead: deadlocked.
+        let err = analyze(&p, &Topology::linear(2), &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::ProgramDeadlocked { .. }));
+
+        // With 2 words of buffering per queue: fine, but A and B now share a
+        // label (Section 8.2), so the hop needs 2 queues.
+        let config = AnalysisConfig {
+            lookahead: Lookahead::PerQueueCapacity(2),
+            queues_per_interval: 2,
+        };
+        let a = analyze(&p, &Topology::linear(2), &config).unwrap();
+        assert_eq!(a.plan().requirements().max_per_interval(), 2);
+
+        // ... and with only one hardware queue that is infeasible.
+        let config = AnalysisConfig {
+            lookahead: Lookahead::PerQueueCapacity(2),
+            queues_per_interval: 1,
+        };
+        let err = analyze(&p, &Topology::linear(2), &config).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn unbounded_lookahead_reports_extension_candidates() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A)*4 W(B) }\n\
+             program c1 { R(B) R(A)*4 }\n",
+        )
+        .unwrap();
+        let config = AnalysisConfig {
+            lookahead: Lookahead::Unbounded,
+            queues_per_interval: 2,
+        };
+        let a = analyze(&p, &Topology::linear(2), &config).unwrap();
+        // Locating W(B) skips 4 writes of A; with only 2 words of route
+        // capacity, A needs the queue-extension mechanism.
+        let m_a = p.message_id("A").unwrap();
+        let candidates = a.extension_candidates(&[2, 2]);
+        assert_eq!(candidates, vec![(m_a, 4)]);
+        // With 4 words of capacity nothing needs extension.
+        assert!(a.extension_candidates(&[4, 4]).is_empty());
+    }
+
+    #[test]
+    fn cell_count_mismatch_is_a_model_error() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let err = analyze(&p, &Topology::linear(3), &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn analysis_exposes_limits_and_report() {
+        let p = parse_program(fig7_text()).unwrap();
+        let config = AnalysisConfig {
+            lookahead: Lookahead::PerQueueCapacity(1),
+            queues_per_interval: 2,
+        };
+        let a = analyze(&p, &Topology::linear(4), &config).unwrap();
+        assert_eq!(a.limits().len(), 3);
+        assert_eq!(a.labeling_report().unwrap().labeling().len(), 3);
+        assert_eq!(a.labeling_method(), LabelingMethod::Section6);
+    }
+
+    #[test]
+    fn pipeline_falls_back_to_constraint_solver_on_wedge() {
+        // The 6-cell witness where the literal Section 6 scheme wedges.
+        let p = parse_program(
+            "cells 6\n\
+             message M0: c5 -> c2\n\
+             message M1: c1 -> c4\n\
+             message M2: c3 -> c0\n\
+             message M3: c0 -> c4\n\
+             message M4: c4 -> c2\n\
+             message M5: c0 -> c4\n\
+             message M6: c2 -> c1\n\
+             message M7: c4 -> c2\n\
+             message M8: c2 -> c3\n\
+             program c0 { W(M5) W(M5) R(M2) W(M3) }\n\
+             program c1 { R(M6) R(M6) W(M1) W(M1) }\n\
+             program c2 { R(M4) R(M4) W(M6) W(M6) W(M8) R(M7) R(M7) R(M0) R(M0) }\n\
+             program c3 { R(M8) W(M2) }\n\
+             program c4 { W(M4) W(M4) R(M5) R(M5) R(M1) R(M3) R(M1) W(M7) W(M7) }\n\
+             program c5 { W(M0) W(M0) }\n",
+        )
+        .unwrap();
+        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let a = analyze(&p, &Topology::linear(6), &config).unwrap();
+        assert_eq!(a.labeling_method(), LabelingMethod::ConstraintSolver);
+        assert!(a.labeling_report().is_none());
+        assert!(crate::is_consistent(&p, a.plan().labeling()));
+    }
+}

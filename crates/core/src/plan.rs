@@ -1,0 +1,110 @@
+//! The communication plan: the certified artifact handed to a runtime.
+//!
+//! A [`CommPlan`] bundles everything Theorem 1 needs at run time: the
+//! consistent labeling (for ordered/simultaneous assignment), the message
+//! routes (which queues each message will ask for), the competing sets and
+//! the queue requirements (assumption (ii)).
+
+use systolic_model::{MessageId, MessageRoutes, Route};
+
+use crate::{CompetingSets, Label, Labeling, QueueRequirements};
+
+/// A compiled deadlock-avoidance plan for one program on one topology.
+///
+/// Construct via [`analyze`](crate::analyze); the pieces can also be
+/// assembled by hand for experiments (e.g. swapping in the trivial
+/// labeling).
+#[derive(Clone, Debug)]
+pub struct CommPlan {
+    labeling: Labeling,
+    routes: MessageRoutes,
+    competing: CompetingSets,
+    requirements: QueueRequirements,
+}
+
+impl CommPlan {
+    /// Assembles a plan from its parts.
+    #[must_use]
+    pub fn new(
+        labeling: Labeling,
+        routes: MessageRoutes,
+        competing: CompetingSets,
+        requirements: QueueRequirements,
+    ) -> Self {
+        CommPlan { labeling, routes, competing, requirements }
+    }
+
+    /// The message labeling.
+    #[must_use]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The label of one message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn label(&self, m: MessageId) -> Label {
+        self.labeling.label(m)
+    }
+
+    /// All message routes.
+    #[must_use]
+    pub fn routes(&self) -> &MessageRoutes {
+        &self.routes
+    }
+
+    /// The route of one message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn route(&self, m: MessageId) -> &Route {
+        self.routes.route(m)
+    }
+
+    /// The competing-message sets.
+    #[must_use]
+    pub fn competing(&self) -> &CompetingSets {
+        &self.competing
+    }
+
+    /// The queue requirements (Theorem 1 assumption (ii) data).
+    #[must_use]
+    pub fn requirements(&self) -> &QueueRequirements {
+        &self.requirements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{label_messages, LookaheadLimits};
+    use systolic_model::{parse_program, Topology};
+
+    #[test]
+    fn plan_exposes_its_parts() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let routes = MessageRoutes::compute(&p, &Topology::linear(2)).unwrap();
+        let competing = CompetingSets::compute(&routes);
+        let labeling = label_messages(&p, &LookaheadLimits::disabled(&p))
+            .unwrap()
+            .into_labeling();
+        let requirements = QueueRequirements::compute(&competing, &labeling);
+        let plan = CommPlan::new(labeling, routes, competing, requirements);
+
+        let a = p.message_id("A").unwrap();
+        assert_eq!(plan.label(a), Label::integer(1));
+        assert_eq!(plan.route(a).num_hops(), 1);
+        assert_eq!(plan.requirements().max_per_interval(), 1);
+        assert_eq!(plan.competing().len(), 1);
+        assert_eq!(plan.labeling().len(), 1);
+        assert_eq!(plan.routes().len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Paper-style rendering helpers: cell programs side by side, as in the
+//! figures of the paper.
+
+use crate::{CellId, Program};
+
+/// Serializes a program to the text format accepted by
+/// [`parse_program`](crate::parse_program), so programs round-trip:
+/// `parse_program(&program_to_text(&p))? == p`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{parse_program, program_to_text};
+///
+/// # fn main() -> Result<(), systolic_model::ModelError> {
+/// let p = parse_program(
+///     "cells 2\n\
+///      message A: c0 -> c1\n\
+///      program c0 { W(A)*2 }\n\
+///      program c1 { R(A) R(A) }\n",
+/// )?;
+/// let text = program_to_text(&p);
+/// assert_eq!(parse_program(&text)?, p);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn program_to_text(program: &Program) -> String {
+    let mut out = String::from("cells");
+    for cell in program.cell_ids() {
+        out.push(' ');
+        out.push_str(program.cell_name(cell));
+    }
+    out.push('\n');
+    for decl in program.messages() {
+        out.push_str(&format!(
+            "message {}: {} -> {}\n",
+            decl.name(),
+            program.cell_name(decl.sender()),
+            program.cell_name(decl.receiver()),
+        ));
+    }
+    for cell in program.cell_ids() {
+        out.push_str(&format!("program {} {{", program.cell_name(cell)));
+        for op in program.cell(cell).iter() {
+            out.push_str(&format!(
+                " {}({})",
+                op.kind(),
+                program.message(op.message()).name()
+            ));
+        }
+        out.push_str(" }\n");
+    }
+    out
+}
+
+/// Renders the cell programs in side-by-side columns, one row per step,
+/// like Figs. 2 and 5 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{parse_program, side_by_side};
+///
+/// # fn main() -> Result<(), systolic_model::ModelError> {
+/// let p = parse_program(
+///     "cells 2\n\
+///      message A: c0 -> c1\n\
+///      program c0 { W(A) }\n\
+///      program c1 { R(A) }\n",
+/// )?;
+/// let table = side_by_side(&p);
+/// assert!(table.contains("c0"));
+/// assert!(table.contains("W(A)"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn side_by_side(program: &Program) -> String {
+    let num_cells = program.num_cells();
+    let rows = program
+        .cells()
+        .iter()
+        .map(|cp| cp.len())
+        .max()
+        .unwrap_or(0);
+
+    // Render every op with the message's *name*, as the paper does.
+    let rendered: Vec<Vec<String>> = program
+        .cells()
+        .iter()
+        .map(|cp| {
+            cp.iter()
+                .map(|op| format!("{}({})", op.kind(), program.message(op.message()).name()))
+                .collect()
+        })
+        .collect();
+
+    let mut widths: Vec<usize> = (0..num_cells)
+        .map(|i| {
+            let header = program.cell_name(CellId::new(i as u32)).len();
+            rendered[i]
+                .iter()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(header)
+        })
+        .collect();
+    for w in &mut widths {
+        *w += 2;
+    }
+
+    let mut out = String::new();
+    for i in 0..num_cells {
+        let name = program.cell_name(CellId::new(i as u32));
+        out.push_str(&format!("{name:<width$}", width = widths[i]));
+    }
+    out.push('\n');
+    for i in 0..num_cells {
+        out.push_str(&format!("{:-<width$}", "", width = widths[i].saturating_sub(2)));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in 0..rows {
+        for i in 0..num_cells {
+            let cell_text = rendered[i].get(row).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{cell_text:<width$}", width = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn renders_column_per_cell() {
+        let p = parse_program(
+            "cells c0 c1\n\
+             message A: c0 -> c1\n\
+             program c0 { W(A) W(A) }\n\
+             program c1 { R(A) R(A) }\n",
+        )
+        .unwrap();
+        let s = side_by_side(&p);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("c0") && lines[0].contains("c1"));
+        // two header lines + two op rows
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("W(A)") && lines[2].contains("R(A)"));
+    }
+
+    #[test]
+    fn uneven_cell_lengths_pad_with_blanks() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             program c0 { W(A) W(A) W(A) }\n\
+             program c1 { R(A)*3 }\n",
+        )
+        .unwrap();
+        let s = side_by_side(&p);
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_program_renders_headers_only() {
+        let p = parse_program("cells 2\n").unwrap();
+        let s = side_by_side(&p);
+        assert_eq!(s.lines().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod serialize_tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn roundtrips_named_cells_and_multiline_programs() {
+        let p = parse_program(
+            "cells host c1 c2\n\
+             message XA: host -> c1\n\
+             message YA: c1 -> host\n\
+             message XB: c1 -> c2\n\
+             program host { W(XA) W(XA) R(YA) }\n\
+             program c1 { R(XA) W(XB) R(XA) W(YA) }\n\
+             program c2 { R(XB) }\n",
+        )
+        .unwrap();
+        let text = program_to_text(&p);
+        assert_eq!(parse_program(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrips_empty_cells() {
+        let p = parse_program("cells 3\nmessage A: c0 -> c2\nprogram c0 { W(A) }\nprogram c2 { R(A) }\n").unwrap();
+        let text = program_to_text(&p);
+        assert_eq!(parse_program(&text).unwrap(), p);
+        assert!(text.contains("program c1 { }"));
+    }
+}

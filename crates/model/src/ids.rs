@@ -1,0 +1,322 @@
+//! Newtyped identifiers for cells, messages, queues and intervals.
+//!
+//! Following C-NEWTYPE, each entity in the model gets its own id type so the
+//! compiler keeps cell indices, message indices and queue indices from being
+//! confused with one another.
+
+use core::fmt;
+
+/// Identifier of a cell (processing element) in the array.
+///
+/// The paper treats the host as "just another cell"; by convention the host,
+/// when present, is cell `0`, but nothing in the library special-cases it.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::CellId;
+/// let c = CellId::new(2);
+/// assert_eq!(c.index(), 2);
+/// assert_eq!(c.to_string(), "c2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Creates a cell id from an array index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        CellId(index)
+    }
+
+    /// Returns the underlying array index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for CellId {
+    fn from(v: u32) -> Self {
+        CellId(v)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a declared message.
+///
+/// Messages are declared prior to program execution (paper, Section 2.1);
+/// a `MessageId` indexes the declaration table of a
+/// [`Program`](crate::Program).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MessageId(u32);
+
+impl MessageId {
+    /// Creates a message id from a declaration-table index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        MessageId(index)
+    }
+
+    /// Returns the underlying declaration-table index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for MessageId {
+    fn from(v: u32) -> Self {
+        MessageId(v)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An *interval*: the link between two adjacent cells (paper, Section 2.3).
+///
+/// Intervals are undirected; the pair is stored normalized with the smaller
+/// cell id first so that `Interval::new(a, b) == Interval::new(b, a)`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{CellId, Interval};
+/// let i = Interval::new(CellId::new(3), CellId::new(2));
+/// assert_eq!(i.lo(), CellId::new(2));
+/// assert_eq!(i.hi(), CellId::new(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Interval {
+    lo: CellId,
+    hi: CellId,
+}
+
+impl Interval {
+    /// Creates the interval between two cells, normalizing the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`: a cell has no interval with itself.
+    #[must_use]
+    pub fn new(a: CellId, b: CellId) -> Self {
+        assert!(a != b, "an interval requires two distinct cells");
+        if a < b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// The endpoint with the smaller cell id.
+    #[must_use]
+    pub const fn lo(self) -> CellId {
+        self.lo
+    }
+
+    /// The endpoint with the larger cell id.
+    #[must_use]
+    pub const fn hi(self) -> CellId {
+        self.hi
+    }
+
+    /// Returns `true` if `cell` is one of the interval's endpoints.
+    #[must_use]
+    pub fn touches(self, cell: CellId) -> bool {
+        self.lo == cell || self.hi == cell
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not an endpoint of this interval.
+    #[must_use]
+    pub fn other(self, cell: CellId) -> CellId {
+        if cell == self.lo {
+            self.hi
+        } else if cell == self.hi {
+            self.lo
+        } else {
+            panic!("{cell} is not an endpoint of {self}")
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+/// A directed crossing of an interval: one hop of a message's route.
+///
+/// Two messages *compete* when they cross the same interval in the same
+/// direction (paper, Section 2.3), so the direction matters and is kept
+/// distinct from the undirected [`Interval`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Hop {
+    from: CellId,
+    to: CellId,
+}
+
+impl Hop {
+    /// Creates a directed hop between two (adjacent) cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    #[must_use]
+    pub fn new(from: CellId, to: CellId) -> Self {
+        assert!(from != to, "a hop requires two distinct cells");
+        Hop { from, to }
+    }
+
+    /// Source cell of the hop.
+    #[must_use]
+    pub const fn from(self) -> CellId {
+        self.from
+    }
+
+    /// Destination cell of the hop.
+    #[must_use]
+    pub const fn to(self) -> CellId {
+        self.to
+    }
+
+    /// The undirected interval this hop crosses.
+    #[must_use]
+    pub fn interval(self) -> Interval {
+        Interval::new(self.from, self.to)
+    }
+
+    /// The same interval crossed in the opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Hop {
+        Hop { from: self.to, to: self.from }
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// Identifier of one physical queue within an interval's pool.
+///
+/// The hardware provides a fixed number of queues per interval (paper,
+/// Section 2.3); `index` selects one of them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QueueId {
+    interval: Interval,
+    index: u32,
+}
+
+impl QueueId {
+    /// Creates a queue id for queue number `index` of `interval`.
+    #[must_use]
+    pub const fn new(interval: Interval, index: u32) -> Self {
+        QueueId { interval, index }
+    }
+
+    /// The interval this queue belongs to.
+    #[must_use]
+    pub const fn interval(self) -> Interval {
+        self.interval
+    }
+
+    /// The queue's index within its interval's pool.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.interval, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let c = CellId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.as_u32(), 7);
+        assert_eq!(CellId::from(7), c);
+        assert_eq!(c.to_string(), "c7");
+    }
+
+    #[test]
+    fn message_id_roundtrip() {
+        let m = MessageId::new(3);
+        assert_eq!(m.index(), 3);
+        assert_eq!(MessageId::from(3), m);
+        assert_eq!(m.to_string(), "m3");
+    }
+
+    #[test]
+    fn interval_normalizes_order() {
+        let a = CellId::new(1);
+        let b = CellId::new(2);
+        assert_eq!(Interval::new(a, b), Interval::new(b, a));
+        assert_eq!(Interval::new(b, a).lo(), a);
+        assert_eq!(Interval::new(b, a).hi(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct cells")]
+    fn interval_rejects_self_loop() {
+        let _ = Interval::new(CellId::new(1), CellId::new(1));
+    }
+
+    #[test]
+    fn interval_other_endpoint() {
+        let i = Interval::new(CellId::new(0), CellId::new(1));
+        assert_eq!(i.other(CellId::new(0)), CellId::new(1));
+        assert_eq!(i.other(CellId::new(1)), CellId::new(0));
+        assert!(i.touches(CellId::new(0)));
+        assert!(!i.touches(CellId::new(2)));
+    }
+
+    #[test]
+    fn hop_interval_and_reverse() {
+        let h = Hop::new(CellId::new(3), CellId::new(2));
+        assert_eq!(h.interval(), Interval::new(CellId::new(2), CellId::new(3)));
+        assert_eq!(h.reversed().from(), CellId::new(2));
+        assert_eq!(h.to_string(), "c3->c2");
+    }
+
+    #[test]
+    fn queue_id_display() {
+        let q = QueueId::new(Interval::new(CellId::new(0), CellId::new(1)), 2);
+        assert_eq!(q.to_string(), "c0-c1#2");
+        assert_eq!(q.index(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Message declarations (paper, Section 2.1).
+//!
+//! A message is a sequence of words sent from one cell (the *sender*) to
+//! another (the *receiver*). All messages are declared prior to program
+//! execution; the declaration identifies the sender and receiver of every
+//! message the program will ever use.
+
+use core::fmt;
+
+use crate::{CellId, MessageId, ModelError};
+
+/// Declaration of one message: its name, sender and receiver.
+///
+/// The message's *length* (number of words) is not part of the declaration;
+/// it is implied by the number of `W` operations in the sender's program and
+/// validated against the number of `R` operations in the receiver's.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{CellId, MessageDecl};
+/// let decl = MessageDecl::new("XA", CellId::new(0), CellId::new(1)).unwrap();
+/// assert_eq!(decl.name(), "XA");
+/// assert_eq!(decl.sender(), CellId::new(0));
+/// assert_eq!(decl.receiver(), CellId::new(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MessageDecl {
+    name: String,
+    sender: CellId,
+    receiver: CellId,
+}
+
+impl MessageDecl {
+    /// Declares a message `name` from `sender` to `receiver`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SelfMessage`] if `sender == receiver`; a cell
+    /// does not send messages to itself under the systolic model.
+    pub fn new(
+        name: impl Into<String>,
+        sender: CellId,
+        receiver: CellId,
+    ) -> Result<Self, ModelError> {
+        if sender == receiver {
+            return Err(ModelError::SelfMessage {
+                message: MessageId::new(0),
+                cell: sender,
+            });
+        }
+        Ok(MessageDecl { name: name.into(), sender, receiver })
+    }
+
+    /// The message's declared name (e.g. `"XA"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell at which the message originates.
+    #[must_use]
+    pub const fn sender(&self) -> CellId {
+        self.sender
+    }
+
+    /// The cell at which the message terminates.
+    #[must_use]
+    pub const fn receiver(&self) -> CellId {
+        self.receiver
+    }
+}
+
+impl fmt::Display for MessageDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.name, self.sender, self.receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_and_displays() {
+        let d = MessageDecl::new("YB", CellId::new(2), CellId::new(1)).unwrap();
+        assert_eq!(d.to_string(), "YB: c2 -> c1");
+    }
+
+    #[test]
+    fn rejects_self_message() {
+        let err = MessageDecl::new("A", CellId::new(1), CellId::new(1)).unwrap_err();
+        assert!(matches!(err, ModelError::SelfMessage { .. }));
+    }
+}

@@ -1,0 +1,158 @@
+//! Read and write operations — the only statements the deadlock-avoidance
+//! machinery needs to see (paper, Section 2.2).
+
+use core::fmt;
+
+use crate::MessageId;
+
+/// The kind of an operation: read or write.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OpKind {
+    /// `R(X)`: read one word from the front of message X's queue.
+    Read,
+    /// `W(X)`: write one word to the back of message X's queue.
+    Write,
+}
+
+impl OpKind {
+    /// The complementary kind (`Read` ↔ `Write`).
+    #[must_use]
+    pub const fn opposite(self) -> OpKind {
+        match self {
+            OpKind::Read => OpKind::Write,
+            OpKind::Write => OpKind::Read,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("R"),
+            OpKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One statement of a cell program: `R(X)` or `W(X)` on a declared message.
+///
+/// Per the paper's abstraction, computation statements are dropped — the
+/// deadlock-avoidance strategy "uses only syntactic information in a program
+/// given by the write and read operations to messages" (Section 2.2), and all
+/// operations are assumed known at compile time (data-independent control).
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{MessageId, Op, OpKind};
+/// let op = Op::write(MessageId::new(0));
+/// assert_eq!(op.kind(), OpKind::Write);
+/// assert_eq!(op.message(), MessageId::new(0));
+/// assert!(op.is_write());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Op {
+    kind: OpKind,
+    message: MessageId,
+}
+
+impl Op {
+    /// Creates an operation of the given kind on `message`.
+    #[must_use]
+    pub const fn new(kind: OpKind, message: MessageId) -> Self {
+        Op { kind, message }
+    }
+
+    /// Creates `R(message)`.
+    #[must_use]
+    pub const fn read(message: MessageId) -> Self {
+        Op::new(OpKind::Read, message)
+    }
+
+    /// Creates `W(message)`.
+    #[must_use]
+    pub const fn write(message: MessageId) -> Self {
+        Op::new(OpKind::Write, message)
+    }
+
+    /// The operation's kind.
+    #[must_use]
+    pub const fn kind(self) -> OpKind {
+        self.kind
+    }
+
+    /// The message operated on.
+    #[must_use]
+    pub const fn message(self) -> MessageId {
+        self.message
+    }
+
+    /// `true` for `R(X)`.
+    #[must_use]
+    pub const fn is_read(self) -> bool {
+        matches!(self.kind, OpKind::Read)
+    }
+
+    /// `true` for `W(X)`.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self.kind, OpKind::Write)
+    }
+
+    /// Returns `true` if `self` and `other` form a candidate executable pair:
+    /// a write and a read on the *same* message (paper, Section 3.1).
+    ///
+    /// Whether the pair is actually executable also depends on both
+    /// operations being at the front of their cell programs; that positional
+    /// check lives in the analysis crate.
+    #[must_use]
+    pub fn pairs_with(self, other: Op) -> bool {
+        self.message == other.message && self.kind == other.kind.opposite()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let m = MessageId::new(5);
+        let r = Op::read(m);
+        let w = Op::write(m);
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.message(), m);
+        assert_eq!(w.kind(), OpKind::Write);
+    }
+
+    #[test]
+    fn opposite_kind() {
+        assert_eq!(OpKind::Read.opposite(), OpKind::Write);
+        assert_eq!(OpKind::Write.opposite(), OpKind::Read);
+    }
+
+    #[test]
+    fn pairing_requires_same_message_opposite_kind() {
+        let a = MessageId::new(0);
+        let b = MessageId::new(1);
+        assert!(Op::read(a).pairs_with(Op::write(a)));
+        assert!(Op::write(a).pairs_with(Op::read(a)));
+        assert!(!Op::read(a).pairs_with(Op::read(a)));
+        assert!(!Op::write(a).pairs_with(Op::write(a)));
+        assert!(!Op::read(a).pairs_with(Op::write(b)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let m = MessageId::new(2);
+        assert_eq!(Op::read(m).to_string(), "R(m2)");
+        assert_eq!(Op::write(m).to_string(), "W(m2)");
+    }
+}

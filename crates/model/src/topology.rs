@@ -1,0 +1,384 @@
+//! Interconnection topologies.
+//!
+//! The paper's examples use 1-dimensional arrays, but its results "apply to
+//! arrays of higher dimensionalities and other distributed computing systems
+//! using any interconnection topology" (Section 2.1). This module provides
+//! linear arrays, rings, 2-D meshes and arbitrary graphs.
+
+use std::collections::VecDeque;
+
+use crate::{CellId, Interval, ModelError};
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Kind {
+    Linear { n: usize },
+    Ring { n: usize },
+    Mesh2D { rows: usize, cols: usize },
+    Graph { n: usize, adjacency: Vec<Vec<CellId>> },
+}
+
+/// An interconnection topology: which cells are adjacent (share an interval).
+///
+/// # Examples
+///
+/// ```
+/// use systolic_model::{CellId, Topology};
+/// let t = Topology::linear(4);
+/// assert_eq!(t.num_cells(), 4);
+/// assert!(t.is_adjacent(CellId::new(1), CellId::new(2)));
+/// assert!(!t.is_adjacent(CellId::new(0), CellId::new(2)));
+/// assert_eq!(t.intervals().len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Topology {
+    kind: Kind,
+}
+
+impl Topology {
+    /// A 1-dimensional array of `n` cells: cell `i` is adjacent to `i±1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        assert!(n > 0, "an array needs at least one cell");
+        Topology { kind: Kind::Linear { n } }
+    }
+
+    /// A ring of `n` cells: like linear, plus cell `n-1` adjacent to cell 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (smaller rings degenerate).
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least three cells");
+        Topology { kind: Kind::Ring { n } }
+    }
+
+    /// A `rows × cols` 2-D mesh; cell `(r, c)` has id `r * cols + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        Topology { kind: Kind::Mesh2D { rows, cols } }
+    }
+
+    /// An arbitrary undirected graph over `n` cells.
+    ///
+    /// Duplicate edges are merged; adjacency lists are kept sorted so routing
+    /// is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CellOutOfRange`] if an edge endpoint is `>= n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn graph(
+        n: usize,
+        edges: impl IntoIterator<Item = (CellId, CellId)>,
+    ) -> Result<Self, ModelError> {
+        assert!(n > 0, "an array needs at least one cell");
+        let mut adjacency = vec![Vec::new(); n];
+        for (a, b) in edges {
+            for cell in [a, b] {
+                if cell.index() >= n {
+                    return Err(ModelError::CellOutOfRange { cell, num_cells: n });
+                }
+            }
+            // Interval::new panics on self-loops, which is the right
+            // behaviour: a cell is not adjacent to itself.
+            let iv = Interval::new(a, b);
+            if !adjacency[iv.lo().index()].contains(&iv.hi()) {
+                adjacency[iv.lo().index()].push(iv.hi());
+                adjacency[iv.hi().index()].push(iv.lo());
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Ok(Topology { kind: Kind::Graph { n, adjacency } })
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        match &self.kind {
+            Kind::Linear { n } | Kind::Ring { n } | Kind::Graph { n, .. } => *n,
+            Kind::Mesh2D { rows, cols } => rows * cols,
+        }
+    }
+
+    /// For meshes, the `(row, col)` of a cell; `None` for other topologies.
+    #[must_use]
+    pub fn mesh_coords(&self, cell: CellId) -> Option<(usize, usize)> {
+        match &self.kind {
+            Kind::Mesh2D { cols, .. } => Some((cell.index() / cols, cell.index() % cols)),
+            _ => None,
+        }
+    }
+
+    /// `true` if the two cells share an interval.
+    #[must_use]
+    pub fn is_adjacent(&self, a: CellId, b: CellId) -> bool {
+        if a == b {
+            return false;
+        }
+        match &self.kind {
+            Kind::Linear { n } => {
+                a.index() < *n && b.index() < *n && a.index().abs_diff(b.index()) == 1
+            }
+            Kind::Ring { n } => {
+                let (i, j) = (a.index(), b.index());
+                i < *n && j < *n && (i.abs_diff(j) == 1 || i.abs_diff(j) == *n - 1)
+            }
+            Kind::Mesh2D { rows, cols } => {
+                let n = rows * cols;
+                if a.index() >= n || b.index() >= n {
+                    return false;
+                }
+                let (ra, ca) = (a.index() / cols, a.index() % cols);
+                let (rb, cb) = (b.index() / cols, b.index() % cols);
+                ra.abs_diff(rb) + ca.abs_diff(cb) == 1
+            }
+            Kind::Graph { adjacency, .. } => adjacency
+                .get(a.index())
+                .is_some_and(|list| list.contains(&b)),
+        }
+    }
+
+    /// The sorted neighbours of `cell`.
+    #[must_use]
+    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        match &self.kind {
+            Kind::Graph { adjacency, .. } => {
+                adjacency.get(cell.index()).cloned().unwrap_or_default()
+            }
+            _ => {
+                let mut out: Vec<CellId> = (0..self.num_cells() as u32)
+                    .map(CellId::new)
+                    .filter(|&other| self.is_adjacent(cell, other))
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// All intervals (adjacent-cell links), sorted.
+    #[must_use]
+    pub fn intervals(&self) -> Vec<Interval> {
+        let mut out = Vec::new();
+        for i in 0..self.num_cells() as u32 {
+            let a = CellId::new(i);
+            for b in self.neighbors(a) {
+                if a < b {
+                    out.push(Interval::new(a, b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The cell path of the minimum-length route from `from` to `to`,
+    /// including both endpoints.
+    ///
+    /// Routing is deterministic:
+    /// * **linear** — the unique path;
+    /// * **ring** — the shorter way round; ties broken in the direction of
+    ///   increasing cell index;
+    /// * **mesh** — XY (column-first, then row) dimension-ordered routing,
+    ///   the standard deadlock-conscious choice for meshes;
+    /// * **graph** — breadth-first shortest path with lowest-id tie-breaks.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::CellOutOfRange`] if an endpoint does not exist;
+    /// * [`ModelError::NoRoute`] if the graph is disconnected between the
+    ///   endpoints (or `from == to`).
+    pub fn route_cells(&self, from: CellId, to: CellId) -> Result<Vec<CellId>, ModelError> {
+        let n = self.num_cells();
+        for cell in [from, to] {
+            if cell.index() >= n {
+                return Err(ModelError::CellOutOfRange { cell, num_cells: n });
+            }
+        }
+        if from == to {
+            return Err(ModelError::NoRoute { from, to });
+        }
+        match &self.kind {
+            Kind::Linear { .. } => {
+                let (i, j) = (from.index(), to.index());
+                let path: Vec<CellId> = if i < j {
+                    (i..=j).map(|k| CellId::new(k as u32)).collect()
+                } else {
+                    (j..=i).rev().map(|k| CellId::new(k as u32)).collect()
+                };
+                Ok(path)
+            }
+            Kind::Ring { n } => {
+                let (i, j) = (from.index(), to.index());
+                let fwd = (j + n - i) % n; // hops going in +1 direction
+                let bwd = n - fwd;
+                let step_fwd = fwd <= bwd; // tie => increasing direction
+                let hops = if step_fwd { fwd } else { bwd };
+                let mut path = Vec::with_capacity(hops + 1);
+                let mut cur = i;
+                path.push(CellId::new(cur as u32));
+                for _ in 0..hops {
+                    cur = if step_fwd { (cur + 1) % n } else { (cur + n - 1) % n };
+                    path.push(CellId::new(cur as u32));
+                }
+                Ok(path)
+            }
+            Kind::Mesh2D { cols, .. } => {
+                let (mut r, mut c) = (from.index() / cols, from.index() % cols);
+                let (tr, tc) = (to.index() / cols, to.index() % cols);
+                let mut path = vec![from];
+                while c != tc {
+                    c = if c < tc { c + 1 } else { c - 1 };
+                    path.push(CellId::new((r * cols + c) as u32));
+                }
+                while r != tr {
+                    r = if r < tr { r + 1 } else { r - 1 };
+                    path.push(CellId::new((r * cols + c) as u32));
+                }
+                Ok(path)
+            }
+            Kind::Graph { adjacency, .. } => {
+                // BFS with lowest-id tie-break (adjacency lists are sorted).
+                let mut prev: Vec<Option<CellId>> = vec![None; n];
+                let mut seen = vec![false; n];
+                let mut queue = VecDeque::new();
+                seen[from.index()] = true;
+                queue.push_back(from);
+                while let Some(cur) = queue.pop_front() {
+                    if cur == to {
+                        break;
+                    }
+                    for &next in &adjacency[cur.index()] {
+                        if !seen[next.index()] {
+                            seen[next.index()] = true;
+                            prev[next.index()] = Some(cur);
+                            queue.push_back(next);
+                        }
+                    }
+                }
+                if !seen[to.index()] {
+                    return Err(ModelError::NoRoute { from, to });
+                }
+                let mut path = vec![to];
+                let mut cur = to;
+                while let Some(p) = prev[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                Ok(path)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    #[test]
+    fn linear_adjacency_and_intervals() {
+        let t = Topology::linear(4);
+        assert!(t.is_adjacent(c(0), c(1)));
+        assert!(!t.is_adjacent(c(0), c(0)));
+        assert!(!t.is_adjacent(c(0), c(3)));
+        assert_eq!(t.intervals().len(), 3);
+        assert_eq!(t.neighbors(c(1)), vec![c(0), c(2)]);
+        assert_eq!(t.neighbors(c(0)), vec![c(1)]);
+    }
+
+    #[test]
+    fn linear_routes_both_directions() {
+        let t = Topology::linear(4);
+        assert_eq!(t.route_cells(c(0), c(3)).unwrap(), vec![c(0), c(1), c(2), c(3)]);
+        assert_eq!(t.route_cells(c(3), c(1)).unwrap(), vec![c(3), c(2), c(1)]);
+    }
+
+    #[test]
+    fn ring_takes_shorter_way() {
+        let t = Topology::ring(5);
+        assert!(t.is_adjacent(c(0), c(4)));
+        assert_eq!(t.route_cells(c(0), c(4)).unwrap(), vec![c(0), c(4)]);
+        assert_eq!(t.route_cells(c(0), c(2)).unwrap(), vec![c(0), c(1), c(2)]);
+        // Tie on a 4-ring: 0 -> 2 can go either way; must pick +1 direction.
+        let t4 = Topology::ring(4);
+        assert_eq!(t4.route_cells(c(0), c(2)).unwrap(), vec![c(0), c(1), c(2)]);
+    }
+
+    #[test]
+    fn mesh_xy_routing() {
+        let t = Topology::mesh(3, 3);
+        // (0,0)=0 to (2,2)=8: X first (columns), then Y (rows).
+        assert_eq!(
+            t.route_cells(c(0), c(8)).unwrap(),
+            vec![c(0), c(1), c(2), c(5), c(8)]
+        );
+        assert_eq!(t.mesh_coords(c(5)), Some((1, 2)));
+        assert!(t.is_adjacent(c(4), c(1)));
+        assert!(!t.is_adjacent(c(2), c(3))); // row wrap is not adjacency
+        assert_eq!(t.intervals().len(), 12);
+    }
+
+    #[test]
+    fn graph_bfs_shortest_with_tiebreak() {
+        // 0-1, 0-2, 1-3, 2-3: two shortest paths 0->3; lowest-id goes via 1.
+        let t = Topology::graph(4, [(c(0), c(1)), (c(0), c(2)), (c(1), c(3)), (c(2), c(3))])
+            .unwrap();
+        assert_eq!(t.route_cells(c(0), c(3)).unwrap(), vec![c(0), c(1), c(3)]);
+    }
+
+    #[test]
+    fn graph_disconnected_errors() {
+        let t = Topology::graph(4, [(c(0), c(1)), (c(2), c(3))]).unwrap();
+        let err = t.route_cells(c(0), c(3)).unwrap_err();
+        assert!(matches!(err, ModelError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn graph_rejects_bad_edges() {
+        let err = Topology::graph(2, [(c(0), c(5))]).unwrap_err();
+        assert!(matches!(err, ModelError::CellOutOfRange { .. }));
+    }
+
+    #[test]
+    fn graph_merges_duplicate_edges() {
+        let t = Topology::graph(2, [(c(0), c(1)), (c(1), c(0)), (c(0), c(1))]).unwrap();
+        assert_eq!(t.intervals().len(), 1);
+    }
+
+    #[test]
+    fn route_rejects_bad_endpoints() {
+        let t = Topology::linear(3);
+        assert!(matches!(
+            t.route_cells(c(0), c(9)),
+            Err(ModelError::CellOutOfRange { .. })
+        ));
+        assert!(matches!(t.route_cells(c(1), c(1)), Err(ModelError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn single_cell_linear_is_legal_topology() {
+        let t = Topology::linear(1);
+        assert_eq!(t.num_cells(), 1);
+        assert!(t.intervals().is_empty());
+    }
+}

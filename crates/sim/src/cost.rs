@@ -1,0 +1,89 @@
+//! Cell execution cost models — systolic vs. memory-to-memory (paper,
+//! Fig. 1 and Section 1).
+//!
+//! Under **systolic communication** a cell program operates directly on its
+//! I/O queues: no local-memory traffic at all. Under **memory-to-memory**
+//! communication, "data residing in an input queue must first be brought in
+//! the cell's local memory by the operating system, before they are
+//! accessible to the cell program", and symmetrically on output — "a total
+//! of at least four local memory accesses are needed for a cell to update a
+//! data item flowing through the array".
+
+/// Per-operation costs of a cell's execution model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostModel {
+    /// Extra local-memory accesses per `R` operation.
+    pub read_mem_accesses: u64,
+    /// Extra local-memory accesses per `W` operation.
+    pub write_mem_accesses: u64,
+    /// Cycles each local-memory access adds to the operation's latency.
+    pub mem_access_cycles: u64,
+}
+
+impl CostModel {
+    /// The systolic model: operate directly on the queues, zero memory
+    /// traffic, one cycle per op.
+    #[must_use]
+    pub const fn systolic() -> Self {
+        CostModel { read_mem_accesses: 0, write_mem_accesses: 0, mem_access_cycles: 1 }
+    }
+
+    /// The memory-to-memory model: two accesses on input (OS stores the
+    /// word, the program loads it) and two on output.
+    #[must_use]
+    pub const fn memory_to_memory() -> Self {
+        CostModel { read_mem_accesses: 2, write_mem_accesses: 2, mem_access_cycles: 1 }
+    }
+
+    /// Latency in cycles of a read operation (1 + memory time).
+    #[must_use]
+    pub const fn read_latency(&self) -> u64 {
+        1 + self.read_mem_accesses * self.mem_access_cycles
+    }
+
+    /// Latency in cycles of a write operation (1 + memory time).
+    #[must_use]
+    pub const fn write_latency(&self) -> u64 {
+        1 + self.write_mem_accesses * self.mem_access_cycles
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::systolic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_is_free_of_memory_traffic() {
+        let m = CostModel::systolic();
+        assert_eq!(m.read_mem_accesses + m.write_mem_accesses, 0);
+        assert_eq!(m.read_latency(), 1);
+        assert_eq!(m.write_latency(), 1);
+    }
+
+    #[test]
+    fn mem2mem_costs_four_accesses_per_updated_word() {
+        let m = CostModel::memory_to_memory();
+        // A cell that reads a word and writes the updated result performs
+        // the paper's "at least four local memory accesses".
+        assert_eq!(m.read_mem_accesses + m.write_mem_accesses, 4);
+        assert_eq!(m.read_latency(), 3);
+        assert_eq!(m.write_latency(), 3);
+    }
+
+    #[test]
+    fn slower_memory_scales_latency() {
+        let m = CostModel { mem_access_cycles: 5, ..CostModel::memory_to_memory() };
+        assert_eq!(m.read_latency(), 11);
+    }
+
+    #[test]
+    fn default_is_systolic() {
+        assert_eq!(CostModel::default(), CostModel::systolic());
+    }
+}

@@ -1,0 +1,228 @@
+//! Deadlock diagnosis for stalled runs.
+
+use core::fmt;
+
+use systolic_model::{CellId, Hop, MessageId, Op, QueueId};
+
+/// Why a cell is blocked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockReason {
+    /// The op's message has no queue assigned on `hop` yet.
+    NoQueueAssigned {
+        /// The crossing awaiting assignment.
+        hop: Hop,
+    },
+    /// The assigned queue cannot accept another word.
+    QueueFull {
+        /// The full queue.
+        queue: QueueId,
+    },
+    /// The assigned queue has no word to read.
+    QueueEmpty {
+        /// The empty queue.
+        queue: QueueId,
+    },
+    /// A latch write waits for its word to depart (capacity-0 semantics).
+    AwaitingDeparture {
+        /// The latch queue holding the word.
+        queue: QueueId,
+        /// The word's index within its message.
+        word: usize,
+    },
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::NoQueueAssigned { hop } => {
+                write!(f, "waiting for a queue on {hop}")
+            }
+            BlockReason::QueueFull { queue } => write!(f, "queue {queue} is full"),
+            BlockReason::QueueEmpty { queue } => write!(f, "queue {queue} is empty"),
+            BlockReason::AwaitingDeparture { queue, word } => {
+                write!(f, "latch {queue} still holds word {word}")
+            }
+        }
+    }
+}
+
+/// One blocked cell in a deadlock report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockedCell {
+    /// The cell.
+    pub cell: CellId,
+    /// Its program counter (index of the stuck op).
+    pub pc: usize,
+    /// The stuck operation.
+    pub op: Op,
+    /// Why it cannot proceed.
+    pub reason: BlockReason,
+}
+
+/// The state of one queue at deadlock time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueueSnapshot {
+    /// The queue.
+    pub id: QueueId,
+    /// The message holding it, if any.
+    pub assigned: Option<MessageId>,
+    /// Words currently buffered.
+    pub occupancy: usize,
+    /// Words of the current assignment that have departed.
+    pub departed: usize,
+}
+
+/// A full diagnosis of a deadlocked run: which cells are blocked on what,
+/// and who holds every queue.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeadlockReport {
+    /// Cycle at which the run quiesced without completing.
+    pub cycle: u64,
+    /// Every cell with remaining work, and why it is stuck.
+    pub blocked: Vec<BlockedCell>,
+    /// Snapshot of every queue.
+    pub queues: Vec<QueueSnapshot>,
+}
+
+impl DeadlockReport {
+    /// The cells blocked waiting for a queue *assignment* — the signature of
+    /// a queue-induced deadlock (as opposed to a program deadlock, where
+    /// cells block on full/empty queues in a dependency cycle).
+    #[must_use]
+    pub fn assignment_waiters(&self) -> Vec<&BlockedCell> {
+        self.blocked
+            .iter()
+            .filter(|b| matches!(b.reason, BlockReason::NoQueueAssigned { .. }))
+            .collect()
+    }
+
+    /// Renders the report with human-readable cell and message names from
+    /// `program` instead of raw ids.
+    #[must_use]
+    pub fn render(&self, program: &systolic_model::Program) -> String {
+        let msg = |m: MessageId| program.message(m).name().to_owned();
+        let mut out = format!("deadlock at cycle {}:\n", self.cycle);
+        for b in &self.blocked {
+            out.push_str(&format!(
+                "  {} stuck at op {} ({}({})): {}\n",
+                program.cell_name(b.cell),
+                b.pc,
+                b.op.kind(),
+                msg(b.op.message()),
+                b.reason
+            ));
+        }
+        for q in &self.queues {
+            match q.assigned {
+                Some(m) => out.push_str(&format!(
+                    "  queue {} held by {} ({} buffered, {} departed)\n",
+                    q.id,
+                    msg(m),
+                    q.occupancy,
+                    q.departed
+                )),
+                None => out.push_str(&format!("  queue {} free\n", q.id)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deadlock at cycle {}:", self.cycle)?;
+        for b in &self.blocked {
+            writeln!(f, "  {} stuck at op {} ({}): {}", b.cell, b.pc, b.op, b.reason)?;
+        }
+        for q in &self.queues {
+            match q.assigned {
+                Some(m) => writeln!(
+                    f,
+                    "  queue {} held by {} ({} buffered, {} departed)",
+                    q.id, m, q.occupancy, q.departed
+                )?,
+                None => writeln!(f, "  queue {} free", q.id)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::Interval;
+
+    #[test]
+    fn report_renders_and_filters() {
+        let c0 = CellId::new(0);
+        let c1 = CellId::new(1);
+        let q = QueueId::new(Interval::new(c0, c1), 0);
+        let report = DeadlockReport {
+            cycle: 42,
+            blocked: vec![
+                BlockedCell {
+                    cell: c0,
+                    pc: 3,
+                    op: Op::write(MessageId::new(0)),
+                    reason: BlockReason::NoQueueAssigned { hop: Hop::new(c0, c1) },
+                },
+                BlockedCell {
+                    cell: c1,
+                    pc: 0,
+                    op: Op::read(MessageId::new(1)),
+                    reason: BlockReason::QueueEmpty { queue: q },
+                },
+            ],
+            queues: vec![QueueSnapshot {
+                id: q,
+                assigned: Some(MessageId::new(1)),
+                occupancy: 0,
+                departed: 1,
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("deadlock at cycle 42"));
+        assert!(text.contains("waiting for a queue"));
+        assert!(text.contains("held by m1"));
+        assert_eq!(report.assignment_waiters().len(), 1);
+    }
+
+    #[test]
+    fn block_reasons_render() {
+        let c0 = CellId::new(0);
+        let c1 = CellId::new(1);
+        let q = QueueId::new(Interval::new(c0, c1), 1);
+        for r in [
+            BlockReason::NoQueueAssigned { hop: Hop::new(c0, c1) },
+            BlockReason::QueueFull { queue: q },
+            BlockReason::QueueEmpty { queue: q },
+            BlockReason::AwaitingDeparture { queue: q, word: 2 },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use crate::{run_simulation, FifoPolicy, RunOutcome, SimConfig};
+    use systolic_workloads as wl;
+
+    #[test]
+    fn render_uses_program_names() {
+        let program = wl::fig7(2);
+        let out = run_simulation(
+            &program,
+            &wl::fig7_topology(),
+            Box::new(FifoPolicy::new()),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let RunOutcome::Deadlocked { report, .. } = out else { panic!("must deadlock") };
+        let text = report.render(&program);
+        assert!(text.contains("held by B"), "{text}");
+        assert!(text.contains("R(C)"), "{text}");
+        assert!(!text.contains("m0"), "no raw ids: {text}");
+    }
+}

@@ -1,0 +1,830 @@
+//! The cycle-stepped simulation engine.
+//!
+//! Each cycle proceeds in three phases:
+//!
+//! 1. **assignment** — stalled messages raise queue requests (oldest
+//!    first); the [`AssignmentPolicy`] issues grants;
+//! 2. **forwarding** — the transparent I/O processes move words one hop
+//!    along each message's route ("transferring words through queues is
+//!    transparent to cell programs", Section 2.3);
+//! 3. **cells** — each cell attempts its current `R`/`W` operation against
+//!    its queues, with latencies and memory-access counts from the
+//!    [`CostModel`].
+//!
+//! The run ends when every cell finishes (**completed**), when a cycle
+//! passes with no activity (**deadlocked** — the system is quiescent and
+//! can never move again, since all conditions are monotone), or at the
+//! configured cycle limit.
+
+use systolic_model::{
+    CellId, Interval, MessageId, MessageRoutes, ModelError, Op, Program, QueueId, Topology,
+};
+
+use crate::{
+    AssignmentPolicy, BlockReason, BlockedCell, CostModel, DeadlockReport, PoolView, QueueConfig,
+    QueuePools, QueueSnapshot, Request, RunStats, Word,
+};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Hardware queues per interval.
+    pub queues_per_interval: usize,
+    /// Configuration of every queue (capacity, extension).
+    pub queue: QueueConfig,
+    /// Cell execution cost model.
+    pub cost: CostModel,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queues_per_interval: 1,
+            queue: QueueConfig::default(),
+            cost: CostModel::systolic(),
+            max_cycles: 1_000_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Every cell completed its program.
+    Completed(RunStats),
+    /// The system quiesced with work remaining.
+    Deadlocked {
+        /// Statistics up to the stall.
+        stats: RunStats,
+        /// Full diagnosis.
+        report: DeadlockReport,
+    },
+    /// `max_cycles` elapsed (livelock is impossible; this means the limit
+    /// was set too low for the workload).
+    CycleLimit(RunStats),
+}
+
+impl RunOutcome {
+    /// `true` for [`RunOutcome::Completed`].
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed(_))
+    }
+
+    /// `true` for [`RunOutcome::Deadlocked`].
+    #[must_use]
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, RunOutcome::Deadlocked { .. })
+    }
+
+    /// The run statistics, however the run ended.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        match self {
+            RunOutcome::Completed(s) | RunOutcome::CycleLimit(s) => s,
+            RunOutcome::Deadlocked { stats, .. } => stats,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CellState {
+    Ready,
+    Busy { remaining: u64 },
+    /// A latch write waits for its word to leave the first-hop queue.
+    AwaitDeparture { message: MessageId, word: usize },
+    Done,
+}
+
+/// A configured simulation, ready to run.
+#[derive(Debug)]
+pub struct Simulation {
+    program: Program,
+    routes: MessageRoutes,
+    pools: QueuePools,
+    policy: Box<dyn AssignmentPolicy>,
+    config: SimConfig,
+    // Cell state.
+    pc: Vec<usize>,
+    state: Vec<CellState>,
+    // Message progress.
+    words_written: Vec<usize>,
+    /// Per message, per hop: words that have departed that hop's queue.
+    departed: Vec<Vec<usize>>,
+    // Request bookkeeping.
+    request_born: std::collections::BTreeMap<(MessageId, Interval), u64>,
+    born_counter: u64,
+    stats: RunStats,
+    cycle: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation of `program` over `topology` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing/validation errors from
+    /// [`MessageRoutes::compute`].
+    pub fn new(
+        program: &Program,
+        topology: &Topology,
+        policy: Box<dyn AssignmentPolicy>,
+        config: SimConfig,
+    ) -> Result<Self, ModelError> {
+        let routes = MessageRoutes::compute(program, topology)?;
+        let pools =
+            QueuePools::uniform(topology.intervals(), config.queues_per_interval, config.queue);
+        let departed = routes.iter().map(|(_, r)| vec![0; r.num_hops()]).collect();
+        let state = program
+            .cells()
+            .iter()
+            .map(|cp| if cp.is_empty() { CellState::Done } else { CellState::Ready })
+            .collect();
+        Ok(Simulation {
+            pc: vec![0; program.num_cells()],
+            state,
+            words_written: vec![0; program.num_messages()],
+            departed,
+            request_born: std::collections::BTreeMap::new(),
+            born_counter: 0,
+            stats: RunStats::new(program.num_cells()),
+            cycle: 0,
+            program: program.clone(),
+            routes,
+            pools,
+            policy,
+            config,
+        })
+    }
+
+    /// Runs to completion, deadlock, or the cycle limit.
+    #[must_use]
+    pub fn run(mut self) -> RunOutcome {
+        loop {
+            if self.all_done() {
+                self.finish_stats();
+                return RunOutcome::Completed(self.stats);
+            }
+            if self.cycle >= self.config.max_cycles {
+                self.finish_stats();
+                return RunOutcome::CycleLimit(self.stats);
+            }
+            let mut activity = 0usize;
+            activity += self.phase_assignment();
+            activity += self.phase_forwarding();
+            activity += self.phase_cells();
+            self.cycle += 1;
+            if activity == 0 {
+                self.finish_stats();
+                let report = self.diagnose();
+                return RunOutcome::Deadlocked { stats: self.stats, report };
+            }
+        }
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.queue_high_water =
+            self.pools.iter().map(|(id, q)| (id, q.high_water())).collect();
+    }
+
+    fn all_done(&self) -> bool {
+        self.state.iter().all(|s| matches!(s, CellState::Done))
+    }
+
+    fn hop_queue(&self, m: MessageId, hop_index: usize) -> Option<QueueId> {
+        let hop = self.routes.route(m).hops().nth(hop_index)?;
+        let interval = hop.interval();
+        self.pools
+            .live_assignment(m, interval)
+            .map(|idx| QueueId::new(interval, idx as u32))
+    }
+
+    /// Collects requests and applies the policy's grants.
+    fn phase_assignment(&mut self) -> usize {
+        let mut needs: Vec<(MessageId, systolic_model::Hop)> = Vec::new();
+        // Senders stalled on their first hop.
+        for cell in self.program.cell_ids() {
+            if !matches!(self.state[cell.index()], CellState::Ready) {
+                continue;
+            }
+            let Some(op) = self.program.cell(cell).get(self.pc[cell.index()]) else {
+                continue;
+            };
+            if op.is_write() {
+                let m = op.message();
+                let hop = self.routes.route(m).hops().next().expect("routes are nonempty");
+                if self.pools.live_assignment(m, hop.interval()).is_none()
+                    && !self.pools.has_granted(m, hop.interval())
+                {
+                    needs.push((m, hop));
+                }
+            }
+        }
+        // Headers waiting at intermediate hops.
+        for (m, route) in self.routes.iter() {
+            let hops: Vec<_> = route.hops().collect();
+            for k in 1..hops.len() {
+                let prev_interval = hops[k - 1].interval();
+                let Some(prev_idx) = self.pools.live_assignment(m, prev_interval) else {
+                    continue;
+                };
+                let prev_q = self.pools.queue(QueueId::new(prev_interval, prev_idx as u32));
+                if prev_q.front().is_some()
+                    && self.pools.live_assignment(m, hops[k].interval()).is_none()
+                    && !self.pools.has_granted(m, hops[k].interval())
+                {
+                    needs.push((m, hops[k]));
+                }
+            }
+        }
+        let mut requests: Vec<Request> =
+            needs.into_iter().map(|(m, hop)| self.make_request(m, hop)).collect();
+        requests.sort_by_key(|r| r.born);
+
+        let grants = {
+            let view = PoolView::new(&self.pools);
+            self.policy.grant(&view, &requests)
+        };
+        let n = grants.len();
+        for g in grants {
+            debug_assert!(
+                self.pools.free_queues(g.hop.interval()).contains(&g.queue),
+                "policy granted a non-free queue"
+            );
+            self.pools.grant(g.message, g.hop, g.queue);
+            self.request_born.remove(&(g.message, g.hop.interval()));
+            self.stats.grants += 1;
+            self.stats.assignment_events.push(crate::AssignmentEvent {
+                cycle: self.cycle,
+                queue: QueueId::new(g.hop.interval(), g.queue as u32),
+                message: g.message,
+                granted: true,
+            });
+        }
+        n
+    }
+
+    fn make_request(&mut self, m: MessageId, hop: systolic_model::Hop) -> Request {
+        let key = (m, hop.interval());
+        let born = match self.request_born.get(&key) {
+            Some(&b) => b,
+            None => {
+                self.born_counter += 1;
+                self.request_born.insert(key, self.born_counter);
+                self.born_counter
+            }
+        };
+        Request { message: m, hop, born }
+    }
+
+    /// Moves words one hop along each route, downstream hops first.
+    fn phase_forwarding(&mut self) -> usize {
+        let mut moves = 0;
+        let message_ids: Vec<MessageId> = self.program.message_ids().collect();
+        for m in message_ids {
+            let num_hops = self.routes.route(m).num_hops();
+            for k in (1..num_hops).rev() {
+                let Some(src) = self.hop_queue(m, k - 1) else { continue };
+                let Some(dst) = self.hop_queue(m, k) else { continue };
+                if self.pools.queue(src).front().is_none() {
+                    continue;
+                }
+                if !self.pools.queue(dst).can_accept() {
+                    continue;
+                }
+                let word = self.pools.queue_mut(src).pop();
+                let spilled = self.pools.queue_mut(dst).push(word);
+                if spilled {
+                    self.stats.spill_accesses += 2;
+                }
+                self.stats.words_forwarded += 1;
+                moves += 1;
+                self.note_departure(m, k - 1, src.interval());
+            }
+        }
+        moves
+    }
+
+    /// Records that a word of `m` left the queue at `hop_index`, releasing
+    /// the queue after the message's last word has passed it.
+    fn note_departure(&mut self, m: MessageId, hop_index: usize, interval: Interval) {
+        self.departed[m.index()][hop_index] += 1;
+        if self.departed[m.index()][hop_index] == self.program.word_count(m) {
+            let queue = self
+                .pools
+                .live_assignment(m, interval)
+                .expect("departing message holds the queue");
+            self.pools.release(m, interval);
+            self.stats.assignment_events.push(crate::AssignmentEvent {
+                cycle: self.cycle,
+                queue: QueueId::new(interval, queue as u32),
+                message: m,
+                granted: false,
+            });
+        }
+    }
+
+    /// Each cell attempts its current operation.
+    fn phase_cells(&mut self) -> usize {
+        let mut activity = 0;
+        // Words present at phase start; same-cycle sender pushes are not
+        // readable, giving every transfer at least one cycle of latency.
+        let available: std::collections::BTreeMap<QueueId, usize> =
+            self.pools.iter().map(|(id, q)| (id, q.occupancy())).collect();
+        let mut consumed: std::collections::BTreeMap<QueueId, usize> =
+            std::collections::BTreeMap::new();
+
+        let cells: Vec<CellId> = self.program.cell_ids().collect();
+        for cell in cells {
+            let i = cell.index();
+            match self.state[i] {
+                CellState::Done => {}
+                CellState::Busy { remaining } => {
+                    self.stats.busy_cycles[i] += 1;
+                    activity += 1;
+                    self.state[i] = if remaining > 1 {
+                        CellState::Busy { remaining: remaining - 1 }
+                    } else {
+                        CellState::Ready
+                    };
+                    self.finish_if_done(cell);
+                }
+                CellState::AwaitDeparture { message, word } => {
+                    if self.departed[message.index()][0] > word {
+                        // The latch released our word: the write completes.
+                        self.pc[i] += 1;
+                        self.state[i] = CellState::Ready;
+                        activity += 1;
+                        self.finish_if_done(cell);
+                    } else {
+                        self.stats.blocked_cycles[i] += 1;
+                    }
+                }
+                CellState::Ready => {
+                    let Some(op) = self.program.cell(cell).get(self.pc[i]) else {
+                        self.state[i] = CellState::Done;
+                        activity += 1;
+                        continue;
+                    };
+                    activity += self.attempt_op(cell, op, &available, &mut consumed);
+                    self.finish_if_done(cell);
+                }
+            }
+        }
+        activity
+    }
+
+    fn finish_if_done(&mut self, cell: CellId) {
+        let i = cell.index();
+        if matches!(self.state[i], CellState::Ready)
+            && self.pc[i] >= self.program.cell(cell).len()
+        {
+            self.state[i] = CellState::Done;
+        }
+    }
+
+    fn attempt_op(
+        &mut self,
+        cell: CellId,
+        op: Op,
+        available: &std::collections::BTreeMap<QueueId, usize>,
+        consumed: &mut std::collections::BTreeMap<QueueId, usize>,
+    ) -> usize {
+        let i = cell.index();
+        let m = op.message();
+        if op.is_write() {
+            let Some(qid) = self.hop_queue(m, 0) else {
+                self.stats.blocked_cycles[i] += 1;
+                return 0;
+            };
+            if !self.pools.queue(qid).can_accept() {
+                self.stats.blocked_cycles[i] += 1;
+                return 0;
+            }
+            let word = Word { message: m, index: self.words_written[m.index()] };
+            self.words_written[m.index()] += 1;
+            let spilled = self.pools.queue_mut(qid).push(word);
+            if spilled {
+                self.stats.spill_accesses += 2;
+            }
+            self.stats.memory_accesses += self.config.cost.write_mem_accesses;
+            self.stats.busy_cycles[i] += 1;
+            if self.pools.queue(qid).config().capacity == 0 {
+                // Latch semantics: the write completes only when the word
+                // departs (Section 3.2).
+                self.state[i] = CellState::AwaitDeparture { message: m, word: word.index };
+            } else {
+                self.pc[i] += 1;
+                let latency = self.config.cost.write_latency();
+                if latency > 1 {
+                    self.state[i] = CellState::Busy { remaining: latency - 1 };
+                }
+            }
+            1
+        } else {
+            let last_hop = self.routes.route(m).num_hops() - 1;
+            let Some(qid) = self.hop_queue(m, last_hop) else {
+                self.stats.blocked_cycles[i] += 1;
+                return 0;
+            };
+            let already = consumed.get(&qid).copied().unwrap_or(0);
+            let at_start = available.get(&qid).copied().unwrap_or(0);
+            if self.pools.queue(qid).front().is_none() || already >= at_start {
+                self.stats.blocked_cycles[i] += 1;
+                return 0;
+            }
+            let word = self.pools.queue_mut(qid).pop();
+            debug_assert_eq!(word.message, m, "queue serves one message at a time");
+            *consumed.entry(qid).or_insert(0) += 1;
+            self.stats.words_delivered += 1;
+            self.stats.memory_accesses += self.config.cost.read_mem_accesses;
+            self.stats.busy_cycles[i] += 1;
+            self.note_departure(m, last_hop, qid.interval());
+            self.pc[i] += 1;
+            let latency = self.config.cost.read_latency();
+            if latency > 1 {
+                self.state[i] = CellState::Busy { remaining: latency - 1 };
+            }
+            1
+        }
+    }
+
+    /// Builds the deadlock report for the current (quiescent) state.
+    fn diagnose(&self) -> DeadlockReport {
+        let mut blocked = Vec::new();
+        for cell in self.program.cell_ids() {
+            let i = cell.index();
+            let Some(op) = self.program.cell(cell).get(self.pc[i]) else {
+                continue;
+            };
+            let m = op.message();
+            let reason = match self.state[i] {
+                CellState::AwaitDeparture { message, word } => {
+                    let qid = self.hop_queue(message, 0).expect("latch holds assignment");
+                    BlockReason::AwaitingDeparture { queue: qid, word }
+                }
+                _ if op.is_write() => match self.hop_queue(m, 0) {
+                    None => BlockReason::NoQueueAssigned {
+                        hop: self.routes.route(m).hops().next().expect("nonempty route"),
+                    },
+                    Some(qid) => BlockReason::QueueFull { queue: qid },
+                },
+                _ => {
+                    let last = self.routes.route(m).num_hops() - 1;
+                    match self.hop_queue(m, last) {
+                        None => BlockReason::NoQueueAssigned {
+                            hop: self
+                                .routes
+                                .route(m)
+                                .hops()
+                                .nth(last)
+                                .expect("last hop exists"),
+                        },
+                        Some(qid) => BlockReason::QueueEmpty { queue: qid },
+                    }
+                }
+            };
+            blocked.push(BlockedCell { cell, pc: self.pc[i], op, reason });
+        }
+        let queues = self
+            .pools
+            .iter()
+            .map(|(id, q)| QueueSnapshot {
+                id,
+                assigned: q.assigned(),
+                occupancy: q.occupancy(),
+                departed: q.departed(),
+            })
+            .collect();
+        DeadlockReport { cycle: self.cycle, blocked, queues }
+    }
+}
+
+/// Convenience wrapper: build and run in one call.
+///
+/// # Errors
+///
+/// Propagates [`Simulation::new`] errors.
+pub fn run_simulation(
+    program: &Program,
+    topology: &Topology,
+    policy: Box<dyn AssignmentPolicy>,
+    config: SimConfig,
+) -> Result<RunOutcome, ModelError> {
+    Ok(Simulation::new(program, topology, policy, config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompatiblePolicy, FifoPolicy, GreedyPolicy, StaticPolicy};
+    use systolic_core::{analyze, AnalysisConfig, Lookahead};
+    use systolic_model::parse_program;
+    use systolic_workloads as wl;
+
+    fn buffered(queues: usize, capacity: usize) -> SimConfig {
+        SimConfig {
+            queues_per_interval: queues,
+            queue: QueueConfig { capacity, extension: false },
+            ..Default::default()
+        }
+    }
+
+    fn compatible_policy(
+        program: &Program,
+        topology: &Topology,
+        queues: usize,
+        lookahead: Lookahead,
+    ) -> Box<dyn AssignmentPolicy> {
+        let plan = analyze(
+            program,
+            topology,
+            &AnalysisConfig { queues_per_interval: queues, lookahead },
+        )
+        .expect("analysis succeeds")
+        .into_plan();
+        Box::new(CompatiblePolicy::new(plan))
+    }
+
+    #[test]
+    fn single_transfer_completes() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let out =
+            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), buffered(1, 1))
+                .unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        assert_eq!(stats.words_delivered, 1);
+        assert_eq!(stats.memory_accesses, 0, "systolic model touches no memory");
+        assert!(stats.cycles >= 2, "at least one cycle of queue latency");
+    }
+
+    #[test]
+    fn fig2_fir_completes_with_one_queue_per_direction() {
+        // All FIR messages share one label; each interval carries one
+        // message per direction, so 2 queues per interval suffice.
+        let p = wl::fig2_fir();
+        let t = wl::fig2_topology();
+        let policy = compatible_policy(&p, &t, 2, Lookahead::Disabled);
+        let out = run_simulation(&p, &t, policy, buffered(2, 1)).unwrap();
+        assert!(out.is_completed(), "FIR must complete: {out:?}");
+        assert_eq!(out.stats().words_delivered, 15);
+    }
+
+    #[test]
+    fn fig5_p2_deadlocks_on_latches_but_completes_buffered() {
+        // P2: both cells write first. With latch queues (capacity 0) the
+        // writes never complete (Section 3.2); with 1 word of buffering the
+        // run finishes (Section 8 + lookahead classification).
+        let p = wl::fig5_p2();
+        let t = Topology::linear(2);
+        let latch = run_simulation(
+            &p,
+            &t,
+            Box::new(GreedyPolicy::new()),
+            buffered(2, 0),
+        )
+        .unwrap();
+        assert!(latch.is_deadlocked(), "P2 deadlocks on latches");
+
+        let buf = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(2, 1)).unwrap();
+        assert!(buf.is_completed(), "P2 completes with buffering");
+    }
+
+    #[test]
+    fn fig5_p1_needs_two_words_of_buffering_and_two_queues() {
+        let p = wl::fig5_p1();
+        let t = Topology::linear(2);
+        // Capacity 1: deadlocked (C1 blocks on its second W(A)).
+        let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(2, 1)).unwrap();
+        assert!(out.is_deadlocked());
+        // Capacity 2, separate queues for A and B: completes (Fig. 10).
+        let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(2, 2)).unwrap();
+        assert!(out.is_completed());
+        // Capacity 2 but a single queue: A fills it and B can never pass.
+        let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(1, 2)).unwrap();
+        assert!(out.is_deadlocked());
+    }
+
+    #[test]
+    fn fig5_p3_deadlocks_no_matter_what() {
+        let p = wl::fig5_p3();
+        let t = Topology::linear(2);
+        for (queues, cap) in [(1, 0), (2, 1), (4, 16)] {
+            let out =
+                run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(queues, cap))
+                    .unwrap();
+            assert!(out.is_deadlocked(), "P3 must deadlock with {queues} queues cap {cap}");
+        }
+    }
+
+    #[test]
+    fn fig6_cycle_completes() {
+        let p = wl::fig6_cycle();
+        let t = wl::fig6_topology();
+        let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(1, 1)).unwrap();
+        assert!(out.is_completed(), "message cycles are not deadlocks: {out:?}");
+    }
+
+    #[test]
+    fn fig7_fifo_deadlocks_compatible_completes() {
+        let p = wl::fig7(3);
+        let t = wl::fig7_topology();
+        let naive =
+            run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
+        let RunOutcome::Deadlocked { report, .. } = naive else {
+            panic!("fifo policy must deadlock on Fig. 7")
+        };
+        // The deadlock is queue-induced: someone waits for an assignment.
+        assert!(!report.assignment_waiters().is_empty(), "{report}");
+
+        let policy = compatible_policy(&p, &t, 1, Lookahead::Disabled);
+        let safe = run_simulation(&p, &t, policy, buffered(1, 1)).unwrap();
+        assert!(safe.is_completed(), "compatible assignment completes Fig. 7");
+    }
+
+    #[test]
+    fn fig8_one_queue_deadlocks_two_complete() {
+        let p = wl::fig8();
+        let t = wl::fig8_topology();
+        let one = run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
+        assert!(one.is_deadlocked(), "Fig. 8 with one queue deadlocks");
+
+        // Two queues: even the naive policies complete.
+        for policy in [
+            Box::new(FifoPolicy::new()) as Box<dyn AssignmentPolicy>,
+            Box::new(GreedyPolicy::new()),
+        ] {
+            let out = run_simulation(&p, &t, policy, buffered(2, 1)).unwrap();
+            assert!(out.is_completed(), "Fig. 8 with two queues completes");
+        }
+        // And the compatible policy (which reserves both queues at once).
+        let policy = compatible_policy(&p, &t, 2, Lookahead::Disabled);
+        let out = run_simulation(&p, &t, policy, buffered(2, 1)).unwrap();
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn fig9_one_queue_deadlocks_static_two_completes() {
+        let p = wl::fig9();
+        let t = wl::fig9_topology();
+        let one = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(1, 1)).unwrap();
+        assert!(one.is_deadlocked(), "Fig. 9 with one queue deadlocks");
+
+        // Paper: two queues, A and B statically separated => no deadlock.
+        let plan = analyze(
+            &p,
+            &t,
+            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+        )
+        .unwrap()
+        .into_plan();
+        let static_policy = StaticPolicy::new(&plan, 2).unwrap();
+        let out = run_simulation(&p, &t, Box::new(static_policy), buffered(2, 1)).unwrap();
+        assert!(out.is_completed());
+    }
+
+    #[test]
+    fn mem2mem_costs_four_accesses_per_updated_word() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*4 }\nprogram c1 { R(A)*4 }\n",
+        )
+        .unwrap();
+        let config = SimConfig { cost: CostModel::memory_to_memory(), ..buffered(1, 1) };
+        let out =
+            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), config)
+                .unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        // 4 words x (2 accesses on write + 2 on read).
+        assert_eq!(stats.memory_accesses, 16);
+        assert_eq!(stats.accesses_per_word(), 4.0);
+
+        let systolic = run_simulation(
+            &p,
+            &Topology::linear(2),
+            Box::new(GreedyPolicy::new()),
+            buffered(1, 1),
+        )
+        .unwrap();
+        assert_eq!(systolic.stats().memory_accesses, 0);
+        assert!(
+            systolic.stats().cycles < stats.cycles,
+            "systolic is faster: {} vs {}",
+            systolic.stats().cycles,
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn queue_extension_rescues_p1_with_small_queues() {
+        // P1 needs 2 words of buffering; with capacity 1 + extension the
+        // overflow spills to memory and the run completes (Section 8.1's
+        // queue-extension mechanism), at a measurable spill cost.
+        let p = wl::fig5_p1();
+        let t = Topology::linear(2);
+        let config = SimConfig {
+            queues_per_interval: 2,
+            queue: QueueConfig { capacity: 1, extension: true },
+            ..Default::default()
+        };
+        let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), config).unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion: {out:?}") };
+        assert!(stats.spill_accesses > 0, "extension must have been used");
+    }
+
+    #[test]
+    fn multi_hop_message_is_forwarded() {
+        let p = parse_program(
+            "cells 4\nmessage A: c0 -> c3\nprogram c0 { W(A)*2 }\nprogram c3 { R(A)*2 }\n\
+             program c1 { }\nprogram c2 { }\n",
+        )
+        .unwrap();
+        let out =
+            run_simulation(&p, &Topology::linear(4), Box::new(GreedyPolicy::new()), buffered(1, 1))
+                .unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        // 2 words x 2 intermediate hops.
+        assert_eq!(stats.words_forwarded, 4);
+        assert_eq!(stats.words_delivered, 2);
+    }
+
+    #[test]
+    fn cycle_limit_is_reported() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*100 }\nprogram c1 { R(A)*100 }\n",
+        )
+        .unwrap();
+        let config = SimConfig { max_cycles: 5, ..buffered(1, 1) };
+        let out =
+            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), config)
+                .unwrap();
+        assert!(matches!(out, RunOutcome::CycleLimit(_)));
+    }
+
+    #[test]
+    fn deadlock_report_names_holder_and_waiter() {
+        let p = wl::fig7(2);
+        let t = wl::fig7_topology();
+        let out = run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
+        let RunOutcome::Deadlocked { report, .. } = out else { panic!("must deadlock") };
+        let text = report.to_string();
+        assert!(text.contains("held by"), "{text}");
+        assert!(text.contains("waiting for a queue"), "{text}");
+    }
+
+    #[test]
+    fn blocked_and_busy_cycles_are_tracked() {
+        let p = wl::fig7(3);
+        let t = wl::fig7_topology();
+        let policy = compatible_policy(&p, &t, 1, Lookahead::Disabled);
+        let out = run_simulation(&p, &t, policy, buffered(1, 1)).unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        // c4 (reader of C then B) must have been blocked at some point while
+        // C crossed three intervals.
+        assert!(stats.total_blocked() > 0);
+        assert!(stats.busy(CellId::new(3)) > 0);
+        assert!(stats.grants >= 5, "A, B and C each secure queues along their routes");
+    }
+
+    #[test]
+    fn empty_program_completes_immediately() {
+        let p = systolic_model::ProgramBuilder::new(3).build().unwrap();
+        let out =
+            run_simulation(&p, &Topology::linear(3), Box::new(GreedyPolicy::new()), buffered(1, 1))
+                .unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        assert_eq!(stats.words_delivered, 0);
+    }
+
+    #[test]
+    fn workload_generators_run_to_completion() {
+        // A smoke sweep: every generator's output completes under the
+        // compatible policy with generous queues.
+        let cases: Vec<(Program, Topology)> = vec![
+            (wl::fir(4, 8).unwrap(), wl::fir_topology(4)),
+            (wl::matvec(4).unwrap(), wl::matvec_topology(4)),
+            (wl::odd_even_sort(4, 4).unwrap(), wl::sort_topology(4)),
+            (wl::seq_align(3, 4).unwrap(), wl::seq_align_topology(3)),
+            (wl::horner(3, 3).unwrap(), wl::horner_topology(3)),
+            (wl::token_ring(4, 2).unwrap(), wl::ring_topology(4)),
+            (wl::mesh_matmul(2, 3, 3).unwrap(), wl::matmul_topology(2, 3)),
+            (wl::wavefront(3, 3, 2).unwrap(), wl::wavefront_topology(3, 3)),
+        ];
+        for (program, topology) in cases {
+            let analysis = analyze(
+                &program,
+                &topology,
+                &AnalysisConfig { queues_per_interval: 8, ..Default::default() },
+            )
+            .expect("workloads are deadlock-free");
+            let policy = Box::new(CompatiblePolicy::new(analysis.into_plan()));
+            let out = run_simulation(&program, &topology, policy, buffered(8, 2)).unwrap();
+            assert!(out.is_completed(), "workload failed: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-interval queue pools and assignment bookkeeping.
+
+use std::collections::BTreeMap;
+
+use systolic_model::{Hop, Interval, MessageId, QueueId};
+
+use crate::{HwQueue, QueueConfig};
+
+/// The hardware's queues, organized per interval, plus the record of which
+/// message holds (or has held) which queue.
+#[derive(Clone, Debug)]
+pub struct QueuePools {
+    pools: BTreeMap<Interval, Vec<HwQueue>>,
+    /// Live assignments: (message, interval) → queue index.
+    live: BTreeMap<(MessageId, Interval), usize>,
+    /// Every (message, interval) that has ever been granted a queue — the
+    /// "has been successfully assigned" predicate of the ordered-assignment
+    /// rule.
+    history: BTreeMap<(MessageId, Interval), usize>,
+}
+
+impl QueuePools {
+    /// Builds pools with `queues_per_interval` queues of `config` on each
+    /// of `intervals`.
+    #[must_use]
+    pub fn uniform(
+        intervals: impl IntoIterator<Item = Interval>,
+        queues_per_interval: usize,
+        config: QueueConfig,
+    ) -> Self {
+        let pools = intervals
+            .into_iter()
+            .map(|iv| (iv, (0..queues_per_interval).map(|_| HwQueue::new(config)).collect()))
+            .collect();
+        QueuePools { pools, live: BTreeMap::new(), history: BTreeMap::new() }
+    }
+
+    /// The intervals covered by the pools.
+    pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.pools.keys().copied()
+    }
+
+    /// Number of queues on `interval` (0 if unknown).
+    #[must_use]
+    pub fn pool_size(&self, interval: Interval) -> usize {
+        self.pools.get(&interval).map_or(0, Vec::len)
+    }
+
+    /// Indices of currently free queues on `interval`.
+    #[must_use]
+    pub fn free_queues(&self, interval: Interval) -> Vec<usize> {
+        self.pools
+            .get(&interval)
+            .map(|qs| {
+                qs.iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.is_free())
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `true` if `message` holds or has ever held a queue on `interval`.
+    #[must_use]
+    pub fn has_granted(&self, message: MessageId, interval: Interval) -> bool {
+        self.history.contains_key(&(message, interval))
+    }
+
+    /// The queue currently serving `message` on `interval`, if any.
+    #[must_use]
+    pub fn live_assignment(&self, message: MessageId, interval: Interval) -> Option<usize> {
+        self.live.get(&(message, interval)).copied()
+    }
+
+    /// Grants queue `index` of `hop.interval()` to `message`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist, is not free, or the message
+    /// already holds a queue on the interval.
+    pub fn grant(&mut self, message: MessageId, hop: Hop, index: usize) {
+        let interval = hop.interval();
+        let queue = self
+            .pools
+            .get_mut(&interval)
+            .and_then(|qs| qs.get_mut(index))
+            .unwrap_or_else(|| panic!("no queue {index} on {interval}"));
+        queue.assign(message, hop);
+        let prev = self.live.insert((message, interval), index);
+        assert!(prev.is_none(), "{message} already holds a queue on {interval}");
+        self.history.insert((message, interval), index);
+    }
+
+    /// Releases the queue serving `message` on `interval` (after its last
+    /// word passed). The grant *history* is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message holds no queue there or words remain buffered.
+    pub fn release(&mut self, message: MessageId, interval: Interval) {
+        let index = self
+            .live
+            .remove(&(message, interval))
+            .unwrap_or_else(|| panic!("{message} holds no queue on {interval}"));
+        self.pools
+            .get_mut(&interval)
+            .expect("interval exists")
+            .get_mut(index)
+            .expect("index in range")
+            .release();
+    }
+
+    /// Immutable access to a queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    #[must_use]
+    pub fn queue(&self, id: QueueId) -> &HwQueue {
+        &self.pools[&id.interval()][id.index()]
+    }
+
+    /// Mutable access to a queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    #[must_use]
+    pub fn queue_mut(&mut self, id: QueueId) -> &mut HwQueue {
+        self.pools
+            .get_mut(&id.interval())
+            .expect("interval exists")
+            .get_mut(id.index())
+            .expect("index in range")
+    }
+
+    /// Iterates over every `(queue id, queue)` pair.
+    pub fn iter(&self) -> impl Iterator<Item = (QueueId, &HwQueue)> + '_ {
+        self.pools.iter().flat_map(|(iv, qs)| {
+            qs.iter()
+                .enumerate()
+                .map(move |(i, q)| (QueueId::new(*iv, i as u32), q))
+        })
+    }
+
+    /// Sum of spill events across all queues.
+    #[must_use]
+    pub fn total_spills(&self) -> usize {
+        self.iter().map(|(_, q)| q.spills()).sum()
+    }
+}
+
+/// The read-only view handed to assignment policies.
+#[derive(Debug)]
+pub struct PoolView<'a> {
+    pools: &'a QueuePools,
+}
+
+impl<'a> PoolView<'a> {
+    pub(crate) fn new(pools: &'a QueuePools) -> Self {
+        PoolView { pools }
+    }
+
+    /// Indices of free queues on `interval`.
+    #[must_use]
+    pub fn free_queues(&self, interval: Interval) -> Vec<usize> {
+        self.pools.free_queues(interval)
+    }
+
+    /// Number of queues on `interval`.
+    #[must_use]
+    pub fn pool_size(&self, interval: Interval) -> usize {
+        self.pools.pool_size(interval)
+    }
+
+    /// The ordered-assignment predicate: has `message` ever been granted a
+    /// queue on `interval`?
+    #[must_use]
+    pub fn has_granted(&self, message: MessageId, interval: Interval) -> bool {
+        self.pools.has_granted(message, interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Word;
+    use systolic_model::CellId;
+
+    fn iv() -> Interval {
+        Interval::new(CellId::new(0), CellId::new(1))
+    }
+
+    fn hop() -> Hop {
+        Hop::new(CellId::new(0), CellId::new(1))
+    }
+
+    fn pools(n: usize) -> QueuePools {
+        QueuePools::uniform([iv()], n, QueueConfig::default())
+    }
+
+    #[test]
+    fn grant_release_roundtrip_keeps_history() {
+        let mut p = pools(2);
+        let m = MessageId::new(0);
+        assert_eq!(p.free_queues(iv()), vec![0, 1]);
+        assert!(!p.has_granted(m, iv()));
+
+        p.grant(m, hop(), 1);
+        assert_eq!(p.free_queues(iv()), vec![0]);
+        assert_eq!(p.live_assignment(m, iv()), Some(1));
+        assert!(p.has_granted(m, iv()));
+
+        p.release(m, iv());
+        assert_eq!(p.free_queues(iv()), vec![0, 1]);
+        assert_eq!(p.live_assignment(m, iv()), None);
+        assert!(p.has_granted(m, iv()), "history survives release");
+    }
+
+    #[test]
+    fn queue_access_by_id() {
+        let mut p = pools(1);
+        let m = MessageId::new(0);
+        p.grant(m, hop(), 0);
+        let qid = QueueId::new(iv(), 0);
+        p.queue_mut(qid).push(Word { message: m, index: 0 });
+        assert_eq!(p.queue(qid).occupancy(), 1);
+        assert_eq!(p.iter().count(), 1);
+    }
+
+    #[test]
+    fn pool_view_reflects_state() {
+        let mut p = pools(2);
+        let m = MessageId::new(3);
+        p.grant(m, hop(), 0);
+        let view = PoolView::new(&p);
+        assert_eq!(view.free_queues(iv()), vec![1]);
+        assert_eq!(view.pool_size(iv()), 2);
+        assert!(view.has_granted(m, iv()));
+        assert!(!view.has_granted(MessageId::new(9), iv()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no queue")]
+    fn grant_out_of_range_panics() {
+        let mut p = pools(1);
+        p.grant(MessageId::new(0), hop(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no queue")]
+    fn release_without_grant_panics() {
+        let mut p = pools(1);
+        p.release(MessageId::new(0), iv());
+    }
+
+    #[test]
+    fn total_spills_aggregates() {
+        let mut p = QueuePools::uniform([iv()], 1, QueueConfig { capacity: 1, extension: true });
+        let m = MessageId::new(0);
+        p.grant(m, hop(), 0);
+        let qid = QueueId::new(iv(), 0);
+        p.queue_mut(qid).push(Word { message: m, index: 0 });
+        p.queue_mut(qid).push(Word { message: m, index: 1 });
+        assert_eq!(p.total_spills(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Hardware queues (paper, Section 2.3).
+//!
+//! A queue sits on one interval, carries one message at a time, and is
+//! released for reassignment "only after the last word in the current
+//! message has passed the queue". Capacity semantics follow the paper:
+//!
+//! * `capacity == 0` — a *latch without buffering capability* (Sections
+//!   3–7): a word may rest in the latch slot, but the **writing cell's
+//!   operation does not complete until the word departs** ("cell C1 cannot
+//!   finish writing the first word in A, because cell C2 is not ready to
+//!   read any word in A");
+//! * `capacity >= 1` — a buffering queue (Section 8): a write completes as
+//!   soon as the word is accepted;
+//! * optional **queue extension** (Section 8.1, the iWarp mechanism):
+//!   overflow words spill into the receiving cell's local memory "at the
+//!   expense of larger queue access time".
+
+use std::collections::VecDeque;
+
+use systolic_model::{Hop, MessageId};
+
+/// One word in flight: which message it belongs to and its 0-based index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Word {
+    /// The message this word belongs to.
+    pub message: MessageId,
+    /// 0-based position of the word within its message.
+    pub index: usize,
+}
+
+/// Configuration of a single hardware queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueueConfig {
+    /// Words the queue can buffer; 0 = latch (write completes on departure).
+    pub capacity: usize,
+    /// Whether overflow may spill into the receiving cell's local memory.
+    pub extension: bool,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig { capacity: 1, extension: false }
+    }
+}
+
+/// A hardware queue: bounded FIFO plus assignment state.
+#[derive(Clone, Debug)]
+pub struct HwQueue {
+    config: QueueConfig,
+    /// Words held in hardware (front = next to depart).
+    buf: VecDeque<Word>,
+    /// Words spilled to the receiver's local memory (behind `buf`).
+    ext: VecDeque<Word>,
+    /// The message currently assigned, if any.
+    assigned: Option<MessageId>,
+    /// Direction of the current assignment (reset on reassignment).
+    direction: Option<Hop>,
+    /// Words of the current assignment that have departed this queue.
+    departed: usize,
+    /// Words of the current assignment accepted so far.
+    accepted: usize,
+    /// Total spill events over the queue's lifetime.
+    spills: usize,
+    /// High-water mark of `buf.len() + ext.len()`.
+    high_water: usize,
+}
+
+impl HwQueue {
+    /// Creates an empty, unassigned queue.
+    #[must_use]
+    pub fn new(config: QueueConfig) -> Self {
+        HwQueue {
+            config,
+            buf: VecDeque::new(),
+            ext: VecDeque::new(),
+            assigned: None,
+            direction: None,
+            departed: 0,
+            accepted: 0,
+            spills: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The queue's configuration.
+    #[must_use]
+    pub fn config(&self) -> QueueConfig {
+        self.config
+    }
+
+    /// The message currently assigned to the queue, if any.
+    #[must_use]
+    pub fn assigned(&self) -> Option<MessageId> {
+        self.assigned
+    }
+
+    /// The direction of the current assignment.
+    #[must_use]
+    pub fn direction(&self) -> Option<Hop> {
+        self.direction
+    }
+
+    /// `true` if the queue has no assignment and can be handed out.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.assigned.is_none()
+    }
+
+    /// Assigns the queue to `message` flowing along `hop`, resetting the
+    /// direction (paper: "at the time when a queue is being assigned to a
+    /// new message, the direction of the queue can be reset").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is not free or not empty — reassigning a queue
+    /// before the previous message's last word has passed violates the
+    /// queue discipline.
+    pub fn assign(&mut self, message: MessageId, hop: Hop) {
+        assert!(self.is_free(), "queue already assigned");
+        assert!(
+            self.buf.is_empty() && self.ext.is_empty(),
+            "queue must drain before reassignment"
+        );
+        self.assigned = Some(message);
+        self.direction = Some(hop);
+        self.departed = 0;
+        self.accepted = 0;
+    }
+
+    /// Words of the current assignment that have departed.
+    #[must_use]
+    pub fn departed(&self) -> usize {
+        self.departed
+    }
+
+    /// Words of the current assignment accepted so far.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Total spill-to-memory events.
+    #[must_use]
+    pub fn spills(&self) -> usize {
+        self.spills
+    }
+
+    /// Highest combined occupancy ever observed.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current total occupancy (hardware + extension).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.buf.len() + self.ext.len()
+    }
+
+    /// The hardware slot count: latches still hold one word in transit.
+    fn hw_slots(&self) -> usize {
+        self.config.capacity.max(1)
+    }
+
+    /// `true` if [`HwQueue::push`] would accept a word right now.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.assigned.is_some() && (self.buf.len() < self.hw_slots() || self.config.extension)
+    }
+
+    /// Accepts a word into the queue.
+    ///
+    /// Returns `true` if the word went to the extension (spilled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue cannot accept ([`HwQueue::can_accept`]) or the
+    /// word belongs to a different message than the assignment.
+    pub fn push(&mut self, word: Word) -> bool {
+        assert_eq!(self.assigned, Some(word.message), "word does not match assignment");
+        let spilled = if self.buf.len() < self.hw_slots() {
+            self.buf.push_back(word);
+            false
+        } else {
+            assert!(self.config.extension, "queue overflow without extension");
+            self.ext.push_back(word);
+            self.spills += 1;
+            true
+        };
+        self.accepted += 1;
+        self.high_water = self.high_water.max(self.occupancy());
+        spilled
+    }
+
+    /// The word at the front, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<Word> {
+        self.buf.front().copied()
+    }
+
+    /// Removes the front word. Refills the hardware slots from the
+    /// extension, and returns the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn pop(&mut self) -> Word {
+        let word = self.buf.pop_front().expect("pop from empty queue");
+        if let Some(refill) = self.ext.pop_front() {
+            self.buf.push_back(refill);
+        }
+        self.departed += 1;
+        word
+    }
+
+    /// Releases the queue after the current message's last word has passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if words are still buffered.
+    pub fn release(&mut self) {
+        assert!(
+            self.buf.is_empty() && self.ext.is_empty(),
+            "cannot release a queue holding words"
+        );
+        self.assigned = None;
+        self.direction = None;
+        self.departed = 0;
+        self.accepted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::CellId;
+
+    fn hop() -> Hop {
+        Hop::new(CellId::new(0), CellId::new(1))
+    }
+
+    fn w(i: usize) -> Word {
+        Word { message: MessageId::new(0), index: i }
+    }
+
+    #[test]
+    fn assign_push_pop_release_lifecycle() {
+        let mut q = HwQueue::new(QueueConfig { capacity: 2, extension: false });
+        assert!(q.is_free());
+        q.assign(MessageId::new(0), hop());
+        assert!(!q.is_free());
+        assert_eq!(q.direction(), Some(hop()));
+
+        assert!(q.can_accept());
+        assert!(!q.push(w(0)));
+        assert!(!q.push(w(1)));
+        assert!(!q.can_accept(), "capacity 2 reached");
+
+        assert_eq!(q.pop(), w(0));
+        assert_eq!(q.front(), Some(w(1)));
+        assert_eq!(q.pop(), w(1));
+        assert_eq!(q.departed(), 2);
+        q.release();
+        assert!(q.is_free());
+    }
+
+    #[test]
+    fn latch_still_holds_one_word() {
+        let q = HwQueue::new(QueueConfig { capacity: 0, extension: false });
+        let mut q = q;
+        q.assign(MessageId::new(0), hop());
+        assert!(q.can_accept(), "a latch holds one word in transit");
+        q.push(w(0));
+        assert!(!q.can_accept());
+    }
+
+    #[test]
+    fn extension_spills_and_refills_in_order() {
+        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: true });
+        q.assign(MessageId::new(0), hop());
+        assert!(!q.push(w(0)));
+        assert!(q.push(w(1)), "second word spills");
+        assert!(q.push(w(2)));
+        assert_eq!(q.spills(), 2);
+        assert_eq!(q.occupancy(), 3);
+        assert_eq!(q.high_water(), 3);
+        // FIFO order is preserved across the spill boundary.
+        assert_eq!(q.pop(), w(0));
+        assert_eq!(q.pop(), w(1));
+        assert_eq!(q.pop(), w(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let mut q = HwQueue::new(QueueConfig::default());
+        q.assign(MessageId::new(0), hop());
+        q.assign(MessageId::new(1), hop());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match assignment")]
+    fn wrong_message_push_panics() {
+        let mut q = HwQueue::new(QueueConfig::default());
+        q.assign(MessageId::new(0), hop());
+        q.push(Word { message: MessageId::new(1), index: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow without extension")]
+    fn overflow_without_extension_panics() {
+        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: false });
+        q.assign(MessageId::new(0), hop());
+        q.push(w(0));
+        q.push(w(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "holding words")]
+    fn release_with_words_panics() {
+        let mut q = HwQueue::new(QueueConfig::default());
+        q.assign(MessageId::new(0), hop());
+        q.push(w(0));
+        q.release();
+    }
+
+    #[test]
+    fn reassignment_resets_direction() {
+        let mut q = HwQueue::new(QueueConfig::default());
+        q.assign(MessageId::new(0), hop());
+        q.push(w(0));
+        q.pop();
+        q.release();
+        let back = hop().reversed();
+        q.assign(MessageId::new(1), back);
+        assert_eq!(q.direction(), Some(back));
+        assert_eq!(q.accepted(), 0);
+    }
+}

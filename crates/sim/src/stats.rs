@@ -1,0 +1,163 @@
+//! Run statistics collected by the simulator.
+
+use systolic_model::{CellId, MessageId, QueueId};
+
+/// One queue-assignment lifecycle event, for the run-time assignment
+/// timeline (the lower half of the paper's Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AssignmentEvent {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// The queue involved.
+    pub queue: QueueId,
+    /// The message granted or released.
+    pub message: MessageId,
+    /// `true` for a grant, `false` for a release.
+    pub granted: bool,
+}
+
+/// Counters for one simulation run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Words delivered to their final receivers.
+    pub words_delivered: u64,
+    /// Words moved between queues by the I/O processes (hop transfers).
+    pub words_forwarded: u64,
+    /// Local-memory accesses performed by cell programs (cost model).
+    pub memory_accesses: u64,
+    /// Extra memory accesses caused by queue-extension spills.
+    pub spill_accesses: u64,
+    /// Queue grants issued by the assignment policy.
+    pub grants: u64,
+    /// Per-cell cycles spent blocked waiting on a queue condition.
+    pub blocked_cycles: Vec<u64>,
+    /// Per-cell cycles spent executing operations (including memory time).
+    pub busy_cycles: Vec<u64>,
+    /// Queue grant/release events in chronological order.
+    pub assignment_events: Vec<AssignmentEvent>,
+    /// Highest combined occupancy (hardware + extension) each queue ever
+    /// reached, recorded at the end of the run.
+    pub queue_high_water: Vec<(QueueId, usize)>,
+}
+
+impl RunStats {
+    /// Initializes per-cell counters for `num_cells` cells.
+    #[must_use]
+    pub fn new(num_cells: usize) -> Self {
+        RunStats {
+            blocked_cycles: vec![0; num_cells],
+            busy_cycles: vec![0; num_cells],
+            ..Default::default()
+        }
+    }
+
+    /// Cycles cell `cell` spent blocked.
+    #[must_use]
+    pub fn blocked(&self, cell: CellId) -> u64 {
+        self.blocked_cycles[cell.index()]
+    }
+
+    /// Cycles cell `cell` spent busy.
+    #[must_use]
+    pub fn busy(&self, cell: CellId) -> u64 {
+        self.busy_cycles[cell.index()]
+    }
+
+    /// Total blocked cycles across all cells.
+    #[must_use]
+    pub fn total_blocked(&self) -> u64 {
+        self.blocked_cycles.iter().sum()
+    }
+
+    /// Memory accesses per delivered word (the Fig. 1 efficiency metric).
+    /// Returns 0.0 when nothing was delivered.
+    #[must_use]
+    pub fn accesses_per_word(&self) -> f64 {
+        if self.words_delivered == 0 {
+            0.0
+        } else {
+            self.memory_accesses as f64 / self.words_delivered as f64
+        }
+    }
+
+    /// The largest high-water mark across all queues.
+    #[must_use]
+    pub fn max_queue_occupancy(&self) -> usize {
+        self.queue_high_water.iter().map(|&(_, w)| w).max().unwrap_or(0)
+    }
+
+    /// Renders the queue-assignment timeline as text — which message held
+    /// which queue over which cycle span, like the "queue assignment at run
+    /// time" pictures of Figs. 7–9. `name_of` maps message ids to display
+    /// names (e.g. from the program's declarations).
+    #[must_use]
+    pub fn render_timeline(&self, name_of: impl Fn(MessageId) -> String) -> String {
+        use std::collections::BTreeMap;
+        let mut open: BTreeMap<(QueueId, MessageId), u64> = BTreeMap::new();
+        let mut spans: BTreeMap<QueueId, Vec<(MessageId, u64, Option<u64>)>> = BTreeMap::new();
+        for e in &self.assignment_events {
+            if e.granted {
+                open.insert((e.queue, e.message), e.cycle);
+            } else {
+                let start = open.remove(&(e.queue, e.message)).unwrap_or(e.cycle);
+                spans.entry(e.queue).or_default().push((e.message, start, Some(e.cycle)));
+            }
+        }
+        for ((queue, message), start) in open {
+            spans.entry(queue).or_default().push((message, start, None));
+        }
+        let mut out = String::new();
+        for (queue, mut held) in spans {
+            held.sort_by_key(|&(_, start, _)| start);
+            out.push_str(&format!("{queue}:"));
+            for (m, start, end) in held {
+                match end {
+                    Some(end) => {
+                        out.push_str(&format!(" [{} {}..{}]", name_of(m), start, end));
+                    }
+                    None => out.push_str(&format!(" [{} {}..]", name_of(m), start)),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cell_counters_start_zeroed() {
+        let s = RunStats::new(3);
+        assert_eq!(s.blocked(CellId::new(2)), 0);
+        assert_eq!(s.busy(CellId::new(0)), 0);
+        assert_eq!(s.total_blocked(), 0);
+    }
+
+    #[test]
+    fn timeline_renders_spans_in_order() {
+        use systolic_model::{Interval, QueueId};
+        let q = QueueId::new(Interval::new(CellId::new(0), CellId::new(1)), 0);
+        let mut s = RunStats::new(2);
+        s.assignment_events = vec![
+            AssignmentEvent { cycle: 1, queue: q, message: MessageId::new(1), granted: true },
+            AssignmentEvent { cycle: 5, queue: q, message: MessageId::new(1), granted: false },
+            AssignmentEvent { cycle: 6, queue: q, message: MessageId::new(0), granted: true },
+        ];
+        let text = s.render_timeline(|m| format!("M{}", m.index()));
+        assert_eq!(text.trim(), "c0-c1#0: [M1 1..5] [M0 6..]");
+    }
+
+    #[test]
+    fn accesses_per_word_handles_zero() {
+        let mut s = RunStats::new(1);
+        assert_eq!(s.accesses_per_word(), 0.0);
+        s.memory_accesses = 8;
+        s.words_delivered = 2;
+        assert_eq!(s.accesses_per_word(), 4.0);
+    }
+}

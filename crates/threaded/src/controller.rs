@@ -1,0 +1,395 @@
+//! The queue-assignment controller: the threaded runtime's enforcement
+//! point for the paper's compatible-assignment rules.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use systolic_core::CommPlan;
+use systolic_model::{Hop, Interval, MessageId};
+
+use crate::{Liveness, Poisoned};
+
+/// Which assignment discipline the controller enforces.
+#[derive(Clone, Debug)]
+pub enum ControlMode {
+    /// The paper's compatible dynamic assignment (ordered + simultaneous
+    /// rules, Section 7), driven by the plan's labels and competing sets.
+    Compatible(CommPlan),
+    /// Static assignment: every message owns a dedicated queue on each
+    /// interval it crosses, precomputed from the plan's routes. Requires
+    /// enough queues; "automatically compatible" (Section 7).
+    Static(CommPlan),
+    /// First-come-first-served, label-blind (the Fig. 7 strawman).
+    Fifo,
+    /// Any free queue to any requester.
+    Greedy,
+}
+
+impl ControlMode {
+    /// Short name for experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlMode::Compatible(_) => "compatible",
+            ControlMode::Static(_) => "static",
+            ControlMode::Fifo => "fifo",
+            ControlMode::Greedy => "greedy",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CtrlState {
+    /// Free queue indices per interval.
+    free: BTreeMap<Interval, Vec<usize>>,
+    /// Live assignments.
+    live: BTreeMap<(MessageId, Interval), usize>,
+    /// Ever-granted history (the ordered-assignment predicate).
+    history: BTreeSet<(MessageId, Interval)>,
+    /// FIFO arrival order per interval.
+    line: BTreeMap<Interval, VecDeque<MessageId>>,
+}
+
+/// Grants queue indices to messages under a [`ControlMode`].
+#[derive(Debug)]
+pub struct Controller {
+    mode: ControlMode,
+    state: Mutex<CtrlState>,
+    cv: Condvar,
+    live_flag: Arc<Liveness>,
+}
+
+impl Controller {
+    /// Creates a controller over `intervals`, each with
+    /// `queues_per_interval` queues.
+    #[must_use]
+    pub fn new(
+        mode: ControlMode,
+        intervals: impl IntoIterator<Item = Interval>,
+        queues_per_interval: usize,
+        live_flag: Arc<Liveness>,
+    ) -> Self {
+        let mut state = CtrlState::default();
+        for iv in intervals {
+            state.free.insert(iv, (0..queues_per_interval).collect());
+        }
+        Controller { mode, state: Mutex::new(state), cv: Condvar::new(), live_flag }
+    }
+
+    /// Wakes all waiters (used by the watchdog after poisoning).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `message` holds a queue on `hop.interval()` and returns
+    /// its index. Raised by the sender (first hop) or the forwarder of that
+    /// hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Poisoned`] if the watchdog declares deadlock while waiting.
+    pub fn acquire(&self, message: MessageId, hop: Hop) -> Result<usize, Poisoned> {
+        let interval = hop.interval();
+        let mut st = self.state.lock();
+        if let ControlMode::Fifo = self.mode {
+            let line = st.line.entry(interval).or_default();
+            if !line.contains(&message) {
+                line.push_back(message);
+            }
+        }
+        loop {
+            if let Some(&idx) = st.live.get(&(message, interval)) {
+                return Ok(idx); // possibly a reservation made for us
+            }
+            if self.try_grant(&mut st, message, interval) {
+                self.live_flag.bump();
+                self.cv.notify_all();
+                continue; // the grant inserted our live entry
+            }
+            if self.live_flag.is_poisoned() {
+                return Err(Poisoned);
+            }
+            self.cv.wait_for(&mut st, Duration::from_millis(25));
+        }
+    }
+
+    /// Blocks until someone (sender or forwarder) has secured a queue for
+    /// `message` on `interval` — used by readers to find their queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Poisoned`] if the watchdog declares deadlock while waiting.
+    pub fn await_assignment(
+        &self,
+        message: MessageId,
+        interval: Interval,
+    ) -> Result<usize, Poisoned> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(&idx) = st.live.get(&(message, interval)) {
+                return Ok(idx);
+            }
+            if self.live_flag.is_poisoned() {
+                return Err(Poisoned);
+            }
+            self.cv.wait_for(&mut st, Duration::from_millis(25));
+        }
+    }
+
+    /// Releases `message`'s queue on `interval` after its last word passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message holds no queue there.
+    pub fn release(&self, message: MessageId, interval: Interval) {
+        let mut st = self.state.lock();
+        let idx = st
+            .live
+            .remove(&(message, interval))
+            .expect("release without live assignment");
+        st.free.entry(interval).or_default().push(idx);
+        self.live_flag.bump();
+        self.cv.notify_all();
+    }
+
+    /// Attempts a grant for `message` under the mode's rules. Returns true
+    /// if any grant was made (the caller rechecks its live entry).
+    fn try_grant(&self, st: &mut CtrlState, message: MessageId, interval: Interval) -> bool {
+        match &self.mode {
+            ControlMode::Greedy => {
+                let free = st.free.entry(interval).or_default();
+                if let Some(idx) = free.pop() {
+                    st.live.insert((message, interval), idx);
+                    st.history.insert((message, interval));
+                    true
+                } else {
+                    false
+                }
+            }
+            ControlMode::Fifo => {
+                // Only the head of the line may take a queue.
+                let head = st.line.get(&interval).and_then(|l| l.front().copied());
+                if head != Some(message) {
+                    return false;
+                }
+                let free = st.free.entry(interval).or_default();
+                if let Some(idx) = free.pop() {
+                    st.live.insert((message, interval), idx);
+                    st.history.insert((message, interval));
+                    st.line.get_mut(&interval).expect("line exists").pop_front();
+                    true
+                } else {
+                    false
+                }
+            }
+            ControlMode::Static(plan) => {
+                // Dedicated slot: the i-th message crossing the interval
+                // (in declaration order) owns queue i. Deterministic and
+                // collision-free when the pool is large enough.
+                let mut slot = 0usize;
+                for (other, route) in plan.routes().iter() {
+                    if route.intervals().any(|iv| iv == interval) {
+                        if other == message {
+                            break;
+                        }
+                        slot += 1;
+                    }
+                }
+                let free = st.free.entry(interval).or_default();
+                let Some(pos) = free.iter().position(|&q| q == slot) else {
+                    return false;
+                };
+                free.remove(pos);
+                st.live.insert((message, interval), slot);
+                st.history.insert((message, interval));
+                true
+            }
+            ControlMode::Compatible(plan) => {
+                let label = plan.label(message);
+                // Find this message's hop on the interval to get competitors.
+                let route = plan.route(message);
+                let Some(hop) = route.hops().find(|h| h.interval() == interval) else {
+                    return false;
+                };
+                let competitors = plan.competing().on_hop(hop);
+                // Ordered rule.
+                let smaller_pending = competitors.iter().any(|&other| {
+                    plan.label(other) < label && !st.history.contains(&(other, interval))
+                });
+                if smaller_pending {
+                    return false;
+                }
+                // Simultaneous rule: grant the whole equal-label group.
+                let group: Vec<MessageId> = competitors
+                    .iter()
+                    .copied()
+                    .filter(|&other| {
+                        plan.label(other) == label && !st.history.contains(&(other, interval))
+                    })
+                    .collect();
+                // Per-direction sub-pool (see `sim::CompatiblePolicy`):
+                // opposite-direction messages must not starve this hop's
+                // competing set, so each direction draws from its own range
+                // of queue indices, sized by the plan's requirement.
+                let range = {
+                    let mut start = 0usize;
+                    let mut found = None;
+                    for (other_hop, _) in plan.competing().iter() {
+                        if other_hop.interval() != interval {
+                            continue;
+                        }
+                        let need = plan.requirements().on_hop(other_hop);
+                        if other_hop == hop {
+                            found = Some(start..start + need);
+                            break;
+                        }
+                        start += need;
+                    }
+                    found.unwrap_or(0..0)
+                };
+                let free = st.free.entry(interval).or_default();
+                let usable: Vec<usize> =
+                    free.iter().copied().filter(|q| range.contains(q)).collect();
+                if usable.len() < group.len() {
+                    return false;
+                }
+                for (member, idx) in group.into_iter().zip(usable) {
+                    let free = st.free.entry(interval).or_default();
+                    let pos = free.iter().position(|&q| q == idx).expect("usable is free");
+                    free.remove(pos);
+                    st.live.insert((member, interval), idx);
+                    st.history.insert((member, interval));
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_model::CellId;
+
+    fn live() -> Arc<Liveness> {
+        Arc::new(Liveness::default())
+    }
+
+    #[test]
+    fn greedy_grants_immediately() {
+        let iv = Interval::new(CellId::new(0), CellId::new(1));
+        let c = Controller::new(ControlMode::Greedy, [iv], 1, live());
+        let hop = Hop::new(CellId::new(0), CellId::new(1));
+        let idx = c.acquire(MessageId::new(0), hop).unwrap();
+        assert_eq!(idx, 0);
+        c.release(MessageId::new(0), iv);
+        assert_eq!(c.acquire(MessageId::new(1), hop).unwrap(), 0);
+    }
+
+    #[test]
+    fn fifo_blocks_second_until_release() {
+        let iv = Interval::new(CellId::new(0), CellId::new(1));
+        let l = live();
+        let c = Arc::new(Controller::new(ControlMode::Fifo, [iv], 1, Arc::clone(&l)));
+        let hop = Hop::new(CellId::new(0), CellId::new(1));
+        c.acquire(MessageId::new(0), hop).unwrap();
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || c2.acquire(MessageId::new(1), hop));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished());
+        c.release(MessageId::new(0), iv);
+        assert_eq!(t.join().unwrap().unwrap(), 0);
+    }
+
+    #[test]
+    fn compatible_orders_by_label_across_threads() {
+        // Fig. 7 plan: on interval c2-c3 (ids 2,3), C (label 2) precedes
+        // B (label 3).
+        let p = systolic_workloads::fig7(2);
+        let plan = analyze(&p, &systolic_workloads::fig7_topology(), &AnalysisConfig::default())
+            .unwrap()
+            .into_plan();
+        let iv = Interval::new(CellId::new(2), CellId::new(3));
+        let hop = Hop::new(CellId::new(2), CellId::new(3));
+        let l = live();
+        let c = Arc::new(Controller::new(
+            ControlMode::Compatible(plan),
+            [iv],
+            1,
+            Arc::clone(&l),
+        ));
+        let b = p.message_id("B").unwrap();
+        let cc = p.message_id("C").unwrap();
+
+        // B asks first but must wait; C is granted; after C releases, B gets it.
+        let c2 = Arc::clone(&c);
+        let tb = thread::spawn(move || c2.acquire(b, hop));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!tb.is_finished(), "B must wait for C");
+        assert_eq!(c.acquire(cc, hop).unwrap(), 0);
+        c.release(cc, iv);
+        assert_eq!(tb.join().unwrap().unwrap(), 0);
+    }
+
+    #[test]
+    fn await_assignment_sees_reservations() {
+        let iv = Interval::new(CellId::new(0), CellId::new(1));
+        let l = live();
+        let c = Arc::new(Controller::new(ControlMode::Greedy, [iv], 2, Arc::clone(&l)));
+        let hop = Hop::new(CellId::new(0), CellId::new(1));
+        let m = MessageId::new(5);
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || c2.await_assignment(m, iv));
+        thread::sleep(Duration::from_millis(10));
+        let idx = c.acquire(m, hop).unwrap();
+        assert_eq!(t.join().unwrap().unwrap(), idx);
+    }
+
+    #[test]
+    fn poison_aborts_waiters() {
+        let iv = Interval::new(CellId::new(0), CellId::new(1));
+        let l = live();
+        let c = Arc::new(Controller::new(ControlMode::Greedy, [iv], 0, Arc::clone(&l)));
+        let hop = Hop::new(CellId::new(0), CellId::new(1));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || c2.acquire(MessageId::new(0), hop));
+        thread::sleep(Duration::from_millis(10));
+        l.poisoned.store(true, std::sync::atomic::Ordering::Relaxed);
+        c.notify_all();
+        assert_eq!(t.join().unwrap(), Err(Poisoned));
+    }
+}
+
+#[cfg(test)]
+mod static_mode_tests {
+    use super::*;
+    use std::sync::Arc;
+    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_model::CellId;
+
+    #[test]
+    fn static_mode_dedicates_distinct_slots() {
+        let p = systolic_workloads::fig9();
+        let plan = analyze(
+            &p,
+            &systolic_workloads::fig9_topology(),
+            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+        )
+        .unwrap()
+        .into_plan();
+        let iv = Interval::new(CellId::new(0), CellId::new(1));
+        let hop = Hop::new(CellId::new(0), CellId::new(1));
+        let live = Arc::new(crate::Liveness::default());
+        let c = Controller::new(ControlMode::Static(plan), [iv], 2, live);
+        let a = p.message_id("A").unwrap();
+        let b = p.message_id("B").unwrap();
+        let qa = c.acquire(a, hop).unwrap();
+        let qb = c.acquire(b, hop).unwrap();
+        assert_ne!(qa, qb, "dedicated queues are distinct");
+        assert_eq!(ControlMode::Fifo.name(), "fifo");
+    }
+}

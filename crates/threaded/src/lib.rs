@@ -1,0 +1,46 @@
+//! OS-thread runtime for systolic programs.
+//!
+//! Where `systolic-sim` steps a deterministic clock, this crate runs each
+//! cell as a *real* thread against real bounded queues, with a controller
+//! thread-safely enforcing a queue-assignment discipline ([`ControlMode`])
+//! and a watchdog detecting genuine deadlock (global quiescence with work
+//! remaining).
+//!
+//! The point: Theorem 1's guarantee is **scheduling independent**. Under
+//! the compatible assignment discipline a deadlock-free program completes
+//! no matter how the OS interleaves the threads — which is exactly what the
+//! tests assert, repeatedly, without any timing control.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_core::{analyze, AnalysisConfig};
+//! use systolic_threaded::{run_threaded, ControlMode, ThreadedConfig};
+//! use systolic_workloads::{fig7, fig7_topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = fig7(2);
+//! let topology = fig7_topology();
+//! let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+//! let outcome = run_threaded(
+//!     &program,
+//!     &topology,
+//!     ControlMode::Compatible(plan),
+//!     ThreadedConfig::default(),
+//! )?;
+//! assert!(outcome.is_completed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod controller;
+mod queue;
+mod runtime;
+
+pub use controller::{ControlMode, Controller};
+pub use queue::{Liveness, Poisoned, ThreadedQueue};
+pub use runtime::{run_threaded, ThreadedConfig, ThreadedOutcome};

@@ -1,0 +1,216 @@
+//! Real bounded queues for the threaded runtime.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use systolic_model::MessageId;
+
+/// Shared liveness state: a global progress counter bumped on every queue
+/// or controller event, and a poison flag set by the watchdog when progress
+/// stops with work remaining (= deadlock).
+#[derive(Debug, Default)]
+pub struct Liveness {
+    /// Monotone event counter.
+    pub progress: AtomicU64,
+    /// Set once the watchdog declares deadlock; all waits abort.
+    pub poisoned: AtomicBool,
+}
+
+impl Liveness {
+    /// Records one unit of progress.
+    pub fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `true` once the watchdog has declared deadlock.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+/// Error returned by blocking operations when the run is declared dead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Poisoned;
+
+#[derive(Debug)]
+struct Inner {
+    buf: VecDeque<(MessageId, usize)>,
+    /// Words that have departed (for latch writers awaiting departure).
+    departed: usize,
+}
+
+/// A bounded FIFO queue shared between two threads.
+///
+/// `capacity == 0` gives the paper's latch semantics: [`ThreadedQueue::push`]
+/// deposits the word and then blocks until it departs.
+#[derive(Debug)]
+pub struct ThreadedQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    live: Arc<Liveness>,
+}
+
+impl ThreadedQueue {
+    /// Creates a queue of `capacity` words tied to the shared liveness.
+    #[must_use]
+    pub fn new(capacity: usize, live: Arc<Liveness>) -> Self {
+        ThreadedQueue {
+            capacity,
+            inner: Mutex::new(Inner { buf: VecDeque::new(), departed: 0 }),
+            cv: Condvar::new(),
+            live,
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.capacity.max(1)
+    }
+
+    /// Wakes all waiters (used by the watchdog after poisoning).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocking push. With latch capacity (0) and `hold_until_departure`,
+    /// also waits for the pushed word to leave — the paper's "cannot finish
+    /// writing" semantics for cell programs (I/O forwarders pass `false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Poisoned`] if the watchdog declares deadlock while waiting.
+    pub fn push(
+        &self,
+        word: (MessageId, usize),
+        hold_until_departure: bool,
+    ) -> Result<(), Poisoned> {
+        let mut inner = self.inner.lock();
+        while inner.buf.len() >= self.slots() {
+            if self.live.is_poisoned() {
+                return Err(Poisoned);
+            }
+            self.cv.wait_for(&mut inner, Duration::from_millis(25));
+        }
+        let index = word.1;
+        inner.buf.push_back(word);
+        self.live.bump();
+        self.cv.notify_all();
+        if self.capacity == 0 && hold_until_departure {
+            while inner.departed <= index {
+                if self.live.is_poisoned() {
+                    return Err(Poisoned);
+                }
+                self.cv.wait_for(&mut inner, Duration::from_millis(25));
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking pop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Poisoned`] if the watchdog declares deadlock while waiting.
+    pub fn pop(&self) -> Result<(MessageId, usize), Poisoned> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(word) = inner.buf.pop_front() {
+                inner.departed += 1;
+                self.live.bump();
+                self.cv.notify_all();
+                return Ok(word);
+            }
+            if self.live.is_poisoned() {
+                return Err(Poisoned);
+            }
+            self.cv.wait_for(&mut inner, Duration::from_millis(25));
+        }
+    }
+
+    /// Blocks until a word is at the front and returns a copy of it
+    /// without removing it — how a forwarder observes "the header of a
+    /// message arrives" before requesting the next hop's queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Poisoned`] if the watchdog declares deadlock while waiting.
+    pub fn peek(&self) -> Result<(MessageId, usize), Poisoned> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(&word) = inner.buf.front() {
+                return Ok(word);
+            }
+            if self.live.is_poisoned() {
+                return Err(Poisoned);
+            }
+            self.cv.wait_for(&mut inner, Duration::from_millis(25));
+        }
+    }
+
+    /// Current occupancy (for diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn live() -> Arc<Liveness> {
+        Arc::new(Liveness::default())
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = ThreadedQueue::new(2, live());
+        q.push((MessageId::new(0), 0), false).unwrap();
+        q.push((MessageId::new(0), 1), false).unwrap();
+        assert_eq!(q.occupancy(), 2);
+        assert_eq!(q.pop().unwrap(), (MessageId::new(0), 0));
+        assert_eq!(q.pop().unwrap(), (MessageId::new(0), 1));
+    }
+
+    #[test]
+    fn full_queue_blocks_until_pop() {
+        let l = live();
+        let q = Arc::new(ThreadedQueue::new(1, l));
+        q.push((MessageId::new(0), 0), false).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.push((MessageId::new(0), 1), false));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "push must block while full");
+        q.pop().unwrap();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn latch_push_waits_for_departure() {
+        let l = live();
+        let q = Arc::new(ThreadedQueue::new(0, Arc::clone(&l)));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.push((MessageId::new(0), 0), true));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "latch write completes only on departure");
+        assert_eq!(q.pop().unwrap(), (MessageId::new(0), 0));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let l = live();
+        let q = Arc::new(ThreadedQueue::new(1, Arc::clone(&l)));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(10));
+        l.poisoned.store(true, Ordering::Relaxed);
+        q.notify_all();
+        assert_eq!(t.join().unwrap(), Err(Poisoned));
+    }
+}

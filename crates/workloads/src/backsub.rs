@@ -1,0 +1,130 @@
+//! Back substitution for triangular systems on a linear array.
+//!
+//! Solves `L·x = b` for lower-triangular `L` (unit diagonal held in the
+//! cells). Cell `i` computes `x_i` once it has received `b_i` (streamed
+//! from the host) and the partial sums of the already-solved unknowns
+//! flowing down the chain; it then broadcasts `x_i` onward so the later
+//! cells can eliminate it. Two same-direction streams per link (the `b`/
+//! partial-sum stream and the solved-`x` stream), like the classic
+//! triangular-solver systolic arrays.
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the back-substitution program for an `n × n` lower-triangular
+/// system on `host + n` cells.
+///
+/// Messages per link `i → i+1`: `B{i}` (right-hand-side / partial sums,
+/// `n - i` words — one per not-yet-solved unknown) and `X{i}` (solved
+/// unknowns, `i` words for the downstream cells), plus `XOUT: cn → host`
+/// returning all `n` solutions.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn back_substitution(n: usize) -> Result<Program, ModelError> {
+    assert!(n > 0, "system dimension must be positive");
+    let mut s = ScheduleBuilder::new(n + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=n).map(|i| format!("c{i}")));
+    s.name_cells(names);
+
+    // B{i}: cell i -> cell i+1 carries the remaining right-hand sides
+    // (n - i words). X{i}: cell i -> cell i+1 carries the solved unknowns
+    // (i words, for i >= 1). XOUT: cn -> host carries all n solutions.
+    let mut b_msgs = Vec::with_capacity(n);
+    let mut x_msgs = Vec::with_capacity(n);
+    for i in 0..n {
+        b_msgs.push(s.message(format!("B{i}"), i as u32, (i + 1) as u32)?);
+        if i >= 1 {
+            x_msgs.push(s.message(format!("X{i}"), i as u32, (i + 1) as u32)?);
+        }
+    }
+    let xout = s.message("XOUT", n as u32, 0)?;
+
+    // Wavefront: cell i solves x_i at step 2i; word j of B{i} crosses at
+    // step 2(i + j) + 1; word j of X{i} (= x_{j+1}) crosses at 2(i) + 1
+    // once x_{j+1} is known, i.e. at 2*max(i, j+1) ... since i > j for all
+    // words of X{i}, it crosses at 2i + 1.
+    for (i, &b) in b_msgs.iter().enumerate() {
+        for j in 0..(n - i) {
+            s.transfer(b, 2 * (i + j) as i64 + 1);
+        }
+    }
+    for (idx, &x) in x_msgs.iter().enumerate() {
+        let i = idx + 1; // X{i} exists for i = 1..n-1
+        for _ in 0..i {
+            s.transfer(x, 2 * i as i64 + 1);
+        }
+    }
+    for _ in 0..n {
+        s.transfer(xout, 2 * n as i64 + 1);
+    }
+    s.build()
+}
+
+/// The linear topology for [`back_substitution`].
+#[must_use]
+pub fn back_substitution_topology(n: usize) -> Topology {
+    Topology::linear(n + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, MessageRoutes};
+
+    #[test]
+    fn word_counts_follow_triangle_shape() {
+        let p = back_substitution(4).unwrap();
+        let count = |name: &str| p.word_count(p.message_id(name).unwrap());
+        assert_eq!(count("B0"), 4);
+        assert_eq!(count("B1"), 3);
+        assert_eq!(count("B2"), 2);
+        assert_eq!(count("B3"), 1);
+        assert_eq!(count("X1"), 1);
+        assert_eq!(count("X2"), 2);
+        assert_eq!(count("X3"), 3);
+        assert_eq!(count("XOUT"), 4);
+    }
+
+    #[test]
+    fn host_feeds_b_and_collects_solutions() {
+        let p = back_substitution(3).unwrap();
+        let host = p.cell(CellId::new(0));
+        assert_eq!(host.iter().filter(|o| o.is_write()).count(), 3);
+        assert_eq!(host.iter().filter(|o| o.is_read()).count(), 3);
+    }
+
+    #[test]
+    fn solutions_route_back_across_the_whole_array() {
+        let p = back_substitution(3).unwrap();
+        let routes = MessageRoutes::compute(&p, &back_substitution_topology(3)).unwrap();
+        let xout = p.message_id("XOUT").unwrap();
+        assert_eq!(routes.route(xout).num_hops(), 3);
+    }
+
+    #[test]
+    fn first_cell_receives_no_x_stream() {
+        let p = back_substitution(3).unwrap();
+        assert!(p.message_id("X0").is_none());
+    }
+
+    #[test]
+    fn n1_minimal_system() {
+        let p = back_substitution(1).unwrap();
+        assert_eq!(p.num_messages(), 2); // B0 and XOUT
+        assert_eq!(p.total_words(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = back_substitution(0);
+    }
+}

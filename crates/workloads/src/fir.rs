@@ -1,0 +1,189 @@
+//! Generalized FIR filtering on a linear array (paper, Fig. 2).
+//!
+//! A `k`-tap FIR filter over `n` input samples, on a host plus `k` cells.
+//! Inputs flow away from the host (`X1: host → c1`, `X2: c1 → c2`, …,
+//! each one word shorter than the last); partial results flow back
+//! (`Yk: ck → c(k-1)`, …, `Y1: c1 → host`). Cell `i` holds weight
+//! `w(k-i+1)`; the program of [`fig2_fir`](crate::fig2_fir) is exactly
+//! `fir(3, 4)` with the paper's message names.
+
+use systolic_model::{ModelError, Program, ProgramBuilder, Topology};
+
+/// Builds the `k`-tap, `n`-input FIR program on `host + k` cells.
+///
+/// Messages are named `X1..Xk` (input stream, `Xi` carries `n - i + 1`
+/// words) and `Y1..Yk` (result stream, each carrying `n - k + 1` words).
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `taps == 0` or `inputs < taps` (the filter needs at least one
+/// full window).
+pub fn fir(taps: usize, inputs: usize) -> Result<Program, ModelError> {
+    assert!(taps > 0, "a FIR filter needs at least one tap");
+    assert!(inputs >= taps, "need at least `taps` inputs for one output");
+    let k = taps;
+    let n = inputs;
+    let m = n - k + 1; // number of outputs
+
+    let mut b = ProgramBuilder::new(k + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=k).map(|i| format!("c{i}")));
+    b.name_cells(names);
+
+    // X_i: cell (i-1) -> cell i, length n - i + 1. (Cell 0 is the host.)
+    for i in 1..=k {
+        b.message(format!("X{i}"), (i - 1) as u32, i as u32)?;
+    }
+    // Y_i: cell i -> cell (i-1), length m.
+    for i in 1..=k {
+        b.message(format!("Y{i}"), i as u32, (i - 1) as u32)?;
+    }
+
+    // Host: write X1 continuously; after the k-th write, interleave reads.
+    for j in 1..=n {
+        b.write(0u32, "X1")?;
+        if j >= k {
+            b.read(0u32, "Y1")?;
+        }
+    }
+
+    // Cell i (1-based): k - i prologue rounds, then m compute rounds.
+    for i in 1..=k {
+        let cell = i as u32;
+        let x_in = format!("X{i}");
+        let x_out = format!("X{}", i + 1);
+        let y_in = format!("Y{}", i + 1);
+        let y_out = format!("Y{i}");
+        let x_out_len = n - i; // words of X_{i+1}
+
+        for _ in 0..(k - i) {
+            b.read(cell, &x_in)?;
+            if i < k {
+                b.write(cell, &x_out)?;
+            }
+        }
+        for j in 1..=m {
+            b.read(cell, &x_in)?;
+            if i < k {
+                b.read(cell, &y_in)?;
+                if (k - i) + j <= x_out_len {
+                    b.write(cell, &x_out)?;
+                }
+            }
+            b.write(cell, &y_out)?;
+        }
+    }
+
+    b.build()
+}
+
+/// The linear topology for [`fir`]: host plus `taps` cells.
+#[must_use]
+pub fn fir_topology(taps: usize) -> Topology {
+    Topology::linear(taps + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, Op, OpKind};
+
+    /// `fir(3, 4)` must be op-for-op identical to the paper's Fig. 2 program
+    /// (modulo message names: X1=XA, X2=XB, X3=XC, Y1=YA, Y2=YB, Y3=YC).
+    #[test]
+    fn fir_3_4_reproduces_fig2() {
+        let gen = fir(3, 4).unwrap();
+        let fig = crate::fig2_fir();
+        assert_eq!(gen.num_cells(), fig.num_cells());
+        assert_eq!(gen.num_messages(), fig.num_messages());
+
+        // Map generated names to figure names.
+        let rename = [
+            ("X1", "XA"),
+            ("X2", "XB"),
+            ("X3", "XC"),
+            ("Y1", "YA"),
+            ("Y2", "YB"),
+            ("Y3", "YC"),
+        ];
+        for cell in gen.cell_ids() {
+            let gen_ops: Vec<(OpKind, &str)> = gen
+                .cell(cell)
+                .iter()
+                .map(|op: Op| {
+                    let name = gen.message(op.message()).name();
+                    let mapped = rename
+                        .iter()
+                        .find(|(g, _)| *g == name)
+                        .map(|(_, f)| *f)
+                        .unwrap();
+                    (op.kind(), mapped)
+                })
+                .collect();
+            let fig_ops: Vec<(OpKind, &str)> = fig
+                .cell(cell)
+                .iter()
+                .map(|op: Op| (op.kind(), fig.message(op.message()).name()))
+                .collect();
+            assert_eq!(gen_ops, fig_ops, "cell {cell} differs from Fig. 2");
+        }
+    }
+
+    #[test]
+    fn word_counts_scale() {
+        let p = fir(3, 10).unwrap();
+        let count = |name: &str| p.word_count(p.message_id(name).unwrap());
+        assert_eq!(count("X1"), 10);
+        assert_eq!(count("X2"), 9);
+        assert_eq!(count("X3"), 8);
+        for y in ["Y1", "Y2", "Y3"] {
+            assert_eq!(count(y), 8); // m = 10 - 3 + 1
+        }
+    }
+
+    #[test]
+    fn single_tap_degenerates_gracefully() {
+        let p = fir(1, 5).unwrap();
+        assert_eq!(p.num_cells(), 2);
+        assert_eq!(p.word_count(p.message_id("X1").unwrap()), 5);
+        assert_eq!(p.word_count(p.message_id("Y1").unwrap()), 5);
+    }
+
+    #[test]
+    fn exact_window_one_output() {
+        let p = fir(4, 4).unwrap();
+        assert_eq!(p.word_count(p.message_id("Y1").unwrap()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn zero_taps_rejected() {
+        let _ = fir(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least `taps` inputs")]
+    fn too_few_inputs_rejected() {
+        let _ = fir(4, 3);
+    }
+
+    #[test]
+    fn topology_matches() {
+        assert_eq!(fir_topology(3).num_cells(), fir(3, 4).unwrap().num_cells());
+    }
+
+    #[test]
+    fn host_reads_every_output() {
+        let p = fir(2, 6).unwrap();
+        let host_reads = p
+            .cell(CellId::new(0))
+            .iter()
+            .filter(|op| op.is_read())
+            .count();
+        assert_eq!(host_reads, 5);
+    }
+}

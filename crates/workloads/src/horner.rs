@@ -1,0 +1,115 @@
+//! Horner polynomial evaluation on a linear array.
+//!
+//! Coefficients are preloaded one per cell; evaluation points stream through
+//! the array, each accompanied by a running accumulator. Unlike the stream
+//! workloads, every point uses its *own* short messages, producing many
+//! sequentially-competing messages per interval — a stress test for dynamic
+//! queue assignment with small pools.
+//!
+//! Built by schedule projection: the host interleaves feeding new points
+//! with draining finished results (a host that wrote all points before
+//! reading any result would deadlock once `points > degree`, exactly the
+//! pathology of Section 4).
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the Horner program: `host + degree` cells, `points` evaluation
+/// points, with per-point messages `X{i}_{j}` (the point) and `A{i}_{j}`
+/// (the accumulator) on each link `i → i+1`, and `R_{j}` returning result
+/// `j` from the last cell to the host.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `degree == 0` or `points == 0`.
+pub fn horner(degree: usize, points: usize) -> Result<Program, ModelError> {
+    assert!(degree > 0, "polynomial degree must be positive");
+    assert!(points > 0, "need at least one evaluation point");
+    let k = degree;
+    let mut s = ScheduleBuilder::new(k + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=k).map(|i| format!("c{i}")));
+    s.name_cells(names);
+
+    for j in 0..points {
+        // Link i -> i+1 for point j; the pair (X, A) crosses together.
+        for i in 0..k {
+            let x = s.message(format!("X{i}_{j}"), i as u32, (i + 1) as u32)?;
+            let a = s.message(format!("A{i}_{j}"), i as u32, (i + 1) as u32)?;
+            let t = 2 * (i + j) as i64 + 1;
+            s.transfer(x, t);
+            s.transfer(a, t);
+        }
+        // The result leaves the last cell one wavefront later.
+        let r = s.message(format!("R_{j}"), k as u32, 0)?;
+        s.transfer(r, 2 * (k + j) as i64 + 1);
+    }
+    s.build()
+}
+
+/// The linear topology for [`horner`].
+#[must_use]
+pub fn horner_topology(degree: usize) -> Topology {
+    Topology::linear(degree + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::CellId;
+
+    #[test]
+    fn message_counts_scale_with_points() {
+        let p = horner(3, 4).unwrap();
+        // Per point: 2 messages per inner link (3 links) + 1 result = 7.
+        assert_eq!(p.num_messages(), 4 * 7);
+        // Every message carries one word.
+        assert_eq!(p.total_words(), 4 * 7);
+    }
+
+    #[test]
+    fn last_cell_emits_results() {
+        let p = horner(2, 3).unwrap();
+        let last = p.cell(CellId::new(2));
+        let writes = last.iter().filter(|o| o.is_write()).count();
+        assert_eq!(writes, 3);
+    }
+
+    #[test]
+    fn host_interleaves_feeding_and_draining() {
+        let p = horner(2, 5).unwrap();
+        let host = p.cell(CellId::new(0));
+        assert_eq!(host.iter().filter(|o| o.is_read()).count(), 5);
+        assert_eq!(host.iter().filter(|o| o.is_write()).count(), 10);
+        // The first result is read before the last point is written:
+        // result j returns at wavefront k + j, while point j' enters at
+        // wavefront j', so R_0 (wavefront 2) precedes X0_3 (wavefront 3).
+        let first_read = host.iter().position(|o| o.is_read()).unwrap();
+        let last_write = host.ops().iter().rposition(|o| o.is_write()).unwrap();
+        assert!(first_read < last_write);
+    }
+
+    #[test]
+    fn points_beyond_degree_are_fine() {
+        // The regression that motivated schedule projection: points > degree.
+        let p = horner(2, 8).unwrap();
+        assert_eq!(p.num_messages(), 8 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn zero_degree_rejected() {
+        let _ = horner(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation point")]
+    fn zero_points_rejected() {
+        let _ = horner(1, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Systolic workload generators: the paper's figure programs, classic
+//! systolic algorithms, and random programs for property testing.
+//!
+//! Everything here produces plain [`systolic_model::Program`]s — the
+//! analysis (`systolic-core`) and the runtimes (`systolic-sim`,
+//! `systolic-threaded`) consume them unchanged.
+//!
+//! * **Paper figures** — [`fig2_fir`], [`fig5_p1`]/[`fig5_p2`]/[`fig5_p3`],
+//!   [`fig6_cycle`], [`fig7`], [`fig8`], [`fig9`]: the exact programs from
+//!   H.T. Kung, *Deadlock Avoidance for Systolic Communication* (1988).
+//! * **Classic systolic algorithms** — [`fir`], [`matvec`],
+//!   [`mesh_matmul`], [`odd_even_sort`], [`seq_align`], [`horner`],
+//!   [`token_ring`], [`wavefront`]: the workload family the paper's
+//!   introduction motivates (convolution/FIR, Warp-style arrays, P-NAC
+//!   sequence comparison, wavefront processors).
+//! * **Construction tools** — [`ScheduleBuilder`] (deadlock-free programs by
+//!   schedule projection, the Section 3.3 strategy generalized) and the
+//!   [`random_program`]/[`scramble`] generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_workloads::{fir, fir_topology};
+//!
+//! # fn main() -> Result<(), systolic_model::ModelError> {
+//! let program = fir(3, 16)?; // 3-tap filter over 16 samples
+//! assert_eq!(program.num_cells(), 4); // host + 3 cells
+//! assert_eq!(fir_topology(3).num_cells(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod backsub;
+mod figures;
+mod fir;
+mod horner;
+mod matmul;
+mod matvec;
+mod random;
+mod ring;
+mod schedule;
+mod seqalign;
+mod sorting;
+mod wavefront;
+
+pub use backsub::{back_substitution, back_substitution_topology};
+pub use figures::{
+    fig2_fir, fig2_topology, fig3_messages, fig5_p1, fig5_p2, fig5_p3, fig6_cycle, fig6_topology,
+    fig7, fig7_topology, fig8, fig8_topology, fig9, fig9_topology,
+};
+pub use fir::{fir, fir_topology};
+pub use horner::{horner, horner_topology};
+pub use matmul::{matmul_topology, mesh_matmul};
+pub use matvec::{matvec, matvec_topology};
+pub use random::{random_program, random_topology, scramble, swap_adjacent, RandomConfig};
+pub use ring::{ring_topology, token_ring};
+pub use schedule::ScheduleBuilder;
+pub use seqalign::{seq_align, seq_align_strict, seq_align_topology};
+pub use sorting::{odd_even_sort, sort_topology};
+pub use wavefront::{wavefront, wavefront_topology};

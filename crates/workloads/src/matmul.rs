@@ -1,0 +1,122 @@
+//! Matrix–matrix multiplication on a 2-D mesh.
+//!
+//! The classic systolic `C = A·B` on a `rows × cols` mesh with inner
+//! dimension `k`: values of `A` flow east, values of `B` flow south, both
+//! skewed so that cell `(i, j)` sees `a[i][t]` and `b[t][j]` together at
+//! logical step `i + j + t`. West-column cells source the `A` stream,
+//! north-row cells source the `B` stream (the paper's preloading idiom).
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the mesh matmul program.
+///
+/// Messages `AE{i}_{j}` carry the `A` stream from `(i, j)` to `(i, j+1)`
+/// (`k` words) and `BS{i}_{j}` carry the `B` stream from `(i, j)` to
+/// `(i+1, j)`.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn mesh_matmul(rows: usize, cols: usize, k: usize) -> Result<Program, ModelError> {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    assert!(k > 0, "inner dimension must be positive");
+    let mut s = ScheduleBuilder::new(rows * cols);
+    let id = |i: usize, j: usize| (i * cols + j) as u32;
+
+    let mut east = Vec::new(); // (i, j, message) for j+1 < cols
+    let mut south = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                east.push((i, j, s.message(format!("AE{i}_{j}"), id(i, j), id(i, j + 1))?));
+            }
+            if i + 1 < rows {
+                south.push((i, j, s.message(format!("BS{i}_{j}"), id(i, j), id(i + 1, j))?));
+            }
+        }
+    }
+
+    // Word t of AE{i}_{j} leaves (i, j) right after its use at logical step
+    // i + j + t. A cell's incoming words are scheduled two ticks before its
+    // outgoing ones (the incoming hop's `i + j` is one smaller), so every
+    // read precedes the writes that depend on it.
+    for &(i, j, m) in &east {
+        for t in 0..k {
+            s.transfer(m, 2 * (i + j + t) as i64 + 1);
+        }
+    }
+    for &(i, j, m) in &south {
+        for t in 0..k {
+            s.transfer(m, 2 * (i + j + t) as i64 + 1);
+        }
+    }
+    s.build()
+}
+
+/// The mesh topology for [`mesh_matmul`].
+#[must_use]
+pub fn matmul_topology(rows: usize, cols: usize) -> Topology {
+    Topology::mesh(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, MessageRoutes};
+
+    #[test]
+    fn message_and_word_counts() {
+        let p = mesh_matmul(2, 3, 4).unwrap();
+        // East links: 2 rows x 2 = 4; south links: 1 x 3 = 3.
+        assert_eq!(p.num_messages(), 7);
+        assert_eq!(p.total_words(), 7 * 4);
+    }
+
+    #[test]
+    fn corner_cells_have_expected_roles() {
+        let p = mesh_matmul(2, 2, 3).unwrap();
+        // (0,0) only writes (sources both streams).
+        let nw = p.cell(CellId::new(0));
+        assert!(nw.iter().all(|o| o.is_write()));
+        // (1,1) only reads (sinks both streams).
+        let se = p.cell(CellId::new(3));
+        assert!(se.iter().all(|o| o.is_read()));
+    }
+
+    #[test]
+    fn all_routes_are_single_hop_on_the_mesh() {
+        let p = mesh_matmul(3, 3, 2).unwrap();
+        let routes = MessageRoutes::compute(&p, &matmul_topology(3, 3)).unwrap();
+        assert!(routes.iter().all(|(_, r)| r.num_hops() == 1));
+    }
+
+    #[test]
+    fn middle_cell_interleaves_reads_and_writes() {
+        let p = mesh_matmul(3, 3, 1).unwrap();
+        // Cell (1,1) = id 4 reads AE1_0 and BS0_1, writes AE1_1 and BS1_1.
+        let mid = p.cell(CellId::new(4));
+        assert_eq!(mid.iter().filter(|o| o.is_read()).count(), 2);
+        assert_eq!(mid.iter().filter(|o| o.is_write()).count(), 2);
+        // Incoming transfers are keyed two ticks earlier: reads come first.
+        assert!(mid.get(0).unwrap().is_read());
+        assert!(mid.get(mid.len() - 1).unwrap().is_write());
+    }
+
+    #[test]
+    fn single_cell_mesh_is_empty_program() {
+        let p = mesh_matmul(1, 1, 5).unwrap();
+        assert_eq!(p.num_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = mesh_matmul(0, 2, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Matrix–vector multiplication on a linear array.
+//!
+//! `y = A·x` for an `n × n` matrix: cell `i` (1-based) holds row `i` of `A`.
+//! The vector `x` streams away from the host through forwarding messages
+//! `X1..Xn`; each cell accumulates its dot product locally and ships the
+//! scalar result home as a *multi-hop* message `Yi: ci → host`, exercising
+//! routes that cross several intervals.
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the `n × n` matrix–vector program on `host + n` cells.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn matvec(n: usize) -> Result<Program, ModelError> {
+    assert!(n > 0, "matrix dimension must be positive");
+    let mut s = ScheduleBuilder::new(n + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=n).map(|i| format!("c{i}")));
+    s.name_cells(names);
+
+    // X_i: cell (i-1) -> cell i carries the x vector (n words); cell i
+    // consumes x_j at time i + j and forwards it at the same tick (the
+    // schedule key orders the read before the dependent write by message
+    // id: X_i is declared before X_{i+1}).
+    let mut xs = Vec::with_capacity(n);
+    for i in 1..=n {
+        xs.push(s.message(format!("X{i}"), (i - 1) as u32, i as u32)?);
+    }
+    // Y_i: cell i -> host, one word, after cell i has seen all of x.
+    let mut ys = Vec::with_capacity(n);
+    for i in 1..=n {
+        ys.push(s.message(format!("Y{i}"), i as u32, 0)?);
+    }
+
+    for i in 1..=n {
+        // x_j crosses the (i-1, i) interval at time (i - 1) + j.
+        s.transfer_n(xs[i - 1], (i - 1) as i64, 1, n);
+        // y_i leaves cell i once x_n has been consumed there: time i + n.
+        s.transfer(ys[i - 1], (i + n) as i64);
+    }
+    s.build()
+}
+
+/// The linear topology for [`matvec`]: host plus `n` cells.
+#[must_use]
+pub fn matvec_topology(n: usize) -> Topology {
+    Topology::linear(n + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, MessageRoutes};
+
+    #[test]
+    fn word_counts() {
+        let p = matvec(4).unwrap();
+        for i in 1..=4 {
+            assert_eq!(p.word_count(p.message_id(&format!("X{i}")).unwrap()), 4);
+            assert_eq!(p.word_count(p.message_id(&format!("Y{i}")).unwrap()), 1);
+        }
+        assert_eq!(p.total_words(), 4 * 4 + 4);
+    }
+
+    #[test]
+    fn y_messages_are_multi_hop() {
+        let p = matvec(3).unwrap();
+        let routes = MessageRoutes::compute(&p, &matvec_topology(3)).unwrap();
+        let y3 = p.message_id("Y3").unwrap();
+        assert_eq!(routes.route(y3).num_hops(), 3);
+        assert_eq!(routes.route(y3).receiver(), CellId::new(0));
+    }
+
+    #[test]
+    fn host_writes_x_and_reads_all_y() {
+        let p = matvec(3).unwrap();
+        let host = p.cell(CellId::new(0));
+        let writes = host.iter().filter(|o| o.is_write()).count();
+        let reads = host.iter().filter(|o| o.is_read()).count();
+        assert_eq!(writes, 3); // x vector
+        assert_eq!(reads, 3); // y results
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = matvec(0);
+    }
+
+    #[test]
+    fn n1_minimal() {
+        let p = matvec(1).unwrap();
+        assert_eq!(p.total_words(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Random programs for property tests and campaign benchmarks.
+//!
+//! [`random_program`] emits programs that are **deadlock-free by
+//! construction** (schedule projection, Section 3.3 of the paper);
+//! [`scramble`] perturbs per-cell op orders to manufacture candidate
+//! *deadlocked* programs. Classification of scrambled programs is left to
+//! the caller (the analysis lives in `systolic-core`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use systolic_model::{CellProgram, ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Shape parameters for [`random_program`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RandomConfig {
+    /// Cells in the (linear) array. Must be ≥ 2.
+    pub cells: usize,
+    /// Number of messages to declare.
+    pub messages: usize,
+    /// Words per message are drawn from `1..=max_words`.
+    pub max_words: usize,
+    /// Maximum hop distance between a message's sender and receiver
+    /// (1 = neighbours only).
+    pub max_span: usize,
+    /// If `true`, a message's words occupy consecutive schedule slots
+    /// (message-at-a-time behaviour, little interleaving — small related
+    /// classes); if `false`, every word lands at an independent random
+    /// time (heavy interleaving — most messages end up related, which
+    /// inflates the queue requirement enormously).
+    pub clustered: bool,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { cells: 4, messages: 6, max_words: 4, max_span: 3, clustered: true }
+    }
+}
+
+/// Generates a random deadlock-free program over a linear array.
+///
+/// Messages get random (sender, receiver) pairs within `max_span` hops and
+/// random word counts; transfer times are drawn at random, and the schedule
+/// is projected to per-cell op lists. The same `seed` always yields the
+/// same program.
+///
+/// # Errors
+///
+/// Never fails for valid configurations; propagates builder errors
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `cells < 2`, `messages == 0`, `max_words == 0` or
+/// `max_span == 0`.
+pub fn random_program(config: &RandomConfig, seed: u64) -> Result<Program, ModelError> {
+    assert!(config.cells >= 2, "need at least two cells");
+    assert!(config.messages > 0, "need at least one message");
+    assert!(config.max_words > 0, "messages need at least one word");
+    assert!(config.max_span > 0, "messages must travel at least one hop");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = ScheduleBuilder::new(config.cells);
+
+    let horizon = (config.messages * config.max_words * 4) as i64;
+    for m in 0..config.messages {
+        let sender = rng.random_range(0..config.cells);
+        let candidates: Vec<usize> = (0..config.cells)
+            .filter(|&r| {
+                let span = r.abs_diff(sender);
+                (1..=config.max_span).contains(&span)
+            })
+            .collect();
+        let receiver = candidates[rng.random_range(0..candidates.len())];
+        let id = s.message(format!("M{m}"), sender as u32, receiver as u32)?;
+        let words = rng.random_range(1..=config.max_words);
+        if config.clustered {
+            let base = rng.random_range(0..horizon);
+            for w in 0..words {
+                s.transfer(id, base + w as i64);
+            }
+        } else {
+            for _ in 0..words {
+                s.transfer(id, rng.random_range(0..horizon));
+            }
+        }
+    }
+    s.build()
+}
+
+/// The linear topology matching [`random_program`]'s cell count.
+#[must_use]
+pub fn random_topology(config: &RandomConfig) -> Topology {
+    Topology::linear(config.cells)
+}
+
+/// Randomly permutes the op order *within each cell* of `program`.
+///
+/// Word counts and senders/receivers are untouched, so the result is always
+/// a valid [`Program`] — but its crossing-off classification is anyone's
+/// guess: this is the generator of *candidate deadlocked* programs for the
+/// campaign experiments.
+///
+/// # Panics
+///
+/// Panics only if the perturbed program fails validation, which would be a
+/// bug (permutation preserves all validated invariants).
+#[must_use]
+pub fn scramble(program: &Program, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = program
+        .cells()
+        .iter()
+        .map(|cp| {
+            let mut ops: Vec<_> = cp.iter().collect();
+            ops.shuffle(&mut rng);
+            CellProgram::new(ops)
+        })
+        .collect();
+    let names = program
+        .cell_ids()
+        .map(|c| program.cell_name(c).to_owned())
+        .collect();
+    Program::new(names, program.messages().to_vec(), cells)
+        .expect("permuting ops within cells preserves validity")
+}
+
+/// Swaps two adjacent ops in one cell of `program` — the minimal
+/// perturbation, used to probe how fragile deadlock-freedom is.
+///
+/// Returns `None` if the chosen cell has fewer than two ops.
+#[must_use]
+pub fn swap_adjacent(program: &Program, cell: usize, pos: usize) -> Option<Program> {
+    let cp = program.cells().get(cell)?;
+    if pos + 1 >= cp.len() {
+        return None;
+    }
+    let mut ops: Vec<_> = cp.iter().collect();
+    ops.swap(pos, pos + 1);
+    let cells = program
+        .cells()
+        .iter()
+        .enumerate()
+        .map(|(i, orig)| {
+            if i == cell {
+                CellProgram::new(ops.clone())
+            } else {
+                orig.clone()
+            }
+        })
+        .collect();
+    let names = program
+        .cell_ids()
+        .map(|c| program.cell_name(c).to_owned())
+        .collect();
+    Some(
+        Program::new(names, program.messages().to_vec(), cells)
+            .expect("swapping ops within a cell preserves validity"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = RandomConfig::default();
+        let a = random_program(&cfg, 42).unwrap();
+        let b = random_program(&cfg, 42).unwrap();
+        assert_eq!(a, b);
+        let c = random_program(&cfg, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let cfg = RandomConfig { cells: 6, messages: 10, max_words: 3, max_span: 2, ..Default::default() };
+        let p = random_program(&cfg, 7).unwrap();
+        assert_eq!(p.num_cells(), 6);
+        assert_eq!(p.num_messages(), 10);
+        for m in p.message_ids() {
+            let words = p.word_count(m);
+            assert!((1..=3).contains(&words));
+            let decl = p.message(m);
+            let span = decl.sender().index().abs_diff(decl.receiver().index());
+            assert!((1..=2).contains(&span));
+        }
+    }
+
+    #[test]
+    fn scramble_preserves_counts() {
+        let cfg = RandomConfig::default();
+        let p = random_program(&cfg, 1).unwrap();
+        let q = scramble(&p, 2);
+        assert_eq!(p.num_messages(), q.num_messages());
+        for m in p.message_ids() {
+            assert_eq!(p.word_count(m), q.word_count(m));
+        }
+        for c in p.cell_ids() {
+            assert_eq!(p.cell(c).len(), q.cell(c).len());
+        }
+    }
+
+    #[test]
+    fn swap_adjacent_touches_one_cell() {
+        let cfg = RandomConfig::default();
+        let p = random_program(&cfg, 3).unwrap();
+        // Find a position where the two adjacent ops actually differ.
+        let (cell, pos) = p
+            .cell_ids()
+            .flat_map(|c| {
+                let cp = p.cell(c);
+                (0..cp.len().saturating_sub(1))
+                    .filter(move |&i| cp.get(i) != cp.get(i + 1))
+                    .map(move |i| (c.index(), i))
+            })
+            .next()
+            .expect("some cell has two distinct adjacent ops");
+        let q = swap_adjacent(&p, cell, pos).unwrap();
+        assert_ne!(p.cells()[cell], q.cells()[cell]);
+        for other in p.cell_ids().map(|c| c.index()).filter(|&c| c != cell) {
+            assert_eq!(p.cells()[other], q.cells()[other]);
+        }
+    }
+
+    #[test]
+    fn swap_out_of_range_is_none() {
+        let cfg = RandomConfig::default();
+        let p = random_program(&cfg, 3).unwrap();
+        assert!(swap_adjacent(&p, 0, 10_000).is_none());
+        assert!(swap_adjacent(&p, 10_000, 0).is_none());
+    }
+
+    #[test]
+    fn topology_matches_config() {
+        let cfg = RandomConfig { cells: 5, ..Default::default() };
+        assert_eq!(random_topology(&cfg).num_cells(), 5);
+    }
+}

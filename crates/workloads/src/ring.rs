@@ -1,0 +1,89 @@
+//! Token circulation on a ring topology.
+//!
+//! A token starts at cell 0 and makes `laps` complete trips around an
+//! `n`-cell ring; every hop is its own one-word message. Exercises the
+//! [`Topology::ring`] routing and gives the runtimes a long chain of
+//! strictly ordered transfers.
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the token-ring program: message `T{lap}_{i}` carries the token
+/// from cell `i` to cell `(i+1) mod n` during `lap`.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (rings need three cells) or `laps == 0`.
+pub fn token_ring(n: usize, laps: usize) -> Result<Program, ModelError> {
+    assert!(n >= 3, "a ring needs at least three cells");
+    assert!(laps > 0, "need at least one lap");
+    let mut s = ScheduleBuilder::new(n);
+    let mut t = 0i64;
+    for lap in 0..laps {
+        for i in 0..n {
+            let m = s.message(format!("T{lap}_{i}"), i as u32, ((i + 1) % n) as u32)?;
+            s.transfer(m, t);
+            t += 1;
+        }
+    }
+    s.build()
+}
+
+/// The ring topology for [`token_ring`].
+#[must_use]
+pub fn ring_topology(n: usize) -> Topology {
+    Topology::ring(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, MessageRoutes};
+
+    #[test]
+    fn one_message_per_hop_per_lap() {
+        let p = token_ring(4, 3).unwrap();
+        assert_eq!(p.num_messages(), 12);
+        assert_eq!(p.total_words(), 12);
+    }
+
+    #[test]
+    fn each_cell_alternates_receive_send() {
+        let p = token_ring(3, 2).unwrap();
+        // Cell 1: R(T0_0) W(T0_1) R(T1_0) W(T1_1).
+        let c1 = p.cell(CellId::new(1));
+        let kinds: Vec<bool> = c1.iter().map(|o| o.is_read()).collect();
+        assert_eq!(kinds, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn cell0_starts_by_sending() {
+        let p = token_ring(3, 1).unwrap();
+        assert!(p.cell(CellId::new(0)).get(0).unwrap().is_write());
+    }
+
+    #[test]
+    fn wraparound_hop_is_single_hop_on_ring() {
+        let p = token_ring(4, 1).unwrap();
+        let routes = MessageRoutes::compute(&p, &ring_topology(4)).unwrap();
+        let back = p.message_id("T0_3").unwrap(); // c3 -> c0
+        assert_eq!(routes.route(back).num_hops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "three cells")]
+    fn tiny_ring_rejected() {
+        let _ = token_ring(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one lap")]
+    fn zero_laps_rejected() {
+        let _ = token_ring(3, 0);
+    }
+}

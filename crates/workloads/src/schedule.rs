@@ -1,0 +1,234 @@
+//! Deadlock-free programs by construction: schedule projection.
+//!
+//! Section 3.3 of the paper: "A general strategy is to write the cell
+//! programs as if only one word in one message would be transferred in a
+//! given step." This module generalizes that strategy: describe the global
+//! transfer schedule — *which word of which message moves at which time* —
+//! and project it onto per-cell op lists. Every projected program is
+//! deadlock-free, because the crossing-off procedure can cross pairs in
+//! exactly the schedule's key order.
+//!
+//! All the workload generators in this crate are built on this foundation,
+//! as is the random-program generator that fuels the property tests.
+
+use systolic_model::{CellId, CellProgram, MessageDecl, MessageId, ModelError, Op, Program};
+
+/// Builds a [`Program`] from a global transfer schedule.
+///
+/// # Examples
+///
+/// A two-cell exchange, scheduled so it is deadlock-free:
+///
+/// ```
+/// use systolic_workloads::ScheduleBuilder;
+///
+/// # fn main() -> Result<(), systolic_model::ModelError> {
+/// let mut s = ScheduleBuilder::new(2);
+/// let ab = s.message("AB", 0, 1)?;
+/// let ba = s.message("BA", 1, 0)?;
+/// s.transfer(ab, 0);
+/// s.transfer(ba, 1);
+/// let program = s.build()?;
+/// assert_eq!(program.total_words(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScheduleBuilder {
+    names: Vec<String>,
+    messages: Vec<MessageDecl>,
+    /// `(message, time)` transfer events; words of a message are ordered by
+    /// `(time, insertion order)`.
+    transfers: Vec<(MessageId, i64)>,
+}
+
+impl ScheduleBuilder {
+    /// A schedule over `num_cells` cells named `c0`…`c{n-1}`.
+    #[must_use]
+    pub fn new(num_cells: usize) -> Self {
+        ScheduleBuilder {
+            names: (0..num_cells).map(|i| format!("c{i}")).collect(),
+            messages: Vec::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Renames all cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the cell count.
+    pub fn name_cells<S: Into<String>>(
+        &mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> &mut Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(names.len(), self.names.len(), "one name per cell");
+        self.names = names;
+        self
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Declares a message.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, out-of-range cells or sender == receiver.
+    pub fn message(
+        &mut self,
+        name: impl Into<String>,
+        sender: u32,
+        receiver: u32,
+    ) -> Result<MessageId, ModelError> {
+        let name = name.into();
+        if self.messages.iter().any(|m| m.name() == name) {
+            return Err(ModelError::DuplicateMessage { name });
+        }
+        for cell in [sender, receiver] {
+            if cell as usize >= self.names.len() {
+                return Err(ModelError::CellOutOfRange {
+                    cell: CellId::new(cell),
+                    num_cells: self.names.len(),
+                });
+            }
+        }
+        let decl = MessageDecl::new(name, CellId::new(sender), CellId::new(receiver))?;
+        self.messages.push(decl);
+        Ok(MessageId::new((self.messages.len() - 1) as u32))
+    }
+
+    /// Schedules the transfer of the next word of `message` at `time`.
+    pub fn transfer(&mut self, message: MessageId, time: i64) -> &mut Self {
+        self.transfers.push((message, time));
+        self
+    }
+
+    /// Schedules `n` consecutive words of `message` at times
+    /// `start, start + step, …`.
+    pub fn transfer_n(&mut self, message: MessageId, start: i64, step: i64, n: usize) -> &mut Self {
+        for k in 0..n {
+            self.transfers.push((message, start + step * k as i64));
+        }
+        self
+    }
+
+    /// Projects the schedule onto per-cell programs.
+    ///
+    /// Each transfer becomes a `W` op in the sender's program and an `R` op
+    /// in the receiver's, both placed at the schedule key
+    /// `(time, message, word)`. Cells execute their ops in key order, so the
+    /// crossing-off procedure succeeds in exactly that order: the result is
+    /// **deadlock-free by construction**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Program::new`] validation errors (none are expected for
+    /// schedules built through this API).
+    pub fn build(&self) -> Result<Program, ModelError> {
+        // Assign word indices per message: order transfers by (time,
+        // insertion order) within each message.
+        let mut word_counter = vec![0usize; self.messages.len()];
+        let mut events: Vec<(i64, MessageId, usize)> = Vec::with_capacity(self.transfers.len());
+        let mut ordered = self.transfers.clone();
+        ordered.sort_by_key(|&(_, t)| t); // stable: preserves insertion order per time
+        for (m, t) in ordered {
+            let w = word_counter[m.index()];
+            word_counter[m.index()] += 1;
+            events.push((t, m, w));
+        }
+        // Global key order.
+        events.sort_by_key(|&(t, m, w)| (t, m, w));
+
+        let mut cells: Vec<Vec<Op>> = vec![Vec::new(); self.names.len()];
+        for (_, m, _) in &events {
+            let decl = &self.messages[m.index()];
+            cells[decl.sender().index()].push(Op::write(*m));
+            cells[decl.receiver().index()].push(Op::read(*m));
+        }
+        Program::new(
+            self.names.clone(),
+            self.messages.clone(),
+            cells.into_iter().map(CellProgram::new).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_in_key_order() {
+        let mut s = ScheduleBuilder::new(3);
+        let a = s.message("A", 0, 1).unwrap();
+        let b = s.message("B", 1, 2).unwrap();
+        // A's word at t=0, B's word at t=1: c1 must read A before writing B.
+        s.transfer(b, 1);
+        s.transfer(a, 0);
+        let p = s.build().unwrap();
+        let c1 = p.cell(CellId::new(1));
+        assert_eq!(c1.ops(), &[Op::read(a), Op::write(b)]);
+    }
+
+    #[test]
+    fn ties_break_by_message_id_everywhere() {
+        let mut s = ScheduleBuilder::new(2);
+        let a = s.message("A", 0, 1).unwrap();
+        let b = s.message("B", 1, 0).unwrap();
+        s.transfer(b, 5);
+        s.transfer(a, 5);
+        let p = s.build().unwrap();
+        // Same time: message id order (A first) in *both* cells.
+        assert_eq!(p.cell(CellId::new(0)).ops(), &[Op::write(a), Op::read(b)]);
+        assert_eq!(p.cell(CellId::new(1)).ops(), &[Op::read(a), Op::write(b)]);
+    }
+
+    #[test]
+    fn transfer_n_schedules_a_stream() {
+        let mut s = ScheduleBuilder::new(2);
+        let a = s.message("A", 0, 1).unwrap();
+        s.transfer_n(a, 0, 2, 4);
+        let p = s.build().unwrap();
+        assert_eq!(p.word_count(a), 4);
+        assert_eq!(p.cell(CellId::new(0)).len(), 4);
+    }
+
+    #[test]
+    fn same_time_same_message_orders_by_insertion() {
+        let mut s = ScheduleBuilder::new(2);
+        let a = s.message("A", 0, 1).unwrap();
+        s.transfer(a, 7);
+        s.transfer(a, 7);
+        let p = s.build().unwrap();
+        assert_eq!(p.word_count(a), 2);
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let mut s = ScheduleBuilder::new(2);
+        s.message("A", 0, 1).unwrap();
+        assert!(s.message("A", 1, 0).is_err());
+    }
+
+    #[test]
+    fn bad_cells_rejected() {
+        let mut s = ScheduleBuilder::new(2);
+        assert!(s.message("A", 0, 9).is_err());
+        assert!(s.message("B", 1, 1).is_err());
+    }
+
+    #[test]
+    fn rename_cells() {
+        let mut s = ScheduleBuilder::new(2);
+        s.name_cells(["host", "cell"]);
+        let a = s.message("A", 0, 1).unwrap();
+        s.transfer(a, 0);
+        let p = s.build().unwrap();
+        assert_eq!(p.cell_name(CellId::new(0)), "host");
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequence alignment on a linear array (P-NAC style).
+//!
+//! The paper cites Lopresti's P-NAC, "a systolic array for comparing
+//! nucleic acid sequences". One sequence (the *query*, length `k`) is
+//! preloaded one character per cell; the other (the *database*, length `m`)
+//! streams through. Each cell forwards both the database character stream
+//! and the running dynamic-programming score stream to its right neighbour
+//! — two same-direction streams whose interleaved access makes them
+//! *related*, so the analysis demands two queues per interval in the flow
+//! direction.
+//!
+//! The program is produced by schedule projection (the Section 3.3
+//! strategy), which software-pipelines each cell: reads of the next
+//! database character overlap the writes of the previous one. A strict
+//! read-read-write-write round per character would in fact be *deadlocked*
+//! under unbuffered queues — the host cannot start draining final scores
+//! until it finishes feeding, which stalls the last cell and, link by
+//! link, the whole array. (It becomes deadlock-free again under lookahead
+//! with enough buffering; see the lookahead experiments.)
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the alignment program: `host + k` cells, database length `m`.
+///
+/// Messages per link `i → i+1`: `D{i}` (database characters, `m` words) and
+/// `S{i}` (scores, `m` words), interleaved per character, plus the final
+/// score stream `S{k}: ck → host`, routed back across every interval.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `m == 0`.
+pub fn seq_align(k: usize, m: usize) -> Result<Program, ModelError> {
+    assert!(k > 0, "query must be nonempty");
+    assert!(m > 0, "database must be nonempty");
+    let mut s = ScheduleBuilder::new(k + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=k).map(|i| format!("c{i}")));
+    s.name_cells(names);
+
+    // Declaration order D{i} before S{i} keeps the per-key tie-break
+    // reading the character before the score, matching the DP dependence.
+    let mut links = Vec::with_capacity(k);
+    for i in 0..k {
+        let d = s.message(format!("D{i}"), i as u32, (i + 1) as u32)?;
+        let sc = s.message(format!("S{i}"), i as u32, (i + 1) as u32)?;
+        links.push((d, sc));
+    }
+    let final_scores = s.message(format!("S{k}"), k as u32, 0)?;
+
+    // Wavefront schedule: cell i emits (D, S) for database character j at
+    // step i + j (cell 0 is the host feeding the array).
+    for (i, &(d, sc)) in links.iter().enumerate() {
+        for j in 0..m {
+            let t = 2 * (i + j) as i64 + 1;
+            s.transfer(d, t);
+            s.transfer(sc, t);
+        }
+    }
+    for j in 0..m {
+        s.transfer(final_scores, 2 * (k + j) as i64 + 1);
+    }
+    s.build()
+}
+
+/// The linear topology for [`seq_align`].
+#[must_use]
+pub fn seq_align_topology(k: usize) -> Topology {
+    Topology::linear(k + 1)
+}
+
+/// The *strict* variant: every cell performs exactly
+/// `R(D) R(S) W(D) W(S)` per database character, and the host writes the
+/// whole database before draining any score.
+///
+/// Under unbuffered queues this program is **deadlocked** whenever
+/// `m > k`: the last cell stalls on its first score write (the host is
+/// still feeding), and the stall propagates back link by link until the
+/// host itself wedges — the textbook shape of Section 4. With lookahead,
+/// buffering proportional to the pipeline depth makes it deadlock-free
+/// again, which is exactly what experiment E6 sweeps.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `m == 0`.
+pub fn seq_align_strict(k: usize, m: usize) -> Result<Program, ModelError> {
+    assert!(k > 0, "query must be nonempty");
+    assert!(m > 0, "database must be nonempty");
+    let mut b = systolic_model::ProgramBuilder::new(k + 1);
+    let mut names = vec!["host".to_owned()];
+    names.extend((1..=k).map(|i| format!("c{i}")));
+    b.name_cells(names);
+
+    for i in 0..k {
+        b.message(format!("D{i}"), i as u32, (i + 1) as u32)?;
+        b.message(format!("S{i}"), i as u32, (i + 1) as u32)?;
+    }
+    b.message(format!("S{k}"), k as u32, 0)?;
+
+    for _ in 0..m {
+        b.write(0u32, "D0")?;
+        b.write(0u32, "S0")?;
+    }
+    b.read_n(0u32, &format!("S{k}"), m)?;
+
+    for i in 1..=k {
+        let cell = i as u32;
+        for _ in 0..m {
+            b.read(cell, &format!("D{}", i - 1))?;
+            b.read(cell, &format!("S{}", i - 1))?;
+            if i < k {
+                b.write(cell, &format!("D{i}"))?;
+            }
+            b.write(cell, &format!("S{i}"))?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::{CellId, MessageRoutes};
+
+    #[test]
+    fn word_counts() {
+        let p = seq_align(3, 5).unwrap();
+        for i in 0..3 {
+            assert_eq!(p.word_count(p.message_id(&format!("D{i}")).unwrap()), 5);
+            assert_eq!(p.word_count(p.message_id(&format!("S{i}")).unwrap()), 5);
+        }
+        assert_eq!(p.word_count(p.message_id("S3").unwrap()), 5);
+    }
+
+    #[test]
+    fn middle_cells_pipeline_reads_ahead_of_writes() {
+        let p = seq_align(2, 3).unwrap();
+        let c1 = p.cell(CellId::new(1));
+        // Prologue: the first two ops read (D0, S0); epilogue: the last two
+        // write (D1, S1); reads and writes balance overall.
+        assert!(c1.get(0).unwrap().is_read());
+        assert!(c1.get(1).unwrap().is_read());
+        assert!(c1.get(c1.len() - 1).unwrap().is_write());
+        assert!(c1.get(c1.len() - 2).unwrap().is_write());
+        assert_eq!(c1.iter().filter(|o| o.is_read()).count(), 6);
+        assert_eq!(c1.iter().filter(|o| o.is_write()).count(), 6);
+    }
+
+    #[test]
+    fn character_read_precedes_score_read() {
+        let p = seq_align(2, 2).unwrap();
+        let c1 = p.cell(CellId::new(1));
+        let d0 = p.message_id("D0").unwrap();
+        let s0 = p.message_id("S0").unwrap();
+        let first_d = c1.iter().position(|o| o.is_read() && o.message() == d0).unwrap();
+        let first_s = c1.iter().position(|o| o.is_read() && o.message() == s0).unwrap();
+        assert!(first_d < first_s);
+    }
+
+    #[test]
+    fn final_scores_route_back_to_host() {
+        let p = seq_align(3, 1).unwrap();
+        let routes = MessageRoutes::compute(&p, &seq_align_topology(3)).unwrap();
+        let s3 = p.message_id("S3").unwrap();
+        assert_eq!(routes.route(s3).num_hops(), 3);
+    }
+
+    #[test]
+    fn last_cell_does_not_forward_d() {
+        let p = seq_align(2, 3).unwrap();
+        assert!(p.message_id("D2").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "query")]
+    fn empty_query_rejected() {
+        let _ = seq_align(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "database")]
+    fn empty_database_rejected() {
+        let _ = seq_align(3, 0);
+    }
+
+    #[test]
+    fn strict_variant_alternates_rrww_per_character() {
+        let p = seq_align_strict(2, 3).unwrap();
+        let c1 = p.cell(CellId::new(1));
+        let kinds: Vec<bool> = c1.iter().map(|o| o.is_read()).collect();
+        assert_eq!(
+            kinds,
+            vec![true, true, false, false, true, true, false, false, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn strict_variant_matches_word_counts_of_pipelined() {
+        let a = seq_align(3, 4).unwrap();
+        let b = seq_align_strict(3, 4).unwrap();
+        assert_eq!(a.num_messages(), b.num_messages());
+        for m in a.message_ids() {
+            assert_eq!(a.word_count(m), b.word_count(m));
+        }
+    }
+}

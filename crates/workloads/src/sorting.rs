@@ -1,0 +1,100 @@
+//! Odd–even transposition sort on a linear array.
+//!
+//! `n` cells each hold one key; `n` rounds of pairwise exchanges sort the
+//! array. In round `r` the pairs `(i, i+1)` with `i ≡ r (mod 2)` swap
+//! values in both directions — a dense all-neighbour communication pattern
+//! with two messages per interval per round, in opposite directions.
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds the `n`-cell, `rounds`-round odd–even transposition program.
+///
+/// Message `E{r}_{i}` carries cell `i`'s key east to `i+1` in round `r`;
+/// `W{r}_{i}` carries `i+1`'s key west. `rounds = n` sorts any input.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds == 0`.
+pub fn odd_even_sort(n: usize, rounds: usize) -> Result<Program, ModelError> {
+    assert!(n >= 2, "sorting needs at least two cells");
+    assert!(rounds > 0, "need at least one round");
+    let mut s = ScheduleBuilder::new(n);
+    for r in 0..rounds {
+        let mut i = r % 2;
+        while i + 1 < n {
+            let east = s.message(format!("E{r}_{i}"), i as u32, (i + 1) as u32)?;
+            let west = s.message(format!("W{r}_{i}"), (i + 1) as u32, i as u32)?;
+            let t = (2 * r) as i64;
+            s.transfer(east, t);
+            s.transfer(west, t + 1);
+            i += 2;
+        }
+    }
+    s.build()
+}
+
+/// The linear topology for [`odd_even_sort`].
+#[must_use]
+pub fn sort_topology(n: usize) -> Topology {
+    Topology::linear(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::CellId;
+
+    #[test]
+    fn full_sort_has_n_rounds_of_exchanges() {
+        let p = odd_even_sort(4, 4).unwrap();
+        // Rounds 0 and 2: pairs (0,1), (2,3); rounds 1 and 3: pair (1,2).
+        // 2 messages per pair per round: (2+2)*2 + (1+1)*2 = 12 messages.
+        assert_eq!(p.num_messages(), 12);
+        assert_eq!(p.total_words(), 12);
+    }
+
+    #[test]
+    fn odd_rounds_use_odd_pairs() {
+        let p = odd_even_sort(5, 2).unwrap();
+        // Round 0: pairs (0,1), (2,3). Round 1: pairs (1,2), (3,4).
+        assert!(p.message_id("E0_0").is_some());
+        assert!(p.message_id("E0_2").is_some());
+        assert!(p.message_id("E0_1").is_none());
+        assert!(p.message_id("E1_1").is_some());
+        assert!(p.message_id("E1_3").is_some());
+    }
+
+    #[test]
+    fn middle_cell_participates_every_round() {
+        let p = odd_even_sort(3, 4).unwrap();
+        let c1 = p.cell(CellId::new(1));
+        // Cell 1 exchanges (one W + one R) every round.
+        assert_eq!(c1.len(), 8);
+    }
+
+    #[test]
+    fn exchange_order_is_east_then_west() {
+        let p = odd_even_sort(2, 1).unwrap();
+        let c0 = p.cell(CellId::new(0));
+        assert!(c0.get(0).unwrap().is_write(), "east send first");
+        assert!(c0.get(1).unwrap().is_read(), "west receive second");
+    }
+
+    #[test]
+    #[should_panic(expected = "two cells")]
+    fn one_cell_rejected() {
+        let _ = odd_even_sort(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one round")]
+    fn zero_rounds_rejected() {
+        let _ = odd_even_sort(3, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Wavefront (stencil) sweeps on a 2-D mesh.
+//!
+//! A dependence pattern in the style of wavefront array processors: each
+//! cell `(i, j)` consumes one word from its north and west neighbours and
+//! produces one word for its south and east neighbours, per sweep. The
+//! computation front moves along anti-diagonals.
+
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::ScheduleBuilder;
+
+/// Builds a `rows × cols` mesh wavefront program performing `sweeps`
+/// pipelined sweeps.
+///
+/// Messages: `E{i}_{j}: (i,j) → (i,j+1)` and `S{i}_{j}: (i,j) → (i+1,j)`,
+/// each carrying `sweeps` words.
+///
+/// # Errors
+///
+/// Never fails for valid parameters; propagates builder errors otherwise.
+///
+/// # Panics
+///
+/// Panics if any dimension or `sweeps` is zero.
+pub fn wavefront(rows: usize, cols: usize, sweeps: usize) -> Result<Program, ModelError> {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    assert!(sweeps > 0, "need at least one sweep");
+    let mut s = ScheduleBuilder::new(rows * cols);
+    let id = |i: usize, j: usize| (i * cols + j) as u32;
+
+    let mut links = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                links.push((i, j, s.message(format!("E{i}_{j}"), id(i, j), id(i, j + 1))?));
+            }
+            if i + 1 < rows {
+                links.push((i, j, s.message(format!("S{i}_{j}"), id(i, j), id(i + 1, j))?));
+            }
+        }
+    }
+
+    // Sweep `w` activates cell (i, j) at diagonal time i + j; its outputs
+    // cross at that key + 1, staying ahead of the next diagonal's reads.
+    let period = (rows + cols) as i64 * 2;
+    for &(i, j, m) in &links {
+        for w in 0..sweeps {
+            s.transfer(m, period * w as i64 + 2 * (i + j) as i64 + 1);
+        }
+    }
+    s.build()
+}
+
+/// The mesh topology for [`wavefront`].
+#[must_use]
+pub fn wavefront_topology(rows: usize, cols: usize) -> Topology {
+    Topology::mesh(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::CellId;
+
+    #[test]
+    fn link_and_word_counts() {
+        let p = wavefront(3, 3, 2).unwrap();
+        // East links: 3x2 = 6; south links: 2x3 = 6.
+        assert_eq!(p.num_messages(), 12);
+        assert_eq!(p.total_words(), 24);
+    }
+
+    #[test]
+    fn origin_cell_only_writes() {
+        let p = wavefront(2, 2, 1).unwrap();
+        assert!(p.cell(CellId::new(0)).iter().all(|o| o.is_write()));
+    }
+
+    #[test]
+    fn sink_cell_only_reads() {
+        let p = wavefront(2, 2, 3).unwrap();
+        let last = p.cell(CellId::new(3));
+        assert!(last.iter().all(|o| o.is_read()));
+        assert_eq!(last.len(), 6); // 2 inputs x 3 sweeps
+    }
+
+    #[test]
+    fn interior_cell_reads_before_writing_each_sweep() {
+        let p = wavefront(3, 3, 1).unwrap();
+        let mid = p.cell(CellId::new(4)); // (1,1)
+        assert!(mid.get(0).unwrap().is_read());
+        assert!(mid.get(1).unwrap().is_read());
+        assert!(mid.get(2).unwrap().is_write());
+        assert!(mid.get(3).unwrap().is_write());
+    }
+
+    #[test]
+    fn single_row_degenerates_to_pipeline() {
+        let p = wavefront(1, 4, 2).unwrap();
+        assert_eq!(p.num_messages(), 3); // east links only
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep")]
+    fn zero_sweeps_rejected() {
+        let _ = wavefront(2, 2, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Theorem 1 on real OS threads.
+//!
+//! ```text
+//! cargo run --example threaded_pipeline
+//! ```
+//!
+//! Runs the paper's programs on the `systolic-threaded` runtime: each cell
+//! is a thread, queues are real bounded buffers, and the OS scheduler
+//! interleaves freely. Compatible assignment completes every time (Theorem
+//! 1 is scheduling independent); the naive FIFO discipline deadlocks and is
+//! caught by the quiescence watchdog.
+
+use systolic::core::{analyze, AnalysisConfig};
+use systolic::threaded::{run_threaded, ControlMode, ThreadedConfig, ThreadedOutcome};
+use systolic::workloads::{fig2_fir, fig2_topology, fig7, fig7_topology, seq_align, seq_align_topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 7 under compatible assignment: five runs, five completions,
+    // regardless of scheduling.
+    let program = fig7(3);
+    let topology = fig7_topology();
+    for attempt in 1..=5 {
+        let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+        let outcome = run_threaded(
+            &program,
+            &topology,
+            ControlMode::Compatible(plan),
+            ThreadedConfig::default(),
+        )?;
+        match outcome {
+            ThreadedOutcome::Completed { words_delivered, elapsed } => {
+                println!("fig7 compatible, run {attempt}: {words_delivered} words in {elapsed:.2?}");
+            }
+            other => println!("fig7 compatible, run {attempt}: unexpected {other:?}"),
+        }
+    }
+
+    // The same program under FIFO: deadlock, caught by the watchdog.
+    let outcome = run_threaded(&program, &topology, ControlMode::Fifo, ThreadedConfig::default())?;
+    if let ThreadedOutcome::Deadlocked { blocked } = outcome {
+        println!("\nfig7 fifo: watchdog caught a deadlock; blocked threads:");
+        for b in blocked {
+            println!("  {b}");
+        }
+    }
+
+    // The FIR filter and a P-NAC-style alignment, on threads.
+    let fir = fig2_fir();
+    let fir_top = fig2_topology();
+    let plan = analyze(
+        &fir,
+        &fir_top,
+        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+    )?
+    .into_plan();
+    let outcome = run_threaded(
+        &fir,
+        &fir_top,
+        ControlMode::Compatible(plan),
+        ThreadedConfig { queues_per_interval: 2, ..Default::default() },
+    )?;
+    println!("\nfig2 FIR on threads: {outcome:?}");
+
+    let align = seq_align(4, 16)?;
+    let align_top = seq_align_topology(4);
+    let plan = analyze(
+        &align,
+        &align_top,
+        &AnalysisConfig { queues_per_interval: 3, ..Default::default() },
+    )?
+    .into_plan();
+    let outcome = run_threaded(
+        &align,
+        &align_top,
+        ControlMode::Compatible(plan),
+        ThreadedConfig { queues_per_interval: 3, ..Default::default() },
+    )?;
+    println!("seq_align(4,16) on threads: {outcome:?}");
+    Ok(())
+}

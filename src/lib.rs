@@ -1,0 +1,61 @@
+//! # systolic — deadlock avoidance for systolic communication
+//!
+//! A full reproduction of H.T. Kung, *Deadlock Avoidance for Systolic
+//! Communication* (Journal of Complexity **4**, 87–105, 1988), as a Rust
+//! workspace. This umbrella crate re-exports the sub-crates:
+//!
+//! * [`model`] — programs, messages, topologies, routes (Section 2);
+//! * [`core`] — the paper's contribution: the crossing-off procedure,
+//!   lookahead, consistent labeling, compatible-assignment requirements and
+//!   the end-to-end [`core::analyze`] pipeline (Sections 3–8);
+//! * [`sim`] — a cycle-stepped array simulator with hardware queues, I/O
+//!   forwarding, runtime assignment policies and deadlock diagnosis;
+//! * [`threaded`] — an OS-thread runtime demonstrating that Theorem 1 is
+//!   scheduling independent;
+//! * [`workloads`] — the paper's figure programs and classic systolic
+//!   algorithm generators;
+//! * [`report`] — tables and statistics for the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use systolic::core::{analyze, AnalysisConfig};
+//! use systolic::sim::{run_simulation, CompatiblePolicy, FifoPolicy, SimConfig};
+//! use systolic::workloads::{fig7, fig7_topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 7: three messages, one queue per interval.
+//! let program = fig7(3);
+//! let topology = fig7_topology();
+//!
+//! // A label-blind runtime deadlocks...
+//! let naive = run_simulation(
+//!     &program,
+//!     &topology,
+//!     Box::new(FifoPolicy::new()),
+//!     SimConfig::default(),
+//! )?;
+//! assert!(naive.is_deadlocked());
+//!
+//! // ...while the paper's compile-time labels + compatible assignment complete.
+//! let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+//! let safe = run_simulation(
+//!     &program,
+//!     &topology,
+//!     Box::new(CompatiblePolicy::new(plan)),
+//!     SimConfig::default(),
+//! )?;
+//! assert!(safe.is_completed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use systolic_core as core;
+pub use systolic_model as model;
+pub use systolic_report as report;
+pub use systolic_sim as sim;
+pub use systolic_threaded as threaded;
+pub use systolic_workloads as workloads;

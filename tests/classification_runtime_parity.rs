@@ -1,0 +1,149 @@
+//! Parity between the compile-time crossing-off classification and the
+//! runtime's actual behaviour.
+//!
+//! For *adjacent-cell* (single-hop) messages with dedicated queues:
+//!
+//! * latch queues (capacity 0) make the runtime an exact implementation of
+//!   the basic crossing-off semantics, so classification and outcome agree
+//!   in **both** directions;
+//! * with buffering `c`, the lookahead classification (rule R2 budget `c`
+//!   per message) again predicts the runtime exactly.
+//!
+//! For multi-hop messages the runtime has pipeline registers (one word per
+//! intermediate latch), so it is strictly *more* permissive: deadlock-free
+//! classification still implies completion (soundness), but not vice versa.
+
+use proptest::prelude::*;
+use systolic::core::{classify, classify_with, LookaheadLimits};
+use systolic::sim::{
+    run_simulation, CostModel, GreedyPolicy, QueueConfig, SimConfig,
+};
+use systolic::workloads::{random_program, random_topology, scramble, RandomConfig};
+
+fn sim(queues: usize, capacity: usize) -> SimConfig {
+    SimConfig {
+        queues_per_interval: queues,
+        queue: QueueConfig { capacity, extension: false },
+        cost: CostModel::systolic(),
+        max_cycles: 200_000,
+    }
+}
+
+/// Scrambled programs have arbitrary per-cell op orders: a rich mix of
+/// deadlock-free and deadlocked inputs.
+fn span1_config() -> impl Strategy<Value = RandomConfig> {
+    (2usize..=5, 1usize..=8, 1usize..=4).prop_map(|(cells, messages, max_words)| RandomConfig {
+        cells,
+        messages,
+        max_words,
+        max_span: 1,
+        clustered: true,
+    })
+}
+
+fn any_span_config() -> impl Strategy<Value = RandomConfig> {
+    (3usize..=6, 1usize..=8, 1usize..=4).prop_map(|(cells, messages, max_words)| RandomConfig {
+        cells,
+        messages,
+        max_words,
+        max_span: cells - 1,
+        clustered: true,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Exact parity on single-hop programs with latch queues: the program
+    /// completes iff the crossing-off procedure classifies it deadlock-free.
+    #[test]
+    fn latch_runtime_equals_basic_classification(
+        cfg in span1_config(),
+        seed in 0u64..500,
+        scramble_seed in 0u64..500,
+    ) {
+        let program = scramble(&random_program(&cfg, seed).unwrap(), scramble_seed);
+        let topology = random_topology(&cfg);
+        let classified_free = classify(&program).is_deadlock_free();
+        // Dedicated queue per message: enough queues for every message on
+        // every interval, so only *program* structure matters.
+        let queues = program.num_messages().max(1);
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(GreedyPolicy::new()),
+            sim(queues, 0),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            classified_free,
+            out.is_completed(),
+            "classification {} but runtime {:?}",
+            classified_free,
+            out.stats()
+        );
+    }
+
+    /// Exact parity with buffering: lookahead budget = per-queue capacity.
+    #[test]
+    fn buffered_runtime_equals_lookahead_classification(
+        cfg in span1_config(),
+        seed in 0u64..500,
+        scramble_seed in 0u64..500,
+        capacity in 1usize..4,
+    ) {
+        let program = scramble(&random_program(&cfg, seed).unwrap(), scramble_seed);
+        let topology = random_topology(&cfg);
+        let limits = LookaheadLimits::uniform(&program, capacity);
+        let classified_free = classify_with(&program, &limits).is_deadlock_free();
+        let queues = program.num_messages().max(1);
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(GreedyPolicy::new()),
+            sim(queues, capacity),
+        )
+        .unwrap();
+        prop_assert_eq!(classified_free, out.is_completed());
+    }
+
+    /// Soundness for any route length: a deadlock-free classification
+    /// guarantees completion (the runtime only ever has MORE buffering).
+    #[test]
+    fn classification_is_sound_for_multi_hop(
+        cfg in any_span_config(),
+        seed in 0u64..500,
+        scramble_seed in 0u64..500,
+    ) {
+        let program = scramble(&random_program(&cfg, seed).unwrap(), scramble_seed);
+        let topology = random_topology(&cfg);
+        if classify(&program).is_deadlock_free() {
+            let queues = program.num_messages().max(1);
+            let out = run_simulation(
+                &program,
+                &topology,
+                Box::new(GreedyPolicy::new()),
+                sim(queues, 0),
+            )
+            .unwrap();
+            prop_assert!(out.is_completed(), "sound classification violated: {out:?}");
+        }
+    }
+
+    /// Monotonicity of lookahead: more buffering never turns a
+    /// deadlock-free program into a deadlocked one.
+    #[test]
+    fn lookahead_is_monotone_in_capacity(
+        cfg in span1_config(),
+        seed in 0u64..500,
+        scramble_seed in 0u64..500,
+        capacity in 0usize..4,
+    ) {
+        let program = scramble(&random_program(&cfg, seed).unwrap(), scramble_seed);
+        let small = LookaheadLimits::uniform(&program, capacity);
+        let large = LookaheadLimits::uniform(&program, capacity + 1);
+        if classify_with(&program, &small).is_deadlock_free() {
+            prop_assert!(classify_with(&program, &large).is_deadlock_free());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end reproduction of every figure of the paper, exercised through
+//! the public umbrella API (`systolic::…`) exactly as a downstream user
+//! would.
+
+use systolic::core::{
+    analyze, classify, classify_with, AnalysisConfig, CoreError, Label, Lookahead,
+    LookaheadLimits,
+};
+use systolic::model::Topology;
+use systolic::sim::{
+    run_simulation, CompatiblePolicy, CostModel, FifoPolicy, GreedyPolicy, QueueConfig,
+    RunOutcome, SimConfig, StaticPolicy,
+};
+use systolic::workloads as wl;
+
+fn sim(queues: usize, capacity: usize) -> SimConfig {
+    SimConfig {
+        queues_per_interval: queues,
+        queue: QueueConfig { capacity, extension: false },
+        cost: CostModel::systolic(),
+        max_cycles: 1_000_000,
+    }
+}
+
+#[test]
+fn fig1_systolic_beats_memory_to_memory() {
+    let program = wl::fir(3, 32).unwrap();
+    let topology = wl::fir_topology(3);
+    let mut cycles = Vec::new();
+    let mut accesses = Vec::new();
+    for cost in [CostModel::systolic(), CostModel::memory_to_memory()] {
+        let plan = analyze(
+            &program,
+            &topology,
+            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+        )
+        .unwrap()
+        .into_plan();
+        let config = SimConfig { cost, ..sim(2, 1) };
+        let out =
+            run_simulation(&program, &topology, Box::new(CompatiblePolicy::new(plan)), config)
+                .unwrap();
+        let RunOutcome::Completed(stats) = out else { panic!("FIR completes") };
+        cycles.push(stats.cycles);
+        accesses.push(stats.accesses_per_word());
+    }
+    assert!(cycles[0] < cycles[1], "systolic is faster: {cycles:?}");
+    assert_eq!(accesses[0], 0.0);
+    assert_eq!(accesses[1], 4.0, "paper: >= 4 accesses per updated word");
+}
+
+#[test]
+fn fig2_and_fig4_crossing_off_trace_matches_figure() {
+    let program = wl::fig2_fir();
+    let c = classify(&program);
+    assert!(c.is_deadlock_free());
+    let trace = c.trace();
+    assert_eq!(trace.steps().len(), 12);
+    let doubles: Vec<usize> = trace
+        .steps()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.pairs.len() == 2)
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(doubles, vec![3, 5, 9], "Fig. 4: steps 3, 5, 9 cross off two pairs");
+    assert_eq!(trace.total_pairs(), 15);
+
+    // Step 1 is the first W(XA)/R(XA) pair, as the paper narrates.
+    let first = &trace.steps()[0].pairs[0];
+    assert_eq!(program.message(first.message).name(), "XA");
+    assert_eq!(first.word, 0);
+}
+
+#[test]
+fn fig3_static_assignment_gives_each_message_a_queue_sequence() {
+    let program = wl::fig3_messages();
+    let topology = Topology::linear(4);
+    let plan = analyze(
+        &program,
+        &topology,
+        &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
+    )
+    .unwrap()
+    .into_plan();
+    let policy = StaticPolicy::new(&plan, 4).unwrap();
+    let a = program.message_id("A").unwrap();
+    // A crosses all three intervals and owns a queue on each.
+    let route = plan.route(a).clone();
+    assert_eq!(route.num_hops(), 3);
+    for interval in route.intervals() {
+        assert!(policy.queue_of(a, interval).is_some());
+    }
+    let out = run_simulation(&program, &topology, Box::new(policy), sim(4, 1)).unwrap();
+    assert!(out.is_completed());
+}
+
+#[test]
+fn fig5_classification_ladder() {
+    let p1 = wl::fig5_p1();
+    let p2 = wl::fig5_p2();
+    let p3 = wl::fig5_p3();
+    // Without lookahead: all three deadlocked.
+    for p in [&p1, &p2, &p3] {
+        assert!(!classify(p).is_deadlock_free());
+    }
+    // P1 needs capacity 2; P2 needs 1; P3 is incurable (rule R1).
+    assert!(!classify_with(&p1, &LookaheadLimits::uniform(&p1, 1)).is_deadlock_free());
+    assert!(classify_with(&p1, &LookaheadLimits::uniform(&p1, 2)).is_deadlock_free());
+    assert!(classify_with(&p2, &LookaheadLimits::uniform(&p2, 1)).is_deadlock_free());
+    assert!(!classify_with(&p3, &LookaheadLimits::unbounded(&p3)).is_deadlock_free());
+}
+
+#[test]
+fn fig6_cycle_is_not_a_deadlock() {
+    let program = wl::fig6_cycle();
+    assert!(classify(&program).is_deadlock_free());
+    let out = run_simulation(
+        &program,
+        &wl::fig6_topology(),
+        Box::new(GreedyPolicy::new()),
+        sim(1, 1),
+    )
+    .unwrap();
+    assert!(out.is_completed());
+}
+
+#[test]
+fn fig7_full_story() {
+    for len in [1usize, 3, 7] {
+        let program = wl::fig7(len);
+        let topology = wl::fig7_topology();
+
+        // Labels 1, 3, 2 (paper, Section 6 worked example).
+        let analysis = analyze(&program, &topology, &AnalysisConfig::default()).unwrap();
+        let labels = analysis.plan().labeling();
+        assert_eq!(labels.label(program.message_id("A").unwrap()), Label::integer(1));
+        assert_eq!(labels.label(program.message_id("B").unwrap()), Label::integer(3));
+        assert_eq!(labels.label(program.message_id("C").unwrap()), Label::integer(2));
+
+        // Naive runtimes deadlock; compatible completes.
+        for naive in [
+            Box::new(FifoPolicy::new()) as Box<dyn systolic::sim::AssignmentPolicy>,
+            Box::new(GreedyPolicy::new()),
+        ] {
+            let out = run_simulation(&program, &topology, naive, sim(1, 1)).unwrap();
+            assert!(out.is_deadlocked(), "len {len}: naive policy must deadlock");
+        }
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(CompatiblePolicy::new(analysis.into_plan())),
+            sim(1, 1),
+        )
+        .unwrap();
+        assert!(out.is_completed(), "len {len}: compatible must complete");
+    }
+}
+
+#[test]
+fn fig8_fig9_need_two_queues() {
+    for (program, topology) in [
+        (wl::fig8(), wl::fig8_topology()),
+        (wl::fig9(), wl::fig9_topology()),
+    ] {
+        // One queue: analysis rejects (assumption ii), naive runtime deadlocks.
+        let err = analyze(&program, &topology, &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
+        let out = run_simulation(&program, &topology, Box::new(FifoPolicy::new()), sim(1, 1))
+            .unwrap();
+        assert!(out.is_deadlocked());
+
+        // Two queues: feasible and completes.
+        let analysis = analyze(
+            &program,
+            &topology,
+            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+        )
+        .unwrap();
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(CompatiblePolicy::new(analysis.into_plan())),
+            sim(2, 1),
+        )
+        .unwrap();
+        assert!(out.is_completed());
+    }
+}
+
+#[test]
+fn fig10_lookahead_capacity_ladder_matches_runtime() {
+    let program = wl::fig5_p1();
+    let topology = Topology::linear(2);
+    for cap in [0usize, 1, 2, 4] {
+        let limits = LookaheadLimits::uniform(&program, cap);
+        let classified_free = classify_with(&program, &limits).is_deadlock_free();
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(GreedyPolicy::new()),
+            sim(2, cap),
+        )
+        .unwrap();
+        assert_eq!(
+            classified_free,
+            out.is_completed(),
+            "capacity {cap}: classification and runtime must agree"
+        );
+    }
+}
+
+#[test]
+fn lookahead_pipeline_reserves_queues_for_colabeled_messages() {
+    // P1 under the full pipeline with capacity-2 lookahead: A and B share a
+    // label, so 2 queues are required and the compatible policy reserves
+    // both at once.
+    let program = wl::fig5_p1();
+    let topology = Topology::linear(2);
+    let analysis = analyze(
+        &program,
+        &topology,
+        &AnalysisConfig {
+            lookahead: Lookahead::PerQueueCapacity(2),
+            queues_per_interval: 2,
+        },
+    )
+    .unwrap();
+    let out = run_simulation(
+        &program,
+        &topology,
+        Box::new(CompatiblePolicy::new(analysis.into_plan())),
+        sim(2, 2),
+    )
+    .unwrap();
+    assert!(out.is_completed());
+}

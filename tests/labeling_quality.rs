@@ -1,0 +1,87 @@
+//! Labeling-quality comparisons across all workloads: both schemes stay
+//! within the trivial labeling's queue requirement, and each scheme's own
+//! requirement is feasible and runnable.
+
+use systolic::core::{
+    label_messages, label_messages_robust, CompetingSets, Labeling, LookaheadLimits,
+    QueueRequirements,
+};
+use systolic::model::{MessageRoutes, Program, Topology};
+use systolic::workloads as wl;
+
+fn workloads() -> Vec<(String, Program, Topology)> {
+    vec![
+        ("fig2".into(), wl::fig2_fir(), wl::fig2_topology()),
+        ("fig6".into(), wl::fig6_cycle(), wl::fig6_topology()),
+        ("fig7(4)".into(), wl::fig7(4), wl::fig7_topology()),
+        ("fig8".into(), wl::fig8(), wl::fig8_topology()),
+        ("fig9".into(), wl::fig9(), wl::fig9_topology()),
+        ("fir(4,10)".into(), wl::fir(4, 10).unwrap(), wl::fir_topology(4)),
+        ("matvec(4)".into(), wl::matvec(4).unwrap(), wl::matvec_topology(4)),
+        ("sort(5,5)".into(), wl::odd_even_sort(5, 5).unwrap(), wl::sort_topology(5)),
+        ("align(3,6)".into(), wl::seq_align(3, 6).unwrap(), wl::seq_align_topology(3)),
+        ("horner(3,5)".into(), wl::horner(3, 5).unwrap(), wl::horner_topology(3)),
+        ("backsub(4)".into(), wl::back_substitution(4).unwrap(), wl::back_substitution_topology(4)),
+        ("matmul(3,3,4)".into(), wl::mesh_matmul(3, 3, 4).unwrap(), wl::matmul_topology(3, 3)),
+        ("wave(3,3,2)".into(), wl::wavefront(3, 3, 2).unwrap(), wl::wavefront_topology(3, 3)),
+        ("ring(5,2)".into(), wl::token_ring(5, 2).unwrap(), wl::ring_topology(5)),
+    ]
+}
+
+#[test]
+fn both_schemes_bounded_by_trivial_on_every_hop() {
+    for (name, program, topology) in workloads() {
+        let routes = MessageRoutes::compute(&program, &topology).unwrap();
+        let competing = CompetingSets::compute(&routes);
+        let limits = LookaheadLimits::disabled(&program);
+        let trivial = QueueRequirements::compute(&competing, &Labeling::trivial(&program));
+
+        let robust = label_messages_robust(&program, &limits).unwrap();
+        let robust_req = QueueRequirements::compute(&competing, &robust);
+        for (hop, need) in robust_req.iter_hops() {
+            assert!(
+                need <= trivial.on_hop(hop),
+                "{name}: solver needs {need} > trivial {} on {hop}",
+                trivial.on_hop(hop)
+            );
+        }
+
+        if let Ok(report) = label_messages(&program, &limits) {
+            let s6 = QueueRequirements::compute(&competing, report.labeling());
+            for (hop, need) in s6.iter_hops() {
+                assert!(need <= trivial.on_hop(hop), "{name}: section6 exceeds trivial on {hop}");
+            }
+        }
+    }
+}
+
+#[test]
+fn section6_succeeds_on_all_structured_workloads() {
+    // The wedges only bite on adversarial random programs; every structured
+    // workload labels fine with the literal paper scheme.
+    for (name, program, _) in workloads() {
+        let limits = LookaheadLimits::disabled(&program);
+        assert!(
+            label_messages(&program, &limits).is_ok(),
+            "{name}: Section 6 scheme should succeed"
+        );
+    }
+}
+
+#[test]
+fn per_interval_requirement_bounds_per_hop() {
+    for (name, program, topology) in workloads() {
+        let routes = MessageRoutes::compute(&program, &topology).unwrap();
+        let competing = CompetingSets::compute(&routes);
+        let limits = LookaheadLimits::disabled(&program);
+        let labeling = label_messages_robust(&program, &limits).unwrap();
+        let req = QueueRequirements::compute(&competing, &labeling);
+        for (hop, need) in req.iter_hops() {
+            assert!(
+                req.on_interval(hop.interval()) >= need,
+                "{name}: interval total must cover each direction"
+            );
+        }
+        assert!(req.check_feasible(req.max_per_interval()).is_ok(), "{name}");
+    }
+}

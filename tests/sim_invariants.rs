@@ -1,0 +1,108 @@
+//! Simulator invariants over random programs: determinism, word
+//! conservation, and stat sanity.
+
+use proptest::prelude::*;
+use systolic::core::{analyze, AnalysisConfig};
+use systolic::sim::{
+    run_simulation, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig, RunOutcome,
+    SimConfig,
+};
+use systolic::workloads::{random_program, random_topology, RandomConfig};
+
+fn config_strategy() -> impl Strategy<Value = RandomConfig> {
+    (2usize..=5, 1usize..=8, 1usize..=4).prop_map(|(cells, messages, max_words)| RandomConfig {
+        cells,
+        messages,
+        max_words,
+        max_span: cells - 1,
+        clustered: true,
+    })
+}
+
+fn sim(queues: usize) -> SimConfig {
+    SimConfig {
+        queues_per_interval: queues,
+        queue: QueueConfig { capacity: 1, extension: false },
+        cost: CostModel::systolic(),
+        max_cycles: 500_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulator is deterministic: identical inputs give identical
+    /// statistics, event for event.
+    #[test]
+    fn simulation_is_deterministic(cfg in config_strategy(), seed in 0u64..500) {
+        let program = random_program(&cfg, seed).unwrap();
+        let topology = random_topology(&cfg);
+        let queues = program.num_messages().max(1);
+        let run = || {
+            run_simulation(&program, &topology, Box::new(GreedyPolicy::new()), sim(queues))
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.is_completed(), b.is_completed());
+    }
+
+    /// Word conservation on completed runs: every word is delivered exactly
+    /// once, and forwarding moves each word exactly (hops - 1) times.
+    #[test]
+    fn words_are_conserved(cfg in config_strategy(), seed in 0u64..500) {
+        let program = random_program(&cfg, seed).unwrap();
+        let topology = random_topology(&cfg);
+        let generous = AnalysisConfig {
+            queues_per_interval: program.num_messages().max(1) * 2,
+            ..Default::default()
+        };
+        let analysis = analyze(&program, &topology, &generous).unwrap();
+        let expected_forwards: usize = analysis
+            .plan()
+            .routes()
+            .iter()
+            .map(|(m, r)| (r.num_hops() - 1) * program.word_count(m))
+            .sum();
+        let queues = program.num_messages().max(1) * 2;
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(CompatiblePolicy::new(analysis.into_plan())),
+            sim(queues),
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            return Err(TestCaseError::fail("expected completion"));
+        };
+        prop_assert_eq!(stats.words_delivered as usize, program.total_words());
+        prop_assert_eq!(stats.words_forwarded as usize, expected_forwards);
+        // Systolic cost model: no memory traffic ever.
+        prop_assert_eq!(stats.memory_accesses, 0);
+        // Each grant eventually pairs with a release on completed runs.
+        let grants = stats.assignment_events.iter().filter(|e| e.granted).count();
+        let releases = stats.assignment_events.iter().filter(|e| !e.granted).count();
+        prop_assert_eq!(grants, releases);
+    }
+
+    /// Deadlocked runs still report a coherent state: at least one blocked
+    /// cell, and every queue snapshot matches a real queue.
+    #[test]
+    fn deadlock_reports_are_coherent(cfg in config_strategy(), seed in 0u64..500, s2 in 0u64..500) {
+        let program = systolic::workloads::scramble(&random_program(&cfg, seed).unwrap(), s2);
+        let topology = random_topology(&cfg);
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(GreedyPolicy::new()),
+            sim(1),
+        )
+        .unwrap();
+        if let RunOutcome::Deadlocked { report, stats } = out {
+            prop_assert!(!report.blocked.is_empty(), "a deadlock has blocked cells");
+            prop_assert_eq!(report.cycle, stats.cycles);
+            let text = report.render(&program);
+            prop_assert!(text.contains("deadlock at cycle"));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Property test: every generated program round-trips through the text
+//! format (`program_to_text` → `parse_program`).
+
+use proptest::prelude::*;
+use systolic::model::{parse_program, program_to_text};
+use systolic::workloads::{random_program, scramble, RandomConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_programs_roundtrip(
+        cells in 2usize..=6,
+        messages in 1usize..=10,
+        max_words in 1usize..=5,
+        seed in 0u64..10_000,
+        scramble_seed in proptest::option::of(0u64..10_000),
+    ) {
+        let cfg = RandomConfig {
+            cells,
+            messages,
+            max_words,
+            max_span: cells - 1,
+            clustered: true,
+        };
+        let mut program = random_program(&cfg, seed).unwrap();
+        if let Some(s) = scramble_seed {
+            program = scramble(&program, s);
+        }
+        let text = program_to_text(&program);
+        let reparsed = parse_program(&text).unwrap();
+        prop_assert_eq!(reparsed, program);
+    }
+
+    #[test]
+    fn workload_programs_roundtrip(taps in 1usize..=5, inputs_extra in 0usize..=8) {
+        let program = systolic::workloads::fir(taps, taps + inputs_extra).unwrap();
+        let text = program_to_text(&program);
+        prop_assert_eq!(parse_program(&text).unwrap(), program);
+    }
+}
