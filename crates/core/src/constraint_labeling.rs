@@ -81,7 +81,7 @@ pub fn label_messages_robust(
     }
     // Rule 1d: skipped-over messages share the pair's label.
     for pair in trace.pairs() {
-        for (&skipped, _) in &pair.skipped {
+        for &skipped in pair.skipped.keys() {
             add_le(pair.message, skipped, &mut succ);
             add_le(skipped, pair.message, &mut succ);
         }

@@ -329,8 +329,9 @@ impl<'p> Machine<'p> {
         let ops = self.program.cell(cell);
         let crossed = &self.crossed[cell.index()];
         let mut skipped: BTreeMap<MessageId, usize> = BTreeMap::new();
-        for pos in self.front[cell.index()]..ops.len() {
-            if crossed[pos] {
+        let front = self.front[cell.index()];
+        for (pos, &is_crossed) in crossed.iter().enumerate().take(ops.len()).skip(front) {
+            if is_crossed {
                 continue;
             }
             let op = ops.get(pos).expect("position in range");

@@ -233,7 +233,7 @@ pub fn label_messages(
             // (uncrossed ops other than the pair being crossed, which is m's).
             let mut future_min: Option<Label> = None;
             for cell in [decl.sender(), decl.receiver()] {
-                for (&msg, _) in machine.uncrossed_in_cell(cell) {
+                for &msg in machine.uncrossed_in_cell(cell).keys() {
                     if msg == m {
                         continue;
                     }
@@ -289,7 +289,7 @@ pub fn label_messages(
 
         // Rule 1d (Section 8.2): skipped-over messages share the label.
         let pair_label = labels[m.index()].expect("just labeled");
-        for (&skipped, _) in &pair.skipped {
+        for &skipped in pair.skipped.keys() {
             if labels[skipped.index()].is_none() {
                 labels[skipped.index()] = Some(pair_label);
                 assignment_order.push((skipped, pair_label, LabelRule::SkippedCoLabel));

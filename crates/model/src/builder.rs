@@ -194,7 +194,7 @@ impl ProgramBuilder {
         let m = self.resolve_message(message)?;
         self.cells[c.index()]
             .1
-            .extend(std::iter::repeat(Op::write(m)).take(n));
+            .extend(std::iter::repeat_n(Op::write(m), n));
         Ok(self)
     }
 
@@ -213,7 +213,7 @@ impl ProgramBuilder {
         let m = self.resolve_message(message)?;
         self.cells[c.index()]
             .1
-            .extend(std::iter::repeat(Op::read(m)).take(n));
+            .extend(std::iter::repeat_n(Op::read(m), n));
         Ok(self)
     }
 

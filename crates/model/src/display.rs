@@ -112,13 +112,13 @@ pub fn side_by_side(program: &Program) -> String {
     }
 
     let mut out = String::new();
-    for i in 0..num_cells {
+    for (i, &width) in widths.iter().enumerate().take(num_cells) {
         let name = program.cell_name(CellId::new(i as u32));
-        out.push_str(&format!("{name:<width$}", width = widths[i]));
+        out.push_str(&format!("{name:<width$}"));
     }
     out.push('\n');
-    for i in 0..num_cells {
-        out.push_str(&format!("{:-<width$}", "", width = widths[i].saturating_sub(2)));
+    for &width in widths.iter().take(num_cells) {
+        out.push_str(&format!("{:-<width$}", "", width = width.saturating_sub(2)));
         out.push_str("  ");
     }
     out.push('\n');

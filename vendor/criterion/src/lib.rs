@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the subset of criterion the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`] and
+//! [`Bencher::iter`]. Instead of criterion's statistical machinery it runs
+//! a short warm-up plus `sample_size` timed iterations and prints
+//! min/mean per iteration — enough for coarse regression spotting and for
+//! `cargo bench --no-run` compile checks; swap in the real crate for
+//! publishable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        std_black_box(routine());
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample.max(1) {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample.max(1));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{name:<40} min {min:>12?}   mean {mean:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        routine(&mut b);
+        b.report(&full);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs `routine` with `input` as a benchmark named by `id`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: R,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_owned(),
+            sample_size: 10,
+        };
+        group.bench_function(id, routine);
+        self
+    }
+
+    /// Number of benchmarks executed so far (shim diagnostic).
+    #[must_use]
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+}
