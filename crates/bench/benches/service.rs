@@ -1,0 +1,111 @@
+//! Criterion benches for the analysis service: cold vs. warm cache and
+//! shard-count scaling, plus an explicit warm/cold throughput ratio
+//! (acceptance target: warm ≥ 5× cold on repeated requests).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use systolic_service::{AnalysisRequest, AnalysisService, CacheConfig, ServiceConfig};
+use systolic_workloads::{fir, fir_topology};
+
+const BATCH: usize = 64;
+
+/// 64 distinct production-sized FIR kernels (a parameter sweep, so a cold
+/// cache analyzes every one and a warm cache serves every one).
+fn batch() -> Vec<AnalysisRequest> {
+    let mut requests = Vec::with_capacity(BATCH);
+    for taps in 2usize..6 {
+        for i in 0..BATCH / 4 {
+            let inputs = 32 + i;
+            let program = fir(taps, inputs).expect("fir builds");
+            let mut request = AnalysisRequest::new(
+                format!("fir/{taps}x{inputs}"),
+                program,
+                fir_topology(taps),
+            );
+            request.config.queues_per_interval = 2;
+            requests.push(request);
+        }
+    }
+    requests
+}
+
+fn service(shards: usize) -> AnalysisService {
+    AnalysisService::new(ServiceConfig {
+        workers: 4,
+        cache: CacheConfig { shards, capacity_per_shard: 1024 },
+        queue_depth: 64,
+        ..Default::default()
+    })
+}
+
+/// Cold cache: every iteration starts a fresh service, so every request is
+/// a miss (thread spawn cost is shared by all 64 requests of the batch).
+fn bench_cold(c: &mut Criterion) {
+    let requests = batch();
+    let mut group = c.benchmark_group("service_cold");
+    group.sample_size(10);
+    group.bench_function(format!("batch{BATCH}"), |b| {
+        b.iter(|| {
+            let service = service(8);
+            service.run_batch(std::hint::black_box(requests.clone())).len()
+        });
+    });
+    group.finish();
+}
+
+/// Warm cache: the service outlives iterations and the batch was already
+/// run once, so every request is a pure fingerprint + cache hit.
+fn bench_warm(c: &mut Criterion) {
+    let requests = batch();
+    let mut group = c.benchmark_group("service_warm");
+    group.sample_size(20);
+    for shards in [1usize, 8] {
+        let service = service(shards);
+        let _ = service.run_batch(requests.clone()); // fill the cache
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{BATCH}"), format!("{shards}shard")),
+            &service,
+            |b, service| {
+                b.iter(|| service.run_batch(std::hint::black_box(requests.clone())).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The acceptance ratio, measured explicitly: repeated batches against a
+/// warm cache must run ≥ 5× faster than cold-cache analysis of the same
+/// batches.
+fn warm_vs_cold_ratio(_c: &mut Criterion) {
+    let requests = batch();
+    const ROUNDS: usize = 8;
+
+    let cold_started = Instant::now();
+    for _ in 0..ROUNDS {
+        let service = service(8);
+        assert_eq!(service.run_batch(requests.clone()).len(), BATCH);
+    }
+    let cold = cold_started.elapsed();
+
+    let service = service(8);
+    let _ = service.run_batch(requests.clone());
+    let warm_started = Instant::now();
+    for _ in 0..ROUNDS {
+        assert_eq!(service.run_batch(requests.clone()).len(), BATCH);
+    }
+    let warm = warm_started.elapsed();
+
+    let ratio = cold.as_secs_f64() / warm.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "service_warm_vs_cold                     cold {cold:>12?}   warm {warm:>12?}   \
+         ratio {ratio:>6.1}x (target >= 5x)"
+    );
+    assert!(
+        ratio >= 5.0,
+        "warm-cache throughput must be at least 5x cold-cache, measured {ratio:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_cold, bench_warm, warm_vs_cold_ratio);
+criterion_main!(benches);

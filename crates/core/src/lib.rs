@@ -57,6 +57,7 @@ mod consistency;
 mod constraint_labeling;
 mod crossing_off;
 mod error;
+mod fingerprint;
 mod label;
 mod labeling;
 mod limits;
@@ -72,6 +73,7 @@ pub use consistency::{check_consistency, is_consistent, ConsistencyViolation};
 pub use constraint_labeling::label_messages_robust;
 pub use crossing_off::{classify, classify_with, Classification, Pair, Step, StuckReport, Trace};
 pub use error::CoreError;
+pub use fingerprint::request_fingerprint;
 pub use label::Label;
 pub use labeling::{label_messages, LabelRule, Labeling, LabelingReport};
 pub use limits::LookaheadLimits;

@@ -39,13 +39,15 @@ impl LookaheadLimits {
     }
 
     /// Rule R2 proper: each message's budget is the total capacity of the
-    /// queues along its route — `num_hops × capacity_per_queue`.
+    /// queues along its route — `num_hops × capacity_per_queue`
+    /// (saturating, so absurd capacities degrade to effectively-unbounded
+    /// budgets instead of wrapping to tiny ones).
     #[must_use]
     pub fn from_routes(routes: &MessageRoutes, capacity_per_queue: usize) -> Self {
         LookaheadLimits {
             per_message: routes
                 .iter()
-                .map(|(_, r)| Some(r.num_hops() * capacity_per_queue))
+                .map(|(_, r)| Some(r.num_hops().saturating_mul(capacity_per_queue)))
                 .collect(),
         }
     }
@@ -73,6 +75,13 @@ impl LookaheadLimits {
             Some(max) => count <= max,
             None => true,
         }
+    }
+
+    /// The full per-message budget table (`None` = unbounded), in message
+    /// declaration order.
+    #[must_use]
+    pub fn as_table(&self) -> &[Option<usize>] {
+        &self.per_message
     }
 
     /// Number of messages covered.

@@ -53,6 +53,7 @@
 mod builder;
 mod display;
 mod error;
+mod hash;
 mod ids;
 mod message;
 mod op;
@@ -64,10 +65,11 @@ mod topology;
 pub use builder::{CellRef, ProgramBuilder};
 pub use display::{program_to_text, side_by_side};
 pub use error::ModelError;
+pub use hash::{CanonicalHash, ContentHasher};
 pub use ids::{CellId, Hop, Interval, MessageId, QueueId};
 pub use message::MessageDecl;
 pub use op::{Op, OpKind};
 pub use parse::parse_program;
 pub use program::{CellProgram, Program};
 pub use route::{MessageRoutes, Route};
-pub use topology::Topology;
+pub use topology::{Topology, MAX_SPEC_CELLS};

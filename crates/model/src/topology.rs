@@ -4,6 +4,10 @@
 //! arrays of higher dimensionalities and other distributed computing systems
 //! using any interconnection topology" (Section 2.1). This module provides
 //! linear arrays, rings, 2-D meshes and arbitrary graphs.
+//!
+//! Adjacency lists and the interval list are precomputed at construction,
+//! so the hot routing/analysis paths ([`Topology::neighbors`],
+//! [`Topology::intervals`]) are allocation-free slice reads.
 
 use std::collections::VecDeque;
 
@@ -14,8 +18,12 @@ enum Kind {
     Linear { n: usize },
     Ring { n: usize },
     Mesh2D { rows: usize, cols: usize },
-    Graph { n: usize, adjacency: Vec<Vec<CellId>> },
+    Graph { n: usize },
 }
+
+/// The largest cell count [`Topology::from_spec`] accepts. Wire-facing
+/// only: the programmatic constructors are not limited.
+pub const MAX_SPEC_CELLS: usize = 1 << 20;
 
 /// An interconnection topology: which cells are adjacent (share an interval).
 ///
@@ -32,6 +40,10 @@ enum Kind {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Topology {
     kind: Kind,
+    /// Sorted neighbour list per cell, fixed at construction.
+    adjacency: Vec<Vec<CellId>>,
+    /// All intervals, sorted, fixed at construction.
+    intervals: Vec<Interval>,
 }
 
 impl Topology {
@@ -43,7 +55,19 @@ impl Topology {
     #[must_use]
     pub fn linear(n: usize) -> Self {
         assert!(n > 0, "an array needs at least one cell");
-        Topology { kind: Kind::Linear { n } }
+        let adjacency = (0..n)
+            .map(|i| {
+                let mut list = Vec::with_capacity(2);
+                if i > 0 {
+                    list.push(CellId::new((i - 1) as u32));
+                }
+                if i + 1 < n {
+                    list.push(CellId::new((i + 1) as u32));
+                }
+                list
+            })
+            .collect();
+        Self::with_adjacency(Kind::Linear { n }, adjacency)
     }
 
     /// A ring of `n` cells: like linear, plus cell `n-1` adjacent to cell 0.
@@ -54,7 +78,17 @@ impl Topology {
     #[must_use]
     pub fn ring(n: usize) -> Self {
         assert!(n >= 3, "a ring needs at least three cells");
-        Topology { kind: Kind::Ring { n } }
+        let adjacency = (0..n)
+            .map(|i| {
+                let mut list = vec![
+                    CellId::new(((i + n - 1) % n) as u32),
+                    CellId::new(((i + 1) % n) as u32),
+                ];
+                list.sort_unstable();
+                list
+            })
+            .collect();
+        Self::with_adjacency(Kind::Ring { n }, adjacency)
     }
 
     /// A `rows × cols` 2-D mesh; cell `(r, c)` has id `r * cols + c`.
@@ -65,7 +99,26 @@ impl Topology {
     #[must_use]
     pub fn mesh(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
-        Topology { kind: Kind::Mesh2D { rows, cols } }
+        let adjacency = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                let mut list = Vec::with_capacity(4);
+                if r > 0 {
+                    list.push(CellId::new(((r - 1) * cols + c) as u32));
+                }
+                if c > 0 {
+                    list.push(CellId::new((r * cols + c - 1) as u32));
+                }
+                if c + 1 < cols {
+                    list.push(CellId::new((r * cols + c + 1) as u32));
+                }
+                if r + 1 < rows {
+                    list.push(CellId::new(((r + 1) * cols + c) as u32));
+                }
+                list
+            })
+            .collect();
+        Self::with_adjacency(Kind::Mesh2D { rows, cols }, adjacency)
     }
 
     /// An arbitrary undirected graph over `n` cells.
@@ -103,14 +156,142 @@ impl Topology {
         for list in &mut adjacency {
             list.sort_unstable();
         }
-        Ok(Topology { kind: Kind::Graph { n, adjacency } })
+        Ok(Self::with_adjacency(Kind::Graph { n }, adjacency))
+    }
+
+    fn with_adjacency(kind: Kind, adjacency: Vec<Vec<CellId>>) -> Self {
+        let mut intervals = Vec::new();
+        for (i, list) in adjacency.iter().enumerate() {
+            let a = CellId::new(i as u32);
+            for &b in list {
+                if a < b {
+                    intervals.push(Interval::new(a, b));
+                }
+            }
+        }
+        intervals.sort_unstable();
+        Topology { kind, adjacency, intervals }
+    }
+
+    /// Parses a compact topology specification string, the inverse of
+    /// [`Topology::spec`]. Used by the `systolicd` JSONL front end so a
+    /// request can name its topology in one field.
+    ///
+    /// Formats: `linear:N`, `ring:N`, `mesh:RxC`, and
+    /// `graph:N:a-b,c-d,...` (the edge list may be empty: `graph:N:`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] for malformed specs and
+    /// [`ModelError::CellOutOfRange`] for graph edges out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use systolic_model::Topology;
+    ///
+    /// # fn main() -> Result<(), systolic_model::ModelError> {
+    /// let t = Topology::from_spec("mesh:2x3")?;
+    /// assert_eq!(t.num_cells(), 6);
+    /// assert_eq!(Topology::from_spec(&t.spec())?, t);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_spec(spec: &str) -> Result<Self, ModelError> {
+        let bad = |message: String| ModelError::Parse { line: 1, message };
+        let parse_count = |s: &str, what: &str| -> Result<usize, ModelError> {
+            let n: usize = s
+                .parse()
+                .map_err(|_| bad(format!("invalid {what} `{s}` in topology spec")))?;
+            if n == 0 {
+                return Err(bad(format!("{what} must be positive in topology spec")));
+            }
+            // Specs arrive over the wire from untrusted clients, and the
+            // constructors allocate O(cells) adjacency eagerly — bound the
+            // size here so a single request line cannot abort the process.
+            if n > MAX_SPEC_CELLS {
+                return Err(bad(format!(
+                    "{what} {n} exceeds the spec limit of {MAX_SPEC_CELLS} cells"
+                )));
+            }
+            Ok(n)
+        };
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| bad(format!("topology spec `{spec}` has no `:`")))?;
+        match kind {
+            "linear" => Ok(Topology::linear(parse_count(rest, "cell count")?)),
+            "ring" => {
+                let n = parse_count(rest, "cell count")?;
+                if n < 3 {
+                    return Err(bad("a ring needs at least three cells".into()));
+                }
+                Ok(Topology::ring(n))
+            }
+            "mesh" => {
+                let (r, c) = rest
+                    .split_once('x')
+                    .ok_or_else(|| bad(format!("mesh spec `{rest}` is not RxC")))?;
+                let rows = parse_count(r, "row count")?;
+                let cols = parse_count(c, "column count")?;
+                match rows.checked_mul(cols) {
+                    Some(n) if n <= MAX_SPEC_CELLS => Ok(Topology::mesh(rows, cols)),
+                    _ => Err(bad(format!(
+                        "mesh {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"
+                    ))),
+                }
+            }
+            "graph" => {
+                let (n, edges) = rest
+                    .split_once(':')
+                    .ok_or_else(|| bad(format!("graph spec `{rest}` is not N:edges")))?;
+                let n = parse_count(n, "cell count")?;
+                let mut parsed = Vec::new();
+                for edge in edges.split(',').filter(|e| !e.is_empty()) {
+                    let (a, b) = edge
+                        .split_once('-')
+                        .ok_or_else(|| bad(format!("graph edge `{edge}` is not a-b")))?;
+                    let a: u32 = a
+                        .parse()
+                        .map_err(|_| bad(format!("invalid cell `{a}` in graph edge")))?;
+                    let b: u32 = b
+                        .parse()
+                        .map_err(|_| bad(format!("invalid cell `{b}` in graph edge")))?;
+                    if a == b {
+                        return Err(bad(format!("graph edge `{edge}` is a self-loop")));
+                    }
+                    parsed.push((CellId::new(a), CellId::new(b)));
+                }
+                Topology::graph(n, parsed)
+            }
+            other => Err(bad(format!("unknown topology kind `{other}`"))),
+        }
+    }
+
+    /// Serializes this topology as a spec string accepted by
+    /// [`Topology::from_spec`], so `Topology::from_spec(&t.spec())? == t`.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match &self.kind {
+            Kind::Linear { n } => format!("linear:{n}"),
+            Kind::Ring { n } => format!("ring:{n}"),
+            Kind::Mesh2D { rows, cols } => format!("mesh:{rows}x{cols}"),
+            Kind::Graph { n } => {
+                let edges: Vec<String> = self
+                    .intervals
+                    .iter()
+                    .map(|iv| format!("{}-{}", iv.lo().index(), iv.hi().index()))
+                    .collect();
+                format!("graph:{n}:{}", edges.join(","))
+            }
+        }
     }
 
     /// Number of cells.
     #[must_use]
     pub fn num_cells(&self) -> usize {
         match &self.kind {
-            Kind::Linear { n } | Kind::Ring { n } | Kind::Graph { n, .. } => *n,
+            Kind::Linear { n } | Kind::Ring { n } | Kind::Graph { n } => *n,
             Kind::Mesh2D { rows, cols } => rows * cols,
         }
     }
@@ -147,44 +328,28 @@ impl Topology {
                 let (rb, cb) = (b.index() / cols, b.index() % cols);
                 ra.abs_diff(rb) + ca.abs_diff(cb) == 1
             }
-            Kind::Graph { adjacency, .. } => adjacency
+            Kind::Graph { .. } => self
+                .adjacency
                 .get(a.index())
-                .is_some_and(|list| list.contains(&b)),
+                .is_some_and(|list| list.binary_search(&b).is_ok()),
         }
     }
 
-    /// The sorted neighbours of `cell`.
+    /// The sorted neighbours of `cell`, precomputed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
     #[must_use]
-    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
-        match &self.kind {
-            Kind::Graph { adjacency, .. } => {
-                adjacency.get(cell.index()).cloned().unwrap_or_default()
-            }
-            _ => {
-                let mut out: Vec<CellId> = (0..self.num_cells() as u32)
-                    .map(CellId::new)
-                    .filter(|&other| self.is_adjacent(cell, other))
-                    .collect();
-                out.sort_unstable();
-                out
-            }
-        }
+    pub fn neighbors(&self, cell: CellId) -> &[CellId] {
+        &self.adjacency[cell.index()]
     }
 
-    /// All intervals (adjacent-cell links), sorted.
+    /// All intervals (adjacent-cell links), sorted, precomputed at
+    /// construction.
     #[must_use]
-    pub fn intervals(&self) -> Vec<Interval> {
-        let mut out = Vec::new();
-        for i in 0..self.num_cells() as u32 {
-            let a = CellId::new(i);
-            for b in self.neighbors(a) {
-                if a < b {
-                    out.push(Interval::new(a, b));
-                }
-            }
-        }
-        out.sort_unstable();
-        out
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
     }
 
     /// The cell path of the minimum-length route from `from` to `to`,
@@ -252,8 +417,9 @@ impl Topology {
                 }
                 Ok(path)
             }
-            Kind::Graph { adjacency, .. } => {
+            Kind::Graph { .. } => {
                 // BFS with lowest-id tie-break (adjacency lists are sorted).
+                let adjacency = &self.adjacency;
                 let mut prev: Vec<Option<CellId>> = vec![None; n];
                 let mut seen = vec![false; n];
                 let mut queue = VecDeque::new();
@@ -304,6 +470,31 @@ mod tests {
         assert_eq!(t.intervals().len(), 3);
         assert_eq!(t.neighbors(c(1)), vec![c(0), c(2)]);
         assert_eq!(t.neighbors(c(0)), vec![c(1)]);
+    }
+
+    #[test]
+    fn precomputed_adjacency_matches_is_adjacent() {
+        let topologies = vec![
+            Topology::linear(5),
+            Topology::ring(6),
+            Topology::mesh(3, 4),
+            Topology::graph(5, [(c(0), c(2)), (c(2), c(4)), (c(1), c(3))]).unwrap(),
+        ];
+        for t in topologies {
+            for i in 0..t.num_cells() as u32 {
+                for j in 0..t.num_cells() as u32 {
+                    assert_eq!(
+                        t.neighbors(c(i)).contains(&c(j)),
+                        t.is_adjacent(c(i), c(j)),
+                        "adjacency mismatch at ({i}, {j}) in {}",
+                        t.spec(),
+                    );
+                }
+                let mut sorted = t.neighbors(c(i)).to_vec();
+                sorted.sort_unstable();
+                assert_eq!(sorted, t.neighbors(c(i)), "unsorted neighbours of c{i}");
+            }
+        }
     }
 
     #[test]
@@ -380,5 +571,73 @@ mod tests {
         let t = Topology::linear(1);
         assert_eq!(t.num_cells(), 1);
         assert!(t.intervals().is_empty());
+    }
+
+    #[test]
+    fn spec_roundtrips_every_kind() {
+        let topologies = vec![
+            Topology::linear(1),
+            Topology::linear(7),
+            Topology::ring(5),
+            Topology::mesh(2, 3),
+            Topology::graph(4, [(c(0), c(1)), (c(1), c(3))]).unwrap(),
+            Topology::graph(3, []).unwrap(),
+        ];
+        for t in topologies {
+            let spec = t.spec();
+            let back = Topology::from_spec(&spec).unwrap();
+            assert_eq!(back, t, "spec `{spec}` did not round-trip");
+        }
+    }
+
+    #[test]
+    fn from_spec_parses_all_forms() {
+        assert_eq!(Topology::from_spec("linear:4").unwrap(), Topology::linear(4));
+        assert_eq!(Topology::from_spec("ring:5").unwrap(), Topology::ring(5));
+        assert_eq!(Topology::from_spec("mesh:2x3").unwrap(), Topology::mesh(2, 3));
+        assert_eq!(
+            Topology::from_spec("graph:3:0-1,1-2").unwrap(),
+            Topology::graph(3, [(c(0), c(1)), (c(1), c(2))]).unwrap()
+        );
+        assert_eq!(
+            Topology::from_spec("graph:2:").unwrap(),
+            Topology::graph(2, []).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed_input() {
+        for spec in [
+            "", "linear", "linear:", "linear:0", "linear:x", "ring:2", "mesh:3",
+            "mesh:0x2", "mesh:2x", "torus:4", "graph:3", "graph:3:0_1", "graph:3:0-0",
+        ] {
+            assert!(
+                matches!(Topology::from_spec(spec), Err(ModelError::Parse { .. })),
+                "spec `{spec}` should fail to parse"
+            );
+        }
+        assert!(matches!(
+            Topology::from_spec("graph:2:0-5"),
+            Err(ModelError::CellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_spec_bounds_cell_counts() {
+        // Untrusted wire input must not trigger huge eager allocations.
+        for spec in [
+            "linear:18446744073709551615",
+            &format!("linear:{}", MAX_SPEC_CELLS + 1),
+            &format!("ring:{}", MAX_SPEC_CELLS + 1),
+            "mesh:100000x100000",
+            "mesh:4294967296x4294967296", // rows*cols overflows on 64-bit too
+            &format!("graph:{}:", MAX_SPEC_CELLS + 1),
+        ] {
+            assert!(
+                matches!(Topology::from_spec(spec), Err(ModelError::Parse { .. })),
+                "spec `{spec}` should be rejected"
+            );
+        }
+        assert!(Topology::from_spec(&format!("linear:{MAX_SPEC_CELLS}")).is_ok());
     }
 }

@@ -118,12 +118,14 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (naive quoting: commas in cells are replaced by `;`).
+    /// Renders as CSV with RFC 4180 quoting: cells containing commas,
+    /// double quotes, or line breaks are wrapped in double quotes, with
+    /// embedded quotes doubled.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let line = |out: &mut String, cells: &[String]| {
-            let joined: Vec<String> = cells.iter().map(|c| c.replace(',', ";")).collect();
+            let joined: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
             out.push_str(&joined.join(","));
             out.push('\n');
         };
@@ -132,6 +134,16 @@ impl Table {
             line(&mut out, row);
         }
         out
+    }
+}
+
+/// Quotes one CSV cell per RFC 4180: wrap in `"` when the cell contains a
+/// comma, quote or line break, doubling embedded quotes.
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
     }
 }
 
@@ -153,6 +165,21 @@ pub fn stddev(xs: &[f64]) -> f64 {
     }
     let m = mean(xs);
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile of a sample by nearest-rank (0.0 for empty input).
+///
+/// `p` is clamped to `0.0..=100.0`. The sample need not be sorted.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Formats a ratio like `3.2x` with one decimal.
@@ -202,10 +229,37 @@ mod tests {
     }
 
     #[test]
-    fn csv_escapes_commas() {
+    fn csv_quotes_commas_rfc4180() {
         let mut t = Table::new(["x"]);
         t.row(["a,b"]);
-        assert!(t.to_csv().contains("a;b"));
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    fn csv_doubles_embedded_quotes() {
+        let mut t = Table::new(["x"]);
+        t.row(["say \"hi\""]);
+        assert_eq!(t.to_csv(), "x\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_quotes_newlines_and_carriage_returns() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["line1\nline2", "cr\rcell"]);
+        assert_eq!(t.to_csv(), "x,y\n\"line1\nline2\",\"cr\rcell\"\n");
+    }
+
+    #[test]
+    fn csv_leaves_plain_cells_unquoted() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["plain", "also plain"]);
+        assert_eq!(t.to_csv(), "a,b\nplain,also plain\n");
+    }
+
+    #[test]
+    fn csv_quotes_header_cells_too() {
+        let t = Table::new(["a,b", "c"]);
+        assert_eq!(t.to_csv(), "\"a,b\",c\n");
     }
 
     #[test]
@@ -223,6 +277,17 @@ mod tests {
         assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-9);
         assert_eq!(ratio(6.0, 2.0), "3.0x");
         assert_eq!(ratio(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 90.0), 5.0);
+        assert_eq!(percentile(&xs, 150.0), 5.0); // clamped
     }
 
     #[test]

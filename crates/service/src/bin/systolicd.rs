@@ -1,0 +1,190 @@
+//! `systolicd` — the JSONL front end of the analysis service.
+//!
+//! ```text
+//! systolicd gen   --count 1000 [--seed 42] [--hot-percent 50]
+//! systolicd serve [FILE] [--workers 4] [--shards 8] [--capacity 256]
+//!                 [--queue-depth 64] [--verify] [--summary]
+//! ```
+//!
+//! `gen` writes a deterministic stream of mixed workload requests (one
+//! JSON object per line) to stdout. `serve` reads request lines from FILE
+//! (or stdin), drives them through the service with bounded backpressure,
+//! and streams one JSON response per line to stdout in request order;
+//! `--summary` prints a throughput/latency/cache table to stderr. Exit
+//! status is 0 when every line was a well-formed request (rejected
+//! analyses still count as served), 2 on usage errors, 1 when some lines
+//! were malformed.
+//!
+//! A full round trip:
+//!
+//! ```text
+//! systolicd gen --count 1000 --seed 7 > requests.jsonl
+//! systolicd serve requests.jsonl --workers 8 --summary > responses.jsonl
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::time::Instant;
+
+use systolic_service::wire::{invalid_to_json, parse_request, response_to_json, traffic_to_json};
+use systolic_service::{AnalysisService, CacheConfig, ServiceConfig, Ticket};
+use systolic_workloads::{traffic, TrafficConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
+         systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
+         [--queue-depth N] [--verify] [--summary]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag_value(args: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
+    match args.next().map(|v| v.parse::<usize>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("systolicd: {flag} needs a non-negative integer value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn gen_main(args: &[String]) {
+    let mut count = None;
+    let mut seed = 42u64;
+    let mut config = TrafficConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => count = Some(parse_flag_value(&mut iter, "--count")),
+            "--seed" => seed = parse_flag_value(&mut iter, "--seed") as u64,
+            "--hot-percent" => {
+                config.hot_percent = parse_flag_value(&mut iter, "--hot-percent").min(100) as u32;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(count) = count else { usage() };
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for (i, item) in traffic(&config, seed, count).iter().enumerate() {
+        let id = format!("{}#{i}", item.name);
+        writeln!(out, "{}", traffic_to_json(&id, item)).expect("writing to stdout succeeds");
+    }
+    out.flush().expect("flushing stdout succeeds");
+}
+
+fn serve_main(args: &[String]) {
+    let mut config = ServiceConfig::default();
+    let mut cache = CacheConfig::default();
+    let mut summary = false;
+    let mut input_path = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => config.workers = parse_flag_value(&mut iter, "--workers").max(1),
+            "--shards" => cache.shards = parse_flag_value(&mut iter, "--shards").max(1),
+            "--capacity" => {
+                cache.capacity_per_shard = parse_flag_value(&mut iter, "--capacity").max(1);
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse_flag_value(&mut iter, "--queue-depth").max(1);
+            }
+            "--verify" => config.verify = true,
+            "--summary" => summary = true,
+            path if !path.starts_with('-') && input_path.is_none() => {
+                input_path = Some(path.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    config.cache = cache;
+
+    let reader: Box<dyn Read> = match &input_path {
+        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("systolicd: cannot open {path}: {e}");
+            std::process::exit(2);
+        })),
+        None => Box::new(std::io::stdin()),
+    };
+
+    let service = AnalysisService::new(config);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let started = Instant::now();
+    let mut served = 0u64;
+    let mut invalid = 0u64;
+
+    // Stream responses in request order while keeping at most
+    // `inflight_limit` tickets outstanding: the submission queue provides
+    // the backpressure, this window just bounds reply buffering.
+    let inflight_limit = config.workers * 2 + config.queue_depth;
+    let mut inflight: std::collections::VecDeque<Ticket> = std::collections::VecDeque::new();
+    let drain_one =
+        |inflight: &mut std::collections::VecDeque<Ticket>, out: &mut dyn Write| {
+            if let Some(ticket) = inflight.pop_front() {
+                let response = ticket.wait();
+                writeln!(out, "{}", response_to_json(&response))
+                    .expect("writing to stdout succeeds");
+            }
+        };
+
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("systolicd: read error: {e}");
+            std::process::exit(2);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_number = i + 1;
+        match parse_request(&line, line_number) {
+            Ok(request) => {
+                if inflight.len() >= inflight_limit {
+                    drain_one(&mut inflight, &mut out);
+                }
+                inflight.push_back(service.submit(request));
+                served += 1;
+            }
+            Err(error) => {
+                // Flush pending responses first so output stays in input
+                // order, then answer the malformed line inline.
+                while !inflight.is_empty() {
+                    drain_one(&mut inflight, &mut out);
+                }
+                writeln!(out, "{}", invalid_to_json(line_number, &error))
+                    .expect("writing to stdout succeeds");
+                invalid += 1;
+            }
+        }
+    }
+    while !inflight.is_empty() {
+        drain_one(&mut inflight, &mut out);
+    }
+    out.flush().expect("flushing stdout succeeds");
+
+    if summary {
+        let elapsed = started.elapsed();
+        let stats = service.stats();
+        let mut table = stats.table();
+        let secs = elapsed.as_secs_f64();
+        table.row(["wall time (s)", &format!("{secs:.3}")]);
+        table.row([
+            "throughput (req/s)",
+            &format!("{:.0}", if secs > 0.0 { served as f64 / secs } else { 0.0 }),
+        ]);
+        table.row(["invalid lines", &invalid.to_string()]);
+        eprintln!("{}", table.to_text());
+    }
+
+    std::process::exit(i32::from(invalid > 0));
+}

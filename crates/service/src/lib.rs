@@ -1,0 +1,56 @@
+//! A sharded, cached, batch analysis service for systolic deadlock
+//! avoidance.
+//!
+//! The analysis pipeline (`systolic_core::analyze`) is pure compile-time
+//! work — exactly the kind of thing a toolchain serves to many clients and
+//! amortizes across identical requests. This crate turns it into that
+//! shared subsystem:
+//!
+//! * [`ShardedCache`] — an N-shard, mutex-per-shard LRU plan cache keyed
+//!   by the 128-bit content fingerprint of `(Program, Topology,
+//!   AnalysisConfig)` ([`systolic_core::request_fingerprint`]), with
+//!   hit/miss/eviction counters per shard;
+//! * [`BoundedQueue`] — the bounded submission queue whose blocking
+//!   `push` is the service's backpressure;
+//! * [`AnalysisService`] — the worker pool: fingerprints each request,
+//!   serves hits from cache, computes misses (optionally chasing each
+//!   certified plan with a `systolic_sim` verification run) and returns
+//!   structured [`AnalysisResponse`]s with cache provenance and timings;
+//! * [`wire`] + [`Json`] — the JSONL request/response format of the
+//!   [`systolicd`](../systolicd/index.html) binary, which replays scripted
+//!   traffic files end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_service::{AnalysisRequest, AnalysisService, ServiceConfig};
+//! use systolic_workloads::{traffic, TrafficConfig};
+//!
+//! let service = AnalysisService::new(ServiceConfig::default());
+//! let requests = traffic(&TrafficConfig::default(), 42, 100)
+//!     .iter()
+//!     .map(AnalysisRequest::from_traffic)
+//!     .collect();
+//! let responses = service.run_batch(requests);
+//! assert_eq!(responses.len(), 100);
+//! let stats = service.stats();
+//! assert!(stats.cache.hits > 0, "hot traffic repeats must hit the cache");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod json;
+mod queue;
+mod service;
+pub mod wire;
+
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use json::{Json, JsonError};
+pub use queue::{BoundedQueue, QueueClosed};
+pub use service::{
+    AnalysisRequest, AnalysisResponse, AnalysisService, CacheProvenance, Certified,
+    ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
+};

@@ -1,0 +1,720 @@
+//! The analysis service: a worker pool over a bounded submission queue,
+//! fronted by the sharded plan cache.
+//!
+//! Requests are `(Program, Topology, AnalysisConfig)` triples. Each is
+//! fingerprinted ([`systolic_core::request_fingerprint`]); a cache hit
+//! returns the shared `Arc`ed outcome immediately, a miss runs the full
+//! [`analyze`](systolic_core::analyze) pipeline (optionally chased by a
+//! [`verify_plan`](systolic_sim::verify_plan) simulation run) and
+//! publishes the outcome for every later identical request. Submission
+//! blocks when the bounded queue is full — backpressure, not unbounded
+//! buffering, is the overload response.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use systolic_core::{
+    analyze, request_fingerprint, AnalysisConfig, CommPlan, CoreError, Label, LabelingMethod,
+};
+use systolic_model::{Program, Topology};
+use systolic_report::Table;
+use systolic_sim::{verify_plan, SimConfig, VerifyReport};
+use systolic_workloads::TrafficItem;
+
+use crate::{BoundedQueue, CacheConfig, CacheStats, ShardedCache};
+
+/// Configuration of an [`AnalysisService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing analyses. Clamped to ≥ 1.
+    pub workers: usize,
+    /// Shape of the sharded plan cache.
+    pub cache: CacheConfig,
+    /// Bounded submission-queue depth; producers block (backpressure)
+    /// when this many requests are waiting.
+    pub queue_depth: usize,
+    /// Chase every *miss* with a simulator run of the certified plan.
+    pub verify: bool,
+    /// Simulator configuration for verification runs.
+    pub sim: SimConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache: CacheConfig::default(),
+            queue_depth: 64,
+            verify: false,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// One analysis request.
+#[derive(Clone, Debug)]
+pub struct AnalysisRequest {
+    /// Client-chosen identifier, echoed in the response.
+    pub name: String,
+    /// The program to analyze.
+    pub program: Program,
+    /// The topology it runs on.
+    pub topology: Topology,
+    /// Analysis configuration (lookahead, hardware queue count).
+    pub config: AnalysisConfig,
+}
+
+impl AnalysisRequest {
+    /// A request with the default [`AnalysisConfig`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, program: Program, topology: Topology) -> Self {
+        AnalysisRequest {
+            name: name.into(),
+            program,
+            topology,
+            config: AnalysisConfig::default(),
+        }
+    }
+
+    /// Converts one item of workload [`traffic`](systolic_workloads::traffic)
+    /// into a request (the item's queue count becomes the config's).
+    #[must_use]
+    pub fn from_traffic(item: &TrafficItem) -> Self {
+        AnalysisRequest {
+            name: item.name.clone(),
+            program: item.program.clone(),
+            topology: item.topology.clone(),
+            config: AnalysisConfig {
+                queues_per_interval: item.queues_per_interval,
+                ..AnalysisConfig::default()
+            },
+        }
+    }
+}
+
+/// A successful analysis, as cached and shared between identical requests.
+#[derive(Clone, Debug)]
+pub struct Certified {
+    /// The certified communication plan.
+    pub plan: Arc<CommPlan>,
+    /// Which labeling scheme produced the labels.
+    pub labeling_method: LabelingMethod,
+    /// `(message name, label)` in declaration order.
+    pub message_labels: Vec<(String, Label)>,
+    /// Theorem 1 assumption (ii): the uniform queue count the plan needs.
+    pub max_queues_per_interval: usize,
+    /// The simulation chase, when the service ran one.
+    pub verified: Option<VerifyReport>,
+    /// Wall-clock cost of the original (cache-missing) computation.
+    pub analysis_micros: u64,
+}
+
+/// Why the service could not certify a request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServiceError {
+    /// The analysis itself refused (deadlocked, infeasible, model error).
+    Analysis(CoreError),
+    /// The analysis panicked; the worker caught the panic so one bad
+    /// request cannot take down the pool or the daemon.
+    Panicked(String),
+}
+
+impl ServiceError {
+    /// The underlying analysis error, if this is one.
+    #[must_use]
+    pub fn as_analysis(&self) -> Option<&CoreError> {
+        match self {
+            ServiceError::Analysis(e) => Some(e),
+            ServiceError::Panicked(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Analysis(e) => write!(f, "{e}"),
+            ServiceError::Panicked(msg) => write!(f, "analysis panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.as_analysis().map(|e| e as _)
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Analysis(e)
+    }
+}
+
+/// The shared outcome of one fingerprint: a certified plan or the service
+/// error (deadlocked, infeasible, model error, panic). Errors are cached
+/// too — a deadlocked program resubmitted a thousand times costs one
+/// analysis.
+pub type ServiceOutcome = Arc<Result<Certified, ServiceError>>;
+
+/// Whether a response was served from cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheProvenance {
+    /// Served from the plan cache.
+    Hit,
+    /// Computed by this request (and published to the cache).
+    Miss,
+}
+
+/// The service's reply to one request.
+#[derive(Clone, Debug)]
+pub struct AnalysisResponse {
+    /// Submission sequence number (service-assigned, monotonic).
+    pub seq: u64,
+    /// The request's `name`, echoed.
+    pub name: String,
+    /// The request's 128-bit content fingerprint (the cache key).
+    pub fingerprint: u128,
+    /// Hit or miss.
+    pub provenance: CacheProvenance,
+    /// The shared analysis outcome.
+    pub outcome: ServiceOutcome,
+    /// Wall-clock time this request spent in a worker (for a hit: the
+    /// fingerprint + cache lookup; for a miss: the full analysis).
+    pub handle_micros: u64,
+}
+
+impl AnalysisResponse {
+    /// `true` if the outcome is a certified plan.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// A pending response, returned by [`AnalysisService::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<AnalysisResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the worker pool answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was torn down without answering (a worker
+    /// panicked), which is a bug in the service.
+    #[must_use]
+    pub fn wait(self) -> AnalysisResponse {
+        self.rx.recv().expect("service answers every accepted request")
+    }
+}
+
+struct Job {
+    seq: u64,
+    request: AnalysisRequest,
+    reply: mpsc::Sender<AnalysisResponse>,
+}
+
+struct Latencies {
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+    /// Reservoir of samples for percentile estimates (Algorithm R: once
+    /// full, sample `n` replaces a uniformly random slot with probability
+    /// `capacity / n`, so long runs stay representative of the whole run,
+    /// not just the cold start).
+    samples: Vec<u64>,
+    /// xorshift64 state for reservoir replacement.
+    rng: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+            samples: Vec::new(),
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl Latencies {
+    fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+        if self.samples.len() < MAX_LATENCY_SAMPLES {
+            self.samples.push(micros);
+        } else {
+            // xorshift64, then reduce onto 0..count.
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            let slot = (self.rng % self.count) as usize;
+            if slot < self.samples.len() {
+                self.samples[slot] = micros;
+            }
+        }
+    }
+}
+
+const MAX_LATENCY_SAMPLES: usize = 100_000;
+
+struct Inner {
+    queue: BoundedQueue<Job>,
+    cache: ShardedCache<ServiceOutcome>,
+    config: ServiceConfig,
+    latencies: Mutex<Latencies>,
+}
+
+/// Aggregate service statistics (request latencies + cache counters).
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Mean in-worker handling time, microseconds.
+    pub mean_micros: f64,
+    /// Median handling time, microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile handling time, microseconds.
+    pub p99_micros: f64,
+    /// Worst handling time, microseconds.
+    pub max_micros: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Renders the stats as a two-column report table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["requests", &self.requests.to_string()]);
+        t.row(["cache hits", &self.cache.hits.to_string()]);
+        t.row(["cache misses", &self.cache.misses.to_string()]);
+        t.row(["cache evictions", &self.cache.evictions.to_string()]);
+        t.row(["cache entries", &self.cache.entries.to_string()]);
+        t.row(["hit rate", &format!("{:.1}%", self.cache.hit_rate() * 100.0)]);
+        t.row(["latency mean (us)", &format!("{:.1}", self.mean_micros)]);
+        t.row(["latency p50 (us)", &format!("{:.1}", self.p50_micros)]);
+        t.row(["latency p99 (us)", &format!("{:.1}", self.p99_micros)]);
+        t.row(["latency max (us)", &self.max_micros.to_string()]);
+        t
+    }
+}
+
+/// The sharded, cached, batch analysis service.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_service::{AnalysisRequest, AnalysisService, CacheProvenance, ServiceConfig};
+/// use systolic_workloads::{fig7, fig7_topology};
+///
+/// let service = AnalysisService::new(ServiceConfig::default());
+/// let request = AnalysisRequest::new("fig7", fig7(3), fig7_topology());
+///
+/// let first = service.submit(request.clone()).wait();
+/// assert_eq!(first.provenance, CacheProvenance::Miss);
+/// assert!(first.is_certified());
+///
+/// let second = service.submit(request).wait();
+/// assert_eq!(second.provenance, CacheProvenance::Hit);
+/// assert_eq!(second.fingerprint, first.fingerprint);
+/// ```
+#[derive(Debug)]
+pub struct AnalysisService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").field("queue", &self.queue).finish_non_exhaustive()
+    }
+}
+
+impl AnalysisService {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(config.queue_depth),
+            cache: ShardedCache::new(config.cache),
+            config,
+            latencies: Mutex::new(Latencies::default()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("systolic-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        AnalysisService { inner, workers, seq: AtomicU64::new(0) }
+    }
+
+    /// Submits one request, blocking while the submission queue is full
+    /// (backpressure). The returned [`Ticket`] resolves to the response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the service started shutting down (only
+    /// possible during `Drop`, where no caller can hold `&self`).
+    #[must_use]
+    pub fn submit(&self, request: AnalysisRequest) -> Ticket {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.inner
+            .queue
+            .push(Job { seq, request, reply: tx })
+            .unwrap_or_else(|_| panic!("submission queue closed while service alive"));
+        Ticket { rx }
+    }
+
+    /// Submits a whole batch and waits for every response, preserving
+    /// request order. Submission is paced by the bounded queue, so a huge
+    /// batch never balloons the queue beyond `queue_depth`.
+    #[must_use]
+    pub fn run_batch(&self, requests: Vec<AnalysisRequest>) -> Vec<AnalysisResponse> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Counter snapshot of the plan cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Per-shard counter snapshots of the plan cache.
+    #[must_use]
+    pub fn per_shard_cache_stats(&self) -> Vec<CacheStats> {
+        self.inner.cache.per_shard_stats()
+    }
+
+    /// Entries currently resident in the plan cache.
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Aggregate latency + cache statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        // Copy the reservoir out and drop the lock before sorting: the
+        // workers take this mutex once per request.
+        let (count, sum_micros, max_micros, mut samples) = {
+            let lat = self.inner.latencies.lock();
+            (lat.count, lat.sum_micros, lat.max_micros, lat.samples.clone())
+        };
+        samples.sort_unstable();
+        // Nearest-rank percentile over the already-sorted samples (same
+        // definition as `systolic_report::percentile`, without re-sorting).
+        let rank = |p: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            let r = ((p / 100.0 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[r - 1] as f64
+        };
+        ServiceStats {
+            requests: count,
+            mean_micros: if count == 0 { 0.0 } else { sum_micros as f64 / count as f64 },
+            p50_micros: rank(50.0),
+            p99_micros: rank(99.0),
+            max_micros,
+            cache: self.inner.cache.stats(),
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        let response = handle(inner, job.seq, job.request);
+        // A dropped Ticket just means the client stopped listening.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn handle(inner: &Inner, seq: u64, request: AnalysisRequest) -> AnalysisResponse {
+    let start = Instant::now();
+    let fingerprint =
+        request_fingerprint(&request.program, &request.topology, &request.config);
+    let (outcome, provenance) = match inner.cache.get(fingerprint) {
+        Some(outcome) => (outcome, CacheProvenance::Hit),
+        None => {
+            // catch_unwind so a panic in the analysis of one (possibly
+            // hostile) request rejects that request instead of killing
+            // the worker and, via the dropped reply channel, the client.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compute(&inner.config, &request)
+            }));
+            let computed: ServiceOutcome = Arc::new(match result {
+                Ok(outcome) => outcome.map_err(ServiceError::Analysis),
+                Err(panic) => Err(ServiceError::Panicked(panic_message(&panic))),
+            });
+            // First writer wins: racing workers converge on one entry and
+            // one shared outcome.
+            let (winner, _inserted) = inner.cache.insert(fingerprint, computed);
+            (winner, CacheProvenance::Miss)
+        }
+    };
+    let handle_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    inner.latencies.lock().record(handle_micros);
+    AnalysisResponse {
+        seq,
+        name: request.name,
+        fingerprint,
+        provenance,
+        outcome,
+        handle_micros,
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    }
+}
+
+fn compute(config: &ServiceConfig, request: &AnalysisRequest) -> Result<Certified, CoreError> {
+    let start = Instant::now();
+    let analysis = analyze(&request.program, &request.topology, &request.config)?;
+    let labeling_method = analysis.labeling_method();
+    let plan = Arc::new(analysis.into_plan());
+    let message_labels = request
+        .program
+        .message_ids()
+        .map(|m| (request.program.message(m).name().to_owned(), plan.label(m)))
+        .collect();
+    let verified = if config.verify {
+        Some(
+            verify_plan(&request.program, &request.topology, &plan, config.sim)
+                .map_err(CoreError::Model)?,
+        )
+    } else {
+        None
+    };
+    let analysis_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    Ok(Certified {
+        max_queues_per_interval: plan.requirements().max_per_interval(),
+        plan,
+        labeling_method,
+        message_labels,
+        verified,
+        analysis_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::Lookahead;
+    use systolic_model::parse_program;
+    use systolic_workloads::{fig7, fig7_topology, fig9, fig9_topology};
+
+    fn fig7_request() -> AnalysisRequest {
+        AnalysisRequest::new("fig7", fig7(3), fig7_topology())
+    }
+
+    #[test]
+    fn miss_then_hit_share_one_outcome() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let a = service.submit(fig7_request()).wait();
+        let b = service.submit(fig7_request()).wait();
+        assert_eq!(a.provenance, CacheProvenance::Miss);
+        assert_eq!(b.provenance, CacheProvenance::Hit);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(Arc::ptr_eq(&a.outcome, &b.outcome), "hit must share the cached Arc");
+        assert_eq!(service.cache_entries(), 1);
+    }
+
+    #[test]
+    fn certified_outcome_carries_plan_details() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let response = service.submit(fig7_request()).wait();
+        let certified = response.outcome.as_ref().as_ref().unwrap();
+        assert_eq!(certified.max_queues_per_interval, 1);
+        assert_eq!(certified.message_labels.len(), 3);
+        assert_eq!(certified.labeling_method, LabelingMethod::Section6);
+        assert!(certified.verified.is_none());
+    }
+
+    #[test]
+    fn verification_chase_runs_when_configured() {
+        let config = ServiceConfig { verify: true, ..Default::default() };
+        let service = AnalysisService::new(config);
+        let response = service.submit(fig7_request()).wait();
+        let certified = response.outcome.as_ref().as_ref().unwrap();
+        let report = certified.verified.as_ref().expect("verification ran");
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn deadlocked_programs_are_rejected_and_cached() {
+        let program = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nmessage B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\nprogram c1 { R(A) W(B) }\n",
+        )
+        .unwrap();
+        let request = AnalysisRequest::new("deadlock", program, Topology::linear(2));
+        let service = AnalysisService::new(ServiceConfig::default());
+        let a = service.submit(request.clone()).wait();
+        assert!(matches!(
+            a.outcome.as_ref(),
+            Err(ServiceError::Analysis(CoreError::ProgramDeadlocked { .. }))
+        ));
+        let b = service.submit(request).wait();
+        assert_eq!(b.provenance, CacheProvenance::Hit, "errors are cached too");
+    }
+
+    #[test]
+    fn different_configs_are_different_cache_entries() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let mut request = fig7_request();
+        let a = service.submit(request.clone()).wait();
+        request.config.lookahead = Lookahead::Unbounded;
+        request.config.queues_per_interval = 2;
+        let b = service.submit(request).wait();
+        assert_eq!(b.provenance, CacheProvenance::Miss);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(service.cache_entries(), 2);
+    }
+
+    #[test]
+    fn run_batch_preserves_order_and_counts() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let requests: Vec<AnalysisRequest> = (0..20)
+            .map(|i| {
+                let mut r = fig7_request();
+                r.name = format!("req-{i}");
+                r
+            })
+            .collect();
+        let responses = service.run_batch(requests);
+        assert_eq!(responses.len(), 20);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.name, format!("req-{i}"));
+            assert!(r.is_certified());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 20);
+        // 20 identical requests: at least one miss, and once cached every
+        // later request hits. (More than one miss is possible only if
+        // several workers raced the first fill.)
+        let hits = stats.cache.hits;
+        assert!(hits >= 1, "some requests must hit");
+        assert_eq!(service.cache_entries(), 1);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        // One worker, tiny queue: a 50-request batch must still complete,
+        // paced by backpressure rather than queue growth.
+        let config = ServiceConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let requests: Vec<AnalysisRequest> =
+            (0..50).map(|_| fig7_request()).collect();
+        let responses = service.run_batch(requests);
+        assert_eq!(responses.len(), 50);
+        assert!(responses.iter().all(AnalysisResponse::is_certified));
+    }
+
+    #[test]
+    fn infeasible_config_is_a_rejected_outcome() {
+        let program = fig9();
+        let mut request = AnalysisRequest::new("fig9", program, fig9_topology());
+        request.config.queues_per_interval = 1; // fig9 needs 2
+        let service = AnalysisService::new(ServiceConfig::default());
+        let response = service.submit(request).wait();
+        assert!(matches!(
+            response.outcome.as_ref(),
+            Err(ServiceError::Analysis(CoreError::Infeasible { .. }))
+        ));
+    }
+
+    #[test]
+    fn analysis_panics_are_contained_to_one_request() {
+        // An explicit lookahead table shorter than the message count makes
+        // the analysis index out of bounds as soon as crossing-off skips
+        // the uncovered message — the worker must catch the panic, answer
+        // this request as rejected, and keep serving.
+        let program = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nmessage B: c0 -> c1\n\
+             program c0 { W(B) W(A) }\nprogram c1 { R(A) R(B) }\n",
+        )
+        .unwrap();
+        let mut poisoned = AnalysisRequest::new("poison", program, Topology::linear(2));
+        poisoned.config.lookahead =
+            Lookahead::Explicit(systolic_core::LookaheadLimits::from_table(vec![None]));
+        let service = AnalysisService::new(ServiceConfig::default());
+        let response = service.submit(poisoned).wait();
+        assert!(matches!(
+            response.outcome.as_ref(),
+            Err(ServiceError::Panicked(_))
+        ));
+        // The pool survives and serves later requests normally.
+        let healthy = service.submit(fig7_request()).wait();
+        assert!(healthy.is_certified());
+    }
+
+    #[test]
+    fn latency_reservoir_keeps_late_samples() {
+        let mut lat = Latencies::default();
+        // Fill the reservoir with zeros, then stream ones: Algorithm R
+        // must let late samples displace early ones.
+        for _ in 0..MAX_LATENCY_SAMPLES {
+            lat.record(0);
+        }
+        for _ in 0..MAX_LATENCY_SAMPLES {
+            lat.record(1);
+        }
+        assert_eq!(lat.count, 2 * MAX_LATENCY_SAMPLES as u64);
+        assert_eq!(lat.samples.len(), MAX_LATENCY_SAMPLES);
+        let ones = lat.samples.iter().filter(|&&v| v == 1).count();
+        // Expected ~50%; 30%..70% is a >20-sigma-safe band.
+        let fraction = ones as f64 / MAX_LATENCY_SAMPLES as f64;
+        assert!(
+            (0.3..=0.7).contains(&fraction),
+            "late samples under-represented: {fraction}"
+        );
+    }
+
+    #[test]
+    fn stats_table_renders() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let _ = service.submit(fig7_request()).wait();
+        let table = service.stats().table();
+        let text = table.to_text();
+        assert!(text.contains("requests"));
+        assert!(text.contains("hit rate"));
+    }
+}

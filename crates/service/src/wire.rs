@@ -1,0 +1,438 @@
+//! The JSONL wire format of the `systolicd` binary.
+//!
+//! One request per line:
+//!
+//! ```json
+//! {"id": "r1", "program": "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+//!  "topology": "linear:2", "queues": 1, "lookahead": "none"}
+//! ```
+//!
+//! * `id` — optional string echoed in the response (defaults to the line
+//!   number);
+//! * `program` — required, the [`parse_program`] text format;
+//! * `topology` — required, a [`Topology::from_spec`] spec string
+//!   (`linear:N`, `ring:N`, `mesh:RxC`, `graph:N:a-b,...`);
+//! * `queues` — optional hardware queues per interval (default 1);
+//! * `lookahead` — optional: `"none"` (default), `"unbounded"`, an integer
+//!   `n` (per-queue capacity `n`), or an array of per-message budgets
+//!   (integers, `null` = unbounded).
+//!
+//! One response per line, e.g.:
+//!
+//! ```json
+//! {"id": "r1", "status": "certified", "cache": "miss", "classification": "deadlock-free",
+//!  "labeling": "section6", "labels": {"A": "1"}, "max_queues_per_interval": 1,
+//!  "analysis_micros": 120, "micros": 130, "fingerprint": "0x..."}
+//! ```
+//!
+//! `status` is `certified` or `rejected` (with `error` holding the
+//! analysis error); malformed request lines are answered with `status:
+//! "invalid"` and the parse error.
+
+use systolic_core::{CoreError, Lookahead, LookaheadLimits};
+use systolic_model::{parse_program, program_to_text, ModelError, Topology};
+use systolic_workloads::TrafficItem;
+
+use crate::{AnalysisRequest, AnalysisResponse, CacheProvenance, Json, JsonError, ServiceError};
+
+/// Why a request line could not become an [`AnalysisRequest`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum WireError {
+    /// The line is not valid JSON.
+    Json(JsonError),
+    /// The embedded program or topology failed to parse/validate.
+    Model(ModelError),
+    /// A field is missing or has the wrong shape.
+    Field(String),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "{e}"),
+            WireError::Model(e) => write!(f, "{e}"),
+            WireError::Field(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::Json(e)
+    }
+}
+
+impl From<ModelError> for WireError {
+    fn from(e: ModelError) -> Self {
+        WireError::Model(e)
+    }
+}
+
+/// Largest per-queue capacity / per-message budget a wire request may ask
+/// for. Bounds untrusted input well away from integer-overflow territory;
+/// anything larger is indistinguishable from `"unbounded"` anyway.
+const MAX_LOOKAHEAD: u64 = 1 << 20;
+
+fn parse_lookahead(value: Option<&Json>) -> Result<Lookahead, WireError> {
+    match value {
+        None => Ok(Lookahead::Disabled),
+        Some(Json::Str(s)) if s == "none" => Ok(Lookahead::Disabled),
+        Some(Json::Str(s)) if s == "unbounded" => Ok(Lookahead::Unbounded),
+        Some(n @ Json::Num(_)) => {
+            let capacity = n
+                .as_u64()
+                .filter(|&c| c <= MAX_LOOKAHEAD)
+                .ok_or_else(|| {
+                    WireError::Field(format!(
+                        "lookahead must be an integer in 0..={MAX_LOOKAHEAD}"
+                    ))
+                })?;
+            Ok(Lookahead::PerQueueCapacity(capacity as usize))
+        }
+        Some(Json::Arr(items)) => {
+            let table = items
+                .iter()
+                .map(|item| match item {
+                    Json::Null => Ok(None),
+                    n @ Json::Num(_) => n
+                        .as_u64()
+                        .filter(|&v| v <= MAX_LOOKAHEAD)
+                        .map(|v| Some(v as usize))
+                        .ok_or_else(|| {
+                            WireError::Field(format!(
+                                "lookahead entries must be null or integers in 0..={MAX_LOOKAHEAD}"
+                            ))
+                        }),
+                    _ => Err(WireError::Field(
+                        "lookahead entries must be integers or null".into(),
+                    )),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Lookahead::Explicit(LookaheadLimits::from_table(table)))
+        }
+        Some(_) => Err(WireError::Field(
+            "lookahead must be \"none\", \"unbounded\", an integer or an array".into(),
+        )),
+    }
+}
+
+/// Parses one JSONL request line. `line_number` (1-based) provides the
+/// default `id`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for malformed JSON, missing fields, or invalid
+/// embedded program/topology text.
+pub fn parse_request(line: &str, line_number: usize) -> Result<AnalysisRequest, WireError> {
+    let value = Json::parse(line)?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(WireError::Field("request line must be a JSON object".into()));
+    }
+    let id = match value.get("id") {
+        None => format!("line-{line_number}"),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err(WireError::Field("`id` must be a string".into())),
+    };
+    let program_text = value
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Field("`program` (string) is required".into()))?;
+    let topology_spec = value
+        .get("topology")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Field("`topology` (string) is required".into()))?;
+    let queues = match value.get("queues") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .filter(|&q| q >= 1)
+            .ok_or_else(|| WireError::Field("`queues` must be a positive integer".into()))?
+            as usize,
+    };
+    let mut request = AnalysisRequest::new(
+        id,
+        parse_program(program_text)?,
+        Topology::from_spec(topology_spec)?,
+    );
+    request.config.queues_per_interval = queues;
+    request.config.lookahead = parse_lookahead(value.get("lookahead"))?;
+    if let Lookahead::Explicit(limits) = &request.config.lookahead {
+        if limits.len() != request.program.num_messages() {
+            return Err(WireError::Field(format!(
+                "lookahead array has {} entries but the program declares {} messages",
+                limits.len(),
+                request.program.num_messages()
+            )));
+        }
+    }
+    Ok(request)
+}
+
+/// Renders one service response as a JSONL line (no trailing newline).
+#[must_use]
+pub fn response_to_json(response: &AnalysisResponse) -> Json {
+    let mut members = vec![
+        ("id".to_owned(), Json::Str(response.name.clone())),
+        (
+            "status".to_owned(),
+            Json::Str(
+                if response.is_certified() { "certified" } else { "rejected" }.to_owned(),
+            ),
+        ),
+        (
+            "cache".to_owned(),
+            Json::Str(
+                match response.provenance {
+                    CacheProvenance::Hit => "hit",
+                    CacheProvenance::Miss => "miss",
+                }
+                .to_owned(),
+            ),
+        ),
+    ];
+    match response.outcome.as_ref() {
+        Ok(certified) => {
+            members.push((
+                "classification".to_owned(),
+                Json::Str("deadlock-free".to_owned()),
+            ));
+            members.push((
+                "labeling".to_owned(),
+                Json::Str(
+                    match certified.labeling_method {
+                        systolic_core::LabelingMethod::Section6 => "section6",
+                        systolic_core::LabelingMethod::ConstraintSolver => "constraint-solver",
+                    }
+                    .to_owned(),
+                ),
+            ));
+            members.push((
+                "labels".to_owned(),
+                Json::Obj(
+                    certified
+                        .message_labels
+                        .iter()
+                        .map(|(name, label)| (name.clone(), Json::Str(label.to_string())))
+                        .collect(),
+                ),
+            ));
+            members.push((
+                "max_queues_per_interval".to_owned(),
+                Json::Num(certified.max_queues_per_interval as f64),
+            ));
+            if let Some(report) = &certified.verified {
+                members.push(("verified".to_owned(), Json::Bool(report.completed)));
+                members.push(("verify_cycles".to_owned(), Json::Num(report.cycles as f64)));
+            }
+            members.push((
+                "analysis_micros".to_owned(),
+                Json::Num(certified.analysis_micros as f64),
+            ));
+        }
+        Err(error) => {
+            members.push(("error".to_owned(), Json::Str(error.to_string())));
+            members.push((
+                "error_kind".to_owned(),
+                Json::Str(error_kind(error).to_owned()),
+            ));
+        }
+    }
+    members.push(("micros".to_owned(), Json::Num(response.handle_micros as f64)));
+    members.push((
+        "fingerprint".to_owned(),
+        Json::Str(format!("{:#034x}", response.fingerprint)),
+    ));
+    Json::Obj(members)
+}
+
+fn error_kind(error: &ServiceError) -> &'static str {
+    match error {
+        ServiceError::Panicked(_) => "internal",
+        ServiceError::Analysis(error) => match error {
+            CoreError::Model(_) => "model",
+            CoreError::ProgramDeadlocked { .. } => "deadlocked",
+            CoreError::LabelConflict { .. } => "label-conflict",
+            CoreError::InconsistentLabeling { .. } => "inconsistent-labeling",
+            CoreError::Infeasible { .. } => "infeasible",
+            _ => "other",
+        },
+    }
+}
+
+/// Renders one invalid request line as a JSONL error response.
+#[must_use]
+pub fn invalid_to_json(line_number: usize, error: &WireError) -> Json {
+    Json::Obj(vec![
+        ("id".to_owned(), Json::Str(format!("line-{line_number}"))),
+        ("status".to_owned(), Json::Str("invalid".to_owned())),
+        ("error".to_owned(), Json::Str(error.to_string())),
+    ])
+}
+
+/// Renders one traffic item as a JSONL request line (the `systolicd gen`
+/// output format).
+#[must_use]
+pub fn traffic_to_json(id: &str, item: &TrafficItem) -> Json {
+    Json::Obj(vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("program".to_owned(), Json::Str(program_to_text(&item.program))),
+        ("topology".to_owned(), Json::Str(item.topology.spec())),
+        (
+            "queues".to_owned(),
+            Json::Num(item.queues_per_interval as f64),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisService, ServiceConfig};
+    use systolic_core::AnalysisConfig;
+    use systolic_workloads::{traffic, TrafficConfig};
+
+    const PROGRAM: &str =
+        "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n";
+
+    fn request_line(extra: &str) -> String {
+        let program = Json::Str(PROGRAM.to_owned());
+        format!(r#"{{"id":"r1","program":{program},"topology":"linear:2"{extra}}}"#)
+    }
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let r = parse_request(&request_line(""), 1).unwrap();
+        assert_eq!(r.name, "r1");
+        assert_eq!(r.program.num_messages(), 1);
+        assert_eq!(r.topology, Topology::linear(2));
+        assert_eq!(r.config, AnalysisConfig::default());
+    }
+
+    #[test]
+    fn id_defaults_to_line_number() {
+        let program = Json::Str(PROGRAM.to_owned());
+        let line = format!(r#"{{"program":{program},"topology":"linear:2"}}"#);
+        let r = parse_request(&line, 7).unwrap();
+        assert_eq!(r.name, "line-7");
+    }
+
+    #[test]
+    fn parses_queues_and_lookahead_forms() {
+        let r = parse_request(&request_line(r#","queues":3,"lookahead":2"#), 1).unwrap();
+        assert_eq!(r.config.queues_per_interval, 3);
+        assert_eq!(r.config.lookahead, Lookahead::PerQueueCapacity(2));
+
+        let r = parse_request(&request_line(r#","lookahead":"unbounded""#), 1).unwrap();
+        assert_eq!(r.config.lookahead, Lookahead::Unbounded);
+
+        // The test program declares exactly one message, so a 1-entry
+        // explicit table is accepted...
+        let r = parse_request(&request_line(r#","lookahead":[null]"#), 1).unwrap();
+        assert_eq!(
+            r.config.lookahead,
+            Lookahead::Explicit(LookaheadLimits::from_table(vec![None]))
+        );
+    }
+
+    #[test]
+    fn lookahead_array_must_match_message_count() {
+        // ...while a mismatched table is a field error instead of an
+        // out-of-bounds panic inside the analysis (regression test: this
+        // exact shape used to kill the daemon).
+        for table in ["[]", "[1,2]", "[1,null,3]"] {
+            let line = request_line(&format!(r#","lookahead":{table}"#));
+            assert!(
+                matches!(parse_request(&line, 1), Err(WireError::Field(_))),
+                "lookahead {table} should be rejected for a 1-message program"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_magnitudes_are_bounded() {
+        for extra in [
+            r#","lookahead":9223372036854775808"#,
+            r#","lookahead":1048577"#,
+            r#","lookahead":[1048577]"#,
+        ] {
+            assert!(
+                matches!(parse_request(&request_line(extra), 1), Err(WireError::Field(_))),
+                "{extra} should be rejected"
+            );
+        }
+        assert!(parse_request(&request_line(r#","lookahead":1048576"#), 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(matches!(parse_request("not json", 1), Err(WireError::Json(_))));
+        assert!(matches!(parse_request("[1]", 1), Err(WireError::Field(_))));
+        assert!(matches!(
+            parse_request(r#"{"topology":"linear:2"}"#, 1),
+            Err(WireError::Field(_))
+        ));
+        assert!(matches!(
+            parse_request(&request_line(r#","queues":0"#), 1),
+            Err(WireError::Field(_))
+        ));
+        let bad_program = r#"{"program":"bogus directive","topology":"linear:2"}"#;
+        assert!(matches!(parse_request(bad_program, 1), Err(WireError::Model(_))));
+        let bad_topology =
+            format!(r#"{{"program":{},"topology":"tree:2"}}"#, Json::Str(PROGRAM.to_owned()));
+        assert!(matches!(parse_request(&bad_topology, 1), Err(WireError::Model(_))));
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_service() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let request = parse_request(&request_line(""), 1).unwrap();
+        let response = service.submit(request).wait();
+        let json = response_to_json(&response);
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("certified"));
+        assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(json.get("max_queues_per_interval").and_then(Json::as_u64), Some(1));
+        let labels = json.get("labels").unwrap();
+        assert_eq!(labels.get("A").and_then(Json::as_str), Some("1"));
+        // The rendered line parses back as JSON.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn rejected_response_names_the_error() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let deadlock = "cells 2\nmessage A: c0 -> c1\nmessage B: c1 -> c0\n\
+                        program c0 { R(B) W(A) }\nprogram c1 { R(A) W(B) }\n";
+        let line = format!(
+            r#"{{"id":"d","program":{},"topology":"linear:2"}}"#,
+            Json::Str(deadlock.to_owned())
+        );
+        let response = service.submit(parse_request(&line, 1).unwrap()).wait();
+        let json = response_to_json(&response);
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("deadlocked"));
+        assert!(json.get("error").and_then(Json::as_str).unwrap().contains("deadlocked"));
+    }
+
+    #[test]
+    fn generated_traffic_lines_parse_back() {
+        let stream = traffic(&TrafficConfig::default(), 9, 25);
+        for (i, item) in stream.iter().enumerate() {
+            let line = traffic_to_json(&format!("t{i}"), item).to_string();
+            let request = parse_request(&line, i + 1).unwrap();
+            assert_eq!(request.program, item.program, "{} did not round-trip", item.name);
+            assert_eq!(request.topology, item.topology);
+            assert_eq!(request.config.queues_per_interval, item.queues_per_interval);
+        }
+    }
+
+    #[test]
+    fn invalid_line_renders_an_error_response() {
+        let err = parse_request("{", 3).unwrap_err();
+        let json = invalid_to_json(3, &err);
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("invalid"));
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("line-3"));
+    }
+}

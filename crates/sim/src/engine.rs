@@ -134,8 +134,11 @@ impl Simulation {
         config: SimConfig,
     ) -> Result<Self, ModelError> {
         let routes = MessageRoutes::compute(program, topology)?;
-        let pools =
-            QueuePools::uniform(topology.intervals(), config.queues_per_interval, config.queue);
+        let pools = QueuePools::uniform(
+            topology.intervals().iter().copied(),
+            config.queues_per_interval,
+            config.queue,
+        );
         let departed = routes.iter().map(|(_, r)| vec![0; r.num_hops()]).collect();
         let state = program
             .cells()

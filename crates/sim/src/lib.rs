@@ -61,6 +61,7 @@ mod policy;
 mod pool;
 mod queue;
 mod stats;
+mod verify;
 
 pub use cost::CostModel;
 pub use deadlock::{BlockReason, BlockedCell, DeadlockReport, QueueSnapshot};
@@ -71,3 +72,4 @@ pub use policy::{
 pub use pool::{PoolView, QueuePools};
 pub use queue::{HwQueue, QueueConfig, Word};
 pub use stats::{AssignmentEvent, RunStats};
+pub use verify::{verify_batch, verify_plan, VerifyReport};

@@ -1,0 +1,148 @@
+//! Plan verification: replay an analyzed program through the simulator.
+//!
+//! The compile-time analysis certifies (Theorem 1) that a deadlock-free
+//! program completes under compatible assignment. [`verify_plan`] checks
+//! that claim empirically for one [`CommPlan`] by running the cycle-stepped
+//! simulator with the [`CompatiblePolicy`]; the serving layer
+//! (`systolic-service`) uses it to chase cached analyses with an end-to-end
+//! run, and [`verify_batch`] replays a whole batch of certified plans.
+
+use systolic_core::CommPlan;
+use systolic_model::{ModelError, Program, Topology};
+
+use crate::{run_simulation, CompatiblePolicy, RunOutcome, SimConfig};
+
+/// The result of replaying one plan through the simulator.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// `true` if every cell completed its program — what Theorem 1
+    /// guarantees for a certified plan given enough hardware queues.
+    pub completed: bool,
+    /// Cycles the simulated run took (up to the configured limit).
+    pub cycles: u64,
+    /// Words delivered to their final receivers.
+    pub words_delivered: u64,
+}
+
+/// Replays `program` under `plan`'s compatible assignment and reports
+/// whether the run completed.
+///
+/// The simulator is configured with exactly the plan's queue requirement
+/// (`plan.requirements().max_per_interval()`, but at least 1) unless
+/// `config` asks for more queues.
+///
+/// # Errors
+///
+/// Returns routing/validation errors from the simulator's setup; the
+/// verification *outcome* (completed or not) is in the report, not the
+/// error channel.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::{analyze, AnalysisConfig};
+/// use systolic_sim::{verify_plan, SimConfig};
+/// use systolic_workloads::{fig7, fig7_topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = fig7(3);
+/// let topology = fig7_topology();
+/// let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+/// let report = verify_plan(&program, &topology, &plan, SimConfig::default())?;
+/// assert!(report.completed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_plan(
+    program: &Program,
+    topology: &Topology,
+    plan: &CommPlan,
+    config: SimConfig,
+) -> Result<VerifyReport, ModelError> {
+    let required = plan.requirements().max_per_interval().max(1);
+    let config = SimConfig {
+        queues_per_interval: config.queues_per_interval.max(required),
+        ..config
+    };
+    let outcome = run_simulation(
+        program,
+        topology,
+        Box::new(CompatiblePolicy::new(plan.clone())),
+        config,
+    )?;
+    let stats = outcome.stats();
+    Ok(VerifyReport {
+        completed: matches!(outcome, RunOutcome::Completed(_)),
+        cycles: stats.cycles,
+        words_delivered: stats.words_delivered,
+    })
+}
+
+/// Replays every `(program, topology, plan)` triple in a batch.
+///
+/// # Errors
+///
+/// Fails fast on the first setup error; per-run outcomes are in the
+/// reports.
+pub fn verify_batch<'a>(
+    batch: impl IntoIterator<Item = (&'a Program, &'a Topology, &'a CommPlan)>,
+    config: SimConfig,
+) -> Result<Vec<VerifyReport>, ModelError> {
+    batch
+        .into_iter()
+        .map(|(program, topology, plan)| verify_plan(program, topology, plan, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_workloads::{fig7, fig7_topology, fig9, fig9_topology};
+
+    #[test]
+    fn certified_plan_completes() {
+        let program = fig7(3);
+        let topology = fig7_topology();
+        let plan = analyze(&program, &topology, &AnalysisConfig::default())
+            .unwrap()
+            .into_plan();
+        let report = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.words_delivered, program.total_words() as u64);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn verify_raises_queue_count_to_plan_requirement() {
+        // Fig. 9 needs 2 queues on one interval; a default SimConfig (1
+        // queue) must be bumped automatically rather than fail Theorem 1's
+        // assumption (ii).
+        let program = fig9();
+        let topology = fig9_topology();
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = analyze(&program, &topology, &config).unwrap().into_plan();
+        assert_eq!(plan.requirements().max_per_interval(), 2);
+        let report = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn batch_reports_every_run() {
+        let p7 = fig7(3);
+        let t7 = fig7_topology();
+        let plan7 = analyze(&p7, &t7, &AnalysisConfig::default()).unwrap().into_plan();
+        let p9 = fig9();
+        let t9 = fig9_topology();
+        let c9 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan9 = analyze(&p9, &t9, &c9).unwrap().into_plan();
+
+        let reports = verify_batch(
+            [(&p7, &t7, &plan7), (&p9, &t9, &plan9)],
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.completed));
+    }
+}

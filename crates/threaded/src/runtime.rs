@@ -83,13 +83,14 @@ pub fn run_threaded(
     let live = Arc::new(Liveness::default());
     let controller = Arc::new(Controller::new(
         mode,
-        topology.intervals(),
+        topology.intervals().iter().copied(),
         config.queues_per_interval,
         Arc::clone(&live),
     ));
     let queues: BTreeMap<Interval, Vec<Arc<ThreadedQueue>>> = topology
         .intervals()
-        .into_iter()
+        .iter()
+        .copied()
         .map(|iv| {
             let qs = (0..config.queues_per_interval)
                 .map(|_| Arc::new(ThreadedQueue::new(config.capacity, Arc::clone(&live))))

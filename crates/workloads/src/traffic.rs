@@ -1,0 +1,274 @@
+//! Mixed request traffic for the serving layer.
+//!
+//! A production analysis service sees a *mixture*: the same handful of
+//! library kernels over and over (cache hits), parameter sweeps of the
+//! classic algorithms (cold misses), and one-off machine-generated
+//! programs (never reused). [`traffic`] reproduces that shape
+//! deterministically from a seed so service tests, the `systolicd gen`
+//! subcommand and the throughput benches all replay identical streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use systolic_model::{Program, Topology};
+
+use crate::{
+    back_substitution, back_substitution_topology, fig2_fir, fig2_topology, fig6_cycle,
+    fig6_topology, fig7, fig7_topology, fig8, fig8_topology, fir, fir_topology, horner,
+    horner_topology, matvec, matvec_topology, odd_even_sort, random_program, random_topology,
+    ring_topology, sort_topology, token_ring, wavefront, wavefront_topology, RandomConfig,
+};
+
+/// One request of a traffic stream: a named program over its topology.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrafficItem {
+    /// Stable human-readable name (e.g. `fig7/3`, `random/42`), identical
+    /// for identical programs so cache behaviour is observable by name.
+    pub name: String,
+    /// The program to analyze.
+    pub program: Program,
+    /// The topology it runs on.
+    pub topology: Topology,
+    /// Hardware queues per interval the request should assume. Chosen
+    /// generously enough that deadlock-free workloads are also feasible.
+    pub queues_per_interval: usize,
+}
+
+/// Knobs for [`traffic`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrafficConfig {
+    /// Probability (percent, 0–100) that a request repeats one of a small
+    /// set of hot library kernels instead of drawing a fresh workload.
+    pub hot_percent: u32,
+    /// Shape of the one-off random programs mixed into the stream.
+    pub random: RandomConfig,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig { hot_percent: 50, random: RandomConfig::default() }
+    }
+}
+
+fn hot_set() -> Vec<TrafficItem> {
+    let mut items = vec![
+        TrafficItem {
+            name: "fig2_fir".into(),
+            program: fig2_fir(),
+            topology: fig2_topology(),
+            queues_per_interval: 2,
+        },
+        TrafficItem {
+            name: "fig6_cycle".into(),
+            program: fig6_cycle(),
+            topology: fig6_topology(),
+            queues_per_interval: 2,
+        },
+        TrafficItem {
+            name: "fig7/3".into(),
+            program: fig7(3),
+            topology: fig7_topology(),
+            queues_per_interval: 1,
+        },
+        TrafficItem {
+            name: "fig8".into(),
+            program: fig8(),
+            topology: fig8_topology(),
+            queues_per_interval: 2,
+        },
+    ];
+    items.push(TrafficItem {
+        name: "fir/3x8".into(),
+        program: fir(3, 8).expect("fir(3, 8) builds"),
+        topology: fir_topology(3),
+        queues_per_interval: 2,
+    });
+    items.push(TrafficItem {
+        name: "matvec/4".into(),
+        program: matvec(4).expect("matvec(4) builds"),
+        topology: matvec_topology(4),
+        queues_per_interval: 2,
+    });
+    items
+}
+
+fn cold_item(rng: &mut StdRng, config: &TrafficConfig) -> TrafficItem {
+    // Cold requests: parameter sweeps of the classic kernels plus fresh
+    // random programs. Parameters are small enough that a single request
+    // analyzes in well under a millisecond, large enough to exercise
+    // multi-hop routing.
+    match rng.random_range(0..8u32) {
+        0 => {
+            let taps = rng.random_range(2..6usize);
+            // fir() needs at least `taps` inputs for one output.
+            let inputs = taps + rng.random_range(2..8usize);
+            TrafficItem {
+                name: format!("fir/{taps}x{inputs}"),
+                program: fir(taps, inputs).expect("fir builds"),
+                topology: fir_topology(taps),
+                queues_per_interval: 2,
+            }
+        }
+        1 => {
+            let n = rng.random_range(2..7usize);
+            TrafficItem {
+                name: format!("matvec/{n}"),
+                program: matvec(n).expect("matvec builds"),
+                topology: matvec_topology(n),
+                queues_per_interval: 2,
+            }
+        }
+        2 => {
+            let n = rng.random_range(3..7usize);
+            let rounds = rng.random_range(1..4usize);
+            TrafficItem {
+                name: format!("sort/{n}x{rounds}"),
+                program: odd_even_sort(n, rounds).expect("sort builds"),
+                topology: sort_topology(n),
+                queues_per_interval: 2,
+            }
+        }
+        3 => {
+            let n = rng.random_range(3..7usize);
+            let laps = rng.random_range(1..4usize);
+            TrafficItem {
+                name: format!("ring/{n}x{laps}"),
+                program: token_ring(n, laps).expect("token_ring builds"),
+                topology: ring_topology(n),
+                queues_per_interval: 1,
+            }
+        }
+        4 => {
+            let rows = rng.random_range(2..4usize);
+            let cols = rng.random_range(2..4usize);
+            TrafficItem {
+                name: format!("wavefront/{rows}x{cols}"),
+                program: wavefront(rows, cols, 1).expect("wavefront builds"),
+                topology: wavefront_topology(rows, cols),
+                queues_per_interval: 2,
+            }
+        }
+        5 => {
+            let degree = rng.random_range(2..6usize);
+            let points = rng.random_range(2..6usize);
+            TrafficItem {
+                name: format!("horner/{degree}x{points}"),
+                program: horner(degree, points).expect("horner builds"),
+                topology: horner_topology(degree),
+                queues_per_interval: 2,
+            }
+        }
+        6 => {
+            let n = rng.random_range(2..6usize);
+            TrafficItem {
+                name: format!("backsub/{n}"),
+                program: back_substitution(n).expect("back_substitution builds"),
+                // Back-substitution's result/coefficient streams compete
+                // heavily near the pivot cell; the requirement grows with n.
+                queues_per_interval: n + 1,
+                topology: back_substitution_topology(n),
+            }
+        }
+        _ => {
+            let seed = rng.random_range(0..u64::MAX / 2);
+            TrafficItem {
+                name: format!("random/{seed}"),
+                program: random_program(&config.random, seed)
+                    .expect("random_program builds for valid configs"),
+                topology: random_topology(&config.random),
+                queues_per_interval: config.random.messages.max(1),
+            }
+        }
+    }
+}
+
+/// Generates `count` requests of mixed service traffic.
+///
+/// The stream interleaves *hot* repeats of a small kernel library (cache
+/// hits in a caching service) with *cold* parameter sweeps and one-off
+/// random programs, in proportions set by
+/// [`hot_percent`](TrafficConfig::hot_percent). The same `seed` always
+/// yields the same stream.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_workloads::{traffic, TrafficConfig};
+///
+/// let stream = traffic(&TrafficConfig::default(), 42, 10);
+/// assert_eq!(stream.len(), 10);
+/// assert_eq!(stream, traffic(&TrafficConfig::default(), 42, 10));
+/// ```
+#[must_use]
+pub fn traffic(config: &TrafficConfig, seed: u64, count: usize) -> Vec<TrafficItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot = hot_set();
+    (0..count)
+        .map(|_| {
+            if rng.random_range(0..100u32) < config.hot_percent {
+                hot[rng.random_range(0..hot.len())].clone()
+            } else {
+                cold_item(&mut rng, config)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = TrafficConfig::default();
+        assert_eq!(traffic(&cfg, 7, 50), traffic(&cfg, 7, 50));
+        assert_ne!(traffic(&cfg, 7, 50), traffic(&cfg, 8, 50));
+    }
+
+    #[test]
+    fn respects_count_and_mix() {
+        let cfg = TrafficConfig::default();
+        let stream = traffic(&cfg, 1, 200);
+        assert_eq!(stream.len(), 200);
+        let hot_names: Vec<String> = hot_set().into_iter().map(|i| i.name).collect();
+        let hot_count = stream.iter().filter(|i| hot_names.contains(&i.name)).count();
+        // 50% hot with 200 draws: comfortably between 25% and 75%.
+        assert!((50..=150).contains(&hot_count), "hot_count = {hot_count}");
+    }
+
+    #[test]
+    fn all_cold_stream_has_no_figure_kernels() {
+        // Cold sweeps may re-draw hot parameters (e.g. `fir/3x8`) but never
+        // the paper-figure kernels, which only the hot set serves.
+        let cfg = TrafficConfig { hot_percent: 0, ..Default::default() };
+        let stream = traffic(&cfg, 3, 40);
+        assert!(stream.iter().all(|i| !i.name.starts_with("fig")));
+    }
+
+    #[test]
+    fn programs_match_their_topologies() {
+        let cfg = TrafficConfig::default();
+        for item in traffic(&cfg, 11, 60) {
+            assert_eq!(
+                item.program.num_cells(),
+                item.topology.num_cells(),
+                "{} has mismatched cell counts",
+                item.name
+            );
+            assert!(item.queues_per_interval >= 1);
+        }
+    }
+
+    #[test]
+    fn identical_names_mean_identical_programs() {
+        let cfg = TrafficConfig::default();
+        let stream = traffic(&cfg, 5, 120);
+        for a in &stream {
+            for b in &stream {
+                if a.name == b.name {
+                    assert_eq!(a.program, b.program);
+                    assert_eq!(a.topology, b.topology);
+                }
+            }
+        }
+    }
+}

@@ -12,9 +12,11 @@
 //!   forwarding, runtime assignment policies and deadlock diagnosis;
 //! * [`threaded`] — an OS-thread runtime demonstrating that Theorem 1 is
 //!   scheduling independent;
-//! * [`workloads`] — the paper's figure programs and classic systolic
-//!   algorithm generators;
-//! * [`report`] — tables and statistics for the experiment harness.
+//! * [`workloads`] — the paper's figure programs, classic systolic
+//!   algorithm generators and mixed service traffic;
+//! * [`report`] — tables and statistics for the experiment harness;
+//! * [`service`] — the sharded, cached, batch analysis service with the
+//!   `systolicd` JSONL front end.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@
 pub use systolic_core as core;
 pub use systolic_model as model;
 pub use systolic_report as report;
+pub use systolic_service as service;
 pub use systolic_sim as sim;
 pub use systolic_threaded as threaded;
 pub use systolic_workloads as workloads;
