@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use systolic_core::{
-    analyze, classify, classify_with, label_messages, AnalysisConfig, LookaheadLimits,
+    classify, classify_with, label_messages, AnalysisConfig, Analyzer, LookaheadLimits,
 };
 use systolic_workloads as wl;
 
@@ -75,15 +75,9 @@ fn bench_pipeline(c: &mut Criterion) {
     ];
     for (name, program, topology) in cases {
         let config = AnalysisConfig { queues_per_interval: 8, ..Default::default() };
+        let analyzer = Analyzer::for_topology(&topology, &config);
         group.bench_function(name, |b| {
-            b.iter(|| {
-                analyze(
-                    std::hint::black_box(&program),
-                    std::hint::black_box(&topology),
-                    &config,
-                )
-                .expect("analyzes")
-            });
+            b.iter(|| analyzer.analyze(std::hint::black_box(&program)).expect("analyzes"));
         });
     }
     group.finish();

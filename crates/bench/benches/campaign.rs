@@ -2,7 +2,7 @@
 //! analyze + simulate throughput, and the deadlock-rate measurement loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use systolic_core::{analyze, AnalysisConfig};
+use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology};
 use systolic_sim::{
     run_simulation, AssignmentPolicy, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig,
     SimConfig,
@@ -26,16 +26,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     let programs: Vec<_> = (0..16u64)
         .map(|seed| wl::random_program(&cfg, seed).expect("valid"))
         .collect();
+    // One compilation for the whole batch: the batch shares a topology.
+    let analysis_config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let analyzer = Analyzer::new(CompiledTopology::compile(&topology, &analysis_config));
 
     group.bench_function("compatible_batch16", |b| {
         b.iter(|| {
             let mut completed = 0usize;
             for p in &programs {
-                let Ok(a) = analyze(
-                    p,
-                    &topology,
-                    &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
-                ) else {
+                let Ok(a) = analyzer.analyze(p) else {
                     continue;
                 };
                 let policy: Box<dyn AssignmentPolicy> =

@@ -2,7 +2,7 @@
 //! memory-to-memory cost models, and the policy comparison on Fig. 7.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use systolic_core::{analyze, AnalysisConfig};
+use systolic_core::{AnalysisConfig, Analyzer};
 use systolic_sim::{
     run_simulation, AssignmentPolicy, CompatiblePolicy, CostModel, FifoPolicy, QueueConfig,
     SimConfig,
@@ -23,13 +23,11 @@ fn compatible(
     topology: &systolic_model::Topology,
     queues: usize,
 ) -> Box<dyn AssignmentPolicy> {
-    let plan = analyze(
-        program,
-        topology,
-        &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-    )
-    .expect("analyzes")
-    .into_plan();
+    let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let plan = Analyzer::for_topology(topology, &config)
+        .analyze(program)
+        .expect("analyzes")
+        .into_plan();
     Box::new(CompatiblePolicy::new(plan))
 }
 

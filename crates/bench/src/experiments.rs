@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use systolic_core::{
-    analyze, classify, classify_with, label_messages, label_messages_robust, AnalysisConfig,
+    classify, classify_with, label_messages, label_messages_robust, AnalysisConfig, Analyzer,
     Classification, Label, Labeling, Lookahead, LookaheadLimits, QueueRequirements,
 };
 use systolic_core::CompetingSets;
@@ -49,13 +49,11 @@ fn sim_config(queues: usize, capacity: usize, cost: CostModel) -> SimConfig {
 }
 
 fn compatible(program: &Program, topology: &Topology, queues: usize) -> Box<dyn AssignmentPolicy> {
-    let plan = analyze(
-        program,
-        topology,
-        &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-    )
-    .expect("program analyzes")
-    .into_plan();
+    let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let plan = Analyzer::for_topology(topology, &config)
+        .analyze(program)
+        .expect("program analyzes")
+        .into_plan();
     Box::new(CompatiblePolicy::new(plan))
 }
 
@@ -110,12 +108,10 @@ pub fn fig02_fir_program() -> Experiment {
     let program = wl::fig2_fir();
     let mut table = Table::new(["message", "route", "words", "label"]);
     let topology = wl::fig2_topology();
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )
-    .expect("Fig. 2 analyzes");
+    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .expect("Fig. 2 analyzes");
     let routes = MessageRoutes::compute(&program, &topology).expect("routes");
     for m in program.message_ids() {
         table.row([
@@ -143,13 +139,11 @@ pub fn fig02_fir_program() -> Experiment {
 pub fn fig03_queue_assignment() -> Experiment {
     let program = wl::fig3_messages();
     let topology = Topology::linear(4);
-    let plan = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
-    )
-    .expect("Fig. 3 analyzes")
-    .into_plan();
+    let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let plan = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .expect("Fig. 3 analyzes")
+        .into_plan();
     let static_policy = StaticPolicy::new(&plan, 4).expect("4 queues dedicate all");
     let mut table = Table::new(["message", "route", "queues used"]);
     for m in program.message_ids() {
@@ -361,11 +355,8 @@ fn interleave_experiment(
         // Compatible assignment requires feasibility (assumption ii): with
         // one queue the equal-label pair can never be granted, which the
         // analysis rejects up front.
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        );
+        let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &config).analyze(&program);
         match analysis {
             Ok(a) => policies.push(Box::new(CompatiblePolicy::new(a.into_plan()))),
             Err(e) => {
@@ -460,13 +451,11 @@ pub fn t1_theorem_campaign(seeds: u64, queues: usize) -> Experiment {
         ("greedy".into(), 0, 0, 0),
         ("compatible".into(), 0, 0, 0),
     ];
+    let analysis_config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let analyzer = Analyzer::for_topology(&topology, &analysis_config);
     for seed in 0..seeds {
         let program = wl::random_program(&cfg, seed).expect("valid random program");
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        );
+        let analysis = analyzer.analyze(&program);
         for (i, policy) in [
             Box::new(FifoPolicy::new()) as Box<dyn AssignmentPolicy>,
             Box::new(GreedyPolicy::new()),
@@ -596,11 +585,9 @@ pub fn e2_campaign(seeds: u64) -> Experiment {
                     RunOutcome::CycleLimit(_) => {}
                 }
             }
-            match analyze(
-                &program,
-                &topology,
-                &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-            ) {
+            let analysis_config =
+                AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+            match Analyzer::for_topology(&topology, &analysis_config).analyze(&program) {
                 Ok(a) => {
                     let out = run_simulation(
                         &program,
@@ -767,12 +754,11 @@ pub fn e4_queue_extension() -> Experiment {
              program c0 {{ W(A)*{n} W(B) }}\nprogram c1 {{ R(B) R(A)*{n} }}\n"
         );
         let program = systolic_model::parse_program(&text).expect("valid");
-        let analysis = analyze(
-            &program,
-            &Topology::linear(2),
-            &AnalysisConfig { lookahead: Lookahead::Unbounded, queues_per_interval: 2 },
-        )
-        .expect("analyzes with unbounded lookahead");
+        let analysis_config =
+            AnalysisConfig { lookahead: Lookahead::Unbounded, queues_per_interval: 2 };
+        let analysis = Analyzer::for_topology(&Topology::linear(2), &analysis_config)
+            .analyze(&program)
+            .expect("analyzes with unbounded lookahead");
         for cap in [1usize, 2, 8] {
             let candidates = analysis.extension_candidates(&[cap, cap]);
             let config = SimConfig {
@@ -816,7 +802,8 @@ pub fn e5_threaded() -> Experiment {
     let mut table = Table::new(["workload", "mode", "outcome"]);
     let fig7 = wl::fig7(3);
     let fig7_top = wl::fig7_topology();
-    let plan = analyze(&fig7, &fig7_top, &AnalysisConfig::default())
+    let plan = Analyzer::for_topology(&fig7_top, &AnalysisConfig::default())
+        .analyze(&fig7)
         .expect("fig7 analyzes")
         .into_plan();
     let out = run_threaded(
@@ -834,13 +821,11 @@ pub fn e5_threaded() -> Experiment {
 
     let fir = wl::fig2_fir();
     let fir_top = wl::fig2_topology();
-    let plan = analyze(
-        &fir,
-        &fir_top,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )
-    .expect("FIR analyzes")
-    .into_plan();
+    let fir_config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let plan = Analyzer::for_topology(&fir_top, &fir_config)
+        .analyze(&fir)
+        .expect("FIR analyzes")
+        .into_plan();
     let out = run_threaded(
         &fir,
         &fir_top,

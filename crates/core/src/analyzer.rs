@@ -1,0 +1,957 @@
+//! The staged analysis API: [`Analyzer`] over a [`CompiledTopology`].
+//!
+//! The legacy [`analyze`](crate::analyze) runs the paper's whole pipeline
+//! (Sections 3–7) as one opaque call. [`Analyzer`] decomposes it into the
+//! stages the paper actually describes, each lazily computed, memoized and
+//! individually inspectable through an [`AnalyzerSession`]:
+//!
+//! 1. **routes** — message routing over the compiled topology
+//!    (Section 2.3), served from the route closure when precompiled;
+//! 2. **classification** — the crossing-off procedure (Sections 3, 8.1);
+//! 3. **labeling** — Section 6 (with the constraint-solver fallback) or a
+//!    caller-chosen [`LabelingStrategy`];
+//! 4. **consistency** — the independent Section 5 check;
+//! 5. **requirements** — competing sets and queue counts (Section 7);
+//! 6. **plan** — the certified [`CommPlan`] (Theorem 1).
+//!
+//! Stages report *why* a program is unsafe as structured
+//! [`Diagnostic`]s (machine-readable codes plus offending message/cell
+//! ids) alongside the usual [`CoreError`], so serving layers can forward
+//! failures without parsing prose.
+//!
+//! # Examples
+//!
+//! Compile once, analyze many programs, inspect a failure:
+//!
+//! ```
+//! use systolic_core::{Analyzer, AnalysisConfig, DiagnosticCode};
+//! use systolic_model::{parse_program, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let analyzer = Analyzer::for_topology(&Topology::linear(2), &AnalysisConfig::default());
+//!
+//! let safe = parse_program(
+//!     "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*3 }\nprogram c1 { R(A)*3 }\n",
+//! )?;
+//! let analysis = analyzer.analyze(&safe)?;
+//! assert!(analysis.classification().is_deadlock_free());
+//!
+//! let deadlocked = parse_program(
+//!     "cells 2\nmessage A: c0 -> c1\nmessage B: c1 -> c0\n\
+//!      program c0 { R(B) W(A) }\nprogram c1 { R(A) W(B) }\n",
+//! )?;
+//! let outcome = analyzer.diagnose(&deadlocked);
+//! assert!(outcome.result().is_err());
+//! let diagnostic = &outcome.diagnostics().as_slice()[0];
+//! assert_eq!(diagnostic.code(), DiagnosticCode::Deadlock);
+//! assert!(!diagnostic.cell_ids().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use systolic_model::{CellId, MessageId, MessageRoutes, Program, Topology};
+
+use crate::{
+    check_consistency, classify_with, label_messages, label_messages_robust, Analysis,
+    AnalysisConfig, Classification, CommPlan, CompetingSets, CompiledTopology, ConsistencyViolation,
+    CoreError, Diagnostic, DiagnosticCode, Diagnostics, Labeling, LabelingMethod, LabelingReport,
+    Lookahead, LookaheadLimits, QueueRequirements,
+};
+
+/// Which labeling scheme(s) an [`Analyzer`] may use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LabelingStrategy {
+    /// The paper's Section 6 scheme, falling back to the complete
+    /// constraint-solving scheme when it wedges — the legacy
+    /// [`analyze`](crate::analyze) behaviour.
+    #[default]
+    Auto,
+    /// Section 6 only: wedging is an error (useful for studying the
+    /// scheme itself).
+    Section6,
+    /// The constraint solver only.
+    ConstraintSolver,
+}
+
+/// Builds an [`Analyzer`] with non-default options.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology, LabelingStrategy};
+/// use systolic_model::Topology;
+///
+/// let compiled = CompiledTopology::compile(&Topology::linear(3), &AnalysisConfig::default());
+/// let analyzer = Analyzer::builder(compiled)
+///     .labeling(LabelingStrategy::ConstraintSolver)
+///     .verify_consistency(true)
+///     .build();
+/// assert_eq!(analyzer.config().queues_per_interval, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalyzerBuilder {
+    compiled: Arc<CompiledTopology>,
+    labeling: LabelingStrategy,
+    verify_consistency: bool,
+}
+
+impl AnalyzerBuilder {
+    /// Chooses the labeling strategy (default: [`LabelingStrategy::Auto`]).
+    #[must_use]
+    pub fn labeling(mut self, strategy: LabelingStrategy) -> Self {
+        self.labeling = strategy;
+        self
+    }
+
+    /// When `true`, runs the independent Section 5 consistency check as a
+    /// mandatory stage (instead of a debug assertion) and fails the plan
+    /// on violations. Default `false`: both shipped labeling schemes are
+    /// verified consistent by construction, so release builds skip the
+    /// extra pass.
+    #[must_use]
+    pub fn verify_consistency(mut self, on: bool) -> Self {
+        self.verify_consistency = on;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> Analyzer {
+        Analyzer {
+            compiled: self.compiled,
+            labeling: self.labeling,
+            verify_consistency: self.verify_consistency,
+        }
+    }
+}
+
+/// A reusable handle that runs staged analyses against one
+/// [`CompiledTopology`].
+///
+/// Cheap to clone (the compilation is behind an [`Arc`]); safe to share
+/// across threads.
+#[derive(Clone, Debug)]
+pub struct Analyzer {
+    compiled: Arc<CompiledTopology>,
+    labeling: LabelingStrategy,
+    verify_consistency: bool,
+}
+
+impl Analyzer {
+    /// An analyzer with default options over a compiled topology.
+    #[must_use]
+    pub fn new(compiled: impl Into<Arc<CompiledTopology>>) -> Self {
+        Analyzer {
+            compiled: compiled.into(),
+            labeling: LabelingStrategy::default(),
+            verify_consistency: false,
+        }
+    }
+
+    /// Compiles `topology` against `config` and wraps it in an analyzer —
+    /// the one-shot convenience path (and what the legacy
+    /// [`analyze`](crate::analyze) wrapper uses). Prefer compiling once
+    /// with [`CompiledTopology::compile`] when analyzing many programs.
+    #[must_use]
+    pub fn for_topology(topology: &Topology, config: &AnalysisConfig) -> Self {
+        Analyzer::new(CompiledTopology::compile(topology, config))
+    }
+
+    /// Starts a builder for non-default options.
+    #[must_use]
+    pub fn builder(compiled: impl Into<Arc<CompiledTopology>>) -> AnalyzerBuilder {
+        AnalyzerBuilder {
+            compiled: compiled.into(),
+            labeling: LabelingStrategy::default(),
+            verify_consistency: false,
+        }
+    }
+
+    /// The shared compilation this analyzer runs against.
+    #[must_use]
+    pub fn compiled(&self) -> &Arc<CompiledTopology> {
+        &self.compiled
+    }
+
+    /// The analysis configuration (lookahead, hardware queue count).
+    #[must_use]
+    pub fn config(&self) -> &AnalysisConfig {
+        self.compiled.config()
+    }
+
+    /// Opens a staged session for one program. Stages run lazily as they
+    /// are first inspected; nothing is computed up front.
+    #[must_use]
+    pub fn session<'a>(&'a self, program: &'a Program) -> AnalyzerSession<'a> {
+        self.session_with(program, true)
+    }
+
+    fn session_with<'a>(&'a self, program: &'a Program, advisories: bool) -> AnalyzerSession<'a> {
+        AnalyzerSession {
+            analyzer: self,
+            program,
+            advisories,
+            routes: OnceCell::new(),
+            limits: OnceCell::new(),
+            classification: OnceCell::new(),
+            labeling: OnceCell::new(),
+            consistency: OnceCell::new(),
+            competing: OnceCell::new(),
+            requirements: OnceCell::new(),
+            plan: OnceCell::new(),
+            diagnostics: RefCell::new(Diagnostics::new()),
+        }
+    }
+
+    /// Runs all stages and returns the legacy [`Analysis`] — identical in
+    /// every observable way to [`analyze`](crate::analyze) on the same
+    /// inputs (the parity property tests assert byte-identical plan
+    /// fingerprints).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`analyze`](crate::analyze).
+    pub fn analyze(&self, program: &Program) -> Result<Analysis, CoreError> {
+        // Diagnostics are discarded here, so skip the advisory
+        // (info-severity) scans; error paths still emit theirs.
+        self.session_with(program, false).finish().into_result()
+    }
+
+    /// Runs all stages and returns the result *with* the accumulated
+    /// structured diagnostics — what serving layers forward to clients.
+    #[must_use]
+    pub fn diagnose(&self, program: &Program) -> AnalysisOutcome {
+        self.session(program).finish()
+    }
+}
+
+/// A finished analysis plus everything the stages reported along the way.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    result: Result<Analysis, CoreError>,
+    diagnostics: Diagnostics,
+}
+
+impl AnalysisOutcome {
+    /// The analysis result by reference.
+    pub fn result(&self) -> Result<&Analysis, &CoreError> {
+        self.result.as_ref()
+    }
+
+    /// `true` if the program was certified.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The structured diagnostics, in stage order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// Consumes the outcome, returning only the result (the legacy shape).
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the analysis produced.
+    pub fn into_result(self) -> Result<Analysis, CoreError> {
+        self.result
+    }
+
+    /// Consumes the outcome into `(result, diagnostics)`.
+    pub fn into_parts(self) -> (Result<Analysis, CoreError>, Diagnostics) {
+        (self.result, self.diagnostics)
+    }
+}
+
+/// The memoized per-stage state of one program's analysis.
+///
+/// Obtained from [`Analyzer::session`]. Every accessor computes its stage
+/// (and the stages it depends on) at most once; diagnostics accumulate as
+/// stages run, so [`AnalyzerSession::diagnostics`] reflects exactly the
+/// stages inspected so far. Not `Sync` — open one session per thread; the
+/// [`Analyzer`] and its [`CompiledTopology`] are the shared pieces.
+pub struct AnalyzerSession<'a> {
+    analyzer: &'a Analyzer,
+    program: &'a Program,
+    /// When `false`, info-severity advisory scans (queue-extension
+    /// candidates) are skipped — result-only callers don't pay for
+    /// diagnostics nobody reads.
+    advisories: bool,
+    routes: OnceCell<Result<MessageRoutes, CoreError>>,
+    limits: OnceCell<Result<LookaheadLimits, CoreError>>,
+    classification: OnceCell<Result<Classification, CoreError>>,
+    labeling: OnceCell<Result<LabelingOutcome, CoreError>>,
+    consistency: OnceCell<Result<Vec<ConsistencyViolation>, CoreError>>,
+    competing: OnceCell<Result<CompetingSets, CoreError>>,
+    requirements: OnceCell<Result<QueueRequirements, CoreError>>,
+    plan: OnceCell<Result<CommPlan, CoreError>>,
+    diagnostics: RefCell<Diagnostics>,
+}
+
+impl std::fmt::Debug for AnalyzerSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyzerSession")
+            .field("program_cells", &self.program.num_cells())
+            .field("diagnostics", &self.diagnostics.borrow().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct LabelingOutcome {
+    labeling: Labeling,
+    method: LabelingMethod,
+    report: Option<LabelingReport>,
+}
+
+impl<'a> AnalyzerSession<'a> {
+    /// The program under analysis.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    fn push(&self, diagnostic: Diagnostic) {
+        self.diagnostics.borrow_mut().push(diagnostic);
+    }
+
+    /// A snapshot of the diagnostics emitted by the stages run so far.
+    #[must_use]
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.diagnostics.borrow().clone()
+    }
+
+    /// Stage 1: message routes over the compiled topology.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] for cell-count mismatches and unroutable
+    /// messages.
+    pub fn routes(&self) -> Result<&MessageRoutes, CoreError> {
+        self.routes
+            .get_or_init(|| {
+                let compiled = &self.analyzer.compiled;
+                if self.program.num_cells() != compiled.num_cells() {
+                    let error = systolic_model::ModelError::CellCountMismatch {
+                        program: self.program.num_cells(),
+                        topology: compiled.num_cells(),
+                    };
+                    self.push(Diagnostic::new(
+                        DiagnosticCode::CellCountMismatch,
+                        error.to_string(),
+                    ));
+                    return Err(CoreError::Model(error));
+                }
+                let mut routes = Vec::with_capacity(self.program.num_messages());
+                for (i, decl) in self.program.messages().iter().enumerate() {
+                    match compiled.route(decl.sender(), decl.receiver()) {
+                        Ok(route) => routes.push(route),
+                        Err(error) => {
+                            self.push(
+                                Diagnostic::new(
+                                    DiagnosticCode::RouteFailure,
+                                    format!("message {} cannot be routed: {error}", decl.name()),
+                                )
+                                .with_messages([MessageId::new(i as u32)])
+                                .with_cells([decl.sender(), decl.receiver()]),
+                            );
+                            return Err(CoreError::Model(error));
+                        }
+                    }
+                }
+                Ok(MessageRoutes::from_routes(routes))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Stage 1b: the lookahead budgets implied by the compiled
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors (capacity-based budgets need routes).
+    pub fn limits(&self) -> Result<&LookaheadLimits, CoreError> {
+        self.limits
+            .get_or_init(|| {
+                let compiled = &self.analyzer.compiled;
+                // Only the per-queue-capacity rule needs routes; don't
+                // force the routing stage otherwise.
+                if let Lookahead::PerQueueCapacity(_) = compiled.config().lookahead {
+                    let routes = self.routes()?;
+                    Ok(compiled.limits_for(self.program, routes))
+                } else {
+                    // Routing errors must still gate the pipeline exactly
+                    // as the legacy analyze did (routes were computed
+                    // first there).
+                    self.routes()?;
+                    Ok(compiled.limits_for(self.program, &MessageRoutes::from_routes(Vec::new())))
+                }
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Stage 2: the crossing-off verdict (paper, Sections 3 and 8.1).
+    ///
+    /// A deadlocked program is an `Ok` here — the [`Classification`]
+    /// (verdict, trace, stuck report) is itself the inspectable artifact;
+    /// an `E-DEADLOCK` diagnostic is emitted alongside. Later stages
+    /// refuse deadlocked programs with
+    /// [`CoreError::ProgramDeadlocked`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    pub fn classification(&self) -> Result<&Classification, CoreError> {
+        self.classification
+            .get_or_init(|| {
+                let limits = self.limits()?;
+                let classification = classify_with(self.program, limits);
+                if let Classification::Deadlocked { trace, stuck } = &classification {
+                    let mut cells = Vec::new();
+                    let mut messages = Vec::new();
+                    for (i, front) in stuck.fronts.iter().enumerate() {
+                        if let Some((_, op)) = front {
+                            cells.push(CellId::new(i as u32));
+                            if !messages.contains(&op.message()) {
+                                messages.push(op.message());
+                            }
+                        }
+                    }
+                    self.push(
+                        Diagnostic::new(
+                            DiagnosticCode::Deadlock,
+                            format!(
+                                "program is deadlocked: crossing-off stalled after {} words \
+                                 with {} operations remaining",
+                                trace.total_pairs(),
+                                stuck.remaining_ops
+                            ),
+                        )
+                        .with_messages(messages)
+                        .with_cells(cells),
+                    );
+                } else if self.advisories
+                    && !matches!(self.analyzer.compiled.config().lookahead, Lookahead::Disabled)
+                {
+                    // Advisory: messages whose skip counts would engage the
+                    // iWarp queue-extension mechanism on zero-capacity
+                    // budgets (Section 8.1). One pass over the trace.
+                    let mut max_skips: BTreeMap<MessageId, usize> = BTreeMap::new();
+                    for pair in classification.trace().pairs() {
+                        for (&m, &count) in &pair.skipped {
+                            let entry = max_skips.entry(m).or_insert(0);
+                            *entry = (*entry).max(count);
+                        }
+                    }
+                    for (m, skips) in max_skips {
+                        if skips > 0 {
+                            self.push(
+                                Diagnostic::new(
+                                    DiagnosticCode::ExtensionCandidate,
+                                    format!(
+                                        "lookahead skips up to {skips} writes of {}; queues \
+                                         shorter than that require the queue-extension mechanism",
+                                        self.program.message(m).name()
+                                    ),
+                                )
+                                .with_messages([m]),
+                            );
+                        }
+                    }
+                }
+                Ok(classification)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn deadlock_error(classification: &Classification) -> Option<CoreError> {
+        if let Classification::Deadlocked { trace, stuck } = classification {
+            Some(CoreError::ProgramDeadlocked {
+                crossed_words: trace.total_pairs(),
+                remaining_ops: stuck.remaining_ops,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn labeling_outcome(&self) -> Result<&LabelingOutcome, CoreError> {
+        self.labeling
+            .get_or_init(|| {
+                let classification = self.classification()?;
+                if let Some(error) = Self::deadlock_error(classification) {
+                    return Err(error);
+                }
+                let limits = self.limits()?;
+                let section6 = |report: LabelingReport| LabelingOutcome {
+                    labeling: report.labeling().clone(),
+                    method: LabelingMethod::Section6,
+                    report: Some(report),
+                };
+                match self.analyzer.labeling {
+                    LabelingStrategy::ConstraintSolver => {
+                        let labeling = label_messages_robust(self.program, limits)
+                            .map_err(|e| self.label_error(&e))?;
+                        Ok(LabelingOutcome {
+                            labeling,
+                            method: LabelingMethod::ConstraintSolver,
+                            report: None,
+                        })
+                    }
+                    LabelingStrategy::Section6 => match label_messages(self.program, limits) {
+                        Ok(report) => Ok(section6(report)),
+                        Err(error) => Err(self.label_error(&error)),
+                    },
+                    LabelingStrategy::Auto => match label_messages(self.program, limits) {
+                        Ok(report) => Ok(section6(report)),
+                        Err(
+                            error @ (CoreError::LabelConflict { .. }
+                            | CoreError::InconsistentLabeling { .. }),
+                        ) => {
+                            self.push(Diagnostic::new(
+                                DiagnosticCode::Section6Fallback,
+                                format!(
+                                    "the section 6 labeling scheme wedged ({error}); \
+                                     using the constraint-solving scheme"
+                                ),
+                            ));
+                            let labeling = label_messages_robust(self.program, limits)
+                                .map_err(|e| self.label_error(&e))?;
+                            Ok(LabelingOutcome {
+                                labeling,
+                                method: LabelingMethod::ConstraintSolver,
+                                report: None,
+                            })
+                        }
+                        Err(other) => Err(self.label_error(&other)),
+                    },
+                }
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Emits the diagnostic for a labeling-stage error and passes the
+    /// error through.
+    fn label_error(&self, error: &CoreError) -> CoreError {
+        self.push(Diagnostic::from_error(error));
+        error.clone()
+    }
+
+    /// Stage 3: the consistent labeling.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, [`CoreError::ProgramDeadlocked`] for deadlocked
+    /// programs, and labeling failures per the configured
+    /// [`LabelingStrategy`].
+    pub fn labeling(&self) -> Result<&Labeling, CoreError> {
+        Ok(&self.labeling_outcome()?.labeling)
+    }
+
+    /// Which scheme produced the labels (only available once
+    /// [`AnalyzerSession::labeling`] succeeds).
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalyzerSession::labeling`].
+    pub fn labeling_method(&self) -> Result<LabelingMethod, CoreError> {
+        Ok(self.labeling_outcome()?.method)
+    }
+
+    /// The Section 6 labeling report, when that scheme produced the
+    /// labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalyzerSession::labeling`].
+    pub fn labeling_report(&self) -> Result<Option<&LabelingReport>, CoreError> {
+        Ok(self.labeling_outcome()?.report.as_ref())
+    }
+
+    /// Stage 4: the independent Section 5 consistency check of the
+    /// labeling. Empty means consistent.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalyzerSession::labeling`].
+    pub fn consistency(&self) -> Result<&[ConsistencyViolation], CoreError> {
+        self.consistency
+            .get_or_init(|| {
+                let labeling = self.labeling()?;
+                let violations = check_consistency(self.program, labeling);
+                if !violations.is_empty() {
+                    let cells: Vec<CellId> = violations.iter().map(|v| v.cell).collect();
+                    let mut messages = Vec::new();
+                    for v in &violations {
+                        for m in [v.earlier_message, v.later_message] {
+                            if !messages.contains(&m) {
+                                messages.push(m);
+                            }
+                        }
+                    }
+                    self.push(
+                        Diagnostic::new(
+                            DiagnosticCode::InconsistentLabeling,
+                            format!(
+                                "the labeling violates consistency at {} cell position(s)",
+                                violations.len()
+                            ),
+                        )
+                        .with_messages(messages)
+                        .with_cells(cells),
+                    );
+                }
+                Ok(violations)
+            })
+            .as_ref()
+            .map(Vec::as_slice)
+            .map_err(Clone::clone)
+    }
+
+    /// Stage 5a: the competing-message sets (paper, Section 2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    pub fn competing(&self) -> Result<&CompetingSets, CoreError> {
+        self.competing
+            .get_or_init(|| Ok(CompetingSets::compute(self.routes()?)))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Stage 5b: the queue requirements (Theorem 1 assumption (ii) data).
+    ///
+    /// This computes the requirements even when they exceed the hardware
+    /// queue count — feasibility is checked by
+    /// [`AnalyzerSession::plan`], so an infeasible configuration's
+    /// requirements stay inspectable.
+    ///
+    /// # Errors
+    ///
+    /// Routing and labeling errors.
+    pub fn requirements(&self) -> Result<&QueueRequirements, CoreError> {
+        self.requirements
+            .get_or_init(|| {
+                let competing = self.competing()?;
+                let labeling = self.labeling()?;
+                Ok(QueueRequirements::compute(competing, labeling))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Stage 6: the certified communication plan.
+    ///
+    /// # Errors
+    ///
+    /// Everything earlier stages can fail with, plus
+    /// [`CoreError::Infeasible`] when an interval needs more queues than
+    /// the compiled configuration provides, and
+    /// [`CoreError::InconsistentLabeling`] when the builder enabled
+    /// [`AnalyzerBuilder::verify_consistency`] and the check fails.
+    pub fn plan(&self) -> Result<&CommPlan, CoreError> {
+        self.plan
+            .get_or_init(|| {
+                let outcome = self.labeling_outcome()?;
+                if self.analyzer.verify_consistency {
+                    let violations = self.consistency()?;
+                    if !violations.is_empty() {
+                        return Err(CoreError::InconsistentLabeling {
+                            violations: violations.len(),
+                        });
+                    }
+                } else {
+                    debug_assert!(
+                        self.consistency().map(<[_]>::is_empty).unwrap_or(true),
+                        "labeling schemes must produce consistent labelings"
+                    );
+                }
+                let requirements = self.requirements()?.clone();
+                let config = self.analyzer.compiled.config();
+                if let Err(error) = requirements.check_feasible(config.queues_per_interval) {
+                    if let CoreError::Infeasible { hop, required, available } = &error {
+                        // The requirement is the *interval* sum of both
+                        // directions' largest same-label groups, so name
+                        // the largest group of each direction — not just
+                        // the reported hop's (opposite-direction traffic
+                        // can be the other half of the shortfall).
+                        let mut group: Vec<MessageId> = Vec::new();
+                        for (_, messages) in self.competing()?.on_interval(hop.interval()) {
+                            let mut by_label: BTreeMap<crate::Label, Vec<MessageId>> =
+                                BTreeMap::new();
+                            for &m in messages {
+                                by_label.entry(outcome.labeling.label(m)).or_default().push(m);
+                            }
+                            if let Some(largest) = by_label.into_values().max_by_key(Vec::len) {
+                                group.extend(largest);
+                            }
+                        }
+                        self.push(
+                            Diagnostic::new(
+                                DiagnosticCode::Infeasible,
+                                format!(
+                                    "interval crossing {hop} needs {required} queues for \
+                                     compatible assignment but only {available} are available"
+                                ),
+                            )
+                            .with_messages(group)
+                            .with_cells([hop.from(), hop.to()]),
+                        );
+                    }
+                    return Err(error);
+                }
+                Ok(CommPlan::new(
+                    outcome.labeling.clone(),
+                    self.routes()?.clone(),
+                    self.competing()?.clone(),
+                    requirements,
+                ))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Drives every stage and consumes the session into an
+    /// [`AnalysisOutcome`] — the result (identical to the legacy
+    /// [`analyze`](crate::analyze)) plus all accumulated diagnostics.
+    #[must_use]
+    pub fn finish(self) -> AnalysisOutcome {
+        // Drive the stages to completion (or the first error)…
+        let driven: Result<(), CoreError> = (|| {
+            self.plan()?;
+            Ok(())
+        })();
+        let diagnostics = self.diagnostics.into_inner();
+        // …then drain the memoized artifacts out of their cells without
+        // cloning — the session owns them and is consumed here.
+        let result = driven.map(|()| {
+            let take = "plan success implies every earlier stage succeeded";
+            let plan = self.plan.into_inner().expect(take).expect(take);
+            let classification = self.classification.into_inner().expect(take).expect(take);
+            let outcome = self.labeling.into_inner().expect(take).expect(take);
+            let limits = self.limits.into_inner().expect(take).expect(take);
+            Analysis::from_parts(
+                classification,
+                outcome.report,
+                outcome.method,
+                plan,
+                limits,
+            )
+        });
+        AnalysisOutcome { result, diagnostics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use systolic_model::parse_program;
+
+    fn fig7_text() -> &'static str {
+        "cells 4\n\
+         message A: c1 -> c2\n\
+         message B: c2 -> c3\n\
+         message C: c0 -> c3\n\
+         program c0 { W(C)*3 }\n\
+         program c1 { W(A)*4 }\n\
+         program c2 { R(A)*4 W(B)*3 }\n\
+         program c3 { R(C)*3 R(B)*3 }\n"
+    }
+
+    #[test]
+    fn staged_session_exposes_every_artifact() {
+        let p = parse_program(fig7_text()).unwrap();
+        let analyzer = Analyzer::for_topology(&Topology::linear(4), &AnalysisConfig::default());
+        let session = analyzer.session(&p);
+        assert_eq!(session.routes().unwrap().len(), 3);
+        assert!(session.classification().unwrap().is_deadlock_free());
+        assert_eq!(session.labeling().unwrap().len(), 3);
+        assert_eq!(session.labeling_method().unwrap(), LabelingMethod::Section6);
+        assert!(session.labeling_report().unwrap().is_some());
+        assert!(session.consistency().unwrap().is_empty());
+        assert_eq!(session.competing().unwrap().len(), 3);
+        assert_eq!(session.requirements().unwrap().max_per_interval(), 1);
+        assert_eq!(session.plan().unwrap().labeling().len(), 3);
+        assert!(session.diagnostics().is_empty());
+        let outcome = session.finish();
+        assert!(outcome.is_certified());
+        assert!(outcome.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn analyzer_matches_legacy_analyze_on_fig7() {
+        let p = parse_program(fig7_text()).unwrap();
+        let topology = Topology::linear(4);
+        let config = AnalysisConfig::default();
+        let legacy = analyze(&p, &topology, &config).unwrap();
+        let staged = Analyzer::for_topology(&topology, &config).analyze(&p).unwrap();
+        assert_eq!(legacy.plan().fingerprint(), staged.plan().fingerprint());
+        assert_eq!(legacy.labeling_method(), staged.labeling_method());
+    }
+
+    #[test]
+    fn deadlock_produces_a_structured_diagnostic() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\n\
+             program c1 { R(A) W(B) }\n",
+        )
+        .unwrap();
+        let analyzer = Analyzer::for_topology(&Topology::linear(2), &AnalysisConfig::default());
+        let outcome = analyzer.diagnose(&p);
+        assert!(matches!(
+            outcome.result(),
+            Err(CoreError::ProgramDeadlocked { .. })
+        ));
+        let diagnostics = outcome.diagnostics();
+        assert_eq!(diagnostics.len(), 1);
+        let d = &diagnostics.as_slice()[0];
+        assert_eq!(d.code(), DiagnosticCode::Deadlock);
+        assert_eq!(d.cell_ids(), &[CellId::new(0), CellId::new(1)]);
+        assert!(!d.message_ids().is_empty());
+    }
+
+    #[test]
+    fn infeasible_names_the_interval_and_competitors() {
+        // Fig. 9: two same-label messages on one hop need 2 queues.
+        let p = parse_program(
+            "cells 3\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c2\n\
+             program c0 { W(A) W(B) W(A) W(A) W(B) W(B) W(A) }\n\
+             program c1 { R(A)*4 }\n\
+             program c2 { R(B)*3 }\n",
+        )
+        .unwrap();
+        let analyzer = Analyzer::for_topology(&Topology::linear(3), &AnalysisConfig::default());
+        let session = analyzer.session(&p);
+        // The requirements stage stays inspectable despite infeasibility.
+        assert_eq!(session.requirements().unwrap().max_per_interval(), 2);
+        let err = session.plan().unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
+        let outcome = session.finish();
+        let d = outcome
+            .diagnostics()
+            .iter()
+            .find(|d| d.code() == DiagnosticCode::Infeasible)
+            .expect("infeasible diagnostic");
+        assert_eq!(d.cell_ids(), &[CellId::new(0), CellId::new(1)]);
+        assert_eq!(d.message_ids().len(), 2, "both same-label competitors named");
+    }
+
+    #[test]
+    fn unroutable_message_is_diagnosed_with_its_id() {
+        let p = parse_program(
+            "cells 4\n\
+             message A: c0 -> c3\n\
+             program c0 { W(A) }\n\
+             program c3 { R(A) }\n",
+        )
+        .unwrap();
+        let disconnected = Topology::graph(4, [
+            (CellId::new(0), CellId::new(1)),
+            (CellId::new(2), CellId::new(3)),
+        ])
+        .unwrap();
+        let analyzer = Analyzer::for_topology(&disconnected, &AnalysisConfig::default());
+        let outcome = analyzer.diagnose(&p);
+        assert!(outcome.result().is_err());
+        let d = &outcome.diagnostics().as_slice()[0];
+        assert_eq!(d.code(), DiagnosticCode::RouteFailure);
+        assert_eq!(d.message_ids(), &[MessageId::new(0)]);
+        assert_eq!(d.cell_ids(), &[CellId::new(0), CellId::new(3)]);
+    }
+
+    #[test]
+    fn section6_fallback_emits_a_warning() {
+        // The 6-cell witness where the literal Section 6 scheme wedges.
+        let p = parse_program(
+            "cells 6\n\
+             message M0: c5 -> c2\n\
+             message M1: c1 -> c4\n\
+             message M2: c3 -> c0\n\
+             message M3: c0 -> c4\n\
+             message M4: c4 -> c2\n\
+             message M5: c0 -> c4\n\
+             message M6: c2 -> c1\n\
+             message M7: c4 -> c2\n\
+             message M8: c2 -> c3\n\
+             program c0 { W(M5) W(M5) R(M2) W(M3) }\n\
+             program c1 { R(M6) R(M6) W(M1) W(M1) }\n\
+             program c2 { R(M4) R(M4) W(M6) W(M6) W(M8) R(M7) R(M7) R(M0) R(M0) }\n\
+             program c3 { R(M8) W(M2) }\n\
+             program c4 { W(M4) W(M4) R(M5) R(M5) R(M1) R(M3) R(M1) W(M7) W(M7) }\n\
+             program c5 { W(M0) W(M0) }\n",
+        )
+        .unwrap();
+        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let analyzer = Analyzer::for_topology(&Topology::linear(6), &config);
+        let outcome = analyzer.diagnose(&p);
+        assert!(outcome.is_certified());
+        let d = &outcome.diagnostics().as_slice()[0];
+        assert_eq!(d.code(), DiagnosticCode::Section6Fallback);
+        assert_eq!(d.severity(), crate::Severity::Warning);
+
+        // Section6-only strategy turns the wedge into an error instead.
+        let strict = Analyzer::builder(Arc::clone(analyzer.compiled()))
+            .labeling(LabelingStrategy::Section6)
+            .build();
+        assert!(strict.analyze(&p).is_err());
+
+        // The solver-only strategy certifies it directly.
+        let solver = Analyzer::builder(Arc::clone(analyzer.compiled()))
+            .labeling(LabelingStrategy::ConstraintSolver)
+            .build();
+        let analysis = solver.analyze(&p).unwrap();
+        assert_eq!(analysis.labeling_method(), LabelingMethod::ConstraintSolver);
+    }
+
+    #[test]
+    fn lookahead_session_reports_extension_candidates() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c0 -> c1\n\
+             program c0 { W(A)*4 W(B) }\n\
+             program c1 { R(B) R(A)*4 }\n",
+        )
+        .unwrap();
+        let config = AnalysisConfig {
+            lookahead: Lookahead::Unbounded,
+            queues_per_interval: 2,
+        };
+        let analyzer = Analyzer::for_topology(&Topology::linear(2), &config);
+        let outcome = analyzer.diagnose(&p);
+        assert!(outcome.is_certified());
+        let d = outcome
+            .diagnostics()
+            .iter()
+            .find(|d| d.code() == DiagnosticCode::ExtensionCandidate)
+            .expect("extension-candidate diagnostic");
+        assert_eq!(d.message_ids(), &[MessageId::new(0)]);
+        assert_eq!(d.severity(), crate::Severity::Info);
+    }
+
+    #[test]
+    fn verify_consistency_stage_passes_for_shipped_schemes() {
+        let p = parse_program(fig7_text()).unwrap();
+        let compiled =
+            CompiledTopology::compile(&Topology::linear(4), &AnalysisConfig::default());
+        let analyzer = Analyzer::builder(compiled).verify_consistency(true).build();
+        assert!(analyzer.analyze(&p).is_ok());
+    }
+}

@@ -1,0 +1,321 @@
+//! Precompiled topologies: compile once, analyze many programs.
+//!
+//! Every call to the legacy [`analyze`](crate::analyze) re-derives
+//! per-topology state — routes (a BFS per message on graph topologies),
+//! lookahead budgets, the request fingerprint's topology component. A
+//! [`CompiledTopology`] hoists that work out of the per-program loop:
+//!
+//! * the **route closure** — for search-routed (graph) topologies up to
+//!   [`MAX_CLOSURE_CELLS`] cells, the minimum-length path between every
+//!   cell pair, computed with one BFS per *source* (`n` traversals total,
+//!   against one BFS per *message* per request);
+//! * the [`AnalysisConfig`] it was compiled against, so lookahead budgets
+//!   come from table lookups;
+//! * a process-independent content [`fingerprint`](CompiledTopology::fingerprint)
+//!   of `(topology, config)`, the key the serving layer shares
+//!   compilations under.
+//!
+//! The type is immutable and cheap to share: wrap it in an [`Arc`] (or use
+//! [`CompiledTopology::into_shared`]) and hand clones to as many
+//! [`Analyzer`](crate::Analyzer)s, worker threads or batches as needed.
+
+use std::sync::Arc;
+
+use systolic_model::{
+    CanonicalHash, CellId, ContentHasher, MessageRoutes, ModelError, Program, Route, Topology,
+};
+
+use crate::{AnalysisConfig, Lookahead, LookaheadLimits};
+
+/// Largest cell count for which [`CompiledTopology::compile`] materializes
+/// the all-pairs route closure (the closure is `O(n² · path length)`
+/// memory). Larger topologies still compile — routing just falls back to
+/// per-pair [`Topology::route_cells`].
+pub const MAX_CLOSURE_CELLS: usize = 256;
+
+/// An immutable, `Arc`-shareable precompilation of one
+/// `(Topology, AnalysisConfig)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_core::{Analyzer, AnalysisConfig, CompiledTopology};
+/// use systolic_model::{parse_program, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topology = Topology::linear(2);
+/// let config = AnalysisConfig::default();
+/// let compiled = CompiledTopology::compile(&topology, &config).into_shared();
+/// assert_eq!(compiled.num_cells(), 2);
+///
+/// // Many programs, one compilation:
+/// let analyzer = Analyzer::new(compiled);
+/// for reps in 1..4 {
+///     let program = parse_program(&format!(
+///         "cells 2\nmessage A: c0 -> c1\nprogram c0 {{ W(A)*{reps} }}\nprogram c1 {{ R(A)*{reps} }}\n",
+///     ))?;
+///     assert!(analyzer.analyze(&program).is_ok());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledTopology {
+    topology: Topology,
+    config: AnalysisConfig,
+    fingerprint: u128,
+    /// `paths[from * n + to]`: the route closure, when materialized.
+    closure: Option<Vec<Option<Vec<CellId>>>>,
+}
+
+impl CompiledTopology {
+    /// Compiles a topology against an analysis configuration.
+    ///
+    /// For graph topologies with at most [`MAX_CLOSURE_CELLS`] cells this
+    /// precomputes the all-pairs route closure (one BFS per source cell);
+    /// closed-form topologies (linear, ring, mesh) route in `O(path)`
+    /// anyway and skip it.
+    #[must_use]
+    pub fn compile(topology: &Topology, config: &AnalysisConfig) -> Self {
+        let fingerprint = Self::fingerprint_of(topology, config);
+        let n = topology.num_cells();
+        let closure = if topology.uses_search_routing() && n <= MAX_CLOSURE_CELLS {
+            let mut paths = Vec::with_capacity(n * n);
+            for i in 0..n {
+                let from = CellId::new(i as u32);
+                paths.extend(topology.routes_from(from).expect("source cell is in range"));
+            }
+            Some(paths)
+        } else {
+            None
+        };
+        CompiledTopology {
+            topology: topology.clone(),
+            config: config.clone(),
+            fingerprint,
+            closure,
+        }
+    }
+
+    /// Wraps this compilation in an [`Arc`] for sharing.
+    #[must_use]
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// The process-independent content fingerprint of a
+    /// `(topology, config)` pair — what [`CompiledTopology::fingerprint`]
+    /// returns after compiling, computable without compiling. The serving
+    /// layer uses it as the compilation-cache key.
+    #[must_use]
+    pub fn fingerprint_of(topology: &Topology, config: &AnalysisConfig) -> u128 {
+        let mut hasher = ContentHasher::new();
+        hasher.write_u8(b'K');
+        topology.canonical_hash(&mut hasher);
+        config.canonical_hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// The topology this compilation captured.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The analysis configuration this compilation captured.
+    #[must_use]
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The content fingerprint of `(topology, config)`.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// Number of cells in the topology.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.topology.num_cells()
+    }
+
+    /// `true` when the all-pairs route closure was materialized.
+    #[must_use]
+    pub fn has_route_closure(&self) -> bool {
+        self.closure.is_some()
+    }
+
+    /// The minimum-length route from `from` to `to` — identical to
+    /// [`Topology::route_cells`], served from the closure when available.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::CellOutOfRange`] if an endpoint does not exist;
+    /// * [`ModelError::NoRoute`] if the cells are disconnected (or equal).
+    pub fn route(&self, from: CellId, to: CellId) -> Result<Route, ModelError> {
+        let n = self.topology.num_cells();
+        match &self.closure {
+            Some(paths) => {
+                for cell in [from, to] {
+                    if cell.index() >= n {
+                        return Err(ModelError::CellOutOfRange { cell, num_cells: n });
+                    }
+                }
+                match &paths[from.index() * n + to.index()] {
+                    Some(path) => Ok(Route::new(path.clone())),
+                    None => Err(ModelError::NoRoute { from, to }),
+                }
+            }
+            None => self.topology.route_cells(from, to).map(Route::new),
+        }
+    }
+
+    /// Routes every declared message of `program` — the precompiled
+    /// equivalent of [`MessageRoutes::compute`], with identical results.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::CellCountMismatch`] if the program and topology
+    ///   disagree on the number of cells;
+    /// * any routing error from [`CompiledTopology::route`].
+    pub fn routes_for(&self, program: &Program) -> Result<MessageRoutes, ModelError> {
+        if program.num_cells() != self.topology.num_cells() {
+            return Err(ModelError::CellCountMismatch {
+                program: program.num_cells(),
+                topology: self.topology.num_cells(),
+            });
+        }
+        let mut routes = Vec::with_capacity(program.num_messages());
+        for decl in program.messages() {
+            routes.push(self.route(decl.sender(), decl.receiver())?);
+        }
+        Ok(MessageRoutes::from_routes(routes))
+    }
+
+    /// The lookahead budgets the compiled configuration implies for
+    /// `program` (whose routes must come from this compilation).
+    #[must_use]
+    pub fn limits_for(&self, program: &Program, routes: &MessageRoutes) -> LookaheadLimits {
+        match &self.config.lookahead {
+            Lookahead::Disabled => LookaheadLimits::disabled(program),
+            Lookahead::PerQueueCapacity(c) => LookaheadLimits::from_routes(routes, *c),
+            Lookahead::Explicit(limits) => limits.clone(),
+            Lookahead::Unbounded => LookaheadLimits::unbounded(program),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_model::parse_program;
+
+    fn c(i: u32) -> CellId {
+        CellId::new(i)
+    }
+
+    fn diamond() -> Topology {
+        Topology::graph(4, [(c(0), c(1)), (c(0), c(2)), (c(1), c(3)), (c(2), c(3))]).unwrap()
+    }
+
+    #[test]
+    fn compiled_routes_match_direct_routing() {
+        for topology in [
+            Topology::linear(5),
+            Topology::ring(6),
+            Topology::mesh(2, 3),
+            diamond(),
+        ] {
+            let compiled = CompiledTopology::compile(&topology, &AnalysisConfig::default());
+            assert_eq!(compiled.has_route_closure(), topology.uses_search_routing());
+            for i in 0..topology.num_cells() as u32 {
+                for j in 0..topology.num_cells() as u32 {
+                    let direct = topology.route_cells(c(i), c(j)).map(Route::new);
+                    assert_eq!(
+                        compiled.route(c(i), c(j)),
+                        direct,
+                        "route {i}->{j} diverged on {}",
+                        topology.spec()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_for_matches_message_routes_compute() {
+        let program = parse_program(
+            "cells 4\n\
+             message A: c0 -> c3\n\
+             message B: c3 -> c1\n\
+             program c0 { W(A)*2 }\n\
+             program c1 { R(B) }\n\
+             program c3 { R(A)*2 W(B) }\n",
+        )
+        .unwrap();
+        let topology = diamond();
+        let compiled = CompiledTopology::compile(&topology, &AnalysisConfig::default());
+        assert_eq!(
+            compiled.routes_for(&program).unwrap(),
+            MessageRoutes::compute(&program, &topology).unwrap()
+        );
+    }
+
+    #[test]
+    fn route_errors_match_direct_routing() {
+        let disconnected = Topology::graph(4, [(c(0), c(1)), (c(2), c(3))]).unwrap();
+        let compiled = CompiledTopology::compile(&disconnected, &AnalysisConfig::default());
+        assert!(matches!(compiled.route(c(0), c(3)), Err(ModelError::NoRoute { .. })));
+        assert!(matches!(compiled.route(c(1), c(1)), Err(ModelError::NoRoute { .. })));
+        assert!(matches!(
+            compiled.route(c(0), c(9)),
+            Err(ModelError::CellOutOfRange { .. })
+        ));
+
+        let program = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let three = CompiledTopology::compile(&Topology::linear(3), &AnalysisConfig::default());
+        assert!(matches!(
+            three.routes_for(&program),
+            Err(ModelError::CellCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_covers_topology_and_config() {
+        let base = CompiledTopology::compile(&Topology::linear(4), &AnalysisConfig::default());
+        assert_eq!(
+            base.fingerprint(),
+            CompiledTopology::fingerprint_of(&Topology::linear(4), &AnalysisConfig::default())
+        );
+        let other_topology =
+            CompiledTopology::compile(&Topology::ring(4), &AnalysisConfig::default());
+        assert_ne!(base.fingerprint(), other_topology.fingerprint());
+        let other_config = CompiledTopology::compile(
+            &Topology::linear(4),
+            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+        );
+        assert_ne!(base.fingerprint(), other_config.fingerprint());
+    }
+
+    #[test]
+    fn limits_follow_the_compiled_config() {
+        let program = parse_program(
+            "cells 3\nmessage A: c0 -> c2\nprogram c0 { W(A) }\nprogram c2 { R(A) }\n",
+        )
+        .unwrap();
+        let topology = Topology::linear(3);
+        let capacity = AnalysisConfig {
+            lookahead: Lookahead::PerQueueCapacity(2),
+            queues_per_interval: 1,
+        };
+        let compiled = CompiledTopology::compile(&topology, &capacity);
+        let routes = compiled.routes_for(&program).unwrap();
+        let limits = compiled.limits_for(&program, &routes);
+        // A crosses two intervals at capacity 2 => budget 4.
+        assert_eq!(limits.limit(systolic_model::MessageId::new(0)), Some(4));
+    }
+}

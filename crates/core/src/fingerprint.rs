@@ -10,7 +10,7 @@
 
 use systolic_model::{CanonicalHash, ContentHasher, Program, Topology};
 
-use crate::{AnalysisConfig, Lookahead, LookaheadLimits};
+use crate::{AnalysisConfig, CommPlan, CompetingSets, Label, Labeling, Lookahead, LookaheadLimits, QueueRequirements};
 
 impl CanonicalHash for LookaheadLimits {
     fn canonical_hash(&self, hasher: &mut ContentHasher) {
@@ -49,6 +49,83 @@ impl CanonicalHash for AnalysisConfig {
         hasher.write_u8(b'C');
         self.lookahead.canonical_hash(hasher);
         hasher.write_usize(self.queues_per_interval);
+    }
+}
+
+impl CanonicalHash for Label {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        // Labels are stored reduced with positive denominators, so the
+        // (numerator, denominator) pair is canonical for the value.
+        hasher.write_i64(self.numerator());
+        hasher.write_i64(self.denominator());
+    }
+}
+
+impl CanonicalHash for Labeling {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(b'L');
+        hasher.write_usize(self.len());
+        for (_, label) in self.iter() {
+            label.canonical_hash(hasher);
+        }
+    }
+}
+
+impl CanonicalHash for CompetingSets {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(b'S');
+        hasher.write_usize(self.len());
+        for (hop, messages) in self.iter() {
+            hasher.write_usize(hop.from().index());
+            hasher.write_usize(hop.to().index());
+            hasher.write_usize(messages.len());
+            for m in messages {
+                hasher.write_usize(m.index());
+            }
+        }
+    }
+}
+
+impl CanonicalHash for QueueRequirements {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        // Length-prefix both sections so the hop-stream/interval-stream
+        // boundary is unambiguous in the hash input (injective framing).
+        hasher.write_u8(b'Q');
+        hasher.write_usize(self.iter_hops().count());
+        for (hop, need) in self.iter_hops() {
+            hasher.write_usize(hop.from().index());
+            hasher.write_usize(hop.to().index());
+            hasher.write_usize(need);
+        }
+        hasher.write_usize(self.iter_intervals().count());
+        for (interval, need) in self.iter_intervals() {
+            hasher.write_usize(interval.lo().index());
+            hasher.write_usize(interval.hi().index());
+            hasher.write_usize(need);
+        }
+    }
+}
+
+impl CanonicalHash for CommPlan {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(b'N');
+        self.labeling().canonical_hash(hasher);
+        self.routes().canonical_hash(hasher);
+        self.competing().canonical_hash(hasher);
+        self.requirements().canonical_hash(hasher);
+    }
+}
+
+impl CommPlan {
+    /// The process-independent 128-bit content fingerprint of this plan —
+    /// every label, route, competing set and queue requirement feeds in,
+    /// so two plans fingerprint equal exactly when they are byte-for-byte
+    /// the same certified artifact. The parity property tests use it to
+    /// hold [`Analyzer`](crate::Analyzer) to the legacy
+    /// [`analyze`](crate::analyze) output.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        self.content_hash()
     }
 }
 

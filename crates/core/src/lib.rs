@@ -19,14 +19,19 @@
 //! * [`CompetingSets`] / [`QueueRequirements`] — competing messages
 //!   (Section 2.3) and the queue counts the simultaneous-assignment rule
 //!   demands (Section 7, Theorem 1 assumption (ii));
-//! * [`analyze`] — the end-to-end pipeline producing a [`CommPlan`] that a
-//!   runtime (`systolic-sim`, `systolic-threaded`) enforces with compatible
-//!   queue assignment, which by **Theorem 1** guarantees the run completes.
+//! * [`CompiledTopology`] + [`Analyzer`] — the staged pipeline: compile a
+//!   `(Topology, AnalysisConfig)` pair once (route closure, lookahead
+//!   budgets, content fingerprint), then analyze many programs against it,
+//!   inspecting each stage and collecting structured [`Diagnostic`]s;
+//! * [`analyze`] — the legacy one-shot wrapper around the above, producing
+//!   a [`CommPlan`] that a runtime (`systolic-sim`, `systolic-threaded`)
+//!   enforces with compatible queue assignment, which by **Theorem 1**
+//!   guarantees the run completes.
 //!
 //! # Examples
 //!
 //! ```
-//! use systolic_core::{analyze, AnalysisConfig};
+//! use systolic_core::{Analyzer, AnalysisConfig};
 //! use systolic_model::{parse_program, Topology};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,21 +46,55 @@
 //!      program c2 { R(A)*4 W(B)*3 }\n\
 //!      program c3 { R(C)*3 R(B)*3 }\n",
 //! )?;
-//! let analysis = analyze(&program, &Topology::linear(4), &AnalysisConfig::default())?;
+//! let analyzer = Analyzer::for_topology(&Topology::linear(4), &AnalysisConfig::default());
+//! let analysis = analyzer.analyze(&program)?;
 //! // The paper's labels: A=1, B=3, C=2 — so one queue per interval suffices.
 //! assert_eq!(analysis.plan().requirements().max_per_interval(), 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from `analyze`
+//!
+//! [`analyze`] still works and always will — it is now a thin wrapper — but
+//! it recompiles the topology on every call and discards the structured
+//! diagnostics. The staged API splits the call in two:
+//!
+//! ```text
+//! //  before                                   after
+//! analyze(&program, &topology, &config)   →   let compiled = CompiledTopology::compile(&topology, &config);
+//!                                             let analyzer = Analyzer::new(compiled);
+//!                                             analyzer.analyze(&program)
+//! ```
+//!
+//! * **One program, one topology:** `Analyzer::for_topology(&topology,
+//!   &config).analyze(&program)` is a drop-in replacement.
+//! * **Many programs, one topology** (services, benchmarks, sweeps):
+//!   compile once, share the `Arc<CompiledTopology>`
+//!   ([`CompiledTopology::into_shared`]) and call
+//!   [`Analyzer::analyze`] per program — routing comes from the
+//!   precompiled route closure instead of a per-message search.
+//! * **"Why was it rejected?":** use [`Analyzer::diagnose`] to get the
+//!   [`Diagnostics`] (machine-readable codes, offending message/cell ids)
+//!   alongside the result, or open an [`Analyzer::session`] and inspect
+//!   stages ([`AnalyzerSession::classification`],
+//!   [`AnalyzerSession::requirements`], …) individually.
+//!
+//! Outputs are guaranteed identical: the parity property tests assert that
+//! [`Analyzer`] and [`analyze`] produce byte-identical
+//! [`CommPlan::fingerprint`]s on random programs and topologies.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod analyzer;
+mod compiled;
 mod competing;
 mod consistency;
 mod constraint_labeling;
 mod crossing_off;
+mod diagnostics;
 mod error;
 mod fingerprint;
 mod label;
@@ -68,10 +107,15 @@ mod requirements;
 
 pub(crate) use crossing_off::Machine;
 
+pub use analyzer::{
+    AnalysisOutcome, Analyzer, AnalyzerBuilder, AnalyzerSession, LabelingStrategy,
+};
+pub use compiled::{CompiledTopology, MAX_CLOSURE_CELLS};
 pub use competing::CompetingSets;
 pub use consistency::{check_consistency, is_consistent, ConsistencyViolation};
 pub use constraint_labeling::label_messages_robust;
 pub use crossing_off::{classify, classify_with, Classification, Pair, Step, StuckReport, Trace};
+pub use diagnostics::{Diagnostic, DiagnosticCode, Diagnostics, Severity};
 pub use error::CoreError;
 pub use fingerprint::request_fingerprint;
 pub use label::Label;

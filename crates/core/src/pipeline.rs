@@ -8,13 +8,16 @@
 //! 3. compute the competing sets and queue requirements, and check Theorem 1
 //!    assumption (ii) against the hardware's queue count;
 //! 4. emit the [`CommPlan`] a runtime enforces with compatible assignment.
+//!
+//! Since the [`Analyzer`](crate::Analyzer) redesign the stages live in
+//! [`analyzer`](crate::analyzer); [`analyze`] survives as a thin
+//! compatibility wrapper that compiles the topology per call. See the
+//! crate-level *Migrating from `analyze`* notes.
 
-use systolic_model::{MessageId, MessageRoutes, Program, Topology};
+use systolic_model::{MessageId, Program, Topology};
 
 use crate::{
-    check_consistency, classify_with, label_messages, label_messages_robust, Classification,
-    CommPlan, CompetingSets, CoreError, Labeling, LabelingReport, LookaheadLimits,
-    QueueRequirements,
+    Analyzer, Classification, CommPlan, CoreError, LabelingReport, LookaheadLimits,
 };
 
 /// How much lookahead (queue buffering) the analysis may assume.
@@ -69,6 +72,18 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an analysis from staged artifacts (the
+    /// [`Analyzer`](crate::Analyzer)'s final step).
+    pub(crate) fn from_parts(
+        classification: Classification,
+        labeling_report: Option<LabelingReport>,
+        labeling_method: LabelingMethod,
+        plan: CommPlan,
+        limits: LookaheadLimits,
+    ) -> Self {
+        Analysis { classification, labeling_report, labeling_method, plan, limits }
+    }
+
     /// The crossing-off verdict and trace (always deadlock-free here).
     #[must_use]
     pub fn classification(&self) -> &Classification {
@@ -125,6 +140,14 @@ impl Analysis {
 
 /// Runs the full pipeline. See the module docs for the stages.
 ///
+/// **Compatibility wrapper.** This compiles the topology on every call and
+/// discards the compilation and all structured diagnostics; it exists so
+/// pre-`Analyzer` code keeps working. New code should compile once with
+/// [`CompiledTopology::compile`](crate::CompiledTopology::compile) and
+/// reuse an [`Analyzer`] — especially in loops over many programs, where
+/// the shared compilation amortizes routing. The results are identical
+/// (the parity property tests assert byte-identical plan fingerprints).
+///
 /// # Errors
 ///
 /// * [`CoreError::Model`] if routing fails (cell-count mismatch, no route);
@@ -157,50 +180,7 @@ pub fn analyze(
     topology: &Topology,
     config: &AnalysisConfig,
 ) -> Result<Analysis, CoreError> {
-    let routes = MessageRoutes::compute(program, topology)?;
-    let limits = match &config.lookahead {
-        Lookahead::Disabled => LookaheadLimits::disabled(program),
-        Lookahead::PerQueueCapacity(c) => LookaheadLimits::from_routes(&routes, *c),
-        Lookahead::Explicit(l) => l.clone(),
-        Lookahead::Unbounded => LookaheadLimits::unbounded(program),
-    };
-
-    let classification = classify_with(program, &limits);
-    if let Classification::Deadlocked { trace, stuck } = &classification {
-        return Err(CoreError::ProgramDeadlocked {
-            crossed_words: trace.total_pairs(),
-            remaining_ops: stuck.remaining_ops,
-        });
-    }
-
-    // The paper's Section 6 scheme first; when it wedges (its rules 1a/1c/1d
-    // are not complete — see `label_messages_robust`), fall back to the
-    // constraint-solving scheme, which always succeeds on deadlock-free
-    // programs.
-    let (labeling, labeling_report, labeling_method): (Labeling, Option<LabelingReport>, _) =
-        match label_messages(program, &limits) {
-            Ok(report) => {
-                let labeling = report.labeling().clone();
-                (labeling, Some(report), LabelingMethod::Section6)
-            }
-            Err(CoreError::LabelConflict { .. } | CoreError::InconsistentLabeling { .. }) => (
-                label_messages_robust(program, &limits)?,
-                None,
-                LabelingMethod::ConstraintSolver,
-            ),
-            Err(other) => return Err(other),
-        };
-    debug_assert!(
-        check_consistency(program, &labeling).is_empty(),
-        "labeling schemes must produce consistent labelings"
-    );
-
-    let competing = CompetingSets::compute(&routes);
-    let requirements = QueueRequirements::compute(&competing, &labeling);
-    requirements.check_feasible(config.queues_per_interval)?;
-
-    let plan = CommPlan::new(labeling, routes, competing, requirements);
-    Ok(Analysis { classification, labeling_report, labeling_method, plan, limits })
+    Analyzer::for_topology(topology, config).analyze(program)
 }
 
 #[cfg(test)]

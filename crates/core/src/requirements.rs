@@ -128,7 +128,7 @@ mod tests {
         CellId::new(i)
     }
 
-    fn analyze(text: &str, n: usize) -> (systolic_model::Program, CompetingSets, Labeling) {
+    fn setup(text: &str, n: usize) -> (systolic_model::Program, CompetingSets, Labeling) {
         let p = parse_program(text).unwrap();
         let routes = MessageRoutes::compute(&p, &Topology::linear(n)).unwrap();
         let competing = CompetingSets::compute(&routes);
@@ -143,7 +143,7 @@ mod tests {
         // Labels 1, 3, 2: all distinct, so every same-label group is a
         // singleton and one queue per interval suffices — exactly the
         // paper's point that ordering, not capacity, fixes Fig. 7.
-        let (_, competing, labeling) = analyze(
+        let (_, competing, labeling) = setup(
             "cells 4\n\
              message A: c1 -> c2\n\
              message B: c2 -> c3\n\
@@ -166,7 +166,7 @@ mod tests {
         // between c0 and c1 (paper: "If there are two queues between Cl and
         // C2, then messages A and B can each be assigned to a separate queue
         // statically, and no deadlock will occur").
-        let (_, competing, labeling) = analyze(
+        let (_, competing, labeling) = setup(
             "cells 3\n\
              message A: c0 -> c1\n\
              message B: c0 -> c2\n\
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn infeasible_error_names_the_hot_hop() {
-        let (_, competing, labeling) = analyze(
+        let (_, competing, labeling) = setup(
             "cells 3\n\
              message A: c0 -> c1\n\
              message B: c0 -> c2\n\
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn opposite_directions_sum_on_the_interval() {
-        let (_, competing, labeling) = analyze(
+        let (_, competing, labeling) = setup(
             "cells 2\n\
              message X: c0 -> c1\n\
              message Y: c1 -> c0\n\

@@ -92,6 +92,19 @@ pub enum ModelError {
         /// Human-readable description.
         message: String,
     },
+    /// A compact topology spec string
+    /// ([`Topology::from_spec`](crate::Topology::from_spec)) failed to
+    /// parse. Unlike [`ModelError::Parse`], which is line-oriented, this
+    /// names the offending token and its byte offset within the (single
+    /// line) spec string.
+    SpecParse {
+        /// The offending token, verbatim.
+        token: String,
+        /// Byte offset of the token within the spec string.
+        offset: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -132,6 +145,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::SpecParse { token, offset, message } => {
+                write!(f, "topology spec error at byte {offset} (`{token}`): {message}")
             }
         }
     }
@@ -180,6 +196,11 @@ mod tests {
             ModelError::CellCountMismatch { program: 3, topology: 4 },
             ModelError::NoRoute { from: CellId::new(0), to: CellId::new(3) },
             ModelError::Parse { line: 7, message: "bad token".into() },
+            ModelError::SpecParse {
+                token: "torus".into(),
+                offset: 0,
+                message: "unknown topology kind".into(),
+            },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

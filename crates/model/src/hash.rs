@@ -176,6 +176,26 @@ impl CanonicalHash for Topology {
     }
 }
 
+impl CanonicalHash for crate::Route {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(b'r');
+        hasher.write_usize(self.cells().len());
+        for cell in self.cells() {
+            hasher.write_usize(cell.index());
+        }
+    }
+}
+
+impl CanonicalHash for crate::MessageRoutes {
+    fn canonical_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(b'R');
+        hasher.write_usize(self.len());
+        for (_, route) in self.iter() {
+            route.canonical_hash(hasher);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

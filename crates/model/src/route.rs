@@ -145,6 +145,15 @@ impl MessageRoutes {
         Ok(MessageRoutes { routes })
     }
 
+    /// Assembles message routes directly, one [`Route`] per declared
+    /// message in declaration order. Used by precompiled topologies
+    /// (`systolic_core::CompiledTopology`), which serve paths from a route
+    /// closure instead of re-routing per program.
+    #[must_use]
+    pub fn from_routes(routes: Vec<Route>) -> Self {
+        MessageRoutes { routes }
+    }
+
     /// The route of message `id`.
     ///
     /// # Panics

@@ -182,89 +182,104 @@ impl Topology {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Parse`] for malformed specs and
+    /// Returns [`ModelError::SpecParse`] for malformed specs, naming the
+    /// offending token and its byte offset within the spec, and
     /// [`ModelError::CellOutOfRange`] for graph edges out of range.
     ///
     /// # Examples
     ///
     /// ```
-    /// use systolic_model::Topology;
+    /// use systolic_model::{ModelError, Topology};
     ///
     /// # fn main() -> Result<(), systolic_model::ModelError> {
     /// let t = Topology::from_spec("mesh:2x3")?;
     /// assert_eq!(t.num_cells(), 6);
     /// assert_eq!(Topology::from_spec(&t.spec())?, t);
+    ///
+    /// // Errors pinpoint the offending token:
+    /// let err = Topology::from_spec("mesh:2xq").unwrap_err();
+    /// assert!(matches!(
+    ///     err,
+    ///     ModelError::SpecParse { ref token, offset: 7, .. } if token == "q"
+    /// ));
     /// # Ok(())
     /// # }
     /// ```
     pub fn from_spec(spec: &str) -> Result<Self, ModelError> {
-        let bad = |message: String| ModelError::Parse { line: 1, message };
+        // Every token handed to `bad` is a subslice of `spec`, so pointer
+        // arithmetic recovers its byte offset without threading indices
+        // through the parse.
+        let bad = |token: &str, message: String| ModelError::SpecParse {
+            token: token.to_owned(),
+            offset: (token.as_ptr() as usize).saturating_sub(spec.as_ptr() as usize),
+            message,
+        };
         let parse_count = |s: &str, what: &str| -> Result<usize, ModelError> {
-            let n: usize = s
-                .parse()
-                .map_err(|_| bad(format!("invalid {what} `{s}` in topology spec")))?;
+            let n: usize = s.parse().map_err(|_| bad(s, format!("invalid {what}")))?;
             if n == 0 {
-                return Err(bad(format!("{what} must be positive in topology spec")));
+                return Err(bad(s, format!("{what} must be positive")));
             }
             // Specs arrive over the wire from untrusted clients, and the
             // constructors allocate O(cells) adjacency eagerly — bound the
             // size here so a single request line cannot abort the process.
             if n > MAX_SPEC_CELLS {
-                return Err(bad(format!(
-                    "{what} {n} exceeds the spec limit of {MAX_SPEC_CELLS} cells"
-                )));
+                return Err(bad(
+                    s,
+                    format!("{what} {n} exceeds the spec limit of {MAX_SPEC_CELLS} cells"),
+                ));
             }
             Ok(n)
         };
         let (kind, rest) = spec
             .split_once(':')
-            .ok_or_else(|| bad(format!("topology spec `{spec}` has no `:`")))?;
+            .ok_or_else(|| bad(spec, "topology spec has no `:`".into()))?;
         match kind {
             "linear" => Ok(Topology::linear(parse_count(rest, "cell count")?)),
             "ring" => {
                 let n = parse_count(rest, "cell count")?;
                 if n < 3 {
-                    return Err(bad("a ring needs at least three cells".into()));
+                    return Err(bad(rest, "a ring needs at least three cells".into()));
                 }
                 Ok(Topology::ring(n))
             }
             "mesh" => {
                 let (r, c) = rest
                     .split_once('x')
-                    .ok_or_else(|| bad(format!("mesh spec `{rest}` is not RxC")))?;
+                    .ok_or_else(|| bad(rest, "mesh spec is not RxC".into()))?;
                 let rows = parse_count(r, "row count")?;
                 let cols = parse_count(c, "column count")?;
                 match rows.checked_mul(cols) {
                     Some(n) if n <= MAX_SPEC_CELLS => Ok(Topology::mesh(rows, cols)),
-                    _ => Err(bad(format!(
-                        "mesh {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"
-                    ))),
+                    _ => Err(bad(
+                        rest,
+                        format!("mesh {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"),
+                    )),
                 }
             }
             "graph" => {
                 let (n, edges) = rest
                     .split_once(':')
-                    .ok_or_else(|| bad(format!("graph spec `{rest}` is not N:edges")))?;
+                    .ok_or_else(|| bad(rest, "graph spec is not N:edges".into()))?;
                 let n = parse_count(n, "cell count")?;
                 let mut parsed = Vec::new();
                 for edge in edges.split(',').filter(|e| !e.is_empty()) {
                     let (a, b) = edge
                         .split_once('-')
-                        .ok_or_else(|| bad(format!("graph edge `{edge}` is not a-b")))?;
+                        .ok_or_else(|| bad(edge, "graph edge is not a-b".into()))?;
                     let a: u32 = a
                         .parse()
-                        .map_err(|_| bad(format!("invalid cell `{a}` in graph edge")))?;
+                        .map_err(|_| bad(a, "invalid cell in graph edge".into()))?;
                     let b: u32 = b
                         .parse()
-                        .map_err(|_| bad(format!("invalid cell `{b}` in graph edge")))?;
+                        .map_err(|_| bad(b, "invalid cell in graph edge".into()))?;
                     if a == b {
-                        return Err(bad(format!("graph edge `{edge}` is a self-loop")));
+                        return Err(bad(edge, "graph edge is a self-loop".into()));
                     }
                     parsed.push((CellId::new(a), CellId::new(b)));
                 }
                 Topology::graph(n, parsed)
             }
-            other => Err(bad(format!("unknown topology kind `{other}`"))),
+            other => Err(bad(other, "unknown topology kind".into())),
         }
     }
 
@@ -451,6 +466,83 @@ impl Topology {
             }
         }
     }
+
+    /// `true` when [`Topology::route_cells`] performs a graph search (BFS)
+    /// rather than closed-form routing — the signal that precomputing a
+    /// route closure (`systolic_core::CompiledTopology`) actually saves
+    /// work. Linear, ring and mesh routing is arithmetic; only arbitrary
+    /// graphs search.
+    #[must_use]
+    pub fn uses_search_routing(&self) -> bool {
+        matches!(self.kind, Kind::Graph { .. })
+    }
+
+    /// The minimum-length routes from `from` to every cell: entry `i` is
+    /// the cell path to cell `i` (including both endpoints), or `None` for
+    /// `from` itself and for unreachable cells.
+    ///
+    /// The paths are exactly what per-pair [`Topology::route_cells`] calls
+    /// would return (same deterministic tie-breaks), but for graph
+    /// topologies all `n` destinations share one breadth-first search, so
+    /// a full route closure costs `n` traversals instead of `n²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CellOutOfRange`] if `from` does not exist.
+    pub fn routes_from(&self, from: CellId) -> Result<Vec<Option<Vec<CellId>>>, ModelError> {
+        let n = self.num_cells();
+        if from.index() >= n {
+            return Err(ModelError::CellOutOfRange { cell: from, num_cells: n });
+        }
+        if let Kind::Graph { .. } = &self.kind {
+            // One full BFS; discovery order (and therefore every prev
+            // pointer) is identical to the early-stopping BFS in
+            // `route_cells`, so reconstructed paths match it exactly.
+            let adjacency = &self.adjacency;
+            let mut prev: Vec<Option<CellId>> = vec![None; n];
+            let mut seen = vec![false; n];
+            let mut queue = VecDeque::new();
+            seen[from.index()] = true;
+            queue.push_back(from);
+            while let Some(cur) = queue.pop_front() {
+                for &next in &adjacency[cur.index()] {
+                    if !seen[next.index()] {
+                        seen[next.index()] = true;
+                        prev[next.index()] = Some(cur);
+                        queue.push_back(next);
+                    }
+                }
+            }
+            return Ok((0..n)
+                .map(|i| {
+                    let to = CellId::new(i as u32);
+                    if to == from || !seen[i] {
+                        return None;
+                    }
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = prev[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    Some(path)
+                })
+                .collect());
+        }
+        // Closed-form kinds: every pair is routable, and per-pair routing
+        // is already O(path length).
+        Ok((0..n)
+            .map(|i| {
+                let to = CellId::new(i as u32);
+                if to == from {
+                    None
+                } else {
+                    self.route_cells(from, to).ok()
+                }
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -612,7 +704,7 @@ mod tests {
             "mesh:0x2", "mesh:2x", "torus:4", "graph:3", "graph:3:0_1", "graph:3:0-0",
         ] {
             assert!(
-                matches!(Topology::from_spec(spec), Err(ModelError::Parse { .. })),
+                matches!(Topology::from_spec(spec), Err(ModelError::SpecParse { .. })),
                 "spec `{spec}` should fail to parse"
             );
         }
@@ -620,6 +712,38 @@ mod tests {
             Topology::from_spec("graph:2:0-5"),
             Err(ModelError::CellOutOfRange { .. })
         ));
+    }
+
+    /// One assertion per malformed-spec class: the error must name the
+    /// offending token verbatim and its byte offset within the spec.
+    #[test]
+    fn from_spec_errors_name_token_and_offset() {
+        let classes: &[(&str, &str, usize)] = &[
+            // (spec, offending token, byte offset)
+            ("linear", "linear", 0),           // missing `:` — whole spec
+            ("torus:4", "torus", 0),           // unknown kind
+            ("linear:x", "x", 7),              // non-numeric count
+            ("linear:", "", 7),                // empty count
+            ("linear:0", "0", 7),              // zero count
+            ("ring:2", "2", 5),                // degenerate ring
+            ("mesh:3", "3", 5),                // missing `x`
+            ("mesh:2xq", "q", 7),              // bad column count
+            ("mesh:0x2", "0", 5),              // zero row count
+            ("graph:3", "3", 6),               // missing edge list
+            ("graph:3:0_1", "0_1", 8),         // edge without `-`
+            ("graph:3:0-1,2-z", "z", 14),      // bad edge endpoint
+            ("graph:3:0-0", "0-0", 8),         // self-loop edge
+            ("mesh:100000x100000", "100000x100000", 5), // over the cell bound
+        ];
+        for &(spec, token, offset) in classes {
+            match Topology::from_spec(spec) {
+                Err(ModelError::SpecParse { token: t, offset: o, .. }) => {
+                    assert_eq!(t, token, "wrong token for `{spec}`");
+                    assert_eq!(o, offset, "wrong offset for `{spec}`");
+                }
+                other => panic!("spec `{spec}` should be a SpecParse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -634,10 +758,42 @@ mod tests {
             &format!("graph:{}:", MAX_SPEC_CELLS + 1),
         ] {
             assert!(
-                matches!(Topology::from_spec(spec), Err(ModelError::Parse { .. })),
+                matches!(Topology::from_spec(spec), Err(ModelError::SpecParse { .. })),
                 "spec `{spec}` should be rejected"
             );
         }
         assert!(Topology::from_spec(&format!("linear:{MAX_SPEC_CELLS}")).is_ok());
+    }
+
+    #[test]
+    fn routes_from_matches_route_cells_everywhere() {
+        let topologies = vec![
+            Topology::linear(6),
+            Topology::ring(7),
+            Topology::mesh(3, 4),
+            Topology::graph(6, [(c(0), c(1)), (c(1), c(2)), (c(2), c(3)), (c(0), c(4)), (c(4), c(3))])
+                .unwrap(),
+            Topology::graph(5, [(c(0), c(1)), (c(2), c(3))]).unwrap(), // disconnected
+        ];
+        for t in topologies {
+            for i in 0..t.num_cells() as u32 {
+                let closure = t.routes_from(c(i)).unwrap();
+                assert_eq!(closure.len(), t.num_cells());
+                for j in 0..t.num_cells() as u32 {
+                    let direct = t.route_cells(c(i), c(j)).ok();
+                    assert_eq!(
+                        closure[j as usize], direct,
+                        "closure/route mismatch {i}->{j} in {}",
+                        t.spec()
+                    );
+                }
+            }
+        }
+        assert!(matches!(
+            Topology::linear(2).routes_from(c(9)),
+            Err(ModelError::CellOutOfRange { .. })
+        ));
+        assert!(Topology::graph(4, [(c(0), c(1))]).unwrap().uses_search_routing());
+        assert!(!Topology::mesh(2, 2).uses_search_routing());
     }
 }

@@ -169,14 +169,23 @@ pub fn stddev(xs: &[f64]) -> f64 {
 
 /// The `p`-th percentile of a sample by nearest-rank (0.0 for empty input).
 ///
-/// `p` is clamped to `0.0..=100.0`. The sample need not be sorted.
+/// `p` is clamped to `0.0..=100.0`; `p = 0` returns the minimum and
+/// `p = 100` the maximum. The sample need not be sorted.
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already-sorted sample, skipping the copy and
+/// sort — what latency reservoirs (`systolic_service`) use after sorting
+/// once for several percentiles.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
@@ -288,6 +297,38 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 90.0), 5.0);
         assert_eq!(percentile(&xs, 150.0), 5.0); // clamped
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty slice: 0.0 at every percentile, including the extremes.
+        for p in [-10.0, 0.0, 50.0, 100.0, 200.0] {
+            assert_eq!(percentile(&[], p), 0.0);
+            assert_eq!(percentile_sorted(&[], p), 0.0);
+        }
+        // Single element: that element at every percentile.
+        for p in [-1.0, 0.0, 0.1, 50.0, 99.9, 100.0, 101.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5);
+        }
+        // p = 0 is the minimum, p = 100 the maximum, even for pairs.
+        assert_eq!(percentile(&[2.0, 9.0], 0.0), 2.0);
+        assert_eq!(percentile(&[2.0, 9.0], 100.0), 9.0);
+        // Negative p clamps to the minimum.
+        assert_eq!(percentile(&[2.0, 9.0], -5.0), 2.0);
+        // Unsorted input is sorted internally; ties are preserved.
+        let xs = [9.0, 9.0, 1.0, 1.0];
+        assert_eq!(percentile(&xs, 50.0), 1.0);
+        assert_eq!(percentile(&xs, 75.0), 9.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(percentile(&xs, p), percentile_sorted(&sorted, p), "p={p}");
+        }
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use json::{Json, JsonError};
 pub use queue::{BoundedQueue, QueueClosed};
 pub use service::{
-    AnalysisRequest, AnalysisResponse, AnalysisService, CacheProvenance, Certified,
+    AnalysisRequest, AnalysisResponse, AnalysisService, CacheProvenance, Certified, Rejection,
     ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
 };

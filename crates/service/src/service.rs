@@ -3,12 +3,18 @@
 //!
 //! Requests are `(Program, Topology, AnalysisConfig)` triples. Each is
 //! fingerprinted ([`systolic_core::request_fingerprint`]); a cache hit
-//! returns the shared `Arc`ed outcome immediately, a miss runs the full
-//! [`analyze`](systolic_core::analyze) pipeline (optionally chased by a
-//! [`verify_plan`](systolic_sim::verify_plan) simulation run) and
-//! publishes the outcome for every later identical request. Submission
-//! blocks when the bounded queue is full — backpressure, not unbounded
-//! buffering, is the overload response.
+//! returns the shared `Arc`ed outcome immediately, a miss runs the staged
+//! [`Analyzer`](systolic_core::Analyzer) pipeline (optionally chased by a
+//! [`verify_plan_compiled`](systolic_sim::verify_plan_compiled) simulation
+//! run) and publishes the outcome for every later identical request.
+//! Topology compilations are shared too: a second cache keyed by the
+//! [`CompiledTopology`] fingerprint means the misses of a batch that all
+//! name one topology compile it once and reuse the route closure.
+//! Rejections carry the analyzer's structured
+//! [`Diagnostic`](systolic_core::Diagnostic)s, so the wire layer can say
+//! *why* a program is unsafe. Submission blocks when the bounded queue is
+//! full — backpressure, not unbounded buffering, is the overload
+//! response.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -17,11 +23,12 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use systolic_core::{
-    analyze, request_fingerprint, AnalysisConfig, CommPlan, CoreError, Label, LabelingMethod,
+    request_fingerprint, AnalysisConfig, Analyzer, CommPlan, CompiledTopology, CoreError,
+    Diagnostic, Label, LabelingMethod,
 };
 use systolic_model::{Program, Topology};
-use systolic_report::Table;
-use systolic_sim::{verify_plan, SimConfig, VerifyReport};
+use systolic_report::{percentile_sorted, Table};
+use systolic_sim::{verify_plan_compiled, SimConfig, VerifyReport};
 use systolic_workloads::TrafficItem;
 
 use crate::{BoundedQueue, CacheConfig, CacheStats, ShardedCache};
@@ -40,6 +47,9 @@ pub struct ServiceConfig {
     pub verify: bool,
     /// Simulator configuration for verification runs.
     pub sim: SimConfig,
+    /// Shape of the shared topology-compilation cache
+    /// ([`CompiledTopology`] per distinct `(topology, config)`).
+    pub compilation_cache: CacheConfig,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +60,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             verify: false,
             sim: SimConfig::default(),
+            compilation_cache: CacheConfig { shards: 4, capacity_per_shard: 64 },
         }
     }
 }
@@ -110,6 +121,10 @@ pub struct Certified {
     pub verified: Option<VerifyReport>,
     /// Wall-clock cost of the original (cache-missing) computation.
     pub analysis_micros: u64,
+    /// Non-fatal structured diagnostics the analyzer emitted (warnings
+    /// such as a Section 6 fallback, advisories such as queue-extension
+    /// candidates).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Why the service could not certify a request.
@@ -154,11 +169,43 @@ impl From<CoreError> for ServiceError {
     }
 }
 
-/// The shared outcome of one fingerprint: a certified plan or the service
-/// error (deadlocked, infeasible, model error, panic). Errors are cached
-/// too — a deadlocked program resubmitted a thousand times costs one
-/// analysis.
-pub type ServiceOutcome = Arc<Result<Certified, ServiceError>>;
+/// A rejected request: the error plus the analyzer's structured
+/// diagnostics (machine-readable codes with the offending message/cell
+/// ids) — what the JSONL wire layer forwards to clients.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rejection {
+    /// The analysis (or internal) error.
+    pub error: ServiceError,
+    /// Structured diagnostics, in stage order. At least one for every
+    /// analysis rejection; empty only for internal errors (panics).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Rejection {
+    /// The underlying analysis error, if this rejection is one.
+    #[must_use]
+    pub fn as_analysis(&self) -> Option<&CoreError> {
+        self.error.as_analysis()
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for Rejection {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// The shared outcome of one fingerprint: a certified plan or the
+/// rejection (deadlocked, infeasible, model error, panic — plus its
+/// diagnostics). Errors are cached too — a deadlocked program resubmitted
+/// a thousand times costs one analysis.
+pub type ServiceOutcome = Arc<Result<Certified, Rejection>>;
 
 /// Whether a response was served from cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -270,6 +317,10 @@ const MAX_LATENCY_SAMPLES: usize = 100_000;
 struct Inner {
     queue: BoundedQueue<Job>,
     cache: ShardedCache<ServiceOutcome>,
+    /// `(topology, config)` fingerprint → shared compilation, so the
+    /// misses of one batch (and across batches) compile each distinct
+    /// topology once.
+    compilations: ShardedCache<Arc<CompiledTopology>>,
     config: ServiceConfig,
     latencies: Mutex<Latencies>,
 }
@@ -349,6 +400,7 @@ impl AnalysisService {
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache),
+            compilations: ShardedCache::new(config.compilation_cache),
             config,
             latencies: Mutex::new(Latencies::default()),
         });
@@ -409,6 +461,13 @@ impl AnalysisService {
         self.inner.cache.len()
     }
 
+    /// Counter snapshot of the topology-compilation cache (one entry per
+    /// distinct `(topology, config)` pair analyzed on a miss).
+    #[must_use]
+    pub fn compilation_cache_stats(&self) -> CacheStats {
+        self.inner.compilations.stats()
+    }
+
     /// Aggregate latency + cache statistics.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
@@ -419,20 +478,12 @@ impl AnalysisService {
             (lat.count, lat.sum_micros, lat.max_micros, lat.samples.clone())
         };
         samples.sort_unstable();
-        // Nearest-rank percentile over the already-sorted samples (same
-        // definition as `systolic_report::percentile`, without re-sorting).
-        let rank = |p: f64| -> f64 {
-            if samples.is_empty() {
-                return 0.0;
-            }
-            let r = ((p / 100.0 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-            samples[r - 1] as f64
-        };
+        let sorted: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
         ServiceStats {
             requests: count,
             mean_micros: if count == 0 { 0.0 } else { sum_micros as f64 / count as f64 },
-            p50_micros: rank(50.0),
-            p99_micros: rank(99.0),
+            p50_micros: percentile_sorted(&sorted, 50.0),
+            p99_micros: percentile_sorted(&sorted, 99.0),
             max_micros,
             cache: self.inner.cache.stats(),
         }
@@ -467,11 +518,14 @@ fn handle(inner: &Inner, seq: u64, request: AnalysisRequest) -> AnalysisResponse
             // hostile) request rejects that request instead of killing
             // the worker and, via the dropped reply channel, the client.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(&inner.config, &request)
+                compute(inner, &request)
             }));
             let computed: ServiceOutcome = Arc::new(match result {
-                Ok(outcome) => outcome.map_err(ServiceError::Analysis),
-                Err(panic) => Err(ServiceError::Panicked(panic_message(&panic))),
+                Ok(outcome) => outcome,
+                Err(panic) => Err(Rejection {
+                    error: ServiceError::Panicked(panic_message(&panic)),
+                    diagnostics: Vec::new(),
+                }),
             });
             // First writer wins: racing workers converge on one entry and
             // one shared outcome.
@@ -501,9 +555,33 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn compute(config: &ServiceConfig, request: &AnalysisRequest) -> Result<Certified, CoreError> {
+/// The shared compilation for a request's `(topology, config)` pair:
+/// served from the compilation cache, compiled and published on a miss
+/// (first writer wins, as with the plan cache).
+fn compiled_for(inner: &Inner, request: &AnalysisRequest) -> Arc<CompiledTopology> {
+    let key = CompiledTopology::fingerprint_of(&request.topology, &request.config);
+    match inner.compilations.get(key) {
+        Some(compiled) => compiled,
+        None => {
+            let built =
+                CompiledTopology::compile(&request.topology, &request.config).into_shared();
+            inner.compilations.insert(key, built).0
+        }
+    }
+}
+
+fn compute(inner: &Inner, request: &AnalysisRequest) -> Result<Certified, Rejection> {
     let start = Instant::now();
-    let analysis = analyze(&request.program, &request.topology, &request.config)?;
+    let compiled = compiled_for(inner, request);
+    let analyzer = Analyzer::new(Arc::clone(&compiled));
+    let (result, diagnostics) = analyzer.diagnose(&request.program).into_parts();
+    let diagnostics: Vec<Diagnostic> = diagnostics.into_iter().collect();
+    let analysis = match result {
+        Ok(analysis) => analysis,
+        Err(error) => {
+            return Err(Rejection { error: ServiceError::Analysis(error), diagnostics })
+        }
+    };
     let labeling_method = analysis.labeling_method();
     let plan = Arc::new(analysis.into_plan());
     let message_labels = request
@@ -511,11 +589,16 @@ fn compute(config: &ServiceConfig, request: &AnalysisRequest) -> Result<Certifie
         .message_ids()
         .map(|m| (request.program.message(m).name().to_owned(), plan.label(m)))
         .collect();
-    let verified = if config.verify {
-        Some(
-            verify_plan(&request.program, &request.topology, &plan, config.sim)
-                .map_err(CoreError::Model)?,
-        )
+    let verified = if inner.config.verify {
+        match verify_plan_compiled(&request.program, &compiled, &plan, inner.config.sim) {
+            Ok(report) => Some(report),
+            Err(error) => {
+                return Err(Rejection {
+                    error: ServiceError::Analysis(CoreError::Model(error)),
+                    diagnostics,
+                })
+            }
+        }
     } else {
         None
     };
@@ -527,6 +610,7 @@ fn compute(config: &ServiceConfig, request: &AnalysisRequest) -> Result<Certifie
         message_labels,
         verified,
         analysis_micros,
+        diagnostics,
     })
 }
 
@@ -586,8 +670,13 @@ mod tests {
         let a = service.submit(request.clone()).wait();
         assert!(matches!(
             a.outcome.as_ref(),
-            Err(ServiceError::Analysis(CoreError::ProgramDeadlocked { .. }))
+            Err(r) if matches!(r.error, ServiceError::Analysis(CoreError::ProgramDeadlocked { .. }))
         ));
+        let rejection = a.outcome.as_ref().as_ref().unwrap_err();
+        assert!(
+            !rejection.diagnostics.is_empty(),
+            "rejections carry structured diagnostics"
+        );
         let b = service.submit(request).wait();
         assert_eq!(b.provenance, CacheProvenance::Hit, "errors are cached too");
     }
@@ -632,6 +721,29 @@ mod tests {
     }
 
     #[test]
+    fn batch_misses_share_one_compilation() {
+        // 16 distinct programs on one topology: 16 plan-cache misses but a
+        // single topology compilation, shared across the batch.
+        let service = AnalysisService::new(ServiceConfig::default());
+        let requests: Vec<AnalysisRequest> = (1..=16)
+            .map(|reps| AnalysisRequest::new(format!("fig7x{reps}"), fig7(reps), fig7_topology()))
+            .collect();
+        let responses = service.run_batch(requests);
+        assert!(responses.iter().all(AnalysisResponse::is_certified));
+        assert_eq!(service.cache_entries(), 16);
+        let stats = service.compilation_cache_stats();
+        assert_eq!(stats.insertions, 1, "one compilation for the whole batch");
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits >= 15, "later misses reuse the compilation");
+
+        // A different topology (or config) compiles separately.
+        let mut other = AnalysisRequest::new("fig9", fig9(), fig9_topology());
+        other.config.queues_per_interval = 2;
+        assert!(service.submit(other).wait().is_certified());
+        assert_eq!(service.compilation_cache_stats().entries, 2);
+    }
+
+    #[test]
     fn backpressure_bounds_the_queue() {
         // One worker, tiny queue: a 50-request batch must still complete,
         // paced by backpressure rather than queue growth.
@@ -657,8 +769,16 @@ mod tests {
         let response = service.submit(request).wait();
         assert!(matches!(
             response.outcome.as_ref(),
-            Err(ServiceError::Analysis(CoreError::Infeasible { .. }))
+            Err(r) if matches!(r.error, ServiceError::Analysis(CoreError::Infeasible { .. }))
         ));
+        let rejection = response.outcome.as_ref().as_ref().unwrap_err();
+        let infeasible = rejection
+            .diagnostics
+            .iter()
+            .find(|d| d.code() == systolic_core::DiagnosticCode::Infeasible)
+            .expect("infeasible diagnostic");
+        assert!(!infeasible.cell_ids().is_empty());
+        assert!(!infeasible.message_ids().is_empty());
     }
 
     #[test]
@@ -679,7 +799,7 @@ mod tests {
         let response = service.submit(poisoned).wait();
         assert!(matches!(
             response.outcome.as_ref(),
-            Err(ServiceError::Panicked(_))
+            Err(r) if matches!(r.error, ServiceError::Panicked(_))
         ));
         // The pool survives and serves later requests normally.
         let healthy = service.submit(fig7_request()).wait();

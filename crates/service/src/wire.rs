@@ -28,8 +28,23 @@
 //! `status` is `certified` or `rejected` (with `error` holding the
 //! analysis error); malformed request lines are answered with `status:
 //! "invalid"` and the parse error.
+//!
+//! Rejected (unsafe) responses — and certified responses with warnings —
+//! carry a `diagnostics` array of structured findings:
+//!
+//! ```json
+//! {"id": "d", "status": "rejected", "error_kind": "deadlocked", "...": "...",
+//!  "diagnostics": [{"code": "E-DEADLOCK", "severity": "error",
+//!                   "message": "program is deadlocked: ...",
+//!                   "messages": [0, 1], "cells": [0, 1]}]}
+//! ```
+//!
+//! `code` is a stable machine-readable
+//! [`DiagnosticCode`](systolic_core::DiagnosticCode) string; `messages` and
+//! `cells` are the offending message/cell ids (declaration order indexes),
+//! present only when non-empty.
 
-use systolic_core::{CoreError, Lookahead, LookaheadLimits};
+use systolic_core::{CoreError, Diagnostic, Lookahead, LookaheadLimits};
 use systolic_model::{parse_program, program_to_text, ModelError, Topology};
 use systolic_workloads::TrafficItem;
 
@@ -230,12 +245,22 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
                 "analysis_micros".to_owned(),
                 Json::Num(certified.analysis_micros as f64),
             ));
+            if !certified.diagnostics.is_empty() {
+                members.push((
+                    "diagnostics".to_owned(),
+                    diagnostics_to_json(&certified.diagnostics),
+                ));
+            }
         }
-        Err(error) => {
-            members.push(("error".to_owned(), Json::Str(error.to_string())));
+        Err(rejection) => {
+            members.push(("error".to_owned(), Json::Str(rejection.error.to_string())));
             members.push((
                 "error_kind".to_owned(),
-                Json::Str(error_kind(error).to_owned()),
+                Json::Str(error_kind(&rejection.error).to_owned()),
+            ));
+            members.push((
+                "diagnostics".to_owned(),
+                diagnostics_to_json(&rejection.diagnostics),
             ));
         }
     }
@@ -245,6 +270,46 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
         Json::Str(format!("{:#034x}", response.fingerprint)),
     ));
     Json::Obj(members)
+}
+
+/// Renders structured diagnostics as a JSON array. Message/cell id arrays
+/// appear only when non-empty.
+fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> Json {
+    Json::Arr(
+        diagnostics
+            .iter()
+            .map(|d| {
+                let mut members = vec![
+                    ("code".to_owned(), Json::Str(d.code().as_str().to_owned())),
+                    (
+                        "severity".to_owned(),
+                        Json::Str(d.severity().as_str().to_owned()),
+                    ),
+                    ("message".to_owned(), Json::Str(d.message().to_owned())),
+                ];
+                if !d.message_ids().is_empty() {
+                    members.push((
+                        "messages".to_owned(),
+                        Json::Arr(
+                            d.message_ids()
+                                .iter()
+                                .map(|m| Json::Num(m.index() as f64))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if !d.cell_ids().is_empty() {
+                    members.push((
+                        "cells".to_owned(),
+                        Json::Arr(
+                            d.cell_ids().iter().map(|c| Json::Num(c.index() as f64)).collect(),
+                        ),
+                    ));
+                }
+                Json::Obj(members)
+            })
+            .collect(),
+    )
 }
 
 fn error_kind(error: &ServiceError) -> &'static str {
@@ -414,6 +479,23 @@ mod tests {
         assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
         assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("deadlocked"));
         assert!(json.get("error").and_then(Json::as_str).unwrap().contains("deadlocked"));
+
+        // Structured diagnostics ride along: code, severity, and the
+        // offending message/cell ids, machine-readable end to end.
+        let Some(Json::Arr(diagnostics)) = json.get("diagnostics") else {
+            panic!("rejected responses carry a diagnostics array");
+        };
+        assert!(!diagnostics.is_empty());
+        let d = &diagnostics[0];
+        assert_eq!(d.get("code").and_then(Json::as_str), Some("E-DEADLOCK"));
+        assert_eq!(d.get("severity").and_then(Json::as_str), Some("error"));
+        let Some(Json::Arr(cells)) = d.get("cells") else {
+            panic!("deadlock diagnostic names the stuck cells");
+        };
+        assert_eq!(cells.len(), 2);
+        assert!(matches!(d.get("messages"), Some(Json::Arr(m)) if !m.is_empty()));
+        // The rendered line still parses back as JSON.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
     }
 
     #[test]

@@ -524,7 +524,7 @@ pub fn run_simulation(
 mod tests {
     use super::*;
     use crate::{CompatiblePolicy, FifoPolicy, GreedyPolicy, StaticPolicy};
-    use systolic_core::{analyze, AnalysisConfig, Lookahead};
+    use systolic_core::{AnalysisConfig, Analyzer, Lookahead};
     use systolic_model::parse_program;
     use systolic_workloads as wl;
 
@@ -542,13 +542,11 @@ mod tests {
         queues: usize,
         lookahead: Lookahead,
     ) -> Box<dyn AssignmentPolicy> {
-        let plan = analyze(
-            program,
-            topology,
-            &AnalysisConfig { queues_per_interval: queues, lookahead },
-        )
-        .expect("analysis succeeds")
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: queues, lookahead };
+        let plan = Analyzer::for_topology(topology, &config)
+            .analyze(program)
+            .expect("analysis succeeds")
+            .into_plan();
         Box::new(CompatiblePolicy::new(plan))
     }
 
@@ -680,13 +678,8 @@ mod tests {
         assert!(one.is_deadlocked(), "Fig. 9 with one queue deadlocks");
 
         // Paper: two queues, A and B statically separated => no deadlock.
-        let plan = analyze(
-            &p,
-            &t,
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-        )
-        .unwrap()
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = Analyzer::for_topology(&t, &config).analyze(&p).unwrap().into_plan();
         let static_policy = StaticPolicy::new(&plan, 2).unwrap();
         let out = run_simulation(&p, &t, Box::new(static_policy), buffered(2, 1)).unwrap();
         assert!(out.is_completed());
@@ -819,12 +812,10 @@ mod tests {
             (wl::wavefront(3, 3, 2).unwrap(), wl::wavefront_topology(3, 3)),
         ];
         for (program, topology) in cases {
-            let analysis = analyze(
-                &program,
-                &topology,
-                &AnalysisConfig { queues_per_interval: 8, ..Default::default() },
-            )
-            .expect("workloads are deadlock-free");
+            let config = AnalysisConfig { queues_per_interval: 8, ..Default::default() };
+            let analysis = Analyzer::for_topology(&topology, &config)
+                .analyze(&program)
+                .expect("workloads are deadlock-free");
             let policy = Box::new(CompatiblePolicy::new(analysis.into_plan()));
             let out = run_simulation(&program, &topology, policy, buffered(8, 2)).unwrap();
             assert!(out.is_completed(), "workload failed: {out:?}");

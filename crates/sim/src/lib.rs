@@ -26,7 +26,7 @@
 //! completes.
 //!
 //! ```
-//! use systolic_core::{analyze, AnalysisConfig};
+//! use systolic_core::{AnalysisConfig, Analyzer};
 //! use systolic_sim::{run_simulation, CompatiblePolicy, FifoPolicy, SimConfig};
 //! use systolic_workloads::{fig7, fig7_topology};
 //!
@@ -38,7 +38,8 @@
 //! let naive = run_simulation(&program, &topology, Box::new(FifoPolicy::new()), config)?;
 //! assert!(naive.is_deadlocked());
 //!
-//! let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+//! let analyzer = Analyzer::for_topology(&topology, &AnalysisConfig::default());
+//! let plan = analyzer.analyze(&program)?.into_plan();
 //! let safe = run_simulation(
 //!     &program,
 //!     &topology,
@@ -72,4 +73,6 @@ pub use policy::{
 pub use pool::{PoolView, QueuePools};
 pub use queue::{HwQueue, QueueConfig, Word};
 pub use stats::{AssignmentEvent, RunStats};
-pub use verify::{verify_batch, verify_plan, VerifyReport};
+pub use verify::{
+    verify_batch, verify_batch_compiled, verify_plan, verify_plan_compiled, VerifyReport,
+};

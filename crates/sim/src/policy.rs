@@ -314,7 +314,7 @@ impl AssignmentPolicy for CompatiblePolicy {
 mod tests {
     use super::*;
     use crate::{QueueConfig, QueuePools};
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_model::{CellId, Topology};
 
     fn hop01() -> Hop {
@@ -353,7 +353,8 @@ mod tests {
 
     fn fig7_plan() -> CommPlan {
         let p = systolic_workloads::fig7(3);
-        analyze(&p, &Topology::linear(4), &AnalysisConfig::default())
+        Analyzer::for_topology(&Topology::linear(4), &AnalysisConfig::default())
+            .analyze(&p)
             .unwrap()
             .into_plan()
     }
@@ -403,13 +404,11 @@ mod tests {
     fn compatible_reserves_whole_equal_label_group() {
         // Fig. 9: A and B share a label on hop c0->c1.
         let p = systolic_workloads::fig9();
-        let plan = analyze(
-            &p,
-            &Topology::linear(3),
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-        )
-        .unwrap()
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = Analyzer::for_topology(&Topology::linear(3), &config)
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
         let hop = Hop::new(CellId::new(0), CellId::new(1));
         let a = p.message_id("A").unwrap();
         let b = p.message_id("B").unwrap();
@@ -457,7 +456,7 @@ mod tests {
 mod more_policy_tests {
     use super::*;
     use crate::{QueueConfig, QueuePools};
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_model::{CellId, Topology};
 
     /// FIFO keeps its arrival order across calls: a request that arrived
@@ -491,7 +490,8 @@ mod more_policy_tests {
     fn compatible_orders_each_interval_independently() {
         // Fig. 7: C crosses three intervals; B competes only on the last.
         let p = systolic_workloads::fig7(2);
-        let plan = analyze(&p, &Topology::linear(4), &AnalysisConfig::default())
+        let plan = Analyzer::for_topology(&Topology::linear(4), &AnalysisConfig::default())
+            .analyze(&p)
             .unwrap()
             .into_plan();
         let b = p.message_id("B").unwrap();
@@ -518,13 +518,11 @@ mod more_policy_tests {
     #[test]
     fn static_queue_of_is_stable() {
         let p = systolic_workloads::fig3_messages();
-        let plan = analyze(
-            &p,
-            &Topology::linear(4),
-            &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
-        )
-        .unwrap()
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let plan = Analyzer::for_topology(&Topology::linear(4), &config)
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
         let policy = StaticPolicy::new(&plan, 4).unwrap();
         let a = p.message_id("A").unwrap();
         for iv in plan.route(a).intervals() {

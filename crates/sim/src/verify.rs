@@ -7,7 +7,7 @@
 //! (`systolic-service`) uses it to chase cached analyses with an end-to-end
 //! run, and [`verify_batch`] replays a whole batch of certified plans.
 
-use systolic_core::CommPlan;
+use systolic_core::{CommPlan, CompiledTopology};
 use systolic_model::{ModelError, Program, Topology};
 
 use crate::{run_simulation, CompatiblePolicy, RunOutcome, SimConfig};
@@ -40,14 +40,15 @@ pub struct VerifyReport {
 /// # Examples
 ///
 /// ```
-/// use systolic_core::{analyze, AnalysisConfig};
+/// use systolic_core::{AnalysisConfig, Analyzer};
 /// use systolic_sim::{verify_plan, SimConfig};
 /// use systolic_workloads::{fig7, fig7_topology};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let program = fig7(3);
 /// let topology = fig7_topology();
-/// let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+/// let analyzer = Analyzer::for_topology(&topology, &AnalysisConfig::default());
+/// let plan = analyzer.analyze(&program)?.into_plan();
 /// let report = verify_plan(&program, &topology, &plan, SimConfig::default())?;
 /// assert!(report.completed);
 /// # Ok(())
@@ -78,6 +79,23 @@ pub fn verify_plan(
     })
 }
 
+/// [`verify_plan`] for callers holding a [`CompiledTopology`] (the
+/// serving layer), so they need not carry the `&Topology` separately.
+/// Convenience adapter: the simulator builds its own routing state, so
+/// this costs exactly what [`verify_plan`] does.
+///
+/// # Errors
+///
+/// As [`verify_plan`].
+pub fn verify_plan_compiled(
+    program: &Program,
+    compiled: &CompiledTopology,
+    plan: &CommPlan,
+    config: SimConfig,
+) -> Result<VerifyReport, ModelError> {
+    verify_plan(program, compiled.topology(), plan, config)
+}
+
 /// Replays every `(program, topology, plan)` triple in a batch.
 ///
 /// # Errors
@@ -94,23 +112,68 @@ pub fn verify_batch<'a>(
         .collect()
 }
 
+/// Replays a batch of `(program, plan)` pairs that all share one
+/// precompiled topology — the common shape of a service batch. Like
+/// [`verify_plan_compiled`], this is an adapter over [`verify_plan`]:
+/// each replay still builds its own simulator state (sharing that setup
+/// across a batch is an open ROADMAP item).
+///
+/// # Errors
+///
+/// Fails fast on the first setup error; per-run outcomes are in the
+/// reports.
+pub fn verify_batch_compiled<'a>(
+    batch: impl IntoIterator<Item = (&'a Program, &'a CommPlan)>,
+    compiled: &CompiledTopology,
+    config: SimConfig,
+) -> Result<Vec<VerifyReport>, ModelError> {
+    batch
+        .into_iter()
+        .map(|(program, plan)| verify_plan_compiled(program, compiled, plan, config))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_workloads::{fig7, fig7_topology, fig9, fig9_topology};
 
     #[test]
     fn certified_plan_completes() {
         let program = fig7(3);
         let topology = fig7_topology();
-        let plan = analyze(&program, &topology, &AnalysisConfig::default())
-            .unwrap()
-            .into_plan();
+        let analyzer = Analyzer::for_topology(&topology, &AnalysisConfig::default());
+        let plan = analyzer.analyze(&program).unwrap().into_plan();
         let report = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
         assert!(report.completed);
         assert_eq!(report.words_delivered, program.total_words() as u64);
         assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn compiled_verification_matches_direct() {
+        let program = fig7(3);
+        let topology = fig7_topology();
+        let compiled =
+            CompiledTopology::compile(&topology, &AnalysisConfig::default()).into_shared();
+        let analyzer = Analyzer::new(std::sync::Arc::clone(&compiled));
+        let plan = analyzer.analyze(&program).unwrap().into_plan();
+        let direct = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
+        let via_compiled =
+            verify_plan_compiled(&program, &compiled, &plan, SimConfig::default()).unwrap();
+        assert_eq!(direct.completed, via_compiled.completed);
+        assert_eq!(direct.cycles, via_compiled.cycles);
+        assert_eq!(direct.words_delivered, via_compiled.words_delivered);
+
+        let reports = verify_batch_compiled(
+            [(&program, &plan), (&program, &plan)],
+            &compiled,
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.completed));
     }
 
     #[test]
@@ -121,7 +184,10 @@ mod tests {
         let program = fig9();
         let topology = fig9_topology();
         let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-        let plan = analyze(&program, &topology, &config).unwrap().into_plan();
+        let plan = Analyzer::for_topology(&topology, &config)
+            .analyze(&program)
+            .unwrap()
+            .into_plan();
         assert_eq!(plan.requirements().max_per_interval(), 2);
         let report = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
         assert!(report.completed);
@@ -131,11 +197,14 @@ mod tests {
     fn batch_reports_every_run() {
         let p7 = fig7(3);
         let t7 = fig7_topology();
-        let plan7 = analyze(&p7, &t7, &AnalysisConfig::default()).unwrap().into_plan();
+        let plan7 = Analyzer::for_topology(&t7, &AnalysisConfig::default())
+            .analyze(&p7)
+            .unwrap()
+            .into_plan();
         let p9 = fig9();
         let t9 = fig9_topology();
         let c9 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-        let plan9 = analyze(&p9, &t9, &c9).unwrap().into_plan();
+        let plan9 = Analyzer::for_topology(&t9, &c9).analyze(&p9).unwrap().into_plan();
 
         let reports = verify_batch(
             [(&p7, &t7, &plan7), (&p9, &t9, &plan9)],

@@ -272,7 +272,7 @@ impl Controller {
 mod tests {
     use super::*;
     use std::thread;
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_model::CellId;
 
     fn live() -> Arc<Liveness> {
@@ -310,9 +310,13 @@ mod tests {
         // Fig. 7 plan: on interval c2-c3 (ids 2,3), C (label 2) precedes
         // B (label 3).
         let p = systolic_workloads::fig7(2);
-        let plan = analyze(&p, &systolic_workloads::fig7_topology(), &AnalysisConfig::default())
-            .unwrap()
-            .into_plan();
+        let plan = Analyzer::for_topology(
+            &systolic_workloads::fig7_topology(),
+            &AnalysisConfig::default(),
+        )
+        .analyze(&p)
+        .unwrap()
+        .into_plan();
         let iv = Interval::new(CellId::new(2), CellId::new(3));
         let hop = Hop::new(CellId::new(2), CellId::new(3));
         let l = live();
@@ -368,19 +372,17 @@ mod tests {
 mod static_mode_tests {
     use super::*;
     use std::sync::Arc;
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_model::CellId;
 
     #[test]
     fn static_mode_dedicates_distinct_slots() {
         let p = systolic_workloads::fig9();
-        let plan = analyze(
-            &p,
-            &systolic_workloads::fig9_topology(),
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-        )
-        .unwrap()
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = Analyzer::for_topology(&systolic_workloads::fig9_topology(), &config)
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
         let iv = Interval::new(CellId::new(0), CellId::new(1));
         let hop = Hop::new(CellId::new(0), CellId::new(1));
         let live = Arc::new(crate::Liveness::default());

@@ -256,20 +256,36 @@ pub fn run_threaded(
     }
 }
 
+/// [`run_threaded`] for callers holding a
+/// [`CompiledTopology`](systolic_core::CompiledTopology), so they need
+/// not carry the `&Topology` separately. Convenience adapter: the
+/// runtime builds its own routing state, so this costs exactly what
+/// [`run_threaded`] does.
+///
+/// # Errors
+///
+/// As [`run_threaded`].
+pub fn run_threaded_compiled(
+    program: &Program,
+    compiled: &systolic_core::CompiledTopology,
+    mode: ControlMode,
+    config: ThreadedConfig,
+) -> Result<ThreadedOutcome, ModelError> {
+    run_threaded(program, compiled.topology(), mode, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use systolic_core::{analyze, AnalysisConfig};
+    use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_workloads as wl;
 
     fn compatible(program: &Program, topology: &Topology, queues: usize) -> ControlMode {
-        let plan = analyze(
-            program,
-            topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        )
-        .expect("analysis succeeds")
-        .into_plan();
+        let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let plan = Analyzer::for_topology(topology, &config)
+            .analyze(program)
+            .expect("analysis succeeds")
+            .into_plan();
         ControlMode::Compatible(plan)
     }
 

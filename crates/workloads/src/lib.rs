@@ -62,5 +62,5 @@ pub use ring::{ring_topology, token_ring};
 pub use schedule::ScheduleBuilder;
 pub use seqalign::{seq_align, seq_align_strict, seq_align_topology};
 pub use sorting::{odd_even_sort, sort_topology};
-pub use traffic::{traffic, TrafficConfig, TrafficItem};
+pub use traffic::{distinct_topologies, traffic, TrafficConfig, TrafficItem};
 pub use wavefront::{wavefront, wavefront_topology};

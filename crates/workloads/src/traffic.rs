@@ -213,6 +213,25 @@ pub fn traffic(config: &TrafficConfig, seed: u64, count: usize) -> Vec<TrafficIt
         .collect()
 }
 
+/// The distinct topologies of a traffic stream, in first-seen order.
+///
+/// Mixed traffic names far fewer topologies than programs — hot kernels
+/// repeat theirs, and parameter sweeps share per-family shapes. That
+/// reuse is exactly what the serving layer's shared-compilation cache
+/// (`systolic_core::CompiledTopology` keyed by content fingerprint)
+/// exploits: one compilation per entry returned here can serve every
+/// analysis of the stream.
+#[must_use]
+pub fn distinct_topologies(items: &[TrafficItem]) -> Vec<Topology> {
+    let mut seen: Vec<Topology> = Vec::new();
+    for item in items {
+        if !seen.contains(&item.topology) {
+            seen.push(item.topology.clone());
+        }
+    }
+    seen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +274,25 @@ mod tests {
                 item.name
             );
             assert!(item.queues_per_interval >= 1);
+        }
+    }
+
+    #[test]
+    fn mixed_traffic_reuses_a_small_topology_set() {
+        let cfg = TrafficConfig::default();
+        let stream = traffic(&cfg, 23, 200);
+        let distinct = distinct_topologies(&stream);
+        assert!(!distinct.is_empty());
+        assert!(
+            distinct.len() * 2 < stream.len(),
+            "200 requests should share topologies heavily, got {} distinct",
+            distinct.len()
+        );
+        // First-seen order, no duplicates.
+        for (i, a) in distinct.iter().enumerate() {
+            for b in &distinct[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

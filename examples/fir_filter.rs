@@ -5,7 +5,7 @@
 //! cargo run --example fir_filter -- [taps] [inputs]
 //! ```
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::report::Table;
 use systolic::sim::{run_simulation, CompatiblePolicy, CostModel, QueueConfig, RunOutcome, SimConfig};
 use systolic::workloads::{fir, fir_topology};
@@ -24,11 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.total_words()
     );
 
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )?;
+    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program)?;
     println!(
         "analysis: deadlock-free, {} queue(s) per interval required\n",
         analysis.plan().requirements().max_per_interval()

@@ -10,7 +10,7 @@
 //! skewed matmul dataflow (A east, B south) on a mesh, plus a wavefront
 //! sweep, reporting per-interval queue requirements.
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::report::Table;
 use systolic::sim::{run_simulation, CompatiblePolicy, RunOutcome, SimConfig};
 use systolic::workloads::{matmul_topology, mesh_matmul, wavefront, wavefront_topology};
@@ -29,11 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.total_words()
     );
 
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )?;
+    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program)?;
     let mut table = Table::new(["interval", "queues required"]);
     for (interval, need) in analysis.plan().requirements().iter_intervals() {
         table.row([interval.to_string(), need.to_string()]);
@@ -56,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sweep = wavefront(rows, cols, 2)?;
     let sweep_top = wavefront_topology(rows, cols);
-    let analysis = analyze(
-        &sweep,
-        &sweep_top,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )?;
+    let analysis = Analyzer::for_topology(&sweep_top, &config).analyze(&sweep)?;
     let outcome = run_simulation(
         &sweep,
         &sweep_top,

@@ -7,9 +7,12 @@
 //! Builds the Fig. 7 program (three messages competing for single-queue
 //! intervals), shows the naive runtime deadlocking, then runs the paper's
 //! pipeline — crossing-off, consistent labeling, compatible queue
-//! assignment — and shows the same program completing.
+//! assignment — through the staged `Analyzer` API and shows the same
+//! program completing. Finally analyzes a genuinely deadlocked program to
+//! show the structured diagnostics a rejection carries.
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer, CompiledTopology};
+use systolic::model::parse_program;
 use systolic::sim::{run_simulation, CompatiblePolicy, FifoPolicy, RunOutcome, SimConfig};
 use systolic::workloads::{fig7, fig7_topology};
 
@@ -32,15 +35,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => println!("unexpected outcome: {other:?}"),
     }
 
-    // 2. The paper's analysis produces consistent labels...
-    let analysis = analyze(&program, &topology, &AnalysisConfig::default())?;
+    // 2. Compile the topology once, then run the paper's staged analysis:
+    //    crossing-off, consistent labeling, queue requirements.
+    let compiled =
+        CompiledTopology::compile(&topology, &AnalysisConfig::default()).into_shared();
+    let analyzer = Analyzer::new(compiled);
+    let session = analyzer.session(&program);
+    println!(
+        "crossing-off: deadlock-free in {} steps",
+        session.classification()?.trace().steps().len()
+    );
     println!("labels (consistent, per Section 6):");
-    for (m, label) in analysis.plan().labeling().iter() {
+    for (m, label) in session.labeling()?.iter() {
         println!("  {} -> {}", program.message(m).name(), label);
     }
+    println!(
+        "queue requirement: {} per interval",
+        session.requirements()?.max_per_interval()
+    );
 
     // 3. ...and compatible assignment completes the run (Theorem 1).
-    let plan = analysis.into_plan();
+    let plan = session.plan()?.clone();
     let safe = run_simulation(
         &program,
         &topology,
@@ -55,6 +70,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         other => println!("unexpected outcome: {other:?}"),
+    }
+
+    // 4. A genuinely deadlocked program is rejected with structured
+    //    diagnostics: a machine-readable code plus the offending ids.
+    let deadlocked = parse_program(
+        "cells 2\n\
+         message A: c0 -> c1\n\
+         message B: c1 -> c0\n\
+         program c0 { R(B) W(A) }\n\
+         program c1 { R(A) W(B) }\n",
+    )?;
+    let bad = Analyzer::for_topology(&systolic::model::Topology::linear(2), &AnalysisConfig::default());
+    let outcome = bad.diagnose(&deadlocked);
+    println!("\ncross-reading pair:");
+    for diagnostic in outcome.diagnostics() {
+        println!(
+            "  {} (cells {:?}, messages {:?})",
+            diagnostic,
+            diagnostic.cell_ids(),
+            diagnostic.message_ids()
+        );
     }
     Ok(())
 }

@@ -10,7 +10,7 @@
 //! 1 is scheduling independent); the naive FIFO discipline deadlocks and is
 //! caught by the quiescence watchdog.
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::threaded::{run_threaded, ControlMode, ThreadedConfig, ThreadedOutcome};
 use systolic::workloads::{fig2_fir, fig2_topology, fig7, fig7_topology, seq_align, seq_align_topology};
 
@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // regardless of scheduling.
     let program = fig7(3);
     let topology = fig7_topology();
+    // One compilation for all five runs.
+    let analyzer = Analyzer::for_topology(&topology, &AnalysisConfig::default());
     for attempt in 1..=5 {
-        let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+        let plan = analyzer.analyze(&program)?.into_plan();
         let outcome = run_threaded(
             &program,
             &topology,
@@ -47,12 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The FIR filter and a P-NAC-style alignment, on threads.
     let fir = fig2_fir();
     let fir_top = fig2_topology();
-    let plan = analyze(
-        &fir,
-        &fir_top,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )?
-    .into_plan();
+    let fir_config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let plan = Analyzer::for_topology(&fir_top, &fir_config).analyze(&fir)?.into_plan();
     let outcome = run_threaded(
         &fir,
         &fir_top,
@@ -63,12 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let align = seq_align(4, 16)?;
     let align_top = seq_align_topology(4);
-    let plan = analyze(
-        &align,
-        &align_top,
-        &AnalysisConfig { queues_per_interval: 3, ..Default::default() },
-    )?
-    .into_plan();
+    let align_config = AnalysisConfig { queues_per_interval: 3, ..Default::default() };
+    let plan = Analyzer::for_topology(&align_top, &align_config)
+        .analyze(&align)?
+        .into_plan();
     let outcome = run_threaded(
         &align,
         &align_top,

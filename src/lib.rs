@@ -7,7 +7,9 @@
 //! * [`model`] — programs, messages, topologies, routes (Section 2);
 //! * [`core`] — the paper's contribution: the crossing-off procedure,
 //!   lookahead, consistent labeling, compatible-assignment requirements and
-//!   the end-to-end [`core::analyze`] pipeline (Sections 3–8);
+//!   the staged [`core::Analyzer`] pipeline over precompiled topologies
+//!   ([`core::CompiledTopology`]), with structured diagnostics
+//!   (Sections 3–8);
 //! * [`sim`] — a cycle-stepped array simulator with hardware queues, I/O
 //!   forwarding, runtime assignment policies and deadlock diagnosis;
 //! * [`threaded`] — an OS-thread runtime demonstrating that Theorem 1 is
@@ -21,7 +23,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use systolic::core::{analyze, AnalysisConfig};
+//! use systolic::core::{AnalysisConfig, Analyzer};
 //! use systolic::sim::{run_simulation, CompatiblePolicy, FifoPolicy, SimConfig};
 //! use systolic::workloads::{fig7, fig7_topology};
 //!
@@ -40,7 +42,8 @@
 //! assert!(naive.is_deadlocked());
 //!
 //! // ...while the paper's compile-time labels + compatible assignment complete.
-//! let plan = analyze(&program, &topology, &AnalysisConfig::default())?.into_plan();
+//! let analyzer = Analyzer::for_topology(&topology, &AnalysisConfig::default());
+//! let plan = analyzer.analyze(&program)?.into_plan();
 //! let safe = run_simulation(
 //!     &program,
 //!     &topology,

@@ -3,7 +3,7 @@
 //! would.
 
 use systolic::core::{
-    analyze, classify, classify_with, AnalysisConfig, CoreError, Label, Lookahead,
+    classify, classify_with, AnalysisConfig, Analyzer, CoreError, Label, Lookahead,
     LookaheadLimits,
 };
 use systolic::model::Topology;
@@ -29,13 +29,11 @@ fn fig1_systolic_beats_memory_to_memory() {
     let mut cycles = Vec::new();
     let mut accesses = Vec::new();
     for cost in [CostModel::systolic(), CostModel::memory_to_memory()] {
-        let plan = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-        )
-        .unwrap()
-        .into_plan();
+        let config2 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = Analyzer::for_topology(&topology, &config2)
+            .analyze(&program)
+            .unwrap()
+            .into_plan();
         let config = SimConfig { cost, ..sim(2, 1) };
         let out =
             run_simulation(&program, &topology, Box::new(CompatiblePolicy::new(plan)), config)
@@ -76,13 +74,11 @@ fn fig2_and_fig4_crossing_off_trace_matches_figure() {
 fn fig3_static_assignment_gives_each_message_a_queue_sequence() {
     let program = wl::fig3_messages();
     let topology = Topology::linear(4);
-    let plan = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 4, ..Default::default() },
-    )
-    .unwrap()
-    .into_plan();
+    let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let plan = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .unwrap()
+        .into_plan();
     let policy = StaticPolicy::new(&plan, 4).unwrap();
     let a = program.message_id("A").unwrap();
     // A crosses all three intervals and owns a queue on each.
@@ -132,7 +128,9 @@ fn fig7_full_story() {
         let topology = wl::fig7_topology();
 
         // Labels 1, 3, 2 (paper, Section 6 worked example).
-        let analysis = analyze(&program, &topology, &AnalysisConfig::default()).unwrap();
+        let analysis = Analyzer::for_topology(&topology, &AnalysisConfig::default())
+            .analyze(&program)
+            .unwrap();
         let labels = analysis.plan().labeling();
         assert_eq!(labels.label(program.message_id("A").unwrap()), Label::integer(1));
         assert_eq!(labels.label(program.message_id("B").unwrap()), Label::integer(3));
@@ -164,19 +162,17 @@ fn fig8_fig9_need_two_queues() {
         (wl::fig9(), wl::fig9_topology()),
     ] {
         // One queue: analysis rejects (assumption ii), naive runtime deadlocks.
-        let err = analyze(&program, &topology, &AnalysisConfig::default()).unwrap_err();
+        let err = Analyzer::for_topology(&topology, &AnalysisConfig::default())
+            .analyze(&program)
+            .unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
         let out = run_simulation(&program, &topology, Box::new(FifoPolicy::new()), sim(1, 1))
             .unwrap();
         assert!(out.is_deadlocked());
 
         // Two queues: feasible and completes.
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-        )
-        .unwrap();
+        let config2 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &config2).analyze(&program).unwrap();
         let out = run_simulation(
             &program,
             &topology,
@@ -217,15 +213,13 @@ fn lookahead_pipeline_reserves_queues_for_colabeled_messages() {
     // both at once.
     let program = wl::fig5_p1();
     let topology = Topology::linear(2);
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig {
-            lookahead: Lookahead::PerQueueCapacity(2),
-            queues_per_interval: 2,
-        },
-    )
-    .unwrap();
+    let lookahead_config = AnalysisConfig {
+        lookahead: Lookahead::PerQueueCapacity(2),
+        queues_per_interval: 2,
+    };
+    let analysis = Analyzer::for_topology(&topology, &lookahead_config)
+        .analyze(&program)
+        .unwrap();
     let out = run_simulation(
         &program,
         &topology,

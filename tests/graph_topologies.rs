@@ -3,7 +3,7 @@
 //! and other distributed computing systems using any interconnection
 //! topology" (Section 2.1).
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::model::{CellId, Topology};
 use systolic::sim::{run_simulation, CompatiblePolicy, SimConfig};
 use systolic::workloads::ScheduleBuilder;
@@ -29,12 +29,8 @@ fn star_graph_relay_completes() {
     s.transfer_n(m34, 0, 1, 3);
     let program = s.build().unwrap();
 
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )
-    .unwrap();
+    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
     // Both messages relay through the centre but on different intervals.
     let routes = analysis.plan().routes();
     assert_eq!(routes.route(m12).cells(), &[c(1), c(0), c(2)]);
@@ -56,7 +52,9 @@ fn star_graph_relay_completes() {
 fn ring_with_wraparound_completes() {
     let program = systolic::workloads::token_ring(5, 4).unwrap();
     let topology = systolic::workloads::ring_topology(5);
-    let analysis = analyze(&program, &topology, &AnalysisConfig::default()).unwrap();
+    let analysis = Analyzer::for_topology(&topology, &AnalysisConfig::default())
+        .analyze(&program)
+        .unwrap();
     let out = run_simulation(
         &program,
         &topology,
@@ -77,12 +75,8 @@ fn mesh_corner_turn_routes_and_completes() {
     s.transfer_n(m, 0, 1, 4);
     let program = s.build().unwrap();
 
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 1, ..Default::default() },
-    )
-    .unwrap();
+    let config = AnalysisConfig { queues_per_interval: 1, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
     assert_eq!(
         analysis.plan().route(m).cells(),
         &[c(0), c(1), c(2), c(5), c(8)],

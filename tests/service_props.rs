@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use systolic::core::{analyze, CoreError};
+use systolic::core::{Analyzer, CoreError};
 use systolic::service::{
     AnalysisRequest, AnalysisService, CacheProvenance, Certified, ServiceConfig, ServiceOutcome,
 };
@@ -73,7 +73,8 @@ proptest! {
         assert_same_outcome(&miss.outcome, &hit.outcome)?;
 
         // Both agree with a direct, service-free analysis.
-        let direct = analyze(&request.program, &request.topology, &request.config);
+        let direct = Analyzer::for_topology(&request.topology, &request.config)
+            .analyze(&request.program);
         match (&direct, certified_of(&hit.outcome)) {
             (Ok(analysis), Some(certified)) => {
                 prop_assert_eq!(

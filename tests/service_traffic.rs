@@ -1,10 +1,10 @@
 //! End-to-end service test: ≥ 500 mixed workload requests through the
 //! sharded, cached analysis service, cross-checked against direct
-//! `analyze` calls.
+//! `Analyzer` runs.
 
 use std::collections::HashMap;
 
-use systolic::core::{analyze, request_fingerprint};
+use systolic::core::{request_fingerprint, Analyzer};
 use systolic::service::{
     AnalysisRequest, AnalysisResponse, AnalysisService, CacheConfig, CacheProvenance,
     ServiceConfig,
@@ -43,7 +43,8 @@ fn five_hundred_mixed_requests_match_direct_analysis() {
         assert_eq!(fingerprint, response.fingerprint);
 
         let direct = direct_cache.entry(fingerprint).or_insert_with(|| {
-            analyze(&request.program, &request.topology, &request.config)
+            Analyzer::for_topology(&request.topology, &request.config)
+                .analyze(&request.program)
                 .ok()
                 .map(|a| a.plan().requirements().max_per_interval())
         });

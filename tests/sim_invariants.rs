@@ -2,7 +2,7 @@
 //! conservation, and stat sanity.
 
 use proptest::prelude::*;
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::sim::{
     run_simulation, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig, RunOutcome,
     SimConfig,
@@ -57,7 +57,7 @@ proptest! {
             queues_per_interval: program.num_messages().max(1) * 2,
             ..Default::default()
         };
-        let analysis = analyze(&program, &topology, &generous).unwrap();
+        let analysis = Analyzer::for_topology(&topology, &generous).analyze(&program).unwrap();
         let expected_forwards: usize = analysis
             .plan()
             .routes()

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use systolic::core::{
-    analyze, check_consistency, classify, label_messages, label_messages_robust, AnalysisConfig,
+    check_consistency, classify, label_messages, label_messages_robust, AnalysisConfig, Analyzer,
     CoreError, Labeling, LookaheadLimits, QueueRequirements, RelatedMessages,
 };
 use systolic::core::CompetingSets;
@@ -113,16 +113,12 @@ proptest! {
             queues_per_interval: program.num_messages().max(1) * 2,
             ..Default::default()
         };
-        let probe = analyze(&program, &topology, &generous).unwrap();
+        let probe = Analyzer::for_topology(&topology, &generous).analyze(&program).unwrap();
         let needed = probe.plan().requirements().max_per_interval().max(1);
         let queues = needed + extra_queues;
 
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        )
-        .unwrap();
+        let tight = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &tight).analyze(&program).unwrap();
         let out = run_simulation(
             &program,
             &topology,
@@ -179,14 +175,10 @@ fn cross_direction_starvation_regression() {
         queues_per_interval: program.num_messages().max(1) * 2,
         ..Default::default()
     };
-    let probe = analyze(&program, &topology, &generous).unwrap();
+    let probe = Analyzer::for_topology(&topology, &generous).analyze(&program).unwrap();
     let needed = probe.plan().requirements().max_per_interval().max(1);
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: needed, ..Default::default() },
-    )
-    .unwrap();
+    let tight = AnalysisConfig { queues_per_interval: needed, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &tight).analyze(&program).unwrap();
     let out = run_simulation(
         &program,
         &topology,

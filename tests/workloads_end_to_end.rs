@@ -2,7 +2,7 @@
 //! the compatible policy → complete. A few also run on the threaded
 //! runtime and under static assignment.
 
-use systolic::core::{analyze, AnalysisConfig};
+use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::model::{Program, Topology};
 use systolic::sim::{
     run_simulation, CompatiblePolicy, CostModel, QueueConfig, SimConfig, StaticPolicy,
@@ -39,22 +39,18 @@ fn all_workloads() -> Vec<(String, Program, Topology)> {
 fn every_workload_completes_under_compatible_assignment() {
     for (name, program, topology) in all_workloads() {
         // Learn the requirement from a generous analysis, then run tight.
-        let probe = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig {
-                queues_per_interval: program.num_messages().max(1) * 2,
-                ..Default::default()
-            },
-        )
-        .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+        let generous = AnalysisConfig {
+            queues_per_interval: program.num_messages().max(1) * 2,
+            ..Default::default()
+        };
+        let probe = Analyzer::for_topology(&topology, &generous)
+            .analyze(&program)
+            .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
         let queues = probe.plan().requirements().max_per_interval().max(1);
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        )
-        .unwrap_or_else(|e| panic!("{name}: tight analysis failed: {e}"));
+        let tight = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &tight)
+            .analyze(&program)
+            .unwrap_or_else(|e| panic!("{name}: tight analysis failed: {e}"));
         let out = run_simulation(
             &program,
             &topology,
@@ -81,12 +77,10 @@ fn workloads_complete_under_static_assignment_with_dedicated_queues() {
     for (name, program, topology) in all_workloads() {
         // Enough queues to dedicate one per crossing message per interval.
         let queues = program.num_messages().max(1);
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        )
-        .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+        let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &config)
+            .analyze(&program)
+            .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
         let policy = StaticPolicy::new(analysis.plan(), queues)
             .unwrap_or_else(|_| panic!("{name}: static assignment must fit"));
         let out = run_simulation(
@@ -114,22 +108,14 @@ fn representative_workloads_complete_on_threads() {
         ("matmul(2,3,3)".into(), wl::mesh_matmul(2, 3, 3).unwrap(), wl::matmul_topology(2, 3)),
     ];
     for (name, program, topology) in cases {
-        let probe = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig {
-                queues_per_interval: program.num_messages().max(1) * 2,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let generous = AnalysisConfig {
+            queues_per_interval: program.num_messages().max(1) * 2,
+            ..Default::default()
+        };
+        let probe = Analyzer::for_topology(&topology, &generous).analyze(&program).unwrap();
         let queues = probe.plan().requirements().max_per_interval().max(1);
-        let analysis = analyze(
-            &program,
-            &topology,
-            &AnalysisConfig { queues_per_interval: queues, ..Default::default() },
-        )
-        .unwrap();
+        let tight = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let analysis = Analyzer::for_topology(&topology, &tight).analyze(&program).unwrap();
         let out = run_threaded(
             &program,
             &topology,
@@ -147,12 +133,8 @@ fn threaded_static_mode_completes_fig7() {
     let topology = wl::fig7_topology();
     // Static needs a dedicated queue per crossing message: interval c2-c3
     // carries A and C (2), interval c3-c4 carries B and C (2).
-    let analysis = analyze(
-        &program,
-        &topology,
-        &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
-    )
-    .unwrap();
+    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
     let out = run_threaded(
         &program,
         &topology,
