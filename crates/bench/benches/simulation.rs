@@ -1,11 +1,15 @@
 //! Criterion benches for the cycle-stepped simulator (F1, F7): systolic vs
-//! memory-to-memory cost models, and the policy comparison on Fig. 7.
+//! memory-to-memory cost models, the policy comparison on Fig. 7, and
+//! arena reuse (one `SimArena` across a stream of replays vs a fresh
+//! `Simulation` per run).
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use systolic_core::{AnalysisConfig, Analyzer};
+use systolic_core::{AnalysisConfig, Analyzer, CommPlan};
 use systolic_sim::{
     run_simulation, AssignmentPolicy, CompatiblePolicy, CostModel, FifoPolicy, QueueConfig,
-    SimConfig,
+    SimArena, SimConfig,
 };
 use systolic_workloads as wl;
 
@@ -119,5 +123,65 @@ fn bench_workload_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_comm_models, bench_fig7_policies, bench_workload_sim);
+/// Arena reuse on a replay stream: one `SimArena` resetting in place vs a
+/// fresh `Simulation` (world + pools + routing) per run.
+fn bench_arena_replay(c: &mut Criterion) {
+    let topology = wl::fig7_topology();
+    let a_config = AnalysisConfig::default();
+    let items: Vec<(systolic_model::Program, Arc<CommPlan>)> = (2..10)
+        .map(|reps| {
+            let program = wl::fig7(reps);
+            let plan = Analyzer::for_topology(&topology, &a_config)
+                .analyze(&program)
+                .expect("fig7 certifies")
+                .into_plan();
+            (program, Arc::new(plan))
+        })
+        .collect();
+    let sim = config(1, 1, CostModel::systolic());
+
+    let mut group = c.benchmark_group("arena_replay");
+    group.sample_size(20);
+    group.bench_function("fresh_simulation_per_run", |b| {
+        b.iter(|| {
+            items
+                .iter()
+                .filter(|(program, plan)| {
+                    run_simulation(
+                        program,
+                        &topology,
+                        Box::new(CompatiblePolicy::new(Arc::clone(plan))),
+                        sim,
+                    )
+                    .expect("sim builds")
+                    .is_completed()
+                })
+                .count()
+        });
+    });
+    group.bench_function("shared_arena", |b| {
+        b.iter(|| {
+            let mut arena = SimArena::from_topology(&topology, sim);
+            items
+                .iter()
+                .filter(|(program, plan)| {
+                    let mut policy = CompatiblePolicy::new(Arc::clone(plan));
+                    arena
+                        .run(program, &mut policy)
+                        .expect("sim builds")
+                        .is_completed()
+                })
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_comm_models,
+    bench_fig7_policies,
+    bench_workload_sim,
+    bench_arena_replay
+);
 criterion_main!(benches);

@@ -809,7 +809,7 @@ pub fn e5_threaded() -> Experiment {
     let out = run_threaded(
         &fig7,
         &fig7_top,
-        ControlMode::Compatible(plan),
+        ControlMode::compatible(plan),
         ThreadedConfig::default(),
     )
     .expect("threaded runs");
@@ -829,7 +829,7 @@ pub fn e5_threaded() -> Experiment {
     let out = run_threaded(
         &fir,
         &fir_top,
-        ControlMode::Compatible(plan),
+        ControlMode::compatible(plan),
         ThreadedConfig { queues_per_interval: 2, ..Default::default() },
     )
     .expect("threaded runs");

@@ -5,7 +5,10 @@
 //! routes (which queues each message will ask for), the competing sets and
 //! the queue requirements (assumption (ii)).
 
-use systolic_model::{MessageId, MessageRoutes, Route};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use systolic_model::{Hop, Interval, MessageId, MessageRoutes, Route};
 
 use crate::{CompetingSets, Label, Labeling, QueueRequirements};
 
@@ -76,6 +79,32 @@ impl CommPlan {
     #[must_use]
     pub fn requirements(&self) -> &QueueRequirements {
         &self.requirements
+    }
+
+    /// Per-direction sub-pools of queue indices on each interval.
+    ///
+    /// The ordered/simultaneous assignment rules only constrain
+    /// *competing* (same-direction) messages; two opposite-direction
+    /// messages are invisible to each other under the rules, yet they
+    /// would share the physical pool — and can then hold-and-wait across
+    /// intervals into a deadlock the rules never see. Theorem 1's
+    /// compatibility clause ("…or can be guaranteed to secure a queue in
+    /// the future") demands each competing set its own guaranteed supply,
+    /// so each direction draws from its own range of queue indices, sized
+    /// by this plan's per-hop requirement. Both runtimes — the
+    /// simulator's compatible policy and the threaded controller — derive
+    /// their partitions from this one method, so they cannot drift.
+    #[must_use]
+    pub fn direction_queue_ranges(&self) -> BTreeMap<Hop, Range<usize>> {
+        let mut ranges = BTreeMap::new();
+        let mut next_start: BTreeMap<Interval, usize> = BTreeMap::new();
+        for (hop, _) in self.competing.iter() {
+            let need = self.requirements.on_hop(hop);
+            let start = next_start.entry(hop.interval()).or_insert(0);
+            ranges.insert(hop, *start..*start + need);
+            *start += need;
+        }
+        ranges
     }
 }
 

@@ -3,7 +3,7 @@
 //! The paper's examples use 1-dimensional arrays, but its results "apply to
 //! arrays of higher dimensionalities and other distributed computing systems
 //! using any interconnection topology" (Section 2.1). This module provides
-//! linear arrays, rings, 2-D meshes and arbitrary graphs.
+//! linear arrays, rings, 2-D meshes, 2-D tori and arbitrary graphs.
 //!
 //! Adjacency lists and the interval list are precomputed at construction,
 //! so the hot routing/analysis paths ([`Topology::neighbors`],
@@ -18,6 +18,7 @@ enum Kind {
     Linear { n: usize },
     Ring { n: usize },
     Mesh2D { rows: usize, cols: usize },
+    Torus { rows: usize, cols: usize },
     Graph { n: usize },
 }
 
@@ -121,6 +122,40 @@ impl Topology {
         Self::with_adjacency(Kind::Mesh2D { rows, cols }, adjacency)
     }
 
+    /// A `rows × cols` 2-D torus: a mesh whose rows and columns wrap
+    /// around, so every cell has the same degree. Cell `(r, c)` has id
+    /// `r * cols + c`, exactly as for [`Topology::mesh`].
+    ///
+    /// Degenerate dimensions are handled structurally: a dimension of size
+    /// 1 contributes no links, and a dimension of size 2 contributes one
+    /// (the wrap link coincides with the direct link and is merged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+        let adjacency = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                let mut list = Vec::with_capacity(4);
+                if rows > 1 {
+                    list.push(CellId::new((((r + rows - 1) % rows) * cols + c) as u32));
+                    list.push(CellId::new((((r + 1) % rows) * cols + c) as u32));
+                }
+                if cols > 1 {
+                    list.push(CellId::new((r * cols + (c + cols - 1) % cols) as u32));
+                    list.push(CellId::new((r * cols + (c + 1) % cols) as u32));
+                }
+                list.sort_unstable();
+                list.dedup();
+                list
+            })
+            .collect();
+        Self::with_adjacency(Kind::Torus { rows, cols }, adjacency)
+    }
+
     /// An arbitrary undirected graph over `n` cells.
     ///
     /// Duplicate edges are merged; adjacency lists are kept sorted so routing
@@ -177,7 +212,7 @@ impl Topology {
     /// [`Topology::spec`]. Used by the `systolicd` JSONL front end so a
     /// request can name its topology in one field.
     ///
-    /// Formats: `linear:N`, `ring:N`, `mesh:RxC`, and
+    /// Formats: `linear:N`, `ring:N`, `mesh:RxC`, `torus:RxC`, and
     /// `graph:N:a-b,c-d,...` (the edge list may be empty: `graph:N:`).
     ///
     /// # Errors
@@ -242,17 +277,21 @@ impl Topology {
                 }
                 Ok(Topology::ring(n))
             }
-            "mesh" => {
+            "mesh" | "torus" => {
                 let (r, c) = rest
                     .split_once('x')
-                    .ok_or_else(|| bad(rest, "mesh spec is not RxC".into()))?;
+                    .ok_or_else(|| bad(rest, format!("{kind} spec is not RxC")))?;
                 let rows = parse_count(r, "row count")?;
                 let cols = parse_count(c, "column count")?;
                 match rows.checked_mul(cols) {
-                    Some(n) if n <= MAX_SPEC_CELLS => Ok(Topology::mesh(rows, cols)),
+                    Some(n) if n <= MAX_SPEC_CELLS => Ok(if kind == "mesh" {
+                        Topology::mesh(rows, cols)
+                    } else {
+                        Topology::torus(rows, cols)
+                    }),
                     _ => Err(bad(
                         rest,
-                        format!("mesh {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"),
+                        format!("{kind} {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"),
                     )),
                 }
             }
@@ -291,6 +330,7 @@ impl Topology {
             Kind::Linear { n } => format!("linear:{n}"),
             Kind::Ring { n } => format!("ring:{n}"),
             Kind::Mesh2D { rows, cols } => format!("mesh:{rows}x{cols}"),
+            Kind::Torus { rows, cols } => format!("torus:{rows}x{cols}"),
             Kind::Graph { n } => {
                 let edges: Vec<String> = self
                     .intervals
@@ -307,15 +347,18 @@ impl Topology {
     pub fn num_cells(&self) -> usize {
         match &self.kind {
             Kind::Linear { n } | Kind::Ring { n } | Kind::Graph { n } => *n,
-            Kind::Mesh2D { rows, cols } => rows * cols,
+            Kind::Mesh2D { rows, cols } | Kind::Torus { rows, cols } => rows * cols,
         }
     }
 
-    /// For meshes, the `(row, col)` of a cell; `None` for other topologies.
+    /// For meshes and tori, the `(row, col)` of a cell; `None` for other
+    /// topologies.
     #[must_use]
     pub fn mesh_coords(&self, cell: CellId) -> Option<(usize, usize)> {
         match &self.kind {
-            Kind::Mesh2D { cols, .. } => Some((cell.index() / cols, cell.index() % cols)),
+            Kind::Mesh2D { cols, .. } | Kind::Torus { cols, .. } => {
+                Some((cell.index() / cols, cell.index() % cols))
+            }
             _ => None,
         }
     }
@@ -343,7 +386,9 @@ impl Topology {
                 let (rb, cb) = (b.index() / cols, b.index() % cols);
                 ra.abs_diff(rb) + ca.abs_diff(cb) == 1
             }
-            Kind::Graph { .. } => self
+            // Wraparound plus degenerate-dimension merging make a closed
+            // form fiddly; the precomputed (sorted) adjacency is exact.
+            Kind::Torus { .. } | Kind::Graph { .. } => self
                 .adjacency
                 .get(a.index())
                 .is_some_and(|list| list.binary_search(&b).is_ok()),
@@ -376,6 +421,9 @@ impl Topology {
     ///   increasing cell index;
     /// * **mesh** — XY (column-first, then row) dimension-ordered routing,
     ///   the standard deadlock-conscious choice for meshes;
+    /// * **torus** — XY dimension-ordered routing where each dimension
+    ///   goes the shorter way around its ring; ties broken in the
+    ///   direction of increasing index (as for rings);
     /// * **graph** — breadth-first shortest path with lowest-id tie-breaks.
     ///
     /// # Errors
@@ -432,6 +480,33 @@ impl Topology {
                 }
                 Ok(path)
             }
+            Kind::Torus { rows, cols } => {
+                // XY order like the mesh; each dimension is a ring, routed
+                // the shorter way around (tie => increasing index).
+                let ring_steps = |cur: usize, target: usize, n: usize| {
+                    let fwd = (target + n - cur) % n;
+                    let bwd = n - fwd;
+                    if fwd <= bwd { (fwd, true) } else { (bwd, false) }
+                };
+                let (mut r, mut c) = (from.index() / cols, from.index() % cols);
+                let (tr, tc) = (to.index() / cols, to.index() % cols);
+                let mut path = vec![from];
+                if c != tc {
+                    let (hops, fwd) = ring_steps(c, tc, *cols);
+                    for _ in 0..hops {
+                        c = if fwd { (c + 1) % cols } else { (c + cols - 1) % cols };
+                        path.push(CellId::new((r * cols + c) as u32));
+                    }
+                }
+                if r != tr {
+                    let (hops, fwd) = ring_steps(r, tr, *rows);
+                    for _ in 0..hops {
+                        r = if fwd { (r + 1) % rows } else { (r + rows - 1) % rows };
+                        path.push(CellId::new((r * cols + c) as u32));
+                    }
+                }
+                Ok(path)
+            }
             Kind::Graph { .. } => {
                 // BFS with lowest-id tie-break (adjacency lists are sorted).
                 let adjacency = &self.adjacency;
@@ -470,8 +545,8 @@ impl Topology {
     /// `true` when [`Topology::route_cells`] performs a graph search (BFS)
     /// rather than closed-form routing — the signal that precomputing a
     /// route closure (`systolic_core::CompiledTopology`) actually saves
-    /// work. Linear, ring and mesh routing is arithmetic; only arbitrary
-    /// graphs search.
+    /// work. Linear, ring, mesh and torus routing is arithmetic; only
+    /// arbitrary graphs search.
     #[must_use]
     pub fn uses_search_routing(&self) -> bool {
         matches!(self.kind, Kind::Graph { .. })
@@ -570,6 +645,9 @@ mod tests {
             Topology::linear(5),
             Topology::ring(6),
             Topology::mesh(3, 4),
+            Topology::torus(3, 4),
+            Topology::torus(2, 3),
+            Topology::torus(1, 4),
             Topology::graph(5, [(c(0), c(2)), (c(2), c(4)), (c(1), c(3))]).unwrap(),
         ];
         for t in topologies {
@@ -672,6 +750,9 @@ mod tests {
             Topology::linear(7),
             Topology::ring(5),
             Topology::mesh(2, 3),
+            Topology::torus(3, 4),
+            Topology::torus(1, 5),
+            Topology::torus(2, 2),
             Topology::graph(4, [(c(0), c(1)), (c(1), c(3))]).unwrap(),
             Topology::graph(3, []).unwrap(),
         ];
@@ -687,6 +768,7 @@ mod tests {
         assert_eq!(Topology::from_spec("linear:4").unwrap(), Topology::linear(4));
         assert_eq!(Topology::from_spec("ring:5").unwrap(), Topology::ring(5));
         assert_eq!(Topology::from_spec("mesh:2x3").unwrap(), Topology::mesh(2, 3));
+        assert_eq!(Topology::from_spec("torus:3x4").unwrap(), Topology::torus(3, 4));
         assert_eq!(
             Topology::from_spec("graph:3:0-1,1-2").unwrap(),
             Topology::graph(3, [(c(0), c(1)), (c(1), c(2))]).unwrap()
@@ -701,7 +783,8 @@ mod tests {
     fn from_spec_rejects_malformed_input() {
         for spec in [
             "", "linear", "linear:", "linear:0", "linear:x", "ring:2", "mesh:3",
-            "mesh:0x2", "mesh:2x", "torus:4", "graph:3", "graph:3:0_1", "graph:3:0-0",
+            "mesh:0x2", "mesh:2x", "torus:4", "torus:0x3", "torus:3xz", "hypercube:4",
+            "graph:3", "graph:3:0_1", "graph:3:0-0",
         ] {
             assert!(
                 matches!(Topology::from_spec(spec), Err(ModelError::SpecParse { .. })),
@@ -721,7 +804,7 @@ mod tests {
         let classes: &[(&str, &str, usize)] = &[
             // (spec, offending token, byte offset)
             ("linear", "linear", 0),           // missing `:` — whole spec
-            ("torus:4", "torus", 0),           // unknown kind
+            ("hypercube:4", "hypercube", 0),   // unknown kind
             ("linear:x", "x", 7),              // non-numeric count
             ("linear:", "", 7),                // empty count
             ("linear:0", "0", 7),              // zero count
@@ -729,11 +812,16 @@ mod tests {
             ("mesh:3", "3", 5),                // missing `x`
             ("mesh:2xq", "q", 7),              // bad column count
             ("mesh:0x2", "0", 5),              // zero row count
+            ("torus:4", "4", 6),               // torus without `x`
+            ("torus:2xq", "q", 8),             // bad torus column count
+            ("torus:0x2", "0", 6),             // zero torus row count
+            ("torus:2x0", "0", 8),             // zero torus column count
             ("graph:3", "3", 6),               // missing edge list
             ("graph:3:0_1", "0_1", 8),         // edge without `-`
             ("graph:3:0-1,2-z", "z", 14),      // bad edge endpoint
             ("graph:3:0-0", "0-0", 8),         // self-loop edge
             ("mesh:100000x100000", "100000x100000", 5), // over the cell bound
+            ("torus:100000x100000", "100000x100000", 6), // over the cell bound
         ];
         for &(spec, token, offset) in classes {
             match Topology::from_spec(spec) {
@@ -766,11 +854,77 @@ mod tests {
     }
 
     #[test]
+    fn torus_wraps_both_dimensions() {
+        let t = Topology::torus(3, 4);
+        // Row wrap: (0,0) adjacent to (2,0); column wrap: (0,0) to (0,3).
+        assert!(t.is_adjacent(c(0), c(8)));
+        assert!(t.is_adjacent(c(0), c(3)));
+        assert!(!t.is_adjacent(c(0), c(5)), "no diagonal adjacency");
+        // Every cell of a >=3x>=3-free torus with rows=3, cols=4 has degree 4.
+        for i in 0..t.num_cells() as u32 {
+            assert_eq!(t.neighbors(c(i)).len(), 4, "cell {i} degree");
+        }
+        assert_eq!(t.intervals().len(), 2 * t.num_cells(), "4n/2 links");
+        assert_eq!(t.mesh_coords(c(7)), Some((1, 3)));
+        assert!(!t.uses_search_routing());
+    }
+
+    #[test]
+    fn torus_degenerate_dimensions_merge_wrap_links() {
+        // Size-2 dimension: wrap link == direct link, merged once.
+        let t = Topology::torus(2, 2);
+        assert_eq!(t.neighbors(c(0)), vec![c(1), c(2)]);
+        assert_eq!(t.intervals().len(), 4);
+        // Size-1 dimension: behaves as a ring in the other dimension.
+        let line = Topology::torus(1, 4);
+        assert_eq!(line.neighbors(c(0)), vec![c(1), c(3)]);
+        assert!(line.is_adjacent(c(0), c(3)), "column wrap survives");
+    }
+
+    #[test]
+    fn torus_routes_shorter_way_dimension_ordered() {
+        let t = Topology::torus(4, 5);
+        // (0,0) -> (0,3): backwards around the column ring (2 hops via the
+        // wrap) beats forwards (3 hops).
+        assert_eq!(t.route_cells(c(0), c(3)).unwrap(), vec![c(0), c(4), c(3)]);
+        // (0,0) -> (3,1): X first (one hop to column 1), then the row ring
+        // backwards via the wrap (one hop 0 -> 3).
+        assert_eq!(t.route_cells(c(0), c(16)).unwrap(), vec![c(0), c(1), c(16)]);
+        // Tie on the 4-row ring: 2 hops either way; must go increasing.
+        assert_eq!(t.route_cells(c(0), c(10)).unwrap(), vec![c(0), c(5), c(10)]);
+        // Every route's hops are adjacency-valid.
+        for i in 0..t.num_cells() as u32 {
+            for j in 0..t.num_cells() as u32 {
+                if i == j {
+                    continue;
+                }
+                let path = t.route_cells(c(i), c(j)).unwrap();
+                for w in path.windows(2) {
+                    assert!(t.is_adjacent(w[0], w[1]), "{i}->{j} path invalid at {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_and_mesh_are_distinct_topologies() {
+        let torus = Topology::torus(3, 3);
+        let mesh = Topology::mesh(3, 3);
+        assert_ne!(torus, mesh);
+        assert_ne!(torus.spec(), mesh.spec());
+        // Mesh corner has degree 2, torus corner degree 4.
+        assert_eq!(mesh.neighbors(c(0)).len(), 2);
+        assert_eq!(torus.neighbors(c(0)).len(), 4);
+    }
+
+    #[test]
     fn routes_from_matches_route_cells_everywhere() {
         let topologies = vec![
             Topology::linear(6),
             Topology::ring(7),
             Topology::mesh(3, 4),
+            Topology::torus(4, 5),
+            Topology::torus(2, 4),
             Topology::graph(6, [(c(0), c(1)), (c(1), c(2)), (c(2), c(3)), (c(0), c(4)), (c(4), c(3))])
                 .unwrap(),
             Topology::graph(5, [(c(0), c(1)), (c(2), c(3))]).unwrap(), // disconnected

@@ -5,8 +5,10 @@
 //! fingerprinted ([`systolic_core::request_fingerprint`]); a cache hit
 //! returns the shared `Arc`ed outcome immediately, a miss runs the staged
 //! [`Analyzer`](systolic_core::Analyzer) pipeline (optionally chased by a
-//! [`verify_plan_compiled`](systolic_sim::verify_plan_compiled) simulation
-//! run) and publishes the outcome for every later identical request.
+//! simulation replay through the worker's reusable
+//! [`SimArena`](systolic_sim::SimArena), which consecutive same-topology
+//! misses share) and publishes the outcome for every later identical
+//! request.
 //! Topology compilations are shared too: a second cache keyed by the
 //! [`CompiledTopology`] fingerprint means the misses of a batch that all
 //! name one topology compile it once and reuse the route closure.
@@ -28,7 +30,7 @@ use systolic_core::{
 };
 use systolic_model::{Program, Topology};
 use systolic_report::{percentile_sorted, Table};
-use systolic_sim::{verify_plan_compiled, SimConfig, VerifyReport};
+use systolic_sim::{SimArena, SimConfig, VerifyReport};
 use systolic_workloads::TrafficItem;
 
 use crate::{BoundedQueue, CacheConfig, CacheStats, ShardedCache};
@@ -499,15 +501,27 @@ impl Drop for AnalysisService {
     }
 }
 
+/// A worker's reusable verification arena, keyed by the compiled
+/// topology's fingerprint. Consecutive requests over the same topology —
+/// the dominant shape of batch traffic — reuse one arena: queue pools and
+/// run-state vectors are reset in place per replay instead of rebuilt.
+type VerifierCache = Option<(u128, SimArena)>;
+
 fn worker_loop(inner: &Inner) {
+    let mut verifier: VerifierCache = None;
     while let Some(job) = inner.queue.pop() {
-        let response = handle(inner, job.seq, job.request);
+        let response = handle(inner, job.seq, job.request, &mut verifier);
         // A dropped Ticket just means the client stopped listening.
         let _ = job.reply.send(response);
     }
 }
 
-fn handle(inner: &Inner, seq: u64, request: AnalysisRequest) -> AnalysisResponse {
+fn handle(
+    inner: &Inner,
+    seq: u64,
+    request: AnalysisRequest,
+    verifier: &mut VerifierCache,
+) -> AnalysisResponse {
     let start = Instant::now();
     let fingerprint =
         request_fingerprint(&request.program, &request.topology, &request.config);
@@ -518,14 +532,19 @@ fn handle(inner: &Inner, seq: u64, request: AnalysisRequest) -> AnalysisResponse
             // hostile) request rejects that request instead of killing
             // the worker and, via the dropped reply channel, the client.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(inner, &request)
+                compute(inner, &request, verifier)
             }));
             let computed: ServiceOutcome = Arc::new(match result {
                 Ok(outcome) => outcome,
-                Err(panic) => Err(Rejection {
-                    error: ServiceError::Panicked(panic_message(&panic)),
-                    diagnostics: Vec::new(),
-                }),
+                Err(panic) => {
+                    // A panic may have left the arena mid-replay; drop it
+                    // rather than reuse poisoned queue state.
+                    *verifier = None;
+                    Err(Rejection {
+                        error: ServiceError::Panicked(panic_message(&panic)),
+                        diagnostics: Vec::new(),
+                    })
+                }
             });
             // First writer wins: racing workers converge on one entry and
             // one shared outcome.
@@ -570,7 +589,26 @@ fn compiled_for(inner: &Inner, request: &AnalysisRequest) -> Arc<CompiledTopolog
     }
 }
 
-fn compute(inner: &Inner, request: &AnalysisRequest) -> Result<Certified, Rejection> {
+/// The worker's verification arena for `compiled`: reused when the last
+/// request named the same compilation, rebuilt (world + pools) otherwise.
+fn verifier_for<'a>(
+    verifier: &'a mut VerifierCache,
+    compiled: &Arc<CompiledTopology>,
+    sim: SimConfig,
+) -> &'a mut SimArena {
+    let fingerprint = compiled.fingerprint();
+    let reusable = matches!(verifier, Some((key, _)) if *key == fingerprint);
+    if !reusable {
+        *verifier = Some((fingerprint, SimArena::from_compiled(Arc::clone(compiled), sim)));
+    }
+    &mut verifier.as_mut().expect("just ensured").1
+}
+
+fn compute(
+    inner: &Inner,
+    request: &AnalysisRequest,
+    verifier: &mut VerifierCache,
+) -> Result<Certified, Rejection> {
     let start = Instant::now();
     let compiled = compiled_for(inner, request);
     let analyzer = Analyzer::new(Arc::clone(&compiled));
@@ -590,7 +628,11 @@ fn compute(inner: &Inner, request: &AnalysisRequest) -> Result<Certified, Reject
         .map(|m| (request.program.message(m).name().to_owned(), plan.label(m)))
         .collect();
     let verified = if inner.config.verify {
-        match verify_plan_compiled(&request.program, &compiled, &plan, inner.config.sim) {
+        // Chase the certification with a simulator replay through the
+        // worker's shared arena (reset in place, not rebuilt, when
+        // consecutive misses name one topology).
+        let arena = verifier_for(verifier, &compiled, inner.config.sim);
+        match arena.verify(&request.program, &plan) {
             Ok(report) => Some(report),
             Err(error) => {
                 return Err(Rejection {
@@ -656,6 +698,60 @@ mod tests {
         let certified = response.outcome.as_ref().as_ref().unwrap();
         let report = certified.verified.as_ref().expect("verification ran");
         assert!(report.completed);
+    }
+
+    #[test]
+    fn verification_chase_reuses_arena_across_mixed_topologies() {
+        // Alternating topologies force the worker's arena cache to rebuild;
+        // repeats of one topology reuse it. Either way the chase must be
+        // correct (single worker so the arena cache is actually exercised
+        // across consecutive requests).
+        let config = ServiceConfig { verify: true, workers: 1, ..Default::default() };
+        let service = AnalysisService::new(config);
+        let mut requests = Vec::new();
+        for reps in 1..=4 {
+            requests.push(AnalysisRequest::new(
+                format!("fig7x{reps}"),
+                fig7(reps),
+                fig7_topology(),
+            ));
+        }
+        let mut fig9_request = AnalysisRequest::new("fig9", fig9(), fig9_topology());
+        fig9_request.config.queues_per_interval = 2;
+        requests.push(fig9_request);
+        requests.push(AnalysisRequest::new("fig7x5", fig7(5), fig7_topology()));
+        let responses = service.run_batch(requests);
+        for response in &responses {
+            let certified = response.outcome.as_ref().as_ref().unwrap();
+            let report = certified.verified.as_ref().expect("verification ran");
+            assert!(report.completed, "{} failed its chase", response.name);
+        }
+    }
+
+    #[test]
+    fn failed_chase_reports_first_blocked_cell_and_cycle() {
+        // Certify P2 under lookahead, then replay it on capacity-0 latch
+        // queues: the chase deadlocks and the report must say where.
+        let sim = SimConfig {
+            queue: systolic_sim::QueueConfig { capacity: 0, extension: false },
+            ..Default::default()
+        };
+        let config = ServiceConfig { verify: true, sim, ..Default::default() };
+        let service = AnalysisService::new(config);
+        let mut request = AnalysisRequest::new(
+            "p2-latch",
+            systolic_workloads::fig5_p2(),
+            Topology::linear(2),
+        );
+        request.config.queues_per_interval = 2;
+        request.config.lookahead = Lookahead::Unbounded;
+        let response = service.submit(request).wait();
+        let certified = response.outcome.as_ref().as_ref().unwrap();
+        let report = certified.verified.as_ref().expect("verification ran");
+        assert!(!report.completed, "latch replay must deadlock");
+        let deadlock = report.deadlock.as_ref().expect("deadlock detail attached");
+        assert_eq!(deadlock.first_blocked, systolic_model::CellId::new(0));
+        assert!(deadlock.cycle > 0);
     }
 
     #[test]

@@ -240,6 +240,22 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
             if let Some(report) = &certified.verified {
                 members.push(("verified".to_owned(), Json::Bool(report.completed)));
                 members.push(("verify_cycles".to_owned(), Json::Num(report.cycles as f64)));
+                if let Some(deadlock) = &report.deadlock {
+                    // A failed chase is actionable: name the first blocked
+                    // cell and the stall cycle, like analyzer diagnostics.
+                    members.push((
+                        "verify_blocked_cell".to_owned(),
+                        Json::Str(deadlock.first_blocked.to_string()),
+                    ));
+                    members.push((
+                        "verify_blocked_cycle".to_owned(),
+                        Json::Num(deadlock.cycle as f64),
+                    ));
+                    members.push((
+                        "verify_blocked_reason".to_owned(),
+                        Json::Str(deadlock.reason.clone()),
+                    ));
+                }
             }
             members.push((
                 "analysis_micros".to_owned(),

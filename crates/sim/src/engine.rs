@@ -15,14 +15,36 @@
 //! passes with no activity (**deadlocked** — the system is quiescent and
 //! can never move again, since all conditions are monotone), or at the
 //! configured cycle limit.
+//!
+//! # Architecture: world / arena split
+//!
+//! The engine separates what is **immutable across a batch of replays**
+//! from what is **mutable per run**:
+//!
+//! * [`SimWorld`] — the topology (optionally a precompiled
+//!   [`CompiledTopology`] whose route closure serves routing for free) and
+//!   the [`SimConfig`]. Built once per batch.
+//! * [`SimArena`] — the reusable run state: the flat queue pool
+//!   ([`QueuePools`]), per-cell program counters, per-hop departure
+//!   counters and request bookkeeping, all held in arena vectors indexed
+//!   by cell/interval/hop ids. Between replays the arena is **reset, not
+//!   reallocated**: buffers are cleared in place and reused, so a batch of
+//!   N replays performs one setup, not N.
+//!
+//! [`Simulation`] remains as the one-shot convenience wrapper (build one
+//! world + arena, run once); batch callers use [`SimArena`] directly — see
+//! [`crate::verify_batch_compiled`].
 
+use std::sync::Arc;
+
+use systolic_core::CompiledTopology;
 use systolic_model::{
-    CellId, Interval, MessageId, MessageRoutes, ModelError, Op, Program, QueueId, Topology,
+    CellId, Hop, MessageId, MessageRoutes, ModelError, Op, Program, QueueId, Topology,
 };
 
 use crate::{
-    AssignmentPolicy, BlockReason, BlockedCell, CostModel, DeadlockReport, PoolView, QueueConfig,
-    QueuePools, QueueSnapshot, Request, RunStats, Word,
+    AssignmentEvent, AssignmentPolicy, BlockReason, BlockedCell, CostModel, DeadlockReport,
+    PoolView, QueueConfig, QueuePools, QueueSnapshot, Request, RunStats, Word,
 };
 
 /// Simulation parameters.
@@ -98,93 +120,314 @@ enum CellState {
     Done,
 }
 
-/// A configured simulation, ready to run.
-#[derive(Debug)]
-pub struct Simulation {
-    program: Program,
-    routes: MessageRoutes,
-    pools: QueuePools,
-    policy: Box<dyn AssignmentPolicy>,
+#[derive(Clone, Debug)]
+enum WorldTopology {
+    /// A plain topology: routes are computed per program.
+    Plain(Topology),
+    /// A precompiled topology: routes come from the shared route closure.
+    Compiled(Arc<CompiledTopology>),
+}
+
+/// The immutable per-batch half of a simulation: the topology (plain or
+/// precompiled) and the simulation parameters. One `SimWorld` is built per
+/// batch and shared by every replay through its [`SimArena`].
+#[derive(Clone, Debug)]
+pub struct SimWorld {
+    topology: WorldTopology,
     config: SimConfig,
-    // Cell state.
+}
+
+impl SimWorld {
+    /// A world over a plain topology. Routing state is derived per program
+    /// via [`MessageRoutes::compute`].
+    #[must_use]
+    pub fn new(topology: &Topology, config: SimConfig) -> Self {
+        SimWorld { topology: WorldTopology::Plain(topology.clone()), config }
+    }
+
+    /// A world over a precompiled topology: [`SimWorld::routes_for`] is
+    /// served from the compilation's route closure (one BFS per *source*
+    /// amortized across the whole batch, instead of one per message per
+    /// replay).
+    #[must_use]
+    pub fn from_compiled(compiled: Arc<CompiledTopology>, config: SimConfig) -> Self {
+        SimWorld { topology: WorldTopology::Compiled(compiled), config }
+    }
+
+    /// The topology simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        match &self.topology {
+            WorldTopology::Plain(t) => t,
+            WorldTopology::Compiled(c) => c.topology(),
+        }
+    }
+
+    /// The simulation parameters.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Routes every message of `program` over this world's topology —
+    /// from the precompiled route closure when the world holds one.
+    ///
+    /// # Errors
+    ///
+    /// As [`MessageRoutes::compute`]: cell-count mismatches and routing
+    /// failures.
+    pub fn routes_for(&self, program: &Program) -> Result<MessageRoutes, ModelError> {
+        match &self.topology {
+            WorldTopology::Plain(t) => MessageRoutes::compute(program, t),
+            WorldTopology::Compiled(c) => c.routes_for(program),
+        }
+    }
+}
+
+/// The mutable, reusable half of a simulation: queue pools, per-cell and
+/// per-hop run state, and per-cycle scratch buffers, all reset in place
+/// between replays.
+///
+/// One arena serves a whole batch: call [`SimArena::run`] (or
+/// [`SimArena::run_with_routes`]) once per replay. Queue pools grow on
+/// demand via [`SimArena::ensure_queues`] and never shrink, so a batch
+/// whose plans need different queue counts still reuses one allocation.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_sim::{GreedyPolicy, SimArena, SimConfig, SimWorld};
+/// use systolic_model::{parse_program, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let world = SimWorld::new(&Topology::linear(2), SimConfig::default());
+/// let mut arena = SimArena::new(world);
+/// let mut policy = GreedyPolicy::new();
+/// for reps in 1..4 {
+///     let program = parse_program(&format!(
+///         "cells 2\nmessage A: c0 -> c1\nprogram c0 {{ W(A)*{reps} }}\nprogram c1 {{ R(A)*{reps} }}\n",
+///     ))?;
+///     // Same arena, three replays: state is reset, not reallocated.
+///     let outcome = arena.run(&program, &mut policy)?;
+///     assert!(outcome.is_completed());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimArena {
+    world: SimWorld,
+    pools: QueuePools,
+    // Per-cell state.
     pc: Vec<usize>,
     state: Vec<CellState>,
-    // Message progress.
+    /// Cells with non-empty programs — the only ones the cycle loops
+    /// visit (a large fabric runs small programs: most cells are idle).
+    active: Vec<u32>,
+    // Per-message state.
     words_written: Vec<usize>,
-    /// Per message, per hop: words that have departed that hop's queue.
-    departed: Vec<Vec<usize>>,
-    // Request bookkeeping.
-    request_born: std::collections::BTreeMap<(MessageId, Interval), u64>,
+    /// Hop table offsets: message `m`'s hops live at
+    /// `hop_off[m]..hop_off[m + 1]` in the flat per-hop arrays.
+    hop_off: Vec<usize>,
+    /// Directed hop per (message, hop index), flattened.
+    hops: Vec<Hop>,
+    /// Interval-table index of each hop, flattened (parallel to `hops`).
+    hop_iv: Vec<u32>,
+    /// Words that have departed each hop's queue, flattened.
+    departed: Vec<usize>,
+    /// Request birth stamps per `(message, interval)`; 0 = no open request.
+    request_born: Vec<u64>,
     born_counter: u64,
+    // Per-cycle scratch (reused every cycle of every replay). The
+    // per-queue tables are *stamped* with the cycle tag instead of being
+    // cleared: an entry whose stamp is stale reads as zero, so a cycle
+    // touches only the queues its reads actually target, not the whole
+    // pool.
+    needs: Vec<(MessageId, Hop)>,
+    requests: Vec<Request>,
+    /// `(cycle tag, occupancy at phase start)` per flat queue index.
+    avail: Vec<(u64, usize)>,
+    /// `(cycle tag, words consumed this cycle)` per flat queue index.
+    consumed: Vec<(u64, usize)>,
+    // Current-run accounting.
     stats: RunStats,
     cycle: u64,
 }
 
-impl Simulation {
-    /// Builds a simulation of `program` over `topology` under `policy`.
-    ///
-    /// # Errors
-    ///
-    /// Returns routing/validation errors from
-    /// [`MessageRoutes::compute`].
-    pub fn new(
-        program: &Program,
-        topology: &Topology,
-        policy: Box<dyn AssignmentPolicy>,
-        config: SimConfig,
-    ) -> Result<Self, ModelError> {
-        let routes = MessageRoutes::compute(program, topology)?;
+impl SimArena {
+    /// Builds the arena for `world`, allocating queue pools for every
+    /// interval of its topology.
+    #[must_use]
+    pub fn new(world: SimWorld) -> Self {
+        let config = world.config();
         let pools = QueuePools::uniform(
-            topology.intervals().iter().copied(),
+            world.topology().intervals().iter().copied(),
             config.queues_per_interval,
             config.queue,
         );
-        let departed = routes.iter().map(|(_, r)| vec![0; r.num_hops()]).collect();
-        let state = program
-            .cells()
-            .iter()
-            .map(|cp| if cp.is_empty() { CellState::Done } else { CellState::Ready })
-            .collect();
-        Ok(Simulation {
-            pc: vec![0; program.num_cells()],
-            state,
-            words_written: vec![0; program.num_messages()],
-            departed,
-            request_born: std::collections::BTreeMap::new(),
-            born_counter: 0,
-            stats: RunStats::new(program.num_cells()),
-            cycle: 0,
-            program: program.clone(),
-            routes,
+        SimArena {
+            world,
             pools,
-            policy,
-            config,
-        })
+            pc: Vec::new(),
+            state: Vec::new(),
+            active: Vec::new(),
+            words_written: Vec::new(),
+            hop_off: Vec::new(),
+            hops: Vec::new(),
+            hop_iv: Vec::new(),
+            departed: Vec::new(),
+            request_born: Vec::new(),
+            born_counter: 0,
+            needs: Vec::new(),
+            requests: Vec::new(),
+            avail: Vec::new(),
+            consumed: Vec::new(),
+            stats: RunStats::default(),
+            cycle: 0,
+        }
     }
 
-    /// Runs to completion, deadlock, or the cycle limit.
+    /// Convenience: [`SimArena::new`] over [`SimWorld::new`].
     #[must_use]
-    pub fn run(mut self) -> RunOutcome {
+    pub fn from_topology(topology: &Topology, config: SimConfig) -> Self {
+        SimArena::new(SimWorld::new(topology, config))
+    }
+
+    /// Convenience: [`SimArena::new`] over [`SimWorld::from_compiled`].
+    #[must_use]
+    pub fn from_compiled(compiled: Arc<CompiledTopology>, config: SimConfig) -> Self {
+        SimArena::new(SimWorld::from_compiled(compiled, config))
+    }
+
+    /// The world this arena replays against.
+    #[must_use]
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Raises the queue pool to at least `queues_per_interval` queues on
+    /// every interval (never shrinks). Call between replays when a plan
+    /// needs more queues than the world's configured floor.
+    pub fn ensure_queues(&mut self, queues_per_interval: usize) {
+        self.pools.ensure_queues_per_interval(queues_per_interval);
+    }
+
+    /// Routes `program` and replays it under `policy`, resetting the
+    /// arena's run state in place.
+    ///
+    /// # Errors
+    ///
+    /// Routing/validation errors from [`SimWorld::routes_for`].
+    pub fn run(
+        &mut self,
+        program: &Program,
+        policy: &mut dyn AssignmentPolicy,
+    ) -> Result<RunOutcome, ModelError> {
+        let routes = self.world.routes_for(program)?;
+        Ok(self.run_with_routes(program, &routes, policy))
+    }
+
+    /// Replays `program` with precomputed `routes` (e.g. a certified
+    /// plan's) under `policy`. The routes must have been computed over
+    /// this world's topology for this program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` does not cover exactly the program's messages or
+    /// crosses an interval the topology does not have.
+    pub fn run_with_routes(
+        &mut self,
+        program: &Program,
+        routes: &MessageRoutes,
+        policy: &mut dyn AssignmentPolicy,
+    ) -> RunOutcome {
+        assert_eq!(
+            routes.len(),
+            program.num_messages(),
+            "routes must cover exactly the program's messages"
+        );
+        self.reset(program, routes);
+        policy.begin_run();
         loop {
             if self.all_done() {
                 self.finish_stats();
-                return RunOutcome::Completed(self.stats);
+                return RunOutcome::Completed(std::mem::take(&mut self.stats));
             }
-            if self.cycle >= self.config.max_cycles {
+            if self.cycle >= self.world.config.max_cycles {
                 self.finish_stats();
-                return RunOutcome::CycleLimit(self.stats);
+                return RunOutcome::CycleLimit(std::mem::take(&mut self.stats));
             }
             let mut activity = 0usize;
-            activity += self.phase_assignment();
-            activity += self.phase_forwarding();
-            activity += self.phase_cells();
+            activity += self.phase_assignment(program, policy);
+            activity += self.phase_forwarding(program);
+            activity += self.phase_cells(program);
             self.cycle += 1;
             if activity == 0 {
                 self.finish_stats();
-                let report = self.diagnose();
-                return RunOutcome::Deadlocked { stats: self.stats, report };
+                let report = self.diagnose(program);
+                return RunOutcome::Deadlocked {
+                    stats: std::mem::take(&mut self.stats),
+                    report,
+                };
             }
         }
+    }
+
+    /// Clears all run state in place and rebuilds the per-message hop
+    /// tables for this replay. No long-lived allocation is dropped; the
+    /// flat vectors only grow to the batch's high-water mark.
+    fn reset(&mut self, program: &Program, routes: &MessageRoutes) {
+        let cells = program.num_cells();
+        let msgs = program.num_messages();
+        self.pools.reset_for(msgs);
+        self.pc.clear();
+        self.pc.resize(cells, 0);
+        self.state.clear();
+        self.state.extend(program.cells().iter().map(|cp| {
+            if cp.is_empty() {
+                CellState::Done
+            } else {
+                CellState::Ready
+            }
+        }));
+        self.active.clear();
+        self.active.extend(
+            program
+                .cells()
+                .iter()
+                .enumerate()
+                .filter(|(_, cp)| !cp.is_empty())
+                .map(|(i, _)| i as u32),
+        );
+        self.words_written.clear();
+        self.words_written.resize(msgs, 0);
+        self.hop_off.clear();
+        self.hops.clear();
+        self.hop_iv.clear();
+        self.hop_off.push(0);
+        for (_, route) in routes.iter() {
+            for hop in route.hops() {
+                let iv = self
+                    .pools
+                    .interval_index(hop.interval())
+                    .expect("route crosses an interval of the world's topology");
+                self.hops.push(hop);
+                self.hop_iv.push(iv as u32);
+            }
+            self.hop_off.push(self.hops.len());
+        }
+        self.departed.clear();
+        self.departed.resize(self.hops.len(), 0);
+        self.request_born.clear();
+        self.request_born.resize(msgs * self.pools.num_intervals(), 0);
+        self.born_counter = 0;
+        // Zero the stamps (cycle tags restart every replay).
+        self.avail.clear();
+        self.avail.resize(self.pools.num_queues(), (0, 0));
+        self.consumed.clear();
+        self.consumed.resize(self.pools.num_queues(), (0, 0));
+        self.stats = RunStats::new(cells);
+        self.cycle = 0;
     }
 
     fn finish_stats(&mut self) {
@@ -194,62 +437,74 @@ impl Simulation {
     }
 
     fn all_done(&self) -> bool {
-        self.state.iter().all(|s| matches!(s, CellState::Done))
-    }
-
-    fn hop_queue(&self, m: MessageId, hop_index: usize) -> Option<QueueId> {
-        let hop = self.routes.route(m).hops().nth(hop_index)?;
-        let interval = hop.interval();
-        self.pools
-            .live_assignment(m, interval)
-            .map(|idx| QueueId::new(interval, idx as u32))
+        self.active.iter().all(|&i| matches!(self.state[i as usize], CellState::Done))
     }
 
     /// Collects requests and applies the policy's grants.
-    fn phase_assignment(&mut self) -> usize {
-        let mut needs: Vec<(MessageId, systolic_model::Hop)> = Vec::new();
+    fn phase_assignment(
+        &mut self,
+        program: &Program,
+        policy: &mut dyn AssignmentPolicy,
+    ) -> usize {
+        self.needs.clear();
         // Senders stalled on their first hop.
-        for cell in self.program.cell_ids() {
-            if !matches!(self.state[cell.index()], CellState::Ready) {
+        for idx in 0..self.active.len() {
+            let cell = CellId::new(self.active[idx]);
+            let i = cell.index();
+            if !matches!(self.state[i], CellState::Ready) {
                 continue;
             }
-            let Some(op) = self.program.cell(cell).get(self.pc[cell.index()]) else {
+            let Some(op) = program.cell(cell).get(self.pc[i]) else {
                 continue;
             };
             if op.is_write() {
                 let m = op.message();
-                let hop = self.routes.route(m).hops().next().expect("routes are nonempty");
-                if self.pools.live_assignment(m, hop.interval()).is_none()
-                    && !self.pools.has_granted(m, hop.interval())
-                {
-                    needs.push((m, hop));
+                let h0 = self.hop_off[m.index()];
+                debug_assert!(h0 < self.hop_off[m.index() + 1], "routes are nonempty");
+                let iv = self.hop_iv[h0] as usize;
+                if self.pools.live_at(m, iv).is_none() && !self.pools.has_granted_at(m, iv) {
+                    self.needs.push((m, self.hops[h0]));
                 }
             }
         }
         // Headers waiting at intermediate hops.
-        for (m, route) in self.routes.iter() {
-            let hops: Vec<_> = route.hops().collect();
-            for k in 1..hops.len() {
-                let prev_interval = hops[k - 1].interval();
-                let Some(prev_idx) = self.pools.live_assignment(m, prev_interval) else {
+        for m_idx in 0..self.words_written.len() {
+            let m = MessageId::new(m_idx as u32);
+            let (start, end) = (self.hop_off[m_idx], self.hop_off[m_idx + 1]);
+            for k in start + 1..end {
+                let prev_iv = self.hop_iv[k - 1] as usize;
+                let Some(prev_q) = self.pools.live_at(m, prev_iv) else {
                     continue;
                 };
-                let prev_q = self.pools.queue(QueueId::new(prev_interval, prev_idx as u32));
-                if prev_q.front().is_some()
-                    && self.pools.live_assignment(m, hops[k].interval()).is_none()
-                    && !self.pools.has_granted(m, hops[k].interval())
+                let cur_iv = self.hop_iv[k] as usize;
+                if self.pools.queue_at(prev_iv, prev_q).front().is_some()
+                    && self.pools.live_at(m, cur_iv).is_none()
+                    && !self.pools.has_granted_at(m, cur_iv)
                 {
-                    needs.push((m, hops[k]));
+                    self.needs.push((m, self.hops[k]));
                 }
             }
         }
-        let mut requests: Vec<Request> =
-            needs.into_iter().map(|(m, hop)| self.make_request(m, hop)).collect();
-        requests.sort_by_key(|r| r.born);
+        self.requests.clear();
+        let n_iv = self.pools.num_intervals();
+        for idx in 0..self.needs.len() {
+            let (m, hop) = self.needs[idx];
+            let iv = self
+                .pools
+                .interval_index(hop.interval())
+                .expect("needs carry known intervals");
+            let slot = m.index() * n_iv + iv;
+            if self.request_born[slot] == 0 {
+                self.born_counter += 1;
+                self.request_born[slot] = self.born_counter;
+            }
+            self.requests.push(Request { message: m, hop, born: self.request_born[slot] });
+        }
+        self.requests.sort_by_key(|r| r.born);
 
         let grants = {
             let view = PoolView::new(&self.pools);
-            self.policy.grant(&view, &requests)
+            policy.grant(&view, &self.requests)
         };
         let n = grants.len();
         for g in grants {
@@ -258,9 +513,13 @@ impl Simulation {
                 "policy granted a non-free queue"
             );
             self.pools.grant(g.message, g.hop, g.queue);
-            self.request_born.remove(&(g.message, g.hop.interval()));
+            let iv = self
+                .pools
+                .interval_index(g.hop.interval())
+                .expect("grants land on known intervals");
+            self.request_born[g.message.index() * n_iv + iv] = 0;
             self.stats.grants += 1;
-            self.stats.assignment_events.push(crate::AssignmentEvent {
+            self.stats.assignment_events.push(AssignmentEvent {
                 cycle: self.cycle,
                 queue: QueueId::new(g.hop.interval(), g.queue as u32),
                 message: g.message,
@@ -270,58 +529,50 @@ impl Simulation {
         n
     }
 
-    fn make_request(&mut self, m: MessageId, hop: systolic_model::Hop) -> Request {
-        let key = (m, hop.interval());
-        let born = match self.request_born.get(&key) {
-            Some(&b) => b,
-            None => {
-                self.born_counter += 1;
-                self.request_born.insert(key, self.born_counter);
-                self.born_counter
-            }
-        };
-        Request { message: m, hop, born }
-    }
-
     /// Moves words one hop along each route, downstream hops first.
-    fn phase_forwarding(&mut self) -> usize {
+    fn phase_forwarding(&mut self, program: &Program) -> usize {
         let mut moves = 0;
-        let message_ids: Vec<MessageId> = self.program.message_ids().collect();
-        for m in message_ids {
-            let num_hops = self.routes.route(m).num_hops();
-            for k in (1..num_hops).rev() {
-                let Some(src) = self.hop_queue(m, k - 1) else { continue };
-                let Some(dst) = self.hop_queue(m, k) else { continue };
-                if self.pools.queue(src).front().is_none() {
+        for m_idx in 0..self.words_written.len() {
+            let m = MessageId::new(m_idx as u32);
+            let (start, end) = (self.hop_off[m_idx], self.hop_off[m_idx + 1]);
+            for k in (start + 1..end).rev() {
+                let src_iv = self.hop_iv[k - 1] as usize;
+                let dst_iv = self.hop_iv[k] as usize;
+                let Some(src_q) = self.pools.live_at(m, src_iv) else { continue };
+                let Some(dst_q) = self.pools.live_at(m, dst_iv) else { continue };
+                if self.pools.queue_at(src_iv, src_q).front().is_none() {
                     continue;
                 }
-                if !self.pools.queue(dst).can_accept() {
+                if !self.pools.queue_at(dst_iv, dst_q).can_accept() {
                     continue;
                 }
-                let word = self.pools.queue_mut(src).pop();
-                let spilled = self.pools.queue_mut(dst).push(word);
+                let word = self.pools.queue_at_mut(src_iv, src_q).pop();
+                let spilled = self.pools.queue_at_mut(dst_iv, dst_q).push(word);
                 if spilled {
                     self.stats.spill_accesses += 2;
                 }
                 self.stats.words_forwarded += 1;
                 moves += 1;
-                self.note_departure(m, k - 1, src.interval());
+                self.note_departure(program, m, k - 1);
             }
         }
         moves
     }
 
-    /// Records that a word of `m` left the queue at `hop_index`, releasing
-    /// the queue after the message's last word has passed it.
-    fn note_departure(&mut self, m: MessageId, hop_index: usize, interval: Interval) {
-        self.departed[m.index()][hop_index] += 1;
-        if self.departed[m.index()][hop_index] == self.program.word_count(m) {
+    /// Records that a word of `m` left the queue at flat hop index
+    /// `flat_k`, releasing the queue after the message's last word has
+    /// passed it.
+    fn note_departure(&mut self, program: &Program, m: MessageId, flat_k: usize) {
+        self.departed[flat_k] += 1;
+        if self.departed[flat_k] == program.word_count(m) {
+            let iv = self.hop_iv[flat_k] as usize;
             let queue = self
                 .pools
-                .live_assignment(m, interval)
+                .live_at(m, iv)
                 .expect("departing message holds the queue");
+            let interval = self.pools.interval_at(iv);
             self.pools.release(m, interval);
-            self.stats.assignment_events.push(crate::AssignmentEvent {
+            self.stats.assignment_events.push(AssignmentEvent {
                 cycle: self.cycle,
                 queue: QueueId::new(interval, queue as u32),
                 message: m,
@@ -331,18 +582,37 @@ impl Simulation {
     }
 
     /// Each cell attempts its current operation.
-    fn phase_cells(&mut self) -> usize {
+    fn phase_cells(&mut self, program: &Program) -> usize {
         let mut activity = 0;
         // Words present at phase start; same-cycle sender pushes are not
         // readable, giving every transfer at least one cycle of latency.
-        let available: std::collections::BTreeMap<QueueId, usize> =
-            self.pools.iter().map(|(id, q)| (id, q.occupancy())).collect();
-        let mut consumed: std::collections::BTreeMap<QueueId, usize> =
-            std::collections::BTreeMap::new();
+        // Snapshot occupancy only for the queues this cycle's read ops
+        // target (grants happen in phase 1, so assignments are stable
+        // here); everything else keeps a stale stamp and reads as zero.
+        let tag = self.cycle + 1;
+        for idx in 0..self.active.len() {
+            let i = self.active[idx] as usize;
+            if !matches!(self.state[i], CellState::Ready) {
+                continue;
+            }
+            let Some(op) = program.cell(CellId::new(i as u32)).get(self.pc[i]) else {
+                continue;
+            };
+            if op.is_write() {
+                continue;
+            }
+            let m = op.message();
+            let last = self.hop_off[m.index() + 1] - 1;
+            let iv = self.hop_iv[last] as usize;
+            if let Some(q) = self.pools.live_at(m, iv) {
+                let flat = self.pools.flat_index(iv, q);
+                self.avail[flat] = (tag, self.pools.queue_at(iv, q).occupancy());
+            }
+        }
 
-        let cells: Vec<CellId> = self.program.cell_ids().collect();
-        for cell in cells {
-            let i = cell.index();
+        for idx in 0..self.active.len() {
+            let i = self.active[idx] as usize;
+            let cell = CellId::new(i as u32);
             match self.state[i] {
                 CellState::Done => {}
                 CellState::Busy { remaining } => {
@@ -353,101 +623,101 @@ impl Simulation {
                     } else {
                         CellState::Ready
                     };
-                    self.finish_if_done(cell);
+                    self.finish_if_done(program, cell);
                 }
                 CellState::AwaitDeparture { message, word } => {
-                    if self.departed[message.index()][0] > word {
+                    if self.departed[self.hop_off[message.index()]] > word {
                         // The latch released our word: the write completes.
                         self.pc[i] += 1;
                         self.state[i] = CellState::Ready;
                         activity += 1;
-                        self.finish_if_done(cell);
+                        self.finish_if_done(program, cell);
                     } else {
                         self.stats.blocked_cycles[i] += 1;
                     }
                 }
                 CellState::Ready => {
-                    let Some(op) = self.program.cell(cell).get(self.pc[i]) else {
+                    let Some(op) = program.cell(cell).get(self.pc[i]) else {
                         self.state[i] = CellState::Done;
                         activity += 1;
                         continue;
                     };
-                    activity += self.attempt_op(cell, op, &available, &mut consumed);
-                    self.finish_if_done(cell);
+                    activity += self.attempt_op(program, cell, op);
+                    self.finish_if_done(program, cell);
                 }
             }
         }
         activity
     }
 
-    fn finish_if_done(&mut self, cell: CellId) {
+    fn finish_if_done(&mut self, program: &Program, cell: CellId) {
         let i = cell.index();
         if matches!(self.state[i], CellState::Ready)
-            && self.pc[i] >= self.program.cell(cell).len()
+            && self.pc[i] >= program.cell(cell).len()
         {
             self.state[i] = CellState::Done;
         }
     }
 
-    fn attempt_op(
-        &mut self,
-        cell: CellId,
-        op: Op,
-        available: &std::collections::BTreeMap<QueueId, usize>,
-        consumed: &mut std::collections::BTreeMap<QueueId, usize>,
-    ) -> usize {
+    fn attempt_op(&mut self, program: &Program, cell: CellId, op: Op) -> usize {
         let i = cell.index();
         let m = op.message();
+        let cost = self.world.config.cost;
         if op.is_write() {
-            let Some(qid) = self.hop_queue(m, 0) else {
+            let h0 = self.hop_off[m.index()];
+            let iv = self.hop_iv[h0] as usize;
+            let Some(q) = self.pools.live_at(m, iv) else {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
             };
-            if !self.pools.queue(qid).can_accept() {
+            if !self.pools.queue_at(iv, q).can_accept() {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
             }
             let word = Word { message: m, index: self.words_written[m.index()] };
             self.words_written[m.index()] += 1;
-            let spilled = self.pools.queue_mut(qid).push(word);
+            let spilled = self.pools.queue_at_mut(iv, q).push(word);
             if spilled {
                 self.stats.spill_accesses += 2;
             }
-            self.stats.memory_accesses += self.config.cost.write_mem_accesses;
+            self.stats.memory_accesses += cost.write_mem_accesses;
             self.stats.busy_cycles[i] += 1;
-            if self.pools.queue(qid).config().capacity == 0 {
+            if self.pools.queue_at(iv, q).config().capacity == 0 {
                 // Latch semantics: the write completes only when the word
                 // departs (Section 3.2).
                 self.state[i] = CellState::AwaitDeparture { message: m, word: word.index };
             } else {
                 self.pc[i] += 1;
-                let latency = self.config.cost.write_latency();
+                let latency = cost.write_latency();
                 if latency > 1 {
                     self.state[i] = CellState::Busy { remaining: latency - 1 };
                 }
             }
             1
         } else {
-            let last_hop = self.routes.route(m).num_hops() - 1;
-            let Some(qid) = self.hop_queue(m, last_hop) else {
+            let last = self.hop_off[m.index() + 1] - 1;
+            let iv = self.hop_iv[last] as usize;
+            let Some(q) = self.pools.live_at(m, iv) else {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
             };
-            let already = consumed.get(&qid).copied().unwrap_or(0);
-            let at_start = available.get(&qid).copied().unwrap_or(0);
-            if self.pools.queue(qid).front().is_none() || already >= at_start {
+            let flat = self.pools.flat_index(iv, q);
+            let tag = self.cycle + 1;
+            let at_start = if self.avail[flat].0 == tag { self.avail[flat].1 } else { 0 };
+            let already = if self.consumed[flat].0 == tag { self.consumed[flat].1 } else { 0 };
+            if self.pools.queue_at(iv, q).front().is_none() || already >= at_start {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
             }
-            let word = self.pools.queue_mut(qid).pop();
+            let word = self.pools.queue_at_mut(iv, q).pop();
             debug_assert_eq!(word.message, m, "queue serves one message at a time");
-            *consumed.entry(qid).or_insert(0) += 1;
+            self.consumed[flat] = (tag, already + 1);
             self.stats.words_delivered += 1;
-            self.stats.memory_accesses += self.config.cost.read_mem_accesses;
+            self.stats.memory_accesses += cost.read_mem_accesses;
             self.stats.busy_cycles[i] += 1;
-            self.note_departure(m, last_hop, qid.interval());
+            self.note_departure(program, m, last);
             self.pc[i] += 1;
-            let latency = self.config.cost.read_latency();
+            let latency = cost.read_latency();
             if latency > 1 {
                 self.state[i] = CellState::Busy { remaining: latency - 1 };
             }
@@ -456,37 +726,38 @@ impl Simulation {
     }
 
     /// Builds the deadlock report for the current (quiescent) state.
-    fn diagnose(&self) -> DeadlockReport {
+    fn diagnose(&self, program: &Program) -> DeadlockReport {
         let mut blocked = Vec::new();
-        for cell in self.program.cell_ids() {
+        let queue_id = |iv: usize, q: usize| {
+            QueueId::new(self.pools.interval_at(iv), q as u32)
+        };
+        for cell in program.cell_ids() {
             let i = cell.index();
-            let Some(op) = self.program.cell(cell).get(self.pc[i]) else {
+            let Some(op) = program.cell(cell).get(self.pc[i]) else {
                 continue;
             };
             let m = op.message();
             let reason = match self.state[i] {
                 CellState::AwaitDeparture { message, word } => {
-                    let qid = self.hop_queue(message, 0).expect("latch holds assignment");
-                    BlockReason::AwaitingDeparture { queue: qid, word }
+                    let h0 = self.hop_off[message.index()];
+                    let iv = self.hop_iv[h0] as usize;
+                    let q = self.pools.live_at(message, iv).expect("latch holds assignment");
+                    BlockReason::AwaitingDeparture { queue: queue_id(iv, q), word }
                 }
-                _ if op.is_write() => match self.hop_queue(m, 0) {
-                    None => BlockReason::NoQueueAssigned {
-                        hop: self.routes.route(m).hops().next().expect("nonempty route"),
-                    },
-                    Some(qid) => BlockReason::QueueFull { queue: qid },
-                },
+                _ if op.is_write() => {
+                    let h0 = self.hop_off[m.index()];
+                    let iv = self.hop_iv[h0] as usize;
+                    match self.pools.live_at(m, iv) {
+                        None => BlockReason::NoQueueAssigned { hop: self.hops[h0] },
+                        Some(q) => BlockReason::QueueFull { queue: queue_id(iv, q) },
+                    }
+                }
                 _ => {
-                    let last = self.routes.route(m).num_hops() - 1;
-                    match self.hop_queue(m, last) {
-                        None => BlockReason::NoQueueAssigned {
-                            hop: self
-                                .routes
-                                .route(m)
-                                .hops()
-                                .nth(last)
-                                .expect("last hop exists"),
-                        },
-                        Some(qid) => BlockReason::QueueEmpty { queue: qid },
+                    let last = self.hop_off[m.index() + 1] - 1;
+                    let iv = self.hop_iv[last] as usize;
+                    match self.pools.live_at(m, iv) {
+                        None => BlockReason::NoQueueAssigned { hop: self.hops[last] },
+                        Some(q) => BlockReason::QueueEmpty { queue: queue_id(iv, q) },
                     }
                 }
             };
@@ -503,6 +774,50 @@ impl Simulation {
             })
             .collect();
         DeadlockReport { cycle: self.cycle, blocked, queues }
+    }
+}
+
+/// A configured one-shot simulation, ready to run.
+///
+/// This is the convenience wrapper over the [`SimWorld`]/[`SimArena`]
+/// split: it builds a fresh world and arena for a single replay. Batch
+/// callers reuse one [`SimArena`] across replays instead.
+#[derive(Debug)]
+pub struct Simulation {
+    arena: SimArena,
+    program: Program,
+    routes: MessageRoutes,
+    policy: Box<dyn AssignmentPolicy>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `program` over `topology` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns routing/validation errors from
+    /// [`MessageRoutes::compute`].
+    pub fn new(
+        program: &Program,
+        topology: &Topology,
+        policy: Box<dyn AssignmentPolicy>,
+        config: SimConfig,
+    ) -> Result<Self, ModelError> {
+        let world = SimWorld::new(topology, config);
+        let routes = world.routes_for(program)?;
+        Ok(Simulation {
+            arena: SimArena::new(world),
+            program: program.clone(),
+            routes,
+            policy,
+        })
+    }
+
+    /// Runs to completion, deadlock, or the cycle limit.
+    #[must_use]
+    pub fn run(mut self) -> RunOutcome {
+        self.arena
+            .run_with_routes(&self.program, &self.routes, self.policy.as_mut())
     }
 }
 
@@ -820,5 +1135,150 @@ mod tests {
             let out = run_simulation(&program, &topology, policy, buffered(8, 2)).unwrap();
             assert!(out.is_completed(), "workload failed: {out:?}");
         }
+    }
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::*;
+    use crate::{CompatiblePolicy, GreedyPolicy};
+    use systolic_core::{AnalysisConfig, Analyzer};
+    use systolic_model::parse_program;
+    use systolic_workloads as wl;
+
+    /// Replaying through one arena must be bit-identical to fresh
+    /// one-shot simulations — for completions and for deadlocks.
+    #[test]
+    fn arena_replays_match_one_shot_runs() {
+        let cases: Vec<(Program, Topology, usize)> = vec![
+            (wl::fig7(3), wl::fig7_topology(), 1),
+            (wl::fig7(2), wl::fig7_topology(), 1),
+            (wl::fig7(5), wl::fig7_topology(), 1),
+        ];
+        let config = SimConfig::default();
+        let mut arena = SimArena::from_topology(&wl::fig7_topology(), config);
+        for (program, topology, queues) in cases {
+            let a_config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+            let plan = Analyzer::for_topology(&topology, &a_config)
+                .analyze(&program)
+                .unwrap()
+                .into_plan();
+            let mut policy = CompatiblePolicy::new(plan.clone());
+            let arena_out = arena.run(&program, &mut policy).unwrap();
+            let fresh_out = run_simulation(
+                &program,
+                &topology,
+                Box::new(CompatiblePolicy::new(plan)),
+                config,
+            )
+            .unwrap();
+            assert_eq!(arena_out.is_completed(), fresh_out.is_completed());
+            assert_eq!(arena_out.stats().cycles, fresh_out.stats().cycles);
+            assert_eq!(
+                arena_out.stats().words_delivered,
+                fresh_out.stats().words_delivered
+            );
+            assert_eq!(arena_out.stats().grants, fresh_out.stats().grants);
+        }
+    }
+
+    /// Stateful policies reset with the arena: a FIFO policy reused across
+    /// replays must not carry a deadlocked run's arrival lines into the
+    /// next run (its stale entries would grab queues for messages that
+    /// never requested them).
+    #[test]
+    fn stateful_policy_resets_between_replays() {
+        use crate::FifoPolicy;
+        let t = Topology::linear(2);
+        let mut arena = SimArena::from_topology(
+            &t,
+            SimConfig { queues_per_interval: 1, ..Default::default() },
+        );
+        let mut fifo = FifoPolicy::new();
+        // P1 deadlocks with 1 queue, leaving requests waiting in the line.
+        let out = arena.run(&wl::fig5_p1(), &mut fifo).unwrap();
+        assert!(out.is_deadlocked());
+        // A fresh transfer through the same (reused) policy must complete.
+        let ok = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let out = arena.run(&ok, &mut fifo).unwrap();
+        assert!(out.is_completed(), "stale FIFO lines leaked into the replay: {out:?}");
+    }
+
+    /// A deadlocked replay must not poison later replays in the same
+    /// arena: the reset clears queues, assignments and history.
+    #[test]
+    fn deadlocked_replay_does_not_poison_the_arena() {
+        let t = Topology::linear(2);
+        let mut arena = SimArena::from_topology(
+            &t,
+            SimConfig { queues_per_interval: 2, ..Default::default() },
+        );
+        let mut greedy = GreedyPolicy::new();
+        let p3 = wl::fig5_p3();
+        let out = arena.run(&p3, &mut greedy).unwrap();
+        assert!(out.is_deadlocked(), "P3 deadlocks");
+
+        let ok = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let out = arena.run(&ok, &mut greedy).unwrap();
+        assert!(out.is_completed(), "arena is clean after a deadlock: {out:?}");
+        assert_eq!(out.stats().words_delivered, 1);
+    }
+
+    /// `ensure_queues` grows the pool between replays; runs needing fewer
+    /// queues are unaffected by the larger pool under the compatible
+    /// policy (it only draws from its per-direction ranges).
+    #[test]
+    fn ensure_queues_grows_between_replays() {
+        let t = wl::fig9_topology();
+        let p = wl::fig9();
+        let mut arena = SimArena::from_topology(&t, SimConfig::default());
+        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let plan = Analyzer::for_topology(&t, &config).analyze(&p).unwrap().into_plan();
+        arena.ensure_queues(plan.requirements().max_per_interval());
+        let mut policy = CompatiblePolicy::new(plan);
+        let out = arena.run(&p, &mut policy).unwrap();
+        assert!(out.is_completed(), "{out:?}");
+    }
+
+    /// Worlds built from a `CompiledTopology` route from the closure and
+    /// behave identically to plain worlds.
+    #[test]
+    fn compiled_world_matches_plain_world() {
+        let t = wl::fig7_topology();
+        let p = wl::fig7(4);
+        let plan = Analyzer::for_topology(&t, &AnalysisConfig::default())
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
+        let compiled =
+            CompiledTopology::compile(&t, &AnalysisConfig::default()).into_shared();
+        let mut plain = SimArena::from_topology(&t, SimConfig::default());
+        let mut via_compiled = SimArena::from_compiled(compiled, SimConfig::default());
+        let mut policy_a = CompatiblePolicy::new(plan.clone());
+        let mut policy_b = CompatiblePolicy::new(plan);
+        let a = plain.run(&p, &mut policy_a).unwrap();
+        let b = via_compiled.run(&p, &mut policy_b).unwrap();
+        assert_eq!(a.stats().cycles, b.stats().cycles);
+        assert_eq!(a.stats().words_delivered, b.stats().words_delivered);
+    }
+
+    #[test]
+    fn run_rejects_cell_count_mismatch() {
+        let p = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
+        )
+        .unwrap();
+        let mut arena = SimArena::from_topology(&Topology::linear(3), SimConfig::default());
+        let mut policy = GreedyPolicy::new();
+        assert!(matches!(
+            arena.run(&p, &mut policy),
+            Err(ModelError::CellCountMismatch { .. })
+        ));
     }
 }

@@ -20,6 +20,45 @@
 //! * quiescence-based deadlock detection with a full
 //!   [diagnosis](DeadlockReport).
 //!
+//! # Verifying at scale
+//!
+//! The engine is split into an immutable per-batch [`SimWorld`] (topology,
+//! optionally precompiled; simulation parameters) and a reusable
+//! [`SimArena`] whose run state — queue pools, program counters, per-hop
+//! word tables — is **reset in place** between replays rather than
+//! reallocated. Batch verification ([`verify_batch_compiled`]) replays a
+//! whole batch of certified plans through one arena: routes come from each
+//! plan, plans are shared as `Arc<CommPlan>`, and the queue pool grows to
+//! the batch's largest requirement once. That is what lets a serving layer
+//! chase cached analyses with simulator replays at cache-hit throughput.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology};
+//! use systolic_sim::{verify_batch_compiled, SimConfig};
+//! use systolic_workloads::{fig7, fig7_topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topology = fig7_topology();
+//! let compiled = CompiledTopology::compile(&topology, &AnalysisConfig::default()).into_shared();
+//! let analyzer = Analyzer::new(Arc::clone(&compiled));
+//! let batch: Vec<_> = (2..6)
+//!     .map(|reps| {
+//!         let program = fig7(reps);
+//!         let plan = Arc::new(analyzer.analyze(&program)?.into_plan());
+//!         Ok::<_, systolic_core::CoreError>((program, plan))
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//! let reports = verify_batch_compiled(
+//!     batch.iter().map(|(p, plan)| (p, plan)),
+//!     &compiled,
+//!     SimConfig::default(),
+//! )?;
+//! assert!(reports.iter().all(|r| r.completed));
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Examples
 //!
 //! Fig. 7 end-to-end: the naive policy deadlocks, the compatible policy
@@ -66,7 +105,7 @@ mod verify;
 
 pub use cost::CostModel;
 pub use deadlock::{BlockReason, BlockedCell, DeadlockReport, QueueSnapshot};
-pub use engine::{run_simulation, RunOutcome, SimConfig, Simulation};
+pub use engine::{run_simulation, RunOutcome, SimArena, SimConfig, SimWorld, Simulation};
 pub use policy::{
     AssignmentPolicy, CompatiblePolicy, FifoPolicy, Grant, GreedyPolicy, Request, StaticPolicy,
 };
@@ -74,5 +113,6 @@ pub use pool::{PoolView, QueuePools};
 pub use queue::{HwQueue, QueueConfig, Word};
 pub use stats::{AssignmentEvent, RunStats};
 pub use verify::{
-    verify_batch, verify_batch_compiled, verify_plan, verify_plan_compiled, VerifyReport,
+    verify_batch, verify_batch_compiled, verify_plan, verify_plan_compiled, ReplayDeadlock,
+    VerifyReport,
 };

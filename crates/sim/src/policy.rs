@@ -14,6 +14,7 @@
 //!   overtaking; equally label-blind.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use systolic_core::CommPlan;
 use systolic_model::{Hop, Interval, MessageId};
@@ -54,6 +55,12 @@ pub trait AssignmentPolicy: std::fmt::Debug {
 
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Called by the engine at the start of every replay, so stateful
+    /// policies reset alongside the arena ([`crate::SimArena`] reuses one
+    /// policy across replays). Plan-driven and stateless policies need no
+    /// override; [`FifoPolicy`] clears its arrival lines here.
+    fn begin_run(&mut self) {}
 }
 
 /// Static assignment: all queues are dedicated before execution.
@@ -159,6 +166,11 @@ impl AssignmentPolicy for FifoPolicy {
     fn name(&self) -> &'static str {
         "fifo"
     }
+
+    fn begin_run(&mut self) {
+        self.waiting.clear();
+        self.seen.clear();
+    }
 }
 
 /// Label-blind free-for-all: any requester may take any free queue; later
@@ -205,33 +217,23 @@ impl AssignmentPolicy for GreedyPolicy {
 ///    a queue to a message prior to the message's arrival").
 #[derive(Clone, Debug)]
 pub struct CompatiblePolicy {
-    plan: CommPlan,
-    /// Per-direction sub-pool of queue indices on each interval.
-    ///
-    /// The ordered/simultaneous rules only constrain *competing* (same
-    /// direction) messages; two opposite-direction messages are invisible
-    /// to each other under the rules, yet they would share the physical
-    /// pool — and can then hold-and-wait across intervals into a deadlock
-    /// the rules never see. Theorem 1's compatibility clause ("…or can be
-    /// guaranteed to secure a queue in the future") demands that each
-    /// competing set has its own guaranteed supply, so the pool is
-    /// partitioned per direction according to the plan's per-hop
-    /// requirement.
+    /// Shared, not cloned: a batch of replays (and the serving layer's
+    /// cache) hand the same certified plan to many policies.
+    plan: Arc<CommPlan>,
+    /// Per-direction sub-pool of queue indices on each interval — see
+    /// [`CommPlan::direction_queue_ranges`] for the starvation rationale.
     ranges: BTreeMap<Hop, std::ops::Range<usize>>,
 }
 
 impl CompatiblePolicy {
     /// Builds the policy from the analysis plan (labels + competing sets).
+    ///
+    /// Accepts an owned [`CommPlan`] or a shared [`Arc<CommPlan>`]; batch
+    /// callers pass `Arc` clones so the plan is borrowed, never deep-cloned.
     #[must_use]
-    pub fn new(plan: CommPlan) -> Self {
-        let mut ranges: BTreeMap<Hop, std::ops::Range<usize>> = BTreeMap::new();
-        let mut next_start: BTreeMap<Interval, usize> = BTreeMap::new();
-        for (hop, _) in plan.competing().iter() {
-            let need = plan.requirements().on_hop(hop);
-            let start = next_start.entry(hop.interval()).or_insert(0);
-            ranges.insert(hop, *start..*start + need);
-            *start += need;
-        }
+    pub fn new(plan: impl Into<Arc<CommPlan>>) -> Self {
+        let plan = plan.into();
+        let ranges = plan.direction_queue_ranges();
         CompatiblePolicy { plan, ranges }
     }
 

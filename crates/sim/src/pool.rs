@@ -1,76 +1,210 @@
 //! Per-interval queue pools and assignment bookkeeping.
-
-use std::collections::BTreeMap;
+//!
+//! The pools are laid out as an **arena**: one flat `Vec<HwQueue>` indexed
+//! by `(interval index, queue index)` plus flat per-`(message, interval)`
+//! assignment tables, so a batch of replays ([`crate::SimArena`]) can
+//! [`reset`](QueuePools::reset_for) the whole structure in place — no
+//! per-run map rebuilds, no reallocation. The interval table is sorted, so
+//! interval-keyed lookups are a binary search over a slice.
 
 use systolic_model::{Hop, Interval, MessageId, QueueId};
 
 use crate::{HwQueue, QueueConfig};
 
+/// Sentinel in the live-assignment table: no queue held.
+const NONE: u32 = u32::MAX;
+
 /// The hardware's queues, organized per interval, plus the record of which
 /// message holds (or has held) which queue.
+///
+/// Interval-keyed methods accept any [`Interval`]; unknown intervals read
+/// as empty pools (and panic on mutation, as before).
 #[derive(Clone, Debug)]
 pub struct QueuePools {
-    pools: BTreeMap<Interval, Vec<HwQueue>>,
-    /// Live assignments: (message, interval) → queue index.
-    live: BTreeMap<(MessageId, Interval), usize>,
-    /// Every (message, interval) that has ever been granted a queue — the
-    /// "has been successfully assigned" predicate of the ordered-assignment
-    /// rule.
-    history: BTreeMap<(MessageId, Interval), usize>,
+    /// Sorted interval table; position = interval index.
+    intervals: Vec<Interval>,
+    queues_per_interval: usize,
+    config: QueueConfig,
+    /// Flat queue storage: `interval index * queues_per_interval + queue`.
+    queues: Vec<HwQueue>,
+    /// Messages the assignment tables currently cover.
+    num_messages: usize,
+    /// Live assignments: `message * intervals + interval index` → queue
+    /// index, `NONE` if unheld.
+    live: Vec<u32>,
+    /// Every (message, interval) ever granted a queue — the "has been
+    /// successfully assigned" predicate of the ordered-assignment rule.
+    history: Vec<bool>,
 }
 
 impl QueuePools {
     /// Builds pools with `queues_per_interval` queues of `config` on each
-    /// of `intervals`.
+    /// of `intervals` (sorted and deduplicated).
     #[must_use]
     pub fn uniform(
         intervals: impl IntoIterator<Item = Interval>,
         queues_per_interval: usize,
         config: QueueConfig,
     ) -> Self {
-        let pools = intervals
-            .into_iter()
-            .map(|iv| (iv, (0..queues_per_interval).map(|_| HwQueue::new(config)).collect()))
+        let mut intervals: Vec<Interval> = intervals.into_iter().collect();
+        intervals.sort_unstable();
+        intervals.dedup();
+        let queues = (0..intervals.len() * queues_per_interval)
+            .map(|_| HwQueue::new(config))
             .collect();
-        QueuePools { pools, live: BTreeMap::new(), history: BTreeMap::new() }
+        QueuePools {
+            intervals,
+            queues_per_interval,
+            config,
+            queues,
+            num_messages: 0,
+            live: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Resets every queue and assignment table in place and sizes the
+    /// per-message tables for `num_messages` messages. Allocations are
+    /// kept; only contents are cleared — the arena's per-replay entry
+    /// point.
+    pub fn reset_for(&mut self, num_messages: usize) {
+        for q in &mut self.queues {
+            q.reset();
+        }
+        self.num_messages = num_messages;
+        let cells = num_messages * self.intervals.len();
+        self.live.clear();
+        self.live.resize(cells, NONE);
+        self.history.clear();
+        self.history.resize(cells, false);
+    }
+
+    /// Raises the pool to `queues_per_interval` queues on every interval
+    /// (a no-op if the pool is already at least that wide). The flat
+    /// layout changes, so this also clears all queues and assignments;
+    /// call it before (or as part of) a reset, never mid-run.
+    pub fn ensure_queues_per_interval(&mut self, queues_per_interval: usize) {
+        if queues_per_interval <= self.queues_per_interval {
+            return;
+        }
+        self.queues_per_interval = queues_per_interval;
+        let config = self.config;
+        self.queues.clear();
+        self.queues.resize_with(self.intervals.len() * queues_per_interval, || {
+            HwQueue::new(config)
+        });
+        let messages = self.num_messages;
+        self.reset_for(messages);
+    }
+
+    /// Position of `interval` in the sorted interval table, if present.
+    #[must_use]
+    pub fn interval_index(&self, interval: Interval) -> Option<usize> {
+        self.intervals.binary_search(&interval).ok()
+    }
+
+    /// The interval at table position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn interval_at(&self, index: usize) -> Interval {
+        self.intervals[index]
+    }
+
+    /// Number of intervals covered by the pools.
+    #[must_use]
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total queue count across all intervals (the flat arena size).
+    #[must_use]
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
     }
 
     /// The intervals covered by the pools.
     pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.pools.keys().copied()
+        self.intervals.iter().copied()
     }
 
     /// Number of queues on `interval` (0 if unknown).
     #[must_use]
     pub fn pool_size(&self, interval: Interval) -> usize {
-        self.pools.get(&interval).map_or(0, Vec::len)
+        if self.interval_index(interval).is_some() {
+            self.queues_per_interval
+        } else {
+            0
+        }
     }
 
     /// Indices of currently free queues on `interval`.
     #[must_use]
     pub fn free_queues(&self, interval: Interval) -> Vec<usize> {
-        self.pools
-            .get(&interval)
-            .map(|qs| {
-                qs.iter()
-                    .enumerate()
-                    .filter(|(_, q)| q.is_free())
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .unwrap_or_default()
+        let Some(iv) = self.interval_index(interval) else {
+            return Vec::new();
+        };
+        self.queue_slice(iv)
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.is_free())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn queue_slice(&self, iv: usize) -> &[HwQueue] {
+        &self.queues[iv * self.queues_per_interval..(iv + 1) * self.queues_per_interval]
+    }
+
+    fn table_index(&self, message: MessageId, iv: usize) -> Option<usize> {
+        if message.index() >= self.num_messages {
+            return None;
+        }
+        Some(message.index() * self.intervals.len() + iv)
+    }
+
+    /// Grows the per-message tables to cover `message` (used by callers
+    /// that grant directly without an arena-style reset, e.g. tests).
+    fn ensure_message(&mut self, message: MessageId) {
+        if message.index() >= self.num_messages {
+            self.num_messages = message.index() + 1;
+            let cells = self.num_messages * self.intervals.len();
+            self.live.resize(cells, NONE);
+            self.history.resize(cells, false);
+        }
     }
 
     /// `true` if `message` holds or has ever held a queue on `interval`.
     #[must_use]
     pub fn has_granted(&self, message: MessageId, interval: Interval) -> bool {
-        self.history.contains_key(&(message, interval))
+        self.interval_index(interval)
+            .and_then(|iv| self.table_index(message, iv))
+            .is_some_and(|i| self.history[i])
     }
 
     /// The queue currently serving `message` on `interval`, if any.
     #[must_use]
     pub fn live_assignment(&self, message: MessageId, interval: Interval) -> Option<usize> {
-        self.live.get(&(message, interval)).copied()
+        let iv = self.interval_index(interval)?;
+        self.live_at(message, iv)
+    }
+
+    /// [`QueuePools::has_granted`] by interval *index* — the arena's
+    /// hot-path lookup (no interval search).
+    #[must_use]
+    pub fn has_granted_at(&self, message: MessageId, iv: usize) -> bool {
+        self.table_index(message, iv).is_some_and(|i| self.history[i])
+    }
+
+    /// [`QueuePools::live_assignment`] by interval *index* — the arena's
+    /// hot-path lookup (no interval search).
+    #[must_use]
+    pub fn live_at(&self, message: MessageId, iv: usize) -> Option<usize> {
+        let i = self.table_index(message, iv)?;
+        let q = self.live[i];
+        (q != NONE).then_some(q as usize)
     }
 
     /// Grants queue `index` of `hop.interval()` to `message`.
@@ -81,15 +215,16 @@ impl QueuePools {
     /// already holds a queue on the interval.
     pub fn grant(&mut self, message: MessageId, hop: Hop, index: usize) {
         let interval = hop.interval();
-        let queue = self
-            .pools
-            .get_mut(&interval)
-            .and_then(|qs| qs.get_mut(index))
+        let iv = self
+            .interval_index(interval)
+            .filter(|_| index < self.queues_per_interval)
             .unwrap_or_else(|| panic!("no queue {index} on {interval}"));
-        queue.assign(message, hop);
-        let prev = self.live.insert((message, interval), index);
-        assert!(prev.is_none(), "{message} already holds a queue on {interval}");
-        self.history.insert((message, interval), index);
+        self.ensure_message(message);
+        self.queues[iv * self.queues_per_interval + index].assign(message, hop);
+        let t = self.table_index(message, iv).expect("message ensured");
+        assert!(self.live[t] == NONE, "{message} already holds a queue on {interval}");
+        self.live[t] = index as u32;
+        self.history[t] = true;
     }
 
     /// Releases the queue serving `message` on `interval` (after its last
@@ -100,15 +235,14 @@ impl QueuePools {
     /// Panics if the message holds no queue there or words remain buffered.
     pub fn release(&mut self, message: MessageId, interval: Interval) {
         let index = self
-            .live
-            .remove(&(message, interval))
+            .interval_index(interval)
+            .and_then(|iv| self.table_index(message, iv))
+            .filter(|&t| self.live[t] != NONE)
             .unwrap_or_else(|| panic!("{message} holds no queue on {interval}"));
-        self.pools
-            .get_mut(&interval)
-            .expect("interval exists")
-            .get_mut(index)
-            .expect("index in range")
-            .release();
+        let iv = self.interval_index(interval).expect("checked above");
+        let q = self.live[index] as usize;
+        self.live[index] = NONE;
+        self.queues[iv * self.queues_per_interval + q].release();
     }
 
     /// Immutable access to a queue.
@@ -118,7 +252,10 @@ impl QueuePools {
     /// Panics if the queue does not exist.
     #[must_use]
     pub fn queue(&self, id: QueueId) -> &HwQueue {
-        &self.pools[&id.interval()][id.index()]
+        let iv = self
+            .interval_index(id.interval())
+            .unwrap_or_else(|| panic!("no interval {} in the pools", id.interval()));
+        &self.queue_slice(iv)[id.index()]
     }
 
     /// Mutable access to a queue.
@@ -128,26 +265,45 @@ impl QueuePools {
     /// Panics if the queue does not exist.
     #[must_use]
     pub fn queue_mut(&mut self, id: QueueId) -> &mut HwQueue {
-        self.pools
-            .get_mut(&id.interval())
-            .expect("interval exists")
-            .get_mut(id.index())
-            .expect("index in range")
+        let iv = self
+            .interval_index(id.interval())
+            .unwrap_or_else(|| panic!("no interval {} in the pools", id.interval()));
+        let index = id.index();
+        assert!(index < self.queues_per_interval, "no queue {index} on {}", id.interval());
+        &mut self.queues[iv * self.queues_per_interval + index]
     }
 
-    /// Iterates over every `(queue id, queue)` pair.
+    /// Access by flat `(interval index, queue index)` coordinates — the
+    /// arena's hot-path accessor (no interval search).
+    #[must_use]
+    pub fn queue_at(&self, iv: usize, index: usize) -> &HwQueue {
+        &self.queues[iv * self.queues_per_interval + index]
+    }
+
+    /// Mutable [`QueuePools::queue_at`].
+    #[must_use]
+    pub fn queue_at_mut(&mut self, iv: usize, index: usize) -> &mut HwQueue {
+        &mut self.queues[iv * self.queues_per_interval + index]
+    }
+
+    /// The flat arena position of queue `index` on interval `iv`.
+    #[must_use]
+    pub fn flat_index(&self, iv: usize, index: usize) -> usize {
+        iv * self.queues_per_interval + index
+    }
+
+    /// Iterates over every `(queue id, queue)` pair in interval order.
     pub fn iter(&self) -> impl Iterator<Item = (QueueId, &HwQueue)> + '_ {
-        self.pools.iter().flat_map(|(iv, qs)| {
-            qs.iter()
-                .enumerate()
-                .map(move |(i, q)| (QueueId::new(*iv, i as u32), q))
+        self.queues.iter().enumerate().map(move |(flat, q)| {
+            let iv = self.intervals[flat / self.queues_per_interval];
+            (QueueId::new(iv, (flat % self.queues_per_interval) as u32), q)
         })
     }
 
     /// Sum of spill events across all queues.
     #[must_use]
     pub fn total_spills(&self) -> usize {
-        self.iter().map(|(_, q)| q.spills()).sum()
+        self.queues.iter().map(HwQueue::spills).sum()
     }
 }
 
@@ -264,5 +420,43 @@ mod tests {
         p.queue_mut(qid).push(Word { message: m, index: 0 });
         p.queue_mut(qid).push(Word { message: m, index: 1 });
         assert_eq!(p.total_spills(), 1);
+    }
+
+    #[test]
+    fn reset_for_clears_everything_in_place() {
+        let mut p = pools(2);
+        let m = MessageId::new(1);
+        p.grant(m, hop(), 0);
+        p.queue_mut(QueueId::new(iv(), 0)).push(Word { message: m, index: 0 });
+        p.reset_for(3);
+        assert_eq!(p.free_queues(iv()), vec![0, 1]);
+        assert_eq!(p.live_assignment(m, iv()), None);
+        assert!(!p.has_granted(m, iv()), "history is per replay");
+        assert_eq!(p.queue(QueueId::new(iv(), 0)).occupancy(), 0);
+        // And the pool is immediately reusable.
+        p.grant(m, hop(), 1);
+        assert_eq!(p.live_assignment(m, iv()), Some(1));
+    }
+
+    #[test]
+    fn ensure_queues_only_grows() {
+        let mut p = pools(1);
+        assert_eq!(p.pool_size(iv()), 1);
+        p.ensure_queues_per_interval(3);
+        assert_eq!(p.pool_size(iv()), 3);
+        assert_eq!(p.free_queues(iv()), vec![0, 1, 2]);
+        p.ensure_queues_per_interval(2);
+        assert_eq!(p.pool_size(iv()), 3, "never shrinks");
+        assert_eq!(p.num_queues(), 3);
+    }
+
+    #[test]
+    fn unknown_interval_reads_as_empty() {
+        let p = pools(2);
+        let other = Interval::new(CellId::new(4), CellId::new(5));
+        assert_eq!(p.pool_size(other), 0);
+        assert!(p.free_queues(other).is_empty());
+        assert!(!p.has_granted(MessageId::new(0), other));
+        assert_eq!(p.live_assignment(MessageId::new(0), other), None);
     }
 }

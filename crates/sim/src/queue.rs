@@ -213,6 +213,22 @@ impl HwQueue {
         word
     }
 
+    /// Clears the queue back to its just-constructed state — assignment,
+    /// buffered words, spill and high-water counters — keeping the
+    /// configuration and, crucially, the already-allocated ring buffers.
+    /// This is how an arena ([`crate::SimArena`]) reuses one pool of
+    /// queues across many replays without reallocating.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.ext.clear();
+        self.assigned = None;
+        self.direction = None;
+        self.departed = 0;
+        self.accepted = 0;
+        self.spills = 0;
+        self.high_water = 0;
+    }
+
     /// Releases the queue after the current message's last word has passed.
     ///
     /// # Panics
@@ -322,6 +338,25 @@ mod tests {
         q.assign(MessageId::new(0), hop());
         q.push(w(0));
         q.release();
+    }
+
+    #[test]
+    fn reset_restores_fresh_state_keeping_config() {
+        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: true });
+        q.assign(MessageId::new(0), hop());
+        q.push(w(0));
+        q.push(w(1)); // spills
+        assert_eq!(q.spills(), 1);
+        q.reset();
+        assert!(q.is_free());
+        assert_eq!(q.occupancy(), 0);
+        assert_eq!(q.spills(), 0);
+        assert_eq!(q.high_water(), 0);
+        assert_eq!(q.departed(), 0);
+        assert_eq!(q.config(), QueueConfig { capacity: 1, extension: true });
+        // Usable again immediately.
+        q.assign(MessageId::new(1), hop());
+        assert!(q.can_accept());
     }
 
     #[test]

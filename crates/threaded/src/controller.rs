@@ -12,15 +12,20 @@ use systolic_model::{Hop, Interval, MessageId};
 use crate::{Liveness, Poisoned};
 
 /// Which assignment discipline the controller enforces.
+///
+/// Plan-driven modes hold the certified plan as an [`Arc<CommPlan>`]: the
+/// serving layer and batch runners share one plan across many runtimes
+/// without deep-cloning. Use [`ControlMode::compatible`] /
+/// [`ControlMode::dedicated`] to build them from owned or shared plans.
 #[derive(Clone, Debug)]
 pub enum ControlMode {
     /// The paper's compatible dynamic assignment (ordered + simultaneous
     /// rules, Section 7), driven by the plan's labels and competing sets.
-    Compatible(CommPlan),
+    Compatible(Arc<CommPlan>),
     /// Static assignment: every message owns a dedicated queue on each
     /// interval it crosses, precomputed from the plan's routes. Requires
     /// enough queues; "automatically compatible" (Section 7).
-    Static(CommPlan),
+    Static(Arc<CommPlan>),
     /// First-come-first-served, label-blind (the Fig. 7 strawman).
     Fifo,
     /// Any free queue to any requester.
@@ -28,6 +33,18 @@ pub enum ControlMode {
 }
 
 impl ControlMode {
+    /// [`ControlMode::Compatible`] from an owned or shared plan.
+    #[must_use]
+    pub fn compatible(plan: impl Into<Arc<CommPlan>>) -> Self {
+        ControlMode::Compatible(plan.into())
+    }
+
+    /// [`ControlMode::Static`] from an owned or shared plan.
+    #[must_use]
+    pub fn dedicated(plan: impl Into<Arc<CommPlan>>) -> Self {
+        ControlMode::Static(plan.into())
+    }
+
     /// Short name for experiment tables.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -53,9 +70,19 @@ struct CtrlState {
 }
 
 /// Grants queue indices to messages under a [`ControlMode`].
+///
+/// Plan-derived decision tables — the per-direction queue ranges of the
+/// compatible mode, the dedicated slots of the static mode — are
+/// precomputed once at construction, so the per-grant work under the lock
+/// is a table lookup rather than a scan of the plan.
 #[derive(Debug)]
 pub struct Controller {
     mode: ControlMode,
+    /// Compatible mode: per-direction sub-pool of queue indices on each
+    /// interval (`CommPlan::direction_queue_ranges`).
+    ranges: BTreeMap<Hop, std::ops::Range<usize>>,
+    /// Static mode: dedicated queue slot per `(message, interval)`.
+    slots: BTreeMap<(MessageId, Interval), usize>,
     state: Mutex<CtrlState>,
     cv: Condvar,
     live_flag: Arc<Liveness>,
@@ -75,7 +102,35 @@ impl Controller {
         for iv in intervals {
             state.free.insert(iv, (0..queues_per_interval).collect());
         }
-        Controller { mode, state: Mutex::new(state), cv: Condvar::new(), live_flag }
+        let mut ranges = BTreeMap::new();
+        let mut slots = BTreeMap::new();
+        match &mode {
+            ControlMode::Compatible(plan) => {
+                ranges = plan.direction_queue_ranges();
+            }
+            ControlMode::Static(plan) => {
+                // Dedicated slot: the i-th message crossing the interval
+                // (in declaration order) owns queue i. Deterministic and
+                // collision-free when the pool is large enough.
+                let mut used: BTreeMap<Interval, usize> = BTreeMap::new();
+                for (m, route) in plan.routes().iter() {
+                    for iv in route.intervals() {
+                        let slot = used.entry(iv).or_insert(0);
+                        slots.insert((m, iv), *slot);
+                        *slot += 1;
+                    }
+                }
+            }
+            ControlMode::Fifo | ControlMode::Greedy => {}
+        }
+        Controller {
+            mode,
+            ranges,
+            slots,
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            live_flag,
+        }
     }
 
     /// Wakes all waiters (used by the watchdog after poisoning).
@@ -184,19 +239,11 @@ impl Controller {
                     false
                 }
             }
-            ControlMode::Static(plan) => {
-                // Dedicated slot: the i-th message crossing the interval
-                // (in declaration order) owns queue i. Deterministic and
-                // collision-free when the pool is large enough.
-                let mut slot = 0usize;
-                for (other, route) in plan.routes().iter() {
-                    if route.intervals().any(|iv| iv == interval) {
-                        if other == message {
-                            break;
-                        }
-                        slot += 1;
-                    }
-                }
+            ControlMode::Static(_) => {
+                // Precomputed dedicated slot (see `Controller::new`).
+                let Some(&slot) = self.slots.get(&(message, interval)) else {
+                    return false;
+                };
                 let free = st.free.entry(interval).or_default();
                 let Some(pos) = free.iter().position(|&q| q == slot) else {
                     return false;
@@ -229,26 +276,10 @@ impl Controller {
                         plan.label(other) == label && !st.history.contains(&(other, interval))
                     })
                     .collect();
-                // Per-direction sub-pool (see `sim::CompatiblePolicy`):
-                // opposite-direction messages must not starve this hop's
-                // competing set, so each direction draws from its own range
-                // of queue indices, sized by the plan's requirement.
-                let range = {
-                    let mut start = 0usize;
-                    let mut found = None;
-                    for (other_hop, _) in plan.competing().iter() {
-                        if other_hop.interval() != interval {
-                            continue;
-                        }
-                        let need = plan.requirements().on_hop(other_hop);
-                        if other_hop == hop {
-                            found = Some(start..start + need);
-                            break;
-                        }
-                        start += need;
-                    }
-                    found.unwrap_or(0..0)
-                };
+                // Per-direction sub-pool, precomputed at construction
+                // (`CommPlan::direction_queue_ranges`): opposite-direction
+                // messages must not starve this hop's competing set.
+                let range = self.ranges.get(&hop).cloned().unwrap_or(0..0);
                 let free = st.free.entry(interval).or_default();
                 let usable: Vec<usize> =
                     free.iter().copied().filter(|q| range.contains(q)).collect();
@@ -321,7 +352,7 @@ mod tests {
         let hop = Hop::new(CellId::new(2), CellId::new(3));
         let l = live();
         let c = Arc::new(Controller::new(
-            ControlMode::Compatible(plan),
+            ControlMode::compatible(plan),
             [iv],
             1,
             Arc::clone(&l),
@@ -386,7 +417,7 @@ mod static_mode_tests {
         let iv = Interval::new(CellId::new(0), CellId::new(1));
         let hop = Hop::new(CellId::new(0), CellId::new(1));
         let live = Arc::new(crate::Liveness::default());
-        let c = Controller::new(ControlMode::Static(plan), [iv], 2, live);
+        let c = Controller::new(ControlMode::dedicated(plan), [iv], 2, live);
         let a = p.message_id("A").unwrap();
         let b = p.message_id("B").unwrap();
         let qa = c.acquire(a, hop).unwrap();

@@ -27,7 +27,7 @@
 //! let outcome = run_threaded_compiled(
 //!     &program,
 //!     &compiled,
-//!     ControlMode::Compatible(plan),
+//!     ControlMode::compatible(plan),
 //!     ThreadedConfig::default(),
 //! )?;
 //! assert!(outcome.is_completed());

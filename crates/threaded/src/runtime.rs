@@ -80,6 +80,18 @@ pub fn run_threaded(
     config: ThreadedConfig,
 ) -> Result<ThreadedOutcome, ModelError> {
     let routes = MessageRoutes::compute(program, topology)?;
+    run_threaded_with_routes(program, topology, routes, mode, config)
+}
+
+/// The shared stepping loop: `routes` must cover exactly the program's
+/// messages over `topology`.
+fn run_threaded_with_routes(
+    program: &Program,
+    topology: &Topology,
+    routes: MessageRoutes,
+    mode: ControlMode,
+    config: ThreadedConfig,
+) -> Result<ThreadedOutcome, ModelError> {
     let live = Arc::new(Liveness::default());
     let controller = Arc::new(Controller::new(
         mode,
@@ -258,9 +270,9 @@ pub fn run_threaded(
 
 /// [`run_threaded`] for callers holding a
 /// [`CompiledTopology`](systolic_core::CompiledTopology), so they need
-/// not carry the `&Topology` separately. Convenience adapter: the
-/// runtime builds its own routing state, so this costs exactly what
-/// [`run_threaded`] does.
+/// not carry the `&Topology` separately. Routes are served from the
+/// compilation's route closure (when materialized) instead of recomputed
+/// per run — the same amortization the simulator's `SimArena` gets.
 ///
 /// # Errors
 ///
@@ -271,7 +283,8 @@ pub fn run_threaded_compiled(
     mode: ControlMode,
     config: ThreadedConfig,
 ) -> Result<ThreadedOutcome, ModelError> {
-    run_threaded(program, compiled.topology(), mode, config)
+    let routes = compiled.routes_for(program)?;
+    run_threaded_with_routes(program, compiled.topology(), routes, mode, config)
 }
 
 #[cfg(test)]
@@ -286,7 +299,7 @@ mod tests {
             .analyze(program)
             .expect("analysis succeeds")
             .into_plan();
-        ControlMode::Compatible(plan)
+        ControlMode::compatible(plan)
     }
 
     #[test]

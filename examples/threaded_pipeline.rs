@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = run_threaded(
             &program,
             &topology,
-            ControlMode::Compatible(plan),
+            ControlMode::compatible(plan),
             ThreadedConfig::default(),
         )?;
         match outcome {
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run_threaded(
         &fir,
         &fir_top,
-        ControlMode::Compatible(plan),
+        ControlMode::compatible(plan),
         ThreadedConfig { queues_per_interval: 2, ..Default::default() },
     )?;
     println!("\nfig2 FIR on threads: {outcome:?}");
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run_threaded(
         &align,
         &align_top,
-        ControlMode::Compatible(plan),
+        ControlMode::compatible(plan),
         ThreadedConfig { queues_per_interval: 3, ..Default::default() },
     )?;
     println!("seq_align(4,16) on threads: {outcome:?}");

@@ -54,6 +54,40 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Verifying at scale
+//!
+//! Batch replays share one [`sim::SimArena`]: the immutable world
+//! (topology + config) is built once and the run state is reset in place
+//! per replay. With a precompiled topology, routes come from the shared
+//! closure and certified plans travel as `Arc`s:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use systolic::core::{AnalysisConfig, Analyzer, CompiledTopology};
+//! use systolic::sim::{verify_batch_compiled, SimConfig};
+//! use systolic::workloads::{fig7, fig7_topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiled =
+//!     CompiledTopology::compile(&fig7_topology(), &AnalysisConfig::default()).into_shared();
+//! let analyzer = Analyzer::new(Arc::clone(&compiled));
+//! let batch: Vec<_> = (2..5)
+//!     .map(|reps| {
+//!         let program = fig7(reps);
+//!         let plan = Arc::new(analyzer.analyze(&program)?.into_plan());
+//!         Ok::<_, systolic::core::CoreError>((program, plan))
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//! let reports = verify_batch_compiled(
+//!     batch.iter().map(|(program, plan)| (program, plan)),
+//!     &compiled,
+//!     SimConfig::default(),
+//! )?;
+//! assert!(reports.iter().all(|r| r.completed));
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,101 @@
+//! Property: batch verification through one shared `SimArena`
+//! (`verify_batch_compiled`) is observationally identical to sequential
+//! one-shot `verify_plan` calls — same `completed`, `cycles` and
+//! `words_delivered` per plan — over generated mixed-traffic workloads.
+//! Arena reuse (reset-in-place pools, plan-route reuse, queue-pool
+//! growth across a batch) must never leak state between replays.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use systolic::core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology};
+use systolic::model::{Program, Topology};
+use systolic::sim::{verify_batch_compiled, verify_plan, SimConfig};
+use systolic::workloads::{fig7, fig7_topology, traffic, TrafficConfig, TrafficItem};
+
+/// One same-topology batch: the shape `verify_batch_compiled` serves.
+struct Batch {
+    compiled: Arc<CompiledTopology>,
+    topology: Topology,
+    items: Vec<(Program, Arc<CommPlan>)>,
+}
+
+/// Groups a traffic stream's certified plans by `(topology, config)`
+/// fingerprint — mirroring the service's shared-compilation cache.
+fn certified_batches(stream: &[TrafficItem]) -> Vec<Batch> {
+    let mut batches: Vec<Batch> = Vec::new();
+    for item in stream {
+        let config = AnalysisConfig {
+            queues_per_interval: item.queues_per_interval,
+            ..Default::default()
+        };
+        let fingerprint = CompiledTopology::fingerprint_of(&item.topology, &config);
+        let batch = match batches.iter().position(|b| b.compiled.fingerprint() == fingerprint)
+        {
+            Some(pos) => &mut batches[pos],
+            None => {
+                let compiled = CompiledTopology::compile(&item.topology, &config).into_shared();
+                batches.push(Batch {
+                    compiled,
+                    topology: item.topology.clone(),
+                    items: Vec::new(),
+                });
+                batches.last_mut().expect("just pushed")
+            }
+        };
+        let analyzer = Analyzer::new(Arc::clone(&batch.compiled));
+        if let Ok(analysis) = analyzer.analyze(&item.program) {
+            batch.items.push((item.program.clone(), Arc::new(analysis.into_plan())));
+        }
+    }
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batch_verification_equals_sequential(
+        seed in 0u64..1_000_000,
+        count in 4usize..12,
+        hot_percent in 0u32..101,
+    ) {
+        let config = TrafficConfig { hot_percent, ..Default::default() };
+        let mut stream = traffic(&config, seed, count);
+        // Guarantee at least one certifiable item so every case verifies
+        // something.
+        stream.push(TrafficItem {
+            name: "fig7/3".into(),
+            program: fig7(3),
+            topology: fig7_topology(),
+            queues_per_interval: 1,
+        });
+
+        let sim = SimConfig::default();
+        let mut verified = 0usize;
+        for batch in certified_batches(&stream) {
+            if batch.items.is_empty() {
+                continue;
+            }
+            let batch_reports = verify_batch_compiled(
+                batch.items.iter().map(|(program, plan)| (program, plan)),
+                &batch.compiled,
+                sim,
+            )
+            .expect("batch setup succeeds");
+            prop_assert_eq!(batch_reports.len(), batch.items.len());
+            for ((program, plan), through_arena) in batch.items.iter().zip(&batch_reports) {
+                let sequential =
+                    verify_plan(program, &batch.topology, plan, sim).expect("setup succeeds");
+                prop_assert_eq!(through_arena.completed, sequential.completed);
+                prop_assert_eq!(through_arena.cycles, sequential.cycles);
+                prop_assert_eq!(through_arena.words_delivered, sequential.words_delivered);
+                // Certified plans complete (Theorem 1), so replays agree on
+                // success, not just on failure shape.
+                prop_assert!(through_arena.completed, "{} did not complete", program.num_cells());
+                verified += 1;
+            }
+        }
+        prop_assert!(verified >= 1, "stream produced no certified plans");
+    }
+}

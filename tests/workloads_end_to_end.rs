@@ -119,7 +119,7 @@ fn representative_workloads_complete_on_threads() {
         let out = run_threaded(
             &program,
             &topology,
-            ControlMode::Compatible(analysis.into_plan()),
+            ControlMode::compatible(analysis.into_plan()),
             ThreadedConfig { queues_per_interval: queues, ..Default::default() },
         )
         .unwrap();
@@ -138,7 +138,7 @@ fn threaded_static_mode_completes_fig7() {
     let out = run_threaded(
         &program,
         &topology,
-        ControlMode::Static(analysis.into_plan()),
+        ControlMode::dedicated(analysis.into_plan()),
         ThreadedConfig { queues_per_interval: 2, ..Default::default() },
     )
     .unwrap();
