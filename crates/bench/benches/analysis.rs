@@ -66,7 +66,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(20);
     let cases: Vec<(&str, systolic_model::Program, systolic_model::Topology)> = vec![
         ("fig7(16)", wl::fig7(16), wl::fig7_topology()),
-        ("fir(3,256)", wl::fir(3, 256).expect("valid"), wl::fir_topology(3)),
+        (
+            "fir(3,256)",
+            wl::fir(3, 256).expect("valid"),
+            wl::fir_topology(3),
+        ),
         (
             "matmul(4,4,16)",
             wl::mesh_matmul(4, 4, 16).expect("valid"),
@@ -74,14 +78,27 @@ fn bench_pipeline(c: &mut Criterion) {
         ),
     ];
     for (name, program, topology) in cases {
-        let config = AnalysisConfig { queues_per_interval: 8, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 8,
+            ..Default::default()
+        };
         let analyzer = Analyzer::for_topology(&topology, &config);
         group.bench_function(name, |b| {
-            b.iter(|| analyzer.analyze(std::hint::black_box(&program)).expect("analyzes"));
+            b.iter(|| {
+                analyzer
+                    .analyze(std::hint::black_box(&program))
+                    .expect("analyzes")
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_classify, bench_lookahead, bench_labeling, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_lookahead,
+    bench_labeling,
+    bench_pipeline
+);
 criterion_main!(benches);

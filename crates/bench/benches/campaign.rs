@@ -12,7 +12,10 @@ use systolic_workloads as wl;
 fn config(queues: usize) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity: 1, extension: false },
+        queue: QueueConfig {
+            capacity: 1,
+            extension: false,
+        },
         cost: CostModel::systolic(),
         max_cycles: 1_000_000,
     }
@@ -21,13 +24,22 @@ fn config(queues: usize) -> SimConfig {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_end_to_end");
     group.sample_size(10);
-    let cfg = wl::RandomConfig { cells: 6, messages: 12, max_words: 4, max_span: 3, clustered: true };
+    let cfg = wl::RandomConfig {
+        cells: 6,
+        messages: 12,
+        max_words: 4,
+        max_span: 3,
+        clustered: true,
+    };
     let topology = wl::random_topology(&cfg);
     let programs: Vec<_> = (0..16u64)
         .map(|seed| wl::random_program(&cfg, seed).expect("valid"))
         .collect();
     // One compilation for the whole batch: the batch shares a topology.
-    let analysis_config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let analysis_config = AnalysisConfig {
+        queues_per_interval: 4,
+        ..Default::default()
+    };
     let analyzer = Analyzer::new(CompiledTopology::compile(&topology, &analysis_config));
 
     group.bench_function("compatible_batch16", |b| {

@@ -22,7 +22,10 @@ fn topology() -> Topology {
     for i in 0..CELLS {
         edges.push((CellId::new(i as u32), CellId::new(((i + 1) % CELLS) as u32)));
         if i % 4 == 0 {
-            edges.push((CellId::new(i as u32), CellId::new(((i + 19) % CELLS) as u32)));
+            edges.push((
+                CellId::new(i as u32),
+                CellId::new(((i + 19) % CELLS) as u32),
+            ));
         }
     }
     Topology::graph(CELLS, edges).expect("chorded ring builds")
@@ -46,10 +49,16 @@ fn program(seed: u64) -> Program {
         // A far receiver: at least a quarter of the ring away.
         let receiver = (sender + CELLS / 4 + next(CELLS / 2)) % CELLS;
         let name = format!("M{k}");
-        builder.message(&name, sender as u32, receiver as u32).expect("message declares");
+        builder
+            .message(&name, sender as u32, receiver as u32)
+            .expect("message declares");
         let words = 1 + next(2);
-        builder.write_n(sender as u32, &name, words).expect("writes append");
-        builder.read_n(receiver as u32, &name, words).expect("reads append");
+        builder
+            .write_n(sender as u32, &name, words)
+            .expect("writes append");
+        builder
+            .read_n(receiver as u32, &name, words)
+            .expect("reads append");
     }
     builder.build().expect("bench programs are valid")
 }
@@ -59,7 +68,10 @@ fn batch() -> Vec<Program> {
 }
 
 fn config() -> AnalysisConfig {
-    AnalysisConfig { queues_per_interval: 64, ..Default::default() }
+    AnalysisConfig {
+        queues_per_interval: 64,
+        ..Default::default()
+    }
 }
 
 fn run_per_request(topology: &Topology, config: &AnalysisConfig, programs: &[Program]) -> usize {
@@ -73,7 +85,10 @@ fn run_per_request(topology: &Topology, config: &AnalysisConfig, programs: &[Pro
 fn run_shared(topology: &Topology, config: &AnalysisConfig, programs: &[Program]) -> usize {
     // One compilation, shared by every miss of the batch.
     let analyzer = Analyzer::new(CompiledTopology::compile(topology, config));
-    programs.iter().filter(|p| analyzer.analyze(p).is_ok()).count()
+    programs
+        .iter()
+        .filter(|p| analyzer.analyze(p).is_ok())
+        .count()
 }
 
 fn bench_batch(c: &mut Criterion) {
@@ -103,7 +118,10 @@ fn shared_vs_per_request_ratio(_c: &mut Criterion) {
     // Both paths certify the same number of programs (sanity first).
     let certified = run_shared(&topology, &config, &programs);
     assert_eq!(certified, run_per_request(&topology, &config, &programs));
-    assert!(certified >= BATCH / 2, "bench programs should mostly certify");
+    assert!(
+        certified >= BATCH / 2,
+        "bench programs should mostly certify"
+    );
 
     let per_request_started = Instant::now();
     for _ in 0..ROUNDS {

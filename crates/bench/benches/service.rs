@@ -18,11 +18,8 @@ fn batch() -> Vec<AnalysisRequest> {
         for i in 0..BATCH / 4 {
             let inputs = 32 + i;
             let program = fir(taps, inputs).expect("fir builds");
-            let mut request = AnalysisRequest::new(
-                format!("fir/{taps}x{inputs}"),
-                program,
-                fir_topology(taps),
-            );
+            let mut request =
+                AnalysisRequest::new(format!("fir/{taps}x{inputs}"), program, fir_topology(taps));
             request.config.queues_per_interval = 2;
             requests.push(request);
         }
@@ -33,7 +30,10 @@ fn batch() -> Vec<AnalysisRequest> {
 fn service(shards: usize) -> AnalysisService {
     AnalysisService::new(ServiceConfig {
         workers: 4,
-        cache: CacheConfig { shards, capacity_per_shard: 1024 },
+        cache: CacheConfig {
+            shards,
+            capacity_per_shard: 1024,
+        },
         queue_depth: 64,
         ..Default::default()
     })
@@ -48,7 +48,9 @@ fn bench_cold(c: &mut Criterion) {
     group.bench_function(format!("batch{BATCH}"), |b| {
         b.iter(|| {
             let service = service(8);
-            service.run_batch(std::hint::black_box(requests.clone())).len()
+            service
+                .run_batch(std::hint::black_box(requests.clone()))
+                .len()
         });
     });
     group.finish();
@@ -67,7 +69,11 @@ fn bench_warm(c: &mut Criterion) {
             BenchmarkId::new(format!("batch{BATCH}"), format!("{shards}shard")),
             &service,
             |b, service| {
-                b.iter(|| service.run_batch(std::hint::black_box(requests.clone())).len());
+                b.iter(|| {
+                    service
+                        .run_batch(std::hint::black_box(requests.clone()))
+                        .len()
+                });
             },
         );
     }

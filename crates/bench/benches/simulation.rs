@@ -16,7 +16,10 @@ use systolic_workloads as wl;
 fn config(queues: usize, capacity: usize, cost: CostModel) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity, extension: false },
+        queue: QueueConfig {
+            capacity,
+            extension: false,
+        },
         cost,
         max_cycles: 10_000_000,
     }
@@ -27,7 +30,10 @@ fn compatible(
     topology: &systolic_model::Topology,
     queues: usize,
 ) -> Box<dyn AssignmentPolicy> {
-    let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: queues,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(topology, &config)
         .analyze(program)
         .expect("analyzes")
@@ -53,9 +59,14 @@ fn bench_comm_models(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mem2mem", n), &program, |b, p| {
             b.iter(|| {
                 let policy = compatible(p, &topology, 2);
-                run_simulation(p, &topology, policy, config(2, 1, CostModel::memory_to_memory()))
-                    .expect("sim builds")
-                    .is_completed()
+                run_simulation(
+                    p,
+                    &topology,
+                    policy,
+                    config(2, 1, CostModel::memory_to_memory()),
+                )
+                .expect("sim builds")
+                .is_completed()
             });
         });
     }
@@ -98,7 +109,11 @@ fn bench_workload_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_sim");
     group.sample_size(10);
     let cases: Vec<(&str, systolic_model::Program, systolic_model::Topology)> = vec![
-        ("fir(8,256)", wl::fir(8, 256).expect("valid"), wl::fir_topology(8)),
+        (
+            "fir(8,256)",
+            wl::fir(8, 256).expect("valid"),
+            wl::fir_topology(8),
+        ),
         (
             "wavefront(4,4,8)",
             wl::wavefront(4, 4, 8).expect("valid"),
@@ -114,9 +129,14 @@ fn bench_workload_sim(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let policy = compatible(&program, &topology, 8);
-                run_simulation(&program, &topology, policy, config(8, 2, CostModel::systolic()))
-                    .expect("sim builds")
-                    .is_completed()
+                run_simulation(
+                    &program,
+                    &topology,
+                    policy,
+                    config(8, 2, CostModel::systolic()),
+                )
+                .expect("sim builds")
+                .is_completed()
             });
         });
     }

@@ -1,14 +1,25 @@
-//! Criterion bench for the shared-arena batch verification win (acceptance
-//! target of the `SimArena` refactor): replaying a 64-plan batch through
-//! one arena (`verify_batch_compiled`) must beat per-run setup
-//! (`verify_plan` in a loop, which routes every message and builds fresh
-//! queue pools per call) by ≥ 1.5×. The measured ratio is asserted and
-//! recorded in `BENCH_verify.json` at the workspace root.
+//! Criterion bench for the batch-verification acceptance targets:
+//!
+//! 1. **Shared arena** (PR 4): replaying a 64-plan batch through one
+//!    arena (`verify_batch_compiled`) must beat per-run setup
+//!    (`verify_plan` in a loop, which routes every message and builds
+//!    fresh queue pools per call) by ≥ 1.5×.
+//! 2. **Parallel pool** (PR 5): fanning a 256-plan batch over a
+//!    [`VerifyPool`] of 4 arenas must beat the sequential
+//!    `verify_batch_compiled` by ≥ 2× — on hardware with ≥ 4 cores. The
+//!    asserted floor scales down with `available_parallelism` (a 1-core
+//!    runner can only assert that the pool's coordination overhead is
+//!    bounded), and the actual core count is recorded alongside the
+//!    ratio.
+//!
+//! Both ratios are measured explicitly, asserted, and recorded in
+//! `BENCH_verify.json` at the workspace root.
 //!
 //! `SYSTOLIC_BENCH_QUICK=1` shrinks the round count and relaxes the
-//! asserted floor to 1.2× (headroom for noisy shared CI runners); full
-//! mode asserts the 1.5× acceptance target. Both arms are timed by their
-//! per-round minimum, the noise-robust statistic.
+//! asserted floors (shared arena 1.2×, parallel ≥ sequential) — headroom
+//! for noisy shared CI runners; full mode asserts the acceptance
+//! targets. All arms are timed by their per-round minimum, the
+//! noise-robust statistic.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,9 +27,11 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use systolic_core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology};
 use systolic_model::{CellId, Program, ProgramBuilder, Topology};
-use systolic_sim::{verify_batch_compiled, verify_plan, SimConfig, VerifyReport};
+use systolic_sim::{verify_batch_compiled, verify_plan, SimConfig, VerifyPool, VerifyReport};
 
 const BATCH: usize = 64;
+const PARALLEL_BATCH: usize = 256;
+const PARALLEL_THREADS: usize = 4;
 const CELLS: usize = 256;
 const MESSAGES: usize = 8;
 
@@ -31,7 +44,10 @@ fn topology() -> Topology {
     for i in 0..CELLS {
         edges.push((CellId::new(i as u32), CellId::new(((i + 1) % CELLS) as u32)));
         if i % 4 == 0 {
-            edges.push((CellId::new(i as u32), CellId::new(((i + 19) % CELLS) as u32)));
+            edges.push((
+                CellId::new(i as u32),
+                CellId::new(((i + 19) % CELLS) as u32),
+            ));
         }
     }
     Topology::graph(CELLS, edges).expect("chorded ring builds")
@@ -53,13 +69,19 @@ fn program(seed: u64) -> Program {
     for k in 0..MESSAGES {
         let sender = next(CELLS);
         // A nearby receiver (a few hops): replays are short, so the
-        // per-replay *setup* — not the cycle loop — is what the two bench
+        // per-replay *setup* — not the cycle loop — is what the bench
         // arms disagree on.
         let receiver = (sender + 4 + next(12)) % CELLS;
         let name = format!("M{k}");
-        builder.message(&name, sender as u32, receiver as u32).expect("message declares");
-        builder.write_n(sender as u32, &name, 1).expect("writes append");
-        builder.read_n(receiver as u32, &name, 1).expect("reads append");
+        builder
+            .message(&name, sender as u32, receiver as u32)
+            .expect("message declares");
+        builder
+            .write_n(sender as u32, &name, 1)
+            .expect("writes append");
+        builder
+            .read_n(receiver as u32, &name, 1)
+            .expect("reads append");
     }
     builder.build().expect("bench programs are valid")
 }
@@ -71,21 +93,29 @@ struct Batch {
     sim: SimConfig,
 }
 
-fn certified_batch() -> Batch {
+fn certified_batch(size: usize) -> Batch {
     let topology = topology();
-    let config = AnalysisConfig { queues_per_interval: MESSAGES, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: MESSAGES,
+        ..Default::default()
+    };
     let compiled = CompiledTopology::compile(&topology, &config).into_shared();
     let analyzer = Analyzer::new(Arc::clone(&compiled));
-    let items: Vec<(Program, Arc<CommPlan>)> = (0..BATCH as u64 * 2)
+    let items: Vec<(Program, Arc<CommPlan>)> = (0..size as u64 * 2)
         .map(program)
         .filter_map(|p| {
             let plan = analyzer.analyze(&p).ok()?.into_plan();
             Some((p, Arc::new(plan)))
         })
-        .take(BATCH)
+        .take(size)
         .collect();
-    assert_eq!(items.len(), BATCH, "enough bench programs certify");
-    Batch { compiled, topology, items, sim: SimConfig::default() }
+    assert_eq!(items.len(), size, "enough bench programs certify");
+    Batch {
+        compiled,
+        topology,
+        items,
+        sim: SimConfig::default(),
+    }
 }
 
 fn run_per_plan(batch: &Batch) -> Vec<VerifyReport> {
@@ -110,8 +140,14 @@ fn run_shared_arena(batch: &Batch) -> Vec<VerifyReport> {
     .expect("setup succeeds")
 }
 
+fn run_pool(pool: &mut VerifyPool, batch: &Batch) -> Vec<VerifyReport> {
+    // N arenas, work-stealing over the batch, reports in input order.
+    pool.verify_batch(batch.items.iter().map(|(p, plan)| (p, plan)))
+        .expect("setup succeeds")
+}
+
 fn bench_verify(c: &mut Criterion) {
-    let batch = certified_batch();
+    let batch = certified_batch(BATCH);
     let mut group = c.benchmark_group("verify_batch");
     group.sample_size(10);
     group.bench_function(format!("per_run_setup_batch{BATCH}"), |b| {
@@ -123,57 +159,116 @@ fn bench_verify(c: &mut Criterion) {
     group.finish();
 }
 
-/// The acceptance ratio, measured explicitly, asserted, and recorded in
+fn bench_parallel_verify(c: &mut Criterion) {
+    let batch = certified_batch(PARALLEL_BATCH);
+    let mut pool =
+        VerifyPool::from_compiled(Arc::clone(&batch.compiled), batch.sim, PARALLEL_THREADS);
+    let mut group = c.benchmark_group("parallel_verify");
+    group.sample_size(10);
+    group.bench_function(format!("sequential_arena_batch{PARALLEL_BATCH}"), |b| {
+        b.iter(|| run_shared_arena(std::hint::black_box(&batch)));
+    });
+    group.bench_function(
+        format!("pool{PARALLEL_THREADS}_batch{PARALLEL_BATCH}"),
+        |b| {
+            b.iter(|| run_pool(&mut pool, std::hint::black_box(&batch)));
+        },
+    );
+    group.finish();
+}
+
+/// Per-round minimum: the noise-robust statistic for wall-clock
+/// comparisons on shared machines.
+fn min_time(rounds: usize, mut f: impl FnMut() -> Vec<VerifyReport>) -> std::time::Duration {
+    (0..rounds)
+        .map(|_| {
+            let started = Instant::now();
+            std::hint::black_box(f());
+            started.elapsed()
+        })
+        .min()
+        .expect("rounds >= 1")
+}
+
+/// The acceptance ratios, measured explicitly, asserted, and recorded in
 /// `BENCH_verify.json`.
-fn shared_arena_vs_per_run_ratio(_c: &mut Criterion) {
-    let batch = certified_batch();
+fn verify_acceptance_ratios(_c: &mut Criterion) {
     let quick = std::env::var("SYSTOLIC_BENCH_QUICK").is_ok_and(|v| v != "0");
     let rounds: usize = if quick { 4 } else { 6 };
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- Shared arena vs per-run setup (64-plan batch). ----
     // The full-mode assert is the acceptance target; the quick-mode smoke
     // (CI, noisy shared runners, millisecond-scale timings) keeps wide
     // headroom while still catching a regression to parity.
-    let target = if quick { 1.2 } else { 1.5 };
+    let batch = certified_batch(BATCH);
+    let shared_target = if quick { 1.2 } else { 1.5 };
 
     // Parity first: both paths must report identical verification results.
     let per_run = run_per_plan(&batch);
     let shared = run_shared_arena(&batch);
-    assert_eq!(per_run.len(), shared.len());
-    for (a, b) in per_run.iter().zip(&shared) {
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.words_delivered, b.words_delivered);
-    }
+    assert_eq!(per_run, shared, "shared arena must match per-run reports");
     let completed = shared.iter().filter(|r| r.completed).count();
     assert_eq!(completed, BATCH, "certified plans complete (Theorem 1)");
 
-    // Per-round minimum: the noise-robust statistic for wall-clock
-    // comparisons on shared machines.
-    let min_time = |f: &dyn Fn() -> Vec<VerifyReport>| {
-        (0..rounds)
-            .map(|_| {
-                let started = Instant::now();
-                std::hint::black_box(f());
-                started.elapsed()
-            })
-            .min()
-            .expect("rounds >= 1")
-    };
-    let per_run_time = min_time(&|| run_per_plan(&batch));
-    let shared_time = min_time(&|| run_shared_arena(&batch));
-
-    let ratio = per_run_time.as_secs_f64() / shared_time.as_secs_f64().max(f64::EPSILON);
+    let per_run_time = min_time(rounds, || run_per_plan(&batch));
+    let shared_time = min_time(rounds, || run_shared_arena(&batch));
+    let shared_ratio = per_run_time.as_secs_f64() / shared_time.as_secs_f64().max(f64::EPSILON);
     println!(
         "verify_shared_arena_vs_per_run           per-run {per_run_time:>12?}   \
-         shared {shared_time:>12?}   ratio {ratio:>6.1}x (target >= {target}x)"
+         shared {shared_time:>12?}   ratio {shared_ratio:>6.1}x (target >= {shared_target}x)"
+    );
+
+    // ---- Parallel pool vs sequential arena (256-plan batch). ----
+    // The 2x acceptance floor presumes >= 4 cores (GitHub's standard
+    // runners); fewer cores can at most assert the pool's coordination
+    // overhead is bounded, so the floor degrades with the hardware and
+    // the JSON records how many threads the ratio was measured on.
+    let parallel_batch = certified_batch(PARALLEL_BATCH);
+    let parallel_target = match (quick, hw_threads) {
+        (_, 1) => 0.7,
+        (true, _) => 1.0,
+        (false, hw) if hw >= 4 => 2.0,
+        (false, _) => 1.2,
+    };
+    let mut pool = VerifyPool::from_compiled(
+        Arc::clone(&parallel_batch.compiled),
+        parallel_batch.sim,
+        PARALLEL_THREADS,
+    );
+
+    // Parity again: the pool must be byte-identical to the sequential
+    // path, reports in input order.
+    let sequential = run_shared_arena(&parallel_batch);
+    let pooled = run_pool(&mut pool, &parallel_batch);
+    assert_eq!(
+        pooled, sequential,
+        "pool must match sequential reports in order"
+    );
+
+    let sequential_time = min_time(rounds, || run_shared_arena(&parallel_batch));
+    let pool_time = min_time(rounds, || run_pool(&mut pool, &parallel_batch));
+    let parallel_ratio = sequential_time.as_secs_f64() / pool_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "verify_pool{PARALLEL_THREADS}_vs_sequential              seq {sequential_time:>12?}   \
+         pool {pool_time:>12?}   ratio {parallel_ratio:>6.1}x \
+         (target >= {parallel_target}x on {hw_threads} hw threads)"
     );
 
     let json = format!(
         "{{\n  \"bench\": \"verify_batch\",\n  \"batch\": {BATCH},\n  \"rounds\": {rounds},\n  \
          \"per_run_min_secs\": {:.6},\n  \"shared_arena_min_secs\": {:.6},\n  \"ratio\": {:.2},\n  \
-         \"target_ratio\": {target}\n}}\n",
+         \"target_ratio\": {shared_target},\n  \"parallel\": {{\n    \
+         \"batch\": {PARALLEL_BATCH},\n    \"threads\": {PARALLEL_THREADS},\n    \
+         \"hw_threads\": {hw_threads},\n    \"sequential_min_secs\": {:.6},\n    \
+         \"pool_min_secs\": {:.6},\n    \"ratio\": {:.2},\n    \
+         \"target_ratio\": {parallel_target}\n  }}\n}}\n",
         per_run_time.as_secs_f64(),
         shared_time.as_secs_f64(),
-        ratio,
+        shared_ratio,
+        sequential_time.as_secs_f64(),
+        pool_time.as_secs_f64(),
+        parallel_ratio,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -181,11 +276,22 @@ fn shared_arena_vs_per_run_ratio(_c: &mut Criterion) {
     }
 
     assert!(
-        ratio >= target,
-        "shared-arena batch verification must be at least {target}x faster than \
-         per-run setup over a {BATCH}-plan batch, measured {ratio:.2}x"
+        shared_ratio >= shared_target,
+        "shared-arena batch verification must be at least {shared_target}x faster than \
+         per-run setup over a {BATCH}-plan batch, measured {shared_ratio:.2}x"
+    );
+    assert!(
+        parallel_ratio >= parallel_target,
+        "a {PARALLEL_THREADS}-thread VerifyPool must measure at least {parallel_target}x \
+         the sequential arena over a {PARALLEL_BATCH}-plan batch on {hw_threads} hw \
+         threads, measured {parallel_ratio:.2}x"
     );
 }
 
-criterion_group!(benches, bench_verify, shared_arena_vs_per_run_ratio);
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_parallel_verify,
+    verify_acceptance_ratios
+);
 criterion_main!(benches);

@@ -14,8 +14,7 @@ use systolic_bench::all_experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
-    let wanted: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--")).collect();
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     for e in all_experiments() {
         if !wanted.is_empty() && !wanted.iter().any(|w| w.eq_ignore_ascii_case(e.id)) {

@@ -4,11 +4,11 @@
 
 use std::time::Instant;
 
+use systolic_core::CompetingSets;
 use systolic_core::{
     classify, classify_with, label_messages, label_messages_robust, AnalysisConfig, Analyzer,
     Classification, Label, Labeling, Lookahead, LookaheadLimits, QueueRequirements,
 };
-use systolic_core::CompetingSets;
 use systolic_model::{MessageRoutes, Program, Topology};
 use systolic_report::Table;
 use systolic_sim::{
@@ -42,14 +42,20 @@ fn outcome_name(outcome: &RunOutcome) -> String {
 fn sim_config(queues: usize, capacity: usize, cost: CostModel) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity, extension: false },
+        queue: QueueConfig {
+            capacity,
+            extension: false,
+        },
         cost,
         max_cycles: 10_000_000,
     }
 }
 
 fn compatible(program: &Program, topology: &Topology, queues: usize) -> Box<dyn AssignmentPolicy> {
-    let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: queues,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(topology, &config)
         .analyze(program)
         .expect("program analyzes")
@@ -62,7 +68,12 @@ fn compatible(program: &Program, topology: &Topology, queues: usize) -> Box<dyn 
 #[must_use]
 pub fn fig01_comm_models() -> Experiment {
     let mut table = Table::new([
-        "inputs", "model", "cycles", "mem accesses", "accesses/word", "slowdown",
+        "inputs",
+        "model",
+        "cycles",
+        "mem accesses",
+        "accesses/word",
+        "slowdown",
     ]);
     for n in [4usize, 64, 1024] {
         let program = wl::fir(3, n).expect("valid FIR");
@@ -72,9 +83,15 @@ pub fn fig01_comm_models() -> Experiment {
             let policy = compatible(&program, &topology, 2);
             let out = run_simulation(&program, &topology, policy, sim_config(2, 1, cost))
                 .expect("sim builds");
-            let RunOutcome::Completed(stats) = out else { panic!("FIR completes") };
+            let RunOutcome::Completed(stats) = out else {
+                panic!("FIR completes")
+            };
             cycles.push(stats.cycles);
-            let model = if cost == CostModel::systolic() { "systolic" } else { "mem-to-mem" };
+            let model = if cost == CostModel::systolic() {
+                "systolic"
+            } else {
+                "mem-to-mem"
+            };
             let slowdown = if cycles.len() == 2 {
                 format!("{:.2}x", cycles[1] as f64 / cycles[0] as f64)
             } else {
@@ -108,7 +125,10 @@ pub fn fig02_fir_program() -> Experiment {
     let program = wl::fig2_fir();
     let mut table = Table::new(["message", "route", "words", "label"]);
     let topology = wl::fig2_topology();
-    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
     let analysis = Analyzer::for_topology(&topology, &config)
         .analyze(&program)
         .expect("Fig. 2 analyzes");
@@ -126,7 +146,10 @@ pub fn fig02_fir_program() -> Experiment {
         title: "Fig. 2 — the 3-tap FIR filter program (host + 3 cells)".into(),
         table,
         notes: vec![
-            format!("program listing:\n{}", systolic_model::side_by_side(&program)),
+            format!(
+                "program listing:\n{}",
+                systolic_model::side_by_side(&program)
+            ),
             "All six messages are mutually related (interleaved access), so they share \
              one label; each interval carries one message per direction."
                 .into(),
@@ -139,7 +162,10 @@ pub fn fig02_fir_program() -> Experiment {
 pub fn fig03_queue_assignment() -> Experiment {
     let program = wl::fig3_messages();
     let topology = Topology::linear(4);
-    let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: 4,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(&topology, &config)
         .analyze(&program)
         .expect("Fig. 3 analyzes")
@@ -202,8 +228,17 @@ pub fn fig04_crossing_off() -> Experiment {
 /// without lookahead.
 #[must_use]
 pub fn fig05_deadlocked_programs() -> Experiment {
-    let mut table = Table::new(["program", "lookahead", "classification", "run (latch queues)"]);
-    let programs = [("P1", wl::fig5_p1()), ("P2", wl::fig5_p2()), ("P3", wl::fig5_p3())];
+    let mut table = Table::new([
+        "program",
+        "lookahead",
+        "classification",
+        "run (latch queues)",
+    ]);
+    let programs = [
+        ("P1", wl::fig5_p1()),
+        ("P2", wl::fig5_p2()),
+        ("P3", wl::fig5_p3()),
+    ];
     for (name, p) in &programs {
         for (la_name, limits) in [
             ("none", LookaheadLimits::disabled(p)),
@@ -228,7 +263,12 @@ pub fn fig05_deadlocked_programs() -> Experiment {
             } else {
                 String::new()
             };
-            table.row([(*name).to_owned(), la_name.to_owned(), verdict.to_owned(), run]);
+            table.row([
+                (*name).to_owned(),
+                la_name.to_owned(),
+                verdict.to_owned(),
+                run,
+            ]);
         }
     }
     Experiment {
@@ -251,8 +291,12 @@ pub fn fig06_cycle() -> Experiment {
     let mut table = Table::new(["check", "result"]);
     table.row([
         "crossing-off classification".to_owned(),
-        if classify(&program).is_deadlock_free() { "deadlock-free" } else { "deadlocked" }
-            .to_owned(),
+        if classify(&program).is_deadlock_free() {
+            "deadlock-free"
+        } else {
+            "deadlocked"
+        }
+        .to_owned(),
     ]);
     let out = run_simulation(
         &program,
@@ -261,7 +305,10 @@ pub fn fig06_cycle() -> Experiment {
         sim_config(1, 1, CostModel::systolic()),
     )
     .expect("sim builds");
-    table.row(["simulation (1 queue/interval)".to_owned(), outcome_name(&out)]);
+    table.row([
+        "simulation (1 queue/interval)".to_owned(),
+        outcome_name(&out),
+    ]);
     Experiment {
         id: "F6",
         title: "Fig. 6 — messages form a cycle, yet the program is deadlock-free".into(),
@@ -288,9 +335,13 @@ pub fn fig07_ordering(lens: &[usize]) -> Experiment {
         ];
         for policy in policies {
             let name = policy.name();
-            let out =
-                run_simulation(&program, &topology, policy, sim_config(1, 1, CostModel::systolic()))
-                    .expect("sim builds");
+            let out = run_simulation(
+                &program,
+                &topology,
+                policy,
+                sim_config(1, 1, CostModel::systolic()),
+            )
+            .expect("sim builds");
             table.row([len.to_string(), name.to_owned(), outcome_name(&out)]);
         }
     }
@@ -298,9 +349,13 @@ pub fn fig07_ordering(lens: &[usize]) -> Experiment {
         let program = wl::fig7(3);
         let topology = wl::fig7_topology();
         let policy = compatible(&program, &topology, 1);
-        let out =
-            run_simulation(&program, &topology, policy, sim_config(1, 1, CostModel::systolic()))
-                .expect("sim builds");
+        let out = run_simulation(
+            &program,
+            &topology,
+            policy,
+            sim_config(1, 1, CostModel::systolic()),
+        )
+        .expect("sim builds");
         out.stats()
             .render_timeline(|m| program.message(m).name().to_owned())
     };
@@ -355,12 +410,19 @@ fn interleave_experiment(
         // Compatible assignment requires feasibility (assumption ii): with
         // one queue the equal-label pair can never be granted, which the
         // analysis rejects up front.
-        let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: queues,
+            ..Default::default()
+        };
         let analysis = Analyzer::for_topology(&topology, &config).analyze(&program);
         match analysis {
             Ok(a) => policies.push(Box::new(CompatiblePolicy::new(a.into_plan()))),
             Err(e) => {
-                table.row([queues.to_string(), "compatible".into(), format!("rejected: {e}")]);
+                table.row([
+                    queues.to_string(),
+                    "compatible".into(),
+                    format!("rejected: {e}"),
+                ]);
             }
         }
         for policy in policies {
@@ -392,8 +454,11 @@ fn interleave_experiment(
 pub fn fig10_lookahead() -> Experiment {
     let program = wl::fig5_p1();
     let topology = Topology::linear(2);
-    let mut table =
-        Table::new(["queue capacity", "classification (lookahead)", "run (2 queues)"]);
+    let mut table = Table::new([
+        "queue capacity",
+        "classification (lookahead)",
+        "run (2 queues)",
+    ]);
     for cap in [0usize, 1, 2, 4] {
         let limits = LookaheadLimits::uniform(&program, cap);
         let verdict = if classify_with(&program, &limits).is_deadlock_free() {
@@ -444,14 +509,23 @@ pub fn fig10_lookahead() -> Experiment {
 /// compatible assignment; the naive policies do.
 #[must_use]
 pub fn t1_theorem_campaign(seeds: u64, queues: usize) -> Experiment {
-    let cfg = wl::RandomConfig { cells: 5, messages: 8, max_words: 4, max_span: 3, clustered: true };
+    let cfg = wl::RandomConfig {
+        cells: 5,
+        messages: 8,
+        max_words: 4,
+        max_span: 3,
+        clustered: true,
+    };
     let topology = wl::random_topology(&cfg);
     let mut rows: Vec<(String, usize, usize, usize)> = vec![
         ("fifo".into(), 0, 0, 0),
         ("greedy".into(), 0, 0, 0),
         ("compatible".into(), 0, 0, 0),
     ];
-    let analysis_config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+    let analysis_config = AnalysisConfig {
+        queues_per_interval: queues,
+        ..Default::default()
+    };
     let analyzer = Analyzer::for_topology(&topology, &analysis_config);
     for seed in 0..seeds {
         let program = wl::random_program(&cfg, seed).expect("valid random program");
@@ -496,7 +570,12 @@ pub fn t1_theorem_campaign(seeds: u64, queues: usize) -> Experiment {
     }
     let mut table = Table::new(["policy", "completed", "deadlocked", "infeasible"]);
     for (name, ok, dead, infeasible) in rows {
-        table.row([name, ok.to_string(), dead.to_string(), infeasible.to_string()]);
+        table.row([
+            name,
+            ok.to_string(),
+            dead.to_string(),
+            infeasible.to_string(),
+        ]);
     }
     Experiment {
         id: "T1",
@@ -521,8 +600,14 @@ pub fn e1_scaling() -> Experiment {
         ("fir(3,256)".into(), wl::fir(3, 256).expect("valid")),
         ("fir(3,1024)".into(), wl::fir(3, 1024).expect("valid")),
         ("fir(8,1024)".into(), wl::fir(8, 1024).expect("valid")),
-        ("seq_align(16,128)".into(), wl::seq_align(16, 128).expect("valid")),
-        ("matmul(6,6,32)".into(), wl::mesh_matmul(6, 6, 32).expect("valid")),
+        (
+            "seq_align(16,128)".into(),
+            wl::seq_align(16, 128).expect("valid"),
+        ),
+        (
+            "matmul(6,6,32)".into(),
+            wl::mesh_matmul(6, 6, 32).expect("valid"),
+        ),
     ];
     for (name, program) in cases {
         let ops = program.total_ops();
@@ -554,15 +639,27 @@ pub fn e1_scaling() -> Experiment {
 /// policies.
 #[must_use]
 pub fn e2_campaign(seeds: u64) -> Experiment {
-    let cfg = wl::RandomConfig { cells: 5, messages: 8, max_words: 4, max_span: 3, clustered: true };
+    let cfg = wl::RandomConfig {
+        cells: 5,
+        messages: 8,
+        max_words: 4,
+        max_span: 3,
+        clustered: true,
+    };
     let topology = wl::random_topology(&cfg);
     let mut table = Table::new([
-        "queues/interval", "policy", "completed", "deadlocked", "infeasible",
+        "queues/interval",
+        "policy",
+        "completed",
+        "deadlocked",
+        "infeasible",
     ]);
     for queues in 1..=4usize {
-        let mut counts = [(String::from("fifo"), 0usize, 0usize, 0usize),
-                          (String::from("greedy"), 0, 0, 0),
-                          (String::from("compatible"), 0, 0, 0)];
+        let mut counts = [
+            (String::from("fifo"), 0usize, 0usize, 0usize),
+            (String::from("greedy"), 0, 0, 0),
+            (String::from("compatible"), 0, 0, 0),
+        ];
         for seed in 0..seeds {
             let program = wl::random_program(&cfg, seed).expect("valid");
             for (i, policy) in [
@@ -585,8 +682,10 @@ pub fn e2_campaign(seeds: u64) -> Experiment {
                     RunOutcome::CycleLimit(_) => {}
                 }
             }
-            let analysis_config =
-                AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+            let analysis_config = AnalysisConfig {
+                queues_per_interval: queues,
+                ..Default::default()
+            };
             match Analyzer::for_topology(&topology, &analysis_config).analyze(&program) {
                 Ok(a) => {
                     let out = run_simulation(
@@ -632,7 +731,12 @@ pub fn e2_campaign(seeds: u64) -> Experiment {
 #[must_use]
 pub fn e6_strict_pipeline_depth() -> Experiment {
     let mut table = Table::new([
-        "variant", "cells (k)", "capacity 0", "capacity 1", "runtime (cap 0)", "runtime (cap 1)",
+        "variant",
+        "cells (k)",
+        "capacity 0",
+        "capacity 1",
+        "runtime (cap 0)",
+        "runtime (cap 1)",
     ]);
     for k in [1usize, 2, 4] {
         let m = 2 * k + 1;
@@ -700,9 +804,21 @@ pub fn e3_labeling_ablation() -> Experiment {
         ("fig7(3)".into(), wl::fig7(3), wl::fig7_topology()),
         ("fig8".into(), wl::fig8(), wl::fig8_topology()),
         ("fig9".into(), wl::fig9(), wl::fig9_topology()),
-        ("fir(3,16)".into(), wl::fir(3, 16).expect("valid"), wl::fir_topology(3)),
-        ("matvec(4)".into(), wl::matvec(4).expect("valid"), wl::matvec_topology(4)),
-        ("horner(3,4)".into(), wl::horner(3, 4).expect("valid"), wl::horner_topology(3)),
+        (
+            "fir(3,16)".into(),
+            wl::fir(3, 16).expect("valid"),
+            wl::fir_topology(3),
+        ),
+        (
+            "matvec(4)".into(),
+            wl::matvec(4).expect("valid"),
+            wl::matvec_topology(4),
+        ),
+        (
+            "horner(3,4)".into(),
+            wl::horner(3, 4).expect("valid"),
+            wl::horner_topology(3),
+        ),
         (
             "seq_align(3,8)".into(),
             wl::seq_align(3, 8).expect("valid"),
@@ -718,7 +834,9 @@ pub fn e3_labeling_ablation() -> Experiment {
         let routes = MessageRoutes::compute(&program, &topology).expect("routes");
         let competing = CompetingSets::compute(&routes);
         let limits = LookaheadLimits::disabled(&program);
-        let labeled = label_messages(&program, &limits).expect("labels").into_labeling();
+        let labeled = label_messages(&program, &limits)
+            .expect("labels")
+            .into_labeling();
         let robust = label_messages_robust(&program, &limits).expect("robust labels");
         let scheme = QueueRequirements::compute(&competing, &labeled);
         let solver = QueueRequirements::compute(&competing, &robust);
@@ -745,8 +863,13 @@ pub fn e3_labeling_ablation() -> Experiment {
 /// E4: the queue-extension mechanism — spills when capacity is short.
 #[must_use]
 pub fn e4_queue_extension() -> Experiment {
-    let mut table =
-        Table::new(["writes ahead", "capacity", "needs extension?", "run", "spill accesses"]);
+    let mut table = Table::new([
+        "writes ahead",
+        "capacity",
+        "needs extension?",
+        "run",
+        "spill accesses",
+    ]);
     for n in [2usize, 4, 8] {
         // W(A)*n W(B) / R(B) R(A)*n: locating W(B) skips n writes of A.
         let text = format!(
@@ -754,8 +877,10 @@ pub fn e4_queue_extension() -> Experiment {
              program c0 {{ W(A)*{n} W(B) }}\nprogram c1 {{ R(B) R(A)*{n} }}\n"
         );
         let program = systolic_model::parse_program(&text).expect("valid");
-        let analysis_config =
-            AnalysisConfig { lookahead: Lookahead::Unbounded, queues_per_interval: 2 };
+        let analysis_config = AnalysisConfig {
+            lookahead: Lookahead::Unbounded,
+            queues_per_interval: 2,
+        };
         let analysis = Analyzer::for_topology(&Topology::linear(2), &analysis_config)
             .analyze(&program)
             .expect("analyzes with unbounded lookahead");
@@ -763,7 +888,10 @@ pub fn e4_queue_extension() -> Experiment {
             let candidates = analysis.extension_candidates(&[cap, cap]);
             let config = SimConfig {
                 queues_per_interval: 2,
-                queue: QueueConfig { capacity: cap, extension: true },
+                queue: QueueConfig {
+                    capacity: cap,
+                    extension: true,
+                },
                 cost: CostModel::systolic(),
                 max_cycles: 100_000,
             };
@@ -813,15 +941,27 @@ pub fn e5_threaded() -> Experiment {
         ThreadedConfig::default(),
     )
     .expect("threaded runs");
-    table.row(["fig7(3)".to_owned(), "compatible".to_owned(), threaded_name(&out)]);
+    table.row([
+        "fig7(3)".to_owned(),
+        "compatible".to_owned(),
+        threaded_name(&out),
+    ]);
 
-    let out = run_threaded(&fig7, &fig7_top, ControlMode::Fifo, ThreadedConfig::default())
-        .expect("threaded runs");
+    let out = run_threaded(
+        &fig7,
+        &fig7_top,
+        ControlMode::Fifo,
+        ThreadedConfig::default(),
+    )
+    .expect("threaded runs");
     table.row(["fig7(3)".to_owned(), "fifo".to_owned(), threaded_name(&out)]);
 
     let fir = wl::fig2_fir();
     let fir_top = wl::fig2_topology();
-    let fir_config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let fir_config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(&fir_top, &fir_config)
         .analyze(&fir)
         .expect("FIR analyzes")
@@ -830,10 +970,17 @@ pub fn e5_threaded() -> Experiment {
         &fir,
         &fir_top,
         ControlMode::compatible(plan),
-        ThreadedConfig { queues_per_interval: 2, ..Default::default() },
+        ThreadedConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        },
     )
     .expect("threaded runs");
-    table.row(["fig2 FIR".to_owned(), "compatible".to_owned(), threaded_name(&out)]);
+    table.row([
+        "fig2 FIR".to_owned(),
+        "compatible".to_owned(),
+        threaded_name(&out),
+    ]);
 
     Experiment {
         id: "E5",
@@ -850,7 +997,10 @@ pub fn e5_threaded() -> Experiment {
 
 fn threaded_name(out: &ThreadedOutcome) -> String {
     match out {
-        ThreadedOutcome::Completed { words_delivered, elapsed } => {
+        ThreadedOutcome::Completed {
+            words_delivered,
+            elapsed,
+        } => {
             format!("completed ({words_delivered} words, {elapsed:.2?})")
         }
         ThreadedOutcome::Deadlocked { blocked } => {
@@ -864,7 +1014,9 @@ fn threaded_name(out: &ThreadedOutcome) -> String {
 pub fn fig7_labels() -> Vec<(String, Label)> {
     let program = wl::fig7(3);
     let limits = LookaheadLimits::disabled(&program);
-    let labeling = label_messages(&program, &limits).expect("labels").into_labeling();
+    let labeling = label_messages(&program, &limits)
+        .expect("labels")
+        .into_labeling();
     program
         .message_ids()
         .map(|m| (program.message(m).name().to_owned(), labeling.label(m)))
@@ -961,7 +1113,10 @@ mod tests {
         let csv = e.table.to_csv();
         let compatible_row = csv.lines().find(|l| l.starts_with("compatible")).unwrap();
         let fields: Vec<&str> = compatible_row.split(',').collect();
-        assert_eq!(fields[2], "0", "Theorem 1: no deadlocks, got {compatible_row}");
+        assert_eq!(
+            fields[2], "0",
+            "Theorem 1: no deadlocks, got {compatible_row}"
+        );
     }
 
     #[test]

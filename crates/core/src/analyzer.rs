@@ -57,9 +57,9 @@ use systolic_model::{CellId, MessageId, MessageRoutes, Program, Topology};
 
 use crate::{
     check_consistency, classify_with, label_messages, label_messages_robust, Analysis,
-    AnalysisConfig, Classification, CommPlan, CompetingSets, CompiledTopology, ConsistencyViolation,
-    CoreError, Diagnostic, DiagnosticCode, Diagnostics, Labeling, LabelingMethod, LabelingReport,
-    Lookahead, LookaheadLimits, QueueRequirements,
+    AnalysisConfig, Classification, CommPlan, CompetingSets, CompiledTopology,
+    ConsistencyViolation, CoreError, Diagnostic, DiagnosticCode, Diagnostics, Labeling,
+    LabelingMethod, LabelingReport, Lookahead, LookaheadLimits, QueueRequirements,
 };
 
 /// Which labeling scheme(s) an [`Analyzer`] may use.
@@ -439,7 +439,10 @@ impl<'a> AnalyzerSession<'a> {
                         .with_cells(cells),
                     );
                 } else if self.advisories
-                    && !matches!(self.analyzer.compiled.config().lookahead, Lookahead::Disabled)
+                    && !matches!(
+                        self.analyzer.compiled.config().lookahead,
+                        Lookahead::Disabled
+                    )
                 {
                     // Advisory: messages whose skip counts would engage the
                     // iWarp queue-extension mechanism on zero-capacity
@@ -680,7 +683,12 @@ impl<'a> AnalyzerSession<'a> {
                 let requirements = self.requirements()?.clone();
                 let config = self.analyzer.compiled.config();
                 if let Err(error) = requirements.check_feasible(config.queues_per_interval) {
-                    if let CoreError::Infeasible { hop, required, available } = &error {
+                    if let CoreError::Infeasible {
+                        hop,
+                        required,
+                        available,
+                    } = &error
+                    {
                         // The requirement is the *interval* sum of both
                         // directions' largest same-label groups, so name
                         // the largest group of each direction — not just
@@ -691,7 +699,10 @@ impl<'a> AnalyzerSession<'a> {
                             let mut by_label: BTreeMap<crate::Label, Vec<MessageId>> =
                                 BTreeMap::new();
                             for &m in messages {
-                                by_label.entry(outcome.labeling.label(m)).or_default().push(m);
+                                by_label
+                                    .entry(outcome.labeling.label(m))
+                                    .or_default()
+                                    .push(m);
                             }
                             if let Some(largest) = by_label.into_values().max_by_key(Vec::len) {
                                 group.extend(largest);
@@ -741,15 +752,12 @@ impl<'a> AnalyzerSession<'a> {
             let classification = self.classification.into_inner().expect(take).expect(take);
             let outcome = self.labeling.into_inner().expect(take).expect(take);
             let limits = self.limits.into_inner().expect(take).expect(take);
-            Analysis::from_parts(
-                classification,
-                outcome.report,
-                outcome.method,
-                plan,
-                limits,
-            )
+            Analysis::from_parts(classification, outcome.report, outcome.method, plan, limits)
         });
-        AnalysisOutcome { result, diagnostics }
+        AnalysisOutcome {
+            result,
+            diagnostics,
+        }
     }
 }
 
@@ -796,7 +804,9 @@ mod tests {
         let topology = Topology::linear(4);
         let config = AnalysisConfig::default();
         let legacy = analyze(&p, &topology, &config).unwrap();
-        let staged = Analyzer::for_topology(&topology, &config).analyze(&p).unwrap();
+        let staged = Analyzer::for_topology(&topology, &config)
+            .analyze(&p)
+            .unwrap();
         assert_eq!(legacy.plan().fingerprint(), staged.plan().fingerprint());
         assert_eq!(legacy.labeling_method(), staged.labeling_method());
     }
@@ -842,7 +852,14 @@ mod tests {
         // The requirements stage stays inspectable despite infeasibility.
         assert_eq!(session.requirements().unwrap().max_per_interval(), 2);
         let err = session.plan().unwrap_err();
-        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
+        assert!(matches!(
+            err,
+            CoreError::Infeasible {
+                required: 2,
+                available: 1,
+                ..
+            }
+        ));
         let outcome = session.finish();
         let d = outcome
             .diagnostics()
@@ -850,7 +867,11 @@ mod tests {
             .find(|d| d.code() == DiagnosticCode::Infeasible)
             .expect("infeasible diagnostic");
         assert_eq!(d.cell_ids(), &[CellId::new(0), CellId::new(1)]);
-        assert_eq!(d.message_ids().len(), 2, "both same-label competitors named");
+        assert_eq!(
+            d.message_ids().len(),
+            2,
+            "both same-label competitors named"
+        );
     }
 
     #[test]
@@ -862,10 +883,13 @@ mod tests {
              program c3 { R(A) }\n",
         )
         .unwrap();
-        let disconnected = Topology::graph(4, [
-            (CellId::new(0), CellId::new(1)),
-            (CellId::new(2), CellId::new(3)),
-        ])
+        let disconnected = Topology::graph(
+            4,
+            [
+                (CellId::new(0), CellId::new(1)),
+                (CellId::new(2), CellId::new(3)),
+            ],
+        )
         .unwrap();
         let analyzer = Analyzer::for_topology(&disconnected, &AnalysisConfig::default());
         let outcome = analyzer.diagnose(&p);
@@ -898,7 +922,10 @@ mod tests {
              program c5 { W(M0) W(M0) }\n",
         )
         .unwrap();
-        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 4,
+            ..Default::default()
+        };
         let analyzer = Analyzer::for_topology(&Topology::linear(6), &config);
         let outcome = analyzer.diagnose(&p);
         assert!(outcome.is_certified());
@@ -949,8 +976,7 @@ mod tests {
     #[test]
     fn verify_consistency_stage_passes_for_shipped_schemes() {
         let p = parse_program(fig7_text()).unwrap();
-        let compiled =
-            CompiledTopology::compile(&Topology::linear(4), &AnalysisConfig::default());
+        let compiled = CompiledTopology::compile(&Topology::linear(4), &AnalysisConfig::default());
         let analyzer = Analyzer::builder(compiled).verify_consistency(true).build();
         assert!(analyzer.analyze(&p).is_ok());
     }

@@ -266,8 +266,14 @@ mod tests {
     fn route_errors_match_direct_routing() {
         let disconnected = Topology::graph(4, [(c(0), c(1)), (c(2), c(3))]).unwrap();
         let compiled = CompiledTopology::compile(&disconnected, &AnalysisConfig::default());
-        assert!(matches!(compiled.route(c(0), c(3)), Err(ModelError::NoRoute { .. })));
-        assert!(matches!(compiled.route(c(1), c(1)), Err(ModelError::NoRoute { .. })));
+        assert!(matches!(
+            compiled.route(c(0), c(3)),
+            Err(ModelError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            compiled.route(c(1), c(1)),
+            Err(ModelError::NoRoute { .. })
+        ));
         assert!(matches!(
             compiled.route(c(0), c(9)),
             Err(ModelError::CellOutOfRange { .. })
@@ -296,7 +302,10 @@ mod tests {
         assert_ne!(base.fingerprint(), other_topology.fingerprint());
         let other_config = CompiledTopology::compile(
             &Topology::linear(4),
-            &AnalysisConfig { queues_per_interval: 2, ..Default::default() },
+            &AnalysisConfig {
+                queues_per_interval: 2,
+                ..Default::default()
+            },
         );
         assert_ne!(base.fingerprint(), other_config.fingerprint());
     }

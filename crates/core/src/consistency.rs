@@ -126,7 +126,10 @@ mod tests {
         // A B A with distinct labels is inconsistent either way round.
         for (a, b) in [(1, 2), (2, 1)] {
             let l = Labeling::from_labels(vec![Label::integer(a), Label::integer(b)]);
-            assert!(!is_consistent(&p, &l), "labels A={a} B={b} must be inconsistent");
+            assert!(
+                !is_consistent(&p, &l),
+                "labels A={a} B={b} must be inconsistent"
+            );
         }
         let equal = Labeling::from_labels(vec![Label::integer(1), Label::integer(1)]);
         assert!(is_consistent(&p, &equal));

@@ -27,8 +27,9 @@
 
 use systolic_model::{MessageId, Program};
 
-use crate::{classify_with, Classification, CoreError, Label, Labeling, LookaheadLimits,
-            RelatedMessages};
+use crate::{
+    classify_with, Classification, CoreError, Label, Labeling, LookaheadLimits, RelatedMessages,
+};
 
 /// Runs the constraint-solving labeling scheme.
 ///

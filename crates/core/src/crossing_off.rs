@@ -254,13 +254,19 @@ impl<'p> Machine<'p> {
             vec![BTreeMap::new(); program.num_cells()];
         for cell in program.cell_ids() {
             for op in program.cell(cell).iter() {
-                *uncrossed_per_cell[cell.index()].entry(op.message()).or_insert(0) += 1;
+                *uncrossed_per_cell[cell.index()]
+                    .entry(op.message())
+                    .or_insert(0) += 1;
             }
         }
         Machine {
             program,
             limits,
-            crossed: program.cells().iter().map(|cp| vec![false; cp.len()]).collect(),
+            crossed: program
+                .cells()
+                .iter()
+                .map(|cp| vec![false; cp.len()])
+                .collect(),
             front: vec![0; program.num_cells()],
             words_done: vec![0; program.num_messages()],
             uncrossed_per_cell,
@@ -356,7 +362,10 @@ impl<'p> Machine<'p> {
 
     pub(crate) fn cross(&mut self, pair: &Pair) {
         let decl = self.program.message(pair.message);
-        for (cell, pos) in [(decl.sender(), pair.write_pos), (decl.receiver(), pair.read_pos)] {
+        for (cell, pos) in [
+            (decl.sender(), pair.write_pos),
+            (decl.receiver(), pair.read_pos),
+        ] {
             let flags = &mut self.crossed[cell.index()];
             debug_assert!(!flags[pos], "op crossed twice");
             flags[pos] = true;
@@ -451,7 +460,10 @@ mod tests {
         let p = p1();
         let limits = LookaheadLimits::uniform(&p, 2);
         let c = classify_with(&p, &limits);
-        assert!(c.is_deadlock_free(), "Fig. 10: P1 is deadlock-free with 2-word queues");
+        assert!(
+            c.is_deadlock_free(),
+            "Fig. 10: P1 is deadlock-free with 2-word queues"
+        );
 
         // Golden trace from Fig. 10 (positions are 0-based here; the figure
         // numbers steps from 1).
@@ -464,7 +476,11 @@ mod tests {
         assert_eq!(first[0].message, b);
         assert_eq!(first[0].write_pos, 2, "W(B) in step 3 of the C1 program");
         assert_eq!(first[0].read_pos, 0, "R(B) in step 1 of the C2 program");
-        assert_eq!(first[0].skipped.get(&a), Some(&2), "skipped the two W(A)s in steps 1-2");
+        assert_eq!(
+            first[0].skipped.get(&a),
+            Some(&2),
+            "skipped the two W(A)s in steps 1-2"
+        );
 
         let second = &trace.steps()[1].pairs;
         assert_eq!(second.len(), 1);
@@ -477,7 +493,11 @@ mod tests {
         assert_eq!(third[0].message, b);
         assert_eq!(third[0].write_pos, 4, "W(B) in step 5 of the C1 program");
         assert_eq!(third[0].read_pos, 2, "R(B) in step 3 of the C2 program");
-        assert_eq!(third[0].skipped.get(&a), Some(&2), "skipped the W(A)s in steps 2 and 4");
+        assert_eq!(
+            third[0].skipped.get(&a),
+            Some(&2),
+            "skipped the W(A)s in steps 2 and 4"
+        );
 
         assert_eq!(trace.max_skips(a), 2);
         assert_eq!(trace.max_skips(b), 0);
@@ -488,7 +508,10 @@ mod tests {
     fn p1_with_capacity_one_stays_deadlocked() {
         let p = p1();
         let c = classify_with(&p, &LookaheadLimits::uniform(&p, 1));
-        assert!(!c.is_deadlock_free(), "one word of buffering is not enough for P1");
+        assert!(
+            !c.is_deadlock_free(),
+            "one word of buffering is not enough for P1"
+        );
     }
 
     #[test]

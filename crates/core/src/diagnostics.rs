@@ -294,7 +294,9 @@ impl Diagnostics {
 
     /// Only the error-severity diagnostics.
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> + '_ {
-        self.items.iter().filter(|d| d.severity() == Severity::Error)
+        self.items
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
     }
 
     /// The highest severity present, or `None` when empty.

@@ -56,12 +56,19 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Model(e) => write!(f, "model error: {e}"),
-            CoreError::ProgramDeadlocked { crossed_words, remaining_ops } => write!(
+            CoreError::ProgramDeadlocked {
+                crossed_words,
+                remaining_ops,
+            } => write!(
                 f,
                 "program is deadlocked: crossing-off stalled after {crossed_words} words \
                  with {remaining_ops} operations remaining"
             ),
-            CoreError::LabelConflict { message, lower_bound, upper_bound } => write!(
+            CoreError::LabelConflict {
+                message,
+                lower_bound,
+                upper_bound,
+            } => write!(
                 f,
                 "no consistent label for {message}: must exceed {lower_bound} \
                  yet stay below {upper_bound}"
@@ -70,7 +77,11 @@ impl fmt::Display for CoreError {
                 f,
                 "the section 6 labeling scheme produced {violations} consistency violations"
             ),
-            CoreError::Infeasible { hop, required, available } => write!(
+            CoreError::Infeasible {
+                hop,
+                required,
+                available,
+            } => write!(
                 f,
                 "interval crossing {hop} needs {required} queues for compatible \
                  assignment but only {available} are available"
@@ -110,7 +121,10 @@ mod tests {
     fn displays_render() {
         let samples = vec![
             CoreError::Model(ModelError::UnknownCell { name: "x".into() }),
-            CoreError::ProgramDeadlocked { crossed_words: 3, remaining_ops: 4 },
+            CoreError::ProgramDeadlocked {
+                crossed_words: 3,
+                remaining_ops: 4,
+            },
             CoreError::LabelConflict {
                 message: MessageId::new(1),
                 lower_bound: Label::integer(3),
@@ -132,7 +146,10 @@ mod tests {
         use std::error::Error as _;
         let e = CoreError::Model(ModelError::UnknownCell { name: "x".into() });
         assert!(e.source().is_some());
-        let e = CoreError::ProgramDeadlocked { crossed_words: 0, remaining_ops: 1 };
+        let e = CoreError::ProgramDeadlocked {
+            crossed_words: 0,
+            remaining_ops: 1,
+        };
         assert!(e.source().is_none());
     }
 }

@@ -10,7 +10,10 @@
 
 use systolic_model::{CanonicalHash, ContentHasher, Program, Topology};
 
-use crate::{AnalysisConfig, CommPlan, CompetingSets, Label, Labeling, Lookahead, LookaheadLimits, QueueRequirements};
+use crate::{
+    AnalysisConfig, CommPlan, CompetingSets, Label, Labeling, Lookahead, LookaheadLimits,
+    QueueRequirements,
+};
 
 impl CanonicalHash for LookaheadLimits {
     fn canonical_hash(&self, hasher: &mut ContentHasher) {
@@ -185,7 +188,10 @@ mod tests {
         let p = sample();
         let t = Topology::linear(2);
         let c = AnalysisConfig::default();
-        assert_eq!(request_fingerprint(&p, &t, &c), request_fingerprint(&p, &t, &c));
+        assert_eq!(
+            request_fingerprint(&p, &t, &c),
+            request_fingerprint(&p, &t, &c)
+        );
     }
 
     #[test]
@@ -203,10 +209,16 @@ mod tests {
 
         assert_ne!(base, request_fingerprint(&p, &Topology::ring(3), &c));
 
-        let more_queues = AnalysisConfig { queues_per_interval: 2, ..c.clone() };
+        let more_queues = AnalysisConfig {
+            queues_per_interval: 2,
+            ..c.clone()
+        };
         assert_ne!(base, request_fingerprint(&p, &t, &more_queues));
 
-        let lookahead = AnalysisConfig { lookahead: Lookahead::Unbounded, ..c };
+        let lookahead = AnalysisConfig {
+            lookahead: Lookahead::Unbounded,
+            ..c
+        };
         assert_ne!(base, request_fingerprint(&p, &t, &lookahead));
     }
 

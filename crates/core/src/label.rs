@@ -62,7 +62,10 @@ impl Label {
         }
         assert!(num > 0, "labels are positive numbers");
         let g = gcd(num, den);
-        Label { num: num / g, den: den / g }
+        Label {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// The label exactly halfway between `a` and `b`.
@@ -90,14 +93,20 @@ impl Label {
     /// a label needs to sit below every existing label.
     #[must_use]
     pub fn halved(self) -> Self {
-        Label::ratio(self.num, self.den.checked_mul(2).expect("label denominator overflow"))
+        Label::ratio(
+            self.num,
+            self.den.checked_mul(2).expect("label denominator overflow"),
+        )
     }
 
     /// This label plus one.
     #[must_use]
     pub fn succ_integer(self) -> Self {
         Label {
-            num: self.num.checked_add(self.den).expect("label numerator overflow"),
+            num: self
+                .num
+                .checked_add(self.den)
+                .expect("label numerator overflow"),
             den: self.den,
         }
     }
@@ -107,7 +116,10 @@ impl Label {
     /// keeping fresh labels integral even after fractional rule-1b labels.
     #[must_use]
     pub fn next_integer_above(self) -> Self {
-        Label { num: self.num.div_euclid(self.den) + 1, den: 1 }
+        Label {
+            num: self.num.div_euclid(self.den) + 1,
+            den: 1,
+        }
     }
 
     /// Numerator of the reduced representation.

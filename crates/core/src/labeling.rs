@@ -19,8 +19,8 @@
 
 use systolic_model::{MessageId, Program};
 
-use crate::{CoreError, Label, LookaheadLimits, Machine, RelatedMessages, Trace};
 use crate::crossing_off::Step;
+use crate::{CoreError, Label, LookaheadLimits, Machine, RelatedMessages, Trace};
 
 /// A complete label assignment for a program's messages.
 ///
@@ -75,7 +75,9 @@ impl Labeling {
     /// yield an efficient use of queues".
     #[must_use]
     pub fn trivial(program: &Program) -> Self {
-        Labeling { labels: vec![Label::integer(1); program.num_messages()] }
+        Labeling {
+            labels: vec![Label::integer(1); program.num_messages()],
+        }
     }
 
     /// The label of `message`.
@@ -216,8 +218,13 @@ pub fn label_messages(
         // label and wedge rule 1b. (The paper leaves the pick open — "how
         // to pick an 'optimal' one in some sense is an issue".)
         let Some(pair) = pairs.into_iter().min_by(|a, b| {
-            let key = |p: &crate::Pair| (labels[p.message.index()].is_none(),
-                                          labels[p.message.index()], p.message);
+            let key = |p: &crate::Pair| {
+                (
+                    labels[p.message.index()].is_none(),
+                    labels[p.message.index()],
+                    p.message,
+                )
+            };
             // `None` labels sort last thanks to the leading bool; among
             // labeled ones Option's ordering (None < Some) is irrelevant
             // because the bool already separates the groups.
@@ -343,9 +350,15 @@ pub fn label_messages(
     // and report instead of returning a silently-broken labeling.
     let violations = crate::check_consistency(program, &labeling);
     if !violations.is_empty() {
-        return Err(CoreError::InconsistentLabeling { violations: violations.len() });
+        return Err(CoreError::InconsistentLabeling {
+            violations: violations.len(),
+        });
     }
-    Ok(LabelingReport { labeling, assignment_order, trace })
+    Ok(LabelingReport {
+        labeling,
+        assignment_order,
+        trace,
+    })
 }
 
 #[cfg(test)]

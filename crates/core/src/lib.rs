@@ -89,8 +89,8 @@
 #![forbid(unsafe_code)]
 
 pub mod analyzer;
-mod compiled;
 mod competing;
+mod compiled;
 mod consistency;
 mod constraint_labeling;
 mod crossing_off;
@@ -107,11 +107,9 @@ mod requirements;
 
 pub(crate) use crossing_off::Machine;
 
-pub use analyzer::{
-    AnalysisOutcome, Analyzer, AnalyzerBuilder, AnalyzerSession, LabelingStrategy,
-};
-pub use compiled::{CompiledTopology, MAX_CLOSURE_CELLS};
+pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerBuilder, AnalyzerSession, LabelingStrategy};
 pub use competing::CompetingSets;
+pub use compiled::{CompiledTopology, MAX_CLOSURE_CELLS};
 pub use consistency::{check_consistency, is_consistent, ConsistencyViolation};
 pub use constraint_labeling::label_messages_robust;
 pub use crossing_off::{classify, classify_with, Classification, Pair, Step, StuckReport, Trace};

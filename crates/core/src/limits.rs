@@ -23,19 +23,25 @@ impl LookaheadLimits {
     /// the crossing-off procedure degenerates to the basic Section 3 form.
     #[must_use]
     pub fn disabled(program: &Program) -> Self {
-        LookaheadLimits { per_message: vec![Some(0); program.num_messages()] }
+        LookaheadLimits {
+            per_message: vec![Some(0); program.num_messages()],
+        }
     }
 
     /// The same skip budget for every message.
     #[must_use]
     pub fn uniform(program: &Program, limit: usize) -> Self {
-        LookaheadLimits { per_message: vec![Some(limit); program.num_messages()] }
+        LookaheadLimits {
+            per_message: vec![Some(limit); program.num_messages()],
+        }
     }
 
     /// Unbounded skipping for every message (queue extension everywhere).
     #[must_use]
     pub fn unbounded(program: &Program) -> Self {
-        LookaheadLimits { per_message: vec![None; program.num_messages()] }
+        LookaheadLimits {
+            per_message: vec![None; program.num_messages()],
+        }
     }
 
     /// Rule R2 proper: each message's budget is the total capacity of the

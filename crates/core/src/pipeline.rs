@@ -16,9 +16,7 @@
 
 use systolic_model::{MessageId, Program, Topology};
 
-use crate::{
-    Analyzer, Classification, CommPlan, CoreError, LabelingReport, LookaheadLimits,
-};
+use crate::{Analyzer, Classification, CommPlan, CoreError, LabelingReport, LookaheadLimits};
 
 /// How much lookahead (queue buffering) the analysis may assume.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -47,7 +45,10 @@ pub struct AnalysisConfig {
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        AnalysisConfig { lookahead: Lookahead::Disabled, queues_per_interval: 1 }
+        AnalysisConfig {
+            lookahead: Lookahead::Disabled,
+            queues_per_interval: 1,
+        }
     }
 }
 
@@ -81,7 +82,13 @@ impl Analysis {
         plan: CommPlan,
         limits: LookaheadLimits,
     ) -> Self {
-        Analysis { classification, labeling_report, labeling_method, plan, limits }
+        Analysis {
+            classification,
+            labeling_report,
+            labeling_method,
+            plan,
+            limits,
+        }
     }
 
     /// The crossing-off verdict and trace (always deadlock-free here).
@@ -234,11 +241,24 @@ mod tests {
              program c2 { R(B)*3 }\n",
         )
         .unwrap();
-        let config = AnalysisConfig { queues_per_interval: 1, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 1,
+            ..Default::default()
+        };
         let err = analyze(&p, &Topology::linear(3), &config).unwrap_err();
-        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
+        assert!(matches!(
+            err,
+            CoreError::Infeasible {
+                required: 2,
+                available: 1,
+                ..
+            }
+        ));
 
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         assert!(analyze(&p, &Topology::linear(3), &config).is_ok());
     }
 
@@ -343,7 +363,10 @@ mod tests {
              program c5 { W(M0) W(M0) }\n",
         )
         .unwrap();
-        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 4,
+            ..Default::default()
+        };
         let a = analyze(&p, &Topology::linear(6), &config).unwrap();
         assert_eq!(a.labeling_method(), LabelingMethod::ConstraintSolver);
         assert!(a.labeling_report().is_none());

@@ -34,7 +34,12 @@ impl CommPlan {
         competing: CompetingSets,
         requirements: QueueRequirements,
     ) -> Self {
-        CommPlan { labeling, routes, competing, requirements }
+        CommPlan {
+            labeling,
+            routes,
+            competing,
+            requirements,
+        }
     }
 
     /// The message labeling.

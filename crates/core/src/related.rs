@@ -21,7 +21,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -101,7 +104,11 @@ impl RelatedMessages {
             let mut prev_write = vec![None; n];
             for (pos, op) in ops.iter().enumerate() {
                 let m = op.message().index();
-                let prev = if op.is_read() { &mut prev_read } else { &mut prev_write };
+                let prev = if op.is_read() {
+                    &mut prev_read
+                } else {
+                    &mut prev_write
+                };
                 if let Some(start) = prev[m] {
                     // Everything strictly between `start` and `pos` relates
                     // to `m`.
@@ -116,7 +123,10 @@ impl RelatedMessages {
             }
         }
         let class_of = (0..n).map(|i| uf.find(i)).collect();
-        Self { class_of, num_messages: n }
+        Self {
+            class_of,
+            num_messages: n,
+        }
     }
 
     /// `true` if `a` and `b` are in the same equivalence class.
@@ -228,7 +238,10 @@ mod tests {
         let a = p.message_id("A").unwrap();
         let b = p.message_id("B").unwrap();
         assert!(!rel.are_related(a, b));
-        assert!(rel.are_related(a, a), "relation is reflexive by class membership");
+        assert!(
+            rel.are_related(a, a),
+            "relation is reflexive by class membership"
+        );
         assert_eq!(rel.classes().len(), 2);
     }
 

@@ -41,7 +41,10 @@ impl QueueRequirements {
             per_hop.insert(hop, need);
             *per_interval.entry(hop.interval()).or_insert(0) += need;
         }
-        QueueRequirements { per_hop, per_interval }
+        QueueRequirements {
+            per_hop,
+            per_interval,
+        }
     }
 
     /// Queues required on a directed hop (0 if nothing crosses it).
@@ -195,7 +198,11 @@ mod tests {
         );
         let req = QueueRequirements::compute(&competing, &labeling);
         match req.check_feasible(1).unwrap_err() {
-            CoreError::Infeasible { hop, required, available } => {
+            CoreError::Infeasible {
+                hop,
+                required,
+                available,
+            } => {
                 assert_eq!(hop, Hop::new(c(0), c(1)));
                 assert_eq!(required, 2);
                 assert_eq!(available, 1);

@@ -19,7 +19,10 @@ impl CellRef for CellId {
         if self.index() < builder.cells.len() {
             Ok(*self)
         } else {
-            Err(ModelError::CellOutOfRange { cell: *self, num_cells: builder.cells.len() })
+            Err(ModelError::CellOutOfRange {
+                cell: *self,
+                num_cells: builder.cells.len(),
+            })
         }
     }
 }
@@ -37,7 +40,9 @@ impl CellRef for &str {
             .iter()
             .position(|(n, _)| n == self)
             .map(|i| CellId::new(i as u32))
-            .ok_or_else(|| ModelError::UnknownCell { name: (*self).to_owned() })
+            .ok_or_else(|| ModelError::UnknownCell {
+                name: (*self).to_owned(),
+            })
     }
 }
 
@@ -83,7 +88,9 @@ impl ProgramBuilder {
     #[must_use]
     pub fn new(num_cells: usize) -> Self {
         ProgramBuilder {
-            cells: (0..num_cells).map(|i| (format!("c{i}"), Vec::new())).collect(),
+            cells: (0..num_cells)
+                .map(|i| (format!("c{i}"), Vec::new()))
+                .collect(),
             messages: Vec::new(),
         }
     }
@@ -93,10 +100,7 @@ impl ProgramBuilder {
     /// # Panics
     ///
     /// Panics if the number of names differs from the number of cells.
-    pub fn name_cells<S: Into<String>>(
-        &mut self,
-        names: impl IntoIterator<Item = S>,
-    ) -> &mut Self {
+    pub fn name_cells<S: Into<String>>(&mut self, names: impl IntoIterator<Item = S>) -> &mut Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         assert_eq!(
             names.len(),
@@ -149,7 +153,9 @@ impl ProgramBuilder {
 
     fn resolve_message(&self, name: &str) -> Result<MessageId, ModelError> {
         self.message_id(name)
-            .ok_or_else(|| ModelError::UnknownMessage { name: name.to_owned() })
+            .ok_or_else(|| ModelError::UnknownMessage {
+                name: name.to_owned(),
+            })
     }
 
     /// Appends one `W(message)` to `cell`'s program.
@@ -157,11 +163,7 @@ impl ProgramBuilder {
     /// # Errors
     ///
     /// Fails if the cell or message does not resolve.
-    pub fn write(
-        &mut self,
-        cell: impl CellRef,
-        message: &str,
-    ) -> Result<&mut Self, ModelError> {
+    pub fn write(&mut self, cell: impl CellRef, message: &str) -> Result<&mut Self, ModelError> {
         self.write_n(cell, message, 1)
     }
 
@@ -170,11 +172,7 @@ impl ProgramBuilder {
     /// # Errors
     ///
     /// Fails if the cell or message does not resolve.
-    pub fn read(
-        &mut self,
-        cell: impl CellRef,
-        message: &str,
-    ) -> Result<&mut Self, ModelError> {
+    pub fn read(&mut self, cell: impl CellRef, message: &str) -> Result<&mut Self, ModelError> {
         self.read_n(cell, message, 1)
     }
 

@@ -78,12 +78,7 @@ pub fn program_to_text(program: &Program) -> String {
 #[must_use]
 pub fn side_by_side(program: &Program) -> String {
     let num_cells = program.num_cells();
-    let rows = program
-        .cells()
-        .iter()
-        .map(|cp| cp.len())
-        .max()
-        .unwrap_or(0);
+    let rows = program.cells().iter().map(|cp| cp.len()).max().unwrap_or(0);
 
     // Render every op with the message's *name*, as the paper does.
     let rendered: Vec<Vec<String>> = program
@@ -201,7 +196,10 @@ mod serialize_tests {
 
     #[test]
     fn roundtrips_empty_cells() {
-        let p = parse_program("cells 3\nmessage A: c0 -> c2\nprogram c0 { W(A) }\nprogram c2 { R(A) }\n").unwrap();
+        let p = parse_program(
+            "cells 3\nmessage A: c0 -> c2\nprogram c0 { W(A) }\nprogram c2 { R(A) }\n",
+        )
+        .unwrap();
         let text = program_to_text(&p);
         assert_eq!(parse_program(&text).unwrap(), p);
         assert!(text.contains("program c1 { }"));

@@ -119,17 +119,32 @@ impl fmt::Display for ModelError {
                 write!(f, "cell `{name}` named more than once")
             }
             ModelError::SelfMessage { message, cell } => {
-                write!(f, "message {message} has cell {cell} as both sender and receiver")
+                write!(
+                    f,
+                    "message {message} has cell {cell} as both sender and receiver"
+                )
             }
-            ModelError::WriteOutsideSender { message, cell, sender } => write!(
+            ModelError::WriteOutsideSender {
+                message,
+                cell,
+                sender,
+            } => write!(
                 f,
                 "W({message}) appears in {cell} but the declared sender is {sender}"
             ),
-            ModelError::ReadOutsideReceiver { message, cell, receiver } => write!(
+            ModelError::ReadOutsideReceiver {
+                message,
+                cell,
+                receiver,
+            } => write!(
                 f,
                 "R({message}) appears in {cell} but the declared receiver is {receiver}"
             ),
-            ModelError::WordCountMismatch { message, writes, reads } => write!(
+            ModelError::WordCountMismatch {
+                message,
+                writes,
+                reads,
+            } => write!(
                 f,
                 "message {message} is written {writes} times but read {reads} times"
             ),
@@ -146,8 +161,15 @@ impl fmt::Display for ModelError {
             ModelError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
-            ModelError::SpecParse { token, offset, message } => {
-                write!(f, "topology spec error at byte {offset} (`{token}`): {message}")
+            ModelError::SpecParse {
+                token,
+                offset,
+                message,
+            } => {
+                write!(
+                    f,
+                    "topology spec error at byte {offset} (`{token}`): {message}"
+                )
             }
         }
     }
@@ -168,7 +190,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_nonempty() {
-        let e = ModelError::UnknownCell { name: "hostt".into() };
+        let e = ModelError::UnknownCell {
+            name: "hostt".into(),
+        };
         let s = e.to_string();
         assert!(!s.is_empty());
         assert!(s.starts_with(char::is_lowercase));
@@ -180,7 +204,10 @@ mod tests {
             ModelError::UnknownMessage { name: "A".into() },
             ModelError::DuplicateMessage { name: "A".into() },
             ModelError::DuplicateCell { name: "c1".into() },
-            ModelError::SelfMessage { message: MessageId::new(0), cell: CellId::new(1) },
+            ModelError::SelfMessage {
+                message: MessageId::new(0),
+                cell: CellId::new(1),
+            },
             ModelError::WriteOutsideSender {
                 message: MessageId::new(0),
                 cell: CellId::new(1),
@@ -191,11 +218,27 @@ mod tests {
                 cell: CellId::new(1),
                 receiver: CellId::new(2),
             },
-            ModelError::WordCountMismatch { message: MessageId::new(0), writes: 3, reads: 2 },
-            ModelError::CellOutOfRange { cell: CellId::new(9), num_cells: 4 },
-            ModelError::CellCountMismatch { program: 3, topology: 4 },
-            ModelError::NoRoute { from: CellId::new(0), to: CellId::new(3) },
-            ModelError::Parse { line: 7, message: "bad token".into() },
+            ModelError::WordCountMismatch {
+                message: MessageId::new(0),
+                writes: 3,
+                reads: 2,
+            },
+            ModelError::CellOutOfRange {
+                cell: CellId::new(9),
+                num_cells: 4,
+            },
+            ModelError::CellCountMismatch {
+                program: 3,
+                topology: 4,
+            },
+            ModelError::NoRoute {
+                from: CellId::new(0),
+                to: CellId::new(3),
+            },
+            ModelError::Parse {
+                line: 7,
+                message: "bad token".into(),
+            },
             ModelError::SpecParse {
                 token: "torus".into(),
                 offset: 0,

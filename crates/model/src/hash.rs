@@ -61,7 +61,10 @@ impl ContentHasher {
     /// A fresh hasher in its initial state.
     #[must_use]
     pub fn new() -> Self {
-        ContentHasher { lo: OFFSET_LO, hi: OFFSET_HI }
+        ContentHasher {
+            lo: OFFSET_LO,
+            hi: OFFSET_HI,
+        }
     }
 
     /// Feeds raw bytes. Prefer the typed writers, which add framing.

@@ -214,7 +214,10 @@ impl Hop {
     /// The same interval crossed in the opposite direction.
     #[must_use]
     pub fn reversed(self) -> Hop {
-        Hop { from: self.to, to: self.from }
+        Hop {
+            from: self.to,
+            to: self.from,
+        }
     }
 }
 

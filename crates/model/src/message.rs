@@ -49,7 +49,11 @@ impl MessageDecl {
                 cell: sender,
             });
         }
-        Ok(MessageDecl { name: name.into(), sender, receiver })
+        Ok(MessageDecl {
+            name: name.into(),
+            sender,
+            receiver,
+        })
     }
 
     /// The message's declared name (e.g. `"XA"`).

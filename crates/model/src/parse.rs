@@ -64,7 +64,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(line: usize, message: impl Into<String>) -> ModelError {
-        ModelError::Parse { line, message: message.into() }
+        ModelError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     fn parse(mut self) -> Result<Program, ModelError> {
@@ -126,7 +129,10 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| Self::err(line, "expected `SENDER -> RECEIVER`"))?;
         let (name, sender, receiver) = (name.trim(), sender.trim(), receiver.trim());
         if name.is_empty() || sender.is_empty() || receiver.is_empty() {
-            return Err(Self::err(line, "message name, sender and receiver must be nonempty"));
+            return Err(Self::err(
+                line,
+                "message name, sender and receiver must be nonempty",
+            ));
         }
         builder.message(name, sender, receiver)?;
         Ok(())
@@ -208,7 +214,10 @@ impl<'a> Parser<'a> {
             "W" => builder.write_n(cell, msg, count)?,
             "R" => builder.read_n(cell, msg, count)?,
             other => {
-                return Err(Self::err(line, format!("unknown op `{other}` in `{token}`")));
+                return Err(Self::err(
+                    line,
+                    format!("unknown op `{other}` in `{token}`"),
+                ));
             }
         };
         Ok(())

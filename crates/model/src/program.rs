@@ -53,7 +53,9 @@ impl CellProgram {
 
 impl FromIterator<Op> for CellProgram {
     fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
-        CellProgram { ops: iter.into_iter().collect() }
+        CellProgram {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -136,7 +138,9 @@ impl Program {
         }
         for (i, decl) in messages.iter().enumerate() {
             if messages[..i].iter().any(|d| d.name() == decl.name()) {
-                return Err(ModelError::DuplicateMessage { name: decl.name().to_owned() });
+                return Err(ModelError::DuplicateMessage {
+                    name: decl.name().to_owned(),
+                });
             }
             for cell in [decl.sender(), decl.receiver()] {
                 if cell.index() >= num_cells {
@@ -158,7 +162,9 @@ impl Program {
             for op in cp.iter() {
                 let m = op.message();
                 let Some(decl) = messages.get(m.index()) else {
-                    return Err(ModelError::UnknownMessage { name: m.to_string() });
+                    return Err(ModelError::UnknownMessage {
+                        name: m.to_string(),
+                    });
                 };
                 match op.kind() {
                     OpKind::Write => {
@@ -194,7 +200,12 @@ impl Program {
             }
         }
 
-        Ok(Program { cell_names, messages, cells, word_counts: writes })
+        Ok(Program {
+            cell_names,
+            messages,
+            cells,
+            word_counts: writes,
+        })
     }
 
     /// Number of cells in the array (the host counts as a cell).
@@ -406,7 +417,11 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            ModelError::WordCountMismatch { writes: 2, reads: 1, .. }
+            ModelError::WordCountMismatch {
+                writes: 2,
+                reads: 1,
+                ..
+            }
         ));
     }
 

@@ -30,7 +30,10 @@ impl Route {
     /// consecutively.
     #[must_use]
     pub fn new(cells: Vec<CellId>) -> Self {
-        assert!(cells.len() >= 2, "a route needs at least sender and receiver");
+        assert!(
+            cells.len() >= 2,
+            "a route needs at least sender and receiver"
+        );
         assert!(
             cells.windows(2).all(|w| w[0] != w[1]),
             "a route must not repeat a cell consecutively"

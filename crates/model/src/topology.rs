@@ -205,7 +205,11 @@ impl Topology {
             }
         }
         intervals.sort_unstable();
-        Topology { kind, adjacency, intervals }
+        Topology {
+            kind,
+            adjacency,
+            intervals,
+        }
     }
 
     /// Parses a compact topology specification string, the inverse of
@@ -291,7 +295,9 @@ impl Topology {
                     }),
                     _ => Err(bad(
                         rest,
-                        format!("{kind} {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"),
+                        format!(
+                            "{kind} {rows}x{cols} exceeds the spec limit of {MAX_SPEC_CELLS} cells"
+                        ),
                     )),
                 }
             }
@@ -461,7 +467,11 @@ impl Topology {
                 let mut cur = i;
                 path.push(CellId::new(cur as u32));
                 for _ in 0..hops {
-                    cur = if step_fwd { (cur + 1) % n } else { (cur + n - 1) % n };
+                    cur = if step_fwd {
+                        (cur + 1) % n
+                    } else {
+                        (cur + n - 1) % n
+                    };
                     path.push(CellId::new(cur as u32));
                 }
                 Ok(path)
@@ -486,7 +496,11 @@ impl Topology {
                 let ring_steps = |cur: usize, target: usize, n: usize| {
                     let fwd = (target + n - cur) % n;
                     let bwd = n - fwd;
-                    if fwd <= bwd { (fwd, true) } else { (bwd, false) }
+                    if fwd <= bwd {
+                        (fwd, true)
+                    } else {
+                        (bwd, false)
+                    }
                 };
                 let (mut r, mut c) = (from.index() / cols, from.index() % cols);
                 let (tr, tc) = (to.index() / cols, to.index() % cols);
@@ -494,14 +508,22 @@ impl Topology {
                 if c != tc {
                     let (hops, fwd) = ring_steps(c, tc, *cols);
                     for _ in 0..hops {
-                        c = if fwd { (c + 1) % cols } else { (c + cols - 1) % cols };
+                        c = if fwd {
+                            (c + 1) % cols
+                        } else {
+                            (c + cols - 1) % cols
+                        };
                         path.push(CellId::new((r * cols + c) as u32));
                     }
                 }
                 if r != tr {
                     let (hops, fwd) = ring_steps(r, tr, *rows);
                     for _ in 0..hops {
-                        r = if fwd { (r + 1) % rows } else { (r + rows - 1) % rows };
+                        r = if fwd {
+                            (r + 1) % rows
+                        } else {
+                            (r + rows - 1) % rows
+                        };
                         path.push(CellId::new((r * cols + c) as u32));
                     }
                 }
@@ -567,7 +589,10 @@ impl Topology {
     pub fn routes_from(&self, from: CellId) -> Result<Vec<Option<Vec<CellId>>>, ModelError> {
         let n = self.num_cells();
         if from.index() >= n {
-            return Err(ModelError::CellOutOfRange { cell: from, num_cells: n });
+            return Err(ModelError::CellOutOfRange {
+                cell: from,
+                num_cells: n,
+            });
         }
         if let Kind::Graph { .. } = &self.kind {
             // One full BFS; discovery order (and therefore every prev
@@ -670,7 +695,10 @@ mod tests {
     #[test]
     fn linear_routes_both_directions() {
         let t = Topology::linear(4);
-        assert_eq!(t.route_cells(c(0), c(3)).unwrap(), vec![c(0), c(1), c(2), c(3)]);
+        assert_eq!(
+            t.route_cells(c(0), c(3)).unwrap(),
+            vec![c(0), c(1), c(2), c(3)]
+        );
         assert_eq!(t.route_cells(c(3), c(1)).unwrap(), vec![c(3), c(2), c(1)]);
     }
 
@@ -702,8 +730,8 @@ mod tests {
     #[test]
     fn graph_bfs_shortest_with_tiebreak() {
         // 0-1, 0-2, 1-3, 2-3: two shortest paths 0->3; lowest-id goes via 1.
-        let t = Topology::graph(4, [(c(0), c(1)), (c(0), c(2)), (c(1), c(3)), (c(2), c(3))])
-            .unwrap();
+        let t =
+            Topology::graph(4, [(c(0), c(1)), (c(0), c(2)), (c(1), c(3)), (c(2), c(3))]).unwrap();
         assert_eq!(t.route_cells(c(0), c(3)).unwrap(), vec![c(0), c(1), c(3)]);
     }
 
@@ -733,7 +761,10 @@ mod tests {
             t.route_cells(c(0), c(9)),
             Err(ModelError::CellOutOfRange { .. })
         ));
-        assert!(matches!(t.route_cells(c(1), c(1)), Err(ModelError::NoRoute { .. })));
+        assert!(matches!(
+            t.route_cells(c(1), c(1)),
+            Err(ModelError::NoRoute { .. })
+        ));
     }
 
     #[test]
@@ -765,10 +796,19 @@ mod tests {
 
     #[test]
     fn from_spec_parses_all_forms() {
-        assert_eq!(Topology::from_spec("linear:4").unwrap(), Topology::linear(4));
+        assert_eq!(
+            Topology::from_spec("linear:4").unwrap(),
+            Topology::linear(4)
+        );
         assert_eq!(Topology::from_spec("ring:5").unwrap(), Topology::ring(5));
-        assert_eq!(Topology::from_spec("mesh:2x3").unwrap(), Topology::mesh(2, 3));
-        assert_eq!(Topology::from_spec("torus:3x4").unwrap(), Topology::torus(3, 4));
+        assert_eq!(
+            Topology::from_spec("mesh:2x3").unwrap(),
+            Topology::mesh(2, 3)
+        );
+        assert_eq!(
+            Topology::from_spec("torus:3x4").unwrap(),
+            Topology::torus(3, 4)
+        );
         assert_eq!(
             Topology::from_spec("graph:3:0-1,1-2").unwrap(),
             Topology::graph(3, [(c(0), c(1)), (c(1), c(2))]).unwrap()
@@ -782,9 +822,22 @@ mod tests {
     #[test]
     fn from_spec_rejects_malformed_input() {
         for spec in [
-            "", "linear", "linear:", "linear:0", "linear:x", "ring:2", "mesh:3",
-            "mesh:0x2", "mesh:2x", "torus:4", "torus:0x3", "torus:3xz", "hypercube:4",
-            "graph:3", "graph:3:0_1", "graph:3:0-0",
+            "",
+            "linear",
+            "linear:",
+            "linear:0",
+            "linear:x",
+            "ring:2",
+            "mesh:3",
+            "mesh:0x2",
+            "mesh:2x",
+            "torus:4",
+            "torus:0x3",
+            "torus:3xz",
+            "hypercube:4",
+            "graph:3",
+            "graph:3:0_1",
+            "graph:3:0-0",
         ] {
             assert!(
                 matches!(Topology::from_spec(spec), Err(ModelError::SpecParse { .. })),
@@ -803,29 +856,33 @@ mod tests {
     fn from_spec_errors_name_token_and_offset() {
         let classes: &[(&str, &str, usize)] = &[
             // (spec, offending token, byte offset)
-            ("linear", "linear", 0),           // missing `:` — whole spec
-            ("hypercube:4", "hypercube", 0),   // unknown kind
-            ("linear:x", "x", 7),              // non-numeric count
-            ("linear:", "", 7),                // empty count
-            ("linear:0", "0", 7),              // zero count
-            ("ring:2", "2", 5),                // degenerate ring
-            ("mesh:3", "3", 5),                // missing `x`
-            ("mesh:2xq", "q", 7),              // bad column count
-            ("mesh:0x2", "0", 5),              // zero row count
-            ("torus:4", "4", 6),               // torus without `x`
-            ("torus:2xq", "q", 8),             // bad torus column count
-            ("torus:0x2", "0", 6),             // zero torus row count
-            ("torus:2x0", "0", 8),             // zero torus column count
-            ("graph:3", "3", 6),               // missing edge list
-            ("graph:3:0_1", "0_1", 8),         // edge without `-`
-            ("graph:3:0-1,2-z", "z", 14),      // bad edge endpoint
-            ("graph:3:0-0", "0-0", 8),         // self-loop edge
+            ("linear", "linear", 0),         // missing `:` — whole spec
+            ("hypercube:4", "hypercube", 0), // unknown kind
+            ("linear:x", "x", 7),            // non-numeric count
+            ("linear:", "", 7),              // empty count
+            ("linear:0", "0", 7),            // zero count
+            ("ring:2", "2", 5),              // degenerate ring
+            ("mesh:3", "3", 5),              // missing `x`
+            ("mesh:2xq", "q", 7),            // bad column count
+            ("mesh:0x2", "0", 5),            // zero row count
+            ("torus:4", "4", 6),             // torus without `x`
+            ("torus:2xq", "q", 8),           // bad torus column count
+            ("torus:0x2", "0", 6),           // zero torus row count
+            ("torus:2x0", "0", 8),           // zero torus column count
+            ("graph:3", "3", 6),             // missing edge list
+            ("graph:3:0_1", "0_1", 8),       // edge without `-`
+            ("graph:3:0-1,2-z", "z", 14),    // bad edge endpoint
+            ("graph:3:0-0", "0-0", 8),       // self-loop edge
             ("mesh:100000x100000", "100000x100000", 5), // over the cell bound
             ("torus:100000x100000", "100000x100000", 6), // over the cell bound
         ];
         for &(spec, token, offset) in classes {
             match Topology::from_spec(spec) {
-                Err(ModelError::SpecParse { token: t, offset: o, .. }) => {
+                Err(ModelError::SpecParse {
+                    token: t,
+                    offset: o,
+                    ..
+                }) => {
                     assert_eq!(t, token, "wrong token for `{spec}`");
                     assert_eq!(o, offset, "wrong offset for `{spec}`");
                 }
@@ -925,8 +982,17 @@ mod tests {
             Topology::mesh(3, 4),
             Topology::torus(4, 5),
             Topology::torus(2, 4),
-            Topology::graph(6, [(c(0), c(1)), (c(1), c(2)), (c(2), c(3)), (c(0), c(4)), (c(4), c(3))])
-                .unwrap(),
+            Topology::graph(
+                6,
+                [
+                    (c(0), c(1)),
+                    (c(1), c(2)),
+                    (c(2), c(3)),
+                    (c(0), c(4)),
+                    (c(4), c(3)),
+                ],
+            )
+            .unwrap(),
             Topology::graph(5, [(c(0), c(1)), (c(2), c(3))]).unwrap(), // disconnected
         ];
         for t in topologies {
@@ -936,7 +1002,8 @@ mod tests {
                 for j in 0..t.num_cells() as u32 {
                     let direct = t.route_cells(c(i), c(j)).ok();
                     assert_eq!(
-                        closure[j as usize], direct,
+                        closure[j as usize],
+                        direct,
                         "closure/route mismatch {i}->{j} in {}",
                         t.spec()
                     );
@@ -947,7 +1014,9 @@ mod tests {
             Topology::linear(2).routes_from(c(9)),
             Err(ModelError::CellOutOfRange { .. })
         ));
-        assert!(Topology::graph(4, [(c(0), c(1))]).unwrap().uses_search_routing());
+        assert!(Topology::graph(4, [(c(0), c(1))])
+            .unwrap()
+            .uses_search_routing());
         assert!(!Topology::mesh(2, 2).uses_search_routing());
     }
 }

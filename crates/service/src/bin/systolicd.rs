@@ -3,14 +3,20 @@
 //! ```text
 //! systolicd gen   --count 1000 [--seed 42] [--hot-percent 50]
 //! systolicd serve [FILE] [--workers 4] [--shards 8] [--capacity 256]
-//!                 [--queue-depth 64] [--verify] [--summary]
+//!                 [--queue-depth 64] [--verify] [--verify-threads N]
+//!                 [--summary]
 //! ```
 //!
 //! `gen` writes a deterministic stream of mixed workload requests (one
 //! JSON object per line) to stdout. `serve` reads request lines from FILE
 //! (or stdin), drives them through the service with bounded backpressure,
 //! and streams one JSON response per line to stdout in request order;
-//! `--summary` prints a throughput/latency/cache table to stderr. Exit
+//! `--verify` chases every certified miss with a simulator replay, and
+//! `--verify-threads N` offloads those chases to `N` dedicated verifier
+//! threads (each with its own warm arena LRU) instead of running them
+//! inline in the analysis workers; `--summary` prints a
+//! throughput/latency/cache table — including arena-cache counters and a
+//! per-topology verified/blocked breakdown — to stderr. Exit
 //! status is 0 when every line was a well-formed request (rejected
 //! analyses still count as served), 2 on usage errors, 1 when some lines
 //! were malformed.
@@ -33,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
          systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
-         [--queue-depth N] [--verify] [--summary]"
+         [--queue-depth N] [--verify] [--verify-threads N] [--summary]"
     );
     std::process::exit(2);
 }
@@ -100,6 +106,9 @@ fn serve_main(args: &[String]) {
                 config.queue_depth = parse_flag_value(&mut iter, "--queue-depth").max(1);
             }
             "--verify" => config.verify = true,
+            "--verify-threads" => {
+                config.verify_threads = parse_flag_value(&mut iter, "--verify-threads");
+            }
             "--summary" => summary = true,
             path if !path.starts_with('-') && input_path.is_none() => {
                 input_path = Some(path.to_owned());
@@ -129,14 +138,12 @@ fn serve_main(args: &[String]) {
     // the backpressure, this window just bounds reply buffering.
     let inflight_limit = config.workers * 2 + config.queue_depth;
     let mut inflight: std::collections::VecDeque<Ticket> = std::collections::VecDeque::new();
-    let drain_one =
-        |inflight: &mut std::collections::VecDeque<Ticket>, out: &mut dyn Write| {
-            if let Some(ticket) = inflight.pop_front() {
-                let response = ticket.wait();
-                writeln!(out, "{}", response_to_json(&response))
-                    .expect("writing to stdout succeeds");
-            }
-        };
+    let drain_one = |inflight: &mut std::collections::VecDeque<Ticket>, out: &mut dyn Write| {
+        if let Some(ticket) = inflight.pop_front() {
+            let response = ticket.wait();
+            writeln!(out, "{}", response_to_json(&response)).expect("writing to stdout succeeds");
+        }
+    };
 
     for (i, line) in BufReader::new(reader).lines().enumerate() {
         let line = line.unwrap_or_else(|e| {
@@ -180,7 +187,14 @@ fn serve_main(args: &[String]) {
         table.row(["wall time (s)", &format!("{secs:.3}")]);
         table.row([
             "throughput (req/s)",
-            &format!("{:.0}", if secs > 0.0 { served as f64 / secs } else { 0.0 }),
+            &format!(
+                "{:.0}",
+                if secs > 0.0 {
+                    served as f64 / secs
+                } else {
+                    0.0
+                }
+            ),
         ]);
         table.row(["invalid lines", &invalid.to_string()]);
         eprintln!("{}", table.to_text());

@@ -25,7 +25,10 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { shards: 8, capacity_per_shard: 256 }
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 256,
+        }
     }
 }
 
@@ -233,7 +236,10 @@ mod tests {
     use super::*;
 
     fn small(shards: usize, cap: usize) -> ShardedCache<u32> {
-        ShardedCache::new(CacheConfig { shards, capacity_per_shard: cap })
+        ShardedCache::new(CacheConfig {
+            shards,
+            capacity_per_shard: cap,
+        })
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl Json {
     ///
     /// Returns [`JsonError`] with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -180,7 +184,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { pos: self.pos, message: message.into() }
+        JsonError {
+            pos: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -412,7 +419,10 @@ mod tests {
         let v = Json::Obj(vec![
             ("z".into(), Json::Num(1.0)),
             ("a".into(), Json::Bool(false)),
-            ("nested".into(), Json::Arr(vec![Json::Null, Json::Str("s".into())])),
+            (
+                "nested".into(),
+                Json::Arr(vec![Json::Null, Json::Str("s".into())]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(text, r#"{"z":1,"a":false,"nested":[null,"s"]}"#);
@@ -422,8 +432,16 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for text in [
-            "", "{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", "{'a': 1}",
-            "\"bad \\x escape\"", "nul",
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "{'a': 1}",
+            "\"bad \\x escape\"",
+            "nul",
         ] {
             assert!(Json::parse(text).is_err(), "`{text}` should fail");
         }

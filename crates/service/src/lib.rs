@@ -16,6 +16,11 @@
 //!   serves hits from cache, computes misses (optionally chasing each
 //!   certified plan with a `systolic_sim` verification run) and returns
 //!   structured [`AnalysisResponse`]s with cache provenance and timings;
+//! * [`ArenaLru`] — the per-worker LRU of verification arenas keyed by
+//!   compiled topology, so topology-interleaved chases reuse warm
+//!   arenas instead of rebuilding queue pools per request;
+//!   [`ServiceConfig::verify_threads`] moves the chases onto a dedicated
+//!   verifier pool with its own LRUs;
 //! * [`wire`] + [`Json`] — the JSONL request/response format of the
 //!   [`systolicd`](../systolicd/index.html) binary, which replays scripted
 //!   traffic files end to end.
@@ -45,12 +50,15 @@ mod cache;
 mod json;
 mod queue;
 mod service;
+mod varena;
 pub mod wire;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use json::{Json, JsonError};
 pub use queue::{BoundedQueue, QueueClosed};
 pub use service::{
-    AnalysisRequest, AnalysisResponse, AnalysisService, CacheProvenance, Certified, Rejection,
-    ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
+    AnalysisRequest, AnalysisResponse, AnalysisService, ArenaCacheStats, CacheProvenance,
+    Certified, Rejection, ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
+    TopologyVerifyStats,
 };
+pub use varena::{ArenaLookup, ArenaLru};

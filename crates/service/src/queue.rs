@@ -48,7 +48,10 @@ impl<T> BoundedQueue<T> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
-            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             capacity: capacity.max(1),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),

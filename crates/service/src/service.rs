@@ -18,6 +18,7 @@
 //! full — backpressure, not unbounded buffering, is the overload
 //! response.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -28,12 +29,17 @@ use systolic_core::{
     request_fingerprint, AnalysisConfig, Analyzer, CommPlan, CompiledTopology, CoreError,
     Diagnostic, Label, LabelingMethod,
 };
-use systolic_model::{Program, Topology};
+use systolic_model::{ModelError, Program, Topology};
 use systolic_report::{percentile_sorted, Table};
-use systolic_sim::{SimArena, SimConfig, VerifyReport};
+use systolic_sim::{SimConfig, VerifyReport};
 use systolic_workloads::TrafficItem;
 
-use crate::{BoundedQueue, CacheConfig, CacheStats, ShardedCache};
+use crate::{ArenaLru, BoundedQueue, CacheConfig, CacheStats, ShardedCache};
+
+/// Arenas each worker (or dedicated verifier thread) keeps warm in its
+/// [`ArenaLru`] — enough that a handful of interleaved topologies stop
+/// thrashing, small enough that a fleet of workers stays cheap.
+const ARENA_CACHE_CAPACITY: usize = 4;
 
 /// Configuration of an [`AnalysisService`].
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +53,14 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Chase every *miss* with a simulator run of the certified plan.
     pub verify: bool,
+    /// Dedicated verifier threads for the chase. `0` (the default) chases
+    /// inline in the analysis worker that computed the plan; `N ≥ 1`
+    /// offloads chases to `N` verifier threads, each with its own warm
+    /// [`ArenaLru`] — so arena residency scales with `verify_threads ×`
+    /// [`ArenaLru` capacity], not `workers ×` capacity, and verification
+    /// CPU is capped independently of the analysis pool. Ignored unless
+    /// `verify` is set.
+    pub verify_threads: usize,
     /// Simulator configuration for verification runs.
     pub sim: SimConfig,
     /// Shape of the shared topology-compilation cache
@@ -61,8 +75,12 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             queue_depth: 64,
             verify: false,
+            verify_threads: 0,
             sim: SimConfig::default(),
-            compilation_cache: CacheConfig { shards: 4, capacity_per_shard: 64 },
+            compilation_cache: CacheConfig {
+                shards: 4,
+                capacity_per_shard: 64,
+            },
         }
     }
 }
@@ -259,7 +277,9 @@ impl Ticket {
     /// panicked), which is a bug in the service.
     #[must_use]
     pub fn wait(self) -> AnalysisResponse {
-        self.rx.recv().expect("service answers every accepted request")
+        self.rx
+            .recv()
+            .expect("service answers every accepted request")
     }
 }
 
@@ -316,6 +336,90 @@ impl Latencies {
 
 const MAX_LATENCY_SAMPLES: usize = 100_000;
 
+/// Counter snapshot of the workers' verification-arena LRUs, summed
+/// across all workers/verifier threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ArenaCacheStats {
+    /// Chases served by a resident (warm) arena.
+    pub hits: u64,
+    /// Chases that had to build an arena.
+    pub misses: u64,
+    /// Arenas displaced by LRU pressure.
+    pub evictions: u64,
+}
+
+impl ArenaCacheStats {
+    /// Hit rate in `0.0..=1.0` (0.0 before any chases).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared atomic tallies behind [`ArenaCacheStats`]; workers and verifier
+/// threads bump these as their private LRUs hit/miss/evict.
+#[derive(Debug, Default)]
+struct ArenaCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArenaCounters {
+    fn note(&self, hit: bool, evicted: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> ArenaCacheStats {
+        ArenaCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Verification outcomes for one topology spec — the per-topology
+/// breakdown the `--summary` report shows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TopologyVerifyStats {
+    /// The topology's spec string ([`Topology::spec`]).
+    pub spec: String,
+    /// Chases whose replay completed (Theorem 1 held end to end).
+    pub verified: u64,
+    /// Chases whose replay did **not** complete (deadlocked or hit the
+    /// cycle limit under the configured [`SimConfig`]).
+    pub blocked: u64,
+}
+
+/// Why a verification chase failed to produce a report.
+enum ChaseError {
+    /// The replay's setup was rejected (cell-count mismatch).
+    Model(ModelError),
+    /// The replay panicked; the arena involved was dropped.
+    Panicked(String),
+}
+
+/// One chase dispatched to the dedicated verifier pool.
+struct VerifyJob {
+    program: Program,
+    plan: Arc<CommPlan>,
+    compiled: Arc<CompiledTopology>,
+    reply: mpsc::Sender<Result<VerifyReport, ChaseError>>,
+}
+
 struct Inner {
     queue: BoundedQueue<Job>,
     cache: ShardedCache<ServiceOutcome>,
@@ -323,8 +427,28 @@ struct Inner {
     /// misses of one batch (and across batches) compile each distinct
     /// topology once.
     compilations: ShardedCache<Arc<CompiledTopology>>,
+    /// Chase hand-off to the dedicated verifier pool; `None` when chases
+    /// run inline in the analysis workers (`verify_threads == 0`).
+    verify_queue: Option<BoundedQueue<VerifyJob>>,
     config: ServiceConfig,
     latencies: Mutex<Latencies>,
+    arena_cache: ArenaCounters,
+    /// Topology spec → (verified, blocked) chase tallies, for the
+    /// per-topology summary breakdown. `BTreeMap` so reports render in a
+    /// stable order.
+    verify_by_topology: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+impl Inner {
+    fn tally_chase(&self, topology: &Topology, report: &VerifyReport) {
+        let mut tallies = self.verify_by_topology.lock();
+        let entry = tallies.entry(topology.spec()).or_insert((0, 0));
+        if report.completed {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
 }
 
 /// Aggregate service statistics (request latencies + cache counters).
@@ -342,6 +466,11 @@ pub struct ServiceStats {
     pub max_micros: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Verification-arena LRU counters, summed across workers.
+    pub arena_cache: ArenaCacheStats,
+    /// Per-topology verification outcomes (spec order), populated when
+    /// the service chases plans (`verify` on).
+    pub verify_topologies: Vec<TopologyVerifyStats>,
 }
 
 impl ServiceStats {
@@ -354,11 +483,30 @@ impl ServiceStats {
         t.row(["cache misses", &self.cache.misses.to_string()]);
         t.row(["cache evictions", &self.cache.evictions.to_string()]);
         t.row(["cache entries", &self.cache.entries.to_string()]);
-        t.row(["hit rate", &format!("{:.1}%", self.cache.hit_rate() * 100.0)]);
+        t.row([
+            "hit rate",
+            &format!("{:.1}%", self.cache.hit_rate() * 100.0),
+        ]);
         t.row(["latency mean (us)", &format!("{:.1}", self.mean_micros)]);
         t.row(["latency p50 (us)", &format!("{:.1}", self.p50_micros)]);
         t.row(["latency p99 (us)", &format!("{:.1}", self.p99_micros)]);
         t.row(["latency max (us)", &self.max_micros.to_string()]);
+        let arenas = self.arena_cache;
+        if arenas.hits + arenas.misses > 0 {
+            t.row(["arena cache hits", &arenas.hits.to_string()]);
+            t.row(["arena cache misses", &arenas.misses.to_string()]);
+            t.row(["arena cache evictions", &arenas.evictions.to_string()]);
+            t.row([
+                "arena hit rate",
+                &format!("{:.1}%", arenas.hit_rate() * 100.0),
+            ]);
+        }
+        for topology in &self.verify_topologies {
+            t.row([
+                &format!("verify[{}]", topology.spec),
+                &format!("{} ok / {} blocked", topology.verified, topology.blocked),
+            ]);
+        }
         t
     }
 }
@@ -386,25 +534,40 @@ impl ServiceStats {
 pub struct AnalysisService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// The dedicated verifier pool (empty when chases run inline).
+    verifiers: Vec<JoinHandle<()>>,
     seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Inner").field("queue", &self.queue).finish_non_exhaustive()
+        f.debug_struct("Inner")
+            .field("queue", &self.queue)
+            .finish_non_exhaustive()
     }
 }
 
 impl AnalysisService {
-    /// Starts the worker pool.
+    /// Starts the worker pool (and, when `verify_threads ≥ 1` with
+    /// `verify` on, the dedicated verifier pool).
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
+        let verify_threads = if config.verify {
+            config.verify_threads
+        } else {
+            0
+        };
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache),
             compilations: ShardedCache::new(config.compilation_cache),
+            // Depth 2× the pool keeps every verifier busy without letting
+            // analysis workers race far ahead of verification.
+            verify_queue: (verify_threads > 0).then(|| BoundedQueue::new(verify_threads * 2)),
             config,
             latencies: Mutex::new(Latencies::default()),
+            arena_cache: ArenaCounters::default(),
+            verify_by_topology: Mutex::new(BTreeMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -415,7 +578,21 @@ impl AnalysisService {
                     .expect("spawning a worker thread succeeds")
             })
             .collect();
-        AnalysisService { inner, workers, seq: AtomicU64::new(0) }
+        let verifiers = (0..verify_threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("systolic-verifier-{i}"))
+                    .spawn(move || verifier_loop(&inner))
+                    .expect("spawning a verifier thread succeeds")
+            })
+            .collect();
+        AnalysisService {
+            inner,
+            workers,
+            verifiers,
+            seq: AtomicU64::new(0),
+        }
     }
 
     /// Submits one request, blocking while the submission queue is full
@@ -431,7 +608,11 @@ impl AnalysisService {
         let (tx, rx) = mpsc::channel();
         self.inner
             .queue
-            .push(Job { seq, request, reply: tx })
+            .push(Job {
+                seq,
+                request,
+                reply: tx,
+            })
             .unwrap_or_else(|_| panic!("submission queue closed while service alive"));
         Ticket { rx }
     }
@@ -470,6 +651,30 @@ impl AnalysisService {
         self.inner.compilations.stats()
     }
 
+    /// Counter snapshot of the verification-arena LRUs, summed across all
+    /// workers/verifier threads. All-zero unless the service chases plans
+    /// (`verify` on).
+    #[must_use]
+    pub fn arena_cache_stats(&self) -> ArenaCacheStats {
+        self.inner.arena_cache.snapshot()
+    }
+
+    /// Per-topology verification outcomes so far, in spec order. Empty
+    /// unless the service chases plans (`verify` on).
+    #[must_use]
+    pub fn verify_topology_stats(&self) -> Vec<TopologyVerifyStats> {
+        self.inner
+            .verify_by_topology
+            .lock()
+            .iter()
+            .map(|(spec, &(verified, blocked))| TopologyVerifyStats {
+                spec: spec.clone(),
+                verified,
+                blocked,
+            })
+            .collect()
+    }
+
     /// Aggregate latency + cache statistics.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
@@ -477,74 +682,159 @@ impl AnalysisService {
         // workers take this mutex once per request.
         let (count, sum_micros, max_micros, mut samples) = {
             let lat = self.inner.latencies.lock();
-            (lat.count, lat.sum_micros, lat.max_micros, lat.samples.clone())
+            (
+                lat.count,
+                lat.sum_micros,
+                lat.max_micros,
+                lat.samples.clone(),
+            )
         };
         samples.sort_unstable();
         let sorted: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
         ServiceStats {
             requests: count,
-            mean_micros: if count == 0 { 0.0 } else { sum_micros as f64 / count as f64 },
+            mean_micros: if count == 0 {
+                0.0
+            } else {
+                sum_micros as f64 / count as f64
+            },
             p50_micros: percentile_sorted(&sorted, 50.0),
             p99_micros: percentile_sorted(&sorted, 99.0),
             max_micros,
             cache: self.inner.cache.stats(),
+            arena_cache: self.arena_cache_stats(),
+            verify_topologies: self.verify_topology_stats(),
         }
     }
 }
 
 impl Drop for AnalysisService {
     fn drop(&mut self) {
+        // Workers first (they may still be waiting on verifier replies),
+        // then the verifier pool once no chase can arrive anymore.
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(verify_queue) = &self.inner.verify_queue {
+            verify_queue.close();
+        }
+        for verifier in self.verifiers.drain(..) {
+            let _ = verifier.join();
+        }
     }
 }
 
-/// A worker's reusable verification arena, keyed by the compiled
-/// topology's fingerprint. Consecutive requests over the same topology —
-/// the dominant shape of batch traffic — reuse one arena: queue pools and
-/// run-state vectors are reset in place per replay instead of rebuilt.
-type VerifierCache = Option<(u128, SimArena)>;
-
 fn worker_loop(inner: &Inner) {
-    let mut verifier: VerifierCache = None;
+    // The worker's verification arenas: a small LRU keyed by compiled
+    // topology, so topology-interleaved traffic reuses warm arenas
+    // instead of rebuilding per request. Unused (stays empty) when
+    // chases are offloaded to the dedicated verifier pool.
+    let mut arenas = ArenaLru::new(ARENA_CACHE_CAPACITY);
     while let Some(job) = inner.queue.pop() {
-        let response = handle(inner, job.seq, job.request, &mut verifier);
+        let response = handle(inner, job.seq, job.request, &mut arenas);
         // A dropped Ticket just means the client stopped listening.
         let _ = job.reply.send(response);
     }
+}
+
+/// A dedicated verifier thread: drains chase jobs, each replayed through
+/// this thread's own warm [`ArenaLru`].
+fn verifier_loop(inner: &Inner) {
+    let Some(verify_queue) = &inner.verify_queue else {
+        return;
+    };
+    let mut arenas = ArenaLru::new(ARENA_CACHE_CAPACITY);
+    while let Some(job) = verify_queue.pop() {
+        let result = chase_through(inner, &mut arenas, &job.compiled, &job.program, &job.plan);
+        // A dropped reply means the requesting worker is gone (shutdown).
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Replays `plan` through `arenas`' warm arena for `compiled` (building
+/// one on a miss), with panic isolation: a replay panic drops the
+/// possibly-poisoned arena and reports [`ChaseError::Panicked`] instead
+/// of unwinding the calling thread.
+fn chase_through(
+    inner: &Inner,
+    arenas: &mut ArenaLru,
+    compiled: &Arc<CompiledTopology>,
+    program: &Program,
+    plan: &Arc<CommPlan>,
+) -> Result<VerifyReport, ChaseError> {
+    let fingerprint = compiled.fingerprint();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let lookup = arenas.get_or_build(compiled, inner.config.sim);
+        inner.arena_cache.note(lookup.hit, lookup.evicted);
+        lookup.arena.verify(program, plan)
+    }));
+    match result {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(error)) => Err(ChaseError::Model(error)),
+        Err(panic) => {
+            // The panic may have left the arena mid-replay; drop exactly
+            // that arena (the rest of the LRU stays warm) so the next
+            // request for this topology rebuilds instead of reusing
+            // poisoned queue state.
+            arenas.remove(fingerprint);
+            Err(ChaseError::Panicked(panic_message(&panic)))
+        }
+    }
+}
+
+/// One verification chase, routed inline (this worker's own arenas) or
+/// through the dedicated verifier pool, per `verify_threads`.
+fn chase(
+    inner: &Inner,
+    arenas: &mut ArenaLru,
+    compiled: &Arc<CompiledTopology>,
+    program: &Program,
+    plan: &Arc<CommPlan>,
+) -> Result<VerifyReport, ChaseError> {
+    let Some(verify_queue) = &inner.verify_queue else {
+        return chase_through(inner, arenas, compiled, program, plan);
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = VerifyJob {
+        program: program.clone(),
+        plan: Arc::clone(plan),
+        compiled: Arc::clone(compiled),
+        reply: tx,
+    };
+    if verify_queue.push(job).is_err() {
+        // Only possible mid-shutdown; reject rather than panic the worker.
+        return Err(ChaseError::Panicked("verifier pool shut down".to_owned()));
+    }
+    rx.recv()
+        .unwrap_or_else(|_| Err(ChaseError::Panicked("verifier thread died".to_owned())))
 }
 
 fn handle(
     inner: &Inner,
     seq: u64,
     request: AnalysisRequest,
-    verifier: &mut VerifierCache,
+    arenas: &mut ArenaLru,
 ) -> AnalysisResponse {
     let start = Instant::now();
-    let fingerprint =
-        request_fingerprint(&request.program, &request.topology, &request.config);
+    let fingerprint = request_fingerprint(&request.program, &request.topology, &request.config);
     let (outcome, provenance) = match inner.cache.get(fingerprint) {
         Some(outcome) => (outcome, CacheProvenance::Hit),
         None => {
             // catch_unwind so a panic in the analysis of one (possibly
             // hostile) request rejects that request instead of killing
             // the worker and, via the dropped reply channel, the client.
+            // (Replay panics are already contained — and their arena
+            // dropped — inside `chase_through`.)
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(inner, &request, verifier)
+                compute(inner, &request, arenas)
             }));
             let computed: ServiceOutcome = Arc::new(match result {
                 Ok(outcome) => outcome,
-                Err(panic) => {
-                    // A panic may have left the arena mid-replay; drop it
-                    // rather than reuse poisoned queue state.
-                    *verifier = None;
-                    Err(Rejection {
-                        error: ServiceError::Panicked(panic_message(&panic)),
-                        diagnostics: Vec::new(),
-                    })
-                }
+                Err(panic) => Err(Rejection {
+                    error: ServiceError::Panicked(panic_message(&panic)),
+                    diagnostics: Vec::new(),
+                }),
             });
             // First writer wins: racing workers converge on one entry and
             // one shared outcome.
@@ -582,32 +872,16 @@ fn compiled_for(inner: &Inner, request: &AnalysisRequest) -> Arc<CompiledTopolog
     match inner.compilations.get(key) {
         Some(compiled) => compiled,
         None => {
-            let built =
-                CompiledTopology::compile(&request.topology, &request.config).into_shared();
+            let built = CompiledTopology::compile(&request.topology, &request.config).into_shared();
             inner.compilations.insert(key, built).0
         }
     }
 }
 
-/// The worker's verification arena for `compiled`: reused when the last
-/// request named the same compilation, rebuilt (world + pools) otherwise.
-fn verifier_for<'a>(
-    verifier: &'a mut VerifierCache,
-    compiled: &Arc<CompiledTopology>,
-    sim: SimConfig,
-) -> &'a mut SimArena {
-    let fingerprint = compiled.fingerprint();
-    let reusable = matches!(verifier, Some((key, _)) if *key == fingerprint);
-    if !reusable {
-        *verifier = Some((fingerprint, SimArena::from_compiled(Arc::clone(compiled), sim)));
-    }
-    &mut verifier.as_mut().expect("just ensured").1
-}
-
 fn compute(
     inner: &Inner,
     request: &AnalysisRequest,
-    verifier: &mut VerifierCache,
+    arenas: &mut ArenaLru,
 ) -> Result<Certified, Rejection> {
     let start = Instant::now();
     let compiled = compiled_for(inner, request);
@@ -617,7 +891,10 @@ fn compute(
     let analysis = match result {
         Ok(analysis) => analysis,
         Err(error) => {
-            return Err(Rejection { error: ServiceError::Analysis(error), diagnostics })
+            return Err(Rejection {
+                error: ServiceError::Analysis(error),
+                diagnostics,
+            })
         }
     };
     let labeling_method = analysis.labeling_method();
@@ -628,16 +905,24 @@ fn compute(
         .map(|m| (request.program.message(m).name().to_owned(), plan.label(m)))
         .collect();
     let verified = if inner.config.verify {
-        // Chase the certification with a simulator replay through the
-        // worker's shared arena (reset in place, not rebuilt, when
-        // consecutive misses name one topology).
-        let arena = verifier_for(verifier, &compiled, inner.config.sim);
-        match arena.verify(&request.program, &plan) {
-            Ok(report) => Some(report),
-            Err(error) => {
+        // Chase the certification with a simulator replay — through this
+        // worker's warm arena LRU, or the dedicated verifier pool when
+        // `verify_threads` is set.
+        match chase(inner, arenas, &compiled, &request.program, &plan) {
+            Ok(report) => {
+                inner.tally_chase(&request.topology, &report);
+                Some(report)
+            }
+            Err(ChaseError::Model(error)) => {
                 return Err(Rejection {
                     error: ServiceError::Analysis(CoreError::Model(error)),
                     diagnostics,
+                })
+            }
+            Err(ChaseError::Panicked(message)) => {
+                return Err(Rejection {
+                    error: ServiceError::Panicked(message),
+                    diagnostics: Vec::new(),
                 })
             }
         }
@@ -675,7 +960,10 @@ mod tests {
         assert_eq!(a.provenance, CacheProvenance::Miss);
         assert_eq!(b.provenance, CacheProvenance::Hit);
         assert_eq!(a.fingerprint, b.fingerprint);
-        assert!(Arc::ptr_eq(&a.outcome, &b.outcome), "hit must share the cached Arc");
+        assert!(
+            Arc::ptr_eq(&a.outcome, &b.outcome),
+            "hit must share the cached Arc"
+        );
         assert_eq!(service.cache_entries(), 1);
     }
 
@@ -692,7 +980,10 @@ mod tests {
 
     #[test]
     fn verification_chase_runs_when_configured() {
-        let config = ServiceConfig { verify: true, ..Default::default() };
+        let config = ServiceConfig {
+            verify: true,
+            ..Default::default()
+        };
         let service = AnalysisService::new(config);
         let response = service.submit(fig7_request()).wait();
         let certified = response.outcome.as_ref().as_ref().unwrap();
@@ -706,7 +997,11 @@ mod tests {
         // repeats of one topology reuse it. Either way the chase must be
         // correct (single worker so the arena cache is actually exercised
         // across consecutive requests).
-        let config = ServiceConfig { verify: true, workers: 1, ..Default::default() };
+        let config = ServiceConfig {
+            verify: true,
+            workers: 1,
+            ..Default::default()
+        };
         let service = AnalysisService::new(config);
         let mut requests = Vec::new();
         for reps in 1..=4 {
@@ -729,14 +1024,221 @@ mod tests {
     }
 
     #[test]
+    fn arena_lru_keeps_interleaved_topologies_warm() {
+        // A,B,A,B,... misses over two topologies: the old single-arena
+        // worker cache rebuilt on every request; the LRU builds each
+        // topology's arena once and hits thereafter (single worker so one
+        // LRU sees the whole stream).
+        let config = ServiceConfig {
+            verify: true,
+            workers: 1,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let mut requests = Vec::new();
+        for round in 1..=4 {
+            // Distinct programs per round keep every request a plan-cache
+            // miss, so every request actually chases. The arena is keyed
+            // by the *compiled topology* (topology + analysis config),
+            // shared across all four rounds of each stream.
+            requests.push(AnalysisRequest::new(
+                format!("fig7x{round}"),
+                fig7(round),
+                fig7_topology(),
+            ));
+            let transfer = parse_program(&format!(
+                "cells 2\nmessage A: c0 -> c1\nprogram c0 {{ W(A)*{round} }}\n\
+                 program c1 {{ R(A)*{round} }}\n",
+            ))
+            .unwrap();
+            requests.push(AnalysisRequest::new(
+                format!("linear#{round}"),
+                transfer,
+                Topology::linear(2),
+            ));
+        }
+        let responses = service.run_batch(requests);
+        assert!(responses.iter().all(AnalysisResponse::is_certified));
+        let arenas = service.arena_cache_stats();
+        assert_eq!(arenas.misses, 2, "one arena build per topology: {arenas:?}");
+        assert_eq!(
+            arenas.hits, 6,
+            "every later chase reuses a warm arena: {arenas:?}"
+        );
+        assert_eq!(arenas.evictions, 0);
+        assert!(arenas.hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn dedicated_verifier_pool_chases_misses() {
+        let config = ServiceConfig {
+            verify: true,
+            verify_threads: 2,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let mut requests = Vec::new();
+        for reps in 1..=6 {
+            requests.push(AnalysisRequest::new(
+                format!("fig7x{reps}"),
+                fig7(reps),
+                fig7_topology(),
+            ));
+        }
+        let mut nine = AnalysisRequest::new("fig9", fig9(), fig9_topology());
+        nine.config.queues_per_interval = 2;
+        requests.push(nine);
+        let responses = service.run_batch(requests);
+        for response in &responses {
+            let certified = response.outcome.as_ref().as_ref().unwrap();
+            let report = certified.verified.as_ref().expect("pool chased the miss");
+            assert!(report.completed, "{} failed its chase", response.name);
+        }
+        let arenas = service.arena_cache_stats();
+        assert_eq!(
+            arenas.hits + arenas.misses,
+            7,
+            "every miss was chased: {arenas:?}"
+        );
+        // Two verifier threads and two topologies: at most one build per
+        // (thread, topology) pair.
+        assert!(arenas.misses <= 4, "{arenas:?}");
+    }
+
+    #[test]
+    fn verify_threads_without_verify_is_inert() {
+        let config = ServiceConfig {
+            verify: false,
+            verify_threads: 4,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let response = service.submit(fig7_request()).wait();
+        let certified = response.outcome.as_ref().as_ref().unwrap();
+        assert!(certified.verified.is_none(), "no chase without verify");
+        assert_eq!(service.arena_cache_stats(), ArenaCacheStats::default());
+    }
+
+    #[test]
+    fn summary_breaks_verification_down_by_topology() {
+        // One topology whose chases complete and one whose latch replay
+        // blocks: the per-topology tallies must separate them.
+        let sim = SimConfig {
+            queue: systolic_sim::QueueConfig {
+                capacity: 0,
+                extension: false,
+            },
+            ..Default::default()
+        };
+        let config = ServiceConfig {
+            verify: true,
+            sim,
+            workers: 1,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        // fig7 completes even on latch queues.
+        for reps in 1..=2 {
+            let response = service
+                .submit(AnalysisRequest::new(
+                    format!("fig7x{reps}"),
+                    fig7(reps),
+                    fig7_topology(),
+                ))
+                .wait();
+            assert!(response.is_certified());
+        }
+        // P2 certifies under lookahead but deadlocks on latches.
+        let mut p2 = AnalysisRequest::new(
+            "p2-latch",
+            systolic_workloads::fig5_p2(),
+            Topology::linear(2),
+        );
+        p2.config.queues_per_interval = 2;
+        p2.config.lookahead = Lookahead::Unbounded;
+        assert!(service.submit(p2).wait().is_certified());
+
+        let stats = service.stats();
+        assert_eq!(
+            stats.verify_topologies,
+            vec![
+                TopologyVerifyStats {
+                    spec: "linear:2".into(),
+                    verified: 0,
+                    blocked: 1
+                },
+                TopologyVerifyStats {
+                    spec: fig7_topology().spec(),
+                    verified: 2,
+                    blocked: 0
+                },
+            ]
+        );
+        let text = stats.table().to_text();
+        assert!(text.contains("verify[linear:2]"), "{text}");
+        assert!(text.contains("0 ok / 1 blocked"), "{text}");
+        assert!(text.contains("2 ok / 0 blocked"), "{text}");
+        assert!(text.contains("arena cache hits"), "{text}");
+    }
+
+    #[test]
+    fn arena_survives_a_panicked_request_and_keeps_serving() {
+        // A poisoned request panics in *analysis* (never reaching the
+        // chase); the worker's warm arenas must survive it and keep
+        // hitting for healthy same-topology traffic.
+        let config = ServiceConfig {
+            verify: true,
+            workers: 1,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        assert!(service
+            .submit(AnalysisRequest::new("warm", fig7(2), fig7_topology()))
+            .wait()
+            .is_certified());
+
+        let program = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nmessage B: c0 -> c1\n\
+             program c0 { W(B) W(A) }\nprogram c1 { R(A) R(B) }\n",
+        )
+        .unwrap();
+        let mut poisoned = AnalysisRequest::new("poison", program, Topology::linear(2));
+        poisoned.config.lookahead =
+            Lookahead::Explicit(systolic_core::LookaheadLimits::from_table(vec![None]));
+        let response = service.submit(poisoned).wait();
+        assert!(matches!(
+            response.outcome.as_ref(),
+            Err(r) if matches!(r.error, ServiceError::Panicked(_))
+        ));
+
+        let after = service
+            .submit(AnalysisRequest::new("healthy", fig7(3), fig7_topology()))
+            .wait();
+        let certified = after.outcome.as_ref().as_ref().unwrap();
+        assert!(certified.verified.as_ref().expect("chase ran").completed);
+        let arenas = service.arena_cache_stats();
+        assert_eq!(
+            arenas.hits, 1,
+            "the fig7 arena stayed warm across the panic: {arenas:?}"
+        );
+    }
+
+    #[test]
     fn failed_chase_reports_first_blocked_cell_and_cycle() {
         // Certify P2 under lookahead, then replay it on capacity-0 latch
         // queues: the chase deadlocks and the report must say where.
         let sim = SimConfig {
-            queue: systolic_sim::QueueConfig { capacity: 0, extension: false },
+            queue: systolic_sim::QueueConfig {
+                capacity: 0,
+                extension: false,
+            },
             ..Default::default()
         };
-        let config = ServiceConfig { verify: true, sim, ..Default::default() };
+        let config = ServiceConfig {
+            verify: true,
+            sim,
+            ..Default::default()
+        };
         let service = AnalysisService::new(config);
         let mut request = AnalysisRequest::new(
             "p2-latch",
@@ -849,8 +1351,7 @@ mod tests {
             ..Default::default()
         };
         let service = AnalysisService::new(config);
-        let requests: Vec<AnalysisRequest> =
-            (0..50).map(|_| fig7_request()).collect();
+        let requests: Vec<AnalysisRequest> = (0..50).map(|_| fig7_request()).collect();
         let responses = service.run_batch(requests);
         assert_eq!(responses.len(), 50);
         assert!(responses.iter().all(AnalysisResponse::is_certified));

@@ -96,14 +96,11 @@ fn parse_lookahead(value: Option<&Json>) -> Result<Lookahead, WireError> {
         Some(Json::Str(s)) if s == "none" => Ok(Lookahead::Disabled),
         Some(Json::Str(s)) if s == "unbounded" => Ok(Lookahead::Unbounded),
         Some(n @ Json::Num(_)) => {
-            let capacity = n
-                .as_u64()
-                .filter(|&c| c <= MAX_LOOKAHEAD)
-                .ok_or_else(|| {
-                    WireError::Field(format!(
-                        "lookahead must be an integer in 0..={MAX_LOOKAHEAD}"
-                    ))
-                })?;
+            let capacity = n.as_u64().filter(|&c| c <= MAX_LOOKAHEAD).ok_or_else(|| {
+                WireError::Field(format!(
+                    "lookahead must be an integer in 0..={MAX_LOOKAHEAD}"
+                ))
+            })?;
             Ok(Lookahead::PerQueueCapacity(capacity as usize))
         }
         Some(Json::Arr(items)) => {
@@ -143,7 +140,9 @@ fn parse_lookahead(value: Option<&Json>) -> Result<Lookahead, WireError> {
 pub fn parse_request(line: &str, line_number: usize) -> Result<AnalysisRequest, WireError> {
     let value = Json::parse(line)?;
     if !matches!(value, Json::Obj(_)) {
-        return Err(WireError::Field("request line must be a JSON object".into()));
+        return Err(WireError::Field(
+            "request line must be a JSON object".into(),
+        ));
     }
     let id = match value.get("id") {
         None => format!("line-{line_number}"),
@@ -193,7 +192,12 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
         (
             "status".to_owned(),
             Json::Str(
-                if response.is_certified() { "certified" } else { "rejected" }.to_owned(),
+                if response.is_certified() {
+                    "certified"
+                } else {
+                    "rejected"
+                }
+                .to_owned(),
             ),
         ),
         (
@@ -280,7 +284,10 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
             ));
         }
     }
-    members.push(("micros".to_owned(), Json::Num(response.handle_micros as f64)));
+    members.push((
+        "micros".to_owned(),
+        Json::Num(response.handle_micros as f64),
+    ));
     members.push((
         "fingerprint".to_owned(),
         Json::Str(format!("{:#034x}", response.fingerprint)),
@@ -318,7 +325,10 @@ fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> Json {
                     members.push((
                         "cells".to_owned(),
                         Json::Arr(
-                            d.cell_ids().iter().map(|c| Json::Num(c.index() as f64)).collect(),
+                            d.cell_ids()
+                                .iter()
+                                .map(|c| Json::Num(c.index() as f64))
+                                .collect(),
                         ),
                     ));
                 }
@@ -358,7 +368,10 @@ pub fn invalid_to_json(line_number: usize, error: &WireError) -> Json {
 pub fn traffic_to_json(id: &str, item: &TrafficItem) -> Json {
     Json::Obj(vec![
         ("id".to_owned(), Json::Str(id.to_owned())),
-        ("program".to_owned(), Json::Str(program_to_text(&item.program))),
+        (
+            "program".to_owned(),
+            Json::Str(program_to_text(&item.program)),
+        ),
         ("topology".to_owned(), Json::Str(item.topology.spec())),
         (
             "queues".to_owned(),
@@ -439,7 +452,10 @@ mod tests {
             r#","lookahead":[1048577]"#,
         ] {
             assert!(
-                matches!(parse_request(&request_line(extra), 1), Err(WireError::Field(_))),
+                matches!(
+                    parse_request(&request_line(extra), 1),
+                    Err(WireError::Field(_))
+                ),
                 "{extra} should be rejected"
             );
         }
@@ -448,7 +464,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_requests() {
-        assert!(matches!(parse_request("not json", 1), Err(WireError::Json(_))));
+        assert!(matches!(
+            parse_request("not json", 1),
+            Err(WireError::Json(_))
+        ));
         assert!(matches!(parse_request("[1]", 1), Err(WireError::Field(_))));
         assert!(matches!(
             parse_request(r#"{"topology":"linear:2"}"#, 1),
@@ -459,10 +478,18 @@ mod tests {
             Err(WireError::Field(_))
         ));
         let bad_program = r#"{"program":"bogus directive","topology":"linear:2"}"#;
-        assert!(matches!(parse_request(bad_program, 1), Err(WireError::Model(_))));
-        let bad_topology =
-            format!(r#"{{"program":{},"topology":"tree:2"}}"#, Json::Str(PROGRAM.to_owned()));
-        assert!(matches!(parse_request(&bad_topology, 1), Err(WireError::Model(_))));
+        assert!(matches!(
+            parse_request(bad_program, 1),
+            Err(WireError::Model(_))
+        ));
+        let bad_topology = format!(
+            r#"{{"program":{},"topology":"tree:2"}}"#,
+            Json::Str(PROGRAM.to_owned())
+        );
+        assert!(matches!(
+            parse_request(&bad_topology, 1),
+            Err(WireError::Model(_))
+        ));
     }
 
     #[test]
@@ -474,7 +501,10 @@ mod tests {
         assert_eq!(json.get("id").and_then(Json::as_str), Some("r1"));
         assert_eq!(json.get("status").and_then(Json::as_str), Some("certified"));
         assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
-        assert_eq!(json.get("max_queues_per_interval").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("max_queues_per_interval").and_then(Json::as_u64),
+            Some(1)
+        );
         let labels = json.get("labels").unwrap();
         assert_eq!(labels.get("A").and_then(Json::as_str), Some("1"));
         // The rendered line parses back as JSON.
@@ -493,8 +523,15 @@ mod tests {
         let response = service.submit(parse_request(&line, 1).unwrap()).wait();
         let json = response_to_json(&response);
         assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
-        assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("deadlocked"));
-        assert!(json.get("error").and_then(Json::as_str).unwrap().contains("deadlocked"));
+        assert_eq!(
+            json.get("error_kind").and_then(Json::as_str),
+            Some("deadlocked")
+        );
+        assert!(json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("deadlocked"));
 
         // Structured diagnostics ride along: code, severity, and the
         // offending message/cell ids, machine-readable end to end.
@@ -520,7 +557,11 @@ mod tests {
         for (i, item) in stream.iter().enumerate() {
             let line = traffic_to_json(&format!("t{i}"), item).to_string();
             let request = parse_request(&line, i + 1).unwrap();
-            assert_eq!(request.program, item.program, "{} did not round-trip", item.name);
+            assert_eq!(
+                request.program, item.program,
+                "{} did not round-trip",
+                item.name
+            );
             assert_eq!(request.topology, item.topology);
             assert_eq!(request.config.queues_per_interval, item.queues_per_interval);
         }

@@ -25,14 +25,22 @@ impl CostModel {
     /// traffic, one cycle per op.
     #[must_use]
     pub const fn systolic() -> Self {
-        CostModel { read_mem_accesses: 0, write_mem_accesses: 0, mem_access_cycles: 1 }
+        CostModel {
+            read_mem_accesses: 0,
+            write_mem_accesses: 0,
+            mem_access_cycles: 1,
+        }
     }
 
     /// The memory-to-memory model: two accesses on input (OS stores the
     /// word, the program loads it) and two on output.
     #[must_use]
     pub const fn memory_to_memory() -> Self {
-        CostModel { read_mem_accesses: 2, write_mem_accesses: 2, mem_access_cycles: 1 }
+        CostModel {
+            read_mem_accesses: 2,
+            write_mem_accesses: 2,
+            mem_access_cycles: 1,
+        }
     }
 
     /// Latency in cycles of a read operation (1 + memory time).
@@ -78,7 +86,10 @@ mod tests {
 
     #[test]
     fn slower_memory_scales_latency() {
-        let m = CostModel { mem_access_cycles: 5, ..CostModel::memory_to_memory() };
+        let m = CostModel {
+            mem_access_cycles: 5,
+            ..CostModel::memory_to_memory()
+        };
         assert_eq!(m.read_latency(), 11);
     }
 

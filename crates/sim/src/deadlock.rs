@@ -132,7 +132,11 @@ impl fmt::Display for DeadlockReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "deadlock at cycle {}:", self.cycle)?;
         for b in &self.blocked {
-            writeln!(f, "  {} stuck at op {} ({}): {}", b.cell, b.pc, b.op, b.reason)?;
+            writeln!(
+                f,
+                "  {} stuck at op {} ({}): {}",
+                b.cell, b.pc, b.op, b.reason
+            )?;
         }
         for q in &self.queues {
             match q.assigned {
@@ -165,7 +169,9 @@ mod tests {
                     cell: c0,
                     pc: 3,
                     op: Op::write(MessageId::new(0)),
-                    reason: BlockReason::NoQueueAssigned { hop: Hop::new(c0, c1) },
+                    reason: BlockReason::NoQueueAssigned {
+                        hop: Hop::new(c0, c1),
+                    },
                 },
                 BlockedCell {
                     cell: c1,
@@ -194,7 +200,9 @@ mod tests {
         let c1 = CellId::new(1);
         let q = QueueId::new(Interval::new(c0, c1), 1);
         for r in [
-            BlockReason::NoQueueAssigned { hop: Hop::new(c0, c1) },
+            BlockReason::NoQueueAssigned {
+                hop: Hop::new(c0, c1),
+            },
             BlockReason::QueueFull { queue: q },
             BlockReason::QueueEmpty { queue: q },
             BlockReason::AwaitingDeparture { queue: q, word: 2 },
@@ -219,7 +227,9 @@ mod render_tests {
             SimConfig::default(),
         )
         .unwrap();
-        let RunOutcome::Deadlocked { report, .. } = out else { panic!("must deadlock") };
+        let RunOutcome::Deadlocked { report, .. } = out else {
+            panic!("must deadlock")
+        };
         let text = report.render(&program);
         assert!(text.contains("held by B"), "{text}");
         assert!(text.contains("R(C)"), "{text}");

@@ -114,9 +114,14 @@ impl RunOutcome {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum CellState {
     Ready,
-    Busy { remaining: u64 },
+    Busy {
+        remaining: u64,
+    },
     /// A latch write waits for its word to leave the first-hop queue.
-    AwaitDeparture { message: MessageId, word: usize },
+    AwaitDeparture {
+        message: MessageId,
+        word: usize,
+    },
     Done,
 }
 
@@ -142,7 +147,10 @@ impl SimWorld {
     /// via [`MessageRoutes::compute`].
     #[must_use]
     pub fn new(topology: &Topology, config: SimConfig) -> Self {
-        SimWorld { topology: WorldTopology::Plain(topology.clone()), config }
+        SimWorld {
+            topology: WorldTopology::Plain(topology.clone()),
+            config,
+        }
     }
 
     /// A world over a precompiled topology: [`SimWorld::routes_for`] is
@@ -151,7 +159,10 @@ impl SimWorld {
     /// replay).
     #[must_use]
     pub fn from_compiled(compiled: Arc<CompiledTopology>, config: SimConfig) -> Self {
-        SimWorld { topology: WorldTopology::Compiled(compiled), config }
+        SimWorld {
+            topology: WorldTopology::Compiled(compiled),
+            config,
+        }
     }
 
     /// The topology simulated.
@@ -419,7 +430,8 @@ impl SimArena {
         self.departed.clear();
         self.departed.resize(self.hops.len(), 0);
         self.request_born.clear();
-        self.request_born.resize(msgs * self.pools.num_intervals(), 0);
+        self.request_born
+            .resize(msgs * self.pools.num_intervals(), 0);
         self.born_counter = 0;
         // Zero the stamps (cycle tags restart every replay).
         self.avail.clear();
@@ -432,20 +444,21 @@ impl SimArena {
 
     fn finish_stats(&mut self) {
         self.stats.cycles = self.cycle;
-        self.stats.queue_high_water =
-            self.pools.iter().map(|(id, q)| (id, q.high_water())).collect();
+        self.stats.queue_high_water = self
+            .pools
+            .iter()
+            .map(|(id, q)| (id, q.high_water()))
+            .collect();
     }
 
     fn all_done(&self) -> bool {
-        self.active.iter().all(|&i| matches!(self.state[i as usize], CellState::Done))
+        self.active
+            .iter()
+            .all(|&i| matches!(self.state[i as usize], CellState::Done))
     }
 
     /// Collects requests and applies the policy's grants.
-    fn phase_assignment(
-        &mut self,
-        program: &Program,
-        policy: &mut dyn AssignmentPolicy,
-    ) -> usize {
+    fn phase_assignment(&mut self, program: &Program, policy: &mut dyn AssignmentPolicy) -> usize {
         self.needs.clear();
         // Senders stalled on their first hop.
         for idx in 0..self.active.len() {
@@ -498,7 +511,11 @@ impl SimArena {
                 self.born_counter += 1;
                 self.request_born[slot] = self.born_counter;
             }
-            self.requests.push(Request { message: m, hop, born: self.request_born[slot] });
+            self.requests.push(Request {
+                message: m,
+                hop,
+                born: self.request_born[slot],
+            });
         }
         self.requests.sort_by_key(|r| r.born);
 
@@ -538,8 +555,12 @@ impl SimArena {
             for k in (start + 1..end).rev() {
                 let src_iv = self.hop_iv[k - 1] as usize;
                 let dst_iv = self.hop_iv[k] as usize;
-                let Some(src_q) = self.pools.live_at(m, src_iv) else { continue };
-                let Some(dst_q) = self.pools.live_at(m, dst_iv) else { continue };
+                let Some(src_q) = self.pools.live_at(m, src_iv) else {
+                    continue;
+                };
+                let Some(dst_q) = self.pools.live_at(m, dst_iv) else {
+                    continue;
+                };
                 if self.pools.queue_at(src_iv, src_q).front().is_none() {
                     continue;
                 }
@@ -619,7 +640,9 @@ impl SimArena {
                     self.stats.busy_cycles[i] += 1;
                     activity += 1;
                     self.state[i] = if remaining > 1 {
-                        CellState::Busy { remaining: remaining - 1 }
+                        CellState::Busy {
+                            remaining: remaining - 1,
+                        }
                     } else {
                         CellState::Ready
                     };
@@ -652,9 +675,7 @@ impl SimArena {
 
     fn finish_if_done(&mut self, program: &Program, cell: CellId) {
         let i = cell.index();
-        if matches!(self.state[i], CellState::Ready)
-            && self.pc[i] >= program.cell(cell).len()
-        {
+        if matches!(self.state[i], CellState::Ready) && self.pc[i] >= program.cell(cell).len() {
             self.state[i] = CellState::Done;
         }
     }
@@ -674,7 +695,10 @@ impl SimArena {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
             }
-            let word = Word { message: m, index: self.words_written[m.index()] };
+            let word = Word {
+                message: m,
+                index: self.words_written[m.index()],
+            };
             self.words_written[m.index()] += 1;
             let spilled = self.pools.queue_at_mut(iv, q).push(word);
             if spilled {
@@ -685,12 +709,17 @@ impl SimArena {
             if self.pools.queue_at(iv, q).config().capacity == 0 {
                 // Latch semantics: the write completes only when the word
                 // departs (Section 3.2).
-                self.state[i] = CellState::AwaitDeparture { message: m, word: word.index };
+                self.state[i] = CellState::AwaitDeparture {
+                    message: m,
+                    word: word.index,
+                };
             } else {
                 self.pc[i] += 1;
                 let latency = cost.write_latency();
                 if latency > 1 {
-                    self.state[i] = CellState::Busy { remaining: latency - 1 };
+                    self.state[i] = CellState::Busy {
+                        remaining: latency - 1,
+                    };
                 }
             }
             1
@@ -703,8 +732,16 @@ impl SimArena {
             };
             let flat = self.pools.flat_index(iv, q);
             let tag = self.cycle + 1;
-            let at_start = if self.avail[flat].0 == tag { self.avail[flat].1 } else { 0 };
-            let already = if self.consumed[flat].0 == tag { self.consumed[flat].1 } else { 0 };
+            let at_start = if self.avail[flat].0 == tag {
+                self.avail[flat].1
+            } else {
+                0
+            };
+            let already = if self.consumed[flat].0 == tag {
+                self.consumed[flat].1
+            } else {
+                0
+            };
             if self.pools.queue_at(iv, q).front().is_none() || already >= at_start {
                 self.stats.blocked_cycles[i] += 1;
                 return 0;
@@ -719,7 +756,9 @@ impl SimArena {
             self.pc[i] += 1;
             let latency = cost.read_latency();
             if latency > 1 {
-                self.state[i] = CellState::Busy { remaining: latency - 1 };
+                self.state[i] = CellState::Busy {
+                    remaining: latency - 1,
+                };
             }
             1
         }
@@ -728,9 +767,7 @@ impl SimArena {
     /// Builds the deadlock report for the current (quiescent) state.
     fn diagnose(&self, program: &Program) -> DeadlockReport {
         let mut blocked = Vec::new();
-        let queue_id = |iv: usize, q: usize| {
-            QueueId::new(self.pools.interval_at(iv), q as u32)
-        };
+        let queue_id = |iv: usize, q: usize| QueueId::new(self.pools.interval_at(iv), q as u32);
         for cell in program.cell_ids() {
             let i = cell.index();
             let Some(op) = program.cell(cell).get(self.pc[i]) else {
@@ -741,27 +778,44 @@ impl SimArena {
                 CellState::AwaitDeparture { message, word } => {
                     let h0 = self.hop_off[message.index()];
                     let iv = self.hop_iv[h0] as usize;
-                    let q = self.pools.live_at(message, iv).expect("latch holds assignment");
-                    BlockReason::AwaitingDeparture { queue: queue_id(iv, q), word }
+                    let q = self
+                        .pools
+                        .live_at(message, iv)
+                        .expect("latch holds assignment");
+                    BlockReason::AwaitingDeparture {
+                        queue: queue_id(iv, q),
+                        word,
+                    }
                 }
                 _ if op.is_write() => {
                     let h0 = self.hop_off[m.index()];
                     let iv = self.hop_iv[h0] as usize;
                     match self.pools.live_at(m, iv) {
                         None => BlockReason::NoQueueAssigned { hop: self.hops[h0] },
-                        Some(q) => BlockReason::QueueFull { queue: queue_id(iv, q) },
+                        Some(q) => BlockReason::QueueFull {
+                            queue: queue_id(iv, q),
+                        },
                     }
                 }
                 _ => {
                     let last = self.hop_off[m.index() + 1] - 1;
                     let iv = self.hop_iv[last] as usize;
                     match self.pools.live_at(m, iv) {
-                        None => BlockReason::NoQueueAssigned { hop: self.hops[last] },
-                        Some(q) => BlockReason::QueueEmpty { queue: queue_id(iv, q) },
+                        None => BlockReason::NoQueueAssigned {
+                            hop: self.hops[last],
+                        },
+                        Some(q) => BlockReason::QueueEmpty {
+                            queue: queue_id(iv, q),
+                        },
                     }
                 }
             };
-            blocked.push(BlockedCell { cell, pc: self.pc[i], op, reason });
+            blocked.push(BlockedCell {
+                cell,
+                pc: self.pc[i],
+                op,
+                reason,
+            });
         }
         let queues = self
             .pools
@@ -773,7 +827,11 @@ impl SimArena {
                 departed: q.departed(),
             })
             .collect();
-        DeadlockReport { cycle: self.cycle, blocked, queues }
+        DeadlockReport {
+            cycle: self.cycle,
+            blocked,
+            queues,
+        }
     }
 }
 
@@ -846,7 +904,10 @@ mod tests {
     fn buffered(queues: usize, capacity: usize) -> SimConfig {
         SimConfig {
             queues_per_interval: queues,
-            queue: QueueConfig { capacity, extension: false },
+            queue: QueueConfig {
+                capacity,
+                extension: false,
+            },
             ..Default::default()
         }
     }
@@ -857,7 +918,10 @@ mod tests {
         queues: usize,
         lookahead: Lookahead,
     ) -> Box<dyn AssignmentPolicy> {
-        let config = AnalysisConfig { queues_per_interval: queues, lookahead };
+        let config = AnalysisConfig {
+            queues_per_interval: queues,
+            lookahead,
+        };
         let plan = Analyzer::for_topology(topology, &config)
             .analyze(program)
             .expect("analysis succeeds")
@@ -871,10 +935,16 @@ mod tests {
             "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A) }\nprogram c1 { R(A) }\n",
         )
         .unwrap();
-        let out =
-            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), buffered(1, 1))
-                .unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        let out = run_simulation(
+            &p,
+            &Topology::linear(2),
+            Box::new(GreedyPolicy::new()),
+            buffered(1, 1),
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion")
+        };
         assert_eq!(stats.words_delivered, 1);
         assert_eq!(stats.memory_accesses, 0, "systolic model touches no memory");
         assert!(stats.cycles >= 2, "at least one cycle of queue latency");
@@ -899,13 +969,7 @@ mod tests {
         // run finishes (Section 8 + lookahead classification).
         let p = wl::fig5_p2();
         let t = Topology::linear(2);
-        let latch = run_simulation(
-            &p,
-            &t,
-            Box::new(GreedyPolicy::new()),
-            buffered(2, 0),
-        )
-        .unwrap();
+        let latch = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(2, 0)).unwrap();
         assert!(latch.is_deadlocked(), "P2 deadlocks on latches");
 
         let buf = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(2, 1)).unwrap();
@@ -932,10 +996,12 @@ mod tests {
         let p = wl::fig5_p3();
         let t = Topology::linear(2);
         for (queues, cap) in [(1, 0), (2, 1), (4, 16)] {
-            let out =
-                run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(queues, cap))
-                    .unwrap();
-            assert!(out.is_deadlocked(), "P3 must deadlock with {queues} queues cap {cap}");
+            let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(queues, cap))
+                .unwrap();
+            assert!(
+                out.is_deadlocked(),
+                "P3 must deadlock with {queues} queues cap {cap}"
+            );
         }
     }
 
@@ -944,15 +1010,17 @@ mod tests {
         let p = wl::fig6_cycle();
         let t = wl::fig6_topology();
         let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), buffered(1, 1)).unwrap();
-        assert!(out.is_completed(), "message cycles are not deadlocks: {out:?}");
+        assert!(
+            out.is_completed(),
+            "message cycles are not deadlocks: {out:?}"
+        );
     }
 
     #[test]
     fn fig7_fifo_deadlocks_compatible_completes() {
         let p = wl::fig7(3);
         let t = wl::fig7_topology();
-        let naive =
-            run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
+        let naive = run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
         let RunOutcome::Deadlocked { report, .. } = naive else {
             panic!("fifo policy must deadlock on Fig. 7")
         };
@@ -961,7 +1029,10 @@ mod tests {
 
         let policy = compatible_policy(&p, &t, 1, Lookahead::Disabled);
         let safe = run_simulation(&p, &t, policy, buffered(1, 1)).unwrap();
-        assert!(safe.is_completed(), "compatible assignment completes Fig. 7");
+        assert!(
+            safe.is_completed(),
+            "compatible assignment completes Fig. 7"
+        );
     }
 
     #[test]
@@ -993,8 +1064,14 @@ mod tests {
         assert!(one.is_deadlocked(), "Fig. 9 with one queue deadlocks");
 
         // Paper: two queues, A and B statically separated => no deadlock.
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-        let plan = Analyzer::for_topology(&t, &config).analyze(&p).unwrap().into_plan();
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
+        let plan = Analyzer::for_topology(&t, &config)
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
         let static_policy = StaticPolicy::new(&plan, 2).unwrap();
         let out = run_simulation(&p, &t, Box::new(static_policy), buffered(2, 1)).unwrap();
         assert!(out.is_completed());
@@ -1006,11 +1083,20 @@ mod tests {
             "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*4 }\nprogram c1 { R(A)*4 }\n",
         )
         .unwrap();
-        let config = SimConfig { cost: CostModel::memory_to_memory(), ..buffered(1, 1) };
-        let out =
-            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), config)
-                .unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        let config = SimConfig {
+            cost: CostModel::memory_to_memory(),
+            ..buffered(1, 1)
+        };
+        let out = run_simulation(
+            &p,
+            &Topology::linear(2),
+            Box::new(GreedyPolicy::new()),
+            config,
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion")
+        };
         // 4 words x (2 accesses on write + 2 on read).
         assert_eq!(stats.memory_accesses, 16);
         assert_eq!(stats.accesses_per_word(), 4.0);
@@ -1040,11 +1126,16 @@ mod tests {
         let t = Topology::linear(2);
         let config = SimConfig {
             queues_per_interval: 2,
-            queue: QueueConfig { capacity: 1, extension: true },
+            queue: QueueConfig {
+                capacity: 1,
+                extension: true,
+            },
             ..Default::default()
         };
         let out = run_simulation(&p, &t, Box::new(GreedyPolicy::new()), config).unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion: {out:?}") };
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion: {out:?}")
+        };
         assert!(stats.spill_accesses > 0, "extension must have been used");
     }
 
@@ -1055,10 +1146,16 @@ mod tests {
              program c1 { }\nprogram c2 { }\n",
         )
         .unwrap();
-        let out =
-            run_simulation(&p, &Topology::linear(4), Box::new(GreedyPolicy::new()), buffered(1, 1))
-                .unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        let out = run_simulation(
+            &p,
+            &Topology::linear(4),
+            Box::new(GreedyPolicy::new()),
+            buffered(1, 1),
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion")
+        };
         // 2 words x 2 intermediate hops.
         assert_eq!(stats.words_forwarded, 4);
         assert_eq!(stats.words_delivered, 2);
@@ -1070,10 +1167,17 @@ mod tests {
             "cells 2\nmessage A: c0 -> c1\nprogram c0 { W(A)*100 }\nprogram c1 { R(A)*100 }\n",
         )
         .unwrap();
-        let config = SimConfig { max_cycles: 5, ..buffered(1, 1) };
-        let out =
-            run_simulation(&p, &Topology::linear(2), Box::new(GreedyPolicy::new()), config)
-                .unwrap();
+        let config = SimConfig {
+            max_cycles: 5,
+            ..buffered(1, 1)
+        };
+        let out = run_simulation(
+            &p,
+            &Topology::linear(2),
+            Box::new(GreedyPolicy::new()),
+            config,
+        )
+        .unwrap();
         assert!(matches!(out, RunOutcome::CycleLimit(_)));
     }
 
@@ -1082,7 +1186,9 @@ mod tests {
         let p = wl::fig7(2);
         let t = wl::fig7_topology();
         let out = run_simulation(&p, &t, Box::new(FifoPolicy::new()), buffered(1, 1)).unwrap();
-        let RunOutcome::Deadlocked { report, .. } = out else { panic!("must deadlock") };
+        let RunOutcome::Deadlocked { report, .. } = out else {
+            panic!("must deadlock")
+        };
         let text = report.to_string();
         assert!(text.contains("held by"), "{text}");
         assert!(text.contains("waiting for a queue"), "{text}");
@@ -1094,21 +1200,32 @@ mod tests {
         let t = wl::fig7_topology();
         let policy = compatible_policy(&p, &t, 1, Lookahead::Disabled);
         let out = run_simulation(&p, &t, policy, buffered(1, 1)).unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion")
+        };
         // c4 (reader of C then B) must have been blocked at some point while
         // C crossed three intervals.
         assert!(stats.total_blocked() > 0);
         assert!(stats.busy(CellId::new(3)) > 0);
-        assert!(stats.grants >= 5, "A, B and C each secure queues along their routes");
+        assert!(
+            stats.grants >= 5,
+            "A, B and C each secure queues along their routes"
+        );
     }
 
     #[test]
     fn empty_program_completes_immediately() {
         let p = systolic_model::ProgramBuilder::new(3).build().unwrap();
-        let out =
-            run_simulation(&p, &Topology::linear(3), Box::new(GreedyPolicy::new()), buffered(1, 1))
-                .unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("expected completion") };
+        let out = run_simulation(
+            &p,
+            &Topology::linear(3),
+            Box::new(GreedyPolicy::new()),
+            buffered(1, 1),
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            panic!("expected completion")
+        };
         assert_eq!(stats.words_delivered, 0);
     }
 
@@ -1124,10 +1241,16 @@ mod tests {
             (wl::horner(3, 3).unwrap(), wl::horner_topology(3)),
             (wl::token_ring(4, 2).unwrap(), wl::ring_topology(4)),
             (wl::mesh_matmul(2, 3, 3).unwrap(), wl::matmul_topology(2, 3)),
-            (wl::wavefront(3, 3, 2).unwrap(), wl::wavefront_topology(3, 3)),
+            (
+                wl::wavefront(3, 3, 2).unwrap(),
+                wl::wavefront_topology(3, 3),
+            ),
         ];
         for (program, topology) in cases {
-            let config = AnalysisConfig { queues_per_interval: 8, ..Default::default() };
+            let config = AnalysisConfig {
+                queues_per_interval: 8,
+                ..Default::default()
+            };
             let analysis = Analyzer::for_topology(&topology, &config)
                 .analyze(&program)
                 .expect("workloads are deadlock-free");
@@ -1158,7 +1281,10 @@ mod arena_tests {
         let config = SimConfig::default();
         let mut arena = SimArena::from_topology(&wl::fig7_topology(), config);
         for (program, topology, queues) in cases {
-            let a_config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+            let a_config = AnalysisConfig {
+                queues_per_interval: queues,
+                ..Default::default()
+            };
             let plan = Analyzer::for_topology(&topology, &a_config)
                 .analyze(&program)
                 .unwrap()
@@ -1192,7 +1318,10 @@ mod arena_tests {
         let t = Topology::linear(2);
         let mut arena = SimArena::from_topology(
             &t,
-            SimConfig { queues_per_interval: 1, ..Default::default() },
+            SimConfig {
+                queues_per_interval: 1,
+                ..Default::default()
+            },
         );
         let mut fifo = FifoPolicy::new();
         // P1 deadlocks with 1 queue, leaving requests waiting in the line.
@@ -1204,7 +1333,10 @@ mod arena_tests {
         )
         .unwrap();
         let out = arena.run(&ok, &mut fifo).unwrap();
-        assert!(out.is_completed(), "stale FIFO lines leaked into the replay: {out:?}");
+        assert!(
+            out.is_completed(),
+            "stale FIFO lines leaked into the replay: {out:?}"
+        );
     }
 
     /// A deadlocked replay must not poison later replays in the same
@@ -1214,7 +1346,10 @@ mod arena_tests {
         let t = Topology::linear(2);
         let mut arena = SimArena::from_topology(
             &t,
-            SimConfig { queues_per_interval: 2, ..Default::default() },
+            SimConfig {
+                queues_per_interval: 2,
+                ..Default::default()
+            },
         );
         let mut greedy = GreedyPolicy::new();
         let p3 = wl::fig5_p3();
@@ -1226,7 +1361,10 @@ mod arena_tests {
         )
         .unwrap();
         let out = arena.run(&ok, &mut greedy).unwrap();
-        assert!(out.is_completed(), "arena is clean after a deadlock: {out:?}");
+        assert!(
+            out.is_completed(),
+            "arena is clean after a deadlock: {out:?}"
+        );
         assert_eq!(out.stats().words_delivered, 1);
     }
 
@@ -1238,8 +1376,14 @@ mod arena_tests {
         let t = wl::fig9_topology();
         let p = wl::fig9();
         let mut arena = SimArena::from_topology(&t, SimConfig::default());
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-        let plan = Analyzer::for_topology(&t, &config).analyze(&p).unwrap().into_plan();
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
+        let plan = Analyzer::for_topology(&t, &config)
+            .analyze(&p)
+            .unwrap()
+            .into_plan();
         arena.ensure_queues(plan.requirements().max_per_interval());
         let mut policy = CompatiblePolicy::new(plan);
         let out = arena.run(&p, &mut policy).unwrap();
@@ -1256,8 +1400,7 @@ mod arena_tests {
             .analyze(&p)
             .unwrap()
             .into_plan();
-        let compiled =
-            CompiledTopology::compile(&t, &AnalysisConfig::default()).into_shared();
+        let compiled = CompiledTopology::compile(&t, &AnalysisConfig::default()).into_shared();
         let mut plain = SimArena::from_topology(&t, SimConfig::default());
         let mut via_compiled = SimArena::from_compiled(compiled, SimConfig::default());
         let mut policy_a = CompatiblePolicy::new(plan.clone());

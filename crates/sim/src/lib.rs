@@ -32,6 +32,15 @@
 //! the batch's largest requirement once. That is what lets a serving layer
 //! chase cached analyses with simulator replays at cache-hit throughput.
 //!
+//! On a multi-core node the same batch fans out over a [`VerifyPool`]:
+//! one immutable world, N arenas (one per worker thread), a work-stealing
+//! cursor over the plan indices, and reports merged back into input order
+//! — byte-identical to the sequential path
+//! ([`verify_batch_compiled_parallel`] is the one-call convenience).
+//! Pick `threads` ≈ the cores you can spare: replays are CPU-bound and
+//! share no mutable state, so throughput scales until the batch runs out
+//! of plans to steal.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology};
@@ -102,6 +111,7 @@ mod pool;
 mod queue;
 mod stats;
 mod verify;
+mod vpool;
 
 pub use cost::CostModel;
 pub use deadlock::{BlockReason, BlockedCell, DeadlockReport, QueueSnapshot};
@@ -116,3 +126,4 @@ pub use verify::{
     verify_batch, verify_batch_compiled, verify_plan, verify_plan_compiled, ReplayDeadlock,
     VerifyReport,
 };
+pub use vpool::{verify_batch_compiled_parallel, VerifyPool};

@@ -147,7 +147,10 @@ impl AssignmentPolicy for FifoPolicy {
         for r in requests {
             let key = (r.message, r.hop.interval());
             if self.seen.insert(key, ()).is_none() {
-                self.waiting.entry(r.hop.interval()).or_default().push_back((r.message, r.hop));
+                self.waiting
+                    .entry(r.hop.interval())
+                    .or_default()
+                    .push_back((r.message, r.hop));
             }
         }
         let mut grants = Vec::new();
@@ -155,7 +158,11 @@ impl AssignmentPolicy for FifoPolicy {
             let mut free = view.free_queues(interval);
             while let Some(&(m, hop)) = queue_line.front() {
                 let Some(q) = free.pop() else { break };
-                grants.push(Grant { message: m, hop, queue: q });
+                grants.push(Grant {
+                    message: m,
+                    hop,
+                    queue: q,
+                });
                 queue_line.pop_front();
                 self.seen.remove(&(m, interval));
             }
@@ -192,9 +199,15 @@ impl AssignmentPolicy for GreedyPolicy {
         let mut grants = Vec::new();
         for r in requests {
             let interval = r.hop.interval();
-            let slots = free.entry(interval).or_insert_with(|| view.free_queues(interval));
+            let slots = free
+                .entry(interval)
+                .or_insert_with(|| view.free_queues(interval));
             if let Some(q) = slots.pop() {
-                grants.push(Grant { message: r.message, hop: r.hop, queue: q });
+                grants.push(Grant {
+                    message: r.message,
+                    hop: r.hop,
+                    queue: q,
+                });
             }
         }
         grants
@@ -261,8 +274,7 @@ impl AssignmentPolicy for CompatiblePolicy {
         for r in requests {
             let interval = r.hop.interval();
             let label = self.plan.label(r.message);
-            if view.has_granted(r.message, interval)
-                || granted_now.contains(&(r.message, interval))
+            if view.has_granted(r.message, interval) || granted_now.contains(&(r.message, interval))
             {
                 continue; // reservation already made for this message
             }
@@ -301,7 +313,11 @@ impl AssignmentPolicy for CompatiblePolicy {
                 let q = free.pop().expect("checked size");
                 taken.entry(interval).or_default().push(q);
                 granted_now.push((member, interval));
-                grants.push(Grant { message: member, hop: r.hop, queue: q });
+                grants.push(Grant {
+                    message: member,
+                    hop: r.hop,
+                    queue: q,
+                });
             }
         }
         grants
@@ -324,16 +340,16 @@ mod tests {
     }
 
     fn req(m: u32, hop: Hop, born: u64) -> Request {
-        Request { message: MessageId::new(m), hop, born }
+        Request {
+            message: MessageId::new(m),
+            hop,
+            born,
+        }
     }
 
     #[test]
     fn fifo_respects_arrival_order() {
-        let pools = QueuePools::uniform(
-            [hop01().interval()],
-            1,
-            QueueConfig::default(),
-        );
+        let pools = QueuePools::uniform([hop01().interval()], 1, QueueConfig::default());
         let mut policy = FifoPolicy::new();
         let view = PoolView::new(&pools);
         // Two competitors, one queue: only the older request is granted.
@@ -374,11 +390,25 @@ mod tests {
         let b = MessageId::new(1);
         let c = MessageId::new(2);
         let view = PoolView::new(&pools);
-        let grants = policy.grant(&view, &[Request { message: b, hop, born: 0 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: b,
+                hop,
+                born: 0,
+            }],
+        );
         assert!(grants.is_empty(), "B must wait for C");
 
         // C requests: granted immediately (smallest label present).
-        let grants = policy.grant(&view, &[Request { message: c, hop, born: 1 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: c,
+                hop,
+                born: 1,
+            }],
+        );
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].message, c);
     }
@@ -397,7 +427,14 @@ mod tests {
 
         let mut policy = CompatiblePolicy::new(plan);
         let view = PoolView::new(&pools);
-        let grants = policy.grant(&view, &[Request { message: b, hop, born: 7 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: b,
+                hop,
+                born: 7,
+            }],
+        );
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].message, b);
     }
@@ -406,7 +443,10 @@ mod tests {
     fn compatible_reserves_whole_equal_label_group() {
         // Fig. 9: A and B share a label on hop c0->c1.
         let p = systolic_workloads::fig9();
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan = Analyzer::for_topology(&Topology::linear(3), &config)
             .analyze(&p)
             .unwrap()
@@ -419,15 +459,32 @@ mod tests {
         let pools = QueuePools::uniform([hop.interval()], 2, QueueConfig::default());
         let mut policy = CompatiblePolicy::new(plan.clone());
         let view = PoolView::new(&pools);
-        let grants = policy.grant(&view, &[Request { message: a, hop, born: 0 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: a,
+                hop,
+                born: 0,
+            }],
+        );
         let granted: Vec<MessageId> = grants.iter().map(|g| g.message).collect();
-        assert!(granted.contains(&a) && granted.contains(&b), "group granted together");
+        assert!(
+            granted.contains(&a) && granted.contains(&b),
+            "group granted together"
+        );
 
         // With 1 queue: nobody is granted (cannot satisfy the group).
         let pools = QueuePools::uniform([hop.interval()], 1, QueueConfig::default());
         let mut policy = CompatiblePolicy::new(plan);
         let view = PoolView::new(&pools);
-        let grants = policy.grant(&view, &[Request { message: a, hop, born: 0 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: a,
+                hop,
+                born: 0,
+            }],
+        );
         assert!(grants.is_empty());
     }
 
@@ -444,7 +501,10 @@ mod tests {
         let qb = policy.queue_of(b, iv).unwrap();
         let qc = policy.queue_of(c, iv).unwrap();
         assert_ne!(qb, qc, "dedicated queues are distinct");
-        assert!(StaticPolicy::new(&plan, 1).is_err(), "1 queue cannot dedicate 2 messages");
+        assert!(
+            StaticPolicy::new(&plan, 1).is_err(),
+            "1 queue cannot dedicate 2 messages"
+        );
     }
 
     #[test]
@@ -472,10 +532,21 @@ mod more_policy_tests {
         let mut policy = FifoPolicy::new();
 
         // m1 arrives first (older born), m0 second.
-        let r1 = Request { message: MessageId::new(1), hop, born: 1 };
-        let r0 = Request { message: MessageId::new(0), hop, born: 2 };
+        let r1 = Request {
+            message: MessageId::new(1),
+            hop,
+            born: 1,
+        };
+        let r0 = Request {
+            message: MessageId::new(0),
+            hop,
+            born: 2,
+        };
         let view = PoolView::new(&pools);
-        assert!(policy.grant(&view, &[r1, r0]).is_empty(), "nothing free yet");
+        assert!(
+            policy.grant(&view, &[r1, r0]).is_empty(),
+            "nothing free yet"
+        );
 
         // Queue frees up; even if only m0 re-requests this cycle, the line
         // head (m1) is served first.
@@ -508,10 +579,24 @@ mod more_policy_tests {
         let mut policy = CompatiblePolicy::new(plan);
         let view = PoolView::new(&pools);
         // C is the only competitor on its first hop: granted immediately.
-        let grants = policy.grant(&view, &[Request { message: c, hop: first_hop, born: 0 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: c,
+                hop: first_hop,
+                born: 0,
+            }],
+        );
         assert_eq!(grants.len(), 1);
         // B on the last hop still waits for C's grant *there*.
-        let grants = policy.grant(&view, &[Request { message: b, hop: last_hop, born: 1 }]);
+        let grants = policy.grant(
+            &view,
+            &[Request {
+                message: b,
+                hop: last_hop,
+                born: 1,
+            }],
+        );
         assert!(grants.is_empty());
     }
 
@@ -520,7 +605,10 @@ mod more_policy_tests {
     #[test]
     fn static_queue_of_is_stable() {
         let p = systolic_workloads::fig3_messages();
-        let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 4,
+            ..Default::default()
+        };
         let plan = Analyzer::for_topology(&Topology::linear(4), &config)
             .analyze(&p)
             .unwrap()

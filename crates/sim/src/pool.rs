@@ -90,9 +90,10 @@ impl QueuePools {
         self.queues_per_interval = queues_per_interval;
         let config = self.config;
         self.queues.clear();
-        self.queues.resize_with(self.intervals.len() * queues_per_interval, || {
-            HwQueue::new(config)
-        });
+        self.queues
+            .resize_with(self.intervals.len() * queues_per_interval, || {
+                HwQueue::new(config)
+            });
         let messages = self.num_messages;
         self.reset_for(messages);
     }
@@ -195,7 +196,8 @@ impl QueuePools {
     /// hot-path lookup (no interval search).
     #[must_use]
     pub fn has_granted_at(&self, message: MessageId, iv: usize) -> bool {
-        self.table_index(message, iv).is_some_and(|i| self.history[i])
+        self.table_index(message, iv)
+            .is_some_and(|i| self.history[i])
     }
 
     /// [`QueuePools::live_assignment`] by interval *index* — the arena's
@@ -222,7 +224,10 @@ impl QueuePools {
         self.ensure_message(message);
         self.queues[iv * self.queues_per_interval + index].assign(message, hop);
         let t = self.table_index(message, iv).expect("message ensured");
-        assert!(self.live[t] == NONE, "{message} already holds a queue on {interval}");
+        assert!(
+            self.live[t] == NONE,
+            "{message} already holds a queue on {interval}"
+        );
         self.live[t] = index as u32;
         self.history[t] = true;
     }
@@ -269,7 +274,11 @@ impl QueuePools {
             .interval_index(id.interval())
             .unwrap_or_else(|| panic!("no interval {} in the pools", id.interval()));
         let index = id.index();
-        assert!(index < self.queues_per_interval, "no queue {index} on {}", id.interval());
+        assert!(
+            index < self.queues_per_interval,
+            "no queue {index} on {}",
+            id.interval()
+        );
         &mut self.queues[iv * self.queues_per_interval + index]
     }
 
@@ -296,7 +305,10 @@ impl QueuePools {
     pub fn iter(&self) -> impl Iterator<Item = (QueueId, &HwQueue)> + '_ {
         self.queues.iter().enumerate().map(move |(flat, q)| {
             let iv = self.intervals[flat / self.queues_per_interval];
-            (QueueId::new(iv, (flat % self.queues_per_interval) as u32), q)
+            (
+                QueueId::new(iv, (flat % self.queues_per_interval) as u32),
+                q,
+            )
         })
     }
 
@@ -380,7 +392,10 @@ mod tests {
         let m = MessageId::new(0);
         p.grant(m, hop(), 0);
         let qid = QueueId::new(iv(), 0);
-        p.queue_mut(qid).push(Word { message: m, index: 0 });
+        p.queue_mut(qid).push(Word {
+            message: m,
+            index: 0,
+        });
         assert_eq!(p.queue(qid).occupancy(), 1);
         assert_eq!(p.iter().count(), 1);
     }
@@ -413,12 +428,25 @@ mod tests {
 
     #[test]
     fn total_spills_aggregates() {
-        let mut p = QueuePools::uniform([iv()], 1, QueueConfig { capacity: 1, extension: true });
+        let mut p = QueuePools::uniform(
+            [iv()],
+            1,
+            QueueConfig {
+                capacity: 1,
+                extension: true,
+            },
+        );
         let m = MessageId::new(0);
         p.grant(m, hop(), 0);
         let qid = QueueId::new(iv(), 0);
-        p.queue_mut(qid).push(Word { message: m, index: 0 });
-        p.queue_mut(qid).push(Word { message: m, index: 1 });
+        p.queue_mut(qid).push(Word {
+            message: m,
+            index: 0,
+        });
+        p.queue_mut(qid).push(Word {
+            message: m,
+            index: 1,
+        });
         assert_eq!(p.total_spills(), 1);
     }
 
@@ -427,7 +455,10 @@ mod tests {
         let mut p = pools(2);
         let m = MessageId::new(1);
         p.grant(m, hop(), 0);
-        p.queue_mut(QueueId::new(iv(), 0)).push(Word { message: m, index: 0 });
+        p.queue_mut(QueueId::new(iv(), 0)).push(Word {
+            message: m,
+            index: 0,
+        });
         p.reset_for(3);
         assert_eq!(p.free_queues(iv()), vec![0, 1]);
         assert_eq!(p.live_assignment(m, iv()), None);

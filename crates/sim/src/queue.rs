@@ -39,7 +39,10 @@ pub struct QueueConfig {
 
 impl Default for QueueConfig {
     fn default() -> Self {
-        QueueConfig { capacity: 1, extension: false }
+        QueueConfig {
+            capacity: 1,
+            extension: false,
+        }
     }
 }
 
@@ -177,7 +180,11 @@ impl HwQueue {
     /// Panics if the queue cannot accept ([`HwQueue::can_accept`]) or the
     /// word belongs to a different message than the assignment.
     pub fn push(&mut self, word: Word) -> bool {
-        assert_eq!(self.assigned, Some(word.message), "word does not match assignment");
+        assert_eq!(
+            self.assigned,
+            Some(word.message),
+            "word does not match assignment"
+        );
         let spilled = if self.buf.len() < self.hw_slots() {
             self.buf.push_back(word);
             false
@@ -256,12 +263,18 @@ mod tests {
     }
 
     fn w(i: usize) -> Word {
-        Word { message: MessageId::new(0), index: i }
+        Word {
+            message: MessageId::new(0),
+            index: i,
+        }
     }
 
     #[test]
     fn assign_push_pop_release_lifecycle() {
-        let mut q = HwQueue::new(QueueConfig { capacity: 2, extension: false });
+        let mut q = HwQueue::new(QueueConfig {
+            capacity: 2,
+            extension: false,
+        });
         assert!(q.is_free());
         q.assign(MessageId::new(0), hop());
         assert!(!q.is_free());
@@ -282,7 +295,10 @@ mod tests {
 
     #[test]
     fn latch_still_holds_one_word() {
-        let q = HwQueue::new(QueueConfig { capacity: 0, extension: false });
+        let q = HwQueue::new(QueueConfig {
+            capacity: 0,
+            extension: false,
+        });
         let mut q = q;
         q.assign(MessageId::new(0), hop());
         assert!(q.can_accept(), "a latch holds one word in transit");
@@ -292,7 +308,10 @@ mod tests {
 
     #[test]
     fn extension_spills_and_refills_in_order() {
-        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: true });
+        let mut q = HwQueue::new(QueueConfig {
+            capacity: 1,
+            extension: true,
+        });
         q.assign(MessageId::new(0), hop());
         assert!(!q.push(w(0)));
         assert!(q.push(w(1)), "second word spills");
@@ -319,13 +338,19 @@ mod tests {
     fn wrong_message_push_panics() {
         let mut q = HwQueue::new(QueueConfig::default());
         q.assign(MessageId::new(0), hop());
-        q.push(Word { message: MessageId::new(1), index: 0 });
+        q.push(Word {
+            message: MessageId::new(1),
+            index: 0,
+        });
     }
 
     #[test]
     #[should_panic(expected = "overflow without extension")]
     fn overflow_without_extension_panics() {
-        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: false });
+        let mut q = HwQueue::new(QueueConfig {
+            capacity: 1,
+            extension: false,
+        });
         q.assign(MessageId::new(0), hop());
         q.push(w(0));
         q.push(w(1));
@@ -342,7 +367,10 @@ mod tests {
 
     #[test]
     fn reset_restores_fresh_state_keeping_config() {
-        let mut q = HwQueue::new(QueueConfig { capacity: 1, extension: true });
+        let mut q = HwQueue::new(QueueConfig {
+            capacity: 1,
+            extension: true,
+        });
         q.assign(MessageId::new(0), hop());
         q.push(w(0));
         q.push(w(1)); // spills
@@ -353,7 +381,13 @@ mod tests {
         assert_eq!(q.spills(), 0);
         assert_eq!(q.high_water(), 0);
         assert_eq!(q.departed(), 0);
-        assert_eq!(q.config(), QueueConfig { capacity: 1, extension: true });
+        assert_eq!(
+            q.config(),
+            QueueConfig {
+                capacity: 1,
+                extension: true
+            }
+        );
         // Usable again immediately.
         q.assign(MessageId::new(1), hop());
         assert!(q.can_accept());

@@ -85,7 +85,11 @@ impl RunStats {
     /// The largest high-water mark across all queues.
     #[must_use]
     pub fn max_queue_occupancy(&self) -> usize {
-        self.queue_high_water.iter().map(|&(_, w)| w).max().unwrap_or(0)
+        self.queue_high_water
+            .iter()
+            .map(|&(_, w)| w)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the queue-assignment timeline as text — which message held
@@ -102,7 +106,10 @@ impl RunStats {
                 open.insert((e.queue, e.message), e.cycle);
             } else {
                 let start = open.remove(&(e.queue, e.message)).unwrap_or(e.cycle);
-                spans.entry(e.queue).or_default().push((e.message, start, Some(e.cycle)));
+                spans
+                    .entry(e.queue)
+                    .or_default()
+                    .push((e.message, start, Some(e.cycle)));
             }
         }
         for ((queue, message), start) in open {
@@ -144,9 +151,24 @@ mod tests {
         let q = QueueId::new(Interval::new(CellId::new(0), CellId::new(1)), 0);
         let mut s = RunStats::new(2);
         s.assignment_events = vec![
-            AssignmentEvent { cycle: 1, queue: q, message: MessageId::new(1), granted: true },
-            AssignmentEvent { cycle: 5, queue: q, message: MessageId::new(1), granted: false },
-            AssignmentEvent { cycle: 6, queue: q, message: MessageId::new(0), granted: true },
+            AssignmentEvent {
+                cycle: 1,
+                queue: q,
+                message: MessageId::new(1),
+                granted: true,
+            },
+            AssignmentEvent {
+                cycle: 5,
+                queue: q,
+                message: MessageId::new(1),
+                granted: false,
+            },
+            AssignmentEvent {
+                cycle: 6,
+                queue: q,
+                message: MessageId::new(0),
+                granted: true,
+            },
         ];
         let text = s.render_timeline(|m| format!("M{}", m.index()));
         assert_eq!(text.trim(), "c0-c1#0: [M1 1..5] [M0 6..]");

@@ -53,7 +53,10 @@ impl ReplayDeadlock {
         Some(ReplayDeadlock {
             cycle: report.cycle,
             first_blocked: first.cell,
-            reason: format!("{} at op {} ({}): {}", first.cell, first.pc, first.op, first.reason),
+            reason: format!(
+                "{} at op {} ({}): {}",
+                first.cell, first.pc, first.op, first.reason
+            ),
             blocked_cells: report.blocked.len(),
         })
     }
@@ -70,7 +73,11 @@ impl std::fmt::Display for ReplayDeadlock {
 }
 
 /// The result of replaying one plan through the simulator.
-#[derive(Clone, Debug)]
+///
+/// Implements `PartialEq`/`Eq` so batch paths can be checked for
+/// byte-identical results (the parallel [`crate::VerifyPool`] must match
+/// the sequential [`verify_batch_compiled`] report-for-report).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VerifyReport {
     /// `true` if every cell completed its program — what Theorem 1
     /// guarantees for a certified plan given enough hardware queues.
@@ -189,7 +196,11 @@ pub fn verify_plan(
     let routes = world.routes_for(program)?;
     let mut arena = SimArena::new(world);
     let mut policy = CompatiblePolicy::new(Arc::clone(plan));
-    Ok(VerifyReport::from_outcome(arena.run_with_routes(program, &routes, &mut policy)))
+    Ok(VerifyReport::from_outcome(arena.run_with_routes(
+        program,
+        &routes,
+        &mut policy,
+    )))
 }
 
 /// [`verify_plan`] for callers holding a [`CompiledTopology`] (the
@@ -257,11 +268,7 @@ mod tests {
     use systolic_core::{AnalysisConfig, Analyzer};
     use systolic_workloads::{fig7, fig7_topology, fig9, fig9_topology};
 
-    fn plan_for(
-        program: &Program,
-        topology: &Topology,
-        config: &AnalysisConfig,
-    ) -> Arc<CommPlan> {
+    fn plan_for(program: &Program, topology: &Topology, config: &AnalysisConfig) -> Arc<CommPlan> {
         Arc::new(
             Analyzer::for_topology(topology, config)
                 .analyze(program)
@@ -279,7 +286,10 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.words_delivered, program.total_words() as u64);
         assert!(report.cycles > 0);
-        assert!(report.deadlock.is_none(), "completed runs carry no deadlock detail");
+        assert!(
+            report.deadlock.is_none(),
+            "completed runs carry no deadlock detail"
+        );
     }
 
     #[test]
@@ -315,7 +325,10 @@ mod tests {
         // assumption (ii).
         let program = fig9();
         let topology = fig9_topology();
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan = plan_for(&program, &topology, &config);
         assert_eq!(plan.requirements().max_per_interval(), 2);
         let report = verify_plan(&program, &topology, &plan, SimConfig::default()).unwrap();
@@ -329,7 +342,10 @@ mod tests {
         let plan7 = plan_for(&p7, &t7, &AnalysisConfig::default());
         let p9 = fig9();
         let t9 = fig9_topology();
-        let c9 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let c9 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan9 = plan_for(&p9, &t9, &c9);
 
         let reports = verify_batch(
@@ -350,18 +366,19 @@ mod tests {
         let t7 = fig7_topology();
         let plan7 = plan_for(&p7, &t7, &AnalysisConfig::default());
         let p9 = fig9();
-        let c9 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let c9 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan9 = plan_for(&p9, &fig9_topology(), &c9);
         // fig7_topology and fig9_topology are both linear:4? fig9 is
         // linear(3); use per-topology arenas where they differ.
-        let compiled7 =
-            CompiledTopology::compile(&t7, &AnalysisConfig::default()).into_shared();
+        let compiled7 = CompiledTopology::compile(&t7, &AnalysisConfig::default()).into_shared();
         let mut arena = SimArena::from_compiled(Arc::clone(&compiled7), SimConfig::default());
         let first = arena.verify(&p7, &plan7).unwrap();
         assert!(first.completed);
 
-        let compiled9 =
-            CompiledTopology::compile(&fig9_topology(), &c9).into_shared();
+        let compiled9 = CompiledTopology::compile(&fig9_topology(), &c9).into_shared();
         let mut arena9 = SimArena::from_compiled(compiled9, SimConfig::default());
         let a = arena9.verify(&p9, &plan9).unwrap();
         assert!(a.completed);
@@ -385,13 +402,20 @@ mod tests {
         let plan = plan_for(&program, &topology, &config);
         let sim = SimConfig {
             queues_per_interval: 2,
-            queue: crate::QueueConfig { capacity: 0, extension: false },
+            queue: crate::QueueConfig {
+                capacity: 0,
+                extension: false,
+            },
             ..Default::default()
         };
         let report = verify_plan(&program, &topology, &plan, sim).unwrap();
         assert!(!report.completed, "latch queues deadlock P2");
         let deadlock = report.deadlock.expect("deadlock detail is attached");
-        assert_eq!(deadlock.first_blocked, CellId::new(0), "c0 is the first blocked cell");
+        assert_eq!(
+            deadlock.first_blocked,
+            CellId::new(0),
+            "c0 is the first blocked cell"
+        );
         assert!(deadlock.cycle > 0);
         assert_eq!(deadlock.blocked_cells, 2, "both cells are stuck");
         let text = deadlock.to_string();
@@ -403,7 +427,10 @@ mod tests {
     fn verify_rejects_mismatched_program() {
         let program = fig9(); // 3 cells
         let t7 = fig7_topology(); // 4 cells
-        let c9 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let c9 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan = plan_for(&program, &fig9_topology(), &c9);
         let compiled = CompiledTopology::compile(&t7, &AnalysisConfig::default()).into_shared();
         let mut arena = SimArena::from_compiled(compiled, SimConfig::default());

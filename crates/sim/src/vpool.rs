@@ -1,0 +1,397 @@
+//! Multi-core batch verification: a pool of reusable arenas over one
+//! immutable world.
+//!
+//! [`verify_batch_compiled`](crate::verify_batch_compiled) replays a
+//! batch sequentially through one [`SimArena`]. On a service node with
+//! many cores that leaves all but one of them idle while the replay chase
+//! is the serving path's bottleneck. [`VerifyPool`] spans **one**
+//! [`SimWorld`] with N arenas — one per worker thread — and verifies a
+//! batch on all of them at once:
+//!
+//! * **scoped threads** — workers borrow their arena and the batch for
+//!   the duration of one [`VerifyPool::verify_batch`] call; no `'static`
+//!   bounds, no channels, no leaked threads;
+//! * **work stealing** — a shared atomic cursor hands out plan indices;
+//!   a worker that drew a short replay immediately steals the next
+//!   index, so an uneven batch still keeps every core busy;
+//! * **deterministic results** — each replay is a pure function of
+//!   `(program, plan, world)` (arenas reset in place, and every arena is
+//!   pre-grown to the batch's largest queue requirement so replays are
+//!   independent of which worker ran them), and reports are merged back
+//!   into **input order**. The output is byte-identical to the
+//!   sequential path — same [`VerifyReport`]s, same
+//!   [`ReplayDeadlock`](crate::ReplayDeadlock) details, same order —
+//!   which `tests/verify_parity.rs` asserts by property.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use systolic_core::{CommPlan, CompiledTopology};
+use systolic_model::{ModelError, Program};
+
+use crate::{SimArena, SimConfig, SimWorld, VerifyReport};
+
+/// A pool of N reusable [`SimArena`]s over one shared [`SimWorld`],
+/// verifying plan batches on all cores.
+///
+/// Build it once per node (or per compiled topology) and feed it batches;
+/// arenas are reset in place between replays and between batches, so the
+/// setup cost — world construction, queue-pool allocation — is paid once
+/// per pool, not once per plan or per batch.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology};
+/// use systolic_sim::{SimConfig, VerifyPool};
+/// use systolic_workloads::{fig7, fig7_topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let compiled =
+///     CompiledTopology::compile(&fig7_topology(), &AnalysisConfig::default()).into_shared();
+/// let analyzer = Analyzer::new(Arc::clone(&compiled));
+/// let batch: Vec<_> = (2..8)
+///     .map(|reps| {
+///         let program = fig7(reps);
+///         let plan = Arc::new(analyzer.analyze(&program)?.into_plan());
+///         Ok::<_, systolic_core::CoreError>((program, plan))
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 4);
+/// let reports = pool.verify_batch(batch.iter().map(|(p, plan)| (p, plan)))?;
+/// assert_eq!(reports.len(), batch.len());
+/// assert!(reports.iter().all(|r| r.completed));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VerifyPool {
+    /// One arena per worker thread, all over clones of one world (clones
+    /// share the compiled topology via `Arc`).
+    arenas: Vec<SimArena>,
+}
+
+impl VerifyPool {
+    /// Builds a pool of `threads` arenas (clamped to ≥ 1) over `world`.
+    #[must_use]
+    pub fn new(world: SimWorld, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let arenas = (0..threads).map(|_| SimArena::new(world.clone())).collect();
+        VerifyPool { arenas }
+    }
+
+    /// [`VerifyPool::new`] over [`SimWorld::from_compiled`] — the serving
+    /// shape, where routing is served from the shared route closure.
+    #[must_use]
+    pub fn from_compiled(
+        compiled: Arc<CompiledTopology>,
+        config: SimConfig,
+        threads: usize,
+    ) -> Self {
+        VerifyPool::new(SimWorld::from_compiled(compiled, config), threads)
+    }
+
+    /// Number of worker threads (= arenas) this pool verifies with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// The world every arena replays against.
+    #[must_use]
+    pub fn world(&self) -> &SimWorld {
+        self.arenas[0].world()
+    }
+
+    /// Replays every `(program, plan)` pair of `batch`, fanned out over
+    /// the pool's arenas with a work-stealing cursor, and returns the
+    /// reports **in input order** — byte-identical to what
+    /// [`verify_batch_compiled`](crate::verify_batch_compiled) returns
+    /// for the same batch.
+    ///
+    /// # Errors
+    ///
+    /// As the sequential path: a setup error (cell-count mismatch) is
+    /// reported for the earliest offending batch index; per-run outcomes
+    /// (completed / deadlocked, with details) are in the reports.
+    pub fn verify_batch<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CommPlan>)>,
+    ) -> Result<Vec<VerifyReport>, ModelError> {
+        let items: Vec<(&Program, &Arc<CommPlan>)> = batch.into_iter().collect();
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pre-grow every arena to the batch's largest queue requirement so
+        // a replay's pool shape does not depend on which worker ran it or
+        // in what order items were stolen. (Replay outcomes are invariant
+        // to extra queues — the compatible policy draws only from its
+        // per-direction ranges — but a deterministic pool keeps the
+        // parallel path structurally identical to the sequential one.)
+        let max_queues = items
+            .iter()
+            .map(|(_, plan)| plan.requirements().max_per_interval())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for arena in &mut self.arenas {
+            arena.ensure_queues(max_queues);
+        }
+        // One worker (or one item): skip the thread machinery entirely.
+        if self.arenas.len() == 1 || items.len() == 1 {
+            let arena = &mut self.arenas[0];
+            return items
+                .iter()
+                .map(|(program, plan)| arena.verify(program, plan))
+                .collect();
+        }
+
+        // Work-stealing cursor: each worker draws the next unclaimed index
+        // until the batch is exhausted. Results carry their index so the
+        // merge below restores input order regardless of who ran what.
+        let cursor = AtomicUsize::new(0);
+        let workers = self.arenas.len().min(items.len());
+        let per_worker: Vec<Vec<(usize, Result<VerifyReport, ModelError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .arenas
+                    .iter_mut()
+                    .take(workers)
+                    .map(|arena| {
+                        let cursor = &cursor;
+                        let items = &items;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(program, plan)) = items.get(i) else {
+                                    break;
+                                };
+                                local.push((i, arena.verify(program, plan)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle
+                            .join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
+                    .collect()
+            });
+
+        // Merge into input order. Errors mirror the sequential fail-fast
+        // contract: the earliest offending index wins, exactly the error a
+        // sequential scan would have stopped at.
+        let mut reports: Vec<Option<VerifyReport>> = (0..items.len()).map(|_| None).collect();
+        let mut first_error: Option<(usize, ModelError)> = None;
+        for (i, result) in per_worker.into_iter().flatten() {
+            match result {
+                Ok(report) => reports[i] = Some(report),
+                Err(error) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(reports
+            .into_iter()
+            .map(|report| report.expect("every batch index was verified"))
+            .collect())
+    }
+}
+
+/// [`verify_batch_compiled`](crate::verify_batch_compiled) on all cores:
+/// builds a [`VerifyPool`] of `threads` arenas and fans the batch out over
+/// it. Results are byte-identical to the sequential path, in input order.
+///
+/// Callers verifying many batches should hold a [`VerifyPool`] and call
+/// [`VerifyPool::verify_batch`] instead, amortizing the arena setup.
+///
+/// # Errors
+///
+/// As [`verify_batch_compiled`](crate::verify_batch_compiled): a setup
+/// error for the earliest offending batch index.
+pub fn verify_batch_compiled_parallel<'a>(
+    batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CommPlan>)>,
+    compiled: &Arc<CompiledTopology>,
+    config: SimConfig,
+    threads: usize,
+) -> Result<Vec<VerifyReport>, ModelError> {
+    VerifyPool::from_compiled(Arc::clone(compiled), config, threads).verify_batch(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_batch_compiled;
+    use systolic_core::{AnalysisConfig, Analyzer};
+    use systolic_model::Topology;
+    use systolic_workloads::{fig7, fig7_topology, fig9, fig9_topology};
+
+    fn fig7_batch(n: usize) -> (Arc<CompiledTopology>, Vec<(Program, Arc<CommPlan>)>) {
+        let compiled =
+            CompiledTopology::compile(&fig7_topology(), &AnalysisConfig::default()).into_shared();
+        let analyzer = Analyzer::new(Arc::clone(&compiled));
+        let items = (0..n)
+            .map(|i| {
+                let program = fig7(2 + (i % 5));
+                let plan = Arc::new(analyzer.analyze(&program).unwrap().into_plan());
+                (program, plan)
+            })
+            .collect();
+        (compiled, items)
+    }
+
+    #[test]
+    fn pool_matches_sequential_batch() {
+        let (compiled, items) = fig7_batch(17);
+        let sequential = verify_batch_compiled(
+            items.iter().map(|(p, plan)| (p, plan)),
+            &compiled,
+            SimConfig::default(),
+        )
+        .unwrap();
+        for threads in [1, 2, 3, 4, 7] {
+            let mut pool =
+                VerifyPool::from_compiled(Arc::clone(&compiled), SimConfig::default(), threads);
+            let parallel = pool
+                .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+                .unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let (compiled, items) = fig7_batch(8);
+        let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 3);
+        let first = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap();
+        let second = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap();
+        assert_eq!(
+            first, second,
+            "arena reuse across batches must not leak state"
+        );
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn empty_batch_returns_no_reports() {
+        let (compiled, _) = fig7_batch(1);
+        let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 4);
+        let reports = pool.verify_batch(std::iter::empty()).unwrap();
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        let (compiled, items) = fig7_batch(3);
+        let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 0);
+        assert_eq!(pool.threads(), 1);
+        let reports = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap();
+        assert!(reports.iter().all(|r| r.completed));
+    }
+
+    #[test]
+    fn mixed_queue_requirements_pre_grow_every_arena() {
+        // fig9 needs 2 queues per interval, fig7 needs 1: the pool grows
+        // all arenas to the batch max before fan-out, so results are
+        // independent of stealing order.
+        let t9 = fig9_topology();
+        let c9 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
+        let compiled = CompiledTopology::compile(&t9, &c9).into_shared();
+        let analyzer = Analyzer::new(Arc::clone(&compiled));
+        let p9 = fig9();
+        let plan9 = Arc::new(analyzer.analyze(&p9).unwrap().into_plan());
+        let items: Vec<(Program, Arc<CommPlan>)> =
+            (0..6).map(|_| (p9.clone(), Arc::clone(&plan9))).collect();
+        let sequential = verify_batch_compiled(
+            items.iter().map(|(p, plan)| (p, plan)),
+            &compiled,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 2);
+        let parallel = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(parallel.iter().all(|r| r.completed));
+    }
+
+    #[test]
+    fn setup_error_reports_earliest_offending_index() {
+        // Item 1 (3-cell program on the 4-cell world) is the earliest
+        // mismatch; the pool must surface exactly that error even though
+        // later items also fail.
+        let (compiled, mut items) = fig7_batch(6);
+        let t9 = fig9_topology();
+        let c9 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
+        let plan9 = Arc::new(
+            Analyzer::for_topology(&t9, &c9)
+                .analyze(&fig9())
+                .unwrap()
+                .into_plan(),
+        );
+        items[1] = (fig9(), Arc::clone(&plan9));
+        items[4] = (fig9(), plan9);
+        let mut pool = VerifyPool::from_compiled(compiled, SimConfig::default(), 4);
+        let error = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                error,
+                ModelError::CellCountMismatch {
+                    program: 3,
+                    topology: 4
+                }
+            ),
+            "{error:?}"
+        );
+    }
+
+    #[test]
+    fn plain_world_pool_works_too() {
+        let topology = Topology::linear(2);
+        let program = systolic_workloads::fig5_p2();
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            lookahead: systolic_core::Lookahead::Unbounded,
+        };
+        let plan = Arc::new(
+            Analyzer::for_topology(&topology, &config)
+                .analyze(&program)
+                .unwrap()
+                .into_plan(),
+        );
+        let items: Vec<(Program, Arc<CommPlan>)> = (0..4)
+            .map(|_| (program.clone(), Arc::clone(&plan)))
+            .collect();
+        let mut pool = VerifyPool::new(SimWorld::new(&topology, SimConfig::default()), 2);
+        let reports = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .unwrap();
+        assert!(reports.iter().all(|r| r.completed));
+    }
+}

@@ -374,7 +374,12 @@ mod tests {
     fn await_assignment_sees_reservations() {
         let iv = Interval::new(CellId::new(0), CellId::new(1));
         let l = live();
-        let c = Arc::new(Controller::new(ControlMode::Greedy, [iv], 2, Arc::clone(&l)));
+        let c = Arc::new(Controller::new(
+            ControlMode::Greedy,
+            [iv],
+            2,
+            Arc::clone(&l),
+        ));
         let hop = Hop::new(CellId::new(0), CellId::new(1));
         let m = MessageId::new(5);
         let c2 = Arc::clone(&c);
@@ -388,7 +393,12 @@ mod tests {
     fn poison_aborts_waiters() {
         let iv = Interval::new(CellId::new(0), CellId::new(1));
         let l = live();
-        let c = Arc::new(Controller::new(ControlMode::Greedy, [iv], 0, Arc::clone(&l)));
+        let c = Arc::new(Controller::new(
+            ControlMode::Greedy,
+            [iv],
+            0,
+            Arc::clone(&l),
+        ));
         let hop = Hop::new(CellId::new(0), CellId::new(1));
         let c2 = Arc::clone(&c);
         let t = thread::spawn(move || c2.acquire(MessageId::new(0), hop));
@@ -409,7 +419,10 @@ mod static_mode_tests {
     #[test]
     fn static_mode_dedicates_distinct_slots() {
         let p = systolic_workloads::fig9();
-        let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan = Analyzer::for_topology(&systolic_workloads::fig9_topology(), &config)
             .analyze(&p)
             .unwrap()

@@ -61,7 +61,10 @@ impl ThreadedQueue {
     pub fn new(capacity: usize, live: Arc<Liveness>) -> Self {
         ThreadedQueue {
             capacity,
-            inner: Mutex::new(Inner { buf: VecDeque::new(), departed: 0 }),
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                departed: 0,
+            }),
             cv: Condvar::new(),
             live,
         }

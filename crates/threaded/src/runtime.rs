@@ -140,9 +140,8 @@ fn run_threaded_with_routes(
                 for (pc, op) in program.cell(cell).iter().enumerate() {
                     let m = op.message();
                     let route = routes.route(m);
-                    let fail = |what: &str| {
-                        format!("{cell_name} blocked at op {pc} ({op}): {what}")
-                    };
+                    let fail =
+                        |what: &str| format!("{cell_name} blocked at op {pc} ({op}): {what}");
                     if op.is_write() {
                         let hop = route.hops().next().expect("nonempty route");
                         let idx = controller
@@ -156,17 +155,12 @@ fn run_threaded_with_routes(
                             .map_err(|Poisoned| fail("pushing (queue full or latch held)"))?;
                     } else {
                         let last = route.num_hops() - 1;
-                        let interval = route
-                            .hops()
-                            .nth(last)
-                            .expect("last hop exists")
-                            .interval();
+                        let interval = route.hops().nth(last).expect("last hop exists").interval();
                         let idx = controller
                             .await_assignment(m, interval)
                             .map_err(|Poisoned| fail("waiting for queue assignment"))?;
                         let q = &queues[&interval][idx];
-                        let (got, _) =
-                            q.pop().map_err(|Poisoned| fail("reading (queue empty)"))?;
+                        let (got, _) = q.pop().map_err(|Poisoned| fail("reading (queue empty)"))?;
                         debug_assert_eq!(got, m, "queue serves one message at a time");
                         let done = reads_done.entry(m).or_insert(0);
                         *done += 1;
@@ -202,7 +196,8 @@ fn run_threaded_with_routes(
                     // The header must be present before we request the next
                     // hop's queue ("when the header of a message arrives at
                     // a cell" — Section 5).
-                    src.peek().map_err(|Poisoned| fail("waiting for header word"))?;
+                    src.peek()
+                        .map_err(|Poisoned| fail("waiting for header word"))?;
                     let dst_idx = controller
                         .acquire(m, dst_hop)
                         .map_err(|Poisoned| fail("acquiring next-hop queue"))?;
@@ -261,7 +256,10 @@ fn run_threaded_with_routes(
     });
 
     if failures.is_empty() {
-        Ok(ThreadedOutcome::Completed { words_delivered: words_total, elapsed: start.elapsed() })
+        Ok(ThreadedOutcome::Completed {
+            words_delivered: words_total,
+            elapsed: start.elapsed(),
+        })
     } else {
         failures.sort();
         Ok(ThreadedOutcome::Deadlocked { blocked: failures })
@@ -294,7 +292,10 @@ mod tests {
     use systolic_workloads as wl;
 
     fn compatible(program: &Program, topology: &Topology, queues: usize) -> ControlMode {
-        let config = AnalysisConfig { queues_per_interval: queues, ..Default::default() };
+        let config = AnalysisConfig {
+            queues_per_interval: queues,
+            ..Default::default()
+        };
         let plan = Analyzer::for_topology(topology, &config)
             .analyze(program)
             .expect("analysis succeeds")
@@ -307,9 +308,15 @@ mod tests {
         let p = wl::fig2_fir();
         let t = wl::fig2_topology();
         let mode = compatible(&p, &t, 2);
-        let config = ThreadedConfig { queues_per_interval: 2, ..Default::default() };
+        let config = ThreadedConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let out = run_threaded(&p, &t, mode, config).unwrap();
-        let ThreadedOutcome::Completed { words_delivered, .. } = out else {
+        let ThreadedOutcome::Completed {
+            words_delivered, ..
+        } = out
+        else {
             panic!("FIR must complete on threads: {out:?}")
         };
         assert_eq!(words_delivered, 15);
@@ -340,7 +347,10 @@ mod tests {
         assert!(!blocked.is_empty());
 
         // Two queues: completes.
-        let config = ThreadedConfig { queues_per_interval: 2, ..Default::default() };
+        let config = ThreadedConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let mode = compatible(&p, &t, 2);
         let out = run_threaded(&p, &t, mode, config).unwrap();
         assert!(out.is_completed());
@@ -353,7 +363,10 @@ mod tests {
             &p,
             &Topology::linear(2),
             ControlMode::Greedy,
-            ThreadedConfig { queues_per_interval: 2, ..Default::default() },
+            ThreadedConfig {
+                queues_per_interval: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let ThreadedOutcome::Deadlocked { blocked } = out else {
@@ -368,11 +381,19 @@ mod tests {
     fn fig5_p2_latches_deadlock_buffering_completes() {
         let p = wl::fig5_p2();
         let t = Topology::linear(2);
-        let latch = ThreadedConfig { queues_per_interval: 2, capacity: 0, ..Default::default() };
+        let latch = ThreadedConfig {
+            queues_per_interval: 2,
+            capacity: 0,
+            ..Default::default()
+        };
         let out = run_threaded(&p, &t, ControlMode::Greedy, latch).unwrap();
         assert!(out.is_deadlocked(), "latch queues deadlock P2: {out:?}");
 
-        let buffered = ThreadedConfig { queues_per_interval: 2, capacity: 1, ..Default::default() };
+        let buffered = ThreadedConfig {
+            queues_per_interval: 2,
+            capacity: 1,
+            ..Default::default()
+        };
         let out = run_threaded(&p, &t, ControlMode::Greedy, buffered).unwrap();
         assert!(out.is_completed(), "{out:?}");
     }
@@ -382,7 +403,10 @@ mod tests {
         let p = wl::matvec(3).unwrap();
         let t = wl::matvec_topology(3);
         let mode = compatible(&p, &t, 3);
-        let config = ThreadedConfig { queues_per_interval: 3, ..Default::default() };
+        let config = ThreadedConfig {
+            queues_per_interval: 3,
+            ..Default::default()
+        };
         let out = run_threaded(&p, &t, mode, config).unwrap();
         assert!(out.is_completed(), "{out:?}");
     }
@@ -392,7 +416,10 @@ mod tests {
         let p = wl::seq_align(3, 4).unwrap();
         let t = wl::seq_align_topology(3);
         let mode = compatible(&p, &t, 3);
-        let config = ThreadedConfig { queues_per_interval: 3, ..Default::default() };
+        let config = ThreadedConfig {
+            queues_per_interval: 3,
+            ..Default::default()
+        };
         let out = run_threaded(&p, &t, mode, config).unwrap();
         assert!(out.is_completed(), "{out:?}");
     }

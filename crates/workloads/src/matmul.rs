@@ -34,10 +34,18 @@ pub fn mesh_matmul(rows: usize, cols: usize, k: usize) -> Result<Program, ModelE
     for i in 0..rows {
         for j in 0..cols {
             if j + 1 < cols {
-                east.push((i, j, s.message(format!("AE{i}_{j}"), id(i, j), id(i, j + 1))?));
+                east.push((
+                    i,
+                    j,
+                    s.message(format!("AE{i}_{j}"), id(i, j), id(i, j + 1))?,
+                ));
             }
             if i + 1 < rows {
-                south.push((i, j, s.message(format!("BS{i}_{j}"), id(i, j), id(i + 1, j))?));
+                south.push((
+                    i,
+                    j,
+                    s.message(format!("BS{i}_{j}"), id(i, j), id(i + 1, j))?,
+                ));
             }
         }
     }

@@ -35,7 +35,13 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { cells: 4, messages: 6, max_words: 4, max_span: 3, clustered: true }
+        RandomConfig {
+            cells: 4,
+            messages: 6,
+            max_words: 4,
+            max_span: 3,
+            clustered: true,
+        }
     }
 }
 
@@ -176,7 +182,13 @@ mod tests {
 
     #[test]
     fn respects_shape_parameters() {
-        let cfg = RandomConfig { cells: 6, messages: 10, max_words: 3, max_span: 2, ..Default::default() };
+        let cfg = RandomConfig {
+            cells: 6,
+            messages: 10,
+            max_words: 3,
+            max_span: 2,
+            ..Default::default()
+        };
         let p = random_program(&cfg, 7).unwrap();
         assert_eq!(p.num_cells(), 6);
         assert_eq!(p.num_messages(), 10);
@@ -235,7 +247,10 @@ mod tests {
 
     #[test]
     fn topology_matches_config() {
-        let cfg = RandomConfig { cells: 5, ..Default::default() };
+        let cfg = RandomConfig {
+            cells: 5,
+            ..Default::default()
+        };
         assert_eq!(random_topology(&cfg).num_cells(), 5);
     }
 }

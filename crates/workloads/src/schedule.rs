@@ -58,10 +58,7 @@ impl ScheduleBuilder {
     /// # Panics
     ///
     /// Panics if the name count differs from the cell count.
-    pub fn name_cells<S: Into<String>>(
-        &mut self,
-        names: impl IntoIterator<Item = S>,
-    ) -> &mut Self {
+    pub fn name_cells<S: Into<String>>(&mut self, names: impl IntoIterator<Item = S>) -> &mut Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         assert_eq!(names.len(), self.names.len(), "one name per cell");
         self.names = names;

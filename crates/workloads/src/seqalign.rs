@@ -161,8 +161,14 @@ mod tests {
         let c1 = p.cell(CellId::new(1));
         let d0 = p.message_id("D0").unwrap();
         let s0 = p.message_id("S0").unwrap();
-        let first_d = c1.iter().position(|o| o.is_read() && o.message() == d0).unwrap();
-        let first_s = c1.iter().position(|o| o.is_read() && o.message() == s0).unwrap();
+        let first_d = c1
+            .iter()
+            .position(|o| o.is_read() && o.message() == d0)
+            .unwrap();
+        let first_s = c1
+            .iter()
+            .position(|o| o.is_read() && o.message() == s0)
+            .unwrap();
         assert!(first_d < first_s);
     }
 

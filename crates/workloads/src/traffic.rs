@@ -45,7 +45,10 @@ pub struct TrafficConfig {
 
 impl Default for TrafficConfig {
     fn default() -> Self {
-        TrafficConfig { hot_percent: 50, random: RandomConfig::default() }
+        TrafficConfig {
+            hot_percent: 50,
+            random: RandomConfig::default(),
+        }
     }
 }
 
@@ -249,7 +252,10 @@ mod tests {
         let stream = traffic(&cfg, 1, 200);
         assert_eq!(stream.len(), 200);
         let hot_names: Vec<String> = hot_set().into_iter().map(|i| i.name).collect();
-        let hot_count = stream.iter().filter(|i| hot_names.contains(&i.name)).count();
+        let hot_count = stream
+            .iter()
+            .filter(|i| hot_names.contains(&i.name))
+            .count();
         // 50% hot with 200 draws: comfortably between 25% and 75%.
         assert!((50..=150).contains(&hot_count), "hot_count = {hot_count}");
     }
@@ -258,7 +264,10 @@ mod tests {
     fn all_cold_stream_has_no_figure_kernels() {
         // Cold sweeps may re-draw hot parameters (e.g. `fir/3x8`) but never
         // the paper-figure kernels, which only the hot set serves.
-        let cfg = TrafficConfig { hot_percent: 0, ..Default::default() };
+        let cfg = TrafficConfig {
+            hot_percent: 0,
+            ..Default::default()
+        };
         let stream = traffic(&cfg, 3, 40);
         assert!(stream.iter().all(|i| !i.name.starts_with("fig")));
     }

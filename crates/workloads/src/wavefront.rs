@@ -32,10 +32,18 @@ pub fn wavefront(rows: usize, cols: usize, sweeps: usize) -> Result<Program, Mod
     for i in 0..rows {
         for j in 0..cols {
             if j + 1 < cols {
-                links.push((i, j, s.message(format!("E{i}_{j}"), id(i, j), id(i, j + 1))?));
+                links.push((
+                    i,
+                    j,
+                    s.message(format!("E{i}_{j}"), id(i, j), id(i, j + 1))?,
+                ));
             }
             if i + 1 < rows {
-                links.push((i, j, s.message(format!("S{i}_{j}"), id(i, j), id(i + 1, j))?));
+                links.push((
+                    i,
+                    j,
+                    s.message(format!("S{i}_{j}"), id(i, j), id(i + 1, j))?,
+                ));
             }
         }
     }

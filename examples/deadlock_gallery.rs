@@ -10,9 +10,7 @@
 
 use systolic::core::{classify, classify_with, LookaheadLimits};
 use systolic::model::{side_by_side, Program, Topology};
-use systolic::sim::{
-    run_simulation, CostModel, GreedyPolicy, QueueConfig, RunOutcome, SimConfig,
-};
+use systolic::sim::{run_simulation, CostModel, GreedyPolicy, QueueConfig, RunOutcome, SimConfig};
 use systolic::workloads as wl;
 
 fn show(
@@ -32,17 +30,26 @@ fn show(
     println!("crossing-off classification: {verdict}");
     let config = SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity, extension: false },
+        queue: QueueConfig {
+            capacity,
+            extension: false,
+        },
         cost: CostModel::systolic(),
         max_cycles: 1_000_000,
     };
     let outcome = run_simulation(program, topology, Box::new(GreedyPolicy::new()), config)?;
     match outcome {
         RunOutcome::Completed(stats) => {
-            println!("run ({queues} queues, capacity {capacity}): completed in {} cycles\n", stats.cycles);
+            println!(
+                "run ({queues} queues, capacity {capacity}): completed in {} cycles\n",
+                stats.cycles
+            );
         }
         RunOutcome::Deadlocked { report, .. } => {
-            println!("run ({queues} queues, capacity {capacity}):\n{}", report.render(program));
+            println!(
+                "run ({queues} queues, capacity {capacity}):\n{}",
+                report.render(program)
+            );
         }
         RunOutcome::CycleLimit(_) => println!("run: hit cycle limit\n"),
     }
@@ -52,15 +59,69 @@ fn show(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let two = Topology::linear(2);
 
-    show("Fig. 5 P1 (needs 2 words of buffering)", &wl::fig5_p1(), &two, 2, 0)?;
-    show("Fig. 5 P1 again, capacity 2: cured", &wl::fig5_p1(), &two, 2, 2)?;
-    show("Fig. 5 P2 (write-first exchange)", &wl::fig5_p2(), &two, 2, 0)?;
-    show("Fig. 5 P3 (circular dependency, incurable)", &wl::fig5_p3(), &two, 2, 8)?;
-    show("Fig. 6 (message cycle, NOT a deadlock)", &wl::fig6_cycle(), &wl::fig6_topology(), 1, 1)?;
-    show("Fig. 7 (ordering deadlock under greedy assignment)", &wl::fig7(3), &wl::fig7_topology(), 1, 1)?;
-    show("Fig. 8 (interleaved reads, one queue)", &wl::fig8(), &wl::fig8_topology(), 1, 1)?;
-    show("Fig. 8 again with two queues: cured", &wl::fig8(), &wl::fig8_topology(), 2, 1)?;
-    show("Fig. 9 (interleaved writes, one queue)", &wl::fig9(), &wl::fig9_topology(), 1, 1)?;
+    show(
+        "Fig. 5 P1 (needs 2 words of buffering)",
+        &wl::fig5_p1(),
+        &two,
+        2,
+        0,
+    )?;
+    show(
+        "Fig. 5 P1 again, capacity 2: cured",
+        &wl::fig5_p1(),
+        &two,
+        2,
+        2,
+    )?;
+    show(
+        "Fig. 5 P2 (write-first exchange)",
+        &wl::fig5_p2(),
+        &two,
+        2,
+        0,
+    )?;
+    show(
+        "Fig. 5 P3 (circular dependency, incurable)",
+        &wl::fig5_p3(),
+        &two,
+        2,
+        8,
+    )?;
+    show(
+        "Fig. 6 (message cycle, NOT a deadlock)",
+        &wl::fig6_cycle(),
+        &wl::fig6_topology(),
+        1,
+        1,
+    )?;
+    show(
+        "Fig. 7 (ordering deadlock under greedy assignment)",
+        &wl::fig7(3),
+        &wl::fig7_topology(),
+        1,
+        1,
+    )?;
+    show(
+        "Fig. 8 (interleaved reads, one queue)",
+        &wl::fig8(),
+        &wl::fig8_topology(),
+        1,
+        1,
+    )?;
+    show(
+        "Fig. 8 again with two queues: cured",
+        &wl::fig8(),
+        &wl::fig8_topology(),
+        2,
+        1,
+    )?;
+    show(
+        "Fig. 9 (interleaved writes, one queue)",
+        &wl::fig9(),
+        &wl::fig9_topology(),
+        1,
+        1,
+    )?;
 
     // Fig. 10: the lookahead classification ladder for P1.
     println!("=== Fig. 10: lookahead classification of P1 vs queue capacity ===");

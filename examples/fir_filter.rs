@@ -7,7 +7,9 @@
 
 use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::report::Table;
-use systolic::sim::{run_simulation, CompatiblePolicy, CostModel, QueueConfig, RunOutcome, SimConfig};
+use systolic::sim::{
+    run_simulation, CompatiblePolicy, CostModel, QueueConfig, RunOutcome, SimConfig,
+};
 use systolic::workloads::{fir, fir_topology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.total_words()
     );
 
-    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
     let analysis = Analyzer::for_topology(&topology, &config).analyze(&program)?;
     println!(
         "analysis: deadlock-free, {} queue(s) per interval required\n",

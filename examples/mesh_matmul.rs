@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.total_words()
     );
 
-    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
     let analysis = Analyzer::for_topology(&topology, &config).analyze(&program)?;
     let mut table = Table::new(["interval", "queues required"]);
     for (interval, need) in analysis.plan().requirements().iter_intervals() {
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &program,
         &topology,
         Box::new(CompatiblePolicy::new(analysis.into_plan())),
-        SimConfig { queues_per_interval: 2, ..Default::default() },
+        SimConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        },
     )?;
     let RunOutcome::Completed(stats) = outcome else {
         return Err("matmul did not complete".into());
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &sweep,
         &sweep_top,
         Box::new(CompatiblePolicy::new(analysis.into_plan())),
-        SimConfig { queues_per_interval: 2, ..Default::default() },
+        SimConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        },
     )?;
     let RunOutcome::Completed(stats) = outcome else {
         return Err("wavefront did not complete".into());

@@ -19,7 +19,10 @@ use systolic::workloads::{fig7, fig7_topology};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = fig7(3);
     let topology = fig7_topology();
-    println!("Fig. 7 program:\n{}", systolic::model::side_by_side(&program));
+    println!(
+        "Fig. 7 program:\n{}",
+        systolic::model::side_by_side(&program)
+    );
 
     // 1. A label-blind first-come-first-served runtime deadlocks.
     let naive = run_simulation(
@@ -37,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compile the topology once, then run the paper's staged analysis:
     //    crossing-off, consistent labeling, queue requirements.
-    let compiled =
-        CompiledTopology::compile(&topology, &AnalysisConfig::default()).into_shared();
+    let compiled = CompiledTopology::compile(&topology, &AnalysisConfig::default()).into_shared();
     let analyzer = Analyzer::new(compiled);
     let session = analyzer.session(&program);
     println!(
@@ -81,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          program c0 { R(B) W(A) }\n\
          program c1 { R(A) W(B) }\n",
     )?;
-    let bad = Analyzer::for_topology(&systolic::model::Topology::linear(2), &AnalysisConfig::default());
+    let bad = Analyzer::for_topology(
+        &systolic::model::Topology::linear(2),
+        &AnalysisConfig::default(),
+    );
     let outcome = bad.diagnose(&deadlocked);
     println!("\ncross-reading pair:");
     for diagnostic in outcome.diagnostics() {

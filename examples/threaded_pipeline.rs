@@ -12,7 +12,9 @@
 
 use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::threaded::{run_threaded, ControlMode, ThreadedConfig, ThreadedOutcome};
-use systolic::workloads::{fig2_fir, fig2_topology, fig7, fig7_topology, seq_align, seq_align_topology};
+use systolic::workloads::{
+    fig2_fir, fig2_topology, fig7, fig7_topology, seq_align, seq_align_topology,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 7 under compatible assignment: five runs, five completions,
@@ -30,15 +32,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ThreadedConfig::default(),
         )?;
         match outcome {
-            ThreadedOutcome::Completed { words_delivered, elapsed } => {
-                println!("fig7 compatible, run {attempt}: {words_delivered} words in {elapsed:.2?}");
+            ThreadedOutcome::Completed {
+                words_delivered,
+                elapsed,
+            } => {
+                println!(
+                    "fig7 compatible, run {attempt}: {words_delivered} words in {elapsed:.2?}"
+                );
             }
             other => println!("fig7 compatible, run {attempt}: unexpected {other:?}"),
         }
     }
 
     // The same program under FIFO: deadlock, caught by the watchdog.
-    let outcome = run_threaded(&program, &topology, ControlMode::Fifo, ThreadedConfig::default())?;
+    let outcome = run_threaded(
+        &program,
+        &topology,
+        ControlMode::Fifo,
+        ThreadedConfig::default(),
+    )?;
     if let ThreadedOutcome::Deadlocked { blocked } = outcome {
         println!("\nfig7 fifo: watchdog caught a deadlock; blocked threads:");
         for b in blocked {
@@ -49,19 +61,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The FIR filter and a P-NAC-style alignment, on threads.
     let fir = fig2_fir();
     let fir_top = fig2_topology();
-    let fir_config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-    let plan = Analyzer::for_topology(&fir_top, &fir_config).analyze(&fir)?.into_plan();
+    let fir_config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
+    let plan = Analyzer::for_topology(&fir_top, &fir_config)
+        .analyze(&fir)?
+        .into_plan();
     let outcome = run_threaded(
         &fir,
         &fir_top,
         ControlMode::compatible(plan),
-        ThreadedConfig { queues_per_interval: 2, ..Default::default() },
+        ThreadedConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        },
     )?;
     println!("\nfig2 FIR on threads: {outcome:?}");
 
     let align = seq_align(4, 16)?;
     let align_top = seq_align_topology(4);
-    let align_config = AnalysisConfig { queues_per_interval: 3, ..Default::default() };
+    let align_config = AnalysisConfig {
+        queues_per_interval: 3,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(&align_top, &align_config)
         .analyze(&align)?
         .into_plan();
@@ -69,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &align,
         &align_top,
         ControlMode::compatible(plan),
-        ThreadedConfig { queues_per_interval: 3, ..Default::default() },
+        ThreadedConfig {
+            queues_per_interval: 3,
+            ..Default::default()
+        },
     )?;
     println!("seq_align(4,16) on threads: {outcome:?}");
     Ok(())

@@ -60,7 +60,15 @@
 //! Batch replays share one [`sim::SimArena`]: the immutable world
 //! (topology + config) is built once and the run state is reset in place
 //! per replay. With a precompiled topology, routes come from the shared
-//! closure and certified plans travel as `Arc`s:
+//! closure and certified plans travel as `Arc`s. On a multi-core node,
+//! [`sim::VerifyPool`] fans the same batch over N arenas (one per worker
+//! thread, work-stealing, reports merged back into input order —
+//! byte-identical to the sequential path); the serving layer keeps warm
+//! per-worker LRUs of arenas keyed by compiled topology, and
+//! `ServiceConfig::verify_threads` moves the replay chase onto a
+//! dedicated verifier pool. Tuning: one pool thread per spare core —
+//! replays are CPU-bound and share no mutable state, so throughput
+//! scales until the batch runs out of plans to steal.
 //!
 //! ```
 //! use std::sync::Arc;

@@ -15,15 +15,16 @@
 
 use proptest::prelude::*;
 use systolic::core::{classify, classify_with, LookaheadLimits};
-use systolic::sim::{
-    run_simulation, CostModel, GreedyPolicy, QueueConfig, SimConfig,
-};
+use systolic::sim::{run_simulation, CostModel, GreedyPolicy, QueueConfig, SimConfig};
 use systolic::workloads::{random_program, random_topology, scramble, RandomConfig};
 
 fn sim(queues: usize, capacity: usize) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity, extension: false },
+        queue: QueueConfig {
+            capacity,
+            extension: false,
+        },
         cost: CostModel::systolic(),
         max_cycles: 200_000,
     }

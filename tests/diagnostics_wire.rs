@@ -31,14 +31,21 @@ fn deadlocked_request_reports_structured_diagnostics() {
     assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
 
     let diagnostics = diagnostics(&json);
-    assert!(!diagnostics.is_empty(), "unsafe programs carry >= 1 diagnostic");
+    assert!(
+        !diagnostics.is_empty(),
+        "unsafe programs carry >= 1 diagnostic"
+    );
     let d = &diagnostics[0];
     assert_eq!(d.get("code").and_then(Json::as_str), Some("E-DEADLOCK"));
     assert_eq!(d.get("severity").and_then(Json::as_str), Some("error"));
     // Offending ids: both cells are stuck, both messages involved.
-    let Some(Json::Arr(cells)) = d.get("cells") else { panic!("cells array") };
+    let Some(Json::Arr(cells)) = d.get("cells") else {
+        panic!("cells array")
+    };
     assert_eq!(cells.len(), 2);
-    let Some(Json::Arr(messages)) = d.get("messages") else { panic!("messages array") };
+    let Some(Json::Arr(messages)) = d.get("messages") else {
+        panic!("messages array")
+    };
     assert!(!messages.is_empty());
     // The line is valid JSON all the way through.
     assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
@@ -57,16 +64,23 @@ fn infeasible_request_names_the_short_interval_and_competitors() {
     );
     let json = serve_line(&line);
     assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
-    assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("infeasible"));
+    assert_eq!(
+        json.get("error_kind").and_then(Json::as_str),
+        Some("infeasible")
+    );
 
     let diagnostics = diagnostics(&json);
     let d = diagnostics
         .iter()
         .find(|d| d.get("code").and_then(Json::as_str) == Some("E-INFEASIBLE"))
         .expect("infeasible diagnostic present");
-    let Some(Json::Arr(cells)) = d.get("cells") else { panic!("cells array") };
+    let Some(Json::Arr(cells)) = d.get("cells") else {
+        panic!("cells array")
+    };
     assert_eq!(cells.len(), 2, "the short interval's two endpoints");
-    let Some(Json::Arr(messages)) = d.get("messages") else { panic!("messages array") };
+    let Some(Json::Arr(messages)) = d.get("messages") else {
+        panic!("messages array")
+    };
     assert_eq!(messages.len(), 2, "both same-label competitors named");
 }
 

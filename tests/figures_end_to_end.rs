@@ -3,20 +3,22 @@
 //! would.
 
 use systolic::core::{
-    classify, classify_with, AnalysisConfig, Analyzer, CoreError, Label, Lookahead,
-    LookaheadLimits,
+    classify, classify_with, AnalysisConfig, Analyzer, CoreError, Label, Lookahead, LookaheadLimits,
 };
 use systolic::model::Topology;
 use systolic::sim::{
-    run_simulation, CompatiblePolicy, CostModel, FifoPolicy, GreedyPolicy, QueueConfig,
-    RunOutcome, SimConfig, StaticPolicy,
+    run_simulation, CompatiblePolicy, CostModel, FifoPolicy, GreedyPolicy, QueueConfig, RunOutcome,
+    SimConfig, StaticPolicy,
 };
 use systolic::workloads as wl;
 
 fn sim(queues: usize, capacity: usize) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity, extension: false },
+        queue: QueueConfig {
+            capacity,
+            extension: false,
+        },
         cost: CostModel::systolic(),
         max_cycles: 1_000_000,
     }
@@ -29,16 +31,25 @@ fn fig1_systolic_beats_memory_to_memory() {
     let mut cycles = Vec::new();
     let mut accesses = Vec::new();
     for cost in [CostModel::systolic(), CostModel::memory_to_memory()] {
-        let config2 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
+        let config2 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
         let plan = Analyzer::for_topology(&topology, &config2)
             .analyze(&program)
             .unwrap()
             .into_plan();
         let config = SimConfig { cost, ..sim(2, 1) };
-        let out =
-            run_simulation(&program, &topology, Box::new(CompatiblePolicy::new(plan)), config)
-                .unwrap();
-        let RunOutcome::Completed(stats) = out else { panic!("FIR completes") };
+        let out = run_simulation(
+            &program,
+            &topology,
+            Box::new(CompatiblePolicy::new(plan)),
+            config,
+        )
+        .unwrap();
+        let RunOutcome::Completed(stats) = out else {
+            panic!("FIR completes")
+        };
         cycles.push(stats.cycles);
         accesses.push(stats.accesses_per_word());
     }
@@ -61,7 +72,11 @@ fn fig2_and_fig4_crossing_off_trace_matches_figure() {
         .filter(|(_, s)| s.pairs.len() == 2)
         .map(|(i, _)| i + 1)
         .collect();
-    assert_eq!(doubles, vec![3, 5, 9], "Fig. 4: steps 3, 5, 9 cross off two pairs");
+    assert_eq!(
+        doubles,
+        vec![3, 5, 9],
+        "Fig. 4: steps 3, 5, 9 cross off two pairs"
+    );
     assert_eq!(trace.total_pairs(), 15);
 
     // Step 1 is the first W(XA)/R(XA) pair, as the paper narrates.
@@ -74,7 +89,10 @@ fn fig2_and_fig4_crossing_off_trace_matches_figure() {
 fn fig3_static_assignment_gives_each_message_a_queue_sequence() {
     let program = wl::fig3_messages();
     let topology = Topology::linear(4);
-    let config = AnalysisConfig { queues_per_interval: 4, ..Default::default() };
+    let config = AnalysisConfig {
+        queues_per_interval: 4,
+        ..Default::default()
+    };
     let plan = Analyzer::for_topology(&topology, &config)
         .analyze(&program)
         .unwrap()
@@ -132,9 +150,18 @@ fn fig7_full_story() {
             .analyze(&program)
             .unwrap();
         let labels = analysis.plan().labeling();
-        assert_eq!(labels.label(program.message_id("A").unwrap()), Label::integer(1));
-        assert_eq!(labels.label(program.message_id("B").unwrap()), Label::integer(3));
-        assert_eq!(labels.label(program.message_id("C").unwrap()), Label::integer(2));
+        assert_eq!(
+            labels.label(program.message_id("A").unwrap()),
+            Label::integer(1)
+        );
+        assert_eq!(
+            labels.label(program.message_id("B").unwrap()),
+            Label::integer(3)
+        );
+        assert_eq!(
+            labels.label(program.message_id("C").unwrap()),
+            Label::integer(2)
+        );
 
         // Naive runtimes deadlock; compatible completes.
         for naive in [
@@ -165,14 +192,26 @@ fn fig8_fig9_need_two_queues() {
         let err = Analyzer::for_topology(&topology, &AnalysisConfig::default())
             .analyze(&program)
             .unwrap_err();
-        assert!(matches!(err, CoreError::Infeasible { required: 2, available: 1, .. }));
-        let out = run_simulation(&program, &topology, Box::new(FifoPolicy::new()), sim(1, 1))
-            .unwrap();
+        assert!(matches!(
+            err,
+            CoreError::Infeasible {
+                required: 2,
+                available: 1,
+                ..
+            }
+        ));
+        let out =
+            run_simulation(&program, &topology, Box::new(FifoPolicy::new()), sim(1, 1)).unwrap();
         assert!(out.is_deadlocked());
 
         // Two queues: feasible and completes.
-        let config2 = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-        let analysis = Analyzer::for_topology(&topology, &config2).analyze(&program).unwrap();
+        let config2 = AnalysisConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        };
+        let analysis = Analyzer::for_topology(&topology, &config2)
+            .analyze(&program)
+            .unwrap();
         let out = run_simulation(
             &program,
             &topology,

@@ -16,11 +16,8 @@ fn c(i: u32) -> CellId {
 /// where every leaf sends to the opposite leaf *through* the centre.
 #[test]
 fn star_graph_relay_completes() {
-    let topology = Topology::graph(
-        5,
-        [(c(0), c(1)), (c(0), c(2)), (c(0), c(3)), (c(0), c(4))],
-    )
-    .unwrap();
+    let topology =
+        Topology::graph(5, [(c(0), c(1)), (c(0), c(2)), (c(0), c(3)), (c(0), c(4))]).unwrap();
 
     let mut s = ScheduleBuilder::new(5);
     let m12 = s.message("A", 1, 2).unwrap(); // routes 1 -> 0 -> 2
@@ -29,8 +26,13 @@ fn star_graph_relay_completes() {
     s.transfer_n(m34, 0, 1, 3);
     let program = s.build().unwrap();
 
-    let config = AnalysisConfig { queues_per_interval: 2, ..Default::default() };
-    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
+    let config = AnalysisConfig {
+        queues_per_interval: 2,
+        ..Default::default()
+    };
+    let analysis = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .unwrap();
     // Both messages relay through the centre but on different intervals.
     let routes = analysis.plan().routes();
     assert_eq!(routes.route(m12).cells(), &[c(1), c(0), c(2)]);
@@ -40,11 +42,18 @@ fn star_graph_relay_completes() {
         &program,
         &topology,
         Box::new(CompatiblePolicy::new(analysis.into_plan())),
-        SimConfig { queues_per_interval: 2, ..Default::default() },
+        SimConfig {
+            queues_per_interval: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(out.is_completed(), "{out:?}");
-    assert_eq!(out.stats().words_forwarded, 6, "each word crosses one relay hop");
+    assert_eq!(
+        out.stats().words_forwarded,
+        6,
+        "each word crosses one relay hop"
+    );
 }
 
 /// Ring workload on the actual ring topology, including the wraparound hop.
@@ -75,8 +84,13 @@ fn mesh_corner_turn_routes_and_completes() {
     s.transfer_n(m, 0, 1, 4);
     let program = s.build().unwrap();
 
-    let config = AnalysisConfig { queues_per_interval: 1, ..Default::default() };
-    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
+    let config = AnalysisConfig {
+        queues_per_interval: 1,
+        ..Default::default()
+    };
+    let analysis = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .unwrap();
     assert_eq!(
         analysis.plan().route(m).cells(),
         &[c(0), c(1), c(2), c(5), c(8)],
@@ -105,7 +119,10 @@ fn high_water_respects_capacity() {
         Box::new(systolic::sim::GreedyPolicy::new()),
         SimConfig {
             queues_per_interval: 2,
-            queue: systolic::sim::QueueConfig { capacity: 2, extension: false },
+            queue: systolic::sim::QueueConfig {
+                capacity: 2,
+                extension: false,
+            },
             ..Default::default()
         },
     )
@@ -129,8 +146,13 @@ fn torus_wraparound_routes_and_completes() {
     s.transfer_n(m, 0, 1, 4);
     let program = s.build().unwrap();
 
-    let config = AnalysisConfig { queues_per_interval: 1, ..Default::default() };
-    let analysis = Analyzer::for_topology(&topology, &config).analyze(&program).unwrap();
+    let config = AnalysisConfig {
+        queues_per_interval: 1,
+        ..Default::default()
+    };
+    let analysis = Analyzer::for_topology(&topology, &config)
+        .analyze(&program)
+        .unwrap();
     assert_eq!(
         analysis.plan().route(m).cells(),
         &[c(0), c(3), c(15)],
@@ -150,5 +172,7 @@ fn torus_wraparound_routes_and_completes() {
         SimConfig::default(),
     )
     .unwrap();
-    assert!(reports.iter().all(|r| r.completed && r.cycles == report.cycles));
+    assert!(reports
+        .iter()
+        .all(|r| r.completed && r.cycles == report.cycles));
 }

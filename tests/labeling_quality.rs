@@ -16,15 +16,51 @@ fn workloads() -> Vec<(String, Program, Topology)> {
         ("fig7(4)".into(), wl::fig7(4), wl::fig7_topology()),
         ("fig8".into(), wl::fig8(), wl::fig8_topology()),
         ("fig9".into(), wl::fig9(), wl::fig9_topology()),
-        ("fir(4,10)".into(), wl::fir(4, 10).unwrap(), wl::fir_topology(4)),
-        ("matvec(4)".into(), wl::matvec(4).unwrap(), wl::matvec_topology(4)),
-        ("sort(5,5)".into(), wl::odd_even_sort(5, 5).unwrap(), wl::sort_topology(5)),
-        ("align(3,6)".into(), wl::seq_align(3, 6).unwrap(), wl::seq_align_topology(3)),
-        ("horner(3,5)".into(), wl::horner(3, 5).unwrap(), wl::horner_topology(3)),
-        ("backsub(4)".into(), wl::back_substitution(4).unwrap(), wl::back_substitution_topology(4)),
-        ("matmul(3,3,4)".into(), wl::mesh_matmul(3, 3, 4).unwrap(), wl::matmul_topology(3, 3)),
-        ("wave(3,3,2)".into(), wl::wavefront(3, 3, 2).unwrap(), wl::wavefront_topology(3, 3)),
-        ("ring(5,2)".into(), wl::token_ring(5, 2).unwrap(), wl::ring_topology(5)),
+        (
+            "fir(4,10)".into(),
+            wl::fir(4, 10).unwrap(),
+            wl::fir_topology(4),
+        ),
+        (
+            "matvec(4)".into(),
+            wl::matvec(4).unwrap(),
+            wl::matvec_topology(4),
+        ),
+        (
+            "sort(5,5)".into(),
+            wl::odd_even_sort(5, 5).unwrap(),
+            wl::sort_topology(5),
+        ),
+        (
+            "align(3,6)".into(),
+            wl::seq_align(3, 6).unwrap(),
+            wl::seq_align_topology(3),
+        ),
+        (
+            "horner(3,5)".into(),
+            wl::horner(3, 5).unwrap(),
+            wl::horner_topology(3),
+        ),
+        (
+            "backsub(4)".into(),
+            wl::back_substitution(4).unwrap(),
+            wl::back_substitution_topology(4),
+        ),
+        (
+            "matmul(3,3,4)".into(),
+            wl::mesh_matmul(3, 3, 4).unwrap(),
+            wl::matmul_topology(3, 3),
+        ),
+        (
+            "wave(3,3,2)".into(),
+            wl::wavefront(3, 3, 2).unwrap(),
+            wl::wavefront_topology(3, 3),
+        ),
+        (
+            "ring(5,2)".into(),
+            wl::token_ring(5, 2).unwrap(),
+            wl::ring_topology(5),
+        ),
     ]
 }
 
@@ -49,7 +85,10 @@ fn both_schemes_bounded_by_trivial_on_every_hop() {
         if let Ok(report) = label_messages(&program, &limits) {
             let s6 = QueueRequirements::compute(&competing, report.labeling());
             for (hop, need) in s6.iter_hops() {
-                assert!(need <= trivial.on_hop(hop), "{name}: section6 exceeds trivial on {hop}");
+                assert!(
+                    need <= trivial.on_hop(hop),
+                    "{name}: section6 exceeds trivial on {hop}"
+                );
             }
         }
     }

@@ -20,7 +20,9 @@ const ALLOWED: &[&str] = &[
 ];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
@@ -81,7 +83,9 @@ fn workspace_does_not_call_legacy_analyze() {
         if ALLOWED.contains(&rel.as_str()) || rel.starts_with("vendor/") {
             continue;
         }
-        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
         for (i, line) in text.lines().enumerate() {
             if line.trim_start().starts_with("//") {
                 continue; // comments and doc comments may illustrate the old API

@@ -25,12 +25,13 @@ fn shapes() -> impl Strategy<Value = RandomConfig> {
 
 fn request_for(config: &RandomConfig, seed: u64, scrambled: bool) -> AnalysisRequest {
     let program = random_program(config, seed).expect("random programs build");
-    let program = if scrambled { scramble(&program, seed ^ 0x5eed) } else { program };
-    let mut request = AnalysisRequest::new(
-        format!("prop/{seed}"),
-        program,
-        random_topology(config),
-    );
+    let program = if scrambled {
+        scramble(&program, seed ^ 0x5eed)
+    } else {
+        program
+    };
+    let mut request =
+        AnalysisRequest::new(format!("prop/{seed}"), program, random_topology(config));
     // Generous queue count: the requirement never exceeds the message count.
     request.config.queues_per_interval = config.messages;
     request

@@ -6,8 +6,7 @@ use std::collections::HashMap;
 
 use systolic::core::{request_fingerprint, Analyzer};
 use systolic::service::{
-    AnalysisRequest, AnalysisResponse, AnalysisService, CacheConfig, CacheProvenance,
-    ServiceConfig,
+    AnalysisRequest, AnalysisResponse, AnalysisService, CacheConfig, CacheProvenance, ServiceConfig,
 };
 use systolic::workloads::{traffic, TrafficConfig};
 
@@ -25,7 +24,10 @@ fn five_hundred_mixed_requests_match_direct_analysis() {
     let requests = mixed_requests();
     let config = ServiceConfig {
         workers: 8,
-        cache: CacheConfig { shards: 8, capacity_per_shard: 1024 },
+        cache: CacheConfig {
+            shards: 8,
+            capacity_per_shard: 1024,
+        },
         queue_depth: 32,
         ..Default::default()
     };
@@ -38,8 +40,7 @@ fn five_hundred_mixed_requests_match_direct_analysis() {
     let mut direct_cache: HashMap<u128, Option<usize>> = HashMap::new();
     for (request, response) in requests.iter().zip(&responses) {
         assert_eq!(request.name, response.name);
-        let fingerprint =
-            request_fingerprint(&request.program, &request.topology, &request.config);
+        let fingerprint = request_fingerprint(&request.program, &request.topology, &request.config);
         assert_eq!(fingerprint, response.fingerprint);
 
         let direct = direct_cache.entry(fingerprint).or_insert_with(|| {
@@ -94,7 +95,10 @@ fn repeated_batches_become_pure_hits() {
     let requests = mixed_requests();
     let service = AnalysisService::new(ServiceConfig {
         workers: 4,
-        cache: CacheConfig { shards: 4, capacity_per_shard: 1024 },
+        cache: CacheConfig {
+            shards: 4,
+            capacity_per_shard: 1024,
+        },
         ..Default::default()
     });
     let first = service.run_batch(requests.clone());
@@ -113,12 +117,18 @@ fn repeated_batches_become_pure_hits() {
 fn tiny_cache_evicts_under_mixed_traffic() {
     let service = AnalysisService::new(ServiceConfig {
         workers: 4,
-        cache: CacheConfig { shards: 2, capacity_per_shard: 4 },
+        cache: CacheConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+        },
         ..Default::default()
     });
     let responses: Vec<AnalysisResponse> = service.run_batch(mixed_requests());
     assert_eq!(responses.len(), REQUESTS);
     let stats = service.cache_stats();
-    assert!(stats.evictions > 0, "8 total slots must evict under mixed traffic");
+    assert!(
+        stats.evictions > 0,
+        "8 total slots must evict under mixed traffic"
+    );
     assert!(service.cache_entries() <= 8);
 }

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use systolic::core::{AnalysisConfig, Analyzer};
 use systolic::sim::{
-    run_simulation, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig, RunOutcome,
-    SimConfig,
+    run_simulation, CompatiblePolicy, CostModel, GreedyPolicy, QueueConfig, RunOutcome, SimConfig,
 };
 use systolic::workloads::{random_program, random_topology, RandomConfig};
 
@@ -22,7 +21,10 @@ fn config_strategy() -> impl Strategy<Value = RandomConfig> {
 fn sim(queues: usize) -> SimConfig {
     SimConfig {
         queues_per_interval: queues,
-        queue: QueueConfig { capacity: 1, extension: false },
+        queue: QueueConfig {
+            capacity: 1,
+            extension: false,
+        },
         cost: CostModel::systolic(),
         max_cycles: 500_000,
     }

@@ -2,15 +2,13 @@
 //! Section 6 labeling scheme), over randomly generated programs.
 
 use proptest::prelude::*;
+use systolic::core::CompetingSets;
 use systolic::core::{
     check_consistency, classify, label_messages, label_messages_robust, AnalysisConfig, Analyzer,
     CoreError, Labeling, LookaheadLimits, QueueRequirements, RelatedMessages,
 };
-use systolic::core::CompetingSets;
 use systolic::model::MessageRoutes;
-use systolic::sim::{
-    run_simulation, CompatiblePolicy, CostModel, QueueConfig, SimConfig,
-};
+use systolic::sim::{run_simulation, CompatiblePolicy, CostModel, QueueConfig, SimConfig};
 use systolic::workloads::{random_program, random_topology, RandomConfig};
 
 fn config_strategy() -> impl Strategy<Value = RandomConfig> {
@@ -175,17 +173,27 @@ fn cross_direction_starvation_regression() {
         queues_per_interval: program.num_messages().max(1) * 2,
         ..Default::default()
     };
-    let probe = Analyzer::for_topology(&topology, &generous).analyze(&program).unwrap();
+    let probe = Analyzer::for_topology(&topology, &generous)
+        .analyze(&program)
+        .unwrap();
     let needed = probe.plan().requirements().max_per_interval().max(1);
-    let tight = AnalysisConfig { queues_per_interval: needed, ..Default::default() };
-    let analysis = Analyzer::for_topology(&topology, &tight).analyze(&program).unwrap();
+    let tight = AnalysisConfig {
+        queues_per_interval: needed,
+        ..Default::default()
+    };
+    let analysis = Analyzer::for_topology(&topology, &tight)
+        .analyze(&program)
+        .unwrap();
     let out = run_simulation(
         &program,
         &topology,
         Box::new(CompatiblePolicy::new(analysis.into_plan())),
         SimConfig {
             queues_per_interval: needed,
-            queue: QueueConfig { capacity: 1, extension: false },
+            queue: QueueConfig {
+                capacity: 1,
+                extension: false,
+            },
             cost: CostModel::systolic(),
             max_cycles: 1_000_000,
         },

@@ -4,14 +4,22 @@
 //! `words_delivered` per plan — over generated mixed-traffic workloads.
 //! Arena reuse (reset-in-place pools, plan-route reuse, queue-pool
 //! growth across a batch) must never leak state between replays.
+//!
+//! Property two: fanning the same batch over an N-thread `VerifyPool` is
+//! **byte-identical** to the sequential batch — every `VerifyReport`
+//! (including `ReplayDeadlock` details) equal, in input order — no
+//! matter the thread count or which worker stole which plan.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use systolic::core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology};
+use systolic::core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology, Lookahead};
 use systolic::model::{Program, Topology};
-use systolic::sim::{verify_batch_compiled, verify_plan, SimConfig};
-use systolic::workloads::{fig7, fig7_topology, traffic, TrafficConfig, TrafficItem};
+use systolic::sim::{
+    verify_batch_compiled, verify_batch_compiled_parallel, verify_plan, QueueConfig, SimConfig,
+    VerifyPool,
+};
+use systolic::workloads::{fig5_p2, fig7, fig7_topology, traffic, TrafficConfig, TrafficItem};
 
 /// One same-topology batch: the shape `verify_batch_compiled` serves.
 struct Batch {
@@ -30,7 +38,9 @@ fn certified_batches(stream: &[TrafficItem]) -> Vec<Batch> {
             ..Default::default()
         };
         let fingerprint = CompiledTopology::fingerprint_of(&item.topology, &config);
-        let batch = match batches.iter().position(|b| b.compiled.fingerprint() == fingerprint)
+        let batch = match batches
+            .iter()
+            .position(|b| b.compiled.fingerprint() == fingerprint)
         {
             Some(pos) => &mut batches[pos],
             None => {
@@ -45,7 +55,9 @@ fn certified_batches(stream: &[TrafficItem]) -> Vec<Batch> {
         };
         let analyzer = Analyzer::new(Arc::clone(&batch.compiled));
         if let Ok(analysis) = analyzer.analyze(&item.program) {
-            batch.items.push((item.program.clone(), Arc::new(analysis.into_plan())));
+            batch
+                .items
+                .push((item.program.clone(), Arc::new(analysis.into_plan())));
         }
     }
     batches
@@ -53,6 +65,55 @@ fn certified_batches(stream: &[TrafficItem]) -> Vec<Batch> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_pool_is_byte_identical_to_sequential(
+        seed in 0u64..1_000_000,
+        count in 4usize..12,
+        hot_percent in 0u32..101,
+        threads in 2usize..6,
+    ) {
+        let config = TrafficConfig { hot_percent, ..Default::default() };
+        let mut stream = traffic(&config, seed, count);
+        stream.push(TrafficItem {
+            name: "fig7/3".into(),
+            program: fig7(3),
+            topology: fig7_topology(),
+            queues_per_interval: 1,
+        });
+
+        let sim = SimConfig::default();
+        for batch in certified_batches(&stream) {
+            if batch.items.is_empty() {
+                continue;
+            }
+            let sequential = verify_batch_compiled(
+                batch.items.iter().map(|(program, plan)| (program, plan)),
+                &batch.compiled,
+                sim,
+            )
+            .expect("batch setup succeeds");
+            // One-call convenience: fresh pool per batch.
+            let parallel = verify_batch_compiled_parallel(
+                batch.items.iter().map(|(program, plan)| (program, plan)),
+                &batch.compiled,
+                sim,
+                threads,
+            )
+            .expect("pool setup succeeds");
+            prop_assert_eq!(&parallel, &sequential, "threads = {}", threads);
+            // Reused pool: a second fan-out through the same arenas must
+            // not drift (reset-in-place across batches).
+            let mut pool =
+                VerifyPool::from_compiled(Arc::clone(&batch.compiled), sim, threads);
+            for _ in 0..2 {
+                let again = pool
+                    .verify_batch(batch.items.iter().map(|(program, plan)| (program, plan)))
+                    .expect("pool setup succeeds");
+                prop_assert_eq!(&again, &sequential);
+            }
+        }
+    }
 
     #[test]
     fn batch_verification_equals_sequential(
@@ -97,5 +158,71 @@ proptest! {
             }
         }
         prop_assert!(verified >= 1, "stream produced no certified plans");
+    }
+}
+
+/// Deadlock details cross the pool unchanged: a batch whose replays
+/// (deliberately) stall on capacity-0 latch queues must produce the same
+/// `ReplayDeadlock` — cycle, first blocked cell, reason text, blocked
+/// count — from the parallel pool as from the sequential arena, merged
+/// in input order.
+#[test]
+fn pool_merges_deadlock_details_identically() {
+    let topology = Topology::linear(2);
+    // P2 certifies only under lookahead (both cells write first) and
+    // deadlocks when replayed on latch queues (Section 3.2); plain
+    // transfers complete even on latches. Mixing them yields a batch of
+    // interleaved completed/deadlocked reports.
+    let config = AnalysisConfig {
+        queues_per_interval: 2,
+        lookahead: Lookahead::Unbounded,
+    };
+    let compiled = CompiledTopology::compile(&topology, &config).into_shared();
+    let analyzer = Analyzer::new(Arc::clone(&compiled));
+    let mut items: Vec<(Program, Arc<CommPlan>)> = Vec::new();
+    for reps in 1..=4 {
+        items.push({
+            let program = fig5_p2();
+            let plan = Arc::new(
+                analyzer
+                    .analyze(&program)
+                    .expect("P2 certifies")
+                    .into_plan(),
+            );
+            (program, plan)
+        });
+        let transfer = systolic::model::parse_program(&format!(
+            "cells 2\nmessage A: c0 -> c1\nprogram c0 {{ W(A)*{reps} }}\n\
+             program c1 {{ R(A)*{reps} }}\n",
+        ))
+        .expect("transfer parses");
+        let plan = Arc::new(analyzer.analyze(&transfer).expect("certifies").into_plan());
+        items.push((transfer, plan));
+    }
+    let sim = SimConfig {
+        queues_per_interval: 2,
+        queue: QueueConfig {
+            capacity: 0,
+            extension: false,
+        },
+        ..Default::default()
+    };
+
+    let sequential = verify_batch_compiled(items.iter().map(|(p, plan)| (p, plan)), &compiled, sim)
+        .expect("setup succeeds");
+    let deadlocked = sequential.iter().filter(|r| r.deadlock.is_some()).count();
+    let completed = sequential.iter().filter(|r| r.completed).count();
+    assert_eq!(deadlocked, 4, "every P2 latch replay deadlocks");
+    assert_eq!(completed, 4, "every plain transfer completes");
+
+    for threads in [2, 3, 4] {
+        let mut pool = VerifyPool::from_compiled(Arc::clone(&compiled), sim, threads);
+        let parallel = pool
+            .verify_batch(items.iter().map(|(p, plan)| (p, plan)))
+            .expect("pool setup succeeds");
+        assert_eq!(parallel, sequential, "threads = {threads}");
+        for (through_pool, through_arena) in parallel.iter().zip(&sequential) {
+            assert_eq!(through_pool.deadlock, through_arena.deadlock);
+        }
     }
 }

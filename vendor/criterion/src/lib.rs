@@ -30,12 +30,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id combining a function name and a parameter value.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id carrying only a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -63,7 +67,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample.max(1) {
                 std_black_box(routine());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample.max(1));
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample.max(1));
         }
     }
 
@@ -140,7 +145,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group: {name}");
-        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
     }
 
     /// Runs a stand-alone benchmark outside any group.

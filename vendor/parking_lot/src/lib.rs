@@ -24,12 +24,16 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the underlying data.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -60,13 +64,17 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        self.guard.as_deref().expect("guard present outside of a wait")
+        self.guard
+            .as_deref()
+            .expect("guard present outside of a wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_deref_mut().expect("guard present outside of a wait")
+        self.guard
+            .as_deref_mut()
+            .expect("guard present outside of a wait")
     }
 }
 
@@ -99,7 +107,9 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Wakes one blocked waiter.
@@ -115,7 +125,10 @@ impl Condvar {
     /// Blocks until notified, releasing the guard's mutex while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.guard.take().expect("guard present");
-        let reacquired = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.guard = Some(reacquired);
     }
 
@@ -131,7 +144,9 @@ impl Condvar {
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(PoisonError::into_inner);
         guard.guard = Some(reacquired);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! the subset of proptest this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
 //! [`Strategy`] with `prop_map`, integer-range and tuple strategies,
-//! [`any::<bool>()`](any), [`option::of`](option::of),
+//! [`any::<bool>()`](any), [`option::of`],
 //! [`prop_assert!`]/[`prop_assert_eq!`], and [`TestCaseError`].
 //!
 //! Cases are sampled from a generator seeded deterministically per test
@@ -424,7 +424,10 @@ mod tests {
         let mut b = crate::rng_for("t");
         let s = 0usize..1000;
         for _ in 0..20 {
-            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
         }
     }
 }
