@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_verify.json files and warn on ratio regressions.
+
+Usage: bench_trend.py PREVIOUS CURRENT
+
+Prints each measured speedup ratio side by side and emits a GitHub
+``::warning::`` annotation when one dropped more than 10% against the
+previous run's artifact. Ratios measured on different ``hw_threads`` are
+reported but never warned about — they are not comparable. The script
+never exits nonzero: trends inform, CI gating stays with the asserted
+floors inside the bench itself.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.9
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def sections(doc):
+    """name -> (ratio, hw_threads or None) for every ratio the file has."""
+    out = {}
+    if isinstance(doc.get("ratio"), (int, float)):
+        out["shared_arena"] = (doc["ratio"], None)
+    for name in ("parallel", "mixed"):
+        section = doc.get(name)
+        if isinstance(section, dict) and isinstance(section.get("ratio"), (int, float)):
+            out[name] = (section["ratio"], section.get("hw_threads"))
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
+        return
+    try:
+        previous = sections(load(sys.argv[1]))
+        current = sections(load(sys.argv[2]))
+    except (OSError, ValueError) as error:
+        print(f"bench trend: could not read inputs: {error}", file=sys.stderr)
+        return
+
+    for name in sorted(set(previous) | set(current)):
+        if name not in previous or name not in current:
+            print(f"{name}: present in only one run, skipping")
+            continue
+        prev_ratio, prev_hw = previous[name]
+        cur_ratio, cur_hw = current[name]
+        note = ""
+        if prev_hw is not None and cur_hw is not None and prev_hw != cur_hw:
+            note = f" (hw_threads {prev_hw} -> {cur_hw}, not comparable)"
+        elif cur_ratio < prev_ratio * THRESHOLD:
+            note = " [regressed]"
+            print(
+                f"::warning title=bench ratio regression::{name} speedup "
+                f"fell {prev_ratio:.2f}x -> {cur_ratio:.2f}x (>10% drop)"
+            )
+        print(f"{name}: previous {prev_ratio:.2f}x, current {cur_ratio:.2f}x{note}")
+
+
+if __name__ == "__main__":
+    main()

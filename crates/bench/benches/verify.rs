@@ -11,8 +11,14 @@
 //!    runner can only assert that the pool's coordination overhead is
 //!    bounded), and the actual core count is recorded alongside the
 //!    ratio.
+//! 3. **Mixed-topology scheduler** (PR 6): one persistent
+//!    [`VerifyScheduler`] fanning an interleaved mesh+torus 256-plan
+//!    batch out in a single heterogeneous dispatch must at least match
+//!    splitting the batch by topology into per-topology [`VerifyPool`]s
+//!    rebuilt per call (the pre-scheduler service shape, which pays cold
+//!    arenas and one fan-out per topology every time).
 //!
-//! Both ratios are measured explicitly, asserted, and recorded in
+//! All ratios are measured explicitly, asserted, and recorded in
 //! `BENCH_verify.json` at the workspace root.
 //!
 //! `SYSTOLIC_BENCH_QUICK=1` shrinks the round count and relaxes the
@@ -27,13 +33,20 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use systolic_core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology};
 use systolic_model::{CellId, Program, ProgramBuilder, Topology};
-use systolic_sim::{verify_batch_compiled, verify_plan, SimConfig, VerifyPool, VerifyReport};
+use systolic_sim::{
+    verify_batch_compiled, verify_plan, ArenaBudget, SimConfig, VerifyPool, VerifyReport,
+    VerifyScheduler,
+};
 
 const BATCH: usize = 64;
 const PARALLEL_BATCH: usize = 256;
 const PARALLEL_THREADS: usize = 4;
 const CELLS: usize = 256;
 const MESSAGES: usize = 8;
+const MIXED_BATCH: usize = 256;
+const MIXED_THREADS: usize = 4;
+/// Mesh/torus side for the mixed-topology batch (8×8 = 64 cells each).
+const MIXED_SIDE: usize = 8;
 
 /// A 256-cell chorded ring — a large fabric, the service shape where one
 /// topology serves many small requests. Per-run setup scales with the
@@ -58,7 +71,11 @@ fn topology() -> Topology {
 /// ascending global order, so crossing-off consumes them sequentially).
 /// Distinct per `seed`.
 fn program(seed: u64) -> Program {
-    let mut builder = ProgramBuilder::new(CELLS);
+    program_on(CELLS, seed)
+}
+
+fn program_on(cells: usize, seed: u64) -> Program {
+    let mut builder = ProgramBuilder::new(cells);
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
     let mut next = |bound: usize| {
         state ^= state << 13;
@@ -67,11 +84,11 @@ fn program(seed: u64) -> Program {
         (state % bound as u64) as usize
     };
     for k in 0..MESSAGES {
-        let sender = next(CELLS);
+        let sender = next(cells);
         // A nearby receiver (a few hops): replays are short, so the
         // per-replay *setup* — not the cycle loop — is what the bench
         // arms disagree on.
-        let receiver = (sender + 4 + next(12)) % CELLS;
+        let receiver = (sender + 4 + next(12)) % cells;
         let name = format!("M{k}");
         builder
             .message(&name, sender as u32, receiver as u32)
@@ -146,6 +163,96 @@ fn run_pool(pool: &mut VerifyPool, batch: &Batch) -> Vec<VerifyReport> {
         .expect("setup succeeds")
 }
 
+/// An interleaved mesh/torus batch — the service shape the scheduler was
+/// built for: one coalescing window holding chases against several
+/// topologies at once.
+type MixedItem = (Program, Arc<CompiledTopology>, Arc<CommPlan>);
+
+struct MixedBatch {
+    items: Vec<MixedItem>,
+    sim: SimConfig,
+}
+
+fn mixed_batch(size: usize) -> MixedBatch {
+    let topologies = [
+        Topology::mesh(MIXED_SIDE, MIXED_SIDE),
+        Topology::torus(MIXED_SIDE, MIXED_SIDE),
+    ];
+    let per_topology = size / topologies.len();
+    let config = AnalysisConfig {
+        queues_per_interval: MESSAGES,
+        ..Default::default()
+    };
+    let mut streams: Vec<Vec<MixedItem>> = Vec::new();
+    for topology in &topologies {
+        let compiled = CompiledTopology::compile(topology, &config).into_shared();
+        let analyzer = Analyzer::new(Arc::clone(&compiled));
+        let cells = topology.num_cells();
+        let stream: Vec<_> = (0..per_topology as u64 * 2)
+            .map(|seed| program_on(cells, seed))
+            .filter_map(|p| {
+                let plan = analyzer.analyze(&p).ok()?.into_plan();
+                Some((p, Arc::clone(&compiled), Arc::new(plan)))
+            })
+            .take(per_topology)
+            .collect();
+        assert_eq!(stream.len(), per_topology, "enough mixed programs certify");
+        streams.push(stream);
+    }
+    // Round-robin interleave: consecutive items alternate topologies, the
+    // worst case for any per-topology batching that relies on runs.
+    let mut iters: Vec<_> = streams.into_iter().map(Vec::into_iter).collect();
+    let mut items = Vec::with_capacity(per_topology * iters.len());
+    for _ in 0..per_topology {
+        for iter in &mut iters {
+            items.push(iter.next().expect("streams are equal length"));
+        }
+    }
+    MixedBatch {
+        items,
+        sim: SimConfig::default(),
+    }
+}
+
+/// The pre-scheduler service shape: split the window by topology, build a
+/// fresh per-topology [`VerifyPool`] each call (cold arenas), fan out once
+/// per topology, and scatter the reports back to input order.
+fn run_per_topology_pools(batch: &MixedBatch) -> Vec<VerifyReport> {
+    let mut groups: Vec<(u128, Vec<usize>)> = Vec::new();
+    for (i, (_, compiled, _)) in batch.items.iter().enumerate() {
+        let key = compiled.fingerprint();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, indices)) => indices.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let mut reports: Vec<Option<VerifyReport>> = (0..batch.items.len()).map(|_| None).collect();
+    for (_, indices) in &groups {
+        let compiled = Arc::clone(&batch.items[indices[0]].1);
+        let mut pool = VerifyPool::from_compiled(compiled, batch.sim, MIXED_THREADS);
+        let group_reports = pool
+            .verify_batch(indices.iter().map(|&i| {
+                let (program, _, plan) = &batch.items[i];
+                (program, plan)
+            }))
+            .expect("setup succeeds");
+        for (&i, report) in indices.iter().zip(group_reports) {
+            reports[i] = Some(report);
+        }
+    }
+    reports
+        .into_iter()
+        .map(|r| r.expect("every item verified"))
+        .collect()
+}
+
+fn run_scheduler(scheduler: &mut VerifyScheduler, batch: &MixedBatch) -> Vec<VerifyReport> {
+    // One heterogeneous fan-out, warm arenas, reports in input order.
+    scheduler
+        .verify_batch(batch.items.iter().map(|(p, c, plan)| (p, c, plan)))
+        .expect("setup succeeds")
+}
+
 fn bench_verify(c: &mut Criterion) {
     let batch = certified_batch(BATCH);
     let mut group = c.benchmark_group("verify_batch");
@@ -172,6 +279,26 @@ fn bench_parallel_verify(c: &mut Criterion) {
         format!("pool{PARALLEL_THREADS}_batch{PARALLEL_BATCH}"),
         |b| {
             b.iter(|| run_pool(&mut pool, std::hint::black_box(&batch)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_mixed_verify(c: &mut Criterion) {
+    let batch = mixed_batch(MIXED_BATCH);
+    let mut scheduler = VerifyScheduler::new(batch.sim, MIXED_THREADS, ArenaBudget::Auto);
+    let mut group = c.benchmark_group("mixed_topology_verify");
+    group.sample_size(10);
+    group.bench_function(
+        format!("per_topology_pools{MIXED_THREADS}_batch{MIXED_BATCH}"),
+        |b| {
+            b.iter(|| run_per_topology_pools(std::hint::black_box(&batch)));
+        },
+    );
+    group.bench_function(
+        format!("scheduler{MIXED_THREADS}_batch{MIXED_BATCH}"),
+        |b| {
+            b.iter(|| run_scheduler(&mut scheduler, std::hint::black_box(&batch)));
         },
     );
     group.finish();
@@ -255,6 +382,34 @@ fn verify_acceptance_ratios(_c: &mut Criterion) {
          (target >= {parallel_target}x on {hw_threads} hw threads)"
     );
 
+    // ---- Mixed-topology scheduler vs per-topology pools (PR 6). ----
+    // The baseline splits each interleaved window by topology and rebuilds
+    // a cold per-topology pool every call; the persistent scheduler keeps
+    // its arenas warm and dispatches the whole window in one fan-out. On a
+    // 1-core or quick run the floor only bounds coordination overhead; a
+    // full multi-core run must show the scheduler at least breaking even.
+    let mixed = mixed_batch(MIXED_BATCH);
+    let mixed_target = if quick || hw_threads == 1 { 0.8 } else { 1.0 };
+    let mut scheduler = VerifyScheduler::new(mixed.sim, MIXED_THREADS, ArenaBudget::Auto);
+
+    // Parity: the heterogeneous fan-out must be byte-identical to the
+    // split-by-topology reference, reports in input order.
+    let split = run_per_topology_pools(&mixed);
+    let scheduled = run_scheduler(&mut scheduler, &mixed);
+    assert_eq!(
+        scheduled, split,
+        "scheduler must match per-topology pools in input order"
+    );
+
+    let split_time = min_time(rounds, || run_per_topology_pools(&mixed));
+    let scheduler_time = min_time(rounds, || run_scheduler(&mut scheduler, &mixed));
+    let mixed_ratio = split_time.as_secs_f64() / scheduler_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "verify_scheduler{MIXED_THREADS}_vs_split_pools       split {split_time:>12?}   \
+         sched {scheduler_time:>12?}   ratio {mixed_ratio:>6.1}x \
+         (target >= {mixed_target}x on {hw_threads} hw threads)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"verify_batch\",\n  \"batch\": {BATCH},\n  \"rounds\": {rounds},\n  \
          \"per_run_min_secs\": {:.6},\n  \"shared_arena_min_secs\": {:.6},\n  \"ratio\": {:.2},\n  \
@@ -262,13 +417,20 @@ fn verify_acceptance_ratios(_c: &mut Criterion) {
          \"batch\": {PARALLEL_BATCH},\n    \"threads\": {PARALLEL_THREADS},\n    \
          \"hw_threads\": {hw_threads},\n    \"sequential_min_secs\": {:.6},\n    \
          \"pool_min_secs\": {:.6},\n    \"ratio\": {:.2},\n    \
-         \"target_ratio\": {parallel_target}\n  }}\n}}\n",
+         \"target_ratio\": {parallel_target}\n  }},\n  \"mixed\": {{\n    \
+         \"batch\": {MIXED_BATCH},\n    \"threads\": {MIXED_THREADS},\n    \
+         \"hw_threads\": {hw_threads},\n    \"per_topology_min_secs\": {:.6},\n    \
+         \"scheduler_min_secs\": {:.6},\n    \"ratio\": {:.2},\n    \
+         \"target_ratio\": {mixed_target}\n  }}\n}}\n",
         per_run_time.as_secs_f64(),
         shared_time.as_secs_f64(),
         shared_ratio,
         sequential_time.as_secs_f64(),
         pool_time.as_secs_f64(),
         parallel_ratio,
+        split_time.as_secs_f64(),
+        scheduler_time.as_secs_f64(),
+        mixed_ratio,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -286,12 +448,19 @@ fn verify_acceptance_ratios(_c: &mut Criterion) {
          the sequential arena over a {PARALLEL_BATCH}-plan batch on {hw_threads} hw \
          threads, measured {parallel_ratio:.2}x"
     );
+    assert!(
+        mixed_ratio >= mixed_target,
+        "one {MIXED_THREADS}-thread VerifyScheduler fan-out must measure at least \
+         {mixed_target}x the split-by-topology pools over a {MIXED_BATCH}-plan mixed \
+         batch on {hw_threads} hw threads, measured {mixed_ratio:.2}x"
+    );
 }
 
 criterion_group!(
     benches,
     bench_verify,
     bench_parallel_verify,
+    bench_mixed_verify,
     verify_acceptance_ratios
 );
 criterion_main!(benches);

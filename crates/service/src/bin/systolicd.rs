@@ -4,6 +4,7 @@
 //! systolicd gen   --count 1000 [--seed 42] [--hot-percent 50]
 //! systolicd serve [FILE] [--workers 4] [--shards 8] [--capacity 256]
 //!                 [--queue-depth 64] [--verify] [--verify-threads N]
+//!                 [--arena-cache-cap N] [--arena-mem-budget BYTES]
 //!                 [--summary]
 //! ```
 //!
@@ -12,11 +13,16 @@
 //! (or stdin), drives them through the service with bounded backpressure,
 //! and streams one JSON response per line to stdout in request order;
 //! `--verify` chases every certified miss with a simulator replay, and
-//! `--verify-threads N` offloads those chases to `N` dedicated verifier
-//! threads (each with its own warm arena LRU) instead of running them
-//! inline in the analysis workers; `--summary` prints a
-//! throughput/latency/cache table — including arena-cache counters and a
-//! per-topology verified/blocked breakdown — to stderr. Exit
+//! `--verify-threads N` coalesces those chases into batched fan-outs
+//! through a cross-topology verify scheduler with `N` workers instead of
+//! running them inline in the analysis workers. Warm-arena caches (inline
+//! per worker, or per scheduler worker) are sized by `--arena-cache-cap N`
+//! (arenas per cache; `0` sizes automatically from the number of distinct
+//! topologies observed) or `--arena-mem-budget BYTES` (approximate bytes
+//! per cache, which takes precedence); `--summary` prints a
+//! throughput/latency/cache table — including arena-cache counters,
+//! scheduler fan-out depths, and a per-topology verified/blocked
+//! breakdown — to stderr. Exit
 //! status is 0 when every line was a well-formed request (rejected
 //! analyses still count as served), 2 on usage errors, 1 when some lines
 //! were malformed.
@@ -39,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
          systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
-         [--queue-depth N] [--verify] [--verify-threads N] [--summary]"
+         [--queue-depth N] [--verify] [--verify-threads N] \
+         [--arena-cache-cap N] [--arena-mem-budget BYTES] [--summary]"
     );
     std::process::exit(2);
 }
@@ -108,6 +115,14 @@ fn serve_main(args: &[String]) {
             "--verify" => config.verify = true,
             "--verify-threads" => {
                 config.verify_threads = parse_flag_value(&mut iter, "--verify-threads");
+            }
+            "--arena-cache-cap" => {
+                // 0 means "size automatically from observed topologies".
+                config.arena_cache_capacity = parse_flag_value(&mut iter, "--arena-cache-cap");
+            }
+            "--arena-mem-budget" => {
+                config.arena_mem_budget =
+                    Some(parse_flag_value(&mut iter, "--arena-mem-budget").max(1));
             }
             "--summary" => summary = true,
             path if !path.starts_with('-') && input_path.is_none() => {

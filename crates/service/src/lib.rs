@@ -16,11 +16,14 @@
 //!   serves hits from cache, computes misses (optionally chasing each
 //!   certified plan with a `systolic_sim` verification run) and returns
 //!   structured [`AnalysisResponse`]s with cache provenance and timings;
-//! * [`ArenaLru`] — the per-worker LRU of verification arenas keyed by
-//!   compiled topology, so topology-interleaved chases reuse warm
-//!   arenas instead of rebuilding queue pools per request;
-//!   [`ServiceConfig::verify_threads`] moves the chases onto a dedicated
-//!   verifier pool with its own LRUs;
+//! * verification chasing — inline chases replay through each worker's
+//!   [`ArenaLru`] (warm arenas keyed by compiled topology, sized by an
+//!   [`ArenaBudget`]: [`ServiceConfig::arena_cache_capacity`] /
+//!   [`ServiceConfig::arena_mem_budget`]);
+//!   [`ServiceConfig::verify_threads`] instead coalesces the chases of a
+//!   batch window into one fan-out through a cross-topology
+//!   [`VerifyScheduler`](systolic_sim::VerifyScheduler), whose queue
+//!   depth and per-topology fan-outs the summary reports;
 //! * [`wire`] + [`Json`] — the JSONL request/response format of the
 //!   [`systolicd`](../systolicd/index.html) binary, which replays scripted
 //!   traffic files end to end.
@@ -61,4 +64,4 @@ pub use service::{
     Certified, Rejection, ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
     TopologyVerifyStats,
 };
-pub use varena::{ArenaLookup, ArenaLru};
+pub use varena::{ArenaBudget, ArenaLookup, ArenaLru};

@@ -4,11 +4,13 @@
 //! Requests are `(Program, Topology, AnalysisConfig)` triples. Each is
 //! fingerprinted ([`systolic_core::request_fingerprint`]); a cache hit
 //! returns the shared `Arc`ed outcome immediately, a miss runs the staged
-//! [`Analyzer`](systolic_core::Analyzer) pipeline (optionally chased by a
-//! simulation replay through the worker's reusable
-//! [`SimArena`](systolic_sim::SimArena), which consecutive same-topology
-//! misses share) and publishes the outcome for every later identical
-//! request.
+//! [`Analyzer`](systolic_core::Analyzer) pipeline and publishes the
+//! outcome for every later identical request. With `verify` on, every
+//! miss's certified plan is *chased* by a simulation replay: inline
+//! through the worker's warm [`ArenaLru`], or — with `verify_threads ≥ 1`
+//! — coalesced with the other chases queued in a batch window and fanned
+//! out (mixed topologies and all) through one cross-topology
+//! [`VerifyScheduler`].
 //! Topology compilations are shared too: a second cache keyed by the
 //! [`CompiledTopology`] fingerprint means the misses of a batch that all
 //! name one topology compile it once and reuse the route closure.
@@ -31,15 +33,17 @@ use systolic_core::{
 };
 use systolic_model::{ModelError, Program, Topology};
 use systolic_report::{percentile_sorted, Table};
-use systolic_sim::{SimConfig, VerifyReport};
+use systolic_sim::{
+    ArenaBudget, SchedulerStats, SimConfig, VerifyReport, VerifyScheduler, VerifyTaskError,
+};
 use systolic_workloads::TrafficItem;
 
 use crate::{ArenaLru, BoundedQueue, CacheConfig, CacheStats, ShardedCache};
 
-/// Arenas each worker (or dedicated verifier thread) keeps warm in its
-/// [`ArenaLru`] — enough that a handful of interleaved topologies stop
-/// thrashing, small enough that a fleet of workers stays cheap.
-const ARENA_CACHE_CAPACITY: usize = 4;
+/// Default arena-LRU capacity ([`ServiceConfig::arena_cache_capacity`]) —
+/// enough that a handful of interleaved topologies stop thrashing, small
+/// enough that a fleet of workers stays cheap.
+const DEFAULT_ARENA_CACHE_CAPACITY: usize = 4;
 
 /// Configuration of an [`AnalysisService`].
 #[derive(Clone, Copy, Debug)]
@@ -53,19 +57,46 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Chase every *miss* with a simulator run of the certified plan.
     pub verify: bool,
-    /// Dedicated verifier threads for the chase. `0` (the default) chases
-    /// inline in the analysis worker that computed the plan; `N ≥ 1`
-    /// offloads chases to `N` verifier threads, each with its own warm
-    /// [`ArenaLru`] — so arena residency scales with `verify_threads ×`
-    /// [`ArenaLru` capacity], not `workers ×` capacity, and verification
-    /// CPU is capped independently of the analysis pool. Ignored unless
-    /// `verify` is set.
+    /// Dedicated verification parallelism for the chase. `0` (the
+    /// default) chases inline in the analysis worker that computed the
+    /// plan; `N ≥ 1` routes chases to the cross-topology
+    /// [`VerifyScheduler`], which coalesces the chases queued within a
+    /// batch window into one `N`-worker fan-out — so arena residency
+    /// scales with `verify_threads ×` the arena budget, not `workers ×`
+    /// budget, and verification CPU is capped independently of the
+    /// analysis pool. Ignored unless `verify` is set.
     pub verify_threads: usize,
+    /// Arenas each chasing thread keeps warm in its [`ArenaLru`]
+    /// ([`ArenaBudget::Fixed`]). `0` sizes the LRUs automatically from
+    /// the distinct-topology cardinality each thread actually observes
+    /// ([`ArenaBudget::Auto`]). Overridden by
+    /// [`arena_mem_budget`](ServiceConfig::arena_mem_budget) when set.
+    pub arena_cache_capacity: usize,
+    /// Optional byte budget per chasing thread's [`ArenaLru`]
+    /// ([`ArenaBudget::MemBytes`]): arenas stay resident while their
+    /// combined estimated footprint fits. Takes precedence over
+    /// [`arena_cache_capacity`](ServiceConfig::arena_cache_capacity).
+    pub arena_mem_budget: Option<usize>,
     /// Simulator configuration for verification runs.
     pub sim: SimConfig,
     /// Shape of the shared topology-compilation cache
     /// ([`CompiledTopology`] per distinct `(topology, config)`).
     pub compilation_cache: CacheConfig,
+}
+
+impl ServiceConfig {
+    /// The [`ArenaBudget`] every chasing thread's [`ArenaLru`] enforces,
+    /// resolved from
+    /// [`arena_mem_budget`](ServiceConfig::arena_mem_budget) /
+    /// [`arena_cache_capacity`](ServiceConfig::arena_cache_capacity).
+    #[must_use]
+    pub fn arena_budget(&self) -> ArenaBudget {
+        match (self.arena_mem_budget, self.arena_cache_capacity) {
+            (Some(bytes), _) => ArenaBudget::MemBytes(bytes),
+            (None, 0) => ArenaBudget::Auto,
+            (None, capacity) => ArenaBudget::Fixed(capacity),
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +107,8 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             verify: false,
             verify_threads: 0,
+            arena_cache_capacity: DEFAULT_ARENA_CACHE_CAPACITY,
+            arena_mem_budget: None,
             sim: SimConfig::default(),
             compilation_cache: CacheConfig {
                 shards: 4,
@@ -412,7 +445,7 @@ enum ChaseError {
     Panicked(String),
 }
 
-/// One chase dispatched to the dedicated verifier pool.
+/// One chase dispatched to the verify scheduler's coalescing queue.
 struct VerifyJob {
     program: Program,
     plan: Arc<CommPlan>,
@@ -427,12 +460,16 @@ struct Inner {
     /// misses of one batch (and across batches) compile each distinct
     /// topology once.
     compilations: ShardedCache<Arc<CompiledTopology>>,
-    /// Chase hand-off to the dedicated verifier pool; `None` when chases
-    /// run inline in the analysis workers (`verify_threads == 0`).
+    /// Chase hand-off to the verify scheduler's dispatcher; `None` when
+    /// chases run inline in the analysis workers (`verify_threads == 0`).
     verify_queue: Option<BoundedQueue<VerifyJob>>,
     config: ServiceConfig,
     latencies: Mutex<Latencies>,
     arena_cache: ArenaCounters,
+    /// The [`VerifyScheduler`]'s cumulative counters, snapshotted by the
+    /// dispatcher after every fan-out. `None` until the first fan-out (or
+    /// always, when chases run inline).
+    scheduler_stats: Mutex<Option<SchedulerStats>>,
     /// Topology spec → (verified, blocked) chase tallies, for the
     /// per-topology summary breakdown. `BTreeMap` so reports render in a
     /// stable order.
@@ -466,11 +503,27 @@ pub struct ServiceStats {
     pub max_micros: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
-    /// Verification-arena LRU counters, summed across workers.
+    /// Verification-arena LRU counters, summed across all chasing threads
+    /// (inline workers and scheduler workers alike).
     pub arena_cache: ArenaCacheStats,
+    /// The arena residency budget every chasing thread's LRU enforces.
+    pub arena_budget: ArenaBudget,
+    /// The verify scheduler's cumulative fan-out counters; `None` until
+    /// the scheduler has fanned out at least once (in particular, always
+    /// `None` when chases run inline, `verify_threads == 0`).
+    pub scheduler: Option<SchedulerStats>,
     /// Per-topology verification outcomes (spec order), populated when
     /// the service chases plans (`verify` on).
     pub verify_topologies: Vec<TopologyVerifyStats>,
+}
+
+/// Renders an [`ArenaBudget`] for the summary table.
+fn budget_label(budget: ArenaBudget) -> String {
+    match budget {
+        ArenaBudget::Fixed(n) => format!("{n} arenas/thread"),
+        ArenaBudget::Auto => "auto (observed topologies)".to_owned(),
+        ArenaBudget::MemBytes(bytes) => format!("{bytes} bytes/thread"),
+    }
 }
 
 impl ServiceStats {
@@ -500,6 +553,25 @@ impl ServiceStats {
                 "arena hit rate",
                 &format!("{:.1}%", arenas.hit_rate() * 100.0),
             ]);
+            t.row(["arena cache budget", &budget_label(self.arena_budget)]);
+        }
+        if let Some(scheduler) = &self.scheduler {
+            t.row(["scheduler fan-outs", &scheduler.fanouts.to_string()]);
+            t.row(["scheduler coalesced jobs", &scheduler.items.to_string()]);
+            t.row([
+                "scheduler queue depth (max)",
+                &scheduler.max_fanout.to_string(),
+            ]);
+            t.row([
+                "scheduler distinct topologies",
+                &scheduler.distinct_topologies.to_string(),
+            ]);
+            for (spec, fanout) in &scheduler.per_topology {
+                t.row([
+                    &format!("fanout[{spec}]"),
+                    &format!("{} jobs / {} fan-outs", fanout.items, fanout.fanouts),
+                ]);
+            }
         }
         for topology in &self.verify_topologies {
             t.row([
@@ -534,7 +606,8 @@ impl ServiceStats {
 pub struct AnalysisService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
-    /// The dedicated verifier pool (empty when chases run inline).
+    /// The verify scheduler's dispatcher thread (empty when chases run
+    /// inline in the analysis workers).
     verifiers: Vec<JoinHandle<()>>,
     seq: AtomicU64,
 }
@@ -561,12 +634,15 @@ impl AnalysisService {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache),
             compilations: ShardedCache::new(config.compilation_cache),
-            // Depth 2× the pool keeps every verifier busy without letting
-            // analysis workers race far ahead of verification.
-            verify_queue: (verify_threads > 0).then(|| BoundedQueue::new(verify_threads * 2)),
+            // Deeper than the fan-out so chases pile up into a coalescing
+            // window while the previous fan-out runs, without letting
+            // analysis workers race unboundedly ahead of verification.
+            verify_queue: (verify_threads > 0)
+                .then(|| BoundedQueue::new(verify_window(verify_threads))),
             config,
             latencies: Mutex::new(Latencies::default()),
             arena_cache: ArenaCounters::default(),
+            scheduler_stats: Mutex::new(None),
             verify_by_topology: Mutex::new(BTreeMap::new()),
         });
         let workers = (0..config.workers.max(1))
@@ -578,14 +654,17 @@ impl AnalysisService {
                     .expect("spawning a worker thread succeeds")
             })
             .collect();
-        let verifiers = (0..verify_threads)
-            .map(|i| {
+        // One dispatcher owns the scheduler; the scheduler itself fans
+        // each coalesced window out over `verify_threads` workers.
+        let verifiers = (verify_threads > 0)
+            .then(|| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("systolic-verifier-{i}"))
-                    .spawn(move || verifier_loop(&inner))
-                    .expect("spawning a verifier thread succeeds")
+                    .name("systolic-verify-scheduler".to_owned())
+                    .spawn(move || scheduler_loop(&inner))
+                    .expect("spawning the verify dispatcher succeeds")
             })
+            .into_iter()
             .collect();
         AnalysisService {
             inner,
@@ -652,11 +731,28 @@ impl AnalysisService {
     }
 
     /// Counter snapshot of the verification-arena LRUs, summed across all
-    /// workers/verifier threads. All-zero unless the service chases plans
-    /// (`verify` on).
+    /// chasing threads — the workers' inline LRUs plus the verify
+    /// scheduler's per-worker LRUs. All-zero unless the service chases
+    /// plans (`verify` on).
     #[must_use]
     pub fn arena_cache_stats(&self) -> ArenaCacheStats {
-        self.inner.arena_cache.snapshot()
+        let mut stats = self.inner.arena_cache.snapshot();
+        // Chases run inline *or* through the scheduler (never both), so
+        // adding the scheduler's tallies cannot double-count.
+        if let Some(scheduler) = self.inner.scheduler_stats.lock().as_ref() {
+            stats.hits += scheduler.arena_hits;
+            stats.misses += scheduler.arena_misses;
+            stats.evictions += scheduler.arena_evictions;
+        }
+        stats
+    }
+
+    /// The verify scheduler's cumulative fan-out counters, as of its most
+    /// recent fan-out. `None` when chases run inline
+    /// (`verify_threads == 0`) or before the first fan-out.
+    #[must_use]
+    pub fn scheduler_stats(&self) -> Option<SchedulerStats> {
+        self.inner.scheduler_stats.lock().clone()
     }
 
     /// Per-topology verification outcomes so far, in spec order. Empty
@@ -703,6 +799,8 @@ impl AnalysisService {
             max_micros,
             cache: self.inner.cache.stats(),
             arena_cache: self.arena_cache_stats(),
+            arena_budget: self.inner.config.arena_budget(),
+            scheduler: self.scheduler_stats(),
             verify_topologies: self.verify_topology_stats(),
         }
     }
@@ -729,8 +827,8 @@ fn worker_loop(inner: &Inner) {
     // The worker's verification arenas: a small LRU keyed by compiled
     // topology, so topology-interleaved traffic reuses warm arenas
     // instead of rebuilding per request. Unused (stays empty) when
-    // chases are offloaded to the dedicated verifier pool.
-    let mut arenas = ArenaLru::new(ARENA_CACHE_CAPACITY);
+    // chases are offloaded to the verify scheduler.
+    let mut arenas = ArenaLru::with_budget(inner.config.arena_budget());
     while let Some(job) = inner.queue.pop() {
         let response = handle(inner, job.seq, job.request, &mut arenas);
         // A dropped Ticket just means the client stopped listening.
@@ -738,17 +836,46 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
-/// A dedicated verifier thread: drains chase jobs, each replayed through
-/// this thread's own warm [`ArenaLru`].
-fn verifier_loop(inner: &Inner) {
+/// The coalescing window (and verify-queue depth) for `threads` scheduler
+/// workers: enough room that every worker can draw several plans per
+/// fan-out even when analysis outpaces verification.
+fn verify_window(threads: usize) -> usize {
+    (threads * 4).max(8)
+}
+
+/// The verify dispatcher: drains the chase queue in coalesced windows and
+/// fans each heterogeneous window out through the cross-topology
+/// [`VerifyScheduler`] — one fan-out for however many chases (mixed
+/// topologies included) queued up while the previous window ran. Replay
+/// panics poison at most one arena ([`VerifyTaskError::Panicked`] per
+/// item), so the scheduler and its warm arenas outlive hostile requests.
+fn scheduler_loop(inner: &Inner) {
     let Some(verify_queue) = &inner.verify_queue else {
         return;
     };
-    let mut arenas = ArenaLru::new(ARENA_CACHE_CAPACITY);
-    while let Some(job) = verify_queue.pop() {
-        let result = chase_through(inner, &mut arenas, &job.compiled, &job.program, &job.plan);
-        // A dropped reply means the requesting worker is gone (shutdown).
-        let _ = job.reply.send(result);
+    let threads = inner.config.verify_threads.max(1);
+    let window = verify_window(threads);
+    let mut scheduler =
+        VerifyScheduler::new(inner.config.sim, threads, inner.config.arena_budget());
+    loop {
+        let jobs = verify_queue.pop_many(window);
+        if jobs.is_empty() {
+            return; // closed and drained
+        }
+        let outcomes = scheduler.verify_batch_outcomes(
+            jobs.iter()
+                .map(|job| (&job.program, &job.compiled, &job.plan)),
+        );
+        *inner.scheduler_stats.lock() = Some(scheduler.stats().clone());
+        for (job, outcome) in jobs.into_iter().zip(outcomes) {
+            let result = outcome.map_err(|error| match error {
+                VerifyTaskError::Model(error) => ChaseError::Model(error),
+                VerifyTaskError::Panicked(message) => ChaseError::Panicked(message),
+            });
+            // A dropped reply means the requesting worker is gone
+            // (shutdown).
+            let _ = job.reply.send(result);
+        }
     }
 }
 
@@ -784,7 +911,7 @@ fn chase_through(
 }
 
 /// One verification chase, routed inline (this worker's own arenas) or
-/// through the dedicated verifier pool, per `verify_threads`.
+/// through the verify scheduler's dispatcher, per `verify_threads`.
 fn chase(
     inner: &Inner,
     arenas: &mut ArenaLru,
@@ -804,10 +931,12 @@ fn chase(
     };
     if verify_queue.push(job).is_err() {
         // Only possible mid-shutdown; reject rather than panic the worker.
-        return Err(ChaseError::Panicked("verifier pool shut down".to_owned()));
+        return Err(ChaseError::Panicked(
+            "verify scheduler shut down".to_owned(),
+        ));
     }
     rx.recv()
-        .unwrap_or_else(|_| Err(ChaseError::Panicked("verifier thread died".to_owned())))
+        .unwrap_or_else(|_| Err(ChaseError::Panicked("verify dispatcher died".to_owned())))
 }
 
 fn handle(
@@ -1103,6 +1232,127 @@ mod tests {
         // Two verifier threads and two topologies: at most one build per
         // (thread, topology) pair.
         assert!(arenas.misses <= 4, "{arenas:?}");
+    }
+
+    #[test]
+    fn scheduler_reports_coalesced_mixed_topology_fanouts() {
+        // Mixed fig7/fig9 misses through the scheduler: every chase is
+        // accounted to a fan-out, and the summary grows the scheduler
+        // block with per-topology rows.
+        let config = ServiceConfig {
+            verify: true,
+            verify_threads: 2,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let mut requests = Vec::new();
+        for reps in 1..=4 {
+            requests.push(AnalysisRequest::new(
+                format!("fig7x{reps}"),
+                fig7(reps),
+                fig7_topology(),
+            ));
+        }
+        let mut nine = AnalysisRequest::new("fig9", fig9(), fig9_topology());
+        nine.config.queues_per_interval = 2;
+        requests.push(nine);
+        let responses = service.run_batch(requests);
+        assert!(responses.iter().all(AnalysisResponse::is_certified));
+
+        let scheduler = service.scheduler_stats().expect("scheduler fanned out");
+        assert_eq!(scheduler.items, 5, "every chase coalesced: {scheduler:?}");
+        assert!(
+            scheduler.fanouts >= 1 && scheduler.fanouts <= 5,
+            "{scheduler:?}"
+        );
+        assert_eq!(scheduler.distinct_topologies, 2, "{scheduler:?}");
+        let per_topology_items: u64 = scheduler.per_topology.values().map(|f| f.items).sum();
+        assert_eq!(per_topology_items, 5, "{scheduler:?}");
+        assert!(scheduler.max_fanout >= 1, "{scheduler:?}");
+
+        let text = service.stats().table().to_text();
+        assert!(text.contains("scheduler fan-outs"), "{text}");
+        assert!(text.contains("scheduler coalesced jobs"), "{text}");
+        assert!(text.contains("scheduler queue depth (max)"), "{text}");
+        assert!(text.contains("scheduler distinct topologies"), "{text}");
+        assert!(
+            text.contains(&format!("fanout[{}]", fig7_topology().spec())),
+            "{text}"
+        );
+        assert!(text.contains("arena cache budget"), "{text}");
+    }
+
+    #[test]
+    fn arena_budget_resolves_capacity_and_mem_flags() {
+        let fixed = ServiceConfig::default();
+        assert_eq!(fixed.arena_budget(), ArenaBudget::Fixed(4));
+        let auto = ServiceConfig {
+            arena_cache_capacity: 0,
+            ..Default::default()
+        };
+        assert_eq!(auto.arena_budget(), ArenaBudget::Auto);
+        let bytes = ServiceConfig {
+            arena_cache_capacity: 0,
+            arena_mem_budget: Some(1 << 20),
+            ..Default::default()
+        };
+        assert_eq!(
+            bytes.arena_budget(),
+            ArenaBudget::MemBytes(1 << 20),
+            "a byte budget takes precedence over capacity"
+        );
+        // The budget row renders once a chase has exercised the arenas.
+        let service = AnalysisService::new(ServiceConfig {
+            verify: true,
+            arena_cache_capacity: 0,
+            ..Default::default()
+        });
+        assert!(service.submit(fig7_request()).wait().is_certified());
+        let text = service.stats().table().to_text();
+        assert!(text.contains("auto (observed topologies)"), "{text}");
+    }
+
+    #[test]
+    fn auto_budget_serves_mixed_topologies_inline() {
+        // `--arena-cache-cap 0`: inline chases size their LRUs from the
+        // observed distinct-topology cardinality instead of a fixed 4.
+        let config = ServiceConfig {
+            verify: true,
+            workers: 1,
+            arena_cache_capacity: 0,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        let mut requests = Vec::new();
+        for round in 1..=3 {
+            // Distinct programs, identical configs: every request misses
+            // the plan cache (so it chases) while the two topologies keep
+            // stable compiled fingerprints (so arenas can stay warm).
+            requests.push(AnalysisRequest::new(
+                format!("fig7x{round}"),
+                fig7(round),
+                fig7_topology(),
+            ));
+            let transfer = parse_program(&format!(
+                "cells 2\nmessage A: c0 -> c1\nprogram c0 {{ W(A)*{round} }}\n\
+                 program c1 {{ R(A)*{round} }}\n",
+            ))
+            .unwrap();
+            requests.push(AnalysisRequest::new(
+                format!("linear#{round}"),
+                transfer,
+                Topology::linear(2),
+            ));
+        }
+        let responses = service.run_batch(requests);
+        assert!(responses.iter().all(AnalysisResponse::is_certified));
+        let arenas = service.arena_cache_stats();
+        assert_eq!(arenas.misses, 2, "one build per topology: {arenas:?}");
+        assert_eq!(arenas.hits, 4, "later chases stay warm: {arenas:?}");
+        assert_eq!(
+            arenas.evictions, 0,
+            "auto budget keeps both warm: {arenas:?}"
+        );
     }
 
     #[test]

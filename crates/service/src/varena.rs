@@ -1,306 +1,15 @@
-//! A small per-worker LRU of verification arenas, keyed by compiled
-//! topology.
+//! Thin adapter: the verification-arena LRU now lives in `systolic_sim`.
 //!
-//! The verification chase replays a certified plan through a
-//! [`SimArena`]. Arenas are cheap to *reuse* (state resets in place) but
-//! expensive to *build* (queue pools for every interval of the fabric),
-//! and an arena is only valid for the topology it was built over. A
-//! worker that holds just the **last** topology's arena thrashes as soon
-//! as traffic interleaves two topologies — A, B, A, B rebuilds on every
-//! request. [`ArenaLru`] keeps the last few topologies' arenas warm
-//! instead, the same recency idiom as the sharded plan cache
-//! ([`crate::ShardedCache`]) shrunk to a handful of entries with no
-//! locking: each worker owns its LRU outright.
+//! The LRU of warm [`SimArena`](systolic_sim::SimArena)s started here as
+//! a service-private cache and was generalized into the simulator crate
+//! when the cross-topology
+//! [`VerifyScheduler`](systolic_sim::VerifyScheduler) landed — scheduler
+//! workers and service threads now share one implementation, including
+//! the [`ArenaBudget`](systolic_sim::ArenaBudget) sizing policies (fixed
+//! capacity, observed-cardinality auto sizing, or a byte budget against
+//! [`SimArena::approx_bytes`](systolic_sim::SimArena::approx_bytes)).
+//! This module re-exports the types under their old service paths so
+//! existing callers keep compiling; new code should use them from
+//! `systolic_sim` directly.
 
-use std::sync::Arc;
-
-use systolic_core::CompiledTopology;
-use systolic_sim::{SimArena, SimConfig};
-
-/// One resident arena: the compiled topology's fingerprint and the
-/// [`SimConfig`] it was built under (both must match for reuse — an
-/// arena's queue shapes and cycle limits are baked in at construction),
-/// a recency tick, and the arena itself.
-#[derive(Debug)]
-struct Entry {
-    fingerprint: u128,
-    sim: SimConfig,
-    last_used: u64,
-    arena: SimArena,
-}
-
-/// The result of an [`ArenaLru::get_or_build`] lookup: the arena to
-/// replay through, plus what the lookup did (for cache counters).
-#[derive(Debug)]
-pub struct ArenaLookup<'a> {
-    /// The arena for the requested topology, reset-ready.
-    pub arena: &'a mut SimArena,
-    /// `true` when the arena was already resident (no rebuild).
-    pub hit: bool,
-    /// `true` when admitting this arena displaced the least-recently-used
-    /// resident one.
-    pub evicted: bool,
-}
-
-/// A tiny, lock-free-by-ownership LRU of [`SimArena`]s keyed by
-/// [`CompiledTopology::fingerprint`]. Each service worker (or dedicated
-/// verifier thread) owns one, so topology-interleaved traffic keeps the
-/// last `capacity` fabrics' arenas warm instead of rebuilding per
-/// request.
-///
-/// # Examples
-///
-/// ```
-/// use systolic_core::{AnalysisConfig, CompiledTopology};
-/// use systolic_model::Topology;
-/// use systolic_service::ArenaLru;
-/// use systolic_sim::SimConfig;
-///
-/// let mut lru = ArenaLru::new(2);
-/// let config = AnalysisConfig::default();
-/// let a = CompiledTopology::compile(&Topology::linear(2), &config).into_shared();
-/// let b = CompiledTopology::compile(&Topology::ring(4), &config).into_shared();
-///
-/// assert!(!lru.get_or_build(&a, SimConfig::default()).hit);
-/// assert!(!lru.get_or_build(&b, SimConfig::default()).hit);
-/// // Interleaved reuse: both stay warm within the capacity.
-/// assert!(lru.get_or_build(&a, SimConfig::default()).hit);
-/// assert!(lru.get_or_build(&b, SimConfig::default()).hit);
-/// ```
-#[derive(Debug)]
-pub struct ArenaLru {
-    capacity: usize,
-    tick: u64,
-    entries: Vec<Entry>,
-}
-
-impl ArenaLru {
-    /// An empty LRU holding at most `capacity` arenas (clamped to ≥ 1).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        ArenaLru {
-            capacity: capacity.max(1),
-            tick: 0,
-            entries: Vec::new(),
-        }
-    }
-
-    /// Arenas currently resident.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// `true` if no arena is resident.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// The configured capacity (≥ 1).
-    #[must_use]
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// `true` if an arena for `fingerprint` is resident.
-    #[must_use]
-    pub fn contains(&self, fingerprint: u128) -> bool {
-        self.entries.iter().any(|e| e.fingerprint == fingerprint)
-    }
-
-    /// The arena for `compiled` under `sim`: resident (a *hit*, recency
-    /// bumped) or freshly built (a *miss*, evicting the
-    /// least-recently-used entry when full). A resident arena is reused
-    /// only when **both** the compiled topology and the [`SimConfig`]
-    /// match — a same-topology entry built under a different `SimConfig`
-    /// (say, latch instead of buffered queues) is discarded and rebuilt,
-    /// never silently reused to replay under the wrong queue shapes.
-    pub fn get_or_build(
-        &mut self,
-        compiled: &Arc<CompiledTopology>,
-        sim: SimConfig,
-    ) -> ArenaLookup<'_> {
-        let fingerprint = compiled.fingerprint();
-        self.tick += 1;
-        if let Some(idx) = self
-            .entries
-            .iter()
-            .position(|e| e.fingerprint == fingerprint)
-        {
-            if self.entries[idx].sim == sim {
-                self.entries[idx].last_used = self.tick;
-                return ArenaLookup {
-                    arena: &mut self.entries[idx].arena,
-                    hit: true,
-                    evicted: false,
-                };
-            }
-            // Same topology, different simulation parameters: the stale
-            // arena is useless (and dangerous to reuse) — drop it and
-            // fall through to the rebuild path below.
-            self.entries.swap_remove(idx);
-        }
-        let mut evicted = false;
-        if self.entries.len() >= self.capacity {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1, so a full LRU has entries");
-            self.entries.swap_remove(lru);
-            evicted = true;
-        }
-        self.entries.push(Entry {
-            fingerprint,
-            sim,
-            last_used: self.tick,
-            arena: SimArena::from_compiled(Arc::clone(compiled), sim),
-        });
-        let arena = &mut self.entries.last_mut().expect("just pushed").arena;
-        ArenaLookup {
-            arena,
-            hit: false,
-            evicted,
-        }
-    }
-
-    /// Drops the arena for `fingerprint`, if resident. Used when a replay
-    /// panicked mid-run: the arena's queue state may be poisoned, so the
-    /// next request for that topology rebuilds instead of reusing it.
-    /// Returns whether an entry was dropped.
-    pub fn remove(&mut self, fingerprint: u128) -> bool {
-        match self
-            .entries
-            .iter()
-            .position(|e| e.fingerprint == fingerprint)
-        {
-            Some(idx) => {
-                self.entries.swap_remove(idx);
-                true
-            }
-            None => false,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use systolic_core::AnalysisConfig;
-    use systolic_model::Topology;
-
-    fn compiled(cells: u32) -> Arc<CompiledTopology> {
-        CompiledTopology::compile(
-            &Topology::linear(cells as usize),
-            &AnalysisConfig::default(),
-        )
-        .into_shared()
-    }
-
-    #[test]
-    fn miss_builds_then_hit_reuses() {
-        let mut lru = ArenaLru::new(2);
-        let a = compiled(2);
-        let first = lru.get_or_build(&a, SimConfig::default());
-        assert!(!first.hit && !first.evicted);
-        let second = lru.get_or_build(&a, SimConfig::default());
-        assert!(second.hit && !second.evicted);
-        assert_eq!(lru.len(), 1);
-    }
-
-    #[test]
-    fn evicts_least_recently_used() {
-        let mut lru = ArenaLru::new(2);
-        let (a, b, c) = (compiled(2), compiled(3), compiled(4));
-        lru.get_or_build(&a, SimConfig::default());
-        lru.get_or_build(&b, SimConfig::default());
-        // Touch `a` so `b` becomes the LRU entry.
-        assert!(lru.get_or_build(&a, SimConfig::default()).hit);
-        let admitted = lru.get_or_build(&c, SimConfig::default());
-        assert!(!admitted.hit && admitted.evicted);
-        assert_eq!(lru.len(), 2);
-        assert!(
-            lru.contains(a.fingerprint()),
-            "recently used entry survives"
-        );
-        assert!(!lru.contains(b.fingerprint()), "LRU entry was evicted");
-        assert!(lru.contains(c.fingerprint()));
-    }
-
-    #[test]
-    fn interleaved_topologies_stay_warm_within_capacity() {
-        // The single-arena worker cache this type replaces rebuilt on
-        // every request of an A,B,A,B stream; the LRU hits from the
-        // second round on.
-        let mut lru = ArenaLru::new(4);
-        let (a, b) = (compiled(2), compiled(3));
-        let mut hits = 0;
-        for _ in 0..8 {
-            hits += usize::from(lru.get_or_build(&a, SimConfig::default()).hit);
-            hits += usize::from(lru.get_or_build(&b, SimConfig::default()).hit);
-        }
-        assert_eq!(hits, 14, "everything after the two cold builds hits");
-    }
-
-    #[test]
-    fn remove_forces_rebuild_after_poisoning() {
-        // The reuse-after-panic contract: a panicked replay drops its
-        // arena; the next request rebuilds (a miss), later ones hit again.
-        let mut lru = ArenaLru::new(2);
-        let a = compiled(2);
-        lru.get_or_build(&a, SimConfig::default());
-        assert!(lru.remove(a.fingerprint()));
-        assert!(lru.is_empty());
-        assert!(!lru.remove(a.fingerprint()), "double remove is a no-op");
-        let rebuilt = lru.get_or_build(&a, SimConfig::default());
-        assert!(!rebuilt.hit, "poisoned arena must not be reused");
-        assert!(lru.get_or_build(&a, SimConfig::default()).hit);
-    }
-
-    #[test]
-    fn different_sim_config_rebuilds_instead_of_reusing() {
-        // Same topology, different queue shapes: reusing the buffered
-        // arena for a latch-queue replay would report wrong
-        // verified/blocked outcomes, so the lookup must miss and rebuild.
-        let mut lru = ArenaLru::new(2);
-        let a = compiled(2);
-        let buffered = SimConfig::default();
-        let latch = SimConfig {
-            queue: systolic_sim::QueueConfig {
-                capacity: 0,
-                extension: false,
-            },
-            ..Default::default()
-        };
-        assert!(!lru.get_or_build(&a, buffered).hit);
-        let swapped = lru.get_or_build(&a, latch);
-        assert!(
-            !swapped.hit,
-            "a config change must not reuse the stale arena"
-        );
-        assert!(
-            !swapped.evicted,
-            "the stale entry is replaced, not LRU-evicted"
-        );
-        assert_eq!(lru.len(), 1, "one arena per (topology, config) pair");
-        assert!(lru.get_or_build(&a, latch).hit);
-        assert!(
-            !lru.get_or_build(&a, buffered).hit,
-            "and back again rebuilds"
-        );
-    }
-
-    #[test]
-    fn capacity_clamps_to_one() {
-        let mut lru = ArenaLru::new(0);
-        assert_eq!(lru.capacity(), 1);
-        let (a, b) = (compiled(2), compiled(3));
-        lru.get_or_build(&a, SimConfig::default());
-        let swapped = lru.get_or_build(&b, SimConfig::default());
-        assert!(!swapped.hit && swapped.evicted);
-        assert_eq!(lru.len(), 1);
-    }
-}
+pub use systolic_sim::{ArenaBudget, ArenaLookup, ArenaLru};

@@ -32,14 +32,22 @@
 //! the batch's largest requirement once. That is what lets a serving layer
 //! chase cached analyses with simulator replays at cache-hit throughput.
 //!
-//! On a multi-core node the same batch fans out over a [`VerifyPool`]:
-//! one immutable world, N arenas (one per worker thread), a work-stealing
-//! cursor over the plan indices, and reports merged back into input order
-//! — byte-identical to the sequential path
-//! ([`verify_batch_compiled_parallel`] is the one-call convenience).
-//! Pick `threads` ≈ the cores you can spare: replays are CPU-bound and
-//! share no mutable state, so throughput scales until the batch runs out
-//! of plans to steal.
+//! On a multi-core node batches fan out over the [`VerifyScheduler`]: N
+//! workers, each owning an [`ArenaLru`] of arenas keyed by
+//! compiled-topology fingerprint, a work-stealing cursor over the plan
+//! indices, and reports merged back into input order — byte-identical to
+//! the sequential path run per topology group. One scheduler spans **all**
+//! topologies: a heterogeneous mesh/torus/line batch verifies in a single
+//! fan-out, workers switching worlds by warm LRU lookup instead of
+//! rebuild, with residency governed by an [`ArenaBudget`] (fixed count,
+//! observed-cardinality auto sizing, or a byte budget against
+//! [`SimArena::approx_bytes`]). Pick `threads` ≈ the cores you can spare:
+//! replays are CPU-bound and share no mutable state, so throughput scales
+//! until the batch runs out of plans to steal.
+//!
+//! [`VerifyPool`] remains as a thin adapter — a scheduler pinned to one
+//! [`SimWorld`] — for the common one-topology shape
+//! ([`verify_batch_compiled_parallel`] is its one-call convenience).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -103,16 +111,19 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod arena_lru;
 mod cost;
 mod deadlock;
 mod engine;
 mod policy;
 mod pool;
 mod queue;
+mod sched;
 mod stats;
 mod verify;
 mod vpool;
 
+pub use arena_lru::{ArenaBudget, ArenaLookup, ArenaLru, MAX_AUTO_ARENAS};
 pub use cost::CostModel;
 pub use deadlock::{BlockReason, BlockedCell, DeadlockReport, QueueSnapshot};
 pub use engine::{run_simulation, RunOutcome, SimArena, SimConfig, SimWorld, Simulation};
@@ -121,6 +132,7 @@ pub use policy::{
 };
 pub use pool::{PoolView, QueuePools};
 pub use queue::{HwQueue, QueueConfig, Word};
+pub use sched::{SchedulerStats, TopologyFanout, VerifyScheduler, VerifyTaskError};
 pub use stats::{AssignmentEvent, RunStats};
 pub use verify::{
     verify_batch, verify_batch_compiled, verify_plan, verify_plan_compiled, ReplayDeadlock,

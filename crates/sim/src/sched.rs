@@ -1,0 +1,722 @@
+//! Cross-topology verify scheduling: one fan-out for a heterogeneous
+//! batch of certified plans.
+//!
+//! [`VerifyPool`](crate::VerifyPool) spans **one** [`SimWorld`] — mixed
+//! traffic needs a pool per topology, and a serving layer dispatching
+//! chases one at a time loses exactly the parallelism the pool was built
+//! for. [`VerifyScheduler`] generalizes the pool: each worker owns an
+//! [`ArenaLru`] over *multiple* worlds keyed by compiled-topology
+//! fingerprint, so a single batch may interleave mesh, torus and line
+//! plans and still fan out over every worker at once:
+//!
+//! * **scoped threads, work stealing** — as the pool: a shared atomic
+//!   cursor hands out batch indices, workers borrow their LRU for the
+//!   duration of one call, and reports are merged back into **input
+//!   order**;
+//! * **warm arenas across batches and topologies** — a worker that drew
+//!   a mesh plan after a torus plan switches worlds by LRU lookup, not by
+//!   rebuild; residency is governed by an [`ArenaBudget`] (fixed count,
+//!   observed-cardinality auto sizing, or a byte budget);
+//! * **per-topology pre-growth** — every topology group's arenas grow to
+//!   that group's largest queue requirement before replay, so outcomes
+//!   are independent of stealing order and **byte-identical** to the
+//!   sequential [`verify_batch_compiled`](crate::verify_batch_compiled)
+//!   path per topology (`tests/verify_parity.rs` asserts this by
+//!   property, `ReplayDeadlock` details included);
+//! * **panic isolation** — [`VerifyScheduler::verify_batch_outcomes`]
+//!   reports a replay panic as one item's
+//!   [`VerifyTaskError::Panicked`] and drops exactly the poisoned arena;
+//!   the rest of the batch, and the other residents of that worker's
+//!   LRU, are untouched.
+
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use systolic_core::{CommPlan, CompiledTopology};
+use systolic_model::{ModelError, Program};
+
+use crate::{ArenaBudget, ArenaLru, SimArena, SimConfig, SimWorld, VerifyReport};
+
+/// Why one scheduled replay produced no [`VerifyReport`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyTaskError {
+    /// Replay setup was rejected (cell-count mismatch between the program
+    /// and the plan's topology).
+    Model(ModelError),
+    /// The replay panicked; the scheduler dropped the possibly-poisoned
+    /// arena (the rest of that worker's LRU stays warm) and carries the
+    /// panic message here instead of unwinding.
+    Panicked(String),
+}
+
+impl std::fmt::Display for VerifyTaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyTaskError::Model(e) => write!(f, "{e}"),
+            VerifyTaskError::Panicked(msg) => write!(f, "replay panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyTaskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyTaskError::Model(e) => Some(e),
+            VerifyTaskError::Panicked(_) => None,
+        }
+    }
+}
+
+/// Fan-out participation of one topology, by spec string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TopologyFanout {
+    /// Fan-outs that included at least one plan for this topology.
+    pub fanouts: u64,
+    /// Plans of this topology verified through the scheduler.
+    pub items: u64,
+}
+
+/// Cumulative counters of a [`VerifyScheduler`] — what a serving layer
+/// surfaces in its summary.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SchedulerStats {
+    /// Batches fanned out (each [`VerifyScheduler::verify_batch`] or
+    /// [`verify_batch_outcomes`](VerifyScheduler::verify_batch_outcomes)
+    /// call with at least one item).
+    pub fanouts: u64,
+    /// Plans verified, summed over all fan-outs.
+    pub items: u64,
+    /// The largest single fan-out — the deepest coalescing window the
+    /// scheduler has seen.
+    pub max_fanout: u64,
+    /// Replays served by a resident (warm) arena.
+    pub arena_hits: u64,
+    /// Replays that had to build an arena.
+    pub arena_misses: u64,
+    /// Arenas displaced by budget pressure.
+    pub arena_evictions: u64,
+    /// Distinct compiled topologies ever scheduled.
+    pub distinct_topologies: u64,
+    /// Per-topology fan-out participation, keyed by
+    /// [`Topology::spec`](systolic_model::Topology::spec) (stable order).
+    pub per_topology: BTreeMap<String, TopologyFanout>,
+}
+
+/// Where one task's arena comes from when its worker has to build one.
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    Compiled(&'a Arc<CompiledTopology>),
+    World(&'a SimWorld),
+}
+
+impl Source<'_> {
+    fn build(self, sim: SimConfig) -> SimArena {
+        match self {
+            Source::Compiled(compiled) => SimArena::from_compiled(Arc::clone(compiled), sim),
+            Source::World(world) => SimArena::new(world.clone()),
+        }
+    }
+
+    fn spec(self) -> String {
+        match self {
+            Source::Compiled(compiled) => compiled.topology().spec(),
+            Source::World(world) => world.topology().spec(),
+        }
+    }
+}
+
+/// One unit of scheduled work: a `(program, plan)` pair, the 128-bit key
+/// its arena lives under, and the queue count its topology group was
+/// sized to.
+struct Task<'a> {
+    program: &'a Program,
+    plan: &'a Arc<CommPlan>,
+    key: u128,
+    group_max: usize,
+    source: Source<'a>,
+}
+
+/// What one worker hands back from a fan-out: its input-indexed
+/// outcomes plus the arena-lookup tally accumulated along the way.
+type WorkerYield = (
+    Vec<(usize, Result<VerifyReport, VerifyTaskError>)>,
+    LruTally,
+);
+
+/// Per-worker arena-lookup tallies, merged into [`SchedulerStats`] after
+/// the fan-out joins.
+#[derive(Default)]
+struct LruTally {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruTally {
+    fn note(&mut self, hit: bool, evicted: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if evicted {
+            self.evictions += 1;
+        }
+    }
+}
+
+/// The cross-topology verify scheduler: N workers, each owning an
+/// [`ArenaLru`] over the worlds it has replayed, verifying heterogeneous
+/// plan batches in one fan-out.
+///
+/// Build one per node and feed it every batch — mixed mesh/torus/line
+/// traffic included. Reports come back in input order, byte-identical to
+/// running [`verify_batch_compiled`](crate::verify_batch_compiled) per
+/// topology group sequentially.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use systolic_core::{AnalysisConfig, Analyzer, CompiledTopology};
+/// use systolic_model::{ProgramBuilder, Topology};
+/// use systolic_sim::{ArenaBudget, SimConfig, VerifyScheduler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = AnalysisConfig::default();
+/// let mut batch = Vec::new();
+/// // An interleaved mesh + torus batch: one scheduler, one fan-out.
+/// for topology in [Topology::mesh(2, 2), Topology::torus(2, 2)] {
+///     let compiled = CompiledTopology::compile(&topology, &config).into_shared();
+///     let analyzer = Analyzer::new(Arc::clone(&compiled));
+///     for reps in 1..=2 {
+///         let mut builder = ProgramBuilder::new(topology.num_cells());
+///         builder.message("A", 0u32, 1u32)?;
+///         builder.write_n(0u32, "A", reps)?;
+///         builder.read_n(1u32, "A", reps)?;
+///         let program = builder.build()?;
+///         let plan = Arc::new(analyzer.analyze(&program)?.into_plan());
+///         batch.push((program, compiled.clone(), plan));
+///     }
+/// }
+/// let mut scheduler = VerifyScheduler::new(SimConfig::default(), 2, ArenaBudget::Auto);
+/// let reports =
+///     scheduler.verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))?;
+/// assert!(reports.iter().all(|r| r.completed));
+/// assert_eq!(scheduler.stats().fanouts, 1);
+/// assert_eq!(scheduler.stats().distinct_topologies, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VerifyScheduler {
+    sim: SimConfig,
+    /// One arena LRU per worker thread; persistent across batches so
+    /// arenas stay warm between fan-outs.
+    workers: Vec<ArenaLru>,
+    /// Every compiled-topology key ever scheduled (distinct-cardinality
+    /// counter behind [`SchedulerStats::distinct_topologies`]).
+    seen: HashSet<u128>,
+    stats: SchedulerStats,
+}
+
+impl VerifyScheduler {
+    /// A scheduler of `threads` workers (clamped to ≥ 1), each holding an
+    /// [`ArenaLru`] governed by `budget`, replaying under `sim`.
+    #[must_use]
+    pub fn new(sim: SimConfig, threads: usize, budget: ArenaBudget) -> Self {
+        let workers = (0..threads.max(1))
+            .map(|_| ArenaLru::with_budget(budget))
+            .collect();
+        VerifyScheduler {
+            sim,
+            workers,
+            seen: HashSet::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Number of worker threads (= arena LRUs) this scheduler fans out
+    /// over.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The simulator configuration every replay runs under.
+    #[must_use]
+    pub fn sim(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// The residency budget each worker's LRU enforces.
+    #[must_use]
+    pub fn budget(&self) -> ArenaBudget {
+        self.workers[0].budget()
+    }
+
+    /// Arenas currently resident across all workers.
+    #[must_use]
+    pub fn resident_arenas(&self) -> usize {
+        self.workers.iter().map(ArenaLru::len).sum()
+    }
+
+    /// Cumulative fan-out and arena counters.
+    #[must_use]
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Replays every `(program, compiled topology, plan)` triple of a
+    /// heterogeneous batch in one fan-out and returns the reports **in
+    /// input order** — byte-identical to the sequential
+    /// [`verify_batch_compiled`](crate::verify_batch_compiled) path run
+    /// per topology group.
+    ///
+    /// # Errors
+    ///
+    /// As the sequential path: a setup error is reported for the earliest
+    /// offending batch index; per-run outcomes (completed / deadlocked,
+    /// with details) are in the reports.
+    ///
+    /// # Panics
+    ///
+    /// Resumes a replay panic on the calling thread (after the fan-out
+    /// completes and the poisoned arena is dropped). Serving layers that
+    /// must isolate panics per item use
+    /// [`verify_batch_outcomes`](VerifyScheduler::verify_batch_outcomes).
+    pub fn verify_batch<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CompiledTopology>, &'a Arc<CommPlan>)>,
+    ) -> Result<Vec<VerifyReport>, ModelError> {
+        strict(self.verify_batch_outcomes(batch))
+    }
+
+    /// As [`verify_batch`](VerifyScheduler::verify_batch), but with
+    /// per-item outcomes: one item's setup error or replay panic is
+    /// *that item's* [`VerifyTaskError`], and every other item still gets
+    /// its report — the contract a serving layer needs to answer each
+    /// client independently.
+    pub fn verify_batch_outcomes<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CompiledTopology>, &'a Arc<CommPlan>)>,
+    ) -> Vec<Result<VerifyReport, VerifyTaskError>> {
+        let tasks: Vec<Task<'_>> = batch
+            .into_iter()
+            .map(|(program, compiled, plan)| Task {
+                program,
+                plan,
+                key: compiled.fingerprint(),
+                group_max: 1,
+                source: Source::Compiled(compiled),
+            })
+            .collect();
+        self.run(tasks)
+    }
+
+    /// The [`VerifyPool`](crate::VerifyPool) adapter's entry: a
+    /// homogeneous batch over one caller-held world under a caller-chosen
+    /// key.
+    pub(crate) fn verify_batch_in_world<'a>(
+        &mut self,
+        world: &SimWorld,
+        key: u128,
+        batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CommPlan>)>,
+    ) -> Result<Vec<VerifyReport>, ModelError> {
+        let tasks: Vec<Task<'_>> = batch
+            .into_iter()
+            .map(|(program, plan)| Task {
+                program,
+                plan,
+                key,
+                group_max: 1,
+                source: Source::World(world),
+            })
+            .collect();
+        strict(self.run(tasks))
+    }
+
+    fn run(&mut self, mut tasks: Vec<Task<'_>>) -> Vec<Result<VerifyReport, VerifyTaskError>> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        // Pre-size each topology group to its largest queue requirement:
+        // a group's replays then see one pool shape no matter which worker
+        // stole them or in what order, keeping the fan-out structurally
+        // identical to a sequential per-group batch.
+        let mut group_max: BTreeMap<u128, usize> = BTreeMap::new();
+        for task in &tasks {
+            let need = task.plan.requirements().max_per_interval().max(1);
+            let entry = group_max.entry(task.key).or_insert(1);
+            *entry = (*entry).max(need);
+        }
+        for task in &mut tasks {
+            task.group_max = group_max[&task.key];
+        }
+
+        self.stats.fanouts += 1;
+        self.stats.items += tasks.len() as u64;
+        self.stats.max_fanout = self.stats.max_fanout.max(tasks.len() as u64);
+        // Count by fingerprint and render each group's topology spec once
+        // per fan-out — spec strings can be large (graph topologies list
+        // every edge), so formatting one per *task* would dominate the
+        // dispatch cost of big homogeneous batches.
+        let mut key_counts: BTreeMap<u128, u64> = BTreeMap::new();
+        for task in &tasks {
+            self.seen.insert(task.key);
+            *key_counts.entry(task.key).or_insert(0) += 1;
+        }
+        self.stats.distinct_topologies = self.seen.len() as u64;
+        for (key, count) in key_counts {
+            let spec = tasks
+                .iter()
+                .find(|task| task.key == key)
+                .expect("key came from tasks")
+                .source
+                .spec();
+            let entry = self.stats.per_topology.entry(spec).or_default();
+            entry.fanouts += 1;
+            entry.items += count;
+        }
+
+        let sim = self.sim;
+        let workers = self.workers.len().min(tasks.len());
+        // One worker (or one item): skip the thread machinery entirely.
+        if workers <= 1 {
+            let lru = &mut self.workers[0];
+            let mut tally = LruTally::default();
+            let outcomes = tasks
+                .iter()
+                .map(|task| verify_one(lru, sim, task, &mut tally))
+                .collect();
+            self.absorb(std::iter::once(tally));
+            return outcomes;
+        }
+
+        // Work-stealing cursor, as in the pool: each worker draws the
+        // next unclaimed index until the batch is exhausted; outcomes
+        // carry their index so the merge restores input order.
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .take(workers)
+                .map(|lru| {
+                    let cursor = &cursor;
+                    let tasks = &tasks;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut tally = LruTally::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(i) else {
+                                break;
+                            };
+                            local.push((i, verify_one(lru, sim, task, &mut tally)));
+                        }
+                        (local, tally)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+
+        let mut outcomes: Vec<Option<Result<VerifyReport, VerifyTaskError>>> =
+            (0..tasks.len()).map(|_| None).collect();
+        let mut tallies = Vec::with_capacity(per_worker.len());
+        for (local, tally) in per_worker {
+            tallies.push(tally);
+            for (i, outcome) in local {
+                outcomes[i] = Some(outcome);
+            }
+        }
+        self.absorb(tallies);
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every batch index was verified"))
+            .collect()
+    }
+
+    fn absorb(&mut self, tallies: impl IntoIterator<Item = LruTally>) {
+        for tally in tallies {
+            self.stats.arena_hits += tally.hits;
+            self.stats.arena_misses += tally.misses;
+            self.stats.arena_evictions += tally.evictions;
+        }
+    }
+}
+
+/// One scheduled replay: LRU lookup (building the arena on a miss),
+/// per-group queue growth, then the verify run — all inside
+/// `catch_unwind`, so a panic poisons at most the one arena involved,
+/// which is dropped from the LRU before the outcome is reported.
+fn verify_one(
+    lru: &mut ArenaLru,
+    sim: SimConfig,
+    task: &Task<'_>,
+    tally: &mut LruTally,
+) -> Result<VerifyReport, VerifyTaskError> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let lookup = lru.get_or_build_with(task.key, sim, || task.source.build(sim));
+        let flags = (lookup.hit, lookup.evicted);
+        lookup.arena.ensure_queues(task.group_max);
+        (flags, lookup.arena.verify(task.program, task.plan))
+    }));
+    match result {
+        Ok(((hit, evicted), outcome)) => {
+            tally.note(hit, evicted);
+            outcome.map_err(VerifyTaskError::Model)
+        }
+        Err(panic) => {
+            lru.remove(task.key);
+            Err(VerifyTaskError::Panicked(panic_message(&panic)))
+        }
+    }
+}
+
+/// Collapses per-item outcomes to the strict contract of the sequential
+/// path: any panic resumes on the caller, otherwise the earliest setup
+/// error (by batch index) wins, otherwise all reports in input order.
+fn strict(
+    outcomes: Vec<Result<VerifyReport, VerifyTaskError>>,
+) -> Result<Vec<VerifyReport>, ModelError> {
+    if let Some(msg) = outcomes.iter().find_map(|o| match o {
+        Err(VerifyTaskError::Panicked(msg)) => Some(msg.clone()),
+        _ => None,
+    }) {
+        std::panic::resume_unwind(Box::new(msg));
+    }
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(VerifyTaskError::Model(error)) => return Err(error),
+            Err(VerifyTaskError::Panicked(_)) => unreachable!("panics resumed above"),
+        }
+    }
+    Ok(reports)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_batch_compiled;
+    use systolic_core::{AnalysisConfig, Analyzer};
+    use systolic_model::{ProgramBuilder, Topology};
+
+    /// A short neighbor transfer: `reps` words from cell 0 to cell 1 on a
+    /// `cells`-cell fabric.
+    fn chain(cells: usize, reps: usize) -> Program {
+        let mut builder = ProgramBuilder::new(cells);
+        builder.message("A", 0u32, 1u32).unwrap();
+        builder.write_n(0u32, "A", reps).unwrap();
+        builder.read_n(1u32, "A", reps).unwrap();
+        builder.build().unwrap()
+    }
+
+    /// A mixed batch: `per_topology` certified transfer-chain plans on
+    /// each of the given topologies, interleaved round-robin.
+    fn mixed_batch(
+        topologies: &[Topology],
+        per_topology: usize,
+    ) -> Vec<(Program, Arc<CompiledTopology>, Arc<CommPlan>)> {
+        let config = AnalysisConfig::default();
+        let per: Vec<Vec<_>> = topologies
+            .iter()
+            .map(|topology| {
+                let compiled = CompiledTopology::compile(topology, &config).into_shared();
+                let analyzer = Analyzer::new(Arc::clone(&compiled));
+                (0..per_topology)
+                    .map(|i| {
+                        let program = chain(topology.num_cells(), 1 + i % 3);
+                        let plan = Arc::new(analyzer.analyze(&program).unwrap().into_plan());
+                        (program, Arc::clone(&compiled), plan)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut interleaved = Vec::new();
+        for i in 0..per_topology {
+            for group in &per {
+                interleaved.push(group[i].clone());
+            }
+        }
+        interleaved
+    }
+
+    /// The sequential reference: per-topology `verify_batch_compiled`,
+    /// reassembled into the batch's original order.
+    fn sequential_reference(
+        batch: &[(Program, Arc<CompiledTopology>, Arc<CommPlan>)],
+        sim: SimConfig,
+    ) -> Vec<VerifyReport> {
+        let mut keys: Vec<u128> = Vec::new();
+        for (_, compiled, _) in batch {
+            if !keys.contains(&compiled.fingerprint()) {
+                keys.push(compiled.fingerprint());
+            }
+        }
+        let mut reports: Vec<Option<VerifyReport>> = vec![None; batch.len()];
+        for key in keys {
+            let indices: Vec<usize> = (0..batch.len())
+                .filter(|&i| batch[i].1.fingerprint() == key)
+                .collect();
+            let group = verify_batch_compiled(
+                indices.iter().map(|&i| (&batch[i].0, &batch[i].2)),
+                &batch[indices[0]].1,
+                sim,
+            )
+            .unwrap();
+            for (&i, report) in indices.iter().zip(group) {
+                reports[i] = Some(report);
+            }
+        }
+        reports.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn mixed_batch_matches_sequential_per_topology() {
+        let batch = mixed_batch(
+            &[
+                Topology::mesh(2, 2),
+                Topology::torus(2, 2),
+                Topology::linear(3),
+            ],
+            5,
+        );
+        let sim = SimConfig::default();
+        let sequential = sequential_reference(&batch, sim);
+        for threads in [1, 2, 4] {
+            let mut scheduler = VerifyScheduler::new(sim, threads, ArenaBudget::Auto);
+            let reports = scheduler
+                .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+                .unwrap();
+            assert_eq!(reports, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn one_fanout_covers_a_mixed_mesh_torus_batch() {
+        // The acceptance shape: a 256-plan interleaved mesh+torus batch
+        // through one scheduler fan-out — no per-topology pool rebuilds,
+        // so arena builds stay bounded by workers × topologies.
+        let batch = mixed_batch(&[Topology::mesh(4, 4), Topology::torus(4, 4)], 128);
+        assert_eq!(batch.len(), 256);
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 4, ArenaBudget::Auto);
+        let reports = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap();
+        assert_eq!(reports.len(), 256);
+        assert!(reports.iter().all(|r| r.completed));
+        let stats = scheduler.stats();
+        assert_eq!(stats.fanouts, 1, "one fan-out for the whole batch");
+        assert_eq!(stats.items, 256);
+        assert_eq!(stats.max_fanout, 256);
+        assert_eq!(stats.distinct_topologies, 2);
+        assert!(
+            stats.arena_misses <= 8,
+            "at most workers × topologies builds: {stats:?}"
+        );
+        assert_eq!(stats.arena_hits + stats.arena_misses, 256);
+        assert_eq!(stats.per_topology.len(), 2);
+        assert!(stats.per_topology.values().all(|t| t.items == 128));
+    }
+
+    #[test]
+    fn arenas_stay_warm_across_batches() {
+        let batch = mixed_batch(&[Topology::mesh(2, 2), Topology::torus(2, 2)], 4);
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 2, ArenaBudget::Auto);
+        let first = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap();
+        let misses_after_first = scheduler.stats().arena_misses;
+        let second = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap();
+        assert_eq!(first, second, "reuse across batches must not drift");
+        assert_eq!(
+            scheduler.stats().arena_misses,
+            misses_after_first,
+            "the second batch replays entirely through warm arenas"
+        );
+        assert_eq!(scheduler.stats().fanouts, 2);
+        assert!(scheduler.resident_arenas() >= 2);
+    }
+
+    #[test]
+    fn setup_error_reports_earliest_offending_index() {
+        let mut batch = mixed_batch(&[Topology::mesh(2, 2)], 6);
+        // A 3-cell plan from another topology group: indices 1 and 4
+        // mismatch the 4-cell programs... swap programs instead so the
+        // plan's topology stays but the program's cell count differs.
+        let odd = mixed_batch(&[Topology::linear(3)], 1);
+        batch[1].0 = odd[0].0.clone();
+        batch[4].0 = odd[0].0.clone();
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 3, ArenaBudget::Auto);
+        let error = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                error,
+                ModelError::CellCountMismatch {
+                    program: 3,
+                    topology: 4
+                }
+            ),
+            "{error:?}"
+        );
+        // The outcome API isolates the same failures per item.
+        let outcomes =
+            scheduler.verify_batch_outcomes(batch.iter().map(|(p, c, plan)| (p, c, plan)));
+        assert!(matches!(outcomes[1], Err(VerifyTaskError::Model(_))));
+        assert!(matches!(outcomes[4], Err(VerifyTaskError::Model(_))));
+        assert_eq!(
+            outcomes.iter().filter(|o| o.is_ok()).count(),
+            4,
+            "healthy items still report"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 2, ArenaBudget::Auto);
+        let reports = scheduler.verify_batch(std::iter::empty()).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(scheduler.stats(), &SchedulerStats::default());
+    }
+
+    #[test]
+    fn fixed_budget_bounds_residency_per_worker() {
+        let topologies: Vec<Topology> = (2..6).map(Topology::linear).collect();
+        let batch = mixed_batch(&topologies, 2);
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 2, ArenaBudget::Fixed(2));
+        let reports = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap();
+        assert!(reports.iter().all(|r| r.completed));
+        for lru in &scheduler.workers {
+            assert!(lru.len() <= 2, "Fixed(2) workers hold at most 2 arenas");
+        }
+    }
+}

@@ -1,38 +1,30 @@
-//! Multi-core batch verification: a pool of reusable arenas over one
-//! immutable world.
+//! Multi-core batch verification over **one** immutable world — a thin
+//! adapter over the cross-topology [`VerifyScheduler`].
 //!
-//! [`verify_batch_compiled`](crate::verify_batch_compiled) replays a
-//! batch sequentially through one [`SimArena`]. On a service node with
-//! many cores that leaves all but one of them idle while the replay chase
-//! is the serving path's bottleneck. [`VerifyPool`] spans **one**
-//! [`SimWorld`] with N arenas — one per worker thread — and verifies a
-//! batch on all of them at once:
+//! [`VerifyPool`] predates the scheduler: it spans a single [`SimWorld`]
+//! with N worker arenas and fans a homogeneous batch out over them. That
+//! is exactly a [`VerifyScheduler`] whose every task shares one arena
+//! key, so the pool now *is* one — same scoped threads, same
+//! work-stealing cursor, same input-order merge, byte-identical to the
+//! sequential [`verify_batch_compiled`](crate::verify_batch_compiled)
+//! path (`tests/verify_parity.rs` asserts this by property,
+//! [`ReplayDeadlock`](crate::ReplayDeadlock) details included).
 //!
-//! * **scoped threads** — workers borrow their arena and the batch for
-//!   the duration of one [`VerifyPool::verify_batch`] call; no `'static`
-//!   bounds, no channels, no leaked threads;
-//! * **work stealing** — a shared atomic cursor hands out plan indices;
-//!   a worker that drew a short replay immediately steals the next
-//!   index, so an uneven batch still keeps every core busy;
-//! * **deterministic results** — each replay is a pure function of
-//!   `(program, plan, world)` (arenas reset in place, and every arena is
-//!   pre-grown to the batch's largest queue requirement so replays are
-//!   independent of which worker ran them), and reports are merged back
-//!   into **input order**. The output is byte-identical to the
-//!   sequential path — same [`VerifyReport`]s, same
-//!   [`ReplayDeadlock`](crate::ReplayDeadlock) details, same order —
-//!   which `tests/verify_parity.rs` asserts by property.
+//! New callers verifying mixed-topology traffic should hold a
+//! [`VerifyScheduler`] directly; the pool remains the convenient shape
+//! when one compiled topology serves the whole batch.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use systolic_core::{CommPlan, CompiledTopology};
 use systolic_model::{ModelError, Program};
 
-use crate::{SimArena, SimConfig, SimWorld, VerifyReport};
+use crate::{ArenaBudget, SimConfig, SimWorld, VerifyReport, VerifyScheduler};
 
-/// A pool of N reusable [`SimArena`]s over one shared [`SimWorld`],
-/// verifying plan batches on all cores.
+/// A pool of N reusable arenas over one shared [`SimWorld`], verifying
+/// plan batches on all cores. Since the [`VerifyScheduler`] landed this
+/// is a documented adapter: a scheduler pinned to a single world, kept
+/// for the common one-topology shape and for API stability.
 ///
 /// Build it once per node (or per compiled topology) and feed it batches;
 /// arenas are reset in place between replays and between batches, so the
@@ -67,18 +59,22 @@ use crate::{SimArena, SimConfig, SimWorld, VerifyReport};
 /// ```
 #[derive(Debug)]
 pub struct VerifyPool {
-    /// One arena per worker thread, all over clones of one world (clones
-    /// share the compiled topology via `Arc`).
-    arenas: Vec<SimArena>,
+    /// The single-world scheduler doing the actual fan-out; each worker's
+    /// LRU holds exactly one arena (this pool's world).
+    scheduler: VerifyScheduler,
+    world: SimWorld,
 }
+
+/// The one arena key a pool's tasks share — any constant works, since a
+/// pool's scheduler only ever sees this world.
+const POOL_WORLD_KEY: u128 = 0;
 
 impl VerifyPool {
     /// Builds a pool of `threads` arenas (clamped to ≥ 1) over `world`.
     #[must_use]
     pub fn new(world: SimWorld, threads: usize) -> Self {
-        let threads = threads.max(1);
-        let arenas = (0..threads).map(|_| SimArena::new(world.clone())).collect();
-        VerifyPool { arenas }
+        let scheduler = VerifyScheduler::new(world.config(), threads, ArenaBudget::Fixed(1));
+        VerifyPool { scheduler, world }
     }
 
     /// [`VerifyPool::new`] over [`SimWorld::from_compiled`] — the serving
@@ -95,13 +91,13 @@ impl VerifyPool {
     /// Number of worker threads (= arenas) this pool verifies with.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.arenas.len()
+        self.scheduler.threads()
     }
 
     /// The world every arena replays against.
     #[must_use]
     pub fn world(&self) -> &SimWorld {
-        self.arenas[0].world()
+        &self.world
     }
 
     /// Replays every `(program, plan)` pair of `batch`, fanned out over
@@ -119,93 +115,8 @@ impl VerifyPool {
         &mut self,
         batch: impl IntoIterator<Item = (&'a Program, &'a Arc<CommPlan>)>,
     ) -> Result<Vec<VerifyReport>, ModelError> {
-        let items: Vec<(&Program, &Arc<CommPlan>)> = batch.into_iter().collect();
-        if items.is_empty() {
-            return Ok(Vec::new());
-        }
-        // Pre-grow every arena to the batch's largest queue requirement so
-        // a replay's pool shape does not depend on which worker ran it or
-        // in what order items were stolen. (Replay outcomes are invariant
-        // to extra queues — the compatible policy draws only from its
-        // per-direction ranges — but a deterministic pool keeps the
-        // parallel path structurally identical to the sequential one.)
-        let max_queues = items
-            .iter()
-            .map(|(_, plan)| plan.requirements().max_per_interval())
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        for arena in &mut self.arenas {
-            arena.ensure_queues(max_queues);
-        }
-        // One worker (or one item): skip the thread machinery entirely.
-        if self.arenas.len() == 1 || items.len() == 1 {
-            let arena = &mut self.arenas[0];
-            return items
-                .iter()
-                .map(|(program, plan)| arena.verify(program, plan))
-                .collect();
-        }
-
-        // Work-stealing cursor: each worker draws the next unclaimed index
-        // until the batch is exhausted. Results carry their index so the
-        // merge below restores input order regardless of who ran what.
-        let cursor = AtomicUsize::new(0);
-        let workers = self.arenas.len().min(items.len());
-        let per_worker: Vec<Vec<(usize, Result<VerifyReport, ModelError>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .arenas
-                    .iter_mut()
-                    .take(workers)
-                    .map(|arena| {
-                        let cursor = &cursor;
-                        let items = &items;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&(program, plan)) = items.get(i) else {
-                                    break;
-                                };
-                                local.push((i, arena.verify(program, plan)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| {
-                        handle
-                            .join()
-                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                    })
-                    .collect()
-            });
-
-        // Merge into input order. Errors mirror the sequential fail-fast
-        // contract: the earliest offending index wins, exactly the error a
-        // sequential scan would have stopped at.
-        let mut reports: Vec<Option<VerifyReport>> = (0..items.len()).map(|_| None).collect();
-        let mut first_error: Option<(usize, ModelError)> = None;
-        for (i, result) in per_worker.into_iter().flatten() {
-            match result {
-                Ok(report) => reports[i] = Some(report),
-                Err(error) => {
-                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
-                        first_error = Some((i, error));
-                    }
-                }
-            }
-        }
-        if let Some((_, error)) = first_error {
-            return Err(error);
-        }
-        Ok(reports
-            .into_iter()
-            .map(|report| report.expect("every batch index was verified"))
-            .collect())
+        self.scheduler
+            .verify_batch_in_world(&self.world, POOL_WORLD_KEY, batch)
     }
 }
 

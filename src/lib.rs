@@ -61,14 +61,18 @@
 //! (topology + config) is built once and the run state is reset in place
 //! per replay. With a precompiled topology, routes come from the shared
 //! closure and certified plans travel as `Arc`s. On a multi-core node,
-//! [`sim::VerifyPool`] fans the same batch over N arenas (one per worker
-//! thread, work-stealing, reports merged back into input order —
-//! byte-identical to the sequential path); the serving layer keeps warm
-//! per-worker LRUs of arenas keyed by compiled topology, and
-//! `ServiceConfig::verify_threads` moves the replay chase onto a
-//! dedicated verifier pool. Tuning: one pool thread per spare core —
-//! replays are CPU-bound and share no mutable state, so throughput
-//! scales until the batch runs out of plans to steal.
+//! [`sim::VerifyScheduler`] fans a **heterogeneous** batch — `(program,
+//! compiled topology, plan)` triples over any mix of fabrics — across N
+//! worker threads, each holding a budgeted LRU of warm arenas keyed by
+//! compiled-topology fingerprint ([`sim::ArenaBudget`]: fixed, auto, or
+//! bytes), with work-stealing and reports merged back into input order —
+//! byte-identical to the sequential path per topology group.
+//! [`sim::VerifyPool`] stays as the single-topology adapter. The serving
+//! layer (`ServiceConfig::verify_threads`) coalesces the chases of a
+//! batch window into one scheduler fan-out. Tuning: one scheduler thread
+//! per spare core — replays are CPU-bound and share no mutable state, so
+//! throughput scales until the batch runs out of plans to steal — and an
+//! arena budget matching the distinct topologies each worker sees.
 //!
 //! ```
 //! use std::sync::Arc;

@@ -9,6 +9,12 @@
 //! **byte-identical** to the sequential batch — every `VerifyReport`
 //! (including `ReplayDeadlock` details) equal, in input order — no
 //! matter the thread count or which worker stole which plan.
+//!
+//! Property three: one heterogeneous `VerifyScheduler` fan-out over an
+//! interleaved mesh/torus/linear batch is byte-identical to splitting the
+//! batch by compiled-topology fingerprint and running each group through
+//! sequential `verify_batch_compiled` — across thread counts, across
+//! reused scheduler instances, and for deadlocking latch replays too.
 
 use std::sync::Arc;
 
@@ -16,8 +22,8 @@ use proptest::prelude::*;
 use systolic::core::{AnalysisConfig, Analyzer, CommPlan, CompiledTopology, Lookahead};
 use systolic::model::{Program, Topology};
 use systolic::sim::{
-    verify_batch_compiled, verify_batch_compiled_parallel, verify_plan, QueueConfig, SimConfig,
-    VerifyPool,
+    verify_batch_compiled, verify_batch_compiled_parallel, verify_plan, ArenaBudget, QueueConfig,
+    SimConfig, VerifyPool, VerifyReport, VerifyScheduler,
 };
 use systolic::workloads::{fig5_p2, fig7, fig7_topology, traffic, TrafficConfig, TrafficItem};
 
@@ -158,6 +164,146 @@ proptest! {
             }
         }
         prop_assert!(verified >= 1, "stream produced no certified plans");
+    }
+}
+
+/// A small cross-cell transfer program for `cells` cells: `W(A)*reps` at
+/// cell 0, `R(A)*reps` at the last cell, routed over whatever fabric it
+/// lands on.
+fn transfer(cells: usize, reps: usize) -> Program {
+    let last = cells - 1;
+    systolic::model::parse_program(&format!(
+        "cells {cells}\nmessage A: c0 -> c{last}\nprogram c0 {{ W(A)*{reps} }}\n\
+         program c{last} {{ R(A)*{reps} }}\n",
+    ))
+    .expect("transfer parses")
+}
+
+/// The scheduler's sequential reference: split the mixed batch by
+/// compiled-topology fingerprint, run each group through sequential
+/// `verify_batch_compiled`, and scatter the reports back to input order.
+fn sequential_reference(
+    items: &[(Program, Arc<CompiledTopology>, Arc<CommPlan>)],
+    sim: SimConfig,
+) -> Vec<VerifyReport> {
+    let mut groups: Vec<(u128, Vec<usize>)> = Vec::new();
+    for (i, (_, compiled, _)) in items.iter().enumerate() {
+        let key = compiled.fingerprint();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, indices)) => indices.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let mut reports: Vec<Option<VerifyReport>> = (0..items.len()).map(|_| None).collect();
+    for (_, indices) in &groups {
+        let compiled = &items[indices[0]].1;
+        let group = verify_batch_compiled(
+            indices.iter().map(|&i| {
+                let (program, _, plan) = &items[i];
+                (program, plan)
+            }),
+            compiled,
+            sim,
+        )
+        .expect("group setup succeeds");
+        for (&i, report) in indices.iter().zip(group) {
+            reports[i] = Some(report);
+        }
+    }
+    reports
+        .into_iter()
+        .map(|r| r.expect("every item verified"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property three: the cross-topology scheduler. An interleaved
+    /// mesh/torus/linear batch (with fig5_p2 mixed in so latch replays
+    /// deadlock) fanned out heterogeneously must be byte-identical to the
+    /// per-fingerprint sequential reference — on both the default and the
+    /// capacity-0 latch simulator, for 2–6 threads, and again when the
+    /// same scheduler instance (warm arenas) runs the batch a second
+    /// time.
+    #[test]
+    fn scheduler_is_byte_identical_on_mixed_topologies(
+        threads in 2usize..=6,
+        reps in 1usize..4,
+    ) {
+        let analysis = AnalysisConfig {
+            queues_per_interval: 2,
+            lookahead: Lookahead::Unbounded,
+        };
+        let topologies = [
+            Topology::mesh(2, 2),
+            Topology::torus(2, 2),
+            Topology::linear(3),
+            Topology::linear(2),
+        ];
+        let compiled: Vec<(Arc<CompiledTopology>, Analyzer)> = topologies
+            .iter()
+            .map(|topology| {
+                let compiled = CompiledTopology::compile(topology, &analysis).into_shared();
+                let analyzer = Analyzer::new(Arc::clone(&compiled));
+                (compiled, analyzer)
+            })
+            .collect();
+
+        // Round-robin interleave: consecutive items alternate topologies.
+        // On linear:2, alternate plain transfers with fig5_p2, which
+        // certifies under unbounded lookahead but deadlocks on latches.
+        let mut items: Vec<(Program, Arc<CompiledTopology>, Arc<CommPlan>)> = Vec::new();
+        for round in 0..3usize {
+            for (i, (topology, (compiled, analyzer))) in
+                topologies.iter().zip(&compiled).enumerate()
+            {
+                let program = if i == 3 && round % 2 == 0 {
+                    fig5_p2()
+                } else {
+                    transfer(topology.num_cells(), reps + round)
+                };
+                let plan = Arc::new(
+                    analyzer
+                        .analyze(&program)
+                        .expect("mixed batch certifies")
+                        .into_plan(),
+                );
+                items.push((program, Arc::clone(compiled), plan));
+            }
+        }
+
+        let latch = SimConfig {
+            queues_per_interval: 2,
+            queue: QueueConfig {
+                capacity: 0,
+                extension: false,
+            },
+            ..Default::default()
+        };
+        for sim in [SimConfig::default(), latch] {
+            let expected = sequential_reference(&items, sim);
+            let mut scheduler = VerifyScheduler::new(sim, threads, ArenaBudget::Auto);
+            for round in 0..2 {
+                let got = scheduler
+                    .verify_batch(items.iter().map(|(p, c, plan)| (p, c, plan)))
+                    .expect("scheduler setup succeeds");
+                prop_assert_eq!(&got, &expected, "threads = {}, round = {}", threads, round);
+                for (through_scheduler, reference) in got.iter().zip(&expected) {
+                    prop_assert_eq!(&through_scheduler.deadlock, &reference.deadlock);
+                }
+            }
+        }
+        // The latch runs must actually exercise the deadlock path.
+        let latched = sequential_reference(&items, latch);
+        prop_assert!(
+            latched.iter().any(|r| r.deadlock.is_some()),
+            "fig5_p2 latch replays must deadlock"
+        );
+        prop_assert!(
+            latched.iter().any(|r| r.completed),
+            "plain transfers must complete"
+        );
     }
 }
 
