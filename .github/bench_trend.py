@@ -6,7 +6,9 @@ Usage: bench_trend.py PREVIOUS CURRENT
 Prints each measured speedup ratio side by side and emits a GitHub
 ``::warning::`` annotation when one dropped more than 10% against the
 previous run's artifact. Ratios measured on different ``hw_threads`` are
-reported but never warned about — they are not comparable. The script
+reported but never warned about — they are not comparable — and a run
+recorded on a single hardware thread is skipped outright (parallel
+speedups are meaningless there). The script
 never exits nonzero: trends inform, CI gating stays with the asserted
 floors inside the bench itself.
 """
@@ -51,6 +53,9 @@ def main():
             continue
         prev_ratio, prev_hw = previous[name]
         cur_ratio, cur_hw = current[name]
+        if 1 in (prev_hw, cur_hw):
+            print(f"{name}: skipped: single-core")
+            continue
         note = ""
         if prev_hw is not None and cur_hw is not None and prev_hw != cur_hw:
             note = f" (hw_threads {prev_hw} -> {cur_hw}, not comparable)"

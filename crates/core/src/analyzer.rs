@@ -52,8 +52,10 @@
 use std::cell::{OnceCell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use systolic_model::{CellId, MessageId, MessageRoutes, Program, Topology};
+use systolic_obs::{names, Obs, SpanCtx};
 
 use crate::{
     check_consistency, classify_with, label_messages, label_messages_robust, Analysis,
@@ -125,6 +127,7 @@ impl AnalyzerBuilder {
             compiled: self.compiled,
             labeling: self.labeling,
             verify_consistency: self.verify_consistency,
+            obs: None,
         }
     }
 }
@@ -139,6 +142,7 @@ pub struct Analyzer {
     compiled: Arc<CompiledTopology>,
     labeling: LabelingStrategy,
     verify_consistency: bool,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Analyzer {
@@ -149,7 +153,21 @@ impl Analyzer {
             compiled: compiled.into(),
             labeling: LabelingStrategy::default(),
             verify_consistency: false,
+            obs: None,
         }
+    }
+
+    /// Attaches a shared observability bundle. Sessions finished through
+    /// an observed analyzer drive the pipeline stage by stage, recording
+    /// one duration histogram sample per stage
+    /// (`systolic_analyzer_stage_duration_micros{stage=...}` — exclusive
+    /// time, since earlier stages are memoized), one counter per pushed
+    /// diagnostic code, and — when the caller supplies a [`SpanCtx`] via
+    /// [`Analyzer::diagnose_in`] — one child span per stage.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Compiles `topology` against `config` and wraps it in an analyzer —
@@ -187,14 +205,20 @@ impl Analyzer {
     /// are first inspected; nothing is computed up front.
     #[must_use]
     pub fn session<'a>(&'a self, program: &'a Program) -> AnalyzerSession<'a> {
-        self.session_with(program, true)
+        self.session_with(program, true, None)
     }
 
-    fn session_with<'a>(&'a self, program: &'a Program, advisories: bool) -> AnalyzerSession<'a> {
+    fn session_with<'a>(
+        &'a self,
+        program: &'a Program,
+        advisories: bool,
+        ctx: Option<SpanCtx>,
+    ) -> AnalyzerSession<'a> {
         AnalyzerSession {
             analyzer: self,
             program,
             advisories,
+            ctx,
             routes: OnceCell::new(),
             limits: OnceCell::new(),
             classification: OnceCell::new(),
@@ -218,7 +242,9 @@ impl Analyzer {
     pub fn analyze(&self, program: &Program) -> Result<Analysis, CoreError> {
         // Diagnostics are discarded here, so skip the advisory
         // (info-severity) scans; error paths still emit theirs.
-        self.session_with(program, false).finish().into_result()
+        self.session_with(program, false, None)
+            .finish()
+            .into_result()
     }
 
     /// Runs all stages and returns the result *with* the accumulated
@@ -226,6 +252,14 @@ impl Analyzer {
     #[must_use]
     pub fn diagnose(&self, program: &Program) -> AnalysisOutcome {
         self.session(program).finish()
+    }
+
+    /// [`Analyzer::diagnose`] with a tracing context: when this analyzer
+    /// carries an [`Obs`] bundle, each pipeline stage is recorded as a
+    /// child span of `ctx.parent` in `ctx.trace`.
+    #[must_use]
+    pub fn diagnose_in(&self, program: &Program, ctx: Option<SpanCtx>) -> AnalysisOutcome {
+        self.session_with(program, true, ctx).finish()
     }
 }
 
@@ -283,6 +317,8 @@ pub struct AnalyzerSession<'a> {
     /// candidates) are skipped — result-only callers don't pay for
     /// diagnostics nobody reads.
     advisories: bool,
+    /// Trace context for stage spans (requires an observed analyzer).
+    ctx: Option<SpanCtx>,
     routes: OnceCell<Result<MessageRoutes, CoreError>>,
     limits: OnceCell<Result<LookaheadLimits, CoreError>>,
     classification: OnceCell<Result<Classification, CoreError>>,
@@ -318,6 +354,14 @@ impl<'a> AnalyzerSession<'a> {
     }
 
     fn push(&self, diagnostic: Diagnostic) {
+        if let Some(obs) = self.analyzer.obs.as_deref() {
+            obs.registry()
+                .counter_with(
+                    names::ANALYZER_DIAGNOSTICS,
+                    &[("code", diagnostic.code().as_str())],
+                )
+                .inc();
+        }
         self.diagnostics.borrow_mut().push(diagnostic);
     }
 
@@ -733,16 +777,49 @@ impl<'a> AnalyzerSession<'a> {
             .map_err(Clone::clone)
     }
 
+    /// Drives the stages one by one under an observer: each stage's
+    /// duration lands in a per-stage histogram and (given a trace context)
+    /// a child span. Memoization makes each measurement *exclusive* —
+    /// dependencies forced by a later stage were already computed and
+    /// timed by their own step.
+    fn drive_observed(&self, obs: &Obs) -> Result<(), CoreError> {
+        let run = |name: &'static str,
+                   stage: &dyn Fn() -> Result<(), CoreError>|
+         -> Result<(), CoreError> {
+            let span = self
+                .ctx
+                .map(|c| obs.tracer().start(c.trace, Some(c.parent), name));
+            let start = Instant::now();
+            let result = stage();
+            obs.registry()
+                .histogram_with(names::ANALYZER_STAGE_DURATION, &[("stage", name)])
+                .record(start.elapsed().as_micros() as u64);
+            if let Some(span) = span {
+                obs.tracer().finish(span);
+            }
+            result
+        };
+        run("routes", &|| self.routes().map(drop))?;
+        run("classification", &|| self.classification().map(drop))?;
+        run("labeling", &|| self.labeling().map(drop))?;
+        if self.analyzer.verify_consistency {
+            run("consistency", &|| self.consistency().map(drop))?;
+        }
+        run("competing", &|| self.competing().map(drop))?;
+        run("requirements", &|| self.requirements().map(drop))?;
+        run("plan", &|| self.plan().map(drop))
+    }
+
     /// Drives every stage and consumes the session into an
     /// [`AnalysisOutcome`] — the result (identical to the legacy
     /// [`analyze`](crate::analyze)) plus all accumulated diagnostics.
     #[must_use]
     pub fn finish(self) -> AnalysisOutcome {
         // Drive the stages to completion (or the first error)…
-        let driven: Result<(), CoreError> = (|| {
-            self.plan()?;
-            Ok(())
-        })();
+        let driven: Result<(), CoreError> = match self.analyzer.obs.as_deref() {
+            Some(obs) => self.drive_observed(obs),
+            None => self.plan().map(drop),
+        };
         let diagnostics = self.diagnostics.into_inner();
         // …then drain the memoized artifacts out of their cells without
         // cloning — the session owns them and is consumed here.
@@ -971,6 +1048,74 @@ mod tests {
             .expect("extension-candidate diagnostic");
         assert_eq!(d.message_ids(), &[MessageId::new(0)]);
         assert_eq!(d.severity(), crate::Severity::Info);
+    }
+
+    #[test]
+    fn observed_session_times_stages_and_nests_spans() {
+        let p = parse_program(fig7_text()).unwrap();
+        let obs = Arc::new(systolic_obs::Obs::new());
+        let analyzer = Analyzer::for_topology(&Topology::linear(4), &AnalysisConfig::default())
+            .with_obs(Arc::clone(&obs));
+        let trace = obs.tracer().new_trace();
+        let root = obs.tracer().start(trace, None, "request");
+        let root_id = root.id();
+        let outcome = analyzer.diagnose_in(&p, Some(root.ctx()));
+        obs.tracer().finish(root);
+        assert!(outcome.is_certified());
+
+        let stages = [
+            "routes",
+            "classification",
+            "labeling",
+            "competing",
+            "requirements",
+            "plan",
+        ];
+        let snap = obs.registry().snapshot();
+        for stage in stages {
+            let h = snap.histogram_value(names::ANALYZER_STAGE_DURATION, &[("stage", stage)]);
+            assert_eq!(h.count, 1, "one sample for stage {stage}");
+        }
+        let events = obs.tracer().snapshot();
+        assert_eq!(events.len(), stages.len() + 1);
+        for event in events.iter().filter(|e| e.name != "request") {
+            assert_eq!(event.trace, trace);
+            assert_eq!(event.parent, Some(root_id), "stage {} nests", event.name);
+        }
+    }
+
+    #[test]
+    fn observed_session_counts_diagnostic_codes() {
+        let p = parse_program(
+            "cells 2\n\
+             message A: c0 -> c1\n\
+             message B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\n\
+             program c1 { R(A) W(B) }\n",
+        )
+        .unwrap();
+        let obs = Arc::new(systolic_obs::Obs::new());
+        let analyzer = Analyzer::for_topology(&Topology::linear(2), &AnalysisConfig::default())
+            .with_obs(Arc::clone(&obs));
+        let outcome = analyzer.diagnose_in(&p, None);
+        assert!(outcome.result().is_err());
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counter_value(names::ANALYZER_DIAGNOSTICS, &[("code", "E-DEADLOCK")]),
+            1
+        );
+        // The pipeline stops at the failing stage: routes, classification,
+        // then labeling fails — later stages record no samples.
+        assert_eq!(
+            snap.histogram_value(names::ANALYZER_STAGE_DURATION, &[("stage", "labeling")])
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.histogram_value(names::ANALYZER_STAGE_DURATION, &[("stage", "plan")])
+                .count,
+            0
+        );
     }
 
     #[test]

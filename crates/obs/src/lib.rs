@@ -1,0 +1,158 @@
+//! Observability spine for the systolic workspace: a lock-light metrics
+//! registry and a lightweight span tracer, dependency-free (std only).
+//!
+//! The rest of the workspace shares **one** [`Obs`] bundle (an `Arc`'d pair
+//! of [`Registry`] + [`Tracer`]): the analyzer times its pipeline stages
+//! into per-stage histograms and counts diagnostics per code, the verify
+//! scheduler and arena LRU record fan-out sizes and build/replay timings,
+//! and the service exposes the whole registry as a Prometheus-style text
+//! exposition or a JSON object per wire request.
+//!
+//! # Instruments
+//!
+//! * [`Counter`] — monotonic `u64`, lock-free `inc`/`add`.
+//! * [`Gauge`] — signed value, lock-free `set`/`add`.
+//! * [`Histogram`] — fixed log2-bucket histogram: value `v` lands in the
+//!   bucket of its binary magnitude, so recording is three atomic ops and
+//!   quantile estimates carry a documented **< 2x (one octave)
+//!   overestimate, never an underestimate** (see [`metrics`]).
+//!
+//! Registration goes through [`Registry`] keyed by `(name, sorted labels)`;
+//! the only lock is taken at registration, so hot paths hold the returned
+//! `Arc`s and touch atomics only. Snapshots merge per-label series on
+//! demand ([`RegistrySnapshot::histogram_total`]).
+//!
+//! # Spans
+//!
+//! [`Tracer`] issues per-request [`TraceId`]s and nests [`SpanEvent`]s via
+//! parent span ids; finished spans land in a bounded in-memory ring (oldest
+//! evicted, drops counted) and serialize to JSONL for `--trace-file`. See
+//! [`trace`].
+//!
+//! ```
+//! use systolic_obs::{names, Obs};
+//!
+//! let obs = Obs::new();
+//! let hits = obs.registry().counter(names::ARENA_CACHE_HITS);
+//! hits.inc();
+//! let h = obs
+//!     .registry()
+//!     .histogram_with(names::ANALYZER_STAGE_DURATION, &[("stage", "plan")]);
+//! h.record(42);
+//! let text = obs.registry().render_prometheus();
+//! assert!(text.contains("systolic_arena_cache_hits_total 1"));
+//! assert!(text.contains("stage=\"plan\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricKey,
+    Registry, RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{ActiveSpan, SpanCtx, SpanEvent, SpanId, TraceId, Tracer, DEFAULT_TRACE_CAPACITY};
+
+/// Shared metric names, so producers in different crates write the same
+/// series and consumers grep stable strings.
+pub mod names {
+    /// Histogram: per-stage analyzer pipeline duration, labeled `stage`.
+    pub const ANALYZER_STAGE_DURATION: &str = "systolic_analyzer_stage_duration_micros";
+    /// Counter: diagnostics pushed per stable code, labeled `code`.
+    pub const ANALYZER_DIAGNOSTICS: &str = "systolic_analyzer_diagnostics_total";
+    /// Counter: arena LRU hits (warm arena reused).
+    pub const ARENA_CACHE_HITS: &str = "systolic_arena_cache_hits_total";
+    /// Counter: arena LRU misses (arena built).
+    pub const ARENA_CACHE_MISSES: &str = "systolic_arena_cache_misses_total";
+    /// Counter: arenas evicted by the residency budget.
+    pub const ARENA_CACHE_EVICTIONS: &str = "systolic_arena_cache_evictions_total";
+    /// Histogram: wall time to build a fresh arena, in microseconds.
+    pub const ARENA_BUILD_DURATION: &str = "systolic_arena_build_duration_micros";
+    /// Histogram: wall time for one verify replay (in-place arena reset +
+    /// cycle-stepped run), in microseconds.
+    pub const VERIFY_REPLAY_DURATION: &str = "systolic_verify_replay_duration_micros";
+    /// Histogram: simulated cycles per verify replay, labeled `topology`.
+    pub const VERIFY_REPLAY_CYCLES: &str = "systolic_verify_replay_cycles";
+    /// Counter: verify chase outcomes, labeled `topology` and `outcome`.
+    pub const VERIFY_OUTCOMES: &str = "systolic_verify_outcomes_total";
+    /// Counter: scheduler fan-outs dispatched.
+    pub const SCHED_FANOUTS: &str = "systolic_scheduler_fanouts_total";
+    /// Counter: verify tasks fanned out across all batches.
+    pub const SCHED_ITEMS: &str = "systolic_scheduler_items_total";
+    /// Histogram: tasks per scheduler fan-out.
+    pub const SCHED_FANOUT_SIZE: &str = "systolic_scheduler_fanout_size";
+    /// Counter: requests handled by the service.
+    pub const SERVICE_REQUESTS: &str = "systolic_service_requests_total";
+    /// Histogram: end-to-end `handle()` latency in microseconds.
+    pub const SERVICE_HANDLE_DURATION: &str = "systolic_service_handle_duration_micros";
+    /// Gauge: submitted-but-unclaimed requests in the worker queue.
+    pub const SERVICE_QUEUE_DEPTH: &str = "systolic_service_queue_depth";
+    /// Gauge: size of the most recent coalesced verify window.
+    pub const SERVICE_COALESCED_WINDOW: &str = "systolic_service_coalesced_window";
+    /// Gauge: plan-cache hits (mirrored from the sharded cache).
+    pub const PLAN_CACHE_HITS: &str = "systolic_plan_cache_hits";
+    /// Gauge: plan-cache misses (mirrored from the sharded cache).
+    pub const PLAN_CACHE_MISSES: &str = "systolic_plan_cache_misses";
+    /// Gauge: plan-cache evictions (mirrored from the sharded cache).
+    pub const PLAN_CACHE_EVICTIONS: &str = "systolic_plan_cache_evictions";
+    /// Gauge: hardware threads visible to the process.
+    pub const HW_THREADS: &str = "systolic_hw_threads";
+}
+
+/// The shared observability bundle: one registry + one tracer, passed
+/// around as `Arc<Obs>`.
+#[derive(Debug, Default)]
+pub struct Obs {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// Creates a bundle with the default trace-ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bundle whose trace ring keeps at most `capacity` spans.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Self {
+            registry: Registry::new(),
+            tracer: Tracer::new(capacity),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_wires_registry_and_tracer() {
+        let obs = Obs::with_trace_capacity(8);
+        obs.registry().counter(names::SERVICE_REQUESTS).inc();
+        let trace = obs.tracer().new_trace();
+        let span = obs.tracer().start(trace, None, "request");
+        obs.tracer().finish(span);
+        assert_eq!(
+            obs.registry()
+                .snapshot()
+                .counter_value(names::SERVICE_REQUESTS, &[]),
+            1
+        );
+        assert_eq!(obs.tracer().snapshot().len(), 1);
+    }
+}

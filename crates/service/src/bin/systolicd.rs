@@ -5,7 +5,8 @@
 //! systolicd serve [FILE] [--workers 4] [--shards 8] [--capacity 256]
 //!                 [--queue-depth 64] [--verify] [--verify-threads N]
 //!                 [--arena-cache-cap N] [--arena-mem-budget BYTES]
-//!                 [--summary]
+//!                 [--summary] [--summary-json]
+//!                 [--metrics-file PATH] [--trace-file PATH]
 //! ```
 //!
 //! `gen` writes a deterministic stream of mixed workload requests (one
@@ -22,7 +23,15 @@
 //! per cache, which takes precedence); `--summary` prints a
 //! throughput/latency/cache table — including arena-cache counters,
 //! scheduler fan-out depths, and a per-topology verified/blocked
-//! breakdown — to stderr. Exit
+//! breakdown — to stderr.
+//!
+//! Observability: `--summary-json` prints the summary as one JSON object
+//! to stderr; `--metrics-file PATH` writes the full metrics registry as a
+//! Prometheus text exposition on exit; `--trace-file PATH` writes the span
+//! log (one JSON object per finished span, `trace` ids matching the
+//! `trace` field of wire responses) as JSONL on exit. A request line
+//! `{"op": "metrics"}` dumps the registry as one JSON response mid-stream
+//! after flushing every prior request. Exit
 //! status is 0 when every line was a well-formed request (rejected
 //! analyses still count as served), 2 on usage errors, 1 when some lines
 //! were malformed.
@@ -37,8 +46,10 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::time::Instant;
 
-use systolic_service::wire::{invalid_to_json, parse_request, response_to_json, traffic_to_json};
-use systolic_service::{AnalysisService, CacheConfig, ServiceConfig, Ticket};
+use systolic_service::wire::{
+    invalid_to_json, metrics_to_json, parse_line, response_to_json, traffic_to_json, WireRequest,
+};
+use systolic_service::{AnalysisService, CacheConfig, Json, ServiceConfig, Ticket};
 use systolic_workloads::{traffic, TrafficConfig};
 
 fn usage() -> ! {
@@ -46,7 +57,8 @@ fn usage() -> ! {
         "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
          systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
          [--queue-depth N] [--verify] [--verify-threads N] \
-         [--arena-cache-cap N] [--arena-mem-budget BYTES] [--summary]"
+         [--arena-cache-cap N] [--arena-mem-budget BYTES] [--summary] \
+         [--summary-json] [--metrics-file PATH] [--trace-file PATH]"
     );
     std::process::exit(2);
 }
@@ -56,6 +68,16 @@ fn parse_flag_value(args: &mut std::slice::Iter<'_, String>, flag: &str) -> usiz
         Some(Ok(v)) => v,
         _ => {
             eprintln!("systolicd: {flag} needs a non-negative integer value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag_path(args: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    match args.next() {
+        Some(v) if !v.is_empty() => v.clone(),
+        _ => {
+            eprintln!("systolicd: {flag} needs a file path");
             std::process::exit(2);
         }
     }
@@ -100,6 +122,9 @@ fn serve_main(args: &[String]) {
     let mut config = ServiceConfig::default();
     let mut cache = CacheConfig::default();
     let mut summary = false;
+    let mut summary_json = false;
+    let mut metrics_file = None;
+    let mut trace_file = None;
     let mut input_path = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -125,6 +150,11 @@ fn serve_main(args: &[String]) {
                     Some(parse_flag_value(&mut iter, "--arena-mem-budget").max(1));
             }
             "--summary" => summary = true,
+            "--summary-json" => summary_json = true,
+            "--metrics-file" => {
+                metrics_file = Some(parse_flag_path(&mut iter, "--metrics-file"));
+            }
+            "--trace-file" => trace_file = Some(parse_flag_path(&mut iter, "--trace-file")),
             path if !path.starts_with('-') && input_path.is_none() => {
                 input_path = Some(path.to_owned());
             }
@@ -169,13 +199,23 @@ fn serve_main(args: &[String]) {
             continue;
         }
         let line_number = i + 1;
-        match parse_request(&line, line_number) {
-            Ok(request) => {
+        match parse_line(&line, line_number) {
+            Ok(WireRequest::Analysis(request)) => {
                 if inflight.len() >= inflight_limit {
                     drain_one(&mut inflight, &mut out);
                 }
-                inflight.push_back(service.submit(request));
+                inflight.push_back(service.submit(*request));
                 served += 1;
+            }
+            Ok(WireRequest::Metrics) => {
+                // Flush in-flight responses first so the dump reflects
+                // every request submitted before it (and output stays in
+                // input order).
+                while !inflight.is_empty() {
+                    drain_one(&mut inflight, &mut out);
+                }
+                writeln!(out, "{}", metrics_to_json(&service.registry_snapshot()))
+                    .expect("writing to stdout succeeds");
             }
             Err(error) => {
                 // Flush pending responses first so output stays in input
@@ -194,25 +234,95 @@ fn serve_main(args: &[String]) {
     }
     out.flush().expect("flushing stdout succeeds");
 
+    let elapsed = started.elapsed();
+    let secs = elapsed.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        served as f64 / secs
+    } else {
+        0.0
+    };
+
     if summary {
-        let elapsed = started.elapsed();
         let stats = service.stats();
         let mut table = stats.table();
-        let secs = elapsed.as_secs_f64();
         table.row(["wall time (s)", &format!("{secs:.3}")]);
-        table.row([
-            "throughput (req/s)",
-            &format!(
-                "{:.0}",
-                if secs > 0.0 {
-                    served as f64 / secs
-                } else {
-                    0.0
-                }
-            ),
-        ]);
+        table.row(["throughput (req/s)", &format!("{throughput:.0}")]);
         table.row(["invalid lines", &invalid.to_string()]);
         eprintln!("{}", table.to_text());
+    }
+
+    if summary_json {
+        let stats = service.stats();
+        let snapshot = service.registry_snapshot();
+        let arenas = stats.arena_cache;
+        let mut members = vec![
+            ("requests".to_owned(), Json::Num(stats.requests as f64)),
+            ("invalid_lines".to_owned(), Json::Num(invalid as f64)),
+            ("wall_seconds".to_owned(), Json::Num(secs)),
+            ("throughput_per_sec".to_owned(), Json::Num(throughput)),
+            ("cache_hits".to_owned(), Json::Num(stats.cache.hits as f64)),
+            (
+                "cache_misses".to_owned(),
+                Json::Num(stats.cache.misses as f64),
+            ),
+            (
+                "cache_hit_rate".to_owned(),
+                Json::Num(stats.cache.hit_rate()),
+            ),
+            ("latency_mean_us".to_owned(), Json::Num(stats.mean_micros)),
+            ("latency_p50_us".to_owned(), Json::Num(stats.p50_micros)),
+            ("latency_p99_us".to_owned(), Json::Num(stats.p99_micros)),
+            (
+                "latency_max_us".to_owned(),
+                Json::Num(stats.max_micros as f64),
+            ),
+            ("arena_hits".to_owned(), Json::Num(arenas.hits as f64)),
+            ("arena_misses".to_owned(), Json::Num(arenas.misses as f64)),
+            (
+                "arena_evictions".to_owned(),
+                Json::Num(arenas.evictions as f64),
+            ),
+            (
+                "hw_threads".to_owned(),
+                Json::Num(snapshot.gauge_value(systolic_obs::names::HW_THREADS, &[]) as f64),
+            ),
+        ];
+        if let Some(scheduler) = &stats.scheduler {
+            members.push((
+                "scheduler_fanouts".to_owned(),
+                Json::Num(scheduler.fanouts as f64),
+            ));
+            members.push((
+                "scheduler_items".to_owned(),
+                Json::Num(scheduler.items as f64),
+            ));
+        }
+        eprintln!("{}", Json::Obj(members));
+    }
+
+    if let Some(path) = &metrics_file {
+        let exposition = service.registry_snapshot().render_prometheus();
+        std::fs::write(path, exposition).unwrap_or_else(|e| {
+            eprintln!("systolicd: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    if let Some(path) = &trace_file {
+        let spans = service.obs().tracer().snapshot();
+        let dropped = service.obs().tracer().dropped();
+        let mut log = String::new();
+        for span in &spans {
+            log.push_str(&span.to_json_line());
+            log.push('\n');
+        }
+        std::fs::write(path, log).unwrap_or_else(|e| {
+            eprintln!("systolicd: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        if dropped > 0 {
+            eprintln!("systolicd: trace ring dropped {dropped} oldest spans (bounded capacity)");
+        }
     }
 
     std::process::exit(i32::from(invalid > 0));

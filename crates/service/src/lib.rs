@@ -26,7 +26,14 @@
 //!   depth and per-topology fan-outs the summary reports;
 //! * [`wire`] + [`Json`] — the JSONL request/response format of the
 //!   [`systolicd`](../systolicd/index.html) binary, which replays scripted
-//!   traffic files end to end.
+//!   traffic files end to end;
+//! * observability — every service shares one
+//!   [`Obs`](systolic_obs::Obs) bundle
+//!   ([`AnalysisService::with_obs`]): analyzer stage timings, arena-cache
+//!   and scheduler counters, and request/verify spans all land in its
+//!   registry/tracer, exported as a Prometheus text exposition
+//!   ([`AnalysisService::registry_snapshot`]), a `metrics` wire op
+//!   ([`wire::metrics_to_json`]), or a JSONL span log.
 //!
 //! # Examples
 //!

@@ -32,7 +32,8 @@ use systolic_core::{
     Diagnostic, Label, LabelingMethod,
 };
 use systolic_model::{ModelError, Program, Topology};
-use systolic_report::{percentile_sorted, Table};
+use systolic_obs::{names, Counter, Gauge, Histogram, Obs, RegistrySnapshot, SpanCtx};
+use systolic_report::Table;
 use systolic_sim::{
     ArenaBudget, SchedulerStats, SimConfig, VerifyReport, VerifyScheduler, VerifyTaskError,
 };
@@ -285,6 +286,11 @@ pub struct AnalysisResponse {
     /// Wall-clock time this request spent in a worker (for a hit: the
     /// fingerprint + cache lookup; for a miss: the full analysis).
     pub handle_micros: u64,
+    /// The request's trace id: every analyzer stage span and verify span
+    /// this request produced (see `--trace-file`) carries this id, and
+    /// the wire layer echoes it as `trace`, so a slow response can be
+    /// joined against its span tree.
+    pub trace_id: u64,
 }
 
 impl AnalysisResponse {
@@ -394,32 +400,35 @@ impl ArenaCacheStats {
     }
 }
 
-/// Shared atomic tallies behind [`ArenaCacheStats`]; workers and verifier
-/// threads bump these as their private LRUs hit/miss/evict.
-#[derive(Debug, Default)]
-struct ArenaCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+/// Registry instruments the service's hot paths touch, resolved once at
+/// construction so per-request work is atomics only (no registry lock).
+///
+/// Arena-cache counters are deliberately **absent**: the
+/// [`ArenaLru`]s themselves (inline per worker, and inside the verify
+/// scheduler's workers) are the single writers of the
+/// `systolic_arena_cache_*` series, so inline and scheduled chases sum in
+/// the registry without double counting.
+#[derive(Debug)]
+struct ServiceMetrics {
+    /// `systolic_service_requests_total`.
+    requests: Arc<Counter>,
+    /// `systolic_service_handle_duration_micros` — also the source of the
+    /// [`ServiceStats`] latency percentiles.
+    handle_micros: Arc<Histogram>,
+    /// `systolic_service_queue_depth`, maintained by `submit`/worker pop.
+    queue_depth: Arc<Gauge>,
+    /// `systolic_service_coalesced_window`, set by the verify dispatcher.
+    coalesced_window: Arc<Gauge>,
 }
 
-impl ArenaCounters {
-    fn note(&self, hit: bool, evicted: bool) {
-        if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn snapshot(&self) -> ArenaCacheStats {
-        ArenaCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+impl ServiceMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let registry = obs.registry();
+        ServiceMetrics {
+            requests: registry.counter(names::SERVICE_REQUESTS),
+            handle_micros: registry.histogram(names::SERVICE_HANDLE_DURATION),
+            queue_depth: registry.gauge(names::SERVICE_QUEUE_DEPTH),
+            coalesced_window: registry.gauge(names::SERVICE_COALESCED_WINDOW),
         }
     }
 }
@@ -464,8 +473,12 @@ struct Inner {
     /// chases run inline in the analysis workers (`verify_threads == 0`).
     verify_queue: Option<BoundedQueue<VerifyJob>>,
     config: ServiceConfig,
+    /// The shared observability bundle: every layer (analyzer stages,
+    /// arena LRUs, verify scheduler, service counters) writes into this
+    /// one registry/tracer pair.
+    obs: Arc<Obs>,
+    metrics: ServiceMetrics,
     latencies: Mutex<Latencies>,
-    arena_cache: ArenaCounters,
     /// The [`VerifyScheduler`]'s cumulative counters, snapshotted by the
     /// dispatcher after every fan-out. `None` until the first fan-out (or
     /// always, when chases run inline).
@@ -478,8 +491,19 @@ struct Inner {
 
 impl Inner {
     fn tally_chase(&self, topology: &Topology, report: &VerifyReport) {
+        let spec = topology.spec();
+        let outcome = if report.completed { "ok" } else { "blocked" };
+        // Per-chase registry lookup is fine here: tally_chase already
+        // serializes on the verify_by_topology mutex.
+        self.obs
+            .registry()
+            .counter_with(
+                names::VERIFY_OUTCOMES,
+                &[("topology", &spec), ("outcome", outcome)],
+            )
+            .inc();
         let mut tallies = self.verify_by_topology.lock();
-        let entry = tallies.entry(topology.spec()).or_insert((0, 0));
+        let entry = tallies.entry(spec).or_insert((0, 0));
         if report.completed {
             entry.0 += 1;
         } else {
@@ -489,15 +513,25 @@ impl Inner {
 }
 
 /// Aggregate service statistics (request latencies + cache counters).
+///
+/// Latency percentiles come from the lock-free log2-bucket
+/// `systolic_service_handle_duration_micros` histogram: an estimate is
+/// the inclusive upper bound of the bucket holding the ranked sample
+/// (capped by the exact max), so it **overestimates by less than 2× (one
+/// octave) and never underestimates**. Mean, count, and max are exact.
+/// (The old reservoir sampler still records and is kept as a cross-check
+/// in tests.)
 #[derive(Clone, Debug)]
 pub struct ServiceStats {
     /// Requests answered.
     pub requests: u64,
     /// Mean in-worker handling time, microseconds.
     pub mean_micros: f64,
-    /// Median handling time, microseconds.
+    /// Median handling time, microseconds (histogram estimate, < 2×
+    /// overestimate, never an underestimate).
     pub p50_micros: f64,
-    /// 99th-percentile handling time, microseconds.
+    /// 99th-percentile handling time, microseconds (histogram estimate,
+    /// < 2× overestimate, never an underestimate).
     pub p99_micros: f64,
     /// Worst handling time, microseconds.
     pub max_micros: u64,
@@ -622,14 +656,29 @@ impl std::fmt::Debug for Inner {
 
 impl AnalysisService {
     /// Starts the worker pool (and, when `verify_threads ≥ 1` with
-    /// `verify` on, the dedicated verifier pool).
+    /// `verify` on, the dedicated verifier pool) with a fresh private
+    /// observability bundle. Use [`AnalysisService::with_obs`] to share
+    /// one bundle with other components (or to read it back out).
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_obs(config, Arc::new(Obs::new()))
+    }
+
+    /// Starts the worker pool recording metrics and spans into `obs`.
+    #[must_use]
+    pub fn with_obs(config: ServiceConfig, obs: Arc<Obs>) -> Self {
         let verify_threads = if config.verify {
             config.verify_threads
         } else {
             0
         };
+        let metrics = ServiceMetrics::resolve(&obs);
+        let hw_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        obs.registry()
+            .gauge(names::HW_THREADS)
+            .set(i64::try_from(hw_threads).unwrap_or(i64::MAX));
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache),
@@ -640,8 +689,9 @@ impl AnalysisService {
             verify_queue: (verify_threads > 0)
                 .then(|| BoundedQueue::new(verify_window(verify_threads))),
             config,
+            obs,
+            metrics,
             latencies: Mutex::new(Latencies::default()),
-            arena_cache: ArenaCounters::default(),
             scheduler_stats: Mutex::new(None),
             verify_by_topology: Mutex::new(BTreeMap::new()),
         });
@@ -693,6 +743,9 @@ impl AnalysisService {
                 reply: tx,
             })
             .unwrap_or_else(|_| panic!("submission queue closed while service alive"));
+        // Gauge via inc/dec (worker pop decrements) rather than len():
+        // the queue's own lock stays out of the submission path.
+        self.inner.metrics.queue_depth.add(1);
         Ticket { rx }
     }
 
@@ -730,21 +783,52 @@ impl AnalysisService {
         self.inner.compilations.stats()
     }
 
+    /// The service's observability bundle: the registry every layer
+    /// writes into and the tracer holding finished spans. Share it via
+    /// [`AnalysisService::with_obs`] or read it here for export
+    /// (`--metrics-file` / `--trace-file`).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
+    }
+
+    /// An owned snapshot of the metrics registry, with the plan-cache
+    /// counters mirrored into the `systolic_plan_cache_*` export gauges
+    /// first — the one-stop input for `--metrics-file` and the `metrics`
+    /// wire op.
+    #[must_use]
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        let cache = self.inner.cache.stats();
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        let registry = self.inner.obs.registry();
+        registry
+            .gauge(names::PLAN_CACHE_HITS)
+            .set(clamp(cache.hits));
+        registry
+            .gauge(names::PLAN_CACHE_MISSES)
+            .set(clamp(cache.misses));
+        registry
+            .gauge(names::PLAN_CACHE_EVICTIONS)
+            .set(clamp(cache.evictions));
+        registry.snapshot()
+    }
+
     /// Counter snapshot of the verification-arena LRUs, summed across all
     /// chasing threads — the workers' inline LRUs plus the verify
     /// scheduler's per-worker LRUs. All-zero unless the service chases
     /// plans (`verify` on).
     #[must_use]
     pub fn arena_cache_stats(&self) -> ArenaCacheStats {
-        let mut stats = self.inner.arena_cache.snapshot();
-        // Chases run inline *or* through the scheduler (never both), so
-        // adding the scheduler's tallies cannot double-count.
-        if let Some(scheduler) = self.inner.scheduler_stats.lock().as_ref() {
-            stats.hits += scheduler.arena_hits;
-            stats.misses += scheduler.arena_misses;
-            stats.evictions += scheduler.arena_evictions;
+        // The ArenaLrus are the single writers of these series (inline
+        // workers and scheduler workers share the one registry), so the
+        // registry totals already cover both chase routes without double
+        // counting.
+        let snapshot = self.inner.obs.registry().snapshot();
+        ArenaCacheStats {
+            hits: snapshot.counter_total(names::ARENA_CACHE_HITS),
+            misses: snapshot.counter_total(names::ARENA_CACHE_MISSES),
+            evictions: snapshot.counter_total(names::ARENA_CACHE_EVICTIONS),
         }
-        stats
     }
 
     /// The verify scheduler's cumulative fan-out counters, as of its most
@@ -771,32 +855,20 @@ impl AnalysisService {
             .collect()
     }
 
-    /// Aggregate latency + cache statistics.
+    /// Aggregate latency + cache statistics. Percentiles are log2-bucket
+    /// histogram estimates (< 2× overestimate, never an underestimate —
+    /// see [`ServiceStats`]); count, mean, and max are exact.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        // Copy the reservoir out and drop the lock before sorting: the
-        // workers take this mutex once per request.
-        let (count, sum_micros, max_micros, mut samples) = {
-            let lat = self.inner.latencies.lock();
-            (
-                lat.count,
-                lat.sum_micros,
-                lat.max_micros,
-                lat.samples.clone(),
-            )
-        };
-        samples.sort_unstable();
-        let sorted: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        // Three atomic-array reads — no lock, no sort, regardless of how
+        // many requests have been served.
+        let latency = self.inner.metrics.handle_micros.snapshot();
         ServiceStats {
-            requests: count,
-            mean_micros: if count == 0 {
-                0.0
-            } else {
-                sum_micros as f64 / count as f64
-            },
-            p50_micros: percentile_sorted(&sorted, 50.0),
-            p99_micros: percentile_sorted(&sorted, 99.0),
-            max_micros,
+            requests: latency.count,
+            mean_micros: latency.mean(),
+            p50_micros: latency.quantile(0.5) as f64,
+            p99_micros: latency.quantile(0.99) as f64,
+            max_micros: latency.max,
             cache: self.inner.cache.stats(),
             arena_cache: self.arena_cache_stats(),
             arena_budget: self.inner.config.arena_budget(),
@@ -829,7 +901,12 @@ fn worker_loop(inner: &Inner) {
     // instead of rebuilding per request. Unused (stays empty) when
     // chases are offloaded to the verify scheduler.
     let mut arenas = ArenaLru::with_budget(inner.config.arena_budget());
+    // The LRU itself writes the arena-cache registry series (hits,
+    // misses, evictions, build timings) — the service adds nothing on
+    // top, so inline and scheduled chases sum without double counting.
+    arenas.set_obs(&inner.obs);
     while let Some(job) = inner.queue.pop() {
+        inner.metrics.queue_depth.add(-1);
         let response = handle(inner, job.seq, job.request, &mut arenas);
         // A dropped Ticket just means the client stopped listening.
         let _ = job.reply.send(response);
@@ -857,11 +934,18 @@ fn scheduler_loop(inner: &Inner) {
     let window = verify_window(threads);
     let mut scheduler =
         VerifyScheduler::new(inner.config.sim, threads, inner.config.arena_budget());
+    // Scheduler workers' LRUs and fan-out counters write into the same
+    // registry as the inline path.
+    scheduler.set_obs(Arc::clone(&inner.obs));
     loop {
         let jobs = verify_queue.pop_many(window);
         if jobs.is_empty() {
             return; // closed and drained
         }
+        inner
+            .metrics
+            .coalesced_window
+            .set(i64::try_from(jobs.len()).unwrap_or(i64::MAX));
         let outcomes = scheduler.verify_batch_outcomes(
             jobs.iter()
                 .map(|job| (&job.program, &job.compiled, &job.plan)),
@@ -892,8 +976,8 @@ fn chase_through(
 ) -> Result<VerifyReport, ChaseError> {
     let fingerprint = compiled.fingerprint();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The LRU counts its own hit/miss/eviction into the registry.
         let lookup = arenas.get_or_build(compiled, inner.config.sim);
-        inner.arena_cache.note(lookup.hit, lookup.evicted);
         lookup.arena.verify(program, plan)
     }));
     match result {
@@ -946,6 +1030,13 @@ fn handle(
     arenas: &mut ArenaLru,
 ) -> AnalysisResponse {
     let start = Instant::now();
+    // Every request gets a trace: one "request" root span, with the
+    // analyzer's stage spans (and the "verify" chase span) nested under
+    // it on a miss. The trace id rides the response so the wire layer can
+    // echo it next to the span log.
+    let tracer = inner.obs.tracer();
+    let span = tracer.start(tracer.new_trace(), None, "request");
+    let ctx = span.ctx();
     let fingerprint = request_fingerprint(&request.program, &request.topology, &request.config);
     let (outcome, provenance) = match inner.cache.get(fingerprint) {
         Some(outcome) => (outcome, CacheProvenance::Hit),
@@ -956,7 +1047,7 @@ fn handle(
             // (Replay panics are already contained — and their arena
             // dropped — inside `chase_through`.)
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(inner, &request, arenas)
+                compute(inner, &request, arenas, ctx)
             }));
             let computed: ServiceOutcome = Arc::new(match result {
                 Ok(outcome) => outcome,
@@ -972,6 +1063,12 @@ fn handle(
         }
     };
     let handle_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let trace_id = ctx.trace.0;
+    tracer.finish(span);
+    inner.metrics.requests.inc();
+    inner.metrics.handle_micros.record(handle_micros);
+    // The reservoir stays as an exact cross-check for the histogram
+    // percentiles (read only by tests).
     inner.latencies.lock().record(handle_micros);
     AnalysisResponse {
         seq,
@@ -980,6 +1077,7 @@ fn handle(
         provenance,
         outcome,
         handle_micros,
+        trace_id,
     }
 }
 
@@ -1011,11 +1109,14 @@ fn compute(
     inner: &Inner,
     request: &AnalysisRequest,
     arenas: &mut ArenaLru,
+    ctx: SpanCtx,
 ) -> Result<Certified, Rejection> {
     let start = Instant::now();
     let compiled = compiled_for(inner, request);
-    let analyzer = Analyzer::new(Arc::clone(&compiled));
-    let (result, diagnostics) = analyzer.diagnose(&request.program).into_parts();
+    let analyzer = Analyzer::new(Arc::clone(&compiled)).with_obs(Arc::clone(&inner.obs));
+    let (result, diagnostics) = analyzer
+        .diagnose_in(&request.program, Some(ctx))
+        .into_parts();
     let diagnostics: Vec<Diagnostic> = diagnostics.into_iter().collect();
     let analysis = match result {
         Ok(analysis) => analysis,
@@ -1036,8 +1137,15 @@ fn compute(
     let verified = if inner.config.verify {
         // Chase the certification with a simulator replay — through this
         // worker's warm arena LRU, or the dedicated verifier pool when
-        // `verify_threads` is set.
-        match chase(inner, arenas, &compiled, &request.program, &plan) {
+        // `verify_threads` is set. The span covers the whole chase,
+        // scheduler queueing included.
+        let chase_span = inner
+            .obs
+            .tracer()
+            .start(ctx.trace, Some(ctx.parent), "verify");
+        let chased = chase(inner, arenas, &compiled, &request.program, &plan);
+        inner.obs.tracer().finish(chase_span);
+        match chased {
             Ok(report) => {
                 inner.tally_chase(&request.topology, &report);
                 Some(report)
@@ -1683,5 +1791,126 @@ mod tests {
         let text = table.to_text();
         assert!(text.contains("requests"));
         assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn responses_carry_distinct_trace_ids_with_request_spans() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let mut ids = Vec::new();
+        for reps in 1..=3 {
+            let response = service
+                .submit(AnalysisRequest::new(
+                    format!("fig7x{reps}"),
+                    fig7(reps),
+                    fig7_topology(),
+                ))
+                .wait();
+            assert!(response.trace_id > 0);
+            ids.push(response.trace_id);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "every request gets its own trace");
+
+        let spans = service.obs().tracer().snapshot();
+        for &id in &ids {
+            let root = spans
+                .iter()
+                .find(|s| s.trace.0 == id && s.name == "request")
+                .expect("each trace has a request root span");
+            assert!(root.parent.is_none());
+            // Misses nest analyzer stage spans under the request root.
+            let stages: Vec<_> = spans
+                .iter()
+                .filter(|s| s.trace.0 == id && s.name != "request")
+                .collect();
+            assert!(!stages.is_empty(), "miss traces carry stage spans");
+            assert!(stages.iter().all(|s| s.parent == Some(root.span)));
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_reservoir_truth() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let requests: Vec<AnalysisRequest> = (1..=32)
+            .map(|reps| AnalysisRequest::new(format!("fig7x{reps}"), fig7(reps), fig7_topology()))
+            .collect();
+        let _ = service.run_batch(requests);
+        let stats = service.stats();
+
+        // The reservoir (kept purely as this cross-check) holds every
+        // sample exactly while under capacity.
+        let (count, max, mut samples) = {
+            let lat = service.inner.latencies.lock();
+            (lat.count, lat.max_micros, lat.samples.clone())
+        };
+        assert_eq!(stats.requests, count);
+        assert_eq!(stats.max_micros, max);
+        samples.sort_unstable();
+        for (q, estimate) in [(0.5, stats.p50_micros), (0.99, stats.p99_micros)] {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, count as usize);
+            let exact = samples[rank - 1];
+            let estimate = estimate as u64;
+            assert!(
+                estimate >= exact,
+                "histogram q={q} must never underestimate: {estimate} < {exact}"
+            );
+            assert!(
+                estimate <= exact.saturating_mul(2).max(1),
+                "histogram q={q} overestimates by 2x at most: {estimate} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_mirrors_service_counters_and_outcomes() {
+        let config = ServiceConfig {
+            verify: true,
+            workers: 1,
+            ..Default::default()
+        };
+        let service = AnalysisService::new(config);
+        for reps in 1..=3 {
+            assert!(service
+                .submit(AnalysisRequest::new(
+                    format!("fig7x{reps}"),
+                    fig7(reps),
+                    fig7_topology(),
+                ))
+                .wait()
+                .is_certified());
+        }
+        let snapshot = service.registry_snapshot();
+        assert_eq!(snapshot.counter_value(names::SERVICE_REQUESTS, &[]), 3);
+        assert_eq!(
+            snapshot
+                .histogram_value(names::SERVICE_HANDLE_DURATION, &[])
+                .count,
+            3
+        );
+        let spec = fig7_topology().spec();
+        assert_eq!(
+            snapshot.counter_value(
+                names::VERIFY_OUTCOMES,
+                &[("topology", &spec), ("outcome", "ok")],
+            ),
+            3
+        );
+        // The arena series come from the worker's LRU (single writer).
+        let arenas = service.arena_cache_stats();
+        assert_eq!(arenas.misses, 1);
+        assert_eq!(arenas.hits, 2);
+        // Plan-cache counters are mirrored into export gauges on snapshot.
+        assert_eq!(snapshot.gauge_value(names::PLAN_CACHE_MISSES, &[]), 3);
+        assert!(snapshot.gauge_value(names::HW_THREADS, &[]) >= 1);
+        // Queue drained: depth gauge returns to zero.
+        assert_eq!(snapshot.gauge_value(names::SERVICE_QUEUE_DEPTH, &[]), 0);
+        // And the whole thing renders as a Prometheus exposition.
+        let text = snapshot.render_prometheus();
+        assert!(text.contains("systolic_service_requests_total 3"), "{text}");
+        assert!(
+            text.contains("systolic_analyzer_stage_duration_micros_bucket"),
+            "{text}"
+        );
     }
 }

@@ -27,7 +27,13 @@
 //!
 //! `status` is `certified` or `rejected` (with `error` holding the
 //! analysis error); malformed request lines are answered with `status:
-//! "invalid"` and the parse error.
+//! "invalid"` and the parse error. Every response also carries `trace`,
+//! the request's trace id — the span events in a `--trace-file` JSONL log
+//! carry the same id, so responses join against their span trees.
+//!
+//! A control line `{"op": "metrics"}` (alias `"stats"`) is recognized by
+//! [`parse_line`] and answered with one `status: "metrics"` object
+//! dumping the whole metrics registry ([`metrics_to_json`]).
 //!
 //! Rejected (unsafe) responses — and certified responses with warnings —
 //! carry a `diagnostics` array of structured findings:
@@ -46,6 +52,7 @@
 
 use systolic_core::{CoreError, Diagnostic, Lookahead, LookaheadLimits};
 use systolic_model::{parse_program, program_to_text, ModelError, Topology};
+use systolic_obs::RegistrySnapshot;
 use systolic_workloads::TrafficItem;
 
 use crate::{AnalysisRequest, AnalysisResponse, CacheProvenance, Json, JsonError, ServiceError};
@@ -184,6 +191,37 @@ pub fn parse_request(line: &str, line_number: usize) -> Result<AnalysisRequest, 
     Ok(request)
 }
 
+/// One parsed JSONL line: an analysis request, or a control op.
+#[derive(Debug)]
+pub enum WireRequest {
+    /// A regular analysis request ([`parse_request`]).
+    Analysis(Box<AnalysisRequest>),
+    /// `{"op": "metrics"}` (alias `"stats"`): dump the metrics registry
+    /// as one JSON object on the response stream.
+    Metrics,
+}
+
+/// Parses one JSONL line, recognizing control ops (`{"op": "metrics"}`)
+/// before falling back to [`parse_request`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] for malformed JSON, unknown ops, or invalid
+/// analysis requests.
+pub fn parse_line(line: &str, line_number: usize) -> Result<WireRequest, WireError> {
+    let value = Json::parse(line)?;
+    match value.get("op").and_then(Json::as_str) {
+        Some("metrics" | "stats") => Ok(WireRequest::Metrics),
+        Some(other) => Err(WireError::Field(format!(
+            "unknown op {other:?} (expected \"metrics\" or \"stats\")"
+        ))),
+        None => Ok(WireRequest::Analysis(Box::new(parse_request(
+            line,
+            line_number,
+        )?))),
+    }
+}
+
 /// Renders one service response as a JSONL line (no trailing newline).
 #[must_use]
 pub fn response_to_json(response: &AnalysisResponse) -> Json {
@@ -292,7 +330,52 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
         "fingerprint".to_owned(),
         Json::Str(format!("{:#034x}", response.fingerprint)),
     ));
+    // The trace id joins this response to its span tree in the
+    // `--trace-file` JSONL log (span events carry the same `trace`).
+    members.push(("trace".to_owned(), Json::Num(response.trace_id as f64)));
     Json::Obj(members)
+}
+
+/// Renders a metrics-registry snapshot as one JSON object (the `metrics`
+/// wire op's response): counters and gauges keyed by their rendered
+/// series name, histograms as `{count, sum, max, mean, p50, p99}`
+/// summaries (log2-bucket estimates for the percentiles — < 2×
+/// overestimate, never an underestimate).
+#[must_use]
+pub fn metrics_to_json(snapshot: &RegistrySnapshot) -> Json {
+    let counters = snapshot
+        .counters
+        .iter()
+        .map(|(key, v)| (key.render(), Json::Num(*v as f64)))
+        .collect();
+    let gauges = snapshot
+        .gauges
+        .iter()
+        .map(|(key, v)| (key.render(), Json::Num(*v as f64)))
+        .collect();
+    let histograms = snapshot
+        .histograms
+        .iter()
+        .map(|(key, h)| {
+            (
+                key.render(),
+                Json::Obj(vec![
+                    ("count".to_owned(), Json::Num(h.count as f64)),
+                    ("sum".to_owned(), Json::Num(h.sum as f64)),
+                    ("max".to_owned(), Json::Num(h.max as f64)),
+                    ("mean".to_owned(), Json::Num(h.mean())),
+                    ("p50".to_owned(), Json::Num(h.quantile(0.5) as f64)),
+                    ("p99".to_owned(), Json::Num(h.quantile(0.99) as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("status".to_owned(), Json::Str("metrics".to_owned())),
+        ("counters".to_owned(), Json::Obj(counters)),
+        ("gauges".to_owned(), Json::Obj(gauges)),
+        ("histograms".to_owned(), Json::Obj(histograms)),
+    ])
 }
 
 /// Renders structured diagnostics as a JSON array. Message/cell id arrays
@@ -573,5 +656,67 @@ mod tests {
         let json = invalid_to_json(3, &err);
         assert_eq!(json.get("status").and_then(Json::as_str), Some("invalid"));
         assert_eq!(json.get("id").and_then(Json::as_str), Some("line-3"));
+    }
+
+    #[test]
+    fn responses_echo_their_trace_id() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let response = service
+            .submit(parse_request(&request_line(""), 1).unwrap())
+            .wait();
+        let json = response_to_json(&response);
+        assert_eq!(
+            json.get("trace").and_then(Json::as_u64),
+            Some(response.trace_id)
+        );
+        assert!(response.trace_id > 0);
+    }
+
+    #[test]
+    fn parse_line_routes_ops_and_requests() {
+        assert!(matches!(
+            parse_line(r#"{"op":"metrics"}"#, 1),
+            Ok(WireRequest::Metrics)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op":"stats"}"#, 1),
+            Ok(WireRequest::Metrics)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op":"explode"}"#, 1),
+            Err(WireError::Field(_))
+        ));
+        assert!(matches!(
+            parse_line(&request_line(""), 1),
+            Ok(WireRequest::Analysis(r)) if r.name == "r1"
+        ));
+    }
+
+    #[test]
+    fn metrics_op_dumps_the_registry_as_json() {
+        let service = AnalysisService::new(ServiceConfig {
+            verify: true,
+            ..Default::default()
+        });
+        assert!(service
+            .submit(parse_request(&request_line(""), 1).unwrap())
+            .wait()
+            .is_certified());
+        let json = metrics_to_json(&service.registry_snapshot());
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("metrics"));
+        let counters = json.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("systolic_service_requests_total")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let histograms = json.get("histograms").expect("histograms object");
+        let handle = histograms
+            .get("systolic_service_handle_duration_micros")
+            .expect("handle-duration summary");
+        assert_eq!(handle.get("count").and_then(Json::as_u64), Some(1));
+        // The rendered line parses back as JSON.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
     }
 }

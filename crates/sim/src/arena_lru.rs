@@ -20,8 +20,10 @@
 //! [`VerifyScheduler`]: crate::VerifyScheduler
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use systolic_core::CompiledTopology;
+use systolic_obs::{names, Counter, Histogram, Obs};
 
 use crate::{SimArena, SimConfig};
 
@@ -114,6 +116,17 @@ pub struct ArenaLru {
     observed: Vec<u128>,
     tick: u64,
     entries: Vec<Entry>,
+    instruments: Option<LruInstruments>,
+}
+
+/// Registry instruments resolved once at [`ArenaLru::set_obs`] time, so
+/// the lookup hot path touches only atomics.
+#[derive(Debug)]
+struct LruInstruments {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    build_micros: Arc<Histogram>,
 }
 
 impl ArenaLru {
@@ -132,7 +145,24 @@ impl ArenaLru {
             observed: Vec::new(),
             tick: 0,
             entries: Vec::new(),
+            instruments: None,
         }
+    }
+
+    /// Attaches a metrics registry: every lookup from now on counts into
+    /// the shared `systolic_arena_cache_{hits,misses,evictions}_total`
+    /// counters and fresh builds record their wall time into the
+    /// `systolic_arena_build_duration_micros` histogram. The LRU is the
+    /// **single writer** of these series — holders (scheduler workers,
+    /// service threads) attach the same bundle and their traffic sums.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let registry = obs.registry();
+        self.instruments = Some(LruInstruments {
+            hits: registry.counter(names::ARENA_CACHE_HITS),
+            misses: registry.counter(names::ARENA_CACHE_MISSES),
+            evictions: registry.counter(names::ARENA_CACHE_EVICTIONS),
+            build_micros: registry.histogram(names::ARENA_BUILD_DURATION),
+        });
     }
 
     /// Arenas currently resident.
@@ -214,6 +244,9 @@ impl ArenaLru {
         if let Some(idx) = self.entries.iter().position(|e| e.key == key) {
             if self.entries[idx].sim == sim {
                 self.entries[idx].last_used = self.tick;
+                if let Some(m) = &self.instruments {
+                    m.hits.inc();
+                }
                 return ArenaLookup {
                     arena: &mut self.entries[idx].arena,
                     hit: true,
@@ -225,11 +258,18 @@ impl ArenaLru {
             // fall through to the rebuild path below.
             self.entries.swap_remove(idx);
         }
+        let build_start = Instant::now();
+        let arena = build();
+        if let Some(m) = &self.instruments {
+            m.misses.inc();
+            m.build_micros
+                .record(build_start.elapsed().as_micros() as u64);
+        }
         self.entries.push(Entry {
             key,
             sim,
             last_used: self.tick,
-            arena: build(),
+            arena,
         });
         let evicted = self.enforce_budget();
         let arena = &mut self
@@ -249,19 +289,24 @@ impl ArenaLru {
     /// protecting the most recently touched entry. Returns whether
     /// anything was evicted.
     fn enforce_budget(&mut self) -> bool {
-        let mut evicted = false;
+        let mut evicted = 0u64;
         let cap = self.budget.entry_cap(self.observed.len());
         while self.entries.len() > cap.max(1) {
             self.evict_lru();
-            evicted = true;
+            evicted += 1;
         }
         if let ArenaBudget::MemBytes(budget) = self.budget {
             while self.entries.len() > 1 && self.approx_bytes() > budget {
                 self.evict_lru();
-                evicted = true;
+                evicted += 1;
             }
         }
-        evicted
+        if evicted > 0 {
+            if let Some(m) = &self.instruments {
+                m.evictions.add(evicted);
+            }
+        }
+        evicted > 0
     }
 
     fn evict_lru(&mut self) {
@@ -461,6 +506,25 @@ mod tests {
         assert!(!roomy.get_or_build(&b, SimConfig::default()).evicted);
         assert_eq!(roomy.len(), 2);
         assert!(roomy.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn observed_lru_counts_hits_misses_evictions_and_build_time() {
+        let obs = Obs::new();
+        let mut lru = ArenaLru::new(1);
+        lru.set_obs(&obs);
+        let (a, b) = (compiled(2), compiled(3));
+        lru.get_or_build(&a, SimConfig::default()); // miss
+        lru.get_or_build(&a, SimConfig::default()); // hit
+        lru.get_or_build(&b, SimConfig::default()); // miss + eviction
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter_value(names::ARENA_CACHE_HITS, &[]), 1);
+        assert_eq!(snap.counter_value(names::ARENA_CACHE_MISSES, &[]), 2);
+        assert_eq!(snap.counter_value(names::ARENA_CACHE_EVICTIONS, &[]), 1);
+        assert_eq!(
+            snap.histogram_value(names::ARENA_BUILD_DURATION, &[]).count,
+            2
+        );
     }
 
     #[test]

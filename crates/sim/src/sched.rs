@@ -33,9 +33,11 @@ use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use systolic_core::{CommPlan, CompiledTopology};
 use systolic_model::{ModelError, Program};
+use systolic_obs::{names, Histogram, Obs};
 
 use crate::{ArenaBudget, ArenaLru, SimArena, SimConfig, SimWorld, VerifyReport};
 
@@ -220,6 +222,7 @@ pub struct VerifyScheduler {
     /// counter behind [`SchedulerStats::distinct_topologies`]).
     seen: HashSet<u128>,
     stats: SchedulerStats,
+    obs: Option<Arc<Obs>>,
 }
 
 impl VerifyScheduler {
@@ -235,7 +238,23 @@ impl VerifyScheduler {
             workers,
             seen: HashSet::new(),
             stats: SchedulerStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches a shared observability bundle: fan-outs count into
+    /// `systolic_scheduler_{fanouts,items}_total` with a
+    /// `systolic_scheduler_fanout_size` histogram, each replay records its
+    /// wall time (in-place arena reset + cycle-stepped run) into
+    /// `systolic_verify_replay_duration_micros` and its simulated cycle
+    /// count into `systolic_verify_replay_cycles{topology=...}`, and every
+    /// worker's [`ArenaLru`] starts writing the shared arena-cache
+    /// counters and build-duration histogram.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        for lru in &mut self.workers {
+            lru.set_obs(&obs);
+        }
+        self.obs = Some(obs);
     }
 
     /// Number of worker threads (= arena LRUs) this scheduler fans out
@@ -369,6 +388,10 @@ impl VerifyScheduler {
             *key_counts.entry(task.key).or_insert(0) += 1;
         }
         self.stats.distinct_topologies = self.seen.len() as u64;
+        // One per-topology replay-cycle histogram per distinct key in this
+        // fan-out, resolved before dispatch so the merge loop below does
+        // not take the registry lock per task.
+        let mut cycle_hists: BTreeMap<u128, Arc<Histogram>> = BTreeMap::new();
         for (key, count) in key_counts {
             let spec = tasks
                 .iter()
@@ -376,75 +399,106 @@ impl VerifyScheduler {
                 .expect("key came from tasks")
                 .source
                 .spec();
+            if let Some(obs) = &self.obs {
+                cycle_hists.insert(
+                    key,
+                    obs.registry()
+                        .histogram_with(names::VERIFY_REPLAY_CYCLES, &[("topology", &spec)]),
+                );
+            }
             let entry = self.stats.per_topology.entry(spec).or_default();
             entry.fanouts += 1;
             entry.items += count;
+        }
+        let replay_hist = self
+            .obs
+            .as_ref()
+            .map(|obs| obs.registry().histogram(names::VERIFY_REPLAY_DURATION));
+        if let Some(obs) = &self.obs {
+            let registry = obs.registry();
+            registry.counter(names::SCHED_FANOUTS).inc();
+            registry.counter(names::SCHED_ITEMS).add(tasks.len() as u64);
+            registry
+                .histogram(names::SCHED_FANOUT_SIZE)
+                .record(tasks.len() as u64);
         }
 
         let sim = self.sim;
         let workers = self.workers.len().min(tasks.len());
         // One worker (or one item): skip the thread machinery entirely.
-        if workers <= 1 {
+        let outcomes: Vec<Result<VerifyReport, VerifyTaskError>> = if workers <= 1 {
             let lru = &mut self.workers[0];
             let mut tally = LruTally::default();
-            let outcomes = tasks
+            let outcomes: Vec<_> = tasks
                 .iter()
-                .map(|task| verify_one(lru, sim, task, &mut tally))
+                .map(|task| verify_one(lru, sim, task, &mut tally, replay_hist.as_deref()))
                 .collect();
             self.absorb(std::iter::once(tally));
-            return outcomes;
-        }
-
-        // Work-stealing cursor, as in the pool: each worker draws the
-        // next unclaimed index until the batch is exhausted; outcomes
-        // carry their index so the merge restores input order.
-        let cursor = AtomicUsize::new(0);
-        let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .take(workers)
-                .map(|lru| {
-                    let cursor = &cursor;
-                    let tasks = &tasks;
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        let mut tally = LruTally::default();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(i) else {
-                                break;
-                            };
-                            local.push((i, verify_one(lru, sim, task, &mut tally)));
-                        }
-                        (local, tally)
+            outcomes
+        } else {
+            // Work-stealing cursor, as in the pool: each worker draws the
+            // next unclaimed index until the batch is exhausted; outcomes
+            // carry their index so the merge restores input order.
+            let cursor = AtomicUsize::new(0);
+            let replay_hist = replay_hist.as_deref();
+            let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .take(workers)
+                    .map(|lru| {
+                        let cursor = &cursor;
+                        let tasks = &tasks;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut tally = LruTally::default();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(i) else {
+                                    break;
+                                };
+                                local
+                                    .push((i, verify_one(lru, sim, task, &mut tally, replay_hist)));
+                            }
+                            (local, tally)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| {
-                    handle
-                        .join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                })
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle
+                            .join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
+                    .collect()
+            });
 
-        let mut outcomes: Vec<Option<Result<VerifyReport, VerifyTaskError>>> =
-            (0..tasks.len()).map(|_| None).collect();
-        let mut tallies = Vec::with_capacity(per_worker.len());
-        for (local, tally) in per_worker {
-            tallies.push(tally);
-            for (i, outcome) in local {
-                outcomes[i] = Some(outcome);
+            let mut outcomes: Vec<Option<Result<VerifyReport, VerifyTaskError>>> =
+                (0..tasks.len()).map(|_| None).collect();
+            let mut tallies = Vec::with_capacity(per_worker.len());
+            for (local, tally) in per_worker {
+                tallies.push(tally);
+                for (i, outcome) in local {
+                    outcomes[i] = Some(outcome);
+                }
+            }
+            self.absorb(tallies);
+            outcomes
+                .into_iter()
+                .map(|outcome| outcome.expect("every batch index was verified"))
+                .collect()
+        };
+        // Per-topology replay-cycle histograms, recorded once the merge
+        // restored input order (outcome i belongs to task i).
+        if !cycle_hists.is_empty() {
+            for (task, outcome) in tasks.iter().zip(&outcomes) {
+                if let (Ok(report), Some(hist)) = (outcome, cycle_hists.get(&task.key)) {
+                    hist.record(report.cycles);
+                }
             }
         }
-        self.absorb(tallies);
         outcomes
-            .into_iter()
-            .map(|outcome| outcome.expect("every batch index was verified"))
-            .collect()
     }
 
     fn absorb(&mut self, tallies: impl IntoIterator<Item = LruTally>) {
@@ -465,16 +519,26 @@ fn verify_one(
     sim: SimConfig,
     task: &Task<'_>,
     tally: &mut LruTally,
+    replay_hist: Option<&Histogram>,
 ) -> Result<VerifyReport, VerifyTaskError> {
     let result = catch_unwind(AssertUnwindSafe(|| {
         let lookup = lru.get_or_build_with(task.key, sim, || task.source.build(sim));
         let flags = (lookup.hit, lookup.evicted);
         lookup.arena.ensure_queues(task.group_max);
-        (flags, lookup.arena.verify(task.program, task.plan))
+        // Replay wall time: the in-place state reset plus the
+        // cycle-stepped run (arena *builds* are timed separately by the
+        // LRU's own histogram).
+        let replay_start = Instant::now();
+        let outcome = lookup.arena.verify(task.program, task.plan);
+        let replay_micros = replay_start.elapsed().as_micros() as u64;
+        (flags, outcome, replay_micros)
     }));
     match result {
-        Ok(((hit, evicted), outcome)) => {
+        Ok(((hit, evicted), outcome, replay_micros)) => {
             tally.note(hit, evicted);
+            if let Some(hist) = replay_hist {
+                hist.record(replay_micros);
+            }
             outcome.map_err(VerifyTaskError::Model)
         }
         Err(panic) => {
@@ -704,6 +768,51 @@ mod tests {
         let reports = scheduler.verify_batch(std::iter::empty()).unwrap();
         assert!(reports.is_empty());
         assert_eq!(scheduler.stats(), &SchedulerStats::default());
+    }
+
+    #[test]
+    fn observed_scheduler_records_fanouts_and_replay_histograms() {
+        let batch = mixed_batch(&[Topology::mesh(2, 2), Topology::torus(2, 2)], 4);
+        let mut scheduler = VerifyScheduler::new(SimConfig::default(), 2, ArenaBudget::Auto);
+        let obs = Arc::new(Obs::new());
+        scheduler.set_obs(Arc::clone(&obs));
+        let reports = scheduler
+            .verify_batch(batch.iter().map(|(p, c, plan)| (p, c, plan)))
+            .unwrap();
+        assert_eq!(reports.len(), 8);
+
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter_value(names::SCHED_FANOUTS, &[]), 1);
+        assert_eq!(snap.counter_value(names::SCHED_ITEMS, &[]), 8);
+        let fanout = snap.histogram_value(names::SCHED_FANOUT_SIZE, &[]);
+        assert_eq!((fanout.count, fanout.max), (1, 8));
+        // Registry arena counters mirror the scheduler's own tallies —
+        // the worker LRUs are the single writers of both.
+        let stats = scheduler.stats();
+        assert_eq!(
+            snap.counter_value(names::ARENA_CACHE_HITS, &[]),
+            stats.arena_hits
+        );
+        assert_eq!(
+            snap.counter_value(names::ARENA_CACHE_MISSES, &[]),
+            stats.arena_misses
+        );
+        assert_eq!(
+            snap.histogram_value(names::ARENA_BUILD_DURATION, &[]).count,
+            stats.arena_misses
+        );
+        assert_eq!(
+            snap.histogram_value(names::VERIFY_REPLAY_DURATION, &[])
+                .count,
+            8
+        );
+        // One replay-cycle histogram per topology, each with one sample
+        // per replay of that fabric, and cycles conserved exactly.
+        for (spec, fanout) in &stats.per_topology {
+            let cycles = snap.histogram_value(names::VERIFY_REPLAY_CYCLES, &[("topology", spec)]);
+            assert_eq!(cycles.count, fanout.items, "topology {spec}");
+            assert!(cycles.sum > 0);
+        }
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   algorithm generators and mixed service traffic;
 //! * [`report`] — tables and statistics for the experiment harness;
 //! * [`service`] — the sharded, cached, batch analysis service with the
-//!   `systolicd` JSONL front end.
+//!   `systolicd` JSONL front end;
+//! * [`obs`] — the shared observability spine: a lock-light metrics
+//!   registry (counters, gauges, log2-bucket histograms) and a span
+//!   tracer that the analyzer, simulator, and service all record into,
+//!   exported as Prometheus text (`systolicd --metrics-file`) or JSONL
+//!   span logs (`--trace-file`).
 //!
 //! # Quickstart
 //!
@@ -106,6 +111,7 @@
 
 pub use systolic_core as core;
 pub use systolic_model as model;
+pub use systolic_obs as obs;
 pub use systolic_report as report;
 pub use systolic_service as service;
 pub use systolic_sim as sim;
