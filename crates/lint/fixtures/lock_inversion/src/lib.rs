@@ -1,0 +1,43 @@
+//! Seeded lock-order inversion: `transfer` takes `ledger` then `audit`,
+//! `reconcile` takes `audit` then `ledger`. Run both concurrently and
+//! each can hold one lock while waiting forever on the other — the
+//! classic AB/BA deadlock `systolic-lint`'s L-LOCK-CYCLE rule must catch.
+
+use parking_lot::Mutex;
+
+/// Two accounts guarded by separate locks.
+pub struct Accounts {
+    ledger: Mutex<Vec<i64>>,
+    audit: Mutex<Vec<i64>>,
+}
+
+impl Accounts {
+    /// Creates empty books.
+    pub fn new() -> Self {
+        Accounts {
+            ledger: Mutex::new(Vec::new()),
+            audit: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Acquires `ledger`, then `audit`.
+    pub fn transfer(&self, amount: i64) {
+        let mut ledger = self.ledger.lock();
+        let mut audit = self.audit.lock();
+        ledger.push(amount);
+        audit.push(amount);
+    }
+
+    /// Acquires `audit`, then `ledger` — the inversion.
+    pub fn reconcile(&self) -> i64 {
+        let audit = self.audit.lock();
+        let ledger = self.ledger.lock();
+        audit.iter().sum::<i64>() - ledger.iter().sum::<i64>()
+    }
+}
+
+impl Default for Accounts {
+    fn default() -> Self {
+        Self::new()
+    }
+}

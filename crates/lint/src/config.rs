@@ -1,0 +1,215 @@
+//! `lint.toml`: scan roots, excludes, and per-rule scopes/allowlists.
+//!
+//! The parser understands the TOML subset the config actually needs —
+//! `[section]` headers, `key = "string"`, `key = ["a", "b", ...]` (arrays
+//! may span lines), `key = true|false`, and `#` comments — and rejects
+//! anything else loudly so config typos surface as errors, not silently
+//! ignored suppressions.
+//!
+//! ```toml
+//! [lint]
+//! roots = ["crates", "src"]
+//! exclude = ["vendor", "crates/lint/fixtures"]
+//!
+//! [rule.L-PANIC-PATH]
+//! paths = ["crates/service/src"]   # scope: only scan these prefixes
+//! allow = ["crates/service/src/json.rs"]  # drop findings under these
+//! enabled = true
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Path prefixes the rule is restricted to. Empty = every scanned file.
+    pub paths: Vec<String>,
+    /// Path prefixes whose findings are suppressed (counted, not shown).
+    pub allow: Vec<String>,
+    /// `false` disables the rule entirely.
+    pub disabled: bool,
+}
+
+impl RuleConfig {
+    /// `true` if the rule should scan `path` at all.
+    pub fn in_scope(&self, path: &str) -> bool {
+        self.paths.is_empty() || self.paths.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// `true` if findings in `path` are allowlisted away.
+    pub fn allowed(&self, path: &str) -> bool {
+        self.allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The whole lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories under the root to walk for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes never scanned (fixtures, vendor shims, build output).
+    pub exclude: Vec<String>,
+    /// Per-rule-code overrides.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: ["crates", "src", "examples", "tests", "benches"]
+                .map(str::to_owned)
+                .to_vec(),
+            exclude: ["vendor", "target"].map(str::to_owned).to_vec(),
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Looks up a rule's config; absent rules get the permissive default.
+    pub fn rule(&self, code: &str) -> RuleConfig {
+        self.rules.get(code).cloned().unwrap_or_default()
+    }
+
+    /// `true` if `path` falls under an excluded prefix.
+    pub fn excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Parses the `lint.toml` subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the supported subset, unknown sections, or unknown keys.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("lint.toml:{}: {msg}", i + 1);
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                if section != "lint" && !section.starts_with("rule.") {
+                    return Err(err(&format!("unknown section [{section}]")));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = value` or `[section]`"));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_owned();
+            // Arrays may span lines: keep appending until brackets close.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err("unterminated array"));
+                };
+                value.push_str(strip_comment(next).trim());
+            }
+            match (section.as_str(), key) {
+                ("lint", "roots") => config.roots = parse_array(&value).map_err(|e| err(&e))?,
+                ("lint", "exclude") => config.exclude = parse_array(&value).map_err(|e| err(&e))?,
+                ("lint", _) => return Err(err(&format!("unknown key `{key}` in [lint]"))),
+                (s, _) if s.starts_with("rule.") => {
+                    let rule = config
+                        .rules
+                        .entry(s["rule.".len()..].to_owned())
+                        .or_default();
+                    match key {
+                        "paths" => rule.paths = parse_array(&value).map_err(|e| err(&e))?,
+                        "allow" => rule.allow = parse_array(&value).map_err(|e| err(&e))?,
+                        "enabled" => rule.disabled = value == "false",
+                        _ => return Err(err(&format!("unknown key `{key}` in [{s}]"))),
+                    }
+                }
+                _ => return Err(err("key outside any [section]")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its elements.
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("array elements must be quoted strings, got `{part}`"))?;
+        out.push(s.to_owned());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_scopes() {
+        let text = r#"
+# workspace lint config
+[lint]
+roots = ["crates", "src"]
+exclude = ["vendor"]
+
+[rule.L-PANIC-PATH]
+paths = [
+    "crates/service/src",  # the serving path
+    "crates/sim/src",
+]
+allow = ["crates/service/src/json.rs"]
+"#;
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.roots, vec!["crates", "src"]);
+        assert!(config.excluded("vendor/rand/src/lib.rs"));
+        let rule = config.rule("L-PANIC-PATH");
+        assert!(rule.in_scope("crates/sim/src/engine.rs"));
+        assert!(!rule.in_scope("crates/core/src/plan.rs"));
+        assert!(rule.allowed("crates/service/src/json.rs"));
+        assert!(!rule.allowed("crates/service/src/wire.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_error() {
+        assert!(Config::parse("[surprise]\n").is_err());
+        assert!(Config::parse("[lint]\ntypo = [\"a\"]\n").is_err());
+        assert!(Config::parse("[rule.L-X]\ntypo = [\"a\"]\n").is_err());
+        assert!(Config::parse("loose = 1\n").is_err());
+    }
+
+    #[test]
+    fn disabled_rule_and_defaults() {
+        let config = Config::parse("[rule.L-LOCK-CYCLE]\nenabled = false\n").unwrap();
+        assert!(config.rule("L-LOCK-CYCLE").disabled);
+        assert!(!config.rule("L-PANIC-PATH").disabled);
+        assert!(config.rule("L-PANIC-PATH").in_scope("anything.rs"));
+    }
+}

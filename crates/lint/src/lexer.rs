@@ -1,0 +1,496 @@
+//! A minimal Rust tokenizer for rule scanning.
+//!
+//! The lexer produces a flat token stream of identifiers, punctuation and
+//! literal placeholders with line numbers, strips comments (collecting
+//! `// lint: <tag>(<reason>)` annotations as it goes), and marks the token
+//! ranges of `#[test]` / `#[cfg(test)]` items so rules can skip test code.
+//! It is deliberately not a parser: rules work on token patterns, which is
+//! exactly the granularity the acquisition-order and panic-surface checks
+//! need, and it keeps the engine dependency-free.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`self`, `fn`, `lock`, `Ordering`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `;`, ...).
+    Punct,
+    /// A literal (string, char, number). The text is not preserved;
+    /// literals only matter as "not an identifier" for pattern matching.
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier text, or the punctuation character as a string.
+    /// Empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// `true` when the token sits inside a `#[test]` function or a
+    /// `#[cfg(test)]` item (rules that audit production code skip these).
+    pub test: bool,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// `true` if this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// An in-source suppression: `// lint: <tag>(<reason>)`.
+///
+/// An annotation covers findings on its own line and on the line
+/// immediately below it (so it can sit on the line above a long
+/// expression).
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// The tag, e.g. `panic-ok` or `relaxed-ok`.
+    pub tag: String,
+    /// The justification between the parentheses. Rules reject empty
+    /// reasons: a suppression must say *why*.
+    pub reason: String,
+}
+
+/// One lexed source file, ready for rule scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The token stream (comments stripped, test ranges marked).
+    pub tokens: Vec<Token>,
+    /// `lint:` annotations collected from comments.
+    pub annotations: Vec<Annotation>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a scannable file.
+    pub fn lex(path: &str, text: &str) -> SourceFile {
+        let mut lexer = Lexer {
+            chars: text.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            annotations: Vec::new(),
+        };
+        lexer.run();
+        let mut file = SourceFile {
+            path: path.to_owned(),
+            tokens: lexer.tokens,
+            annotations: lexer.annotations,
+        };
+        mark_test_ranges(&mut file.tokens);
+        file
+    }
+
+    /// `true` if an annotation with `tag` (and a non-empty reason) covers
+    /// `line` — i.e. sits on that line or the one directly above it.
+    pub fn annotated(&self, line: u32, tag: &str) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.tag == tag && !a.reason.is_empty() && (a.line == line || a.line + 1 == line))
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    annotations: Vec<Annotation>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_string() => {}
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_alphabetic() || c == '_' => {
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident, text, line);
+                }
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    /// Consumes `// ...` to end of line, harvesting `lint:` annotations.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        if let Some(annotation) = parse_annotation(&body, line) {
+            self.annotations.push(annotation);
+        }
+    }
+
+    /// Consumes a (possibly nested) `/* ... */` comment.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"..."` string literal with escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and plain
+    /// identifiers starting with `r`/`b`. Returns `true` if it consumed a
+    /// literal (otherwise the caller lexes an identifier).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let line = self.line;
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('"') {
+            self.bump();
+            self.string();
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false; // an identifier like `r` / `radius` / `br`
+        }
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+        true
+    }
+
+    /// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // A lifetime is `'` + ident-start not followed by a closing quote.
+        if let Some(c1) = self.peek(1) {
+            if (c1.is_alphabetic() || c1 == '_') && self.peek(2) != Some('\'') {
+                self.bump(); // the quote; the identifier lexes next round
+                return;
+            }
+        }
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Consumes a numeric literal (digits, `_`, hex/suffix letters).
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+}
+
+/// Parses `lint: <tag>(<reason>)` out of a line-comment body.
+fn parse_annotation(body: &str, line: u32) -> Option<Annotation> {
+    let at = body.find("lint:")?;
+    let rest = body[at + "lint:".len()..].trim_start();
+    let open = rest.find('(')?;
+    let close = rest.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let tag = rest[..open].trim();
+    if tag.is_empty() || !tag.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    Some(Annotation {
+        line,
+        tag: tag.to_owned(),
+        reason: rest[open + 1..close].trim().to_owned(),
+    })
+}
+
+/// Marks tokens belonging to `#[test]` / `#[cfg(test)]` items.
+///
+/// On seeing an attribute whose tokens include the identifier `test`, the
+/// scanner swallows any further attributes, then marks the following item
+/// through its body (`{ ... }`) or declaration-terminating `;` — tracking
+/// parenthesis/bracket nesting so `fn f(x: [u8; 2])` does not end early.
+fn mark_test_ranges(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                let mut j = attr_end;
+                // Swallow trailing attributes (`#[cfg(test)] #[allow(..)]`).
+                while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (next_end, _) = scan_attribute(tokens, j + 1);
+                    j = next_end;
+                }
+                let item_end = scan_item(tokens, j);
+                for token in tokens.iter_mut().take(item_end).skip(i) {
+                    token.test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans one `[...]` attribute from its opening bracket; returns the index
+/// past the closing bracket and whether the attribute mentions `test`.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if t.is_ident("test") {
+            is_test = true;
+        }
+        i += 1;
+    }
+    (i, is_test)
+}
+
+/// Scans one item starting at `from`; returns the index past its end
+/// (matching `}` of the first top-level block, or a top-level `;`).
+fn scan_item(tokens: &[Token], from: usize) -> usize {
+    let mut i = from;
+    let mut nest = 0isize; // () and [] nesting before the body
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest -= 1;
+        } else if nest == 0 && t.is_punct(';') {
+            return i + 1;
+        } else if nest == 0 && t.is_punct('{') {
+            let mut depth = 0isize;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let f = SourceFile::lex("x.rs", "fn main() {\n    a.lock();\n}\n");
+        let idents: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("main", 1), ("a", 2), ("lock", 2)]);
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = "let a = \"lock() unwrap()\"; // b.lock()\n/* c.lock() */ let d = 1;\n";
+        let f = SourceFile::lex("x.rs", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("lock")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"un\"wrap()\"#; let c = 'x'; }";
+        let f = SourceFile::lex("x.rs", src);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("wrap")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("a"))); // lifetime ident survives
+    }
+
+    #[test]
+    fn annotations_parse_tag_and_reason() {
+        let src = "x(); // lint: panic-ok(pool invariant (checked))\ny();\n";
+        let f = SourceFile::lex("x.rs", src);
+        assert_eq!(f.annotations.len(), 1);
+        assert_eq!(f.annotations[0].tag, "panic-ok");
+        assert_eq!(f.annotations[0].reason, "pool invariant (checked)");
+        assert!(f.annotated(1, "panic-ok"));
+        assert!(f.annotated(2, "panic-ok")); // covers the next line too
+        assert!(!f.annotated(3, "panic-ok"));
+        assert!(!f.annotated(1, "relaxed-ok"));
+    }
+
+    #[test]
+    fn empty_reason_does_not_suppress() {
+        let f = SourceFile::lex("x.rs", "x(); // lint: panic-ok()\n");
+        assert!(!f.annotated(1, "panic-ok"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::lex("x.rs", src);
+        let unwrap = f.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert!(unwrap.test);
+        let live = f.tokens.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!live.test);
+        let tail = f.tokens.iter().find(|t| t.is_ident("tail")).unwrap();
+        assert!(!tail.test);
+    }
+
+    #[test]
+    fn test_fn_with_extra_attributes_is_marked() {
+        let src = "#[test]\n#[allow(dead_code)]\nfn t(x: [u8; 2]) { b.unwrap(); }\nfn prod() { c.unwrap(); }\n";
+        let f = SourceFile::lex("x.rs", src);
+        let b = f.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert!(b.test);
+        let c = f.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert!(!c.test);
+    }
+
+    #[test]
+    fn non_test_attribute_is_not_marked() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { s.unwrap(); }\n";
+        let f = SourceFile::lex("x.rs", src);
+        assert!(f.tokens.iter().all(|t| !t.test));
+    }
+}

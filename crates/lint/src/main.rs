@@ -1,0 +1,7 @@
+//! The `systolic-lint` binary: a one-line wrapper over [`systolic_lint::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = systolic_lint::cli::run(&args, &mut std::io::stdout(), &mut std::io::stderr());
+    std::process::exit(code);
+}

@@ -1,0 +1,126 @@
+//! Diagnostic rendering: human text and machine-readable JSON.
+//!
+//! The JSON shape is stable — CI uploads it as an artifact and trend
+//! tooling may diff it between runs:
+//!
+//! ```json
+//! {
+//!   "tool": "systolic-lint",
+//!   "clean": false,
+//!   "files": 103,
+//!   "suppressed": 41,
+//!   "findings": [
+//!     {"rule": "L-LOCK-CYCLE", "path": "crates/x.rs", "line": 12,
+//!      "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::Report;
+
+/// Renders the report as human-readable diagnostics plus a summary line.
+#[must_use]
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "systolic-lint: {} file(s) scanned, {} finding(s), {} suppressed\n",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Renders the report as one JSON object (see the module docs).
+#[must_use]
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"tool\":\"systolic-lint\",");
+    out.push_str(&format!("\"clean\":{},", report.clean()));
+    out.push_str(&format!("\"files\":{},", report.files));
+    out.push_str(&format!("\"suppressed\":{},", report.suppressed));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "L-PANIC-PATH",
+                path: "crates/x.rs".to_owned(),
+                line: 7,
+                message: "a \"quoted\" message".to_owned(),
+            }],
+            suppressed: 3,
+            files: 11,
+        }
+    }
+
+    #[test]
+    fn human_lists_findings_and_summary() {
+        let text = human(&report());
+        assert!(text.contains("crates/x.rs:7: [L-PANIC-PATH]"));
+        assert!(text.contains("11 file(s) scanned, 1 finding(s), 3 suppressed"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let text = json(&report());
+        assert!(text.contains("\"clean\":false"));
+        assert!(text.contains("\"rule\":\"L-PANIC-PATH\""));
+        assert!(text.contains("a \\\"quoted\\\" message"));
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn clean_report_has_empty_findings_array() {
+        let clean = Report {
+            files: 2,
+            ..Report::default()
+        };
+        assert!(
+            json(&clean).contains("\"clean\":true,\"files\":2,\"suppressed\":0,\"findings\":[]")
+        );
+    }
+}

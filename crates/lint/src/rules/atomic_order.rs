@@ -1,0 +1,197 @@
+//! `L-ATOMIC-ORDER` — the atomic-ordering audit.
+//!
+//! Two checks over non-test code in the configured scope:
+//!
+//! 1. every atomic operation (`fetch_*`, `compare_exchange*`, `load`,
+//!    `store`) must name its `Ordering` explicitly in the argument list —
+//!    an ordering hidden behind a helper or default is unreviewable;
+//! 2. every `Ordering::Relaxed` must carry a
+//!    `// lint: relaxed-ok(<reason>)` annotation on its line or the line
+//!    above. `Relaxed` on a cross-thread flag is the classic
+//!    lost-visibility bug; the annotation forces the "why is no
+//!    happens-before edge needed here?" argument into the source.
+//!
+//! `swap` is deliberately not in the mandatory set (`slice::swap` and
+//! `mem::swap` are too common); `fetch_*` and `compare_exchange*` exist
+//! only on atomics, and `load`/`store` collisions have not been observed
+//! in this workspace — allowlist the file in `lint.toml` if one appears.
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use crate::{Rule, Sink};
+
+/// Suppression tag for a justified `Relaxed`.
+pub const RELAXED_OK: &str = "relaxed-ok";
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The atomic-ordering audit rule. Stateless across files.
+#[derive(Debug, Default)]
+pub struct AtomicOrderRule;
+
+impl Rule for AtomicOrderRule {
+    fn code(&self) -> &'static str {
+        "L-ATOMIC-ORDER"
+    }
+
+    fn summary(&self) -> &'static str {
+        "atomic ops must name an explicit Ordering; Relaxed requires a relaxed-ok justification"
+    }
+
+    fn scan(&mut self, file: &SourceFile, sink: &mut Sink) {
+        let tokens = &file.tokens;
+        let mut flagged_relaxed_lines: Vec<u32> = Vec::new();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.test {
+                continue;
+            }
+            // Check 2: `Ordering::Relaxed` (or any `::Relaxed` path tail).
+            if t.is_ident("Relaxed")
+                && i >= 2
+                && tokens[i - 1].is_punct(':')
+                && tokens[i - 2].is_punct(':')
+            {
+                if file.annotated(t.line, RELAXED_OK) {
+                    sink.suppressed();
+                } else if !flagged_relaxed_lines.contains(&t.line) {
+                    flagged_relaxed_lines.push(t.line);
+                    sink.finding(
+                        self.code(),
+                        &file.path,
+                        t.line,
+                        "Ordering::Relaxed without a `// lint: relaxed-ok(<reason>)` \
+                         justification — state why no happens-before edge is needed, \
+                         or upgrade the ordering"
+                            .to_owned(),
+                    );
+                }
+            }
+            // Check 1: atomic method calls must mention an Ordering.
+            if t.is_punct('.')
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|m| ATOMIC_METHODS.iter().any(|a| m.is_ident(a)))
+                && tokens.get(i + 2).is_some_and(|p| p.is_punct('('))
+                && !args_mention_ordering(tokens, i + 2)
+            {
+                let method = &tokens[i + 1];
+                sink.finding(
+                    self.code(),
+                    &file.path,
+                    method.line,
+                    format!(
+                        "atomic `{}` without an explicit memory `Ordering` in its \
+                         arguments — name the ordering at the call site",
+                        method.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans the argument list opening at `open` (a `(`) for an `Ordering`
+/// path or a bare ordering name, up to the matching `)`.
+fn args_mention_ordering(tokens: &[Token], open: usize) -> bool {
+    let mut depth = 0isize;
+    for t in &tokens[open..] {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.kind == TokenKind::Ident
+            && (t.text == "Ordering" || ORDERINGS.iter().any(|o| t.text == *o))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::run_rule;
+
+    #[test]
+    fn relaxed_without_annotation_is_flagged() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("relaxed-ok"));
+    }
+
+    #[test]
+    fn annotated_relaxed_is_suppressed_and_counted() {
+        let src = "fn f(c: &AtomicU64) {\n    // lint: relaxed-ok(statistic; tearing tolerated)\n    c.fetch_add(1, Ordering::Relaxed);\n}";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn same_line_annotation_suppresses() {
+        let src =
+            "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); } // lint: relaxed-ok(counter read)";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn empty_reason_does_not_suppress() {
+        let src = "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); } // lint: relaxed-ok()";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn fetch_add_without_ordering_is_flagged() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1); }";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0]
+            .message
+            .contains("explicit memory `Ordering`"));
+    }
+
+    #[test]
+    fn acquire_release_pass_without_annotation() {
+        let src = "fn f(c: &AtomicBool) { c.store(true, Ordering::Release); while !c.load(Ordering::Acquire) {} }";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn fully_qualified_relaxed_is_flagged_once_per_line() {
+        let src =
+            "fn f(c: &AtomicU64) { c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, g); }";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[test]\nfn t() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let report = run_rule(AtomicOrderRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+}

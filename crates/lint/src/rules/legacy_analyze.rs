@@ -1,0 +1,94 @@
+//! `L-LEGACY-ANALYZE` — the workspace uses the staged `Analyzer` API.
+//!
+//! The legacy `analyze()` entry point survives as a documented
+//! compatibility wrapper, but in-workspace code (crates, examples,
+//! integration tests, benches) must go through `Analyzer` /
+//! `AnalyzerSession`. This rule is the old ad-hoc source-scan gate
+//! (`tests/no_legacy_analyze.rs`) rebuilt on the token stream: it flags
+//! the identifier `analyze` used as a direct call — not a method call
+//! (`session.analyze(..)`), not a definition (`fn analyze(..)`), and,
+//! since the lexer strips them, never a comment or string mention.
+//!
+//! The wrapper's own module and the legacy-parity property tests are
+//! allowlisted in `lint.toml`, not here: which callers are exempt is
+//! workspace policy, not rule logic.
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::{Rule, Sink};
+
+/// The legacy-API gate rule. Stateless across files.
+#[derive(Debug, Default)]
+pub struct LegacyAnalyzeRule;
+
+impl Rule for LegacyAnalyzeRule {
+    fn code(&self) -> &'static str {
+        "L-LEGACY-ANALYZE"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no direct calls to the legacy analyze() entry point; use the Analyzer API"
+    }
+
+    fn scan(&mut self, file: &SourceFile, sink: &mut Sink) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident || t.text != "analyze" {
+                continue;
+            }
+            if !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if i >= 1 && (tokens[i - 1].is_punct('.') || tokens[i - 1].is_ident("fn")) {
+                continue; // method call or definition
+            }
+            sink.finding(
+                self.code(),
+                &file.path,
+                t.line,
+                "direct call to the legacy `analyze()` entry point — migrate to \
+                 `Analyzer` (see the systolic_core migration docs)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::run_rule;
+
+    #[test]
+    fn direct_and_qualified_calls_are_flagged() {
+        let src =
+            "fn f() { let a = analyze(&p, &t, &c); let b = systolic_core::analyze(&p, &t, &c); }";
+        let report = run_rule(LegacyAnalyzeRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 2);
+    }
+
+    #[test]
+    fn methods_definitions_longer_idents_and_strings_pass() {
+        let src = r#"
+pub fn analyze(&self, program: &Program) {}
+fn f() {
+    analyzer.analyze(&p);
+    session.reanalyze(&p);
+    let s = "analyze(";
+    let analyzer = Analyzer::new(c);
+}
+"#;
+        let report = run_rule(LegacyAnalyzeRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn test_code_is_still_scanned() {
+        // Unlike the panic/atomic rules, test code is NOT exempt: the
+        // original gate existed to keep integration tests off the legacy
+        // API too.
+        let src = "#[test]\nfn t() { let r = analyze(&p, &t, &c); }";
+        let report = run_rule(LegacyAnalyzeRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+    }
+}

@@ -1,0 +1,537 @@
+//! `L-LOCK-CYCLE` — the paper's Theorem 1, turned on the implementation.
+//!
+//! The analyzer certifies communication programs by proving the queue
+//! acquisition order acyclic; this rule applies the same idea to the
+//! workspace's own locks. It scans every function for `parking_lot` /
+//! `std::sync` `Mutex`/`RwLock` acquisitions (`.lock()`, `.read()`,
+//! `.write()` with no arguments) on *named* fields and statics, tracks
+//! which guards are still live when the next lock is taken, accumulates a
+//! global acquisition-order graph, and reports every cycle as a potential
+//! deadlock — plus any re-acquisition of a lock already held (self-cycle:
+//! `parking_lot` locks are not reentrant).
+//!
+//! Lock identity is the field or static name that owns the lock
+//! (`self.state.lock()` and `inner.state.lock()` are both lock `state`).
+//! That is deliberately conservative: two types with a same-named lock
+//! field merge into one node, which can only add edges, never hide one.
+//! Receivers that are bare locals or method-call results (`shard.lock()`,
+//! `self.shard_of(k).lock()`) are skipped — the instance cannot be named.
+//!
+//! Guard lifetime heuristic: a `let`-bound guard lives to the end of its
+//! enclosing block (or an explicit `drop(guard)`); a temporary
+//! (`x.lock().push(..)`) lives to the end of its statement. Acquisitions
+//! annotated `// lint: lock-ok(<reason>)` are excluded from the graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use crate::{Rule, Sink};
+
+/// Suppression tag excluding one acquisition from the graph.
+pub const LOCK_OK: &str = "lock-ok";
+
+/// Where an ordered pair of acquisitions was observed.
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    path: String,
+    line: u32,
+    holder_line: u32,
+    function: String,
+}
+
+/// The global acquisition-order graph, built across files.
+#[derive(Debug, Default)]
+pub struct LockOrderRule {
+    /// `(held, acquired)` → first site that observed the pair.
+    edges: BTreeMap<(String, String), EdgeSite>,
+}
+
+/// A lock currently held at some point in a function body.
+struct Held {
+    name: String,
+    line: u32,
+    /// Block depth the guard was bound at (`let` guards die when the
+    /// depth drops below this; statement temporaries at the next `;`).
+    depth: usize,
+    let_bound: bool,
+    var: Option<String>,
+}
+
+impl Rule for LockOrderRule {
+    fn code(&self) -> &'static str {
+        "L-LOCK-CYCLE"
+    }
+
+    fn summary(&self) -> &'static str {
+        "lock acquisition-order cycles (potential deadlocks) and re-entrant acquisitions"
+    }
+
+    fn scan(&mut self, file: &SourceFile, sink: &mut Sink) {
+        let tokens = &file.tokens;
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].is_ident("fn") && !tokens[i].test {
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map_or_else(|| "?".to_owned(), |t| t.text.clone());
+                if let Some((body_start, body_end)) = fn_body(tokens, i) {
+                    self.scan_body(file, &name, body_start, body_end, sink);
+                    i = body_end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn finish(&mut self, sink: &mut Sink) {
+        // Self-edges first: re-acquiring a held, non-reentrant lock is a
+        // deadlock on its own.
+        for ((from, to), site) in &self.edges {
+            if from == to {
+                sink.finding(
+                    self.code(),
+                    &site.path,
+                    site.line,
+                    format!(
+                        "lock `{from}` acquired in `{}` while already held (line {}); \
+                         parking_lot locks are not reentrant — this self-deadlocks",
+                        site.function, site.holder_line
+                    ),
+                );
+            }
+        }
+        for cycle in find_cycles(&self.edges) {
+            let mut parts = Vec::new();
+            for pair in cycle.windows(2) {
+                let site = &self.edges[&(pair[0].clone(), pair[1].clone())];
+                parts.push(format!(
+                    "`{}` then `{}` in `{}` ({}:{})",
+                    pair[0], pair[1], site.function, site.path, site.line
+                ));
+            }
+            let first = &self.edges[&(cycle[0].clone(), cycle[1].clone())];
+            sink.finding(
+                self.code(),
+                &first.path,
+                first.line,
+                format!(
+                    "lock acquisition order cycle {} — potential deadlock; \
+                     acquired as: {}",
+                    cycle.join(" -> "),
+                    parts.join(", ")
+                ),
+            );
+        }
+        self.edges.clear();
+    }
+}
+
+impl LockOrderRule {
+    fn scan_body(
+        &mut self,
+        file: &SourceFile,
+        function: &str,
+        start: usize,
+        end: usize,
+        _sink: &mut Sink,
+    ) {
+        let tokens = &file.tokens;
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut stmt_start = start;
+        let mut i = start;
+        while i < end {
+            let t = &tokens[i];
+            if t.is_punct('{') {
+                depth += 1;
+                stmt_start = i + 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| if h.let_bound { h.depth <= depth } else { false });
+                stmt_start = i + 1;
+            } else if t.is_punct(';') {
+                held.retain(|h| h.let_bound || h.depth != depth);
+                stmt_start = i + 1;
+            } else if t.is_ident("drop")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(var) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                    held.retain(|h| h.var.as_deref() != Some(var.text.as_str()));
+                }
+            } else if is_acquisition(tokens, i) {
+                // `i` sits on the `.` before lock/read/write.
+                let line = tokens[i + 1].line;
+                if let Some(name) = receiver_name(tokens, i) {
+                    if !tokens[i].test && !file.annotated(line, LOCK_OK) {
+                        for h in &held {
+                            self.edges
+                                .entry((h.name.clone(), name.clone()))
+                                .or_insert_with(|| EdgeSite {
+                                    path: file.path.clone(),
+                                    line,
+                                    holder_line: h.line,
+                                    function: function.to_owned(),
+                                });
+                        }
+                        let (let_bound, var) = binding(tokens, stmt_start, i);
+                        held.push(Held {
+                            name,
+                            line,
+                            depth,
+                            let_bound,
+                            var,
+                        });
+                    }
+                }
+                i += 3; // past `. lock (`
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `true` if `tokens[i]` is the `.` of `.lock()`, `.read()` or `.write()`
+/// with an empty argument list (the `Mutex`/`RwLock` shape; `io::Read`
+/// and `io::Write` calls always pass a buffer).
+fn is_acquisition(tokens: &[Token], i: usize) -> bool {
+    tokens[i].is_punct('.')
+        && tokens
+            .get(i + 1)
+            .is_some_and(|t| t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+}
+
+/// Resolves the receiver chain ending at the `.` at `dot` to a lock name:
+/// the final field of a `self.a.b` chain, or a `SCREAMING_CASE` static
+/// (with or without a module path). Bare lowercase locals and call
+/// results return `None`.
+fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
+    // Walk backwards over `ident` / `.` / `::` links.
+    let mut j = dot;
+    let mut segments: Vec<&str> = Vec::new();
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &tokens[j - 1];
+        if prev.kind == TokenKind::Ident {
+            segments.push(prev.text.as_str());
+            j -= 1;
+            // Links continue through `.` or `::`.
+            if j >= 1 && tokens[j - 1].is_punct('.') {
+                j -= 1;
+            } else if j >= 2 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+                j -= 2;
+            } else {
+                break;
+            }
+        } else {
+            // A `)` means the receiver is a call result; anything else
+            // (operators, `(`, `=`, ...) ends the chain cleanly unless it
+            // is empty.
+            if prev.is_punct(')') {
+                return None;
+            }
+            break;
+        }
+    }
+    let field = *segments.first()?; // nearest to the `.lock()`
+    let head = *segments.last()?;
+    if is_screaming_case(field) {
+        return Some(field.to_owned());
+    }
+    // Field access requires a `self`-rooted or local-rooted chain with at
+    // least one `.`-link: `self.state`, `inner.latencies`. A bare local
+    // (`shard`) has one segment and cannot be named.
+    if segments.len() >= 2 && head.chars().next().is_some_and(char::is_lowercase) {
+        return Some(field.to_owned());
+    }
+    None
+}
+
+fn is_screaming_case(s: &str) -> bool {
+    s.len() > 1
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Decides whether the acquisition starting a statement at `stmt_start`
+/// is `let`-bound, and if so the bound variable's name.
+fn binding(tokens: &[Token], stmt_start: usize, _dot: usize) -> (bool, Option<String>) {
+    if !tokens.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
+        return (false, None);
+    }
+    let mut j = stmt_start + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let var = tokens
+        .get(j)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone());
+    (true, var)
+}
+
+/// Finds the body range of the `fn` whose keyword is at `fn_at`. Returns
+/// `(start, end)` token indices just inside the braces, or `None` for a
+/// bodyless declaration. Tracks `()`/`[]`/`<>`-free signature nesting the
+/// simple way: the body is the first `{` outside parentheses/brackets.
+fn fn_body(tokens: &[Token], fn_at: usize) -> Option<(usize, usize)> {
+    let mut nest = 0isize;
+    let mut i = fn_at + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest -= 1;
+        } else if nest == 0 && t.is_punct(';') {
+            return None;
+        } else if nest == 0 && t.is_punct('{') {
+            let mut depth = 0isize;
+            let start = i + 1;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((start, i));
+                    }
+                }
+                i += 1;
+            }
+            return Some((start, tokens.len()));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Enumerates simple cycles in the edge set, canonicalized (rotated to
+/// their smallest node, first node repeated at the end) and deduplicated.
+/// Self-edges are excluded — they are reported separately.
+fn find_cycles(edges: &BTreeMap<(String, String), EdgeSite>) -> Vec<Vec<String>> {
+    let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        if from != to {
+            adjacency.entry(from).or_default().push(to);
+        }
+    }
+    let mut found: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adjacency.keys() {
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        dfs(start, &adjacency, &mut path, &mut on_path, &mut found);
+    }
+    found.into_iter().collect()
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adjacency: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    found: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adjacency.get(node) else {
+        return;
+    };
+    for &next in nexts {
+        if let Some(pos) = path.iter().position(|&n| n == next) {
+            // Canonicalize: rotate the cycle to start at its minimum node.
+            let cycle: Vec<&str> = path[pos..].to_vec();
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map_or(0, |(i, _)| i);
+            let mut canon: Vec<String> = cycle[min..]
+                .iter()
+                .chain(cycle[..min].iter())
+                .map(|s| (*s).to_owned())
+                .collect();
+            canon.push(canon[0].clone());
+            found.insert(canon);
+        } else if on_path.insert(next) {
+            path.push(next);
+            dfs(next, adjacency, path, on_path, found);
+            path.pop();
+            on_path.remove(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::run_rule;
+
+    const INVERSION: &str = r#"
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *gb += *ga;
+    }
+    fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga += *gb;
+    }
+}
+"#;
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", INVERSION)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        let f = &report.findings[0];
+        assert_eq!(f.rule, "L-LOCK-CYCLE");
+        assert!(f.message.contains("a -> b -> a"), "{}", f.message);
+        assert!(f.message.contains("forward") && f.message.contains("backward"));
+    }
+
+    #[test]
+    fn cross_file_inversion_is_found() {
+        let forward =
+            "fn f(inner: &Inner) { let g = inner.plans.lock(); let h = inner.stats.lock(); }";
+        let backward = "fn g(x: &Inner) { let s = x.stats.lock(); let p = x.plans.lock(); }";
+        let report = run_rule(
+            LockOrderRule::default(),
+            &[("src/a.rs", forward), ("src/b.rs", backward)],
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0]
+            .message
+            .contains("plans -> stats -> plans"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+impl S {
+    fn one(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+    fn two(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn temporaries_release_at_statement_end() {
+        // Each statement locks and releases; no pair is ever held together.
+        let src = r#"
+impl S {
+    fn one(&self) { self.a.lock().push(1); self.b.lock().push(2); }
+    fn two(&self) { self.b.lock().push(1); self.a.lock().push(2); }
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn scope_exit_and_drop_release_guards() {
+        let src = r#"
+impl S {
+    fn scoped(&self) {
+        { let a = self.a.lock(); }
+        let b = self.b.lock();
+    }
+    fn dropped(&self) {
+        let b = self.b.lock();
+        drop(b);
+        let a = self.a.lock();
+    }
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn reentrant_acquisition_is_a_self_deadlock() {
+        let src = "impl S { fn f(&self) { let a = self.m.lock(); let b = self.m.lock(); } }";
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("not reentrant"));
+    }
+
+    #[test]
+    fn statics_participate_in_the_graph() {
+        let src = r#"
+fn f() { let g = GLOBAL.lock(); let s = OTHER.lock(); }
+fn g() { let s = OTHER.lock(); let g = GLOBAL.lock(); }
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0]
+            .message
+            .contains("GLOBAL -> OTHER -> GLOBAL"));
+    }
+
+    #[test]
+    fn unnameable_receivers_and_args_are_skipped() {
+        // Call-result receivers, bare locals, and io-style calls with
+        // arguments never enter the graph.
+        let src = r#"
+fn f(&self) {
+    let s = self.shard_of(key).lock();
+    let t = shard.lock();
+    let n = reader.read(&mut buf);
+    let w = self.rw.write();
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn lock_ok_annotation_suppresses_an_acquisition() {
+        let src = r#"
+impl S {
+    fn forward(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+    fn backward(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock(); // lint: lock-ok(b is a shard-private lock; see docs)
+    }
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+    fn g(&self) { let b = self.b.lock(); let a = self.a.lock(); }
+}
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn three_party_cycle_is_reported_once() {
+        let src = r#"
+fn f(x: &T) { let a = x.a.lock(); let b = x.b.lock(); }
+fn g(x: &T) { let b = x.b.lock(); let c = x.c.lock(); }
+fn h(x: &T) { let c = x.c.lock(); let a = x.a.lock(); }
+"#;
+        let report = run_rule(LockOrderRule::default(), &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("a -> b -> c -> a"));
+    }
+}

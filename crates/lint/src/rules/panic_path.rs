@@ -1,0 +1,158 @@
+//! `L-PANIC-PATH` — the panic-surface rule.
+//!
+//! The serving path must not panic: one `unwrap` on a hostile input or a
+//! transient condition takes a worker thread (and its reply channel) with
+//! it. This rule flags `.unwrap()`, `.expect(..)`, `panic!`, `todo!` and
+//! `unimplemented!` in non-test code within the configured scope, unless
+//! the line carries a `// lint: panic-ok(<reason>)` justification — the
+//! written reason is the reviewable claim that the panic is a programmer
+//! error (broken invariant), not a reachable runtime state.
+//!
+//! `self.expect(..)` / `self.unwrap(..)` are skipped: a call on bare
+//! `self` is the type's own method (e.g. a parser's `expect`), not
+//! `Option`/`Result` handling.
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use crate::{Rule, Sink};
+
+/// Suppression tag for a justified panic site.
+pub const PANIC_OK: &str = "panic-ok";
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// The panic-surface rule. Stateless across files.
+#[derive(Debug, Default)]
+pub struct PanicPathRule;
+
+impl Rule for PanicPathRule {
+    fn code(&self) -> &'static str {
+        "L-PANIC-PATH"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! on the serving path without a panic-ok justification"
+    }
+
+    fn scan(&mut self, file: &SourceFile, sink: &mut Sink) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let flagged = if PANIC_METHODS.iter().any(|m| t.text == *m) {
+                is_method_call(tokens, i) && !receiver_is_bare_self(tokens, i)
+            } else if PANIC_MACROS.iter().any(|m| t.text == *m) {
+                tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            } else {
+                false
+            };
+            if !flagged {
+                continue;
+            }
+            if file.annotated(t.line, PANIC_OK) {
+                sink.suppressed();
+            } else {
+                sink.finding(
+                    self.code(),
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{}` on the serving path — convert to an error path, or \
+                         justify with `// lint: panic-ok(<reason>)` if this is an \
+                         unreachable invariant",
+                        if PANIC_MACROS.iter().any(|m| t.text == *m) {
+                            format!("{}!", t.text)
+                        } else {
+                            format!(".{}()", t.text)
+                        }
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `tokens[i]` is a `.method(` call (not a definition or a path item).
+fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    i >= 1 && tokens[i - 1].is_punct('.') && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// `true` for `self.expect(..)` — a call on bare `self`, which is the
+/// enclosing type's own method, not `Option::expect`.
+fn receiver_is_bare_self(tokens: &[Token], i: usize) -> bool {
+    i >= 2 && tokens[i - 2].is_ident("self") && (i == 2 || !tokens[i - 3].is_punct('.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::run_rule;
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let src = "fn f() { let a = x.unwrap(); let b = y.expect(\"present\"); }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].message.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn panic_family_macros_are_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { todo!() }\nfn h() { unimplemented!() }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 3);
+    }
+
+    #[test]
+    fn panic_inside_unwrap_or_else_is_flagged_once() {
+        let src = "fn f() { x.unwrap_or_else(|| panic!(\"no queue {index}\")); }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("panic!"));
+    }
+
+    #[test]
+    fn annotation_suppresses_and_counts() {
+        let src = "fn f() { x.unwrap(); } // lint: panic-ok(checked two lines up)";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn previous_line_annotation_suppresses() {
+        let src = "fn f() {\n    // lint: panic-ok(pool invariant)\n    x.unwrap();\n}";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn self_expect_is_the_types_own_method() {
+        let src = "impl P { fn f(&mut self) { self.expect(b'{'); } }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn chained_expect_after_self_field_is_flagged() {
+        let src = "impl P { fn f(&self) { self.inner.expect(\"set\"); } }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_error_paths_not_panics() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_default(); z.unwrap_or_else(|| 1); }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_and_strings_are_skipped() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn prod() { let s = \"unwrap()\"; }";
+        let report = run_rule(PanicPathRule, &[("src/lib.rs", src)]);
+        assert!(report.findings.is_empty());
+    }
+}

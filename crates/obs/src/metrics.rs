@@ -68,11 +68,13 @@ impl Counter {
     /// Increments by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint: relaxed-ok(pure statistic; fetch_add atomicity alone keeps the count exact)
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lint: relaxed-ok(monitoring read; a slightly stale count is acceptable)
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -91,17 +93,20 @@ impl Gauge {
     /// Sets the gauge to `v`.
     #[inline]
     pub fn set(&self, v: i64) {
+        // lint: relaxed-ok(gauge publishes no other data; last-writer-wins is the contract)
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
+        // lint: relaxed-ok(pure statistic; fetch_add atomicity alone keeps the sum exact)
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // lint: relaxed-ok(monitoring read; a slightly stale value is acceptable)
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -138,13 +143,18 @@ impl Histogram {
     /// Records one observation. Lock-free: three atomic RMW ops plus a
     /// saturating CAS loop for the sum.
     pub fn record(&self, value: u64) {
+        // Each field is an independent statistic: RMW atomicity alone keeps
+        // it exact, and no reader orders across fields — snapshot() tolerates
+        // tearing by design.
+        // lint: relaxed-ok(independent statistic; RMW atomicity alone keeps it exact)
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
-        // Saturating add: `fetch_update` loops only under contention *and*
-        // near-overflow, which real workloads never hit.
+        self.count.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(independent statistic)
+        self.max.fetch_max(value, Ordering::Relaxed); // lint: relaxed-ok(independent statistic)
+                                                      // Saturating add: `fetch_update` loops only under contention *and*
+                                                      // near-overflow, which real workloads never hit.
         let _ = self
             .sum
+            // lint: relaxed-ok(statistic; CAS atomicity alone keeps the sum exact)
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
                 Some(s.saturating_add(value))
             });
@@ -152,10 +162,15 @@ impl Histogram {
 
     /// Takes a statistically consistent snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // The snapshot may tear across fields under concurrent recording;
+        // each field is individually exact and the conservation property
+        // tests bound the tear.
         HistogramSnapshot {
+            // lint: relaxed-ok(field may tear vs others; individually exact)
             count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // lint: relaxed-ok(field may tear; exact alone)
+            max: self.max.load(Ordering::Relaxed), // lint: relaxed-ok(field may tear; exact alone)
+            // lint: relaxed-ok(field may tear vs others; individually exact)
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
     }
@@ -332,12 +347,14 @@ impl Registry {
     /// Returns the counter `name` with `labels`, creating it if absent.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = MetricKey::new(name, labels);
+        // lint: panic-ok(a poisoned registry mutex means a panic mid-registration; unrecoverable)
         let mut map = self.instruments.lock().expect("metrics registry poisoned");
         let entry = map
             .entry(key.clone())
             .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())));
         match entry {
             Instrument::Counter(c) => Arc::clone(c),
+            // lint: panic-ok(kind conflict is a programmer error; documented # Panics contract)
             other => panic!("{} already registered as {}", key.render(), other.kind()),
         }
     }
@@ -350,12 +367,14 @@ impl Registry {
     /// Returns the gauge `name` with `labels`, creating it if absent.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = MetricKey::new(name, labels);
+        // lint: panic-ok(a poisoned registry mutex means a panic mid-registration; unrecoverable)
         let mut map = self.instruments.lock().expect("metrics registry poisoned");
         let entry = map
             .entry(key.clone())
             .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())));
         match entry {
             Instrument::Gauge(g) => Arc::clone(g),
+            // lint: panic-ok(kind conflict is a programmer error; documented # Panics contract)
             other => panic!("{} already registered as {}", key.render(), other.kind()),
         }
     }
@@ -368,18 +387,21 @@ impl Registry {
     /// Returns the histogram `name` with `labels`, creating it if absent.
     pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let key = MetricKey::new(name, labels);
+        // lint: panic-ok(a poisoned registry mutex means a panic mid-registration; unrecoverable)
         let mut map = self.instruments.lock().expect("metrics registry poisoned");
         let entry = map
             .entry(key.clone())
             .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())));
         match entry {
             Instrument::Histogram(h) => Arc::clone(h),
+            // lint: panic-ok(kind conflict is a programmer error; documented # Panics contract)
             other => panic!("{} already registered as {}", key.render(), other.kind()),
         }
     }
 
     /// Takes a snapshot of every registered instrument, sorted by key.
     pub fn snapshot(&self) -> RegistrySnapshot {
+        // lint: panic-ok(a poisoned registry mutex means a panic mid-registration; unrecoverable)
         let map = self.instruments.lock().expect("metrics registry poisoned");
         let mut snap = RegistrySnapshot::default();
         for (key, instrument) in map.iter() {

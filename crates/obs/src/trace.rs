@@ -160,6 +160,7 @@ impl Tracer {
 
     /// Allocates a fresh trace id.
     pub fn new_trace(&self) -> TraceId {
+        // lint: relaxed-ok(id allocation; fetch_add atomicity alone guarantees uniqueness)
         TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -168,6 +169,7 @@ impl Tracer {
         let start = Instant::now();
         ActiveSpan {
             trace,
+            // lint: relaxed-ok(id allocation; fetch_add atomicity alone guarantees uniqueness)
             id: SpanId(self.next_span.fetch_add(1, Ordering::Relaxed)),
             parent,
             name,
@@ -191,28 +193,32 @@ impl Tracer {
 
     /// Pushes a prebuilt event into the ring (oldest dropped when full).
     pub fn record(&self, event: SpanEvent) {
+        // lint: panic-ok(ring mutex poisoning means a panic mid-push; unrecoverable)
         let mut ring = self.ring.lock().expect("trace ring poisoned");
         if ring.len() >= self.capacity {
             ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(drop statistic)
         }
         ring.push_back(event);
     }
 
     /// Copies the ring's current contents, oldest first.
     pub fn snapshot(&self) -> Vec<SpanEvent> {
+        // lint: panic-ok(ring mutex poisoning means a panic mid-push; unrecoverable)
         let ring = self.ring.lock().expect("trace ring poisoned");
         ring.iter().cloned().collect()
     }
 
     /// Drains the ring, returning its contents oldest first.
     pub fn drain(&self) -> Vec<SpanEvent> {
+        // lint: panic-ok(ring mutex poisoning means a panic mid-push; unrecoverable)
         let mut ring = self.ring.lock().expect("trace ring poisoned");
         ring.drain(..).collect()
     }
 
     /// Number of events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // lint: relaxed-ok(monitoring read of a statistic; staleness acceptable)
         self.dropped.load(Ordering::Relaxed)
     }
 }

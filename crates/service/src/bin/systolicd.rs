@@ -83,6 +83,32 @@ fn parse_flag_path(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Strin
     }
 }
 
+/// Writes one output line, turning stdout failures into process exits
+/// instead of panics: a broken pipe (`systolicd ... | head`) is the normal
+/// way for a consumer to hang up, so it exits 0; anything else is a real
+/// I/O failure and exits 2 with a message.
+fn write_line(out: &mut dyn Write, line: &dyn std::fmt::Display) {
+    if let Err(e) = writeln!(out, "{line}") {
+        exit_for_stdout_error(&e);
+    }
+}
+
+/// Flushes buffered output with the same error policy as [`write_line`].
+fn flush_out(out: &mut dyn Write) {
+    if let Err(e) = out.flush() {
+        exit_for_stdout_error(&e);
+    }
+}
+
+fn exit_for_stdout_error(e: &std::io::Error) -> ! {
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        // The consumer stopped reading; finishing early is not an error.
+        std::process::exit(0);
+    }
+    eprintln!("systolicd: cannot write to stdout: {e}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -113,9 +139,9 @@ fn gen_main(args: &[String]) {
     let mut out = std::io::BufWriter::new(stdout.lock());
     for (i, item) in traffic(&config, seed, count).iter().enumerate() {
         let id = format!("{}#{i}", item.name);
-        writeln!(out, "{}", traffic_to_json(&id, item)).expect("writing to stdout succeeds");
+        write_line(&mut out, &traffic_to_json(&id, item));
     }
-    out.flush().expect("flushing stdout succeeds");
+    flush_out(&mut out);
 }
 
 fn serve_main(args: &[String]) {
@@ -186,7 +212,7 @@ fn serve_main(args: &[String]) {
     let drain_one = |inflight: &mut std::collections::VecDeque<Ticket>, out: &mut dyn Write| {
         if let Some(ticket) = inflight.pop_front() {
             let response = ticket.wait();
-            writeln!(out, "{}", response_to_json(&response)).expect("writing to stdout succeeds");
+            write_line(out, &response_to_json(&response));
         }
     };
 
@@ -214,8 +240,7 @@ fn serve_main(args: &[String]) {
                 while !inflight.is_empty() {
                     drain_one(&mut inflight, &mut out);
                 }
-                writeln!(out, "{}", metrics_to_json(&service.registry_snapshot()))
-                    .expect("writing to stdout succeeds");
+                write_line(&mut out, &metrics_to_json(&service.registry_snapshot()));
             }
             Err(error) => {
                 // Flush pending responses first so output stays in input
@@ -223,8 +248,7 @@ fn serve_main(args: &[String]) {
                 while !inflight.is_empty() {
                     drain_one(&mut inflight, &mut out);
                 }
-                writeln!(out, "{}", invalid_to_json(line_number, &error))
-                    .expect("writing to stdout succeeds");
+                write_line(&mut out, &invalid_to_json(line_number, &error));
                 invalid += 1;
             }
         }
@@ -232,7 +256,7 @@ fn serve_main(args: &[String]) {
     while !inflight.is_empty() {
         drain_one(&mut inflight, &mut out);
     }
-    out.flush().expect("flushing stdout succeeds");
+    flush_out(&mut out);
 
     let elapsed = started.elapsed();
     let secs = elapsed.as_secs_f64();

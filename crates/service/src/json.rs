@@ -339,7 +339,7 @@ impl Parser<'_> {
                     // so boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s.chars().next().expect("non-empty"); // lint: panic-ok(rest is non-empty: peek() returned Some)
                     if (c as u32) < 0x20 {
                         return Err(self.err("unescaped control character in string"));
                     }
@@ -373,6 +373,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // lint: panic-ok(the number scanner above only ever consumes ASCII bytes)
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
         match text.parse::<f64>() {
             // Overflowing literals like `1e999` parse to infinity, which

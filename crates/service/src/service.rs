@@ -318,6 +318,7 @@ impl Ticket {
     pub fn wait(self) -> AnalysisResponse {
         self.rx
             .recv()
+            // lint: panic-ok(documented # Panics contract; a dropped reply sender is a service bug)
             .expect("service answers every accepted request")
     }
 }
@@ -701,6 +702,7 @@ impl AnalysisService {
                 std::thread::Builder::new()
                     .name(format!("systolic-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
+                    // lint: panic-ok(startup-time spawn; failing to build the pool is fatal by design)
                     .expect("spawning a worker thread succeeds")
             })
             .collect();
@@ -712,6 +714,7 @@ impl AnalysisService {
                 std::thread::Builder::new()
                     .name("systolic-verify-scheduler".to_owned())
                     .spawn(move || scheduler_loop(&inner))
+                    // lint: panic-ok(startup-time spawn; failing to build the pool is fatal by design)
                     .expect("spawning the verify dispatcher succeeds")
             })
             .into_iter()
@@ -733,6 +736,7 @@ impl AnalysisService {
     /// possible during `Drop`, where no caller can hold `&self`).
     #[must_use]
     pub fn submit(&self, request: AnalysisRequest) -> Ticket {
+        // lint: relaxed-ok(sequence allocation; fetch_add atomicity alone guarantees uniqueness)
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         self.inner
@@ -742,6 +746,7 @@ impl AnalysisService {
                 request,
                 reply: tx,
             })
+            // lint: panic-ok(documented # Panics contract; queue closes only during Drop)
             .unwrap_or_else(|_| panic!("submission queue closed while service alive"));
         // Gauge via inc/dec (worker pop decrements) rather than len():
         // the queue's own lock stays out of the submission path.

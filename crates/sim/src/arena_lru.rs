@@ -276,7 +276,7 @@ impl ArenaLru {
             .entries
             .iter_mut()
             .max_by_key(|e| e.last_used)
-            .expect("just pushed")
+            .expect("just pushed") // lint: panic-ok(back() of a vec pushed one line up)
             .arena;
         ArenaLookup {
             arena,

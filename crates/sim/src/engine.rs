@@ -446,6 +446,7 @@ impl SimArena {
                 let iv = self
                     .pools
                     .interval_index(hop.interval())
+                    // lint: panic-ok(world construction validated every route against the topology)
                     .expect("route crosses an interval of the world's topology");
                 self.hops.push(hop);
                 self.hop_iv.push(iv as u32);
@@ -530,7 +531,7 @@ impl SimArena {
             let iv = self
                 .pools
                 .interval_index(hop.interval())
-                .expect("needs carry known intervals");
+                .expect("needs carry known intervals"); // lint: panic-ok(needs were built from the same world)
             let slot = m.index() * n_iv + iv;
             if self.request_born[slot] == 0 {
                 self.born_counter += 1;
@@ -558,7 +559,7 @@ impl SimArena {
             let iv = self
                 .pools
                 .interval_index(g.hop.interval())
-                .expect("grants land on known intervals");
+                .expect("grants land on known intervals"); // lint: panic-ok(grants were issued from the same pool set)
             self.request_born[g.message.index() * n_iv + iv] = 0;
             self.stats.grants += 1;
             self.stats.assignment_events.push(AssignmentEvent {
@@ -615,7 +616,7 @@ impl SimArena {
             let queue = self
                 .pools
                 .live_at(m, iv)
-                .expect("departing message holds the queue");
+                .expect("departing message holds the queue"); // lint: panic-ok(departure follows a grant; pool corruption otherwise)
             let interval = self.pools.interval_at(iv);
             self.pools.release(m, interval);
             self.stats.assignment_events.push(AssignmentEvent {
@@ -806,7 +807,7 @@ impl SimArena {
                     let q = self
                         .pools
                         .live_at(message, iv)
-                        .expect("latch holds assignment");
+                        .expect("latch holds assignment"); // lint: panic-ok(latched set is rebuilt each step from live grants)
                     BlockReason::AwaitingDeparture {
                         queue: queue_id(iv, q),
                         word,

@@ -310,7 +310,7 @@ impl AssignmentPolicy for CompatiblePolicy {
                 continue; // wait until enough queues are simultaneously free
             }
             for member in group {
-                let q = free.pop().expect("checked size");
+                let q = free.pop().expect("checked size"); // lint: panic-ok(len checked immediately above)
                 taken.entry(interval).or_default().push(q);
                 granted_now.push((member, interval));
                 grants.push(Grant {

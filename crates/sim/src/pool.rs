@@ -220,9 +220,11 @@ impl QueuePools {
         let iv = self
             .interval_index(interval)
             .filter(|_| index < self.queues_per_interval)
+            // lint: panic-ok(documented # Panics invariant: callers index queues they created)
             .unwrap_or_else(|| panic!("no queue {index} on {interval}"));
         self.ensure_message(message);
         self.queues[iv * self.queues_per_interval + index].assign(message, hop);
+        // lint: panic-ok(ensure_message() ran above; absence is pool corruption)
         let t = self.table_index(message, iv).expect("message ensured");
         assert!(
             self.live[t] == NONE,
@@ -243,8 +245,9 @@ impl QueuePools {
             .interval_index(interval)
             .and_then(|iv| self.table_index(message, iv))
             .filter(|&t| self.live[t] != NONE)
+            // lint: panic-ok(documented # Panics invariant: release without a matching acquire)
             .unwrap_or_else(|| panic!("{message} holds no queue on {interval}"));
-        let iv = self.interval_index(interval).expect("checked above");
+        let iv = self.interval_index(interval).expect("checked above"); // lint: panic-ok(guarded by the interval_index check above)
         let q = self.live[index] as usize;
         self.live[index] = NONE;
         self.queues[iv * self.queues_per_interval + q].release();
@@ -259,6 +262,7 @@ impl QueuePools {
     pub fn queue(&self, id: QueueId) -> &HwQueue {
         let iv = self
             .interval_index(id.interval())
+            // lint: panic-ok(documented # Panics invariant: ids come from this pool set)
             .unwrap_or_else(|| panic!("no interval {} in the pools", id.interval()));
         &self.queue_slice(iv)[id.index()]
     }
@@ -272,6 +276,7 @@ impl QueuePools {
     pub fn queue_mut(&mut self, id: QueueId) -> &mut HwQueue {
         let iv = self
             .interval_index(id.interval())
+            // lint: panic-ok(documented # Panics invariant: ids come from this pool set)
             .unwrap_or_else(|| panic!("no interval {} in the pools", id.interval()));
         let index = id.index();
         assert!(

@@ -212,6 +212,7 @@ impl HwQueue {
     ///
     /// Panics if the queue is empty.
     pub fn pop(&mut self) -> Word {
+        // lint: panic-ok(documented # Panics contract; callers gate on is_empty)
         let word = self.buf.pop_front().expect("pop from empty queue");
         if let Some(refill) = self.ext.pop_front() {
             self.buf.push_back(refill);

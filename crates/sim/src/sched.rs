@@ -396,7 +396,7 @@ impl VerifyScheduler {
             let spec = tasks
                 .iter()
                 .find(|task| task.key == key)
-                .expect("key came from tasks")
+                .expect("key came from tasks") // lint: panic-ok(key was drawn from the same map two lines up)
                 .source
                 .spec();
             if let Some(obs) = &self.obs {
@@ -453,6 +453,7 @@ impl VerifyScheduler {
                             let mut local = Vec::new();
                             let mut tally = LruTally::default();
                             loop {
+                                // lint: relaxed-ok(work-stealing cursor; fetch_add atomicity alone yields unique indices)
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(task) = tasks.get(i) else {
                                     break;
@@ -486,6 +487,7 @@ impl VerifyScheduler {
             self.absorb(tallies);
             outcomes
                 .into_iter()
+                // lint: panic-ok(the scatter loop above wrote every index exactly once)
                 .map(|outcome| outcome.expect("every batch index was verified"))
                 .collect()
         };

@@ -1,117 +1,10 @@
 //! CI gate: no in-workspace code calls the legacy `analyze` entry point
-//! directly. The wrapper survives for downstream compatibility, but the
-//! workspace itself — crates, examples, integration tests, benches — uses
-//! the staged `Analyzer` API. Allowed callers: the wrapper's own module
-//! (`crates/core/src/pipeline.rs`, definition + its tests) and the parity
-//! property tests (`tests/analyzer_parity.rs`), whose entire point is
-//! comparing the two.
-//!
-//! The scan flags `analyze(` tokens that are plain calls: not method
-//! calls (`.analyze(`), not part of a longer identifier, and not inside
-//! line comments or doc comments.
-
-use std::path::{Path, PathBuf};
-
-const ALLOWED: &[&str] = &[
-    "crates/core/src/pipeline.rs",
-    "crates/core/src/analyzer.rs", // defines Analyzer::analyze + inline parity test
-    "tests/analyzer_parity.rs",
-    "tests/no_legacy_analyze.rs",
-];
-
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // `target/` never appears under the scanned roots, but be safe.
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// `true` if `line` contains a direct call token `analyze(` — preceded by
-/// nothing or by a character that is not part of an identifier, a method
-/// dot, or a quote (so `.analyze(`, `reanalyze(` and `"analyze("` don't
-/// count, while `analyze(`, `(analyze(` and `::analyze(` do).
-fn has_direct_call(line: &str) -> bool {
-    let needle = "analyze(";
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(needle) {
-        let at = from + pos;
-        let ok_prefix = if at == 0 {
-            true
-        } else {
-            let prev = bytes[at - 1];
-            !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' || prev == b'"')
-        };
-        // `fn analyze(` is a definition (e.g. a method named analyze on
-        // some other type), not a call of the legacy entry point.
-        let is_definition = line[..at].trim_end().ends_with("fn");
-        if ok_prefix && !is_definition {
-            return true;
-        }
-        from = at + needle.len();
-    }
-    false
-}
+//! directly. Formerly an ad-hoc source scan; now the `L-LEGACY-ANALYZE`
+//! rule of `systolic-lint`, which lexes real tokens (so strings and all
+//! comment forms can mention the old API freely). Allowed callers live in
+//! `lint.toml` under `[rule.L-LEGACY-ANALYZE]`.
 
 #[test]
 fn workspace_does_not_call_legacy_analyze() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut files = Vec::new();
-    for dir in ["crates", "src", "examples", "tests"] {
-        rust_files(&root.join(dir), &mut files);
-    }
-    assert!(files.len() > 50, "scan found too few files — wrong root?");
-
-    let mut offenders = Vec::new();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if ALLOWED.contains(&rel.as_str()) || rel.starts_with("vendor/") {
-            continue;
-        }
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        for (i, line) in text.lines().enumerate() {
-            if line.trim_start().starts_with("//") {
-                continue; // comments and doc comments may illustrate the old API
-            }
-            if has_direct_call(line) {
-                offenders.push(format!("{rel}:{}: {}", i + 1, line.trim()));
-            }
-        }
-    }
-    assert!(
-        offenders.is_empty(),
-        "direct legacy `analyze(` calls found — migrate to `Analyzer` \
-         (see the systolic_core migration docs):\n{}",
-        offenders.join("\n")
-    );
-}
-
-#[test]
-fn direct_call_detector_distinguishes_shapes() {
-    assert!(has_direct_call("let a = analyze(&p, &t, &c);"));
-    assert!(has_direct_call("systolic_core::analyze(&p, &t, &c)"));
-    assert!(has_direct_call("(analyze(&p, &t, &c))"));
-    assert!(!has_direct_call("analyzer.analyze(&p)"));
-    assert!(!has_direct_call("session.reanalyze(&p)"));
-    assert!(!has_direct_call("\"analyze(\" in a string"));
-    assert!(!has_direct_call("let analyzer = Analyzer::new(c);"));
-    assert!(!has_direct_call("pub fn analyze(&self, program: &Program)"));
-    assert!(!has_direct_call("    fn analyze(text: &str)"));
+    systolic_lint::assert_rule_clean(env!("CARGO_MANIFEST_DIR"), "L-LEGACY-ANALYZE");
 }
