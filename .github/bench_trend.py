@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_verify.json files and warn on ratio regressions.
+"""Compare bench artifacts (``BENCH_*.json``) and warn on ratio regressions.
 
 Usage: bench_trend.py PREVIOUS CURRENT
 
+``PREVIOUS`` and ``CURRENT`` are each either a single artifact file or a
+directory holding any number of ``BENCH_*.json`` artifacts (the bench
+suite writes one per bench: ``BENCH_verify.json``,
+``BENCH_incremental.json``, ...). Section names are prefixed with the
+artifact's ``bench`` field, so ratios from different artifacts never
+collide.
+
 Prints each measured speedup ratio side by side and emits a GitHub
 ``::warning::`` annotation when one dropped more than 10% against the
-previous run's artifact. Ratios measured on different ``hw_threads`` are
-reported but never warned about — they are not comparable — and a run
+previous run. Sections present in only one run are reported as ``new``
+(current only) or ``removed`` (previous only) — a freshly added bench is
+not a regression. Ratios measured on different ``hw_threads`` are
+reported but never warned about — they are not comparable — and a ratio
 recorded on a single hardware thread is skipped outright (parallel
-speedups are meaningless there). The script
-never exits nonzero: trends inform, CI gating stays with the asserted
-floors inside the bench itself.
+speedups are meaningless there). The script never exits nonzero: trends
+inform, CI gating stays with the asserted floors inside the benches
+themselves.
 """
 
+import glob
 import json
+import os
 import sys
 
 THRESHOLD = 0.9
@@ -27,12 +38,28 @@ def load(path):
 def sections(doc):
     """name -> (ratio, hw_threads or None) for every ratio the file has."""
     out = {}
+    prefix = doc.get("bench") or "bench"
     if isinstance(doc.get("ratio"), (int, float)):
-        out["shared_arena"] = (doc["ratio"], None)
-    for name in ("parallel", "mixed"):
-        section = doc.get(name)
+        out[prefix] = (doc["ratio"], doc.get("hw_threads"))
+    for name, section in doc.items():
         if isinstance(section, dict) and isinstance(section.get("ratio"), (int, float)):
-            out[name] = (section["ratio"], section.get("hw_threads"))
+            out[f"{prefix}/{name}"] = (section["ratio"], section.get("hw_threads"))
+    return out
+
+
+def gather(path):
+    """All sections from one artifact file, or every BENCH_*.json in a
+    directory. Unreadable files are reported and skipped."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    else:
+        files = [path]
+    out = {}
+    for name in files:
+        try:
+            out.update(sections(load(name)))
+        except (OSError, ValueError) as error:
+            print(f"bench trend: skipping {name}: {error}", file=sys.stderr)
     return out
 
 
@@ -40,16 +67,17 @@ def main():
     if len(sys.argv) != 3:
         print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
         return
-    try:
-        previous = sections(load(sys.argv[1]))
-        current = sections(load(sys.argv[2]))
-    except (OSError, ValueError) as error:
-        print(f"bench trend: could not read inputs: {error}", file=sys.stderr)
-        return
+    previous = gather(sys.argv[1])
+    current = gather(sys.argv[2])
 
     for name in sorted(set(previous) | set(current)):
-        if name not in previous or name not in current:
-            print(f"{name}: present in only one run, skipping")
+        if name not in previous:
+            ratio, _ = current[name]
+            print(f"{name}: new in this run ({ratio:.2f}x), nothing to compare")
+            continue
+        if name not in current:
+            ratio, _ = previous[name]
+            print(f"{name}: removed since the previous run (was {ratio:.2f}x)")
             continue
         prev_ratio, prev_hw = previous[name]
         cur_ratio, cur_hw = current[name]

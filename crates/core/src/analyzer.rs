@@ -57,12 +57,43 @@ use std::time::Instant;
 use systolic_model::{CellId, MessageId, MessageRoutes, Program, Topology};
 use systolic_obs::{names, Obs, SpanCtx};
 
+use crate::crossing_off::{classify_with_snapshot, MachineSnapshot};
+use crate::labeling::label_messages_assignments_only;
 use crate::{
     check_consistency, classify_with, label_messages, label_messages_robust, Analysis,
     AnalysisConfig, Classification, CommPlan, CompetingSets, CompiledTopology,
     ConsistencyViolation, CoreError, Diagnostic, DiagnosticCode, Diagnostics, Labeling,
     LabelingMethod, LabelingReport, Lookahead, LookaheadLimits, QueueRequirements,
 };
+
+/// Precomputed artifacts the incremental path injects into a session so
+/// unchanged stages are *reused* instead of recomputed. Seeded stages skip
+/// their stage closure entirely (they can emit no diagnostics on success,
+/// so skipping preserves diagnostic parity), except classification, which
+/// is injected *into* its closure so the deadlock diagnostic is still
+/// emitted by the same code as a from-scratch run.
+#[derive(Default)]
+pub(crate) struct SessionSeeds {
+    pub routes: Option<MessageRoutes>,
+    pub classification: Option<Classification>,
+    pub competing: Option<CompetingSets>,
+    /// Use the assignments-only (early-stopping) Section 6 driver. Sound
+    /// only because the labeling stage runs strictly after classification
+    /// has proven the program deadlock-free.
+    pub fast_labeling: bool,
+    /// Capture the crossing-off machine's end state for later resumption.
+    pub capture_snapshot: bool,
+}
+
+/// What a finished incremental session hands back for the next edit:
+/// every per-stage artifact that survived, ready to seed the next session.
+#[derive(Debug, Default)]
+pub(crate) struct WarmArtifacts {
+    pub routes: Option<MessageRoutes>,
+    pub classification: Option<Classification>,
+    pub snapshot: Option<MachineSnapshot>,
+    pub competing: Option<CompetingSets>,
+}
 
 /// Which labeling scheme(s) an [`Analyzer`] may use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -214,20 +245,69 @@ impl Analyzer {
         advisories: bool,
         ctx: Option<SpanCtx>,
     ) -> AnalyzerSession<'a> {
+        self.seeded_session_with(program, advisories, ctx, SessionSeeds::default())
+    }
+
+    /// A session pre-seeded with artifacts reused from a previous analysis
+    /// (the incremental path). Diagnostics behave exactly as in
+    /// [`Analyzer::diagnose`].
+    pub(crate) fn seeded_session<'a>(
+        &'a self,
+        program: &'a Program,
+        ctx: Option<SpanCtx>,
+        seeds: SessionSeeds,
+    ) -> AnalyzerSession<'a> {
+        self.seeded_session_with(program, true, ctx, seeds)
+    }
+
+    fn seeded_session_with<'a>(
+        &'a self,
+        program: &'a Program,
+        advisories: bool,
+        ctx: Option<SpanCtx>,
+        seeds: SessionSeeds,
+    ) -> AnalyzerSession<'a> {
+        fn cell_from<T>(value: Option<T>) -> OnceCell<Result<T, CoreError>> {
+            match value {
+                Some(v) => OnceCell::from(Ok(v)),
+                None => OnceCell::new(),
+            }
+        }
         AnalyzerSession {
             analyzer: self,
             program,
             advisories,
             ctx,
-            routes: OnceCell::new(),
+            routes: cell_from(seeds.routes),
             limits: OnceCell::new(),
             classification: OnceCell::new(),
+            seeded_classification: RefCell::new(seeds.classification),
+            fast_labeling: seeds.fast_labeling,
+            capture_snapshot: seeds.capture_snapshot,
+            snapshot: RefCell::new(None),
             labeling: OnceCell::new(),
             consistency: OnceCell::new(),
-            competing: OnceCell::new(),
+            competing: cell_from(seeds.competing),
             requirements: OnceCell::new(),
             plan: OnceCell::new(),
             diagnostics: RefCell::new(Diagnostics::new()),
+        }
+    }
+
+    /// The attached observability bundle, if any.
+    pub(crate) fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// This analyzer with its compilation replaced (incremental topology
+    /// edits); labeling strategy, consistency verification and
+    /// observability carry over.
+    pub(crate) fn with_compiled_swapped(&self, compiled: Arc<CompiledTopology>) -> Analyzer {
+        Analyzer {
+            compiled,
+            labeling: self.labeling,
+            verify_consistency: self.verify_consistency,
+            obs: self.obs.clone(),
         }
     }
 
@@ -322,6 +402,17 @@ pub struct AnalyzerSession<'a> {
     routes: OnceCell<Result<MessageRoutes, CoreError>>,
     limits: OnceCell<Result<LookaheadLimits, CoreError>>,
     classification: OnceCell<Result<Classification, CoreError>>,
+    /// A reused classification injected by the incremental path; consumed
+    /// by the classification stage in place of running the crossing-off
+    /// procedure, so the stage's diagnostics are still emitted uniformly.
+    seeded_classification: RefCell<Option<Classification>>,
+    /// Use the assignments-only Section 6 driver (incremental path; sound
+    /// because labeling runs only after classification proves the program
+    /// deadlock-free).
+    fast_labeling: bool,
+    /// Capture the crossing-off end state into `snapshot`.
+    capture_snapshot: bool,
+    snapshot: RefCell<Option<MachineSnapshot>>,
     labeling: OnceCell<Result<LabelingOutcome, CoreError>>,
     consistency: OnceCell<Result<Vec<ConsistencyViolation>, CoreError>>,
     competing: OnceCell<Result<CompetingSets, CoreError>>,
@@ -457,7 +548,17 @@ impl<'a> AnalyzerSession<'a> {
         self.classification
             .get_or_init(|| {
                 let limits = self.limits()?;
-                let classification = classify_with(self.program, limits);
+                let seeded = self.seeded_classification.borrow_mut().take();
+                let classification = match seeded {
+                    Some(classification) => classification,
+                    None if self.capture_snapshot => {
+                        let (classification, snapshot) =
+                            classify_with_snapshot(self.program, limits);
+                        *self.snapshot.borrow_mut() = Some(snapshot);
+                        classification
+                    }
+                    None => classify_with(self.program, limits),
+                };
                 if let Classification::Deadlocked { trace, stuck } = &classification {
                     let mut cells = Vec::new();
                     let mut messages = Vec::new();
@@ -544,6 +645,17 @@ impl<'a> AnalyzerSession<'a> {
                     method: LabelingMethod::Section6,
                     report: Some(report),
                 };
+                // The incremental path substitutes the early-stopping
+                // Section 6 driver: identical labels, errors and
+                // diagnostics (the program is already proven
+                // deadlock-free above), truncated trace.
+                let run_section6 = |program, limits| {
+                    if self.fast_labeling {
+                        label_messages_assignments_only(program, limits)
+                    } else {
+                        label_messages(program, limits)
+                    }
+                };
                 match self.analyzer.labeling {
                     LabelingStrategy::ConstraintSolver => {
                         let labeling = label_messages_robust(self.program, limits)
@@ -554,11 +666,11 @@ impl<'a> AnalyzerSession<'a> {
                             report: None,
                         })
                     }
-                    LabelingStrategy::Section6 => match label_messages(self.program, limits) {
+                    LabelingStrategy::Section6 => match run_section6(self.program, limits) {
                         Ok(report) => Ok(section6(report)),
                         Err(error) => Err(self.label_error(&error)),
                     },
-                    LabelingStrategy::Auto => match label_messages(self.program, limits) {
+                    LabelingStrategy::Auto => match run_section6(self.program, limits) {
                         Ok(report) => Ok(section6(report)),
                         Err(
                             error @ (CoreError::LabelConflict { .. }
@@ -835,6 +947,50 @@ impl<'a> AnalyzerSession<'a> {
             result,
             diagnostics,
         }
+    }
+
+    /// [`AnalyzerSession::finish`] for the incremental path: additionally
+    /// drains every per-stage artifact (successful stages only) so the
+    /// next edit can be seeded from them. Failed pipelines keep whatever
+    /// stages did succeed — a deadlocked program's classification and
+    /// snapshot are exactly what the next (possibly fixing) edit resumes
+    /// from.
+    pub(crate) fn finish_incremental(self) -> (AnalysisOutcome, WarmArtifacts) {
+        let driven: Result<(), CoreError> = match self.analyzer.obs.as_deref() {
+            Some(obs) => self.drive_observed(obs),
+            None => self.plan().map(drop),
+        };
+        let diagnostics = self.diagnostics.into_inner();
+        let routes = self.routes.into_inner().and_then(Result::ok);
+        let limits = self.limits.into_inner().and_then(Result::ok);
+        let classification = self.classification.into_inner().and_then(Result::ok);
+        let competing = self.competing.into_inner().and_then(Result::ok);
+        let labeling = self.labeling.into_inner().and_then(Result::ok);
+        let plan = self.plan.into_inner().and_then(Result::ok);
+        let snapshot = self.snapshot.into_inner();
+        let result = driven.map(|()| {
+            let take = "plan success implies every earlier stage succeeded";
+            let outcome = labeling.as_ref().expect(take);
+            Analysis::from_parts(
+                classification.clone().expect(take),
+                outcome.report.clone(),
+                outcome.method,
+                plan.expect(take),
+                limits.clone().expect(take),
+            )
+        });
+        (
+            AnalysisOutcome {
+                result,
+                diagnostics,
+            },
+            WarmArtifacts {
+                routes,
+                classification,
+                snapshot,
+                competing,
+            },
+        )
     }
 }
 

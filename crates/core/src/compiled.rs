@@ -19,7 +19,9 @@
 //! [`CompiledTopology::into_shared`]) and hand clones to as many
 //! [`Analyzer`](crate::Analyzer)s, worker threads or batches as needed.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use systolic_model::{
     CanonicalHash, CellId, ContentHasher, MessageRoutes, ModelError, Program, Route, Topology,
@@ -29,9 +31,33 @@ use crate::{AnalysisConfig, Lookahead, LookaheadLimits};
 
 /// Largest cell count for which [`CompiledTopology::compile`] materializes
 /// the all-pairs route closure (the closure is `O(n² · path length)`
-/// memory). Larger topologies still compile — routing just falls back to
-/// per-pair [`Topology::route_cells`].
+/// memory). Larger topologies still compile — routing is served from a
+/// bounded per-pair LRU ([`ROUTE_CACHE_CAPACITY`]) over
+/// [`Topology::route_cells`] searches.
 pub const MAX_CLOSURE_CELLS: usize = 256;
+
+/// Entry bound of the per-pair route LRU used by search-routed topologies
+/// beyond [`MAX_CLOSURE_CELLS`] cells.
+pub const ROUTE_CACHE_CAPACITY: usize = 4096;
+
+/// Hit/miss/occupancy counters of the per-pair route LRU — all zero for
+/// topologies served by the closure or by closed-form routing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RouteCacheStats {
+    /// Routes served from the cache.
+    pub hits: u64,
+    /// Routes computed by a BFS (and then cached).
+    pub misses: u64,
+    /// Pairs currently resident.
+    pub entries: usize,
+}
+
+/// The per-pair LRU: `(from, to) → (last-use tick, path)`.
+#[derive(Debug, Default)]
+struct RouteCache {
+    entries: HashMap<(u32, u32), (u64, Vec<CellId>)>,
+    tick: u64,
+}
 
 /// An immutable, `Arc`-shareable precompilation of one
 /// `(Topology, AnalysisConfig)` pair.
@@ -59,13 +85,34 @@ pub const MAX_CLOSURE_CELLS: usize = 256;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct CompiledTopology {
     topology: Topology,
     config: AnalysisConfig,
     fingerprint: u128,
     /// `paths[from * n + to]`: the route closure, when materialized.
     closure: Option<Vec<Option<Vec<CellId>>>>,
+    /// Per-pair route LRU for search-routed topologies beyond the closure
+    /// limit. A leaf lock: nothing else is acquired while it is held.
+    route_cache: Mutex<RouteCache>,
+    route_cache_hits: AtomicU64,
+    route_cache_misses: AtomicU64,
+}
+
+impl Clone for CompiledTopology {
+    /// Clones the compilation; the route LRU starts empty (it is a pure
+    /// cache — cloning shares no routing state and resets the counters).
+    fn clone(&self) -> Self {
+        CompiledTopology {
+            topology: self.topology.clone(),
+            config: self.config.clone(),
+            fingerprint: self.fingerprint,
+            closure: self.closure.clone(),
+            route_cache: Mutex::new(RouteCache::default()),
+            route_cache_hits: AtomicU64::new(0),
+            route_cache_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CompiledTopology {
@@ -94,6 +141,9 @@ impl CompiledTopology {
             config: config.clone(),
             fingerprint,
             closure,
+            route_cache: Mutex::new(RouteCache::default()),
+            route_cache_hits: AtomicU64::new(0),
+            route_cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -167,7 +217,69 @@ impl CompiledTopology {
                     None => Err(ModelError::NoRoute { from, to }),
                 }
             }
+            None if self.topology.uses_search_routing() => self.route_via_cache(from, to),
             None => self.topology.route_cells(from, to).map(Route::new),
+        }
+    }
+
+    /// Serves one pair through the route LRU: a hit clones the cached
+    /// path; a miss runs the BFS outside the lock, then inserts (evicting
+    /// the least-recently-used pair at capacity). Errors are never
+    /// cached — they are cheap (the BFS exhausts the component) and a
+    /// later topology may be swapped in via recompilation anyway.
+    fn route_via_cache(&self, from: CellId, to: CellId) -> Result<Route, ModelError> {
+        let key = (from.index() as u32, to.index() as u32);
+        {
+            // lint: panic-ok(a poisoned route cache means a panic mid-insert; unrecoverable)
+            let mut cache = self.route_cache.lock().expect("route cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                entry.0 = tick;
+                let path = entry.1.clone();
+                drop(cache);
+                // lint: relaxed-ok(pure statistic; fetch_add atomicity alone keeps the count exact)
+                self.route_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Route::new(path));
+            }
+        }
+        let path = self.topology.route_cells(from, to)?;
+        // lint: relaxed-ok(pure statistic; fetch_add atomicity alone keeps the count exact)
+        self.route_cache_misses.fetch_add(1, Ordering::Relaxed);
+        // lint: panic-ok(a poisoned route cache means a panic mid-insert; unrecoverable)
+        let mut cache = self.route_cache.lock().expect("route cache poisoned");
+        if cache.entries.len() >= ROUTE_CACHE_CAPACITY {
+            let victim = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.0)
+                .map(|(&k, _)| k);
+            if let Some(victim) = victim {
+                cache.entries.remove(&victim);
+            }
+        }
+        let tick = cache.tick;
+        cache.entries.insert(key, (tick, path.clone()));
+        Ok(Route::new(path))
+    }
+
+    /// Counters of the per-pair route LRU (zeros when the closure or
+    /// closed-form routing serves this topology).
+    #[must_use]
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        // lint: panic-ok(a poisoned route cache means a panic mid-insert; unrecoverable)
+        let entries = self
+            .route_cache
+            .lock()
+            .expect("route cache poisoned")
+            .entries
+            .len();
+        RouteCacheStats {
+            // lint: relaxed-ok(pure statistic; independent reads need no ordering)
+            hits: self.route_cache_hits.load(Ordering::Relaxed),
+            // lint: relaxed-ok(pure statistic; independent reads need no ordering)
+            misses: self.route_cache_misses.load(Ordering::Relaxed),
+            entries,
         }
     }
 
@@ -288,6 +400,72 @@ mod tests {
             three.routes_for(&program),
             Err(ModelError::CellCountMismatch { .. })
         ));
+    }
+
+    /// A line expressed as a free-form graph with `n` cells, so routing
+    /// must search (and, beyond the closure limit, go through the LRU).
+    fn line_graph(n: usize) -> Topology {
+        Topology::graph(n, (0..n - 1).map(|i| (c(i as u32), c(i as u32 + 1)))).unwrap()
+    }
+
+    #[test]
+    fn oversized_graphs_route_through_the_lru() {
+        let n = MAX_CLOSURE_CELLS + 4;
+        let compiled = CompiledTopology::compile(&line_graph(n), &AnalysisConfig::default());
+        assert!(!compiled.has_route_closure());
+
+        let route = compiled.route(c(0), c(n as u32 - 1)).unwrap();
+        assert_eq!(route.num_hops(), n - 1);
+        let stats = compiled.route_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        // Same pair again: a hit, byte-identical route.
+        assert_eq!(compiled.route(c(0), c(n as u32 - 1)).unwrap(), route);
+        let stats = compiled.route_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // Errors are served but never cached.
+        assert!(matches!(
+            compiled.route(c(3), c(3)),
+            Err(ModelError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            compiled.route(c(0), c(n as u32)),
+            Err(ModelError::CellOutOfRange { .. })
+        ));
+        assert_eq!(compiled.route_cache_stats().entries, 1);
+
+        // A clone starts with a cold, empty cache.
+        let cloned = compiled.clone();
+        assert_eq!(cloned.route_cache_stats(), RouteCacheStats::default());
+        assert_eq!(cloned.route(c(0), c(n as u32 - 1)).unwrap(), route);
+    }
+
+    #[test]
+    fn route_lru_evicts_at_capacity() {
+        let n = MAX_CLOSURE_CELLS + 4;
+        let compiled = CompiledTopology::compile(&line_graph(n), &AnalysisConfig::default());
+        let mut inserted = 0usize;
+        'outer: for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i == j {
+                    continue;
+                }
+                compiled.route(c(i), c(j)).unwrap();
+                inserted += 1;
+                if inserted > ROUTE_CACHE_CAPACITY + 16 {
+                    break 'outer;
+                }
+            }
+        }
+        let stats = compiled.route_cache_stats();
+        assert!(stats.entries <= ROUTE_CACHE_CAPACITY);
+        assert_eq!(stats.misses, inserted as u64, "distinct pairs all miss");
+        // A freshly inserted pair is immediately servable from the cache.
+        compiled.route(c(200), c(201)).unwrap();
+        let before = compiled.route_cache_stats().hits;
+        compiled.route(c(200), c(201)).unwrap();
+        assert_eq!(compiled.route_cache_stats().hits, before + 1);
     }
 
     #[test]

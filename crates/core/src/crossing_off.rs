@@ -202,8 +202,54 @@ pub fn classify(program: &Program) -> Classification {
 /// buffering capacity at run time.
 #[must_use]
 pub fn classify_with(program: &Program, limits: &LookaheadLimits) -> Classification {
-    let mut machine = Machine::new(program, limits);
-    let mut trace = Trace::default();
+    run_to_completion(Machine::new(program, limits), Trace::default()).0
+}
+
+/// [`classify_with`], additionally returning the machine's end state so a
+/// later run can resume from it (incremental reanalysis).
+pub(crate) fn classify_with_snapshot(
+    program: &Program,
+    limits: &LookaheadLimits,
+) -> (Classification, MachineSnapshot) {
+    run_to_completion(Machine::new(program, limits), Trace::default())
+}
+
+/// Resumes the crossing-off procedure from a previous run's end state.
+///
+/// `program` must extend the snapshot's program by **appending** operations
+/// at cell-program tails only (positions of existing ops unchanged), and
+/// `limits` must be skip-free ([`LookaheadLimits::disabled`]-shaped) for the
+/// result to be parity-sound:
+///
+/// * The procedure is confluent — crossing a pair never disables another
+///   executable pair — so the final crossed-off set, the verdict and the
+///   stuck report are independent of the order pairs were crossed. The
+///   base run's crossed sequence is a valid prefix of a maximal crossing
+///   sequence of the extended program (every base pair is still executable
+///   at the same positions, including when the base run stalled: the
+///   stall state is exactly where the appended ops may unblock it).
+/// * Without lookahead every pair carries empty skip maps, so resuming
+///   cannot diverge in recorded skip counts; only the grouping of pairs
+///   into steps can differ from a from-scratch run, and nothing downstream
+///   consumes step layout.
+pub(crate) fn classify_resume(
+    program: &Program,
+    limits: &LookaheadLimits,
+    snapshot: MachineSnapshot,
+    base_trace: Trace,
+) -> (Classification, MachineSnapshot) {
+    run_to_completion(
+        Machine::from_snapshot(program, limits, snapshot),
+        base_trace,
+    )
+}
+
+/// Drives a machine until no pair is executable, then packages the verdict
+/// and the end-state snapshot.
+fn run_to_completion(
+    mut machine: Machine<'_>,
+    mut trace: Trace,
+) -> (Classification, MachineSnapshot) {
     loop {
         let pairs = machine.executable_pairs();
         if pairs.is_empty() {
@@ -214,12 +260,29 @@ pub fn classify_with(program: &Program, limits: &LookaheadLimits) -> Classificat
         }
         trace.steps.push(Step { pairs });
     }
-    if machine.remaining_ops() == 0 {
-        Classification::DeadlockFree(trace)
+    let stuck = if machine.remaining_ops() == 0 {
+        None
     } else {
-        let stuck = machine.stuck_report(trace.total_pairs());
-        Classification::Deadlocked { trace, stuck }
-    }
+        Some(machine.stuck_report(trace.total_pairs()))
+    };
+    let snapshot = machine.into_snapshot();
+    let classification = match stuck {
+        None => Classification::DeadlockFree(trace),
+        Some(stuck) => Classification::Deadlocked { trace, stuck },
+    };
+    (classification, snapshot)
+}
+
+/// The portable end state of a crossing-off run: everything a [`Machine`]
+/// tracks, detached from the program borrow, so an extended program can
+/// resume where the base run finished instead of re-crossing every pair.
+#[derive(Clone, Debug)]
+pub(crate) struct MachineSnapshot {
+    crossed: Vec<Vec<bool>>,
+    front: Vec<usize>,
+    words_done: Vec<usize>,
+    uncrossed_per_cell: Vec<BTreeMap<MessageId, usize>>,
+    remaining_ops: usize,
 }
 
 /// Working state of one crossing-off run.
@@ -271,6 +334,64 @@ impl<'p> Machine<'p> {
             words_done: vec![0; program.num_messages()],
             uncrossed_per_cell,
             remaining_ops: program.total_ops(),
+        }
+    }
+
+    /// Rebuilds a machine over `program` from a previous run's end state.
+    ///
+    /// `program` must extend the snapshot's program by appending operations
+    /// at cell-program tails only: same cells, same message declarations,
+    /// and each cell's op list an extension of what the snapshot saw.
+    pub(crate) fn from_snapshot(
+        program: &'p Program,
+        limits: &'p LookaheadLimits,
+        snapshot: MachineSnapshot,
+    ) -> Self {
+        let MachineSnapshot {
+            mut crossed,
+            front,
+            words_done,
+            mut uncrossed_per_cell,
+            mut remaining_ops,
+        } = snapshot;
+        debug_assert_eq!(crossed.len(), program.num_cells(), "cell count is fixed");
+        debug_assert_eq!(
+            words_done.len(),
+            program.num_messages(),
+            "messages are fixed"
+        );
+        for cell in program.cell_ids() {
+            let ops = program.cell(cell);
+            let flags = &mut crossed[cell.index()];
+            debug_assert!(flags.len() <= ops.len(), "ops are appended, never removed");
+            for pos in flags.len()..ops.len() {
+                let op = ops.get(pos).expect("position in range");
+                *uncrossed_per_cell[cell.index()]
+                    .entry(op.message())
+                    .or_insert(0) += 1;
+                remaining_ops += 1;
+            }
+            flags.resize(ops.len(), false);
+        }
+        Machine {
+            program,
+            limits,
+            crossed,
+            front,
+            words_done,
+            uncrossed_per_cell,
+            remaining_ops,
+        }
+    }
+
+    /// Consumes the machine into its portable end state.
+    pub(crate) fn into_snapshot(self) -> MachineSnapshot {
+        MachineSnapshot {
+            crossed: self.crossed,
+            front: self.front,
+            words_done: self.words_done,
+            uncrossed_per_cell: self.uncrossed_per_cell,
+            remaining_ops: self.remaining_ops,
         }
     }
 

@@ -195,6 +195,32 @@ pub fn label_messages(
     program: &Program,
     limits: &LookaheadLimits,
 ) -> Result<LabelingReport, CoreError> {
+    label_messages_mode(program, limits, false)
+}
+
+/// [`label_messages`] that stops crossing pairs as soon as every message
+/// with a nonzero word count has a label.
+///
+/// Sound **only for programs already known deadlock-free** (the incremental
+/// path runs it after the classification stage): up to the stop point this
+/// is the identical algorithm, and past it the full run assigns no further
+/// labels — every rule (1a–1d) only ever labels unlabeled messages, and
+/// none remain with words — so it can raise no `LabelConflict`, while
+/// confluence of the crossing-off procedure rules out a late stall. The
+/// `Unused` backfill and the final consistency check operate on the same
+/// finished label table either way; only the report's trace is truncated.
+pub(crate) fn label_messages_assignments_only(
+    program: &Program,
+    limits: &LookaheadLimits,
+) -> Result<LabelingReport, CoreError> {
+    label_messages_mode(program, limits, true)
+}
+
+fn label_messages_mode(
+    program: &Program,
+    limits: &LookaheadLimits,
+    early_stop: bool,
+) -> Result<LabelingReport, CoreError> {
     let related = RelatedMessages::of(program);
     let mut machine = Machine::new(program, limits);
     let mut labels: Vec<Option<Label>> = vec![None; program.num_messages()];
@@ -204,8 +230,19 @@ pub fn label_messages(
     let mut cell_past_max: Vec<Option<Label>> = vec![None; program.num_cells()];
     let mut max_in_use: Option<Label> = None;
     let mut crossed_words = 0usize;
+    // Messages still unlabeled that carry words: once this hits zero no
+    // further pair can assign a label, so early-stop mode may break.
+    let mut unlabeled_with_words = program
+        .message_ids()
+        .filter(|&m| program.word_count(m) > 0)
+        .count();
+    let mut stopped_early = false;
 
     loop {
+        if early_stop && unlabeled_with_words == 0 {
+            stopped_early = true;
+            break;
+        }
         let pairs = machine.executable_pairs();
         // Pick one pair at a time. Among executable pairs, prefer the one
         // whose message already has the SMALLEST label (ties by message
@@ -281,6 +318,7 @@ pub fn label_messages(
             };
             labels[m.index()] = Some(label);
             assignment_order.push((m, label, rule));
+            unlabeled_with_words -= 1;
             max_in_use = Some(match max_in_use {
                 Some(cur) if cur >= label => cur,
                 _ => label,
@@ -290,6 +328,7 @@ pub fn label_messages(
                 if labels[other.index()].is_none() {
                     labels[other.index()] = Some(label);
                     assignment_order.push((other, label, LabelRule::RelatedClass));
+                    unlabeled_with_words -= 1;
                 }
             }
         }
@@ -300,6 +339,7 @@ pub fn label_messages(
             if labels[skipped.index()].is_none() {
                 labels[skipped.index()] = Some(pair_label);
                 assignment_order.push((skipped, pair_label, LabelRule::SkippedCoLabel));
+                unlabeled_with_words -= 1;
                 max_in_use = Some(match max_in_use {
                     Some(cur) if cur >= pair_label => cur,
                     _ => pair_label,
@@ -320,7 +360,7 @@ pub fn label_messages(
         trace.push_step(Step { pairs: vec![pair] });
     }
 
-    if machine.remaining_ops() != 0 {
+    if !stopped_early && machine.remaining_ops() != 0 {
         return Err(CoreError::ProgramDeadlocked {
             crossed_words,
             remaining_ops: machine.remaining_ops(),

@@ -97,6 +97,7 @@ mod crossing_off;
 mod diagnostics;
 mod error;
 mod fingerprint;
+mod incremental;
 mod label;
 mod labeling;
 mod limits;
@@ -109,13 +110,17 @@ pub(crate) use crossing_off::Machine;
 
 pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerBuilder, AnalyzerSession, LabelingStrategy};
 pub use competing::CompetingSets;
-pub use compiled::{CompiledTopology, MAX_CLOSURE_CELLS};
+pub use compiled::{CompiledTopology, RouteCacheStats, MAX_CLOSURE_CELLS, ROUTE_CACHE_CAPACITY};
 pub use consistency::{check_consistency, is_consistent, ConsistencyViolation};
 pub use constraint_labeling::label_messages_robust;
 pub use crossing_off::{classify, classify_with, Classification, Pair, Step, StuckReport, Trace};
 pub use diagnostics::{Diagnostic, DiagnosticCode, Diagnostics, Severity};
 pub use error::CoreError;
 pub use fingerprint::request_fingerprint;
+pub use incremental::{
+    DirtySet, EditError, EditOp, FallbackReason, IncrementalConfig, IncrementalSession,
+    ReuseReport, SessionDelta,
+};
 pub use label::Label;
 pub use labeling::{label_messages, LabelRule, Labeling, LabelingReport};
 pub use limits::LookaheadLimits;

@@ -101,6 +101,32 @@ pub mod names {
     pub const PLAN_CACHE_EVICTIONS: &str = "systolic_plan_cache_evictions";
     /// Gauge: hardware threads visible to the process.
     pub const HW_THREADS: &str = "systolic_hw_threads";
+    /// Counter: edit batches applied to incremental analyzer sessions.
+    pub const INCREMENTAL_EDITS: &str = "systolic_analyzer_incremental_edits_total";
+    /// Counter: edits that reused at least one stage artifact.
+    pub const INCREMENTAL_HITS: &str = "systolic_analyzer_incremental_hits_total";
+    /// Counter: edits that fell back to from-scratch analysis, labeled
+    /// `reason`.
+    pub const INCREMENTAL_FALLBACKS: &str = "systolic_analyzer_incremental_fallbacks_total";
+    /// Counter: cells marked dirty across all edit batches.
+    pub const INCREMENTAL_DIRTY_CELLS: &str = "systolic_analyzer_incremental_dirty_cells_total";
+    /// Counter: stage artifacts reused across edits, labeled `stage`.
+    pub const INCREMENTAL_STAGE_REUSED: &str = "systolic_analyzer_incremental_stage_reused_total";
+    /// Histogram: wall time for one incremental edit application, in
+    /// microseconds.
+    pub const INCREMENTAL_EDIT_DURATION: &str =
+        "systolic_analyzer_incremental_edit_duration_micros";
+    /// Gauge: live entries in the service's incremental session table.
+    pub const INCREMENTAL_SESSIONS: &str = "systolic_service_incremental_sessions";
+    /// Counter: incremental sessions evicted from the service table.
+    pub const INCREMENTAL_SESSION_EVICTIONS: &str =
+        "systolic_service_incremental_session_evictions_total";
+    /// Gauge: per-pair route LRU hits (mirrored from the compiled
+    /// topology).
+    pub const ROUTE_CACHE_HITS: &str = "systolic_route_cache_hits";
+    /// Gauge: per-pair route LRU misses (mirrored from the compiled
+    /// topology).
+    pub const ROUTE_CACHE_MISSES: &str = "systolic_route_cache_misses";
 }
 
 /// The shared observability bundle: one registry + one tracer, passed

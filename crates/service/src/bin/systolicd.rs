@@ -5,6 +5,7 @@
 //! systolicd serve [FILE] [--workers 4] [--shards 8] [--capacity 256]
 //!                 [--queue-depth 64] [--verify] [--verify-threads N]
 //!                 [--arena-cache-cap N] [--arena-mem-budget BYTES]
+//!                 [--session-cap N] [--incremental-fallback-ratio R]
 //!                 [--summary] [--summary-json]
 //!                 [--metrics-file PATH] [--trace-file PATH]
 //! ```
@@ -24,6 +25,16 @@
 //! throughput/latency/cache table — including arena-cache counters,
 //! scheduler fan-out depths, and a per-topology verified/blocked
 //! breakdown — to stderr.
+//!
+//! Incremental edits: a request line `{"op": "edit", "base": "0x...",
+//! "ops": [...]}` reanalyzes an earlier program (named by its response
+//! `fingerprint`) through a warm dirty-tracked session instead of from
+//! scratch; `--session-cap N` bounds the warm-session table (default 64,
+//! LRU eviction) and `--incremental-fallback-ratio R` sets the dirty-cell
+//! fraction above which an edit falls back to a from-scratch analysis
+//! (default 0.5). Edit responses carry `cache: "incremental"` and a
+//! `reuse` object; the summary table gains `incremental *` rows once any
+//! edit was served.
 //!
 //! Observability: `--summary-json` prints the summary as one JSON object
 //! to stderr; `--metrics-file PATH` writes the full metrics registry as a
@@ -47,7 +58,8 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::time::Instant;
 
 use systolic_service::wire::{
-    invalid_to_json, metrics_to_json, parse_line, response_to_json, traffic_to_json, WireRequest,
+    edit_rejected_to_json, edit_response_to_json, invalid_to_json, metrics_to_json, parse_line,
+    response_to_json, traffic_to_json, WireRequest,
 };
 use systolic_service::{AnalysisService, CacheConfig, Json, ServiceConfig, Ticket};
 use systolic_workloads::{traffic, TrafficConfig};
@@ -57,7 +69,8 @@ fn usage() -> ! {
         "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
          systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
          [--queue-depth N] [--verify] [--verify-threads N] \
-         [--arena-cache-cap N] [--arena-mem-budget BYTES] [--summary] \
+         [--arena-cache-cap N] [--arena-mem-budget BYTES] \
+         [--session-cap N] [--incremental-fallback-ratio R] [--summary] \
          [--summary-json] [--metrics-file PATH] [--trace-file PATH]"
     );
     std::process::exit(2);
@@ -68,6 +81,16 @@ fn parse_flag_value(args: &mut std::slice::Iter<'_, String>, flag: &str) -> usiz
         Some(Ok(v)) => v,
         _ => {
             eprintln!("systolicd: {flag} needs a non-negative integer value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag_ratio(args: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
+    match args.next().map(|v| v.parse::<f64>()) {
+        Some(Ok(v)) if (0.0..=1.0).contains(&v) => v,
+        _ => {
+            eprintln!("systolicd: {flag} needs a ratio in 0.0..=1.0");
             std::process::exit(2);
         }
     }
@@ -175,6 +198,13 @@ fn serve_main(args: &[String]) {
                 config.arena_mem_budget =
                     Some(parse_flag_value(&mut iter, "--arena-mem-budget").max(1));
             }
+            "--session-cap" => {
+                config.session_capacity = parse_flag_value(&mut iter, "--session-cap").max(1);
+            }
+            "--incremental-fallback-ratio" => {
+                config.incremental_fallback_ratio =
+                    parse_flag_ratio(&mut iter, "--incremental-fallback-ratio");
+            }
             "--summary" => summary = true,
             "--summary-json" => summary_json = true,
             "--metrics-file" => {
@@ -241,6 +271,22 @@ fn serve_main(args: &[String]) {
                     drain_one(&mut inflight, &mut out);
                 }
                 write_line(&mut out, &metrics_to_json(&service.registry_snapshot()));
+            }
+            Ok(WireRequest::Edit(command)) => {
+                // Edits chain on earlier responses' fingerprints, so every
+                // prior submission must land (seeding its session inputs)
+                // before the edit runs; flushing also keeps output in
+                // input order.
+                while !inflight.is_empty() {
+                    drain_one(&mut inflight, &mut out);
+                }
+                let line =
+                    match service.apply_edit(command.name.clone(), command.base, &command.ops) {
+                        Ok(edit) => edit_response_to_json(&edit),
+                        Err(error) => edit_rejected_to_json(&command.name, command.base, &error),
+                    };
+                write_line(&mut out, &line);
+                served += 1;
             }
             Err(error) => {
                 // Flush pending responses first so output stays in input

@@ -182,6 +182,22 @@ impl<V: Clone> ShardedCache<V> {
         (value, true)
     }
 
+    /// Clones every resident value, shard by shard (order unspecified).
+    /// Does not touch recency or the hit/miss counters.
+    #[must_use]
+    pub fn values(&self) -> Vec<V> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                let s = shard.lock();
+                s.entries
+                    .values()
+                    .map(|(_, v)| v.clone())
+                    .collect::<Vec<V>>()
+            })
+            .collect()
+    }
+
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {

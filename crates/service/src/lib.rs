@@ -68,7 +68,7 @@ pub use json::{Json, JsonError};
 pub use queue::{BoundedQueue, QueueClosed};
 pub use service::{
     AnalysisRequest, AnalysisResponse, AnalysisService, ArenaCacheStats, CacheProvenance,
-    Certified, Rejection, ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket,
-    TopologyVerifyStats,
+    Certified, EditRequestError, EditResponse, IncrementalStats, NamedEditOp, Rejection,
+    ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket, TopologyVerifyStats,
 };
 pub use varena::{ArenaBudget, ArenaLookup, ArenaLru};

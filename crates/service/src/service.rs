@@ -20,7 +20,7 @@
 //! full — backpressure, not unbounded buffering, is the overload
 //! response.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -29,9 +29,10 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use systolic_core::{
     request_fingerprint, AnalysisConfig, Analyzer, CommPlan, CompiledTopology, CoreError,
-    Diagnostic, Label, LabelingMethod,
+    Diagnostic, EditError, EditOp, IncrementalConfig, IncrementalSession, Label, LabelingMethod,
+    ReuseReport, RouteCacheStats,
 };
-use systolic_model::{ModelError, Program, Topology};
+use systolic_model::{ModelError, Op, Program, Topology};
 use systolic_obs::{names, Counter, Gauge, Histogram, Obs, RegistrySnapshot, SpanCtx};
 use systolic_report::Table;
 use systolic_sim::{
@@ -45,6 +46,12 @@ use crate::{ArenaLru, BoundedQueue, CacheConfig, CacheStats, ShardedCache};
 /// enough that a handful of interleaved topologies stop thrashing, small
 /// enough that a fleet of workers stays cheap.
 const DEFAULT_ARENA_CACHE_CAPACITY: usize = 4;
+
+/// Default bound on the incremental session table
+/// ([`ServiceConfig::session_capacity`]) — one warm session per active
+/// interactive client, without letting a fleet of editors pin unbounded
+/// analyzer state.
+const DEFAULT_SESSION_CAPACITY: usize = 64;
 
 /// Configuration of an [`AnalysisService`].
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +90,17 @@ pub struct ServiceConfig {
     /// Shape of the shared topology-compilation cache
     /// ([`CompiledTopology`] per distinct `(topology, config)`).
     pub compilation_cache: CacheConfig,
+    /// Bound on the incremental session table: warm
+    /// [`IncrementalSession`]s kept resident for `edit` requests, keyed by
+    /// their current request fingerprint. Least-recently-edited sessions
+    /// are evicted past this bound (clamped to ≥ 1); an evicted base can
+    /// still be edited — the session re-seeds from the recorded request
+    /// inputs at full-analysis cost.
+    pub session_capacity: usize,
+    /// Forwarded to [`IncrementalConfig::fallback_ratio`]: an edit batch
+    /// dirtying more than this fraction of cells is reanalyzed from
+    /// scratch instead of reusing warm stage artifacts.
+    pub incremental_fallback_ratio: f64,
 }
 
 impl ServiceConfig {
@@ -115,6 +133,8 @@ impl Default for ServiceConfig {
                 shards: 4,
                 capacity_per_shard: 64,
             },
+            session_capacity: DEFAULT_SESSION_CAPACITY,
+            incremental_fallback_ratio: 0.5,
         }
     }
 }
@@ -268,6 +288,12 @@ pub enum CacheProvenance {
     Hit,
     /// Computed by this request (and published to the cache).
     Miss,
+    /// Computed by the incremental path: a warm
+    /// [`IncrementalSession`] reanalyzed an edited program, reusing the
+    /// stage artifacts its dirty set left valid. Incremental outcomes are
+    /// **not** published to the plan cache — their fingerprints are
+    /// session-local until a client submits the edited program in full.
+    Incremental,
 }
 
 /// The service's reply to one request.
@@ -420,6 +446,11 @@ struct ServiceMetrics {
     queue_depth: Arc<Gauge>,
     /// `systolic_service_coalesced_window`, set by the verify dispatcher.
     coalesced_window: Arc<Gauge>,
+    /// `systolic_service_incremental_sessions`, tracking the session
+    /// table's live entry count.
+    incremental_sessions: Arc<Gauge>,
+    /// `systolic_service_incremental_session_evictions_total`.
+    session_evictions: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -430,8 +461,29 @@ impl ServiceMetrics {
             handle_micros: registry.histogram(names::SERVICE_HANDLE_DURATION),
             queue_depth: registry.gauge(names::SERVICE_QUEUE_DEPTH),
             coalesced_window: registry.gauge(names::SERVICE_COALESCED_WINDOW),
+            incremental_sessions: registry.gauge(names::INCREMENTAL_SESSIONS),
+            session_evictions: registry.counter(names::INCREMENTAL_SESSION_EVICTIONS),
         }
     }
+}
+
+/// Counter snapshot of the incremental edit path (the
+/// `systolic_analyzer_incremental_*` registry series plus the session
+/// table), for [`ServiceStats`] and the `--summary` report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IncrementalStats {
+    /// Edit batches applied (successful applies, certified or rejected).
+    pub edits: u64,
+    /// Edits that reused at least one warm stage artifact.
+    pub reuse_hits: u64,
+    /// Edits that fell back to from-scratch analysis.
+    pub fallbacks: u64,
+    /// Cells dirtied across all edit batches.
+    pub dirty_cells: u64,
+    /// Warm sessions currently resident in the table.
+    pub sessions: u64,
+    /// Sessions evicted by the table's capacity bound.
+    pub evictions: u64,
 }
 
 /// Verification outcomes for one topology spec — the per-topology
@@ -463,6 +515,139 @@ struct VerifyJob {
     reply: mpsc::Sender<Result<VerifyReport, ChaseError>>,
 }
 
+/// One edit operation with names instead of ids — the shape the JSONL
+/// wire layer produces. Names are resolved against the *base* session's
+/// current program by [`AnalysisService::apply_edit`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NamedEditOp {
+    /// Append a `W(message)`/`R(message)` op at the end of `cell`'s
+    /// program.
+    Append {
+        /// The cell whose program grows.
+        cell: String,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// The message the op moves.
+        message: String,
+    },
+    /// Remove the last operation of `cell`'s program.
+    RemoveTail {
+        /// The cell whose program shrinks.
+        cell: String,
+    },
+    /// Add an undirected link (graph topologies only).
+    AddLink {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// Remove an undirected link (graph topologies only).
+    RemoveLink {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+}
+
+/// Why an `edit` request could not be applied. Unlike a [`Rejection`]
+/// (the edited program analyzed and was refused), these mean the edit
+/// never reached analysis — the session, if any, is unchanged.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum EditRequestError {
+    /// `base` matches neither a warm session nor any recorded request
+    /// fingerprint — the client must submit the full program first.
+    UnknownBase {
+        /// The fingerprint the client named.
+        base: u128,
+    },
+    /// An edit op named a cell the base program does not declare.
+    UnknownCellName(String),
+    /// An edit op named a message the base program does not declare.
+    UnknownMessageName(String),
+    /// The resolved batch was rejected by [`SessionDelta`]
+    /// (invalid edited program/topology, structural errors).
+    ///
+    /// [`SessionDelta`]: systolic_core::SessionDelta
+    Edit(EditError),
+}
+
+impl std::fmt::Display for EditRequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditRequestError::UnknownBase { base } => write!(
+                f,
+                "unknown base fingerprint {base:#034x}: submit the full program first"
+            ),
+            EditRequestError::UnknownCellName(name) => {
+                write!(f, "edit references unknown cell {name:?}")
+            }
+            EditRequestError::UnknownMessageName(name) => {
+                write!(f, "edit references unknown message {name:?}")
+            }
+            EditRequestError::Edit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditRequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EditRequestError::Edit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EditError> for EditRequestError {
+    fn from(e: EditError) -> Self {
+        EditRequestError::Edit(e)
+    }
+}
+
+/// The service's reply to one `edit` request: a regular
+/// [`AnalysisResponse`] (provenance [`CacheProvenance::Incremental`],
+/// `fingerprint` = the *edited* program's fingerprint, for chaining the
+/// next edit) plus what the incremental path reused.
+#[derive(Clone, Debug)]
+pub struct EditResponse {
+    /// The response proper, outcome and all.
+    pub response: AnalysisResponse,
+    /// The base fingerprint the edit was applied against.
+    pub base: u128,
+    /// Which stage artifacts the session reused.
+    pub reuse: ReuseReport,
+}
+
+/// The request inputs recorded per fingerprint on every plan-cache miss,
+/// so an `edit` naming a base whose session went cold (or never existed)
+/// can seed a fresh [`IncrementalSession`] without the client resending
+/// the program.
+struct SeedInputs {
+    program: Program,
+    compiled: Arc<CompiledTopology>,
+}
+
+/// One warm incremental session, keyed in the table by its current
+/// fingerprint.
+struct SessionSlot {
+    /// Last-edit recency for LRU eviction.
+    tick: u64,
+    session: IncrementalSession,
+}
+
+/// The incremental edit path's mutable state: the bounded session table
+/// plus the arena LRU edit-path chases replay through (edits are
+/// serialized on this one lock — interactive edit traffic is per-client
+/// sequential anyway, and the table re-keys on every apply).
+struct EditState {
+    sessions: HashMap<u128, SessionSlot>,
+    tick: u64,
+    arenas: ArenaLru,
+}
+
 struct Inner {
     queue: BoundedQueue<Job>,
     cache: ShardedCache<ServiceOutcome>,
@@ -488,6 +673,11 @@ struct Inner {
     /// per-topology summary breakdown. `BTreeMap` so reports render in a
     /// stable order.
     verify_by_topology: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// Request inputs per fingerprint (bounded like the plan cache), the
+    /// seed source for cold `edit` bases.
+    seeds: ShardedCache<Arc<SeedInputs>>,
+    /// The incremental edit path: session table + edit-chase arenas.
+    edit_state: Mutex<EditState>,
 }
 
 impl Inner {
@@ -550,6 +740,8 @@ pub struct ServiceStats {
     /// Per-topology verification outcomes (spec order), populated when
     /// the service chases plans (`verify` on).
     pub verify_topologies: Vec<TopologyVerifyStats>,
+    /// Incremental edit-path counters (all-zero until the first `edit`).
+    pub incremental: IncrementalStats,
 }
 
 /// Renders an [`ArenaBudget`] for the summary table.
@@ -613,6 +805,15 @@ impl ServiceStats {
                 &format!("verify[{}]", topology.spec),
                 &format!("{} ok / {} blocked", topology.verified, topology.blocked),
             ]);
+        }
+        let inc = self.incremental;
+        if inc.edits > 0 {
+            t.row(["incremental edits", &inc.edits.to_string()]);
+            t.row(["incremental reuse hits", &inc.reuse_hits.to_string()]);
+            t.row(["incremental fallbacks", &inc.fallbacks.to_string()]);
+            t.row(["incremental dirty cells", &inc.dirty_cells.to_string()]);
+            t.row(["incremental sessions", &inc.sessions.to_string()]);
+            t.row(["incremental session evictions", &inc.evictions.to_string()]);
         }
         t
     }
@@ -680,6 +881,10 @@ impl AnalysisService {
         obs.registry()
             .gauge(names::HW_THREADS)
             .set(i64::try_from(hw_threads).unwrap_or(i64::MAX));
+        // The edit path's chase arenas, shared across all sessions (edits
+        // are serialized, so one LRU covers them all).
+        let mut edit_arenas = ArenaLru::with_budget(config.arena_budget());
+        edit_arenas.set_obs(&obs);
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_depth),
             cache: ShardedCache::new(config.cache),
@@ -695,6 +900,12 @@ impl AnalysisService {
             latencies: Mutex::new(Latencies::default()),
             scheduler_stats: Mutex::new(None),
             verify_by_topology: Mutex::new(BTreeMap::new()),
+            seeds: ShardedCache::new(config.cache),
+            edit_state: Mutex::new(EditState {
+                sessions: HashMap::new(),
+                tick: 0,
+                arenas: edit_arenas,
+            }),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -763,6 +974,148 @@ impl AnalysisService {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
+    /// Applies an edit batch against `base` — the fingerprint of a
+    /// previously served request or edit — through the incremental path:
+    /// the warm [`IncrementalSession`] for `base` (seeded from the
+    /// recorded request inputs when cold) reanalyzes the edited program
+    /// reusing every stage artifact its dirty set left valid, and the
+    /// session is re-keyed under the *edited* fingerprint so the next
+    /// edit can chain on the returned [`AnalysisResponse::fingerprint`].
+    ///
+    /// The outcome (certified or rejected, with the same diagnostics a
+    /// full submission of the edited program would carry) commits the
+    /// edited program as the session's new base either way; with
+    /// `verify` on, certified edits are chased exactly like misses.
+    /// Incremental outcomes are **not** published to the plan cache.
+    ///
+    /// # Errors
+    ///
+    /// [`EditRequestError`] when the base is unknown, a name fails to
+    /// resolve, or the batch itself is invalid ([`EditError`]); the
+    /// session (if any) is unchanged.
+    pub fn apply_edit(
+        &self,
+        name: impl Into<String>,
+        base: u128,
+        ops: &[NamedEditOp],
+    ) -> Result<EditResponse, EditRequestError> {
+        let start = Instant::now();
+        // lint: relaxed-ok(sequence allocation; fetch_add atomicity alone guarantees uniqueness)
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let inner = &self.inner;
+        let tracer = inner.obs.tracer();
+        let span = tracer.start(tracer.new_trace(), None, "request");
+        let ctx = span.ctx();
+        let trace_id = ctx.trace.0;
+
+        let mut state = inner.edit_state.lock();
+        let mut session = match state.sessions.remove(&base) {
+            Some(slot) => slot.session,
+            None => {
+                // Cold base: seed a fresh session from the recorded
+                // request inputs (full-analysis cost, once).
+                let Some(seed) = inner.seeds.get(base) else {
+                    tracer.finish(span);
+                    return Err(EditRequestError::UnknownBase { base });
+                };
+                let analyzer =
+                    Analyzer::new(Arc::clone(&seed.compiled)).with_obs(Arc::clone(&inner.obs));
+                IncrementalSession::seed(
+                    analyzer,
+                    seed.program.clone(),
+                    IncrementalConfig {
+                        fallback_ratio: inner.config.incremental_fallback_ratio,
+                    },
+                )
+            }
+        };
+        let resolved = match resolve_ops(session.program(), ops) {
+            Ok(resolved) => resolved,
+            Err(error) => {
+                store_session(inner, &mut state, base, session);
+                tracer.finish(span);
+                return Err(error);
+            }
+        };
+        let reuse = match session.apply_in(&resolved, Some(ctx)) {
+            Ok(reuse) => reuse,
+            Err(error) => {
+                store_session(inner, &mut state, base, session);
+                tracer.finish(span);
+                return Err(EditRequestError::Edit(error));
+            }
+        };
+        let fingerprint = session.fingerprint();
+        let diagnostics: Vec<Diagnostic> = session.diagnostics().clone().into_iter().collect();
+        let outcome: Result<Certified, Rejection> = match session.outcome().result() {
+            Ok(analysis) => {
+                let labeling_method = analysis.labeling_method();
+                let plan = Arc::new(analysis.plan().clone());
+                let program = session.program();
+                let message_labels = program
+                    .message_ids()
+                    .map(|m| (program.message(m).name().to_owned(), plan.label(m)))
+                    .collect();
+                // Chase certified edits exactly like misses (inline
+                // through the edit path's own arenas, or the verifier
+                // pool), with the same rejection semantics.
+                let chased = if inner.config.verify {
+                    let compiled = Arc::clone(session.analyzer().compiled());
+                    let chase_span = tracer.start(ctx.trace, Some(ctx.parent), "verify");
+                    let chased = chase(inner, &mut state.arenas, &compiled, program, &plan);
+                    tracer.finish(chase_span);
+                    chased.map(|report| {
+                        inner.tally_chase(compiled.topology(), &report);
+                        Some(report)
+                    })
+                } else {
+                    Ok(None)
+                };
+                match chased {
+                    Ok(verified) => Ok(Certified {
+                        max_queues_per_interval: plan.requirements().max_per_interval(),
+                        plan,
+                        labeling_method,
+                        message_labels,
+                        verified,
+                        analysis_micros: u64::try_from(start.elapsed().as_micros())
+                            .unwrap_or(u64::MAX),
+                        diagnostics,
+                    }),
+                    Err(ChaseError::Model(error)) => Err(Rejection {
+                        error: ServiceError::Analysis(CoreError::Model(error)),
+                        diagnostics,
+                    }),
+                    Err(ChaseError::Panicked(message)) => Err(Rejection {
+                        error: ServiceError::Panicked(message),
+                        diagnostics: Vec::new(),
+                    }),
+                }
+            }
+            Err(error) => Err(Rejection {
+                error: ServiceError::Analysis(error.clone()),
+                diagnostics,
+            }),
+        };
+        store_session(inner, &mut state, fingerprint, session);
+        drop(state);
+        tracer.finish(span);
+        let handle_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Ok(EditResponse {
+            response: AnalysisResponse {
+                seq,
+                name: name.into(),
+                fingerprint,
+                provenance: CacheProvenance::Incremental,
+                outcome: Arc::new(outcome),
+                handle_micros,
+                trace_id,
+            },
+            base,
+            reuse,
+        })
+    }
+
     /// Counter snapshot of the plan cache.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
@@ -815,7 +1168,60 @@ impl AnalysisService {
         registry
             .gauge(names::PLAN_CACHE_EVICTIONS)
             .set(clamp(cache.evictions));
+        let routes = self.route_cache_stats();
+        registry
+            .gauge(names::ROUTE_CACHE_HITS)
+            .set(clamp(routes.hits));
+        registry
+            .gauge(names::ROUTE_CACHE_MISSES)
+            .set(clamp(routes.misses));
         registry.snapshot()
+    }
+
+    /// Per-pair route LRU counters summed across every compiled topology
+    /// the service holds — the compilation cache plus any live
+    /// incremental-session analyzers. Distinct `CompiledTopology`
+    /// instances are deduplicated by identity (a session seeded from the
+    /// compilation cache shares its compiled topology, and must not be
+    /// counted twice). All-zero unless some topology exceeded the
+    /// [`systolic_core::MAX_CLOSURE_CELLS`] route-closure limit.
+    #[must_use]
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        let mut total = RouteCacheStats::default();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut add = |compiled: &Arc<CompiledTopology>| {
+            if seen.insert(Arc::as_ptr(compiled) as usize) {
+                let stats = compiled.route_cache_stats();
+                total.hits += stats.hits;
+                total.misses += stats.misses;
+                total.entries += stats.entries;
+            }
+        };
+        for compiled in self.inner.compilations.values() {
+            add(&compiled);
+        }
+        let state = self.inner.edit_state.lock();
+        for slot in state.sessions.values() {
+            add(slot.session.analyzer().compiled());
+        }
+        total
+    }
+
+    /// Counter snapshot of the incremental edit path: the
+    /// `systolic_analyzer_incremental_*` registry series plus the live
+    /// session-table occupancy. All-zero until the first
+    /// [`AnalysisService::apply_edit`].
+    #[must_use]
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        let snapshot = self.inner.obs.registry().snapshot();
+        IncrementalStats {
+            edits: snapshot.counter_total(names::INCREMENTAL_EDITS),
+            reuse_hits: snapshot.counter_total(names::INCREMENTAL_HITS),
+            fallbacks: snapshot.counter_total(names::INCREMENTAL_FALLBACKS),
+            dirty_cells: snapshot.counter_total(names::INCREMENTAL_DIRTY_CELLS),
+            sessions: self.inner.edit_state.lock().sessions.len() as u64,
+            evictions: snapshot.counter_total(names::INCREMENTAL_SESSION_EVICTIONS),
+        }
     }
 
     /// Counter snapshot of the verification-arena LRUs, summed across all
@@ -879,6 +1285,7 @@ impl AnalysisService {
             arena_budget: self.inner.config.arena_budget(),
             scheduler: self.scheduler_stats(),
             verify_topologies: self.verify_topology_stats(),
+            incremental: self.incremental_stats(),
         }
     }
 }
@@ -1052,7 +1459,7 @@ fn handle(
             // (Replay panics are already contained — and their arena
             // dropped — inside `chase_through`.)
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                compute(inner, &request, arenas, ctx)
+                compute(inner, &request, fingerprint, arenas, ctx)
             }));
             let computed: ServiceOutcome = Arc::new(match result {
                 Ok(outcome) => outcome,
@@ -1086,6 +1493,72 @@ fn handle(
     }
 }
 
+/// Resolves named edit ops against `program`'s cell/message declarations.
+fn resolve_ops(program: &Program, ops: &[NamedEditOp]) -> Result<Vec<EditOp>, EditRequestError> {
+    let cell = |name: &str| {
+        program
+            .cell_id(name)
+            .ok_or_else(|| EditRequestError::UnknownCellName(name.to_owned()))
+    };
+    let message = |name: &str| {
+        program
+            .message_id(name)
+            .ok_or_else(|| EditRequestError::UnknownMessageName(name.to_owned()))
+    };
+    ops.iter()
+        .map(|op| {
+            Ok(match op {
+                NamedEditOp::Append {
+                    cell: c,
+                    write,
+                    message: m,
+                } => {
+                    let m = message(m)?;
+                    EditOp::AppendOp {
+                        cell: cell(c)?,
+                        op: if *write { Op::write(m) } else { Op::read(m) },
+                    }
+                }
+                NamedEditOp::RemoveTail { cell: c } => EditOp::RemoveTailOp { cell: cell(c)? },
+                NamedEditOp::AddLink { a, b } => EditOp::AddLink {
+                    a: cell(a)?,
+                    b: cell(b)?,
+                },
+                NamedEditOp::RemoveLink { a, b } => EditOp::RemoveLink {
+                    a: cell(a)?,
+                    b: cell(b)?,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Re-keys `session` into the table under `key`, evicting the
+/// least-recently-edited sessions past the capacity bound and keeping the
+/// session gauge current.
+fn store_session(inner: &Inner, state: &mut EditState, key: u128, session: IncrementalSession) {
+    state.tick += 1;
+    let tick = state.tick;
+    // Re-keying over an existing entry (two bases edited into the same
+    // program) keeps the newer session; the replaced one is just dropped.
+    state.sessions.insert(key, SessionSlot { tick, session });
+    let capacity = inner.config.session_capacity.max(1);
+    while state.sessions.len() > capacity {
+        let lru = state
+            .sessions
+            .iter()
+            .min_by_key(|(_, slot)| slot.tick)
+            .map(|(&key, _)| key);
+        let Some(lru) = lru else { break };
+        state.sessions.remove(&lru);
+        inner.metrics.session_evictions.inc();
+    }
+    inner
+        .metrics
+        .incremental_sessions
+        .set(i64::try_from(state.sessions.len()).unwrap_or(i64::MAX));
+}
+
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -1113,11 +1586,22 @@ fn compiled_for(inner: &Inner, request: &AnalysisRequest) -> Arc<CompiledTopolog
 fn compute(
     inner: &Inner,
     request: &AnalysisRequest,
+    fingerprint: u128,
     arenas: &mut ArenaLru,
     ctx: SpanCtx,
 ) -> Result<Certified, Rejection> {
     let start = Instant::now();
     let compiled = compiled_for(inner, request);
+    // Record the request inputs (first writer wins) so a later `edit`
+    // naming this fingerprint as its base can seed an incremental session
+    // even when no warm session exists.
+    let _ = inner.seeds.insert(
+        fingerprint,
+        Arc::new(SeedInputs {
+            program: request.program.clone(),
+            compiled: Arc::clone(&compiled),
+        }),
+    );
     let analyzer = Analyzer::new(Arc::clone(&compiled)).with_obs(Arc::clone(&inner.obs));
     let (result, diagnostics) = analyzer
         .diagnose_in(&request.program, Some(ctx))
@@ -1917,5 +2401,234 @@ mod tests {
             text.contains("systolic_analyzer_stage_duration_micros_bucket"),
             "{text}"
         );
+    }
+
+    // --- incremental edit path ---
+
+    /// Four cells, two independent A/B streams: appending the balanced
+    /// pair W(A)/R(A) dirties 2 of 4 cells — exactly the default 0.5
+    /// fallback ratio, which is not *exceeded*, so the edit stays on the
+    /// incremental path.
+    const EDIT_BASE: &str = "cells 4\n\
+         message A: c0 -> c1\n\
+         message B: c2 -> c3\n\
+         program c0 { W(A) }\n\
+         program c1 { R(A) }\n\
+         program c2 { W(B) }\n\
+         program c3 { R(B) }\n";
+
+    fn edit_base_request(name: &str) -> AnalysisRequest {
+        AnalysisRequest::new(name, parse_program(EDIT_BASE).unwrap(), Topology::linear(4))
+    }
+
+    fn append(cell: &str, write: bool, message: &str) -> NamedEditOp {
+        NamedEditOp::Append {
+            cell: cell.to_owned(),
+            write,
+            message: message.to_owned(),
+        }
+    }
+
+    #[test]
+    fn edit_with_unknown_base_is_rejected() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let err = service.apply_edit("e", 42, &[]).unwrap_err();
+        assert_eq!(err, EditRequestError::UnknownBase { base: 42 });
+        assert!(err.to_string().contains("submit the full program first"));
+    }
+
+    #[test]
+    fn edit_matches_a_fresh_submit_of_the_edited_program() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let base = service.submit(edit_base_request("base")).wait();
+        assert!(base.is_certified());
+
+        let ops = [append("c0", true, "A"), append("c1", false, "A")];
+        let edit = service.apply_edit("e1", base.fingerprint, &ops).unwrap();
+        assert_eq!(edit.base, base.fingerprint);
+        assert_eq!(edit.response.provenance, CacheProvenance::Incremental);
+        assert_eq!(edit.reuse.dirty_cells, 2);
+        assert!(edit.reuse.fallback.is_none());
+        assert!(edit.reuse.reused_routes, "topology untouched");
+
+        // The incremental outcome must be indistinguishable from a
+        // from-scratch analysis of the edited program text.
+        let edited = EDIT_BASE
+            .replace("program c0 { W(A) }", "program c0 { W(A)*2 }")
+            .replace("program c1 { R(A) }", "program c1 { R(A)*2 }");
+        let fresh = service
+            .submit(AnalysisRequest::new(
+                "fresh",
+                parse_program(&edited).unwrap(),
+                Topology::linear(4),
+            ))
+            .wait();
+        assert_eq!(
+            fresh.provenance,
+            CacheProvenance::Miss,
+            "incremental outcomes are not published to the plan cache"
+        );
+        assert_eq!(edit.response.fingerprint, fresh.fingerprint);
+        let incremental = edit.response.outcome.as_ref().as_ref().unwrap();
+        let scratch = fresh.outcome.as_ref().as_ref().unwrap();
+        assert_eq!(incremental.plan.fingerprint(), scratch.plan.fingerprint());
+        assert_eq!(incremental.diagnostics, scratch.diagnostics);
+        assert_eq!(incremental.message_labels, scratch.message_labels);
+    }
+
+    #[test]
+    fn edits_chain_on_the_returned_fingerprint() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let base = service.submit(edit_base_request("base")).wait();
+        let first = service
+            .apply_edit(
+                "e1",
+                base.fingerprint,
+                &[append("c0", true, "A"), append("c1", false, "A")],
+            )
+            .unwrap();
+        assert!(first.response.is_certified());
+        let second = service
+            .apply_edit(
+                "e2",
+                first.response.fingerprint,
+                &[append("c2", true, "B"), append("c3", false, "B")],
+            )
+            .unwrap();
+        assert!(second.response.is_certified());
+        assert_ne!(second.response.fingerprint, first.response.fingerprint);
+        // Both edits ran warm (the second from the stored session).
+        assert!(second.reuse.reused_routes);
+        let stats = service.incremental_stats();
+        assert_eq!(stats.edits, 2);
+        assert!(stats.reuse_hits >= 1);
+    }
+
+    #[test]
+    fn invalid_edit_batches_preserve_the_base_session() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let base = service.submit(edit_base_request("base")).wait();
+
+        // Name resolution failure: never reaches the core edit layer.
+        let err = service
+            .apply_edit(
+                "bad-name",
+                base.fingerprint,
+                &[NamedEditOp::RemoveTail {
+                    cell: "nope".to_owned(),
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err, EditRequestError::UnknownCellName("nope".to_owned()));
+
+        // Core-layer rejection: linear topologies are not link-editable.
+        let err = service
+            .apply_edit(
+                "bad-op",
+                base.fingerprint,
+                &[NamedEditOp::AddLink {
+                    a: "c0".to_owned(),
+                    b: "c3".to_owned(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, EditRequestError::Edit(_)));
+
+        // The base session survived both rejections and still edits.
+        let edit = service
+            .apply_edit(
+                "good",
+                base.fingerprint,
+                &[append("c0", true, "A"), append("c1", false, "A")],
+            )
+            .unwrap();
+        assert!(edit.response.is_certified());
+    }
+
+    #[test]
+    fn session_table_evicts_lru_at_capacity() {
+        let service = AnalysisService::new(ServiceConfig {
+            session_capacity: 1,
+            ..Default::default()
+        });
+        let a = service.submit(edit_base_request("a")).wait();
+        let b = service.submit(fig7_request()).wait();
+        let balanced = [append("c0", true, "A"), append("c1", false, "A")];
+        assert!(service
+            .apply_edit("ea", a.fingerprint, &balanced)
+            .unwrap()
+            .response
+            .is_certified());
+        // The second base's session displaces the first (capacity 1).
+        // (The batch keeps A's writes and reads balanced so the edited
+        // program stays valid; whether analysis certifies it is
+        // irrelevant here.)
+        assert!(service
+            .apply_edit(
+                "eb",
+                b.fingerprint,
+                &[append("c2", true, "A"), append("c3", false, "A")],
+            )
+            .is_ok());
+        let stats = service.incremental_stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.edits, 2);
+        // An evicted base is still editable — it cold-seeds from the
+        // recorded request inputs instead of failing.
+        assert!(service.apply_edit("ea2", a.fingerprint, &balanced).is_ok());
+
+        // The summary table surfaces the incremental rows once edits ran.
+        let text = service.stats().table().to_text();
+        assert!(text.contains("incremental edits"), "{text}");
+        assert!(text.contains("incremental sessions"), "{text}");
+        assert!(text.contains("incremental session evictions"), "{text}");
+    }
+
+    #[test]
+    fn certified_edits_are_chased_when_verify_is_on() {
+        let service = AnalysisService::new(ServiceConfig {
+            verify: true,
+            ..Default::default()
+        });
+        let base = service.submit(edit_base_request("base")).wait();
+        let edit = service
+            .apply_edit(
+                "e1",
+                base.fingerprint,
+                &[append("c0", true, "A"), append("c1", false, "A")],
+            )
+            .unwrap();
+        let certified = edit.response.outcome.as_ref().as_ref().unwrap();
+        let report = certified.verified.as_ref().expect("edit was chased");
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn route_cache_counters_mirror_into_export_gauges() {
+        // 300 cells exceeds MAX_CLOSURE_CELLS (256), so the compiled
+        // topology skips the eager route closure and fills the per-pair
+        // LRU on demand — one miss for the single message routed here.
+        let links: String = (0..299)
+            .map(|i| format!("{i}-{}", i + 1))
+            .collect::<Vec<_>>()
+            .join(",");
+        let topology = Topology::from_spec(&format!("graph:300:{links}")).unwrap();
+        let program = parse_program(
+            "cells 300\n\
+             message A: c0 -> c5\n\
+             program c0 { W(A) }\n\
+             program c5 { R(A) }\n",
+        )
+        .unwrap();
+        let service = AnalysisService::new(ServiceConfig::default());
+        let response = service
+            .submit(AnalysisRequest::new("big", program, topology))
+            .wait();
+        assert!(response.is_certified());
+        let routes = service.route_cache_stats();
+        assert!(routes.misses >= 1, "{routes:?}");
+        let snapshot = service.registry_snapshot();
+        assert!(snapshot.gauge_value(names::ROUTE_CACHE_MISSES, &[]) >= 1);
     }
 }

@@ -35,6 +35,26 @@
 //! [`parse_line`] and answered with one `status: "metrics"` object
 //! dumping the whole metrics registry ([`metrics_to_json`]).
 //!
+//! An edit line reanalyzes a previously submitted program incrementally
+//! (dirty-tracked stage reuse instead of a from-scratch run):
+//!
+//! ```json
+//! {"op": "edit", "id": "e1", "base": "0x00f3...",
+//!  "ops": [{"edit": "append", "cell": "c0", "op": "W(A)"},
+//!          {"edit": "remove_tail", "cell": "c1"},
+//!          {"edit": "add_link", "a": "c0", "b": "c5"}]}
+//! ```
+//!
+//! `base` is the `fingerprint` of an earlier response on this connection
+//! (full submit or previous edit); `ops` entries are `append` (push
+//! `"W(X)"`/`"R(X)"` onto a cell's program), `remove_tail` (pop a cell's
+//! last op), and `add_link`/`remove_link` (graph topologies only). The
+//! response is a normal analysis response with `cache: "incremental"`
+//! plus a `base` echo and a `reuse` object (dirty cells, reused stages,
+//! fallback reason); its `fingerprint` is the new base for chained edits.
+//! Unknown bases and invalid batches answer `status: "rejected"` with
+//! `error_kind: "edit"` and leave the base session intact.
+//!
 //! Rejected (unsafe) responses — and certified responses with warnings —
 //! carry a `diagnostics` array of structured findings:
 //!
@@ -55,7 +75,10 @@ use systolic_model::{parse_program, program_to_text, ModelError, Topology};
 use systolic_obs::RegistrySnapshot;
 use systolic_workloads::TrafficItem;
 
-use crate::{AnalysisRequest, AnalysisResponse, CacheProvenance, Json, JsonError, ServiceError};
+use crate::{
+    AnalysisRequest, AnalysisResponse, CacheProvenance, EditRequestError, EditResponse, Json,
+    JsonError, NamedEditOp, ServiceError,
+};
 
 /// Why a request line could not become an [`AnalysisRequest`].
 #[derive(Clone, PartialEq, Debug)]
@@ -191,6 +214,18 @@ pub fn parse_request(line: &str, line_number: usize) -> Result<AnalysisRequest, 
     Ok(request)
 }
 
+/// One `{"op": "edit"}` wire line, parsed: the base fingerprint to edit
+/// plus the named edit batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EditCommand {
+    /// Response id (defaults to the line number).
+    pub name: String,
+    /// Fingerprint of the base request/edit, from an earlier response.
+    pub base: u128,
+    /// The edit batch, in application order.
+    pub ops: Vec<NamedEditOp>,
+}
+
 /// One parsed JSONL line: an analysis request, or a control op.
 #[derive(Debug)]
 pub enum WireRequest {
@@ -199,10 +234,13 @@ pub enum WireRequest {
     /// `{"op": "metrics"}` (alias `"stats"`): dump the metrics registry
     /// as one JSON object on the response stream.
     Metrics,
+    /// `{"op": "edit"}`: apply an edit batch to a warm session
+    /// ([`crate::AnalysisService::apply_edit`]).
+    Edit(Box<EditCommand>),
 }
 
-/// Parses one JSONL line, recognizing control ops (`{"op": "metrics"}`)
-/// before falling back to [`parse_request`].
+/// Parses one JSONL line, recognizing control ops (`{"op": "metrics"}`,
+/// `{"op": "edit"}`) before falling back to [`parse_request`].
 ///
 /// # Errors
 ///
@@ -212,14 +250,108 @@ pub fn parse_line(line: &str, line_number: usize) -> Result<WireRequest, WireErr
     let value = Json::parse(line)?;
     match value.get("op").and_then(Json::as_str) {
         Some("metrics" | "stats") => Ok(WireRequest::Metrics),
+        Some("edit") => Ok(WireRequest::Edit(Box::new(parse_edit(
+            &value,
+            line_number,
+        )?))),
         Some(other) => Err(WireError::Field(format!(
-            "unknown op {other:?} (expected \"metrics\" or \"stats\")"
+            "unknown op {other:?} (expected \"metrics\", \"stats\" or \"edit\")"
         ))),
         None => Ok(WireRequest::Analysis(Box::new(parse_request(
             line,
             line_number,
         )?))),
     }
+}
+
+/// Parses the `base` fingerprint field: a hex string with optional `0x`
+/// prefix, exactly as responses render it (`{:#034x}`).
+fn parse_base(value: Option<&Json>) -> Result<u128, WireError> {
+    let text = value
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Field("`base` (fingerprint hex string) is required".into()))?;
+    let digits = text.strip_prefix("0x").unwrap_or(text);
+    u128::from_str_radix(digits, 16)
+        .map_err(|_| WireError::Field(format!("`base` is not a fingerprint: {text:?}")))
+}
+
+/// Parses an `"W(X)"` / `"R(X)"` op string into (is_write, message name).
+fn parse_op_string(text: &str) -> Result<(bool, String), WireError> {
+    let inner = |s: &str, prefix: &str| {
+        s.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(')'))
+            .map(str::to_owned)
+    };
+    if let Some(message) = inner(text, "W(") {
+        Ok((true, message))
+    } else if let Some(message) = inner(text, "R(") {
+        Ok((false, message))
+    } else {
+        Err(WireError::Field(format!(
+            "`op` must look like \"W(A)\" or \"R(A)\", got {text:?}"
+        )))
+    }
+}
+
+fn parse_edit_op(item: &Json) -> Result<NamedEditOp, WireError> {
+    let field = |name: &str| {
+        item.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| WireError::Field(format!("edit op needs a string `{name}` field")))
+    };
+    match item.get("edit").and_then(Json::as_str) {
+        Some("append") => {
+            let (write, message) = parse_op_string(&field("op")?)?;
+            Ok(NamedEditOp::Append {
+                cell: field("cell")?,
+                write,
+                message,
+            })
+        }
+        Some("remove_tail") => Ok(NamedEditOp::RemoveTail {
+            cell: field("cell")?,
+        }),
+        Some("add_link") => Ok(NamedEditOp::AddLink {
+            a: field("a")?,
+            b: field("b")?,
+        }),
+        Some("remove_link") => Ok(NamedEditOp::RemoveLink {
+            a: field("a")?,
+            b: field("b")?,
+        }),
+        Some(other) => Err(WireError::Field(format!(
+            "unknown edit {other:?} (expected \"append\", \"remove_tail\", \
+             \"add_link\" or \"remove_link\")"
+        ))),
+        None => Err(WireError::Field(
+            "each ops entry needs an `edit` discriminator string".into(),
+        )),
+    }
+}
+
+/// Parses one `{"op": "edit"}` line. `line_number` (1-based) provides the
+/// default `id`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when `base` is missing/malformed or any `ops`
+/// entry has the wrong shape.
+pub fn parse_edit(value: &Json, line_number: usize) -> Result<EditCommand, WireError> {
+    let name = match value.get("id") {
+        None => format!("line-{line_number}"),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err(WireError::Field("`id` must be a string".into())),
+    };
+    let base = parse_base(value.get("base"))?;
+    let Some(Json::Arr(items)) = value.get("ops") else {
+        return Err(WireError::Field("`ops` (array) is required".into()));
+    };
+    let ops = items
+        .iter()
+        .map(parse_edit_op)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(EditCommand { name, base, ops })
 }
 
 /// Renders one service response as a JSONL line (no trailing newline).
@@ -244,6 +376,7 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
                 match response.provenance {
                     CacheProvenance::Hit => "hit",
                     CacheProvenance::Miss => "miss",
+                    CacheProvenance::Incremental => "incremental",
                 }
                 .to_owned(),
             ),
@@ -334,6 +467,62 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
     // `--trace-file` JSONL log (span events carry the same `trace`).
     members.push(("trace".to_owned(), Json::Num(response.trace_id as f64)));
     Json::Obj(members)
+}
+
+/// Renders an incremental edit outcome as a JSONL line: the usual
+/// analysis response fields (`cache: "incremental"`) plus the `base`
+/// echo and a `reuse` object describing what the edit reused.
+#[must_use]
+pub fn edit_response_to_json(edit: &EditResponse) -> Json {
+    let mut json = response_to_json(&edit.response);
+    let Json::Obj(members) = &mut json else {
+        unreachable!("response_to_json always renders an object");
+    };
+    members.push(("base".to_owned(), Json::Str(format!("{:#034x}", edit.base))));
+    let reuse = &edit.reuse;
+    let classification = if reuse.resumed_classification {
+        "resumed"
+    } else if reuse.seeded_classification {
+        "seeded"
+    } else {
+        "none"
+    };
+    let mut reuse_members = vec![
+        (
+            "dirty_cells".to_owned(),
+            Json::Num(reuse.dirty_cells as f64),
+        ),
+        (
+            "total_cells".to_owned(),
+            Json::Num(reuse.total_cells as f64),
+        ),
+        ("routes".to_owned(), Json::Bool(reuse.reused_routes)),
+        ("competing".to_owned(), Json::Bool(reuse.reused_competing)),
+        (
+            "classification".to_owned(),
+            Json::Str(classification.to_owned()),
+        ),
+        ("fast_labeling".to_owned(), Json::Bool(reuse.fast_labeling)),
+    ];
+    if let Some(reason) = reuse.fallback {
+        reuse_members.push(("fallback".to_owned(), Json::Str(reason.as_str().to_owned())));
+    }
+    members.push(("reuse".to_owned(), Json::Obj(reuse_members)));
+    json
+}
+
+/// Renders a rejected edit request (unknown base, unknown names, invalid
+/// batch) as a JSONL error response. The base session, if any, survives —
+/// the client may retry with a corrected batch.
+#[must_use]
+pub fn edit_rejected_to_json(name: &str, base: u128, error: &EditRequestError) -> Json {
+    Json::Obj(vec![
+        ("id".to_owned(), Json::Str(name.to_owned())),
+        ("status".to_owned(), Json::Str("rejected".to_owned())),
+        ("error".to_owned(), Json::Str(error.to_string())),
+        ("error_kind".to_owned(), Json::Str("edit".to_owned())),
+        ("base".to_owned(), Json::Str(format!("{base:#034x}"))),
+    ])
 }
 
 /// Renders a metrics-registry snapshot as one JSON object (the `metrics`
@@ -690,6 +879,150 @@ mod tests {
             parse_line(&request_line(""), 1),
             Ok(WireRequest::Analysis(r)) if r.name == "r1"
         ));
+        assert!(matches!(
+            parse_line(r#"{"op":"edit","base":"0x2a","ops":[]}"#, 1),
+            Ok(WireRequest::Edit(c)) if c.base == 42 && c.ops.is_empty()
+        ));
+    }
+
+    #[test]
+    fn parse_edit_covers_every_op_form() {
+        let line = r#"{"op":"edit","id":"e1","base":"0x00000000000000000000000000000019",
+            "ops":[{"edit":"append","cell":"c0","op":"W(A)"},
+                   {"edit":"append","cell":"c1","op":"R(A)"},
+                   {"edit":"remove_tail","cell":"c2"},
+                   {"edit":"add_link","a":"c0","b":"c5"},
+                   {"edit":"remove_link","a":"c0","b":"c5"}]}"#;
+        let Ok(WireRequest::Edit(command)) = parse_line(line, 1) else {
+            panic!("edit line must parse");
+        };
+        assert_eq!(command.name, "e1");
+        assert_eq!(command.base, 0x19);
+        assert_eq!(
+            command.ops,
+            vec![
+                NamedEditOp::Append {
+                    cell: "c0".to_owned(),
+                    write: true,
+                    message: "A".to_owned(),
+                },
+                NamedEditOp::Append {
+                    cell: "c1".to_owned(),
+                    write: false,
+                    message: "A".to_owned(),
+                },
+                NamedEditOp::RemoveTail {
+                    cell: "c2".to_owned(),
+                },
+                NamedEditOp::AddLink {
+                    a: "c0".to_owned(),
+                    b: "c5".to_owned(),
+                },
+                NamedEditOp::RemoveLink {
+                    a: "c0".to_owned(),
+                    b: "c5".to_owned(),
+                },
+            ]
+        );
+        // `id` defaults to the line number, `base` accepts bare hex.
+        let Ok(WireRequest::Edit(command)) = parse_line(r#"{"op":"edit","base":"ff","ops":[]}"#, 9)
+        else {
+            panic!("edit line must parse");
+        };
+        assert_eq!(command.name, "line-9");
+        assert_eq!(command.base, 0xff);
+    }
+
+    #[test]
+    fn parse_edit_rejects_malformed_lines() {
+        for line in [
+            r#"{"op":"edit","ops":[]}"#,                                // no base
+            r#"{"op":"edit","base":"xyz","ops":[]}"#,                   // bad hex
+            r#"{"op":"edit","base":17,"ops":[]}"#,                      // base not a string
+            r#"{"op":"edit","base":"0x1"}"#,                            // no ops
+            r#"{"op":"edit","base":"0x1","ops":[{}]}"#,                 // no discriminator
+            r#"{"op":"edit","base":"0x1","ops":[{"edit":"explode"}]}"#, // unknown edit
+            r#"{"op":"edit","base":"0x1","ops":[{"edit":"append","cell":"c0","op":"X(A)"}]}"#,
+            r#"{"op":"edit","base":"0x1","ops":[{"edit":"append","cell":"c0"}]}"#, // no op
+            r#"{"op":"edit","base":"0x1","ops":[{"edit":"add_link","a":"c0"}]}"#,  // no b
+        ] {
+            assert!(
+                matches!(parse_line(line, 1), Err(WireError::Field(_))),
+                "{line} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn edit_response_carries_base_and_reuse() {
+        use crate::NamedEditOp;
+        let service = AnalysisService::new(ServiceConfig::default());
+        let base = service
+            .submit(parse_request(&request_line(""), 1).unwrap())
+            .wait();
+        // Append a balanced W/R pair so the edited program stays valid.
+        let edit = service
+            .apply_edit(
+                "e1",
+                base.fingerprint,
+                &[
+                    NamedEditOp::Append {
+                        cell: "c0".to_owned(),
+                        write: true,
+                        message: "A".to_owned(),
+                    },
+                    NamedEditOp::Append {
+                        cell: "c1".to_owned(),
+                        write: false,
+                        message: "A".to_owned(),
+                    },
+                ],
+            )
+            .unwrap();
+        let json = edit_response_to_json(&edit);
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("e1"));
+        assert_eq!(
+            json.get("cache").and_then(Json::as_str),
+            Some("incremental")
+        );
+        assert_eq!(
+            json.get("base").and_then(Json::as_str),
+            Some(format!("{:#034x}", base.fingerprint).as_str())
+        );
+        let reuse = json.get("reuse").expect("reuse object");
+        assert_eq!(reuse.get("dirty_cells").and_then(Json::as_u64), Some(2));
+        assert_eq!(reuse.get("total_cells").and_then(Json::as_u64), Some(2));
+        assert!(matches!(reuse.get("routes"), Some(Json::Bool(_))));
+        assert!(matches!(reuse.get("classification"), Some(Json::Str(_))));
+        // 2 dirty of 2 cells exceeds the 0.5 default ratio: a fallback.
+        assert_eq!(
+            reuse.get("fallback").and_then(Json::as_str),
+            Some("dirty-ratio")
+        );
+        // The new fingerprint (not the base) is echoed for chaining.
+        let next = json.get("fingerprint").and_then(Json::as_str).unwrap();
+        assert_eq!(next, format!("{:#034x}", edit.response.fingerprint));
+        assert_ne!(next, format!("{:#034x}", base.fingerprint));
+        // The rendered line parses back as JSON.
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn rejected_edit_renders_an_error_response() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let err = service.apply_edit("e1", 0x2a, &[]).unwrap_err();
+        let json = edit_rejected_to_json("e1", 0x2a, &err);
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("edit"));
+        assert!(json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown base fingerprint"));
+        assert_eq!(
+            json.get("base").and_then(Json::as_str),
+            Some("0x0000000000000000000000000000002a")
+        );
     }
 
     #[test]
