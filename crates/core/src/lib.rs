@@ -89,6 +89,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analyzer;
+pub mod codec;
 mod competing;
 mod compiled;
 mod consistency;
@@ -109,6 +110,7 @@ mod requirements;
 pub(crate) use crossing_off::Machine;
 
 pub use analyzer::{AnalysisOutcome, Analyzer, AnalyzerBuilder, AnalyzerSession, LabelingStrategy};
+pub use codec::{CodecError, Decode, Encode, FieldReader, FieldWriter};
 pub use competing::CompetingSets;
 pub use compiled::{CompiledTopology, RouteCacheStats, MAX_CLOSURE_CELLS, ROUTE_CACHE_CAPACITY};
 pub use consistency::{check_consistency, is_consistent, ConsistencyViolation};

@@ -7,6 +7,14 @@ use crate::{CellId, Program};
 /// [`parse_program`](crate::parse_program), so programs round-trip:
 /// `parse_program(&program_to_text(&p))? == p`.
 ///
+/// This losslessness is a *stability contract*, not a convenience: the
+/// binary codec in `systolic_core` and the daemon's snapshot tier persist
+/// programs (and topologies, via [`Topology::spec`](crate::Topology::spec)
+/// / [`Topology::from_spec`](crate::Topology::from_spec)) as this text, so
+/// any change to either side that breaks the round-trip silently corrupts
+/// warm-start snapshots. The contract is locked by
+/// `text_roundtrip_is_a_stable_snapshot_contract` in this module's tests.
+///
 /// # Examples
 ///
 /// ```
@@ -203,5 +211,38 @@ mod serialize_tests {
         let text = program_to_text(&p);
         assert_eq!(parse_program(&text).unwrap(), p);
         assert!(text.contains("program c1 { }"));
+    }
+
+    /// The snapshot tier persists programs as `program_to_text` output and
+    /// topologies as `Topology::spec` strings. Both round-trips must stay
+    /// lossless — including fingerprints, which is what snapshot load uses
+    /// to verify a re-seeded entry — or saved snapshots stop warming
+    /// restarted daemons.
+    #[test]
+    fn text_roundtrip_is_a_stable_snapshot_contract() {
+        use crate::{CanonicalHash, Topology};
+
+        let p = parse_program(
+            "cells sender relay receiver\n\
+             message UP: sender -> receiver\n\
+             message DOWN: receiver -> sender\n\
+             program sender { W(UP)*3 R(DOWN) }\n\
+             program relay { }\n\
+             program receiver { R(UP) R(UP) R(UP) W(DOWN) }\n",
+        )
+        .unwrap();
+        let reparsed = parse_program(&program_to_text(&p)).unwrap();
+        assert_eq!(reparsed, p);
+        assert_eq!(
+            reparsed.content_hash(),
+            p.content_hash(),
+            "text round-trip must preserve the content fingerprint"
+        );
+
+        for topology in [Topology::ring(4), Topology::mesh(3, 5), Topology::ring(3)] {
+            let respec = Topology::from_spec(&topology.spec()).unwrap();
+            assert_eq!(respec, topology);
+            assert_eq!(respec.content_hash(), topology.content_hash());
+        }
     }
 }

@@ -127,6 +127,27 @@ pub mod names {
     /// Gauge: per-pair route LRU misses (mirrored from the compiled
     /// topology).
     pub const ROUTE_CACHE_MISSES: &str = "systolic_route_cache_misses";
+    /// Counter: cached plan outcomes restored from a snapshot load.
+    pub const SNAPSHOT_LOADED_PLANS: &str = "systolic_service_snapshot_loaded_plans_total";
+    /// Counter: incremental seed inputs restored from a snapshot load.
+    pub const SNAPSHOT_LOADED_SEEDS: &str = "systolic_service_snapshot_loaded_seeds_total";
+    /// Counter: snapshot entries dropped during load, labeled `reason`
+    /// (config-skewed or individually invalid entries — the load itself
+    /// still succeeds).
+    pub const SNAPSHOT_DROPPED: &str = "systolic_service_snapshot_dropped_total";
+    /// Counter: whole snapshot loads rejected (corrupt, truncated or
+    /// version-skewed files; the daemon keeps serving cold).
+    pub const SNAPSHOT_LOAD_REJECTED: &str = "systolic_service_snapshot_load_rejected_total";
+    /// Counter: snapshots written (flag-triggered, autosave or wire op).
+    pub const SNAPSHOT_SAVES: &str = "systolic_service_snapshot_saves_total";
+    /// Gauge: bytes in the most recently written snapshot.
+    pub const SNAPSHOT_SAVE_BYTES: &str = "systolic_service_snapshot_save_bytes";
+    /// Histogram: wall time for one snapshot load, in microseconds.
+    pub const SNAPSHOT_LOAD_DURATION: &str = "systolic_service_snapshot_load_duration_micros";
+    /// Histogram: wall time for one snapshot save, in microseconds.
+    pub const SNAPSHOT_SAVE_DURATION: &str = "systolic_service_snapshot_save_duration_micros";
+    /// Counter: cache hits served from snapshot-warmed entries.
+    pub const SNAPSHOT_WARM_HITS: &str = "systolic_service_snapshot_warm_hits_total";
 }
 
 /// The shared observability bundle: one registry + one tracer, passed

@@ -6,25 +6,28 @@
 //!                 [--queue-depth 64] [--verify] [--verify-threads N]
 //!                 [--arena-cache-cap N] [--arena-mem-budget BYTES]
 //!                 [--session-cap N] [--incremental-fallback-ratio R]
+//!                 [--snapshot-load PATH] [--snapshot-save PATH]
+//!                 [--snapshot-every N]
 //!                 [--summary] [--summary-json]
 //!                 [--metrics-file PATH] [--trace-file PATH]
 //! ```
 //!
-//! `gen` writes a deterministic stream of mixed workload requests (one
-//! JSON object per line) to stdout. `serve` reads request lines from FILE
-//! (or stdin), drives them through the service with bounded backpressure,
-//! and streams one JSON response per line to stdout in request order;
-//! `--verify` chases every certified miss with a simulator replay, and
-//! `--verify-threads N` coalesces those chases into batched fan-outs
-//! through a cross-topology verify scheduler with `N` workers instead of
-//! running them inline in the analysis workers. Warm-arena caches (inline
-//! per worker, or per scheduler worker) are sized by `--arena-cache-cap N`
-//! (arenas per cache; `0` sizes automatically from the number of distinct
-//! topologies observed) or `--arena-mem-budget BYTES` (approximate bytes
-//! per cache, which takes precedence); `--summary` prints a
-//! throughput/latency/cache table — including arena-cache counters,
-//! scheduler fan-out depths, and a per-topology verified/blocked
-//! breakdown — to stderr.
+//! All flags are parsed and validated by [`systolic_service::daemon`];
+//! this binary is the I/O loop. `gen` writes a deterministic stream of
+//! mixed workload requests (one JSON object per line) to stdout. `serve`
+//! reads request lines from FILE (or stdin), drives them through the
+//! service with bounded backpressure, and streams one JSON response per
+//! line to stdout in request order; `--verify` chases every certified
+//! miss with a simulator replay, and `--verify-threads N` coalesces those
+//! chases into batched fan-outs through a cross-topology verify scheduler
+//! with `N` workers instead of running them inline in the analysis
+//! workers. Warm-arena caches (inline per worker, or per scheduler
+//! worker) are sized by `--arena-cache-cap N` (arenas per cache; `0`
+//! sizes automatically from the number of distinct topologies observed)
+//! or `--arena-mem-budget BYTES` (approximate bytes per cache, which
+//! takes precedence); `--summary` prints a throughput/latency/cache table
+//! — including arena-cache counters, scheduler fan-out depths, and a
+//! per-topology verified/blocked breakdown — to stderr.
 //!
 //! Incremental edits: a request line `{"op": "edit", "base": "0x...",
 //! "ops": [...]}` reanalyzes an earlier program (named by its response
@@ -35,6 +38,16 @@
 //! (default 0.5). Edit responses carry `cache: "incremental"` and a
 //! `reuse` object; the summary table gains `incremental *` rows once any
 //! edit was served.
+//!
+//! Snapshot persistence: `--snapshot-load PATH` warms the plan cache from
+//! a snapshot before the first request (a rejected load — missing file,
+//! corrupt bytes, future format version — keeps serving cold, never
+//! partially warmed); `--snapshot-save PATH` writes a snapshot when the
+//! stream ends, `--snapshot-every N` additionally autosaves after every
+//! `N` served requests, and a request line `{"op": "snapshot"}` saves
+//! mid-stream after flushing every prior request and answers with a
+//! `status: "snapshot"` report. Warmed cache hits respond with
+//! `cache: "warm"` and the summary table gains `snapshot *` rows.
 //!
 //! Observability: `--summary-json` prints the summary as one JSON object
 //! to stderr; `--metrics-file PATH` writes the full metrics registry as a
@@ -51,60 +64,20 @@
 //!
 //! ```text
 //! systolicd gen --count 1000 --seed 7 > requests.jsonl
-//! systolicd serve requests.jsonl --workers 8 --summary > responses.jsonl
+//! systolicd serve requests.jsonl --workers 8 --summary \
+//!     --snapshot-save warm.snap > responses.jsonl
+//! systolicd serve requests.jsonl --snapshot-load warm.snap --summary \
+//!     > responses2.jsonl   # instant warm cache, responses say "warm"
 //! ```
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 use std::time::Instant;
 
-use systolic_service::wire::{
-    edit_rejected_to_json, edit_response_to_json, invalid_to_json, metrics_to_json, parse_line,
-    response_to_json, traffic_to_json, WireRequest,
-};
-use systolic_service::{AnalysisService, CacheConfig, Json, ServiceConfig, Ticket};
-use systolic_workloads::{traffic, TrafficConfig};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  systolicd gen --count N [--seed S] [--hot-percent P]\n  \
-         systolicd serve [FILE] [--workers N] [--shards N] [--capacity N] \
-         [--queue-depth N] [--verify] [--verify-threads N] \
-         [--arena-cache-cap N] [--arena-mem-budget BYTES] \
-         [--session-cap N] [--incremental-fallback-ratio R] [--summary] \
-         [--summary-json] [--metrics-file PATH] [--trace-file PATH]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_flag_value(args: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
-    match args.next().map(|v| v.parse::<usize>()) {
-        Some(Ok(v)) => v,
-        _ => {
-            eprintln!("systolicd: {flag} needs a non-negative integer value");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn parse_flag_ratio(args: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
-    match args.next().map(|v| v.parse::<f64>()) {
-        Some(Ok(v)) if (0.0..=1.0).contains(&v) => v,
-        _ => {
-            eprintln!("systolicd: {flag} needs a ratio in 0.0..=1.0");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn parse_flag_path(args: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
-    match args.next() {
-        Some(v) if !v.is_empty() => v.clone(),
-        _ => {
-            eprintln!("systolicd: {flag} needs a file path");
-            std::process::exit(2);
-        }
-    }
-}
+use systolic_service::daemon::{DaemonCommand, GenOptions, OptionsError, ServeOptions, USAGE};
+use systolic_service::wire::{parse_line, WireRequest, WireResponse};
+use systolic_service::{AnalysisService, Json, Ticket};
+use systolic_workloads::traffic;
 
 /// Writes one output line, turning stdout failures into process exits
 /// instead of panics: a broken pipe (`systolicd ... | head`) is the normal
@@ -134,92 +107,38 @@ fn exit_for_stdout_error(e: &std::io::Error) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("gen") => gen_main(&args[1..]),
-        Some("serve") => serve_main(&args[1..]),
-        _ => usage(),
+    match DaemonCommand::parse(&args) {
+        Ok(DaemonCommand::Gen(options)) => gen_main(&options),
+        Ok(DaemonCommand::Serve(options)) => serve_main(&options),
+        Err(OptionsError::Usage) => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        Err(error) => {
+            eprintln!("systolicd: {error}");
+            std::process::exit(2);
+        }
     }
 }
 
-fn gen_main(args: &[String]) {
-    let mut count = None;
-    let mut seed = 42u64;
-    let mut config = TrafficConfig::default();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--count" => count = Some(parse_flag_value(&mut iter, "--count")),
-            "--seed" => seed = parse_flag_value(&mut iter, "--seed") as u64,
-            "--hot-percent" => {
-                config.hot_percent = parse_flag_value(&mut iter, "--hot-percent").min(100) as u32;
-            }
-            _ => usage(),
-        }
-    }
-    let Some(count) = count else { usage() };
-
+fn gen_main(options: &GenOptions) {
+    let config = options.traffic_config();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    for (i, item) in traffic(&config, seed, count).iter().enumerate() {
+    for (i, item) in traffic(&config, options.seed, options.count)
+        .iter()
+        .enumerate()
+    {
         let id = format!("{}#{i}", item.name);
-        write_line(&mut out, &traffic_to_json(&id, item));
+        write_line(&mut out, &WireResponse::Traffic { id: &id, item }.to_json());
     }
     flush_out(&mut out);
 }
 
-fn serve_main(args: &[String]) {
-    let mut config = ServiceConfig::default();
-    let mut cache = CacheConfig::default();
-    let mut summary = false;
-    let mut summary_json = false;
-    let mut metrics_file = None;
-    let mut trace_file = None;
-    let mut input_path = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--workers" => config.workers = parse_flag_value(&mut iter, "--workers").max(1),
-            "--shards" => cache.shards = parse_flag_value(&mut iter, "--shards").max(1),
-            "--capacity" => {
-                cache.capacity_per_shard = parse_flag_value(&mut iter, "--capacity").max(1);
-            }
-            "--queue-depth" => {
-                config.queue_depth = parse_flag_value(&mut iter, "--queue-depth").max(1);
-            }
-            "--verify" => config.verify = true,
-            "--verify-threads" => {
-                config.verify_threads = parse_flag_value(&mut iter, "--verify-threads");
-            }
-            "--arena-cache-cap" => {
-                // 0 means "size automatically from observed topologies".
-                config.arena_cache_capacity = parse_flag_value(&mut iter, "--arena-cache-cap");
-            }
-            "--arena-mem-budget" => {
-                config.arena_mem_budget =
-                    Some(parse_flag_value(&mut iter, "--arena-mem-budget").max(1));
-            }
-            "--session-cap" => {
-                config.session_capacity = parse_flag_value(&mut iter, "--session-cap").max(1);
-            }
-            "--incremental-fallback-ratio" => {
-                config.incremental_fallback_ratio =
-                    parse_flag_ratio(&mut iter, "--incremental-fallback-ratio");
-            }
-            "--summary" => summary = true,
-            "--summary-json" => summary_json = true,
-            "--metrics-file" => {
-                metrics_file = Some(parse_flag_path(&mut iter, "--metrics-file"));
-            }
-            "--trace-file" => trace_file = Some(parse_flag_path(&mut iter, "--trace-file")),
-            path if !path.starts_with('-') && input_path.is_none() => {
-                input_path = Some(path.to_owned());
-            }
-            _ => usage(),
-        }
-    }
-    config.cache = cache;
+fn serve_main(options: &ServeOptions) {
+    let config = options.service;
 
-    let reader: Box<dyn Read> = match &input_path {
+    let reader: Box<dyn Read> = match &options.input_path {
         Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
             eprintln!("systolicd: cannot open {path}: {e}");
             std::process::exit(2);
@@ -228,11 +147,28 @@ fn serve_main(args: &[String]) {
     };
 
     let service = AnalysisService::new(config);
+
+    if let Some(path) = &options.snapshot_load {
+        // A rejected load never partially applies: the daemon keeps
+        // serving, cold, exactly as if no snapshot had been offered.
+        match service.load_snapshot(Path::new(path)) {
+            Ok(report) => eprintln!(
+                "systolicd: snapshot {path} warmed {} plans, {} seeds \
+                 ({} dropped, {} bytes, {} us)",
+                report.plans, report.seeds, report.dropped, report.bytes, report.micros
+            ),
+            Err(error) => {
+                eprintln!("systolicd: snapshot load rejected ({error}); serving cold");
+            }
+        }
+    }
+
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let started = Instant::now();
     let mut served = 0u64;
     let mut invalid = 0u64;
+    let mut since_autosave = 0usize;
 
     // Stream responses in request order while keeping at most
     // `inflight_limit` tickets outstanding: the submission queue provides
@@ -242,7 +178,24 @@ fn serve_main(args: &[String]) {
     let drain_one = |inflight: &mut std::collections::VecDeque<Ticket>, out: &mut dyn Write| {
         if let Some(ticket) = inflight.pop_front() {
             let response = ticket.wait();
-            write_line(out, &response_to_json(&response));
+            write_line(out, &WireResponse::Analysis(&response).to_json());
+        }
+    };
+    let autosave = |service: &AnalysisService, since_autosave: &mut usize| {
+        if options.snapshot_every == 0 {
+            return;
+        }
+        *since_autosave += 1;
+        if *since_autosave < options.snapshot_every {
+            return;
+        }
+        *since_autosave = 0;
+        if let Some(path) = &options.snapshot_save {
+            // Autosave is best-effort persistence; a failed write is
+            // reported but never interrupts serving.
+            if let Err(error) = service.save_snapshot(Path::new(path)) {
+                eprintln!("systolicd: snapshot autosave to {path} failed: {error}");
+            }
         }
     };
 
@@ -262,6 +215,7 @@ fn serve_main(args: &[String]) {
                 }
                 inflight.push_back(service.submit(*request));
                 served += 1;
+                autosave(&service, &mut since_autosave);
             }
             Ok(WireRequest::Metrics) => {
                 // Flush in-flight responses first so the dump reflects
@@ -270,7 +224,8 @@ fn serve_main(args: &[String]) {
                 while !inflight.is_empty() {
                     drain_one(&mut inflight, &mut out);
                 }
-                write_line(&mut out, &metrics_to_json(&service.registry_snapshot()));
+                let snapshot = service.registry_snapshot();
+                write_line(&mut out, &WireResponse::Metrics(&snapshot).to_json());
             }
             Ok(WireRequest::Edit(command)) => {
                 // Edits chain on earlier responses' fingerprints, so every
@@ -282,9 +237,39 @@ fn serve_main(args: &[String]) {
                 }
                 let line =
                     match service.apply_edit(command.name.clone(), command.base, &command.ops) {
-                        Ok(edit) => edit_response_to_json(&edit),
-                        Err(error) => edit_rejected_to_json(&command.name, command.base, &error),
+                        Ok(edit) => WireResponse::Edit(&edit).to_json(),
+                        Err(error) => WireResponse::EditRejected {
+                            name: &command.name,
+                            base: command.base,
+                            error: &error,
+                        }
+                        .to_json(),
                     };
+                write_line(&mut out, &line);
+                served += 1;
+                autosave(&service, &mut since_autosave);
+            }
+            Ok(WireRequest::Snapshot(id)) => {
+                // Flush so the snapshot covers every request submitted
+                // before it; output also stays in input order.
+                while !inflight.is_empty() {
+                    drain_one(&mut inflight, &mut out);
+                }
+                let line = match &options.snapshot_save {
+                    Some(path) => match service.save_snapshot(Path::new(path)) {
+                        Ok(report) => WireResponse::Snapshot { name: &id, report }.to_json(),
+                        Err(error) => WireResponse::SnapshotRejected {
+                            name: &id,
+                            error: &error.to_string(),
+                        }
+                        .to_json(),
+                    },
+                    None => WireResponse::SnapshotRejected {
+                        name: &id,
+                        error: "no --snapshot-save path configured",
+                    }
+                    .to_json(),
+                };
                 write_line(&mut out, &line);
                 served += 1;
             }
@@ -294,7 +279,14 @@ fn serve_main(args: &[String]) {
                 while !inflight.is_empty() {
                     drain_one(&mut inflight, &mut out);
                 }
-                write_line(&mut out, &invalid_to_json(line_number, &error));
+                write_line(
+                    &mut out,
+                    &WireResponse::Invalid {
+                        line_number,
+                        error: &error,
+                    }
+                    .to_json(),
+                );
                 invalid += 1;
             }
         }
@@ -304,6 +296,19 @@ fn serve_main(args: &[String]) {
     }
     flush_out(&mut out);
 
+    if let Some(path) = &options.snapshot_save {
+        match service.save_snapshot(Path::new(path)) {
+            Ok(report) => eprintln!(
+                "systolicd: snapshot saved to {path} ({} plans, {} seeds, {} bytes)",
+                report.plans, report.seeds, report.bytes
+            ),
+            Err(error) => {
+                eprintln!("systolicd: cannot write snapshot {path}: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let elapsed = started.elapsed();
     let secs = elapsed.as_secs_f64();
     let throughput = if secs > 0.0 {
@@ -312,7 +317,7 @@ fn serve_main(args: &[String]) {
         0.0
     };
 
-    if summary {
+    if options.summary {
         let stats = service.stats();
         let mut table = stats.table();
         table.row(["wall time (s)", &format!("{secs:.3}")]);
@@ -321,7 +326,7 @@ fn serve_main(args: &[String]) {
         eprintln!("{}", table.to_text());
     }
 
-    if summary_json {
+    if options.summary_json {
         let stats = service.stats();
         let snapshot = service.registry_snapshot();
         let arenas = stats.arena_cache;
@@ -367,10 +372,35 @@ fn serve_main(args: &[String]) {
                 Json::Num(scheduler.items as f64),
             ));
         }
+        let snap = stats.snapshot;
+        if snap.loads + snap.saves + snap.load_rejected > 0 {
+            members.push(("snapshot_loads".to_owned(), Json::Num(snap.loads as f64)));
+            members.push((
+                "snapshot_plans_restored".to_owned(),
+                Json::Num(snap.loaded_plans as f64),
+            ));
+            members.push((
+                "snapshot_seeds_restored".to_owned(),
+                Json::Num(snap.loaded_seeds as f64),
+            ));
+            members.push((
+                "snapshot_dropped".to_owned(),
+                Json::Num(snap.dropped as f64),
+            ));
+            members.push((
+                "snapshot_loads_rejected".to_owned(),
+                Json::Num(snap.load_rejected as f64),
+            ));
+            members.push(("snapshot_saves".to_owned(), Json::Num(snap.saves as f64)));
+            members.push((
+                "snapshot_warm_hits".to_owned(),
+                Json::Num(snap.warm_hits as f64),
+            ));
+        }
         eprintln!("{}", Json::Obj(members));
     }
 
-    if let Some(path) = &metrics_file {
+    if let Some(path) = &options.metrics_file {
         let exposition = service.registry_snapshot().render_prometheus();
         std::fs::write(path, exposition).unwrap_or_else(|e| {
             eprintln!("systolicd: cannot write {path}: {e}");
@@ -378,7 +408,7 @@ fn serve_main(args: &[String]) {
         });
     }
 
-    if let Some(path) = &trace_file {
+    if let Some(path) = &options.trace_file {
         let spans = service.obs().tracer().snapshot();
         let dropped = service.obs().tracer().dropped();
         let mut log = String::new();

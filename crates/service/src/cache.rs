@@ -198,6 +198,23 @@ impl<V: Clone> ShardedCache<V> {
             .collect()
     }
 
+    /// Clones every resident `(key, value)` pair, shard by shard (order
+    /// unspecified). Does not touch recency or the hit/miss counters —
+    /// the snapshot exporter walks the cache without perturbing LRU order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u128, V)> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                let s = shard.lock();
+                s.entries
+                    .iter()
+                    .map(|(k, (_, v))| (*k, v.clone()))
+                    .collect::<Vec<(u128, V)>>()
+            })
+            .collect()
+    }
+
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -328,6 +345,18 @@ mod tests {
         c.insert(1, 1);
         c.insert(2, 2);
         assert_eq!(c.len(), 1, "capacity clamps to 1");
+    }
+
+    #[test]
+    fn entries_exports_keys_without_touching_counters() {
+        let c = small(4, 8);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        let mut entries = c.entries();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "export must not perturb stats");
     }
 
     #[test]

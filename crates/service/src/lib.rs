@@ -33,7 +33,13 @@
 //!   and scheduler counters, and request/verify spans all land in its
 //!   registry/tracer, exported as a Prometheus text exposition
 //!   ([`AnalysisService::registry_snapshot`]), a `metrics` wire op
-//!   ([`wire::metrics_to_json`]), or a JSONL span log.
+//!   ([`wire::WireResponse::Metrics`]), or a JSONL span log;
+//! * snapshot persistence — [`AnalysisService::save_snapshot`] /
+//!   [`AnalysisService::load_snapshot`] round-trip the plan cache and its
+//!   recorded seed inputs through the versioned binary container in
+//!   [`SNAPSHOT_MAGIC`]'s format, so a restarted daemon warms instantly
+//!   (`systolicd serve --snapshot-load/--snapshot-save`); warmed hits
+//!   report [`CacheProvenance::Warm`].
 //!
 //! # Examples
 //!
@@ -57,9 +63,11 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+pub mod daemon;
 mod json;
 mod queue;
 mod service;
+mod snapshot;
 mod varena;
 pub mod wire;
 
@@ -69,6 +77,8 @@ pub use queue::{BoundedQueue, QueueClosed};
 pub use service::{
     AnalysisRequest, AnalysisResponse, AnalysisService, ArenaCacheStats, CacheProvenance,
     Certified, EditRequestError, EditResponse, IncrementalStats, NamedEditOp, Rejection,
-    ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, Ticket, TopologyVerifyStats,
+    ServiceConfig, ServiceError, ServiceOutcome, ServiceStats, SnapshotReport, SnapshotStats,
+    Ticket, TopologyVerifyStats,
 };
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use varena::{ArenaBudget, ArenaLookup, ArenaLru};

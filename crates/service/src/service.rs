@@ -32,7 +32,7 @@ use systolic_core::{
     Diagnostic, EditError, EditOp, IncrementalConfig, IncrementalSession, Label, LabelingMethod,
     ReuseReport, RouteCacheStats,
 };
-use systolic_model::{ModelError, Op, Program, Topology};
+use systolic_model::{CanonicalHash, ModelError, Op, Program, Topology};
 use systolic_obs::{names, Counter, Gauge, Histogram, Obs, RegistrySnapshot, SpanCtx};
 use systolic_report::Table;
 use systolic_sim::{
@@ -40,6 +40,7 @@ use systolic_sim::{
 };
 use systolic_workloads::TrafficItem;
 
+use crate::snapshot::{self, SnapshotError};
 use crate::{ArenaLru, BoundedQueue, CacheConfig, CacheStats, ShardedCache};
 
 /// Default arena-LRU capacity ([`ServiceConfig::arena_cache_capacity`]) —
@@ -294,6 +295,12 @@ pub enum CacheProvenance {
     /// **not** published to the plan cache — their fingerprints are
     /// session-local until a client submits the edited program in full.
     Incremental,
+    /// Served from a cache entry restored by a snapshot load
+    /// ([`AnalysisService::import_snapshot`]) rather than computed in
+    /// this process's lifetime. Entries stay `Warm` for every later hit,
+    /// so warm-start coverage is observable across a whole replayed
+    /// batch.
+    Warm,
 }
 
 /// The service's reply to one request.
@@ -451,6 +458,10 @@ struct ServiceMetrics {
     incremental_sessions: Arc<Gauge>,
     /// `systolic_service_incremental_session_evictions_total`.
     session_evictions: Arc<Counter>,
+    /// `systolic_service_snapshot_warm_hits_total` — the only snapshot
+    /// instrument on the per-request hot path; the rest (load/save
+    /// counters and durations) are resolved at their rare call sites.
+    snapshot_warm_hits: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -463,6 +474,7 @@ impl ServiceMetrics {
             coalesced_window: registry.gauge(names::SERVICE_COALESCED_WINDOW),
             incremental_sessions: registry.gauge(names::INCREMENTAL_SESSIONS),
             session_evictions: registry.counter(names::INCREMENTAL_SESSION_EVICTIONS),
+            snapshot_warm_hits: registry.counter(names::SNAPSHOT_WARM_HITS),
         }
     }
 }
@@ -678,6 +690,15 @@ struct Inner {
     seeds: ShardedCache<Arc<SeedInputs>>,
     /// The incremental edit path: session table + edit-chase arenas.
     edit_state: Mutex<EditState>,
+    /// Fingerprints installed by a snapshot load; hits on these report
+    /// [`CacheProvenance::Warm`]. Guarded by `warm_active` so the common
+    /// never-loaded service pays one relaxed atomic read per hit, not a
+    /// lock.
+    warm: Mutex<std::collections::HashSet<u128>>,
+    /// `true` once any snapshot import installed at least one entry.
+    warm_active: std::sync::atomic::AtomicBool,
+    /// Cumulative snapshot activity, reported by [`ServiceStats`].
+    snapshot_tally: Mutex<SnapshotStats>,
 }
 
 impl Inner {
@@ -701,6 +722,51 @@ impl Inner {
             entry.1 += 1;
         }
     }
+}
+
+/// Cumulative snapshot-persistence counters, for [`ServiceStats`] and the
+/// `--summary` report. All-zero until the service loads or saves a
+/// snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnapshotStats {
+    /// Snapshot imports that fully parsed and installed.
+    pub loads: u64,
+    /// Cached plan outcomes restored across all loads.
+    pub loaded_plans: u64,
+    /// Incremental seed inputs restored across all loads.
+    pub loaded_seeds: u64,
+    /// Entries dropped during loads (config-skewed, re-fingerprint
+    /// mismatches, plans without a surviving seed) — the loads themselves
+    /// still succeeded.
+    pub dropped: u64,
+    /// Whole snapshot loads rejected (corrupt, truncated, or
+    /// version-skewed files); nothing was installed and the service kept
+    /// serving cold.
+    pub load_rejected: u64,
+    /// Snapshots written.
+    pub saves: u64,
+    /// Bytes in the most recently written snapshot.
+    pub last_save_bytes: u64,
+    /// Cache hits served from snapshot-warmed entries
+    /// ([`CacheProvenance::Warm`]).
+    pub warm_hits: u64,
+}
+
+/// What one snapshot operation ([`AnalysisService::import_snapshot`] /
+/// [`AnalysisService::save_snapshot`] and their file wrappers) did, for
+/// the wire `snapshot` response and the daemon's summary lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnapshotReport {
+    /// Plan outcomes restored (load) or serialized (save).
+    pub plans: u64,
+    /// Seed inputs restored (load) or serialized (save).
+    pub seeds: u64,
+    /// Entries dropped by this operation (load-side skew; zero on save).
+    pub dropped: u64,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// Wall time of the operation, microseconds.
+    pub micros: u64,
 }
 
 /// Aggregate service statistics (request latencies + cache counters).
@@ -742,6 +808,9 @@ pub struct ServiceStats {
     pub verify_topologies: Vec<TopologyVerifyStats>,
     /// Incremental edit-path counters (all-zero until the first `edit`).
     pub incremental: IncrementalStats,
+    /// Snapshot persistence counters (all-zero until the first snapshot
+    /// load or save).
+    pub snapshot: SnapshotStats,
 }
 
 /// Renders an [`ArenaBudget`] for the summary table.
@@ -814,6 +883,20 @@ impl ServiceStats {
             t.row(["incremental dirty cells", &inc.dirty_cells.to_string()]);
             t.row(["incremental sessions", &inc.sessions.to_string()]);
             t.row(["incremental session evictions", &inc.evictions.to_string()]);
+        }
+        let snap = self.snapshot;
+        if snap.loads + snap.saves + snap.load_rejected > 0 {
+            t.row(["snapshot loads", &snap.loads.to_string()]);
+            t.row(["snapshot plans restored", &snap.loaded_plans.to_string()]);
+            t.row(["snapshot seeds restored", &snap.loaded_seeds.to_string()]);
+            t.row(["snapshot entries dropped", &snap.dropped.to_string()]);
+            t.row(["snapshot loads rejected", &snap.load_rejected.to_string()]);
+            t.row(["snapshot saves", &snap.saves.to_string()]);
+            t.row([
+                "snapshot last save bytes",
+                &snap.last_save_bytes.to_string(),
+            ]);
+            t.row(["snapshot warm hits", &snap.warm_hits.to_string()]);
         }
         t
     }
@@ -906,6 +989,9 @@ impl AnalysisService {
                 tick: 0,
                 arenas: edit_arenas,
             }),
+            warm: Mutex::new(std::collections::HashSet::new()),
+            warm_active: std::sync::atomic::AtomicBool::new(false),
+            snapshot_tally: Mutex::new(SnapshotStats::default()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -1286,7 +1372,240 @@ impl AnalysisService {
             scheduler: self.scheduler_stats(),
             verify_topologies: self.verify_topology_stats(),
             incremental: self.incremental_stats(),
+            snapshot: self.snapshot_stats(),
         }
+    }
+
+    /// Cumulative snapshot-persistence counters (all-zero until the first
+    /// snapshot load or save).
+    #[must_use]
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let mut stats = *self.inner.snapshot_tally.lock();
+        stats.warm_hits = self.inner.metrics.snapshot_warm_hits.get();
+        stats
+    }
+
+    /// Stages the current warm state — every cached plan outcome plus the
+    /// recorded seed inputs — for serialization. Plans whose seed entry
+    /// was independently evicted carry no reconstructable request inputs
+    /// and are skipped (counted under `systolic_service_snapshot_dropped_total`,
+    /// reason `export-missing-seed`).
+    fn export_snapshot_data(&self) -> snapshot::SnapshotData {
+        let mut config_hashes: HashMap<u128, u128> = HashMap::new();
+        let mut seeds = Vec::new();
+        for (fingerprint, seed) in self.inner.seeds.entries() {
+            let config = seed.compiled.config().clone();
+            config_hashes.insert(fingerprint, config.content_hash());
+            seeds.push(snapshot::SeedEntry {
+                fingerprint,
+                program: seed.program.clone(),
+                topology: seed.compiled.topology().clone(),
+                config,
+            });
+        }
+        let mut plans = Vec::new();
+        let mut skipped = 0u64;
+        for (fingerprint, outcome) in self.inner.cache.entries() {
+            match config_hashes.get(&fingerprint) {
+                Some(&config_hash) => plans.push(snapshot::PlanEntry {
+                    fingerprint,
+                    config_hash,
+                    outcome,
+                }),
+                None => skipped += 1,
+            }
+        }
+        if skipped > 0 {
+            self.inner
+                .obs
+                .registry()
+                .counter_with(
+                    names::SNAPSHOT_DROPPED,
+                    &[("reason", "export-missing-seed")],
+                )
+                .add(skipped);
+        }
+        snapshot::SnapshotData { plans, seeds }
+    }
+
+    /// Serializes the service's warm state into the versioned snapshot
+    /// container (see the `snapshot` module docs for the format layout).
+    #[must_use]
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        snapshot::write_snapshot(&self.export_snapshot_data())
+    }
+
+    /// Parses `bytes` as a snapshot and installs its entries into the
+    /// plan and seed caches.
+    ///
+    /// The whole file is decoded and validated *before* anything is
+    /// installed: a corrupt, truncated, or version-skewed snapshot
+    /// returns a typed [`SnapshotError`], installs nothing, and leaves
+    /// the service serving cold. Per-entry skew — a seed that no longer
+    /// re-fingerprints to its recorded key, a plan whose config hash
+    /// mismatches its seed's, or a plan whose fingerprint is already
+    /// cached — is dropped and counted, never an error.
+    pub fn import_snapshot(&self, bytes: &[u8]) -> Result<SnapshotReport, SnapshotError> {
+        let start = Instant::now();
+        let registry = self.inner.obs.registry();
+        let data = match snapshot::read_snapshot(bytes) {
+            Ok(data) => data,
+            Err(error) => {
+                registry.counter(names::SNAPSHOT_LOAD_REJECTED).inc();
+                self.inner.snapshot_tally.lock().load_rejected += 1;
+                return Err(error);
+            }
+        };
+        let mut dropped = [
+            ("refingerprint", 0u64),
+            ("config-skew", 0u64),
+            ("missing-seed", 0u64),
+            ("already-cached", 0u64),
+        ];
+        let mut config_hashes: HashMap<u128, u128> = HashMap::new();
+        let mut loaded_seeds = 0u64;
+        for seed in data.seeds {
+            // A seed that no longer fingerprints to its recorded key was
+            // written by an incompatible build (or corrupted in a way the
+            // section hash cannot see); installing it would seed wrong
+            // sessions, so drop it.
+            let recomputed = request_fingerprint(&seed.program, &seed.topology, &seed.config);
+            if recomputed != seed.fingerprint {
+                dropped[0].1 += 1;
+                continue;
+            }
+            let key = CompiledTopology::fingerprint_of(&seed.topology, &seed.config);
+            let compiled = match self.inner.compilations.get(key) {
+                Some(compiled) => compiled,
+                None => {
+                    let built =
+                        CompiledTopology::compile(&seed.topology, &seed.config).into_shared();
+                    self.inner.compilations.insert(key, built).0
+                }
+            };
+            config_hashes.insert(seed.fingerprint, seed.config.content_hash());
+            let _ = self.inner.seeds.insert(
+                seed.fingerprint,
+                Arc::new(SeedInputs {
+                    program: seed.program,
+                    compiled,
+                }),
+            );
+            loaded_seeds += 1;
+        }
+        let mut loaded_plans = 0u64;
+        {
+            let mut warm = self.inner.warm.lock();
+            for plan in data.plans {
+                match config_hashes.get(&plan.fingerprint) {
+                    Some(&hash) if hash == plan.config_hash => {
+                        // First writer wins: an outcome this process
+                        // already computed beats the snapshot's copy, and
+                        // its hits keep reporting plain `Hit`.
+                        let (_, installed) =
+                            self.inner.cache.insert(plan.fingerprint, plan.outcome);
+                        if installed {
+                            warm.insert(plan.fingerprint);
+                            loaded_plans += 1;
+                        } else {
+                            dropped[3].1 += 1;
+                        }
+                    }
+                    Some(_) => dropped[1].1 += 1,
+                    None => dropped[2].1 += 1,
+                }
+            }
+        }
+        if loaded_plans > 0 {
+            self.inner
+                .warm_active
+                // lint: relaxed-ok(one-way flag; the warm set itself is published under its lock)
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        registry
+            .counter(names::SNAPSHOT_LOADED_PLANS)
+            .add(loaded_plans);
+        registry
+            .counter(names::SNAPSHOT_LOADED_SEEDS)
+            .add(loaded_seeds);
+        let mut total_dropped = 0u64;
+        for (reason, count) in dropped {
+            if count > 0 {
+                registry
+                    .counter_with(names::SNAPSHOT_DROPPED, &[("reason", reason)])
+                    .add(count);
+                total_dropped += count;
+            }
+        }
+        registry
+            .histogram(names::SNAPSHOT_LOAD_DURATION)
+            .record(micros);
+        {
+            let mut tally = self.inner.snapshot_tally.lock();
+            tally.loads += 1;
+            tally.loaded_plans += loaded_plans;
+            tally.loaded_seeds += loaded_seeds;
+            tally.dropped += total_dropped;
+        }
+        Ok(SnapshotReport {
+            plans: loaded_plans,
+            seeds: loaded_seeds,
+            dropped: total_dropped,
+            bytes: bytes.len() as u64,
+            micros,
+        })
+    }
+
+    /// Serializes the warm state and writes it to `path` (see
+    /// [`AnalysisService::export_snapshot`]).
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<SnapshotReport, SnapshotError> {
+        let start = Instant::now();
+        let data = self.export_snapshot_data();
+        let plans = data.plans.len() as u64;
+        let seeds = data.seeds.len() as u64;
+        let bytes = snapshot::write_snapshot(&data);
+        std::fs::write(path, &bytes)?;
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let registry = self.inner.obs.registry();
+        registry.counter(names::SNAPSHOT_SAVES).inc();
+        registry
+            .gauge(names::SNAPSHOT_SAVE_BYTES)
+            .set(i64::try_from(bytes.len()).unwrap_or(i64::MAX));
+        registry
+            .histogram(names::SNAPSHOT_SAVE_DURATION)
+            .record(micros);
+        {
+            let mut tally = self.inner.snapshot_tally.lock();
+            tally.saves += 1;
+            tally.last_save_bytes = bytes.len() as u64;
+        }
+        Ok(SnapshotReport {
+            plans,
+            seeds,
+            dropped: 0,
+            bytes: bytes.len() as u64,
+            micros,
+        })
+    }
+
+    /// Reads `path` and installs its snapshot (see
+    /// [`AnalysisService::import_snapshot`]). An unreadable file counts
+    /// as a rejected load; the service keeps serving cold.
+    pub fn load_snapshot(&self, path: &std::path::Path) -> Result<SnapshotReport, SnapshotError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                self.inner
+                    .obs
+                    .registry()
+                    .counter(names::SNAPSHOT_LOAD_REJECTED)
+                    .inc();
+                self.inner.snapshot_tally.lock().load_rejected += 1;
+                return Err(SnapshotError::Io(error));
+            }
+        };
+        self.import_snapshot(&bytes)
     }
 }
 
@@ -1451,6 +1770,14 @@ fn handle(
     let ctx = span.ctx();
     let fingerprint = request_fingerprint(&request.program, &request.topology, &request.config);
     let (outcome, provenance) = match inner.cache.get(fingerprint) {
+        Some(outcome)
+            // lint: relaxed-ok(one-way flag; the warm set is published under its own lock)
+            if inner.warm_active.load(Ordering::Relaxed)
+                && inner.warm.lock().contains(&fingerprint) =>
+        {
+            inner.metrics.snapshot_warm_hits.inc();
+            (outcome, CacheProvenance::Warm)
+        }
         Some(outcome) => (outcome, CacheProvenance::Hit),
         None => {
             // catch_unwind so a panic in the analysis of one (possibly
@@ -2630,5 +2957,176 @@ mod tests {
         assert!(routes.misses >= 1, "{routes:?}");
         let snapshot = service.registry_snapshot();
         assert!(snapshot.gauge_value(names::ROUTE_CACHE_MISSES, &[]) >= 1);
+    }
+
+    /// A small mixed working set for the snapshot tests: several certified
+    /// sizes of fig7 plus one cached rejection.
+    fn snapshot_working_set() -> Vec<AnalysisRequest> {
+        let mut requests: Vec<AnalysisRequest> = (1..=4)
+            .map(|reps| AnalysisRequest::new(format!("fig7x{reps}"), fig7(reps), fig7_topology()))
+            .collect();
+        // A deadlocked exchange, so the snapshot also carries a cached
+        // rejection.
+        let deadlocked = parse_program(
+            "cells 2\nmessage A: c0 -> c1\nmessage B: c1 -> c0\n\
+             program c0 { R(B) W(A) }\nprogram c1 { R(A) W(B) }\n",
+        )
+        .unwrap();
+        requests.push(AnalysisRequest::new(
+            "deadlock",
+            deadlocked,
+            Topology::linear(2),
+        ));
+        requests
+    }
+
+    #[test]
+    fn snapshot_roundtrip_warms_a_fresh_service() {
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let originals = warm_source.run_batch(snapshot_working_set());
+        let bytes = warm_source.export_snapshot();
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        let report = restarted.import_snapshot(&bytes).expect("snapshot loads");
+        assert_eq!(report.plans, 5);
+        assert_eq!(report.seeds, 5);
+        assert_eq!(report.dropped, 0);
+
+        let replayed = restarted.run_batch(snapshot_working_set());
+        for (original, replay) in originals.iter().zip(&replayed) {
+            assert_eq!(
+                replay.provenance,
+                CacheProvenance::Warm,
+                "{} must be served from the snapshot",
+                replay.name
+            );
+            assert_eq!(replay.fingerprint, original.fingerprint);
+            assert_eq!(
+                replay.is_certified(),
+                original.is_certified(),
+                "{} outcome must survive the roundtrip",
+                replay.name
+            );
+        }
+        // Warmed entries stay Warm on later hits, so coverage is
+        // observable across a whole replayed batch.
+        let again = restarted.submit(fig7_request()).wait();
+        assert_eq!(again.provenance, CacheProvenance::Warm);
+        let stats = restarted.snapshot_stats();
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.loaded_plans, 5);
+        assert_eq!(stats.loaded_seeds, 5);
+        assert_eq!(stats.load_rejected, 0);
+        assert!(stats.warm_hits >= 6);
+    }
+
+    #[test]
+    fn rejected_snapshot_load_leaves_service_cold() {
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let _ = warm_source.run_batch(snapshot_working_set());
+        let mut bytes = warm_source.export_snapshot();
+        bytes[0] ^= 0x20; // break the magic
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        let error = restarted.import_snapshot(&bytes).expect_err("bad magic");
+        assert!(matches!(error, SnapshotError::BadMagic), "{error:?}");
+        // Nothing was installed: the next request is a plain cold miss.
+        assert_eq!(restarted.cache_entries(), 0);
+        let response = restarted.submit(fig7_request()).wait();
+        assert_eq!(response.provenance, CacheProvenance::Miss);
+        let stats = restarted.snapshot_stats();
+        assert_eq!(stats.load_rejected, 1);
+        assert_eq!(stats.loads, 0);
+        assert_eq!(stats.loaded_plans, 0);
+    }
+
+    #[test]
+    fn truncated_snapshot_load_leaves_service_cold() {
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let _ = warm_source.run_batch(snapshot_working_set());
+        let bytes = warm_source.export_snapshot();
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        let error = restarted
+            .import_snapshot(&bytes[..bytes.len() / 2])
+            .expect_err("truncated");
+        // Typed rejection (exact variant depends on where the cut lands),
+        // and — the guarantee under test — zero partial application.
+        let _ = error;
+        assert_eq!(restarted.cache_entries(), 0);
+        assert_eq!(restarted.snapshot_stats().load_rejected, 1);
+        let response = restarted.submit(fig7_request()).wait();
+        assert_eq!(response.provenance, CacheProvenance::Miss);
+    }
+
+    #[test]
+    fn config_skewed_entries_drop_without_failing_the_load() {
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let _ = warm_source.run_batch(snapshot_working_set());
+        // Simulate a snapshot written under a different AnalysisConfig:
+        // rewrite one plan entry's recorded config hash so it no longer
+        // matches its seed's.
+        let mut data = snapshot::read_snapshot(&warm_source.export_snapshot()).unwrap();
+        data.plans[0].config_hash ^= 1;
+        let bytes = snapshot::write_snapshot(&data);
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        let report = restarted.import_snapshot(&bytes).expect("load succeeds");
+        assert_eq!(report.plans, 4, "the skewed entry is dropped, not fatal");
+        assert_eq!(report.dropped, 1);
+        assert_eq!(restarted.snapshot_stats().dropped, 1);
+        assert_eq!(
+            restarted
+                .registry_snapshot()
+                .counter_value(names::SNAPSHOT_DROPPED, &[("reason", "config-skew")]),
+            1
+        );
+    }
+
+    #[test]
+    fn locally_computed_outcomes_beat_snapshot_copies() {
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let _ = warm_source.run_batch(snapshot_working_set());
+        let bytes = warm_source.export_snapshot();
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        // This process computes fig7x1 before the snapshot arrives.
+        let local = restarted.submit(fig7_request()).wait();
+        assert_eq!(local.provenance, CacheProvenance::Miss);
+        let report = restarted.import_snapshot(&bytes).expect("loads");
+        assert_eq!(report.plans, 4, "the already-cached entry is skipped");
+        // Its hits keep reporting plain Hit — the entry was computed
+        // here, not restored.
+        let again = restarted.submit(fig7_request()).wait();
+        assert_eq!(again.provenance, CacheProvenance::Hit);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_files() {
+        let path = std::env::temp_dir().join(format!(
+            "systolic-snapshot-test-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let warm_source = AnalysisService::new(ServiceConfig::default());
+        let _ = warm_source.run_batch(snapshot_working_set());
+        let saved = warm_source.save_snapshot(&path).expect("saves");
+        assert_eq!(saved.plans, 5);
+        assert!(saved.bytes > 0);
+        assert_eq!(warm_source.snapshot_stats().saves, 1);
+        assert_eq!(warm_source.snapshot_stats().last_save_bytes, saved.bytes);
+
+        let restarted = AnalysisService::new(ServiceConfig::default());
+        let loaded = restarted.load_snapshot(&path).expect("loads");
+        assert_eq!(loaded.plans, 5);
+        let replay = restarted.submit(fig7_request()).wait();
+        assert_eq!(replay.provenance, CacheProvenance::Warm);
+        let _ = std::fs::remove_file(&path);
+
+        // A missing file is a rejected load, and the service stays cold.
+        let cold = AnalysisService::new(ServiceConfig::default());
+        let error = cold.load_snapshot(&path).expect_err("missing file");
+        assert!(matches!(error, SnapshotError::Io(_)), "{error:?}");
+        assert_eq!(cold.snapshot_stats().load_rejected, 1);
     }
 }

@@ -33,7 +33,13 @@
 //!
 //! A control line `{"op": "metrics"}` (alias `"stats"`) is recognized by
 //! [`parse_line`] and answered with one `status: "metrics"` object
-//! dumping the whole metrics registry ([`metrics_to_json`]).
+//! dumping the whole metrics registry. A control line `{"op":
+//! "snapshot"}` persists the daemon's warm state to its configured
+//! `--snapshot-save` path and answers with a `status: "snapshot"` object
+//! (`plans`, `seeds`, `bytes`, `micros`), or `status: "rejected"` with
+//! `error_kind: "snapshot"` when no save path is configured. Every
+//! response shape is rendered by the one [`WireResponse::to_json`] entry
+//! point.
 //!
 //! An edit line reanalyzes a previously submitted program incrementally
 //! (dirty-tracked stage reuse instead of a from-scratch run):
@@ -70,14 +76,14 @@
 //! `cells` are the offending message/cell ids (declaration order indexes),
 //! present only when non-empty.
 
-use systolic_core::{CoreError, Diagnostic, Lookahead, LookaheadLimits};
+use systolic_core::{codec, Diagnostic, Lookahead, LookaheadLimits};
 use systolic_model::{parse_program, program_to_text, ModelError, Topology};
 use systolic_obs::RegistrySnapshot;
 use systolic_workloads::TrafficItem;
 
 use crate::{
     AnalysisRequest, AnalysisResponse, CacheProvenance, EditRequestError, EditResponse, Json,
-    JsonError, NamedEditOp, ServiceError,
+    JsonError, NamedEditOp, ServiceError, SnapshotReport,
 };
 
 /// Why a request line could not become an [`AnalysisRequest`].
@@ -237,10 +243,15 @@ pub enum WireRequest {
     /// `{"op": "edit"}`: apply an edit batch to a warm session
     /// ([`crate::AnalysisService::apply_edit`]).
     Edit(Box<EditCommand>),
+    /// `{"op": "snapshot"}`: persist the daemon's warm state to its
+    /// configured `--snapshot-save` path. The string is the response id
+    /// (defaults to the line number).
+    Snapshot(String),
 }
 
 /// Parses one JSONL line, recognizing control ops (`{"op": "metrics"}`,
-/// `{"op": "edit"}`) before falling back to [`parse_request`].
+/// `{"op": "edit"}`, `{"op": "snapshot"}`) before falling back to
+/// [`parse_request`].
 ///
 /// # Errors
 ///
@@ -254,8 +265,16 @@ pub fn parse_line(line: &str, line_number: usize) -> Result<WireRequest, WireErr
             &value,
             line_number,
         )?))),
+        Some("snapshot") => {
+            let name = match value.get("id") {
+                None => format!("line-{line_number}"),
+                Some(Json::Str(s)) => s.clone(),
+                Some(_) => return Err(WireError::Field("`id` must be a string".into())),
+            };
+            Ok(WireRequest::Snapshot(name))
+        }
         Some(other) => Err(WireError::Field(format!(
-            "unknown op {other:?} (expected \"metrics\", \"stats\" or \"edit\")"
+            "unknown op {other:?} (expected \"metrics\", \"stats\", \"edit\" or \"snapshot\")"
         ))),
         None => Ok(WireRequest::Analysis(Box::new(parse_request(
             line,
@@ -354,9 +373,100 @@ pub fn parse_edit(value: &Json, line_number: usize) -> Result<EditCommand, WireE
     Ok(EditCommand { name, base, ops })
 }
 
-/// Renders one service response as a JSONL line (no trailing newline).
-#[must_use]
-pub fn response_to_json(response: &AnalysisResponse) -> Json {
+/// One response line, unified over every shape the daemon writes.
+///
+/// [`WireResponse::to_json`] is the single rendering entry point for the
+/// JSONL protocol: every response — analysis outcomes, edit results,
+/// metrics dumps, parse errors, generated traffic, snapshot ops — goes
+/// through it, so the daemon and tests cannot drift apart on field order
+/// or vocabulary. The stable strings (`labeling`, diagnostic `code` /
+/// `severity`, `error_kind`) come from [`systolic_core::codec`], the same
+/// vocabulary the binary snapshot format encodes, so wire and disk cannot
+/// drift either.
+#[derive(Debug)]
+pub enum WireResponse<'a> {
+    /// A regular analysis response (certified or rejected).
+    Analysis(&'a AnalysisResponse),
+    /// An incremental edit outcome (`cache: "incremental"`, plus the
+    /// `base` echo and `reuse` report).
+    Edit(&'a EditResponse),
+    /// A rejected edit request (unknown base, unknown names, invalid
+    /// batch); the base session, if any, survives.
+    EditRejected {
+        /// Response id.
+        name: &'a str,
+        /// The base fingerprint the edit named.
+        base: u128,
+        /// Why the edit was rejected.
+        error: &'a EditRequestError,
+    },
+    /// The metrics-registry dump answering `{"op": "metrics"}`.
+    Metrics(&'a RegistrySnapshot),
+    /// A malformed request line (`status: "invalid"`).
+    Invalid {
+        /// 1-based input line number (also the response id).
+        line_number: usize,
+        /// The parse failure.
+        error: &'a WireError,
+    },
+    /// One generated traffic item (the `systolicd gen` output format —
+    /// a request line, not a response, but rendered by the same entry
+    /// point so the formats stay in one place).
+    Traffic {
+        /// Request id.
+        id: &'a str,
+        /// The generated request.
+        item: &'a TrafficItem,
+    },
+    /// A completed `{"op": "snapshot"}` save (`status: "snapshot"`).
+    Snapshot {
+        /// Response id.
+        name: &'a str,
+        /// What the save wrote.
+        report: SnapshotReport,
+    },
+    /// A failed `{"op": "snapshot"}` — no configured `--snapshot-save`
+    /// path, or the save itself failed (`error_kind: "snapshot"`).
+    SnapshotRejected {
+        /// Response id.
+        name: &'a str,
+        /// Why the snapshot was rejected.
+        error: &'a str,
+    },
+}
+
+impl WireResponse<'_> {
+    /// Renders this response as one JSONL object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            WireResponse::Analysis(response) => render_analysis(response),
+            WireResponse::Edit(edit) => render_edit(edit),
+            WireResponse::EditRejected { name, base, error } => {
+                render_edit_rejected(name, *base, error)
+            }
+            WireResponse::Metrics(snapshot) => render_metrics(snapshot),
+            WireResponse::Invalid { line_number, error } => render_invalid(*line_number, error),
+            WireResponse::Traffic { id, item } => render_traffic(id, item),
+            WireResponse::Snapshot { name, report } => Json::Obj(vec![
+                ("id".to_owned(), Json::Str((*name).to_owned())),
+                ("status".to_owned(), Json::Str("snapshot".to_owned())),
+                ("plans".to_owned(), Json::Num(report.plans as f64)),
+                ("seeds".to_owned(), Json::Num(report.seeds as f64)),
+                ("bytes".to_owned(), Json::Num(report.bytes as f64)),
+                ("micros".to_owned(), Json::Num(report.micros as f64)),
+            ]),
+            WireResponse::SnapshotRejected { name, error } => Json::Obj(vec![
+                ("id".to_owned(), Json::Str((*name).to_owned())),
+                ("status".to_owned(), Json::Str("rejected".to_owned())),
+                ("error".to_owned(), Json::Str((*error).to_owned())),
+                ("error_kind".to_owned(), Json::Str("snapshot".to_owned())),
+            ]),
+        }
+    }
+}
+
+fn render_analysis(response: &AnalysisResponse) -> Json {
     let mut members = vec![
         ("id".to_owned(), Json::Str(response.name.clone())),
         (
@@ -377,6 +487,7 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
                     CacheProvenance::Hit => "hit",
                     CacheProvenance::Miss => "miss",
                     CacheProvenance::Incremental => "incremental",
+                    CacheProvenance::Warm => "warm",
                 }
                 .to_owned(),
             ),
@@ -390,13 +501,7 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
             ));
             members.push((
                 "labeling".to_owned(),
-                Json::Str(
-                    match certified.labeling_method {
-                        systolic_core::LabelingMethod::Section6 => "section6",
-                        systolic_core::LabelingMethod::ConstraintSolver => "constraint-solver",
-                    }
-                    .to_owned(),
-                ),
+                Json::Str(codec::labeling_method_str(certified.labeling_method).to_owned()),
             ));
             members.push((
                 "labels".to_owned(),
@@ -469,14 +574,10 @@ pub fn response_to_json(response: &AnalysisResponse) -> Json {
     Json::Obj(members)
 }
 
-/// Renders an incremental edit outcome as a JSONL line: the usual
-/// analysis response fields (`cache: "incremental"`) plus the `base`
-/// echo and a `reuse` object describing what the edit reused.
-#[must_use]
-pub fn edit_response_to_json(edit: &EditResponse) -> Json {
-    let mut json = response_to_json(&edit.response);
+fn render_edit(edit: &EditResponse) -> Json {
+    let mut json = render_analysis(&edit.response);
     let Json::Obj(members) = &mut json else {
-        unreachable!("response_to_json always renders an object");
+        unreachable!("render_analysis always renders an object");
     };
     members.push(("base".to_owned(), Json::Str(format!("{:#034x}", edit.base))));
     let reuse = &edit.reuse;
@@ -511,11 +612,7 @@ pub fn edit_response_to_json(edit: &EditResponse) -> Json {
     json
 }
 
-/// Renders a rejected edit request (unknown base, unknown names, invalid
-/// batch) as a JSONL error response. The base session, if any, survives —
-/// the client may retry with a corrected batch.
-#[must_use]
-pub fn edit_rejected_to_json(name: &str, base: u128, error: &EditRequestError) -> Json {
+fn render_edit_rejected(name: &str, base: u128, error: &EditRequestError) -> Json {
     Json::Obj(vec![
         ("id".to_owned(), Json::Str(name.to_owned())),
         ("status".to_owned(), Json::Str("rejected".to_owned())),
@@ -525,13 +622,11 @@ pub fn edit_rejected_to_json(name: &str, base: u128, error: &EditRequestError) -
     ])
 }
 
-/// Renders a metrics-registry snapshot as one JSON object (the `metrics`
-/// wire op's response): counters and gauges keyed by their rendered
-/// series name, histograms as `{count, sum, max, mean, p50, p99}`
-/// summaries (log2-bucket estimates for the percentiles — < 2×
-/// overestimate, never an underestimate).
-#[must_use]
-pub fn metrics_to_json(snapshot: &RegistrySnapshot) -> Json {
+/// The `metrics` wire op's response body: counters and gauges keyed by
+/// their rendered series name, histograms as `{count, sum, max, mean,
+/// p50, p99}` summaries (log2-bucket estimates for the percentiles — <
+/// 2× overestimate, never an underestimate).
+fn render_metrics(snapshot: &RegistrySnapshot) -> Json {
     let counters = snapshot
         .counters
         .iter()
@@ -610,23 +705,17 @@ fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> Json {
     )
 }
 
+/// The stable `error_kind` vocabulary: `"internal"` for contained panics,
+/// otherwise the [`codec::core_error_kind`] string — the same one the
+/// binary snapshot format commits to, so wire and disk agree.
 fn error_kind(error: &ServiceError) -> &'static str {
     match error {
         ServiceError::Panicked(_) => "internal",
-        ServiceError::Analysis(error) => match error {
-            CoreError::Model(_) => "model",
-            CoreError::ProgramDeadlocked { .. } => "deadlocked",
-            CoreError::LabelConflict { .. } => "label-conflict",
-            CoreError::InconsistentLabeling { .. } => "inconsistent-labeling",
-            CoreError::Infeasible { .. } => "infeasible",
-            _ => "other",
-        },
+        ServiceError::Analysis(error) => codec::core_error_kind(error),
     }
 }
 
-/// Renders one invalid request line as a JSONL error response.
-#[must_use]
-pub fn invalid_to_json(line_number: usize, error: &WireError) -> Json {
+fn render_invalid(line_number: usize, error: &WireError) -> Json {
     Json::Obj(vec![
         ("id".to_owned(), Json::Str(format!("line-{line_number}"))),
         ("status".to_owned(), Json::Str("invalid".to_owned())),
@@ -634,10 +723,7 @@ pub fn invalid_to_json(line_number: usize, error: &WireError) -> Json {
     ])
 }
 
-/// Renders one traffic item as a JSONL request line (the `systolicd gen`
-/// output format).
-#[must_use]
-pub fn traffic_to_json(id: &str, item: &TrafficItem) -> Json {
+fn render_traffic(id: &str, item: &TrafficItem) -> Json {
     Json::Obj(vec![
         ("id".to_owned(), Json::Str(id.to_owned())),
         (
@@ -650,6 +736,59 @@ pub fn traffic_to_json(id: &str, item: &TrafficItem) -> Json {
             Json::Num(item.queues_per_interval as f64),
         ),
     ])
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated per-shape entry points, kept as thin wrappers over
+// `WireResponse::to_json` for callers written against the old API.
+// ---------------------------------------------------------------------------
+
+/// Renders one service response as a JSONL line (no trailing newline).
+#[deprecated(note = "use WireResponse::Analysis(..).to_json()")]
+#[must_use]
+pub fn response_to_json(response: &AnalysisResponse) -> Json {
+    WireResponse::Analysis(response).to_json()
+}
+
+/// Renders an incremental edit outcome as a JSONL line: the usual
+/// analysis response fields (`cache: "incremental"`) plus the `base`
+/// echo and a `reuse` object describing what the edit reused.
+#[deprecated(note = "use WireResponse::Edit(..).to_json()")]
+#[must_use]
+pub fn edit_response_to_json(edit: &EditResponse) -> Json {
+    WireResponse::Edit(edit).to_json()
+}
+
+/// Renders a rejected edit request (unknown base, unknown names, invalid
+/// batch) as a JSONL error response. The base session, if any, survives —
+/// the client may retry with a corrected batch.
+#[deprecated(note = "use WireResponse::EditRejected { .. }.to_json()")]
+#[must_use]
+pub fn edit_rejected_to_json(name: &str, base: u128, error: &EditRequestError) -> Json {
+    WireResponse::EditRejected { name, base, error }.to_json()
+}
+
+/// Renders a metrics-registry snapshot as one JSON object (the `metrics`
+/// wire op's response).
+#[deprecated(note = "use WireResponse::Metrics(..).to_json()")]
+#[must_use]
+pub fn metrics_to_json(snapshot: &RegistrySnapshot) -> Json {
+    WireResponse::Metrics(snapshot).to_json()
+}
+
+/// Renders one invalid request line as a JSONL error response.
+#[deprecated(note = "use WireResponse::Invalid { .. }.to_json()")]
+#[must_use]
+pub fn invalid_to_json(line_number: usize, error: &WireError) -> Json {
+    WireResponse::Invalid { line_number, error }.to_json()
+}
+
+/// Renders one traffic item as a JSONL request line (the `systolicd gen`
+/// output format).
+#[deprecated(note = "use WireResponse::Traffic { .. }.to_json()")]
+#[must_use]
+pub fn traffic_to_json(id: &str, item: &TrafficItem) -> Json {
+    WireResponse::Traffic { id, item }.to_json()
 }
 
 #[cfg(test)]
@@ -769,7 +908,7 @@ mod tests {
         let service = AnalysisService::new(ServiceConfig::default());
         let request = parse_request(&request_line(""), 1).unwrap();
         let response = service.submit(request).wait();
-        let json = response_to_json(&response);
+        let json = WireResponse::Analysis(&response).to_json();
         assert_eq!(json.get("id").and_then(Json::as_str), Some("r1"));
         assert_eq!(json.get("status").and_then(Json::as_str), Some("certified"));
         assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
@@ -793,7 +932,7 @@ mod tests {
             Json::Str(deadlock.to_owned())
         );
         let response = service.submit(parse_request(&line, 1).unwrap()).wait();
-        let json = response_to_json(&response);
+        let json = WireResponse::Analysis(&response).to_json();
         assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
         assert_eq!(
             json.get("error_kind").and_then(Json::as_str),
@@ -827,7 +966,12 @@ mod tests {
     fn generated_traffic_lines_parse_back() {
         let stream = traffic(&TrafficConfig::default(), 9, 25);
         for (i, item) in stream.iter().enumerate() {
-            let line = traffic_to_json(&format!("t{i}"), item).to_string();
+            let line = WireResponse::Traffic {
+                id: &format!("t{i}"),
+                item,
+            }
+            .to_json()
+            .to_string();
             let request = parse_request(&line, i + 1).unwrap();
             assert_eq!(
                 request.program, item.program,
@@ -842,7 +986,11 @@ mod tests {
     #[test]
     fn invalid_line_renders_an_error_response() {
         let err = parse_request("{", 3).unwrap_err();
-        let json = invalid_to_json(3, &err);
+        let json = WireResponse::Invalid {
+            line_number: 3,
+            error: &err,
+        }
+        .to_json();
         assert_eq!(json.get("status").and_then(Json::as_str), Some("invalid"));
         assert_eq!(json.get("id").and_then(Json::as_str), Some("line-3"));
     }
@@ -853,7 +1001,7 @@ mod tests {
         let response = service
             .submit(parse_request(&request_line(""), 1).unwrap())
             .wait();
-        let json = response_to_json(&response);
+        let json = WireResponse::Analysis(&response).to_json();
         assert_eq!(
             json.get("trace").and_then(Json::as_u64),
             Some(response.trace_id)
@@ -979,7 +1127,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let json = edit_response_to_json(&edit);
+        let json = WireResponse::Edit(&edit).to_json();
         assert_eq!(json.get("id").and_then(Json::as_str), Some("e1"));
         assert_eq!(
             json.get("cache").and_then(Json::as_str),
@@ -1011,7 +1159,12 @@ mod tests {
     fn rejected_edit_renders_an_error_response() {
         let service = AnalysisService::new(ServiceConfig::default());
         let err = service.apply_edit("e1", 0x2a, &[]).unwrap_err();
-        let json = edit_rejected_to_json("e1", 0x2a, &err);
+        let json = WireResponse::EditRejected {
+            name: "e1",
+            base: 0x2a,
+            error: &err,
+        }
+        .to_json();
         assert_eq!(json.get("status").and_then(Json::as_str), Some("rejected"));
         assert_eq!(json.get("error_kind").and_then(Json::as_str), Some("edit"));
         assert!(json
@@ -1035,7 +1188,7 @@ mod tests {
             .submit(parse_request(&request_line(""), 1).unwrap())
             .wait()
             .is_certified());
-        let json = metrics_to_json(&service.registry_snapshot());
+        let json = WireResponse::Metrics(&service.registry_snapshot()).to_json();
         assert_eq!(json.get("status").and_then(Json::as_str), Some("metrics"));
         let counters = json.get("counters").expect("counters object");
         assert_eq!(
@@ -1051,5 +1204,168 @@ mod tests {
         assert_eq!(handle.get("count").and_then(Json::as_u64), Some(1));
         // The rendered line parses back as JSON.
         assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn snapshot_op_parses_and_renders() {
+        assert!(matches!(
+            parse_line(r#"{"op":"snapshot","id":"s1"}"#, 1),
+            Ok(WireRequest::Snapshot(name)) if name == "s1"
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op":"snapshot"}"#, 4),
+            Ok(WireRequest::Snapshot(name)) if name == "line-4"
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op":"snapshot","id":7}"#, 1),
+            Err(WireError::Field(_))
+        ));
+
+        let done = WireResponse::Snapshot {
+            name: "s1",
+            report: crate::SnapshotReport {
+                plans: 5,
+                seeds: 5,
+                dropped: 0,
+                bytes: 1234,
+                micros: 99,
+            },
+        }
+        .to_json();
+        assert_eq!(
+            done.to_string(),
+            r#"{"id":"s1","status":"snapshot","plans":5,"seeds":5,"bytes":1234,"micros":99}"#
+        );
+        let rejected = WireResponse::SnapshotRejected {
+            name: "s2",
+            error: "no --snapshot-save path configured",
+        }
+        .to_json();
+        assert_eq!(
+            rejected.to_string(),
+            r#"{"id":"s2","status":"rejected","error":"no --snapshot-save path configured","error_kind":"snapshot"}"#
+        );
+    }
+
+    /// Locks the exact serialized field order of an analysis response, so
+    /// the `WireResponse` consolidation (and any future refactor) cannot
+    /// silently reorder or rename what clients parse.
+    #[test]
+    fn golden_analysis_field_order_is_locked() {
+        use crate::{CacheProvenance, Certified};
+        use std::sync::Arc;
+        use systolic_core::{Analyzer, Label, LabelingMethod};
+
+        let program = parse_program(PROGRAM).unwrap();
+        let topology = Topology::linear(2);
+        let config = AnalysisConfig::default();
+        let analysis = Analyzer::for_topology(&topology, &config)
+            .analyze(&program)
+            .unwrap();
+        let certified = Certified {
+            plan: Arc::new(analysis.into_plan()),
+            labeling_method: LabelingMethod::Section6,
+            message_labels: vec![("A".to_owned(), Label::integer(1))],
+            max_queues_per_interval: 1,
+            verified: None,
+            analysis_micros: 120,
+            diagnostics: Vec::new(),
+        };
+        let response = AnalysisResponse {
+            seq: 0,
+            name: "r1".to_owned(),
+            fingerprint: 0x2a,
+            provenance: CacheProvenance::Warm,
+            outcome: Arc::new(Ok(certified)),
+            handle_micros: 130,
+            trace_id: 7,
+        };
+        assert_eq!(
+            WireResponse::Analysis(&response).to_json().to_string(),
+            r#"{"id":"r1","status":"certified","cache":"warm","classification":"deadlock-free","labeling":"section6","labels":{"A":"1"},"max_queues_per_interval":1,"analysis_micros":120,"micros":130,"fingerprint":"0x0000000000000000000000000000002a","trace":7}"#
+        );
+    }
+
+    /// The old per-shape entry points must stay byte-identical to the
+    /// consolidated `WireResponse::to_json` on a real served batch —
+    /// callers migrating between the two APIs see identical JSONL.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_render_byte_identical_lines() {
+        let service = AnalysisService::new(ServiceConfig::default());
+        let stream = traffic(&TrafficConfig::default(), 11, 40);
+        let requests: Vec<AnalysisRequest> =
+            stream.iter().map(AnalysisRequest::from_traffic).collect();
+        let responses = service.run_batch(requests);
+        for response in &responses {
+            assert_eq!(
+                response_to_json(response).to_string(),
+                WireResponse::Analysis(response).to_json().to_string(),
+                "{} diverged between the old and new renderers",
+                response.name
+            );
+        }
+        for item in &stream {
+            assert_eq!(
+                traffic_to_json(&item.name, item).to_string(),
+                WireResponse::Traffic {
+                    id: &item.name,
+                    item
+                }
+                .to_json()
+                .to_string()
+            );
+        }
+        let err = parse_request("{", 3).unwrap_err();
+        assert_eq!(
+            invalid_to_json(3, &err).to_string(),
+            WireResponse::Invalid {
+                line_number: 3,
+                error: &err
+            }
+            .to_json()
+            .to_string()
+        );
+        let snapshot = service.registry_snapshot();
+        assert_eq!(
+            metrics_to_json(&snapshot).to_string(),
+            WireResponse::Metrics(&snapshot).to_json().to_string()
+        );
+        let edit_err = service.apply_edit("e1", 0x2a, &[]).unwrap_err();
+        assert_eq!(
+            edit_rejected_to_json("e1", 0x2a, &edit_err).to_string(),
+            WireResponse::EditRejected {
+                name: "e1",
+                base: 0x2a,
+                error: &edit_err
+            }
+            .to_json()
+            .to_string()
+        );
+        let base = service
+            .submit(parse_request(&request_line(""), 1).unwrap())
+            .wait();
+        let edit = service
+            .apply_edit(
+                "e2",
+                base.fingerprint,
+                &[
+                    NamedEditOp::Append {
+                        cell: "c0".to_owned(),
+                        write: true,
+                        message: "A".to_owned(),
+                    },
+                    NamedEditOp::Append {
+                        cell: "c1".to_owned(),
+                        write: false,
+                        message: "A".to_owned(),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            edit_response_to_json(&edit).to_string(),
+            WireResponse::Edit(&edit).to_json().to_string()
+        );
     }
 }

@@ -2,14 +2,14 @@
 //! machine-readable code plus offending cell/message ids — end to end
 //! through the JSONL wire format, exactly as a `systolicd` client sees it.
 
-use systolic::service::wire::{parse_request, response_to_json};
+use systolic::service::wire::{parse_request, WireResponse};
 use systolic::service::{AnalysisService, Json, ServiceConfig};
 
 fn serve_line(line: &str) -> Json {
     let service = AnalysisService::new(ServiceConfig::default());
     let request = parse_request(line, 1).expect("request parses");
     let response = service.submit(request).wait();
-    response_to_json(&response)
+    WireResponse::Analysis(&response).to_json()
 }
 
 fn diagnostics(json: &Json) -> &[Json] {

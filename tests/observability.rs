@@ -8,7 +8,7 @@
 use std::collections::HashSet;
 
 use systolic::obs::names;
-use systolic::service::wire::response_to_json;
+use systolic::service::wire::WireResponse;
 use systolic::service::{AnalysisRequest, AnalysisService, CacheProvenance, Json, ServiceConfig};
 use systolic::workloads::{traffic, TrafficConfig};
 
@@ -38,7 +38,7 @@ fn mixed_topology_batch_exports_metrics_and_nested_spans() {
             trace_ids.insert(response.trace_id),
             "trace ids are unique per request"
         );
-        let json = response_to_json(response);
+        let json = WireResponse::Analysis(response).to_json();
         assert_eq!(
             json.get("trace").and_then(Json::as_u64),
             Some(response.trace_id),
